@@ -1,0 +1,119 @@
+//! Small combinatorial helpers shared by the baseline schemes.
+//!
+//! The Cut-and-Paste transition matrices are built from hypergeometric
+//! and binomial probabilities; everything is computed in `f64` with
+//! multiplicative formulas (no factorial overflow for the small `M`,
+//! `K`, `k` values that occur in categorical mining).
+
+/// Binomial coefficient `C(n, k)` as `f64`; 0 when `k > n`.
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0_f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Hypergeometric pmf: probability of drawing exactly `q` marked items
+/// when drawing `j` items without replacement from a population of `m`
+/// items of which `l` are marked.
+pub fn hypergeometric(q: usize, m: usize, l: usize, j: usize) -> f64 {
+    if j > m || q > j || q > l {
+        return 0.0;
+    }
+    binomial(l, q) * binomial(m - l, j - q) / binomial(m, j)
+}
+
+/// Binomial pmf: probability of `s` successes in `n` trials with
+/// per-trial probability `p`.
+pub fn binomial_pmf(s: usize, n: usize, p: f64) -> f64 {
+    if s > n {
+        return 0.0;
+    }
+    binomial(n, s) * p.powi(s as i32) * (1.0 - p).powi((n - s) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(7, 3), 35.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..12 {
+            for k in 0..=n {
+                assert_close(binomial(n, k), binomial(n, n - k), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_rule() {
+        for n in 1..12 {
+            for k in 1..=n {
+                assert_close(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        let (m, l, j) = (7, 3, 4);
+        let total: f64 = (0..=j).map(|q| hypergeometric(q, m, l, j)).sum();
+        assert_close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_certainty_cases() {
+        // Drawing all items: q must equal l.
+        assert_close(hypergeometric(3, 5, 3, 5), 1.0, 1e-12);
+        assert_close(hypergeometric(2, 5, 3, 5), 0.0, 1e-12);
+        // Drawing zero items: q must be 0.
+        assert_close(hypergeometric(0, 5, 3, 0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_hand_value() {
+        // P(q=1) drawing 2 from {3 marked, 2 unmarked}:
+        // C(3,1)C(2,1)/C(5,2) = 6/10.
+        assert_close(hypergeometric(1, 5, 3, 2), 0.6, 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_q_exceeding_j_is_zero() {
+        assert_eq!(hypergeometric(3, 5, 3, 2), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=6).map(|s| binomial_pmf(s, 6, 0.3)).sum();
+        assert_close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn binomial_pmf_edge_probabilities() {
+        assert_close(binomial_pmf(0, 4, 0.0), 1.0, 1e-12);
+        assert_close(binomial_pmf(4, 4, 1.0), 1.0, 1e-12);
+        assert_eq!(binomial_pmf(5, 4, 0.5), 0.0);
+    }
+}

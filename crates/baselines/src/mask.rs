@@ -1,0 +1,376 @@
+//! MASK — Maintaining data privacy via independent bit flips
+//! (Rizvi & Haritsa, VLDB 2002), as configured in the FRAPP paper.
+//!
+//! The categorical database is mapped to a boolean database of width
+//! `M_b = Σ_j |S_j|` (one column per category; exactly one set bit per
+//! attribute per record). MASK flips every bit independently with
+//! probability `1−p`.
+//!
+//! **Privacy-constrained parameter.** Between two *valid* categorical
+//! records the boolean Hamming distance is at most `2M`, so the
+//! amplification of the record-level transition matrix is
+//! `(p/(1−p))^{2M}` and the strict `(ρ1,ρ2)` requirement reduces to
+//! `(p/(1−p))^{2M} ≤ γ` (paper Section 7), giving
+//! `p = γ^{1/(2M)} / (1 + γ^{1/(2M)})` — `0.5611` for CENSUS (`M=6`)
+//! and `0.5524` for HEALTH (`M=7`) at `γ = 19`.
+//!
+//! **Reconstruction.** For an itemset over `k` boolean columns, the
+//! joint distribution of those columns is perturbed by the k-fold
+//! Kronecker power of the flip matrix `F = [[p, 1−p], [1−p, p]]`
+//! (column-stochastic, symmetric). Its eigenvalues are `(2p−1)^j`, so
+//! `cond(F^{⊗k}) = (1/(2p−1))^k` — exponential in `k`, which is the
+//! quantitative story behind MASK's degradation in the paper's
+//! Figures 1, 2 and 4. Reconstruction applies `F⁻¹` along each tensor
+//! dimension in `O(k·2^k)`.
+
+use frapp_core::schema::Schema;
+use frapp_core::{FrappError, Result};
+use frapp_linalg::structured::kronecker_power;
+use frapp_linalg::Matrix;
+use rand::Rng;
+use rand::RngCore;
+
+/// The MASK perturbation scheme over a categorical schema's boolean
+/// mapping.
+#[derive(Debug, Clone)]
+pub struct Mask {
+    schema: Schema,
+    /// Bit retention probability; each bit flips with probability `1−p`.
+    p: f64,
+}
+
+impl Mask {
+    /// Creates MASK with an explicit retention probability `p ∈ (½, 1)`.
+    /// (`p ≤ ½` makes the reconstruction matrix singular or mirrored and
+    /// is never useful.)
+    pub fn new(schema: &Schema, p: f64) -> Result<Self> {
+        if p <= 0.5 || p >= 1.0 || p.is_nan() {
+            return Err(FrappError::InvalidParameter {
+                name: "p",
+                reason: format!("must be in (0.5, 1), got {p}"),
+            });
+        }
+        Ok(Mask {
+            schema: schema.clone(),
+            p,
+        })
+    }
+
+    /// Creates MASK with the largest `p` satisfying the strict privacy
+    /// requirement `(p/(1−p))^{2M} ≤ γ` (paper Section 7).
+    pub fn from_gamma(schema: &Schema, gamma: f64) -> Result<Self> {
+        if gamma <= 1.0 || gamma.is_nan() {
+            return Err(FrappError::InvalidParameter {
+                name: "gamma",
+                reason: format!("must exceed 1, got {gamma}"),
+            });
+        }
+        let m = schema.num_attributes() as f64;
+        let ratio = gamma.powf(1.0 / (2.0 * m)); // p/(1−p)
+        Mask::new(schema, ratio / (1.0 + ratio))
+    }
+
+    /// The retention probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The schema whose boolean mapping is perturbed.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The 2×2 single-column flip matrix `[[p, 1−p], [1−p, p]]`
+    /// (column-stochastic: column `u` is the distribution of the
+    /// perturbed bit given original bit `u`; index 0 = bit unset).
+    pub fn flip_matrix(&self) -> Matrix {
+        Matrix::from_rows(&[&[self.p, 1.0 - self.p], &[1.0 - self.p, self.p]])
+    }
+
+    /// The dense `2^k × 2^k` reconstruction matrix for a `k`-column
+    /// itemset: the k-fold Kronecker power of [`Mask::flip_matrix`].
+    /// Pattern indices are big-endian in the column order (first column
+    /// = most significant bit), matching [`Mask::count_patterns`].
+    pub fn itemset_matrix(&self, k: usize) -> Matrix {
+        kronecker_power(&self.flip_matrix(), k)
+    }
+
+    /// Exact condition number of the `k`-itemset reconstruction matrix:
+    /// `(1/(2p−1))^k`.
+    pub fn itemset_condition_number(&self, k: usize) -> f64 {
+        (1.0 / (2.0 * self.p - 1.0)).powi(k as i32)
+    }
+
+    /// Amplification factor of the record-level transition matrix
+    /// restricted to valid categorical records: `(p/(1−p))^{2M}`.
+    pub fn record_amplification(&self) -> f64 {
+        (self.p / (1.0 - self.p)).powi(2 * self.schema.num_attributes() as i32)
+    }
+
+    /// Perturbs one categorical record into a boolean row of width
+    /// `M_b`, flipping each mapped bit independently with probability
+    /// `1−p`.
+    pub fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<bool>> {
+        self.schema.validate_record(record)?;
+        let width = self.schema.boolean_width();
+        let mut row = vec![false; width];
+        for (j, &v) in record.iter().enumerate() {
+            row[self.schema.boolean_offset(j) + v as usize] = true;
+        }
+        for bit in row.iter_mut() {
+            if rng.gen::<f64>() < 1.0 - self.p {
+                *bit = !*bit;
+            }
+        }
+        Ok(row)
+    }
+
+    /// Perturbs a whole dataset.
+    pub fn perturb_dataset(
+        &self,
+        records: &[Vec<u32>],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Vec<bool>>> {
+        records
+            .iter()
+            .map(|r| self.perturb_record(r, rng))
+            .collect()
+    }
+
+    /// Counts the `2^k` joint patterns of the given boolean columns over
+    /// a perturbed boolean dataset. Pattern index is big-endian in
+    /// column order: the first column contributes the most significant
+    /// bit, and a set bit contributes 1 (so index `2^k − 1` = "all
+    /// columns set" = the itemset's support pattern).
+    pub fn count_patterns(rows: &[Vec<bool>], columns: &[usize]) -> Vec<f64> {
+        let k = columns.len();
+        let mut counts = vec![0.0; 1usize << k];
+        for row in rows {
+            let mut idx = 0usize;
+            for &c in columns {
+                idx = (idx << 1) | usize::from(row[c]);
+            }
+            counts[idx] += 1.0;
+        }
+        counts
+    }
+
+    /// Reconstructs the original pattern counts from perturbed pattern
+    /// counts by applying `F⁻¹` along each of the `k` tensor dimensions
+    /// (`O(k·2^k)` — the Kronecker-factored inverse, no dense solve).
+    ///
+    /// `F⁻¹ = 1/(2p−1) · [[p, −(1−p)], [−(1−p), p]]`.
+    pub fn reconstruct_patterns(&self, perturbed_counts: &[f64]) -> Vec<f64> {
+        let len = perturbed_counts.len();
+        debug_assert!(
+            len.is_power_of_two(),
+            "pattern vector length must be a power of two"
+        );
+        let k = len.trailing_zeros() as usize;
+        let det = 2.0 * self.p - 1.0;
+        let (a, b) = (self.p / det, -(1.0 - self.p) / det); // inverse entries
+        let mut v = perturbed_counts.to_vec();
+        // Apply the 2x2 inverse along each tensor dimension, in place.
+        for dim in 0..k {
+            let stride = 1usize << (k - 1 - dim); // big-endian: dim 0 = MSB
+            let mut base = 0;
+            while base < len {
+                for off in 0..stride {
+                    let i0 = base + off;
+                    let i1 = i0 + stride;
+                    let (v0, v1) = (v[i0], v[i1]);
+                    v[i0] = a * v0 + b * v1;
+                    v[i1] = b * v0 + a * v1;
+                }
+                base += stride * 2;
+            }
+        }
+        v
+    }
+
+    /// Estimated *fractional* support of the itemset "all `k` columns
+    /// set", reconstructed from the perturbed dataset.
+    pub fn estimate_support(&self, rows: &[Vec<bool>], columns: &[usize]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let counts = Self::count_patterns(rows, columns);
+        let reconstructed = self.reconstruct_patterns(&counts);
+        reconstructed[counts.len() - 1] / rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frapp_linalg::lu;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    fn census_schema() -> Schema {
+        Schema::new(vec![
+            ("age", 4),
+            ("fnlwgt", 5),
+            ("hours-per-week", 5),
+            ("race", 5),
+            ("sex", 2),
+            ("native-country", 2),
+        ])
+        .unwrap()
+    }
+
+    fn health_schema() -> Schema {
+        Schema::new(vec![
+            ("AGE", 5),
+            ("BDDAY12", 5),
+            ("DV12", 5),
+            ("PHONE", 3),
+            ("SEX", 2),
+            ("INCFAM20", 2),
+            ("HEALTH", 5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_parameter_census() {
+        // Paper Section 7: p = 0.5610 for CENSUS at gamma = 19.
+        let mask = Mask::from_gamma(&census_schema(), 19.0).unwrap();
+        assert_close(mask.p(), 0.5610, 5e-4);
+    }
+
+    #[test]
+    fn paper_parameter_health() {
+        // Paper Section 7: p = 0.5524 for HEALTH at gamma = 19.
+        let mask = Mask::from_gamma(&health_schema(), 19.0).unwrap();
+        assert_close(mask.p(), 0.5524, 5e-4);
+    }
+
+    #[test]
+    fn from_gamma_saturates_privacy_bound() {
+        let mask = Mask::from_gamma(&census_schema(), 19.0).unwrap();
+        assert_close(mask.record_amplification(), 19.0, 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_p() {
+        let s = census_schema();
+        assert!(Mask::new(&s, 0.5).is_err());
+        assert!(Mask::new(&s, 1.0).is_err());
+        assert!(Mask::new(&s, 0.49).is_err());
+    }
+
+    #[test]
+    fn flip_matrix_is_column_stochastic_symmetric() {
+        let mask = Mask::new(&census_schema(), 0.7).unwrap();
+        let f = mask.flip_matrix();
+        assert!(f.is_column_stochastic(1e-12));
+        assert!(f.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn itemset_condition_number_matches_numeric() {
+        let mask = Mask::new(&census_schema(), 0.7).unwrap();
+        for k in 1..=4 {
+            let m = mask.itemset_matrix(k);
+            let numeric = frapp_linalg::condition_number_2(&m).unwrap();
+            assert_close(numeric, mask.itemset_condition_number(k), 1e-7 * numeric);
+        }
+    }
+
+    #[test]
+    fn perturbed_record_width() {
+        let s = census_schema();
+        let mask = Mask::from_gamma(&s, 19.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let row = mask.perturb_record(&[0, 1, 2, 3, 1, 0], &mut rng).unwrap();
+        assert_eq!(row.len(), s.boolean_width());
+    }
+
+    #[test]
+    fn perturb_rejects_invalid_record() {
+        let mask = Mask::from_gamma(&census_schema(), 19.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(mask.perturb_record(&[9, 0, 0, 0, 0, 0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn count_patterns_big_endian_order() {
+        // rows with known bits at columns [0, 2].
+        let rows = vec![
+            vec![true, false, true],  // pattern 0b11 = 3
+            vec![true, false, false], // pattern 0b10 = 2
+            vec![false, true, true],  // pattern 0b01 = 1
+        ];
+        let counts = Mask::count_patterns(&rows, &[0, 2]);
+        assert_eq!(counts, vec![0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn reconstruct_patterns_matches_dense_solve() {
+        let mask = Mask::new(&census_schema(), 0.65).unwrap();
+        let k = 3;
+        let counts = [12.0, 7.0, 30.0, 1.0, 9.0, 4.0, 22.0, 15.0];
+        let fast = mask.reconstruct_patterns(&counts);
+        let dense = mask.itemset_matrix(k);
+        let solved = lu::solve(&dense, &counts).unwrap();
+        for (f, s) in fast.iter().zip(&solved) {
+            assert_close(*f, *s, 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconstruct_patterns_inverts_forward_map() {
+        let mask = Mask::new(&census_schema(), 0.8).unwrap();
+        let x = [100.0, 0.0, 40.0, 10.0];
+        let dense = mask.itemset_matrix(2);
+        let y = dense.mul_vec(&x).unwrap();
+        let back = mask.reconstruct_patterns(&y);
+        for (b, orig) in back.iter().zip(&x) {
+            assert_close(*b, *orig, 1e-9);
+        }
+    }
+
+    #[test]
+    fn flip_probability_is_empirically_correct() {
+        let s = Schema::new(vec![("a", 2)]).unwrap();
+        let mask = Mask::new(&s, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 100_000;
+        let mut kept = 0usize;
+        for _ in 0..trials {
+            let row = mask.perturb_record(&[1], &mut rng).unwrap();
+            // Original bits: [false, true]; count the true bit surviving.
+            if row[1] {
+                kept += 1;
+            }
+        }
+        let frac = kept as f64 / trials as f64;
+        assert!((frac - 0.7).abs() < 0.01, "retention {frac}");
+    }
+
+    #[test]
+    fn end_to_end_single_item_support_recovery() {
+        // 30% of records carry category 1 of a binary attribute; MASK
+        // perturbation + reconstruction should recover ~30% support for
+        // that boolean column.
+        let s = Schema::new(vec![("a", 2)]).unwrap();
+        let mask = Mask::new(&s, 0.8).unwrap();
+        let n = 40_000;
+        let records: Vec<Vec<u32>> = (0..n).map(|i| vec![u32::from(i % 10 < 3)]).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = mask.perturb_dataset(&records, &mut rng).unwrap();
+        let est = mask.estimate_support(&rows, &[1]);
+        assert!((est - 0.3).abs() < 0.02, "estimated support {est}");
+    }
+
+    #[test]
+    fn empty_dataset_support_is_zero() {
+        let mask = Mask::new(&census_schema(), 0.7).unwrap();
+        assert_eq!(mask.estimate_support(&[], &[0, 1]), 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The select-a-size randomization family (Evfimievski, Srikant,
+//! Agrawal & Gehrke, KDD 2002).
+//!
+//! Cut-and-Paste is one member of a family: a *select-a-size* operator
+//! is parameterised by an insertion probability ρ and an arbitrary
+//! probability distribution `p[j]` over how many of the transaction's
+//! own items to keep. This module implements the general family, with
+//! [`crate::cnp::CutAndPaste`]'s truncated-uniform distribution as one
+//! constructor, so the FRAPP design-space experiments can explore other
+//! members (e.g. binomial keeps, all-or-nothing keeps) under the same
+//! privacy accounting and reconstruction machinery.
+
+use crate::combinatorics::{binomial_pmf, hypergeometric};
+use frapp_core::schema::Schema;
+use frapp_core::{FrappError, Result};
+use frapp_linalg::{lu, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::RngCore;
+
+/// A select-a-size randomizer: keep `j ~ size_dist` of the record's own
+/// items, then insert every other universe item with probability ρ.
+#[derive(Debug, Clone)]
+pub struct SelectASize {
+    schema: Schema,
+    /// `size_dist[j]` = probability of keeping exactly `j` items;
+    /// indices beyond the transaction size `m = M` are never drawn
+    /// because the distribution is validated against `m`.
+    size_dist: Vec<f64>,
+    rho: f64,
+}
+
+impl SelectASize {
+    /// Creates the operator. `size_dist` must be a probability
+    /// distribution over `{0, …, M}` (length `M+1`, entries summing to
+    /// 1); `rho ∈ (0, 1)`.
+    pub fn new(schema: &Schema, size_dist: Vec<f64>, rho: f64) -> Result<Self> {
+        if !(rho > 0.0 && rho < 1.0) {
+            return Err(FrappError::InvalidParameter {
+                name: "rho",
+                reason: format!("must be in (0,1), got {rho}"),
+            });
+        }
+        let m = schema.num_attributes();
+        if size_dist.len() != m + 1 {
+            return Err(FrappError::InvalidParameter {
+                name: "size_dist",
+                reason: format!("must have M+1 = {} entries, got {}", m + 1, size_dist.len()),
+            });
+        }
+        if size_dist.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+            return Err(FrappError::InvalidParameter {
+                name: "size_dist",
+                reason: "entries must be finite and nonnegative".into(),
+            });
+        }
+        let total: f64 = size_dist.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(FrappError::InvalidParameter {
+                name: "size_dist",
+                reason: format!("must sum to 1, sums to {total}"),
+            });
+        }
+        Ok(SelectASize {
+            schema: schema.clone(),
+            size_dist,
+            rho,
+        })
+    }
+
+    /// The cut-and-paste member: `j` uniform over `{0,…,K}` truncated at
+    /// `M` (equivalent to [`crate::cnp::CutAndPaste`] with the same
+    /// parameters).
+    pub fn cut_and_paste(schema: &Schema, k_cutoff: usize, rho: f64) -> Result<Self> {
+        let m = schema.num_attributes();
+        let pj = crate::cnp::CutAndPaste::cut_distribution(k_cutoff, m);
+        let mut size_dist = vec![0.0; m + 1];
+        for (j, &p) in pj.iter().enumerate() {
+            size_dist[j] = p;
+        }
+        SelectASize::new(schema, size_dist, rho)
+    }
+
+    /// The binomial member: each own item kept independently with
+    /// probability `keep_p` (so `j ~ Binomial(M, keep_p)`).
+    pub fn binomial_keeps(schema: &Schema, keep_p: f64, rho: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&keep_p) {
+            return Err(FrappError::InvalidParameter {
+                name: "keep_p",
+                reason: format!("must be in [0,1], got {keep_p}"),
+            });
+        }
+        let m = schema.num_attributes();
+        let size_dist: Vec<f64> = (0..=m).map(|j| binomial_pmf(j, m, keep_p)).collect();
+        SelectASize::new(schema, size_dist, rho)
+    }
+
+    /// The all-or-nothing member: keep the whole transaction with
+    /// probability `keep_all`, otherwise keep nothing — the sparse
+    /// analogue of the gamma-diagonal mixture decomposition.
+    pub fn all_or_nothing(schema: &Schema, keep_all: f64, rho: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&keep_all) {
+            return Err(FrappError::InvalidParameter {
+                name: "keep_all",
+                reason: format!("must be in [0,1], got {keep_all}"),
+            });
+        }
+        let m = schema.num_attributes();
+        let mut size_dist = vec![0.0; m + 1];
+        size_dist[0] = 1.0 - keep_all;
+        size_dist[m] = keep_all;
+        SelectASize::new(schema, size_dist, rho)
+    }
+
+    /// The keep-size distribution.
+    pub fn size_dist(&self) -> &[f64] {
+        &self.size_dist
+    }
+
+    /// The insertion probability ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The schema whose boolean mapping is perturbed.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Worst-case record-level amplification of the operator (same
+    /// argument as for Cut-and-Paste): `Σ_j p[j] ρ^{−j} / p[0]`.
+    /// Infinite when `p[0] = 0` (a guaranteed keep is a guaranteed
+    /// breach under worst-case priors).
+    pub fn amplification_upper_bound(&self) -> f64 {
+        if self.size_dist[0] <= 0.0 {
+            return f64::INFINITY;
+        }
+        let total: f64 = self
+            .size_dist
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| p * self.rho.powi(-(j as i32)))
+            .sum();
+        total / self.size_dist[0]
+    }
+
+    /// Perturbs a categorical record into a boolean transaction row.
+    pub fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<bool>> {
+        self.schema.validate_record(record)?;
+        let width = self.schema.boolean_width();
+        let items: Vec<usize> = record
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.schema.boolean_offset(j) + v as usize)
+            .collect();
+        // Draw the keep size from the CDF.
+        let r: f64 = rng.gen::<f64>();
+        let mut acc = 0.0;
+        let mut j = self.size_dist.len() - 1;
+        for (size, &p) in self.size_dist.iter().enumerate() {
+            acc += p;
+            if r < acc {
+                j = size;
+                break;
+            }
+        }
+        let mut shuffled = items;
+        shuffled.partial_shuffle(rng, j);
+        let mut out = vec![false; width];
+        for &c in &shuffled[..j] {
+            out[c] = true;
+        }
+        for bit in out.iter_mut() {
+            if !*bit && rng.gen::<f64>() < self.rho {
+                *bit = true;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Perturbs a whole dataset.
+    pub fn perturb_dataset(
+        &self,
+        records: &[Vec<u32>],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Vec<bool>>> {
+        records
+            .iter()
+            .map(|r| self.perturb_record(r, rng))
+            .collect()
+    }
+
+    /// The `(k+1)×(k+1)` intersection-size transition matrix for a
+    /// `k`-itemset (same derivation as Cut-and-Paste: hypergeometric
+    /// keep, binomial ρ-insertion, generalised over `size_dist`).
+    pub fn itemset_transition_matrix(&self, k: usize) -> Matrix {
+        let m = self.schema.num_attributes();
+        Matrix::from_fn(k + 1, k + 1, |l_out, l_in| {
+            if l_in > m {
+                return f64::from(l_out == l_in);
+            }
+            let mut total = 0.0;
+            for (j, &p_j) in self.size_dist.iter().enumerate() {
+                if p_j == 0.0 || j > m {
+                    continue;
+                }
+                for q in 0..=j.min(l_in).min(l_out) {
+                    let keep = hypergeometric(q, m, l_in, j);
+                    if keep == 0.0 {
+                        continue;
+                    }
+                    total += p_j * keep * binomial_pmf(l_out - q, k - q, self.rho);
+                }
+            }
+            total
+        })
+    }
+
+    /// Estimated fractional support of a `k`-itemset via the
+    /// partial-support solve.
+    pub fn estimate_support(&self, rows: &[Vec<bool>], columns: &[usize]) -> Result<f64> {
+        if rows.is_empty() {
+            return Ok(0.0);
+        }
+        let k = columns.len();
+        let mut counts = vec![0.0; k + 1];
+        for row in rows {
+            let l = columns.iter().filter(|&&c| row[c]).count();
+            counts[l] += 1.0;
+        }
+        let p = self.itemset_transition_matrix(k);
+        let xhat = lu::solve(&p, &counts).map_err(FrappError::from)?;
+        Ok(xhat[k] / rows.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnp::CutAndPaste;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", 2), ("b", 2), ("c", 3)]).unwrap()
+    }
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let s = schema();
+        assert!(SelectASize::new(&s, vec![0.5, 0.5, 0.0, 0.0], 0.0).is_err());
+        assert!(SelectASize::new(&s, vec![0.5, 0.5], 0.3).is_err()); // wrong length
+        assert!(SelectASize::new(&s, vec![0.5, 0.6, 0.0, 0.0], 0.3).is_err()); // sums to 1.1
+        assert!(SelectASize::new(&s, vec![-0.1, 1.1, 0.0, 0.0], 0.3).is_err());
+        assert!(SelectASize::new(&s, vec![0.25, 0.25, 0.25, 0.25], 0.3).is_ok());
+    }
+
+    #[test]
+    fn cut_and_paste_member_matches_cnp_matrices() {
+        let s = schema();
+        let sas = SelectASize::cut_and_paste(&s, 2, 0.4).unwrap();
+        let cnp = CutAndPaste::new(&s, 2, 0.4).unwrap();
+        for k in 1..=3 {
+            let a = sas.itemset_transition_matrix(k);
+            let b = cnp.itemset_transition_matrix(k, 3);
+            let diff = &a - &b;
+            assert!(
+                diff.max_abs() < 1e-12,
+                "k={k}: deviation {}",
+                diff.max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn cut_and_paste_member_matches_cnp_amplification() {
+        let s = schema();
+        let sas = SelectASize::cut_and_paste(&s, 3, 0.494).unwrap();
+        let cnp_bound = CutAndPaste::amplification_upper_bound(3, 3, 0.494);
+        assert_close(sas.amplification_upper_bound(), cnp_bound, 1e-9);
+    }
+
+    #[test]
+    fn binomial_member_size_distribution() {
+        let s = schema();
+        let sas = SelectASize::binomial_keeps(&s, 0.5, 0.3).unwrap();
+        // Binomial(3, 0.5): [1/8, 3/8, 3/8, 1/8].
+        assert_close(sas.size_dist()[0], 0.125, 1e-12);
+        assert_close(sas.size_dist()[1], 0.375, 1e-12);
+        assert_close(sas.size_dist()[3], 0.125, 1e-12);
+    }
+
+    #[test]
+    fn all_or_nothing_amplification_infinite_at_certain_keep() {
+        let s = schema();
+        let certain = SelectASize::all_or_nothing(&s, 1.0, 0.3).unwrap();
+        assert_eq!(certain.amplification_upper_bound(), f64::INFINITY);
+        let half = SelectASize::all_or_nothing(&s, 0.5, 0.3).unwrap();
+        assert!(half.amplification_upper_bound().is_finite());
+    }
+
+    #[test]
+    fn transition_matrices_are_stochastic() {
+        let s = schema();
+        for sas in [
+            SelectASize::binomial_keeps(&s, 0.3, 0.4).unwrap(),
+            SelectASize::all_or_nothing(&s, 0.4, 0.25).unwrap(),
+            SelectASize::cut_and_paste(&s, 4, 0.6).unwrap(),
+        ] {
+            for k in 1..=4 {
+                assert!(
+                    sas.itemset_transition_matrix(k).is_column_stochastic(1e-10),
+                    "k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_matrix_monte_carlo_validation() {
+        let s = schema();
+        let sas = SelectASize::binomial_keeps(&s, 0.6, 0.35).unwrap();
+        let columns = [0usize, 2, 4];
+        let record = [0u32, 0, 0]; // items {0,2,4}: l = 3
+        let trials = 120_000;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut hist = [0.0; 4];
+        for _ in 0..trials {
+            let row = sas.perturb_record(&record, &mut rng).unwrap();
+            hist[columns.iter().filter(|&&c| row[c]).count()] += 1.0;
+        }
+        let p = sas.itemset_transition_matrix(3);
+        for (l_out, h) in hist.iter().enumerate() {
+            let expected = p[(l_out, 3)];
+            let emp = h / trials as f64;
+            let se = (expected * (1.0 - expected) / trials as f64).sqrt();
+            assert!(
+                (emp - expected).abs() < 6.0 * se + 1e-4,
+                "l'={l_out}: empirical {emp}, analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_support_recovery() {
+        let s = schema();
+        let sas = SelectASize::binomial_keeps(&s, 0.5, 0.3).unwrap();
+        let n = 60_000;
+        let records: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                if i % 10 < 4 {
+                    vec![0, 0, 0]
+                } else {
+                    vec![0, 0, 2]
+                }
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(19);
+        let rows = sas.perturb_dataset(&records, &mut rng).unwrap();
+        let est = sas.estimate_support(&rows, &[0, 4]).unwrap();
+        assert!((est - 0.4).abs() < 0.05, "estimated support {est}");
+    }
+
+    #[test]
+    fn empty_dataset_support_is_zero() {
+        let s = schema();
+        let sas = SelectASize::binomial_keeps(&s, 0.5, 0.3).unwrap();
+        assert_eq!(sas.estimate_support(&[], &[0]).unwrap(), 0.0);
+    }
+}

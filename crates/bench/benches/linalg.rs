@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the linear-algebra substrate: LU
+//! factorisation, condition-number estimation and the structured
+//! gamma-diagonal fast paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frapp_linalg::structured::UniformDiagonal;
+use frapp_linalg::{condition_number_2, lu, Matrix};
+use std::hint::black_box;
+
+fn test_matrix(n: usize) -> Matrix {
+    // Diagonally dominant, well-conditioned, deterministic.
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            (n as f64) + 1.0
+        } else {
+            ((i * 31 + j * 17) % 7) as f64 / 7.0
+        }
+    })
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for n in [16usize, 64, 128] {
+        let m = test_matrix(n);
+        group.bench_with_input(BenchmarkId::new("factor", n), &m, |b, m| {
+            b.iter(|| black_box(lu::LuDecomposition::new(black_box(m)).unwrap()));
+        });
+        let f = lu::LuDecomposition::new(&m).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("solve", n), &rhs, |b, rhs| {
+            b.iter(|| black_box(f.solve(black_box(rhs)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_condition_numbers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition_number");
+    group.sample_size(20);
+    for n in [16usize, 64] {
+        let m = test_matrix(n);
+        group.bench_with_input(BenchmarkId::new("numeric_2norm", n), &m, |b, m| {
+            b.iter(|| black_box(condition_number_2(black_box(m)).unwrap()));
+        });
+    }
+    group.bench_function("gd_closed_form_n2000", |b| {
+        let gd = UniformDiagonal::gamma_diagonal(2000, 19.0);
+        b.iter(|| black_box(black_box(&gd).condition_number()));
+    });
+    group.finish();
+}
+
+fn bench_structured_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured_vs_dense");
+    let n = 512;
+    let gd = UniformDiagonal::gamma_diagonal(n, 19.0);
+    let y: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+    group.bench_function("uniform_diagonal_solve_512", |b| {
+        b.iter(|| black_box(gd.solve(black_box(&y)).unwrap()));
+    });
+    group.bench_function("uniform_diagonal_mul_512", |b| {
+        b.iter(|| black_box(gd.mul_vec(black_box(&y)).unwrap()));
+    });
+    let dense = gd.to_dense();
+    group.bench_function("dense_mul_512", |b| {
+        b.iter(|| black_box(dense.mul_vec(black_box(&y)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_lu, bench_condition_numbers, bench_structured_solve);
+criterion_main!(benches);
+
+/// Short measurement windows: the suite covers many cases and the CI
+/// budget matters more than sub-percent precision here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}

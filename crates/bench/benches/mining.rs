@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the mining pipeline: exact Apriori versus
+//! the privacy-preserving variants on scaled-down paper datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frapp_baselines::Mask;
+use frapp_core::perturb::{GammaDiagonal, Perturber};
+use frapp_core::Dataset;
+use frapp_mining::apriori::{apriori, AprioriParams};
+use frapp_mining::estimators::{ExactSupport, GammaDiagonalSupport, MaskSupport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn params() -> AprioriParams {
+    AprioriParams {
+        min_support: 0.02,
+        max_length: 0,
+        max_candidates: 100_000,
+    }
+}
+
+fn bench_exact_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori_exact");
+    group.sample_size(10);
+    for n in [2_000usize, 10_000] {
+        let ds = frapp_data::census::census_like_n(n, 1);
+        let est = ExactSupport::from_dataset(&ds);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &est, |b, est| {
+            b.iter(|| black_box(apriori(est, &params())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pp_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori_pp");
+    group.sample_size(10);
+    let n = 5_000;
+    let ds = frapp_data::census::census_like_n(n, 1);
+    let schema = ds.schema().clone();
+
+    let gd = GammaDiagonal::new(&schema, 19.0).expect("gamma > 1");
+    let mut rng = StdRng::seed_from_u64(2);
+    let perturbed = Dataset::from_trusted(
+        schema.clone(),
+        gd.perturb_dataset(ds.records(), &mut rng).unwrap(),
+    );
+    let gd_est = GammaDiagonalSupport::new(&perturbed, &gd);
+    group.bench_function("det_gd", |b| {
+        b.iter(|| black_box(apriori(&gd_est, &params())));
+    });
+
+    let mask = Mask::from_gamma(&schema, 19.0).expect("gamma > 1");
+    let rows = mask.perturb_dataset(ds.records(), &mut rng).unwrap();
+    let mask_est = MaskSupport::new(&mask, &rows);
+    group.bench_function("mask", |b| {
+        b.iter(|| black_box(apriori(&mask_est, &params())));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_exact_apriori, bench_pp_apriori);
+criterion_main!(benches);
+
+/// Short measurement windows: the suite covers many cases and the CI
+/// budget matters more than sub-percent precision here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}

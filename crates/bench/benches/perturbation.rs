@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks for record perturbation throughput
+//! (ablation A1 in DESIGN.md): the naive full-domain CDF walk versus
+//! the paper's Section-5 dependent-column algorithm versus this
+//! implementation's O(M) mixture sampler, plus the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frapp_baselines::{CutAndPaste, Mask};
+use frapp_core::perturb::{ExplicitMatrix, GammaDiagonal, Perturber, RandomizedGammaDiagonal};
+use frapp_core::schema::Schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn census_schema() -> Schema {
+    frapp_data::census::schema()
+}
+
+fn bench_gamma_diagonal_samplers(c: &mut Criterion) {
+    let schema = census_schema();
+    let gd = GammaDiagonal::new(&schema, 19.0).expect("gamma > 1");
+    let record = vec![1u32, 0, 1, 0, 1, 0];
+    let mut group = c.benchmark_group("perturb_record");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("gd_mixture_o_m", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(gd.perturb_record(black_box(&record), &mut rng).unwrap()));
+    });
+    group.bench_function("gd_columnwise_section5", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            black_box(
+                gd.perturb_record_columnwise(black_box(&record), &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+    // The naive CDF walk needs the dense matrix; use a reduced 3-attr
+    // schema (domain 125) to keep the dense matrix small while still
+    // showing the O(|S_V|) scaling.
+    let small = Schema::new(vec![("a", 5), ("b", 5), ("c", 5)]).expect("static schema");
+    let gd_small = GammaDiagonal::new(&small, 19.0).expect("gamma > 1");
+    let dense = ExplicitMatrix::new(&small, gd_small.as_uniform_diagonal().to_dense())
+        .expect("valid matrix");
+    let small_record = vec![1u32, 2, 3];
+    group.bench_function("gd_naive_cdf_domain125", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(
+                dense
+                    .perturb_record(black_box(&small_record), &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("gd_mixture_domain125", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            black_box(
+                gd_small
+                    .perturb_record(black_box(&small_record), &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let schema = census_schema();
+    let record = vec![1u32, 0, 1, 0, 1, 0];
+    let mut group = c.benchmark_group("perturb_methods");
+    group.throughput(Throughput::Elements(1));
+
+    let gd = GammaDiagonal::new(&schema, 19.0).expect("gamma > 1");
+    group.bench_function("det_gd", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(gd.perturb_record(black_box(&record), &mut rng).unwrap()));
+    });
+    let rgd =
+        RandomizedGammaDiagonal::with_alpha_fraction(&schema, 19.0, 0.5).expect("valid alpha");
+    group.bench_function("ran_gd", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(rgd.perturb_record(black_box(&record), &mut rng).unwrap()));
+    });
+    let mask = Mask::from_gamma(&schema, 19.0).expect("gamma > 1");
+    group.bench_function("mask", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(mask.perturb_record(black_box(&record), &mut rng).unwrap()));
+    });
+    let cnp = CutAndPaste::paper_params(&schema).expect("static params");
+    group.bench_function("cnp", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| black_box(cnp.perturb_record(black_box(&record), &mut rng).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_dataset_scaling(c: &mut Criterion) {
+    let schema = census_schema();
+    let gd = GammaDiagonal::new(&schema, 19.0).expect("gamma > 1");
+    let mut group = c.benchmark_group("perturb_dataset");
+    for n in [1_000usize, 10_000] {
+        let ds = frapp_data::census::census_like_n(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| black_box(gd.perturb_dataset(ds.records(), &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets =
+    bench_gamma_diagonal_samplers,
+    bench_methods,
+    bench_dataset_scaling
+);
+criterion_main!(benches);
+
+/// Short measurement windows: the suite covers many cases and the CI
+/// budget matters more than sub-percent precision here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}

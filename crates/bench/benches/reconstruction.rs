@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for distribution/support reconstruction:
+//! the O(n) gamma-diagonal closed form versus the generic LU solve, and
+//! the per-itemset estimators of each method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frapp_baselines::{CutAndPaste, Mask};
+use frapp_core::perturb::GammaDiagonal;
+use frapp_core::reconstruct::{reconstruct_counts, GammaDiagonalReconstructor};
+use frapp_core::schema::Schema;
+use frapp_linalg::lu::LuDecomposition;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_full_domain_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct_full_domain");
+    for n_attrs in [2usize, 3] {
+        // Domain sizes 100 and 1000.
+        let specs: Vec<(&str, u32)> = (0..n_attrs).map(|_| ("a", 10u32)).collect();
+        let schema = Schema::new(specs).expect("static schema");
+        let gd = GammaDiagonal::new(&schema, 19.0).expect("gamma > 1");
+        let n = schema.domain_size();
+        let mut rng = StdRng::seed_from_u64(1);
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &y, |b, y| {
+            let rec = GammaDiagonalReconstructor::new(&gd);
+            b.iter(|| black_box(rec.reconstruct(black_box(y))));
+        });
+        group.bench_with_input(BenchmarkId::new("lu_solve", n), &y, |b, y| {
+            let dense = gd.as_uniform_diagonal().to_dense();
+            b.iter(|| black_box(reconstruct_counts(&dense, black_box(y)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("lu_presolved", n), &y, |b, y| {
+            let dense = gd.as_uniform_diagonal().to_dense();
+            let lu = LuDecomposition::new(&dense).expect("non-singular");
+            b.iter(|| black_box(lu.solve(black_box(y)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_itemset_reconstruction(c: &mut Criterion) {
+    let schema = frapp_data::census::schema();
+    let mut group = c.benchmark_group("reconstruct_itemset");
+    // Gamma-diagonal O(1) formula.
+    group.bench_function("gd_closed_form", |b| {
+        b.iter(|| {
+            black_box(frapp_core::reconstruct::reconstruct_itemset_support(
+                black_box(0.31),
+                2000,
+                20,
+                19.0,
+            ))
+        });
+    });
+    // MASK Kronecker-factored inverse at various lengths.
+    let mask = Mask::from_gamma(&schema, 19.0).expect("gamma > 1");
+    for k in [2usize, 4, 6] {
+        let counts: Vec<f64> = (0..(1usize << k)).map(|i| (i * 7 % 13) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("mask_patterns", k),
+            &counts,
+            |b, counts| {
+                b.iter(|| black_box(mask.reconstruct_patterns(black_box(counts))));
+            },
+        );
+    }
+    // C&P (k+1) x (k+1) matrix build + solve.
+    let cnp = CutAndPaste::paper_params(&schema).expect("static params");
+    for k in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("cnp_matrix_build", k), &k, |b, &k| {
+            b.iter(|| black_box(cnp.itemset_transition_matrix(black_box(k), 6)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_full_domain_reconstruction, bench_itemset_reconstruction);
+criterion_main!(benches);
+
+/// Short measurement windows: the suite covers many cases and the CI
+/// budget matters more than sub-percent precision here.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}

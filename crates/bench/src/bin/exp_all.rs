@@ -1,0 +1,33 @@
+//! Runs every experiment binary's logic in sequence, writing all
+//! `results/*.csv` files — the one-shot reproduction driver.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "exp_schemas",
+        "exp_table3",
+        "exp_fig4",
+        "exp_optimality",
+        "exp_reconstruction_ablation",
+        "exp_fig1",
+        "exp_fig2",
+        "exp_fig3",
+        "exp_privacy_sweep",
+        "exp_scaling",
+    ];
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .parent()
+                .expect("bin dir")
+                .join(bin),
+        )
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall experiments complete; see results/*.csv");
+}

@@ -1,0 +1,23 @@
+//! Reproduces the paper's Figure 1: support error ρ, false negatives
+//! σ⁻ and false positives σ⁺ versus frequent-itemset length on CENSUS,
+//! for RAN-GD (α = γx/2), DET-GD, MASK and C&P (exp id F1).
+
+use frapp_bench::{
+    accuracy_csv, format_accuracy_table, write_results, Experiment, Method, DATA_SEED,
+    PERTURBATION_SEED,
+};
+
+fn main() {
+    let exp = Experiment::paper_default("CENSUS", frapp_data::census_like(DATA_SEED));
+    let runs: Vec<_> = Method::paper_set()
+        .into_iter()
+        .map(|m| {
+            eprintln!("running {} ...", m.name());
+            exp.run(m, PERTURBATION_SEED)
+        })
+        .collect();
+    println!("{}", format_accuracy_table(&exp, &runs));
+    write_results("fig1_census.csv", &accuracy_csv(&exp, &runs))
+        .expect("write results/fig1_census.csv");
+    println!("wrote results/fig1_census.csv");
+}

@@ -1,0 +1,23 @@
+//! Reproduces the paper's Figure 2: support error ρ, false negatives
+//! σ⁻ and false positives σ⁺ versus frequent-itemset length on HEALTH,
+//! for RAN-GD (α = γx/2), DET-GD, MASK and C&P (exp id F2).
+
+use frapp_bench::{
+    accuracy_csv, format_accuracy_table, write_results, Experiment, Method, DATA_SEED,
+    PERTURBATION_SEED,
+};
+
+fn main() {
+    let exp = Experiment::paper_default("HEALTH", frapp_data::health_like(DATA_SEED));
+    let runs: Vec<_> = Method::paper_set()
+        .into_iter()
+        .map(|m| {
+            eprintln!("running {} ...", m.name());
+            exp.run(m, PERTURBATION_SEED)
+        })
+        .collect();
+    println!("{}", format_accuracy_table(&exp, &runs));
+    write_results("fig2_health.csv", &accuracy_csv(&exp, &runs))
+        .expect("write results/fig2_health.csv");
+    println!("wrote results/fig2_health.csv");
+}

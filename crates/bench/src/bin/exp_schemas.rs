@@ -1,0 +1,25 @@
+//! Reproduces the paper's Tables 1 and 2: the attribute categories of
+//! the CENSUS and HEALTH schemas (exp id T1/T2 in DESIGN.md).
+
+use frapp_core::schema::Schema;
+
+fn print_schema(title: &str, schema: &Schema) {
+    println!("== {title} ==");
+    println!("{:<18} Categories", "Attribute");
+    for a in schema.attributes() {
+        let cats: Vec<String> = (0..a.cardinality())
+            .map(|v| a.label(v).map_or_else(|| v.to_string(), str::to_string))
+            .collect();
+        println!("{:<18} {}", a.name(), cats.join("; "));
+    }
+    println!(
+        "domain |S_U| = {}, boolean width M_b = {}\n",
+        schema.domain_size(),
+        schema.boolean_width()
+    );
+}
+
+fn main() {
+    print_schema("Table 1: CENSUS", &frapp_data::census::schema());
+    print_schema("Table 2: HEALTH", &frapp_data::health::schema());
+}

@@ -1,0 +1,54 @@
+//! Reproduces the paper's Table 3: the number of frequent itemsets per
+//! length at `sup_min = 2%` on CENSUS and HEALTH (exp id T3).
+//!
+//! The paper's counts (on the real datasets):
+//!   CENSUS: 19 / 102 / 203 / 165 / 64 / 10        (lengths 1-6)
+//!   HEALTH: 23 / 123 / 292 / 361 / 250 / 86 / 12  (lengths 1-7)
+//!
+//! Our synthetic datasets are calibrated against these rows; the
+//! measured values below are recorded in EXPERIMENTS.md.
+
+use frapp_bench::{paper_experiments, write_results};
+use std::fmt::Write as _;
+
+fn main() {
+    let paper: &[(&str, &[usize])] = &[
+        ("CENSUS", &[19, 102, 203, 165, 64, 10]),
+        ("HEALTH", &[23, 123, 292, 361, 250, 86, 12]),
+    ];
+    let mut csv = String::from("dataset,length,measured,paper\n");
+    println!("Table 3: frequent itemsets at sup_min = 2%\n");
+    for (exp, &(name, paper_row)) in paper_experiments().iter().zip(paper) {
+        let profile = exp.truth.length_profile();
+        println!("{name} (N = {}):", exp.dataset.len());
+        println!(
+            "  length    : {}",
+            (1..=paper_row.len())
+                .map(|k| format!("{k:>5}"))
+                .collect::<String>()
+        );
+        println!(
+            "  this repro: {}",
+            (0..paper_row.len())
+                .map(|i| format!("{:>5}", profile.get(i).copied().unwrap_or(0)))
+                .collect::<String>()
+        );
+        println!(
+            "  paper     : {}\n",
+            paper_row
+                .iter()
+                .map(|c| format!("{c:>5}"))
+                .collect::<String>()
+        );
+        for (i, &p) in paper_row.iter().enumerate() {
+            let _ = writeln!(
+                csv,
+                "{name},{},{},{p}",
+                i + 1,
+                profile.get(i).copied().unwrap_or(0)
+            );
+        }
+    }
+    write_results("table3.csv", &csv).expect("write results/table3.csv");
+    println!("wrote results/table3.csv");
+}

@@ -1,0 +1,325 @@
+//! Experiment harness regenerating every table and figure of the FRAPP
+//! paper (see DESIGN.md §3 for the experiment index).
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary           | paper artifact                              |
+//! |------------------|---------------------------------------------|
+//! | `exp_schemas`    | Tables 1 & 2 (attribute categories)         |
+//! | `exp_table3`     | Table 3 (frequent itemsets at 2%)           |
+//! | `exp_fig1`       | Figure 1 (ρ, σ⁻, σ⁺ on CENSUS)              |
+//! | `exp_fig2`       | Figure 2 (ρ, σ⁻, σ⁺ on HEALTH)              |
+//! | `exp_fig3`       | Figure 3 (posterior range + ρ vs α)         |
+//! | `exp_fig4`       | Figure 4 (condition numbers vs length)      |
+//! | `exp_optimality` | (ablation) gamma-diagonal optimality        |
+//! | `exp_all`        | everything above, writing `results/*.csv`   |
+//!
+//! This library holds the shared pipeline: generate dataset → mine
+//! ground truth → perturb with a method → privacy-preserving mine →
+//! compare.
+
+#![warn(missing_docs)]
+
+use frapp_baselines::{CutAndPaste, Mask};
+use frapp_core::perturb::{GammaDiagonal, Perturber, RandomizedGammaDiagonal};
+use frapp_core::{Dataset, PrivacyRequirement};
+use frapp_mining::apriori::{apriori, AprioriParams, FrequentItemsets};
+use frapp_mining::estimators::{CnpSupport, ExactSupport, GammaDiagonalSupport, MaskSupport};
+use frapp_mining::metrics::{compare, AccuracyMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The perturbation methods compared in the paper's Section 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Deterministic gamma-diagonal (paper Section 3).
+    DetGd,
+    /// Randomized gamma-diagonal with `α = fraction · γx`
+    /// (paper Section 4; the figures use fraction = 0.5).
+    RanGd {
+        /// `α` as a fraction of `γx` (the x-axis of Figure 3).
+        alpha_fraction: f64,
+    },
+    /// MASK with the privacy-saturating flip parameter.
+    Mask,
+    /// Cut-and-Paste with the paper's `(K, ρ) = (3, 0.494)`.
+    Cnp,
+}
+
+impl Method {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::DetGd => "DET-GD",
+            Method::RanGd { .. } => "RAN-GD",
+            Method::Mask => "MASK",
+            Method::Cnp => "C&P",
+        }
+    }
+
+    /// The four methods at the paper's figure settings.
+    pub fn paper_set() -> Vec<Method> {
+        vec![
+            Method::RanGd {
+                alpha_fraction: 0.5,
+            },
+            Method::DetGd,
+            Method::Mask,
+            Method::Cnp,
+        ]
+    }
+}
+
+/// A fully-specified experiment on one dataset.
+pub struct Experiment {
+    /// Human-readable dataset name ("CENSUS" / "HEALTH").
+    pub dataset_name: String,
+    /// The original (unperturbed) dataset.
+    pub dataset: Dataset,
+    /// The ground-truth frequent itemsets with exact supports.
+    pub truth: FrequentItemsets,
+    /// The privacy requirement (γ derives from it).
+    pub requirement: PrivacyRequirement,
+    /// Mining threshold.
+    pub params: AprioriParams,
+}
+
+impl Experiment {
+    /// Prepares an experiment: mines the exact ground truth once.
+    pub fn new(
+        dataset_name: &str,
+        dataset: Dataset,
+        requirement: PrivacyRequirement,
+        min_support: f64,
+    ) -> Self {
+        let params = AprioriParams {
+            min_support,
+            max_length: 0,
+            // Bound runaway false-positive floods from ill-conditioned
+            // baselines; the exact miner never comes close.
+            max_candidates: 200_000,
+        };
+        let exact = ExactSupport::from_dataset(&dataset);
+        let truth = apriori(&exact, &params);
+        Experiment {
+            dataset_name: dataset_name.into(),
+            dataset,
+            truth,
+            requirement,
+            params,
+        }
+    }
+
+    /// The paper's default setup on a dataset: `(ρ1,ρ2) = (5%, 50%)`
+    /// (γ = 19), `sup_min = 2%`.
+    pub fn paper_default(dataset_name: &str, dataset: Dataset) -> Self {
+        Experiment::new(
+            dataset_name,
+            dataset,
+            PrivacyRequirement::paper_default(),
+            0.02,
+        )
+    }
+
+    /// γ for this experiment's requirement.
+    pub fn gamma(&self) -> f64 {
+        self.requirement.gamma()
+    }
+
+    /// Runs one method end to end: perturb → mine → compare with truth.
+    /// `seed` controls the perturbation randomness.
+    pub fn run(&self, method: Method, seed: u64) -> MethodRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = self.dataset.schema();
+        let gamma = self.gamma();
+        let mined = match method {
+            Method::DetGd => {
+                let gd = GammaDiagonal::new(schema, gamma).expect("gamma > 1");
+                let perturbed = gd
+                    .perturb_dataset(self.dataset.records(), &mut rng)
+                    .expect("records valid");
+                let perturbed = Dataset::from_trusted(schema.clone(), perturbed);
+                let est = GammaDiagonalSupport::new(&perturbed, &gd);
+                apriori(&est, &self.params)
+            }
+            Method::RanGd { alpha_fraction } => {
+                let rgd =
+                    RandomizedGammaDiagonal::with_alpha_fraction(schema, gamma, alpha_fraction)
+                        .expect("fraction in [0,1]");
+                let perturbed = rgd
+                    .perturb_dataset(self.dataset.records(), &mut rng)
+                    .expect("records valid");
+                let perturbed = Dataset::from_trusted(schema.clone(), perturbed);
+                // Reconstruction uses the expected (deterministic) matrix.
+                let est = GammaDiagonalSupport::new(&perturbed, rgd.expected());
+                apriori(&est, &self.params)
+            }
+            Method::Mask => {
+                let mask = Mask::from_gamma(schema, gamma).expect("gamma > 1");
+                let rows = mask
+                    .perturb_dataset(self.dataset.records(), &mut rng)
+                    .expect("records valid");
+                let est = MaskSupport::new(&mask, &rows);
+                apriori(&est, &self.params)
+            }
+            Method::Cnp => {
+                let cnp = CutAndPaste::paper_params(schema).expect("static params valid");
+                let rows = cnp
+                    .perturb_dataset(self.dataset.records(), &mut rng)
+                    .expect("records valid");
+                let est = CnpSupport::new(&cnp, &rows);
+                apriori(&est, &self.params)
+            }
+        };
+        let metrics = compare(&self.truth, &mined);
+        MethodRun {
+            method,
+            mined,
+            metrics,
+        }
+    }
+}
+
+/// Result of one method's end-to-end run.
+pub struct MethodRun {
+    /// The method that produced this run.
+    pub method: Method,
+    /// The reconstructed frequent itemsets.
+    pub mined: FrequentItemsets,
+    /// Accuracy against ground truth.
+    pub metrics: AccuracyMetrics,
+}
+
+/// Formats a Figure 1/2-style table: one row per itemset length, one
+/// column triple (ρ, σ⁻, σ⁺) per method.
+pub fn format_accuracy_table(experiment: &Experiment, runs: &[MethodRun]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} (gamma = {:.0}, sup_min = {:.0}%)  [paper Figures 1-2 series]",
+        experiment.dataset_name,
+        experiment.gamma(),
+        experiment.params.min_support * 100.0
+    );
+    let _ = write!(out, "{:<6} {:>5}", "len", "|F|");
+    for run in runs {
+        let _ = write!(out, " | {:>28}", run.method.name());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<6} {:>5}", "", "");
+    for _ in runs {
+        let _ = write!(out, " | {:>8} {:>9} {:>9}", "rho%", "sig-%", "sig+%");
+    }
+    let _ = writeln!(out);
+    let max_len = experiment.truth.max_length();
+    for k in 1..=max_len {
+        let f_count = experiment.truth.of_length(k).len();
+        if f_count == 0 {
+            continue;
+        }
+        let _ = write!(out, "{:<6} {:>5}", k, f_count);
+        for run in runs {
+            match run.metrics.of_length(k) {
+                Some(m) => {
+                    let rho = m
+                        .support_error
+                        .map_or("--".to_string(), |e| format!("{e:.1}"));
+                    let _ = write!(
+                        out,
+                        " | {:>8} {:>9.1} {:>9.1}",
+                        rho, m.false_negatives, m.false_positives
+                    );
+                }
+                None => {
+                    let _ = write!(out, " | {:>8} {:>9} {:>9}", "--", "--", "--");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Serialises the per-length metrics of a set of runs to CSV rows:
+/// `dataset,method,length,true_count,mined_count,rho,sigma_minus,sigma_plus`.
+pub fn accuracy_csv(experiment: &Experiment, runs: &[MethodRun]) -> String {
+    let mut out =
+        String::from("dataset,method,length,true_count,mined_count,rho,sigma_minus,sigma_plus\n");
+    for run in runs {
+        for m in &run.metrics.per_length {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.4},{:.4}",
+                experiment.dataset_name,
+                run.method.name(),
+                m.length,
+                m.true_count,
+                m.mined_count,
+                m.support_error
+                    .map_or(String::from("NA"), |e| format!("{e:.4}")),
+                m.false_negatives,
+                m.false_positives
+            );
+        }
+    }
+    out
+}
+
+/// Writes a results file under `results/`, creating the directory as
+/// needed. Errors are surfaced (experiments must not silently lose
+/// output).
+pub fn write_results(filename: &str, contents: &str) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(filename), contents)
+}
+
+/// Standard seeds so every experiment binary is reproducible.
+pub const PERTURBATION_SEED: u64 = 0xF4A9;
+/// Dataset-generation seed shared by all binaries.
+pub const DATA_SEED: u64 = 0x0DD5;
+
+/// Convenience: the two paper datasets as ready experiments.
+pub fn paper_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment::paper_default("CENSUS", frapp_data::census_like(DATA_SEED)),
+        Experiment::paper_default("HEALTH", frapp_data::health_like(DATA_SEED)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frapp_data::census::census_like_n;
+
+    /// A small end-to-end smoke test of the harness (full-size runs live
+    /// in the experiment binaries).
+    #[test]
+    fn experiment_pipeline_runs_on_small_census() {
+        let exp = Experiment::paper_default("CENSUS-small", census_like_n(3000, 1));
+        assert!(exp.truth.total() > 0);
+        let run = exp.run(Method::DetGd, 2);
+        assert!(!run.metrics.per_length.is_empty());
+        let table = format_accuracy_table(&exp, &[run]);
+        assert!(table.contains("DET-GD"));
+    }
+
+    #[test]
+    fn csv_serialisation_has_header_and_rows() {
+        let exp = Experiment::paper_default("CENSUS-small", census_like_n(2000, 1));
+        let run = exp.run(Method::DetGd, 3);
+        let csv = accuracy_csv(&exp, &[run]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("dataset,method,length"));
+        assert!(lines.len() > 1);
+    }
+
+    #[test]
+    fn method_names_match_paper_legends() {
+        let set = Method::paper_set();
+        let names: Vec<&str> = set.iter().map(Method::name).collect();
+        assert_eq!(names, vec!["RAN-GD", "DET-GD", "MASK", "C&P"]);
+    }
+}

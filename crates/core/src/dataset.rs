@@ -1,0 +1,188 @@
+//! Categorical datasets: a schema plus `N` records.
+//!
+//! The reconstruction pipeline works on the count vector
+//! `X = [X_1 … X_{|S_U|}]` of records per domain cell (paper Section
+//! 2.2). [`Dataset`] owns the records and materialises count vectors,
+//! projections and boolean views on demand.
+
+use crate::schema::Schema;
+use crate::{FrappError, Result};
+
+/// A categorical database: `N` records over a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating every record against the
+    /// schema.
+    pub fn new(schema: Schema, records: Vec<Vec<u32>>) -> Result<Self> {
+        for (i, r) in records.iter().enumerate() {
+            schema
+                .validate_record(r)
+                .map_err(|e| FrappError::InvalidRecord {
+                    reason: format!("record {i}: {e}"),
+                })?;
+        }
+        Ok(Dataset { schema, records })
+    }
+
+    /// Creates a dataset without validation. Intended for perturbed
+    /// output of this crate's own samplers, which is valid by
+    /// construction.
+    pub fn from_trusted(schema: Schema, records: Vec<Vec<u32>>) -> Self {
+        Dataset { schema, records }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records `N`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Vec<u32>] {
+        &self.records
+    }
+
+    /// Count vector `X` over the full domain: `X[u]` = number of records
+    /// equal to domain cell `u`.
+    pub fn count_vector(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.schema.domain_size()];
+        for r in &self.records {
+            let idx = self
+                .schema
+                .encode(r)
+                .expect("records validated at construction");
+            counts[idx] += 1.0;
+        }
+        counts
+    }
+
+    /// Count vector over the sub-domain spanned by `attrs`.
+    pub fn projected_counts(&self, attrs: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.schema.subdomain_size(attrs)];
+        for r in &self.records {
+            counts[self.schema.encode_projection(r, attrs)] += 1.0;
+        }
+        counts
+    }
+
+    /// Fraction of records whose projection onto `attrs` equals
+    /// `values` — the *support* of the itemset `{(attrs[i] = values[i])}`
+    /// in the paper's Section 6 terminology.
+    pub fn itemset_support(&self, attrs: &[usize], values: &[u32]) -> f64 {
+        assert_eq!(attrs.len(), values.len(), "attrs/values length mismatch");
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .records
+            .iter()
+            .filter(|r| attrs.iter().zip(values).all(|(&j, &v)| r[j] == v))
+            .count();
+        hits as f64 / self.records.len() as f64
+    }
+
+    /// The boolean view used by MASK-style methods: each record becomes
+    /// a bit row of width `Σ_j |S_j|` with exactly one bit set per
+    /// attribute.
+    pub fn to_boolean(&self) -> Vec<Vec<bool>> {
+        let width = self.schema.boolean_width();
+        self.records
+            .iter()
+            .map(|r| {
+                let mut row = vec![false; width];
+                for (j, &v) in r.iter().enumerate() {
+                    row[self.schema.boolean_offset(j) + v as usize] = true;
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", 2), ("b", 3)]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_records() {
+        let s = schema();
+        assert!(Dataset::new(s.clone(), vec![vec![0, 0], vec![1, 2]]).is_ok());
+        assert!(Dataset::new(s.clone(), vec![vec![2, 0]]).is_err());
+        assert!(Dataset::new(s, vec![vec![0]]).is_err());
+    }
+
+    #[test]
+    fn count_vector_sums_to_n() {
+        let s = schema();
+        let ds = Dataset::new(s, vec![vec![0, 0], vec![0, 0], vec![1, 2]]).unwrap();
+        let x = ds.count_vector();
+        assert_eq!(x.iter().sum::<f64>(), 3.0);
+        assert_eq!(x[0], 2.0); // [0,0] encodes to 0
+        assert_eq!(x[5], 1.0); // [1,2] encodes to 1*3+2 = 5
+    }
+
+    #[test]
+    fn projected_counts_marginalize() {
+        let s = schema();
+        let ds = Dataset::new(s, vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 1]]).unwrap();
+        let pa = ds.projected_counts(&[0]);
+        assert_eq!(pa, vec![2.0, 2.0]);
+        let pb = ds.projected_counts(&[1]);
+        assert_eq!(pb, vec![1.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn itemset_support_counts_matches() {
+        let s = schema();
+        let ds = Dataset::new(s, vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 1]]).unwrap();
+        assert_eq!(ds.itemset_support(&[0], &[1]), 0.5);
+        assert_eq!(ds.itemset_support(&[0, 1], &[1, 1]), 0.5);
+        assert_eq!(ds.itemset_support(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_support_is_zero() {
+        let ds = Dataset::new(schema(), vec![]).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.itemset_support(&[0], &[0]), 0.0);
+    }
+
+    #[test]
+    fn boolean_view_has_one_bit_per_attribute() {
+        let s = schema();
+        let ds = Dataset::new(s.clone(), vec![vec![1, 2]]).unwrap();
+        let b = ds.to_boolean();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].len(), 5);
+        // attribute 0 (width 2): bit 1 set; attribute 1 (width 3): bit 2+2=4.
+        assert_eq!(b[0], vec![false, true, false, false, true]);
+    }
+
+    #[test]
+    fn projection_counts_total_is_n() {
+        let s = schema();
+        let records: Vec<Vec<u32>> = (0..30).map(|i| vec![i % 2, i % 3]).collect();
+        let ds = Dataset::new(s, records).unwrap();
+        for attrs in [vec![0usize], vec![1], vec![0, 1]] {
+            assert_eq!(ds.projected_counts(&attrs).iter().sum::<f64>(), 30.0);
+        }
+    }
+}

@@ -1,0 +1,743 @@
+//! Perturbation matrices and samplers (paper Sections 3–5).
+//!
+//! Three perturbers are provided:
+//!
+//! * [`GammaDiagonal`] — the paper's optimal deterministic matrix
+//!   (Equation 13): diagonal `γx`, off-diagonal `x`, `x = 1/(γ+n−1)`.
+//!   Its record sampler runs in `O(M)` (see below), and the paper's
+//!   dependent-column algorithm (Section 5, Equation 26) is implemented
+//!   as an alternative sampler with identical output distribution.
+//! * [`RandomizedGammaDiagonal`] — Section 4: each client perturbs with
+//!   a *realization* `diag = γx + r`, `off = x − r/(n−1)`, `r ~ U[−α,α]`,
+//!   so the miner knows only the matrix distribution.
+//! * [`ExplicitMatrix`] — an arbitrary column-stochastic matrix sampled
+//!   by a CDF walk over the full domain; `O(|S_V|)` per record, intended
+//!   for small domains, cross-validation and experimentation.
+//!
+//! ## Why the gamma-diagonal sampler is O(M)
+//!
+//! The matrix `A = x(γ−1)I + xJ` decomposes the sampling into a mixture:
+//! with probability `(γ−1)x` output the original record unchanged,
+//! otherwise (probability `nx`) output a uniformly random record of the
+//! whole domain — i.e. draw every attribute independently and uniformly.
+//! Then `P(v=u) = (γ−1)x + nx/n = γx` and `P(v)=x` for `v≠u`, exactly
+//! Equation 13, at `O(M)` cost instead of the naive `O(Π_j |S_j|)`.
+//! This is the same cost as the paper's Section-5 algorithm
+//! (`Σ_j |S_j|` vs `M`) with far simpler bookkeeping.
+
+use crate::schema::Schema;
+use crate::{FrappError, PrivacyRequirement, Result};
+use frapp_linalg::structured::UniformDiagonal;
+use frapp_linalg::Matrix;
+use rand::Rng;
+use rand::RngCore;
+
+/// A client-side record perturber: the FRAPP trust model has every
+/// client independently randomizing their own record before submission,
+/// so the interface is strictly record-at-a-time.
+pub trait Perturber {
+    /// The schema both the original and perturbed records conform to
+    /// (FRAPP here uses `S_V = S_U`).
+    fn schema(&self) -> &Schema;
+
+    /// Perturbs one record.
+    fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>>;
+
+    /// Perturbs a whole dataset record by record.
+    fn perturb_dataset(
+        &self,
+        records: &[Vec<u32>],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Vec<u32>>> {
+        records
+            .iter()
+            .map(|r| self.perturb_record(r, rng))
+            .collect()
+    }
+}
+
+/// Draws a uniformly random record: each attribute independent uniform.
+fn uniform_record(schema: &Schema, rng: &mut dyn RngCore) -> Vec<u32> {
+    (0..schema.num_attributes())
+        .map(|j| rng.gen_range(0..schema.cardinality(j)))
+        .collect()
+}
+
+/// Draws a uniformly random record different from `record` by rejection
+/// (expected iterations `n/(n−1)`, essentially one for FRAPP's domains).
+fn uniform_other_record(schema: &Schema, record: &[u32], rng: &mut dyn RngCore) -> Vec<u32> {
+    loop {
+        let candidate = uniform_record(schema, rng);
+        if candidate != record {
+            return candidate;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic gamma-diagonal (DET-GD)
+// ---------------------------------------------------------------------
+
+/// The paper's gamma-diagonal perturbation matrix (Equation 13) over the
+/// full record domain of a [`Schema`].
+#[derive(Debug, Clone)]
+pub struct GammaDiagonal {
+    schema: Schema,
+    gamma: f64,
+    /// `x = 1/(γ + n − 1)` where `n` is the domain size.
+    x: f64,
+}
+
+impl GammaDiagonal {
+    /// Creates the matrix for a given amplification bound `γ > 1`.
+    pub fn new(schema: &Schema, gamma: f64) -> Result<Self> {
+        if gamma <= 1.0 || gamma.is_nan() {
+            return Err(FrappError::InvalidParameter {
+                name: "gamma",
+                reason: format!("must exceed 1, got {gamma}"),
+            });
+        }
+        let n = schema.domain_size() as f64;
+        Ok(GammaDiagonal {
+            schema: schema.clone(),
+            gamma,
+            x: 1.0 / (gamma + n - 1.0),
+        })
+    }
+
+    /// Creates the matrix for a `(ρ1, ρ2)` privacy requirement,
+    /// using the maximal `γ` the requirement permits.
+    pub fn from_requirement(schema: &Schema, req: &PrivacyRequirement) -> Self {
+        // req guarantees gamma() > 1 because rho2 > rho1.
+        GammaDiagonal::new(schema, req.gamma()).expect("privacy requirement yields gamma > 1")
+    }
+
+    /// The amplification parameter γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The matrix parameter `x = 1/(γ+n−1)`.
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Domain size `n = |S_U|`.
+    pub fn domain_size(&self) -> usize {
+        self.schema.domain_size()
+    }
+
+    /// Transition probability `A[v][u]` for encoded domain indices.
+    pub fn matrix_entry(&self, v: usize, u: usize) -> f64 {
+        if v == u {
+            self.gamma * self.x
+        } else {
+            self.x
+        }
+    }
+
+    /// The matrix as a structured [`UniformDiagonal`] (O(1) storage).
+    pub fn as_uniform_diagonal(&self) -> UniformDiagonal {
+        UniformDiagonal::gamma_diagonal(self.schema.domain_size(), self.gamma)
+    }
+
+    /// The marginalized matrix `A_Cs` for itemsets over the attribute
+    /// subset `attrs` (paper Equation 28): a `n_Cs × n_Cs` matrix with
+    /// diagonal `γx + (n_C/n_Cs − 1)x` and off-diagonal `(n_C/n_Cs)x`.
+    /// It stays in the uniform-diagonal family, with the *same* identity
+    /// coefficient `a = x(γ−1)` — which is why FRAPP's condition number
+    /// is flat across itemset lengths (paper Figure 4).
+    pub fn marginal_matrix(&self, attrs: &[usize]) -> UniformDiagonal {
+        let n_c = self.schema.domain_size() as f64;
+        let n_cs = self.schema.subdomain_size(attrs) as f64;
+        let b = (n_c / n_cs) * self.x;
+        UniformDiagonal::new(
+            self.schema.subdomain_size(attrs),
+            (self.gamma - 1.0) * self.x,
+            b,
+        )
+    }
+
+    /// Probability of emitting the original record unchanged in the
+    /// mixture decomposition: `(γ−1)x`.
+    pub fn retention_probability(&self) -> f64 {
+        (self.gamma - 1.0) * self.x
+    }
+
+    /// The paper's Section-5 dependent-column sampler (Equation 26):
+    /// generates the perturbed record attribute by attribute, where the
+    /// distribution of column `j` depends on whether all previous
+    /// columns matched the original. Produces exactly the gamma-diagonal
+    /// distribution; retained for fidelity to the paper and used to
+    /// cross-validate the O(M) mixture sampler.
+    pub fn perturb_record_columnwise(
+        &self,
+        record: &[u32],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<u32>> {
+        self.schema.validate_record(record)?;
+        let n_m = self.schema.domain_size() as f64;
+        let cumprod = self.schema.cumulative_products();
+        let mut out = Vec::with_capacity(record.len());
+        // Product of the probabilities of the values chosen so far
+        // (the paper's Π p_k denominator).
+        let mut prefix = 1.0_f64;
+        let mut all_match = true;
+
+        for j in 0..self.schema.num_attributes() {
+            let card = self.schema.cardinality(j);
+            let n_ratio = n_m / cumprod[j] as f64; // n_M / n_j
+            let (p_match, p_other) = if all_match {
+                (
+                    (self.gamma + n_ratio - 1.0) * self.x / prefix,
+                    n_ratio * self.x / prefix,
+                )
+            } else {
+                let p = n_ratio * self.x / prefix;
+                (p, p)
+            };
+            // CDF walk over this attribute's |S_j| values.
+            let r: f64 = rng.gen::<f64>();
+            let mut acc = 0.0;
+            let mut chosen = card - 1;
+            for v in 0..card {
+                let p = if v == record[j] { p_match } else { p_other };
+                acc += p;
+                if r < acc {
+                    chosen = v;
+                    break;
+                }
+            }
+            let p_chosen = if chosen == record[j] {
+                p_match
+            } else {
+                p_other
+            };
+            prefix *= p_chosen;
+            if chosen != record[j] {
+                all_match = false;
+            }
+            out.push(chosen);
+        }
+        Ok(out)
+    }
+}
+
+impl Perturber for GammaDiagonal {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>> {
+        self.schema.validate_record(record)?;
+        if rng.gen::<f64>() < self.retention_probability() {
+            Ok(record.to_vec())
+        } else {
+            Ok(uniform_record(&self.schema, rng))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized gamma-diagonal (RAN-GD)
+// ---------------------------------------------------------------------
+
+/// The randomized gamma-diagonal matrix of paper Section 4: each client
+/// independently draws `r ~ U[−α, α]` and perturbs with the realized
+/// matrix `diag = γx + r`, `off = x − r/(n−1)`. The *expected* matrix
+/// equals the deterministic [`GammaDiagonal`], which is what the miner
+/// uses for reconstruction.
+#[derive(Debug, Clone)]
+pub struct RandomizedGammaDiagonal {
+    base: GammaDiagonal,
+    alpha: f64,
+}
+
+impl RandomizedGammaDiagonal {
+    /// Creates the randomized matrix. `alpha` must be nonnegative and
+    /// small enough that every realization is a valid Markov matrix:
+    /// `α ≤ γx` (diagonal nonnegative) and `α ≤ (n−1)x` (off-diagonal
+    /// nonnegative). In the paper's regimes `n−1 ≫ γ`, so `γx` binds.
+    pub fn new(schema: &Schema, gamma: f64, alpha: f64) -> Result<Self> {
+        let base = GammaDiagonal::new(schema, gamma)?;
+        let n = schema.domain_size() as f64;
+        let max_alpha = (gamma * base.x()).min((n - 1.0) * base.x());
+        if !(0.0..=max_alpha * (1.0 + 1e-12)).contains(&alpha) {
+            return Err(FrappError::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be in [0, {max_alpha}], got {alpha}"),
+            });
+        }
+        Ok(RandomizedGammaDiagonal { base, alpha })
+    }
+
+    /// Convenience constructor with `α` expressed as a fraction of its
+    /// natural scale `γx` (the x-axis of the paper's Figure 3).
+    pub fn with_alpha_fraction(schema: &Schema, gamma: f64, fraction: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(FrappError::InvalidParameter {
+                name: "fraction",
+                reason: format!("must be in [0,1], got {fraction}"),
+            });
+        }
+        let x = 1.0 / (gamma + schema.domain_size() as f64 - 1.0);
+        RandomizedGammaDiagonal::new(schema, gamma, fraction * gamma * x)
+    }
+
+    /// The randomization half-width α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The underlying deterministic matrix (the expectation of the
+    /// randomized one) — the matrix the miner reconstructs with.
+    pub fn expected(&self) -> &GammaDiagonal {
+        &self.base
+    }
+
+    /// The realized matrix for a given draw of `r`, as a structured
+    /// uniform-diagonal matrix.
+    pub fn realized_matrix(&self, r: f64) -> UniformDiagonal {
+        let n = self.base.domain_size();
+        let off = self.base.x() - r / (n as f64 - 1.0);
+        let diag = self.base.gamma() * self.base.x() + r;
+        UniformDiagonal::new(n, diag - off, off)
+    }
+
+    /// Perturbs a record under a *given* realization `r` (exposed so
+    /// tests and experiments can pin the randomization).
+    pub fn perturb_record_with_r(
+        &self,
+        record: &[u32],
+        r: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<u32>> {
+        let schema = &self.base.schema;
+        schema.validate_record(record)?;
+        let n = schema.domain_size() as f64;
+        let diag = self.base.gamma() * self.base.x() + r;
+        if diag >= 1.0 / n {
+            // Mixture: retain with probability k, else uniform over all.
+            let k = (diag * n - 1.0) / (n - 1.0);
+            if rng.gen::<f64>() < k {
+                Ok(record.to_vec())
+            } else {
+                Ok(uniform_record(schema, rng))
+            }
+        } else {
+            // Anti-diagonal regime (possible for r < −(γ−1)x·(n−1)/n):
+            // with probability q force a change, else uniform over all.
+            let q = 1.0 - n * diag.max(0.0);
+            if rng.gen::<f64>() < q {
+                Ok(uniform_other_record(schema, record, rng))
+            } else {
+                Ok(uniform_record(schema, rng))
+            }
+        }
+    }
+}
+
+impl Perturber for RandomizedGammaDiagonal {
+    fn schema(&self) -> &Schema {
+        &self.base.schema
+    }
+
+    fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>> {
+        let r = if self.alpha == 0.0 {
+            0.0
+        } else {
+            rng.gen_range(-self.alpha..=self.alpha)
+        };
+        self.perturb_record_with_r(record, r, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explicit matrix perturber
+// ---------------------------------------------------------------------
+
+/// Perturbation by an arbitrary explicit column-stochastic matrix over
+/// the full record domain, sampled with a CDF walk (the paper's
+/// "straightforward algorithm" of Section 5; `O(|S_V|)` per record).
+///
+/// Intended for small domains: cross-validating the structured samplers
+/// and experimenting with custom matrices in the FRAPP design space.
+#[derive(Debug, Clone)]
+pub struct ExplicitMatrix {
+    schema: Schema,
+    matrix: Matrix,
+}
+
+impl ExplicitMatrix {
+    /// Wraps a matrix; it must be `n × n` for the schema's domain size
+    /// `n` and column-stochastic within `1e-9`.
+    pub fn new(schema: &Schema, matrix: Matrix) -> Result<Self> {
+        let n = schema.domain_size();
+        if matrix.rows() != n || matrix.cols() != n {
+            return Err(FrappError::InvalidParameter {
+                name: "matrix",
+                reason: format!(
+                    "expected {n}x{n} for the schema domain, got {}x{}",
+                    matrix.rows(),
+                    matrix.cols()
+                ),
+            });
+        }
+        if !matrix.is_column_stochastic(1e-9) {
+            return Err(FrappError::InvalidParameter {
+                name: "matrix",
+                reason: "matrix is not column-stochastic".into(),
+            });
+        }
+        Ok(ExplicitMatrix {
+            schema: schema.clone(),
+            matrix,
+        })
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+}
+
+impl Perturber for ExplicitMatrix {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>> {
+        let u = self.schema.encode(record)?;
+        let r: f64 = rng.gen::<f64>();
+        let mut acc = 0.0;
+        let n = self.schema.domain_size();
+        let mut chosen = n - 1;
+        for v in 0..n {
+            acc += self.matrix[(v, u)];
+            if r < acc {
+                chosen = v;
+                break;
+            }
+        }
+        Ok(self.schema.decode(chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema_small() -> Schema {
+        Schema::new(vec![("a", 3), ("b", 2)]).unwrap()
+    }
+
+    /// Empirical transition distribution from a fixed original record.
+    fn empirical_distribution(
+        f: impl Fn(&mut StdRng) -> Vec<u32>,
+        schema: &Schema,
+        trials: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; schema.domain_size()];
+        for _ in 0..trials {
+            let v = f(&mut rng);
+            counts[schema.encode(&v).unwrap()] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    /// Chi-square-style check that empirical probabilities match the
+    /// expected column of the transition matrix.
+    fn assert_distribution_close(empirical: &[f64], expected: &[f64], trials: usize) {
+        for (i, (e, x)) in empirical.iter().zip(expected).enumerate() {
+            // Standard error of a Bernoulli proportion.
+            let se = (x * (1.0 - x) / trials as f64).sqrt();
+            assert!(
+                (e - x).abs() < 6.0 * se + 1e-4,
+                "cell {i}: empirical {e}, expected {x} (se {se})"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_diagonal_rejects_gamma_at_most_one() {
+        let s = schema_small();
+        assert!(GammaDiagonal::new(&s, 1.0).is_err());
+        assert!(GammaDiagonal::new(&s, 0.5).is_err());
+    }
+
+    #[test]
+    fn gamma_diagonal_matrix_entries() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let x = 1.0 / (19.0 + 5.0);
+        assert!((gd.matrix_entry(0, 0) - 19.0 * x).abs() < 1e-15);
+        assert!((gd.matrix_entry(1, 0) - x).abs() < 1e-15);
+        assert!(gd.as_uniform_diagonal().is_markov(1e-12));
+    }
+
+    #[test]
+    fn from_requirement_uses_gamma_19() {
+        let s = schema_small();
+        let gd = GammaDiagonal::from_requirement(&s, &PrivacyRequirement::paper_default());
+        assert!((gd.gamma() - 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_sampler_matches_matrix_distribution() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 4.0).unwrap();
+        let record = vec![2u32, 1u32];
+        let u = s.encode(&record).unwrap();
+        let trials = 200_000;
+        let emp = empirical_distribution(
+            |rng| gd.perturb_record(&record, rng).unwrap(),
+            &s,
+            trials,
+            42,
+        );
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| gd.matrix_entry(v, u))
+            .collect();
+        assert_distribution_close(&emp, &expected, trials);
+    }
+
+    #[test]
+    fn columnwise_sampler_matches_matrix_distribution() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 4.0).unwrap();
+        let record = vec![1u32, 0u32];
+        let u = s.encode(&record).unwrap();
+        let trials = 200_000;
+        let emp = empirical_distribution(
+            |rng| gd.perturb_record_columnwise(&record, rng).unwrap(),
+            &s,
+            trials,
+            43,
+        );
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| gd.matrix_entry(v, u))
+            .collect();
+        assert_distribution_close(&emp, &expected, trials);
+    }
+
+    #[test]
+    fn explicit_matrix_sampler_matches_gamma_diagonal() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 4.0).unwrap();
+        let dense = gd.as_uniform_diagonal().to_dense();
+        let explicit = ExplicitMatrix::new(&s, dense).unwrap();
+        let record = vec![0u32, 1u32];
+        let u = s.encode(&record).unwrap();
+        let trials = 200_000;
+        let emp = empirical_distribution(
+            |rng| explicit.perturb_record(&record, rng).unwrap(),
+            &s,
+            trials,
+            44,
+        );
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| gd.matrix_entry(v, u))
+            .collect();
+        assert_distribution_close(&emp, &expected, trials);
+    }
+
+    #[test]
+    fn explicit_matrix_validates_shape_and_stochasticity() {
+        let s = schema_small();
+        assert!(ExplicitMatrix::new(&s, Matrix::identity(3)).is_err());
+        let bad = Matrix::filled(6, 6, 0.2); // columns sum to 1.2
+        assert!(ExplicitMatrix::new(&s, bad).is_err());
+        let good = Matrix::filled(6, 6, 1.0 / 6.0);
+        assert!(ExplicitMatrix::new(&s, good).is_ok());
+    }
+
+    #[test]
+    fn perturb_rejects_invalid_record() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(gd.perturb_record(&[5, 0], &mut rng).is_err());
+        assert!(gd.perturb_record(&[0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn marginal_matrix_is_markov_and_matches_equation_28() {
+        let s = Schema::new(vec![("a", 3), ("b", 2), ("c", 4)]).unwrap();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let attrs = [0usize, 2usize];
+        let m = gd.marginal_matrix(&attrs);
+        let n_c = 24.0;
+        let n_cs = 12.0;
+        let x = gd.x();
+        assert!((m.off_diagonal() - (n_c / n_cs) * x).abs() < 1e-15);
+        assert!((m.diagonal() - (19.0 * x + (n_c / n_cs - 1.0) * x)).abs() < 1e-15);
+        assert!(m.is_markov(1e-12));
+    }
+
+    #[test]
+    fn marginal_matrix_condition_number_is_flat_across_subsets() {
+        // The paper's key structural result behind Figure 4: cond(A_Cs)
+        // equals cond(A) = (γ+n_C−1)/(γ−1) for every subset.
+        let s = Schema::new(vec![
+            ("a", 4),
+            ("b", 5),
+            ("c", 5),
+            ("d", 5),
+            ("e", 2),
+            ("f", 2),
+        ])
+        .unwrap();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let full_cond = gd.as_uniform_diagonal().condition_number();
+        for attrs in [vec![0], vec![0, 1], vec![1, 2, 3], vec![0, 1, 2, 3, 4, 5]] {
+            let c = gd.marginal_matrix(&attrs).condition_number();
+            assert!(
+                (c - full_cond).abs() < 1e-9 * full_cond,
+                "subset {attrs:?}: {c} vs {full_cond}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_of_all_attributes_is_original() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let m = gd.marginal_matrix(&[0, 1]);
+        let orig = gd.as_uniform_diagonal();
+        assert!((m.diagonal() - orig.diagonal()).abs() < 1e-15);
+        assert!((m.off_diagonal() - orig.off_diagonal()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn randomized_alpha_validation() {
+        let s = schema_small();
+        let x = 1.0 / (19.0 + 5.0);
+        assert!(RandomizedGammaDiagonal::new(&s, 19.0, 0.0).is_ok());
+        assert!(RandomizedGammaDiagonal::new(&s, 19.0, -0.1).is_err());
+        // n = 6, so (n−1)x = 5x binds before γx = 19x here.
+        assert!(RandomizedGammaDiagonal::new(&s, 19.0, 5.0 * x).is_ok());
+        assert!(RandomizedGammaDiagonal::new(&s, 19.0, 5.1 * x).is_err());
+    }
+
+    #[test]
+    fn randomized_with_fraction_on_large_domain() {
+        let s = Schema::new(vec![("a", 40), ("b", 50)]).unwrap();
+        let r = RandomizedGammaDiagonal::with_alpha_fraction(&s, 19.0, 0.5).unwrap();
+        let x = 1.0 / (19.0 + 2000.0 - 1.0);
+        assert!((r.alpha() - 9.5 * x).abs() < 1e-15);
+        assert!(RandomizedGammaDiagonal::with_alpha_fraction(&s, 19.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn realized_matrix_is_markov_over_alpha_range() {
+        let s = Schema::new(vec![("a", 40), ("b", 50)]).unwrap();
+        let rgd = RandomizedGammaDiagonal::with_alpha_fraction(&s, 19.0, 1.0).unwrap();
+        for &r in &[
+            -rgd.alpha(),
+            -rgd.alpha() / 2.0,
+            0.0,
+            rgd.alpha() / 2.0,
+            rgd.alpha(),
+        ] {
+            let m = rgd.realized_matrix(r);
+            assert!(m.is_markov(1e-9), "not Markov at r={r}");
+        }
+    }
+
+    #[test]
+    fn randomized_sampler_matches_realized_matrix_at_fixed_r() {
+        let s = schema_small();
+        let x = 1.0 / 24.0;
+        let rgd = RandomizedGammaDiagonal::new(&s, 19.0, 4.0 * x).unwrap();
+        let record = vec![1u32, 1u32];
+        let u = s.encode(&record).unwrap();
+        let r_fixed = -3.0 * x; // diagonal 16x, still above 1/n = 4x.
+        let trials = 200_000;
+        let emp = empirical_distribution(
+            |rng| rgd.perturb_record_with_r(&record, r_fixed, rng).unwrap(),
+            &s,
+            trials,
+            45,
+        );
+        let m = rgd.realized_matrix(r_fixed);
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| {
+                if v == u {
+                    m.diagonal()
+                } else {
+                    m.off_diagonal()
+                }
+            })
+            .collect();
+        assert_distribution_close(&emp, &expected, trials);
+    }
+
+    #[test]
+    fn randomized_sampler_anti_diagonal_regime() {
+        // Use a tiny domain where diag < 1/n is reachable: n = 6,
+        // gamma = 2 ⇒ x = 1/7, diag = 2/7, 1/n = 1/6. r = −0.2 gives
+        // diag ≈ 0.0857 < 1/6.
+        let s = schema_small();
+        let rgd = RandomizedGammaDiagonal::new(&s, 2.0, 0.25).unwrap();
+        let record = vec![0u32, 0u32];
+        let u = s.encode(&record).unwrap();
+        let r_fixed = -0.2;
+        let m = rgd.realized_matrix(r_fixed);
+        assert!(m.diagonal() < 1.0 / 6.0);
+        assert!(m.is_markov(1e-12));
+        let trials = 200_000;
+        let emp = empirical_distribution(
+            |rng| rgd.perturb_record_with_r(&record, r_fixed, rng).unwrap(),
+            &s,
+            trials,
+            46,
+        );
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| {
+                if v == u {
+                    m.diagonal()
+                } else {
+                    m.off_diagonal()
+                }
+            })
+            .collect();
+        assert_distribution_close(&emp, &expected, trials);
+    }
+
+    #[test]
+    fn zero_alpha_randomized_equals_deterministic() {
+        let s = schema_small();
+        let rgd = RandomizedGammaDiagonal::new(&s, 19.0, 0.0).unwrap();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let record = vec![2u32, 0u32];
+        let u = s.encode(&record).unwrap();
+        let trials = 100_000;
+        let emp = empirical_distribution(
+            |rng| rgd.perturb_record(&record, rng).unwrap(),
+            &s,
+            trials,
+            47,
+        );
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| gd.matrix_entry(v, u))
+            .collect();
+        assert_distribution_close(&emp, &expected, trials);
+    }
+
+    #[test]
+    fn perturb_dataset_perturbs_every_record() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let records: Vec<Vec<u32>> = (0..50).map(|i| vec![i % 3, i % 2]).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let perturbed = gd.perturb_dataset(&records, &mut rng).unwrap();
+        assert_eq!(perturbed.len(), records.len());
+        for v in &perturbed {
+            assert!(s.validate_record(v).is_ok());
+        }
+    }
+}

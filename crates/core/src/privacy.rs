@@ -1,0 +1,317 @@
+//! Amplification-based privacy accounting (paper Sections 2.1 and 4.1).
+//!
+//! FRAPP adopts the strict `(ρ1, ρ2)` privacy-breach measure of
+//! Evfimievski, Gehrke & Srikant (PODS 2003): a perturbation method
+//! offers `(ρ1, ρ2)` privacy when *no* property of a client's record
+//! whose prior probability is below `ρ1` can have posterior probability
+//! above `ρ2` after the miner sees the perturbed record — for **any**
+//! data distribution. For a matrix-based method this reduces to the
+//! amplification condition of paper Equation 2:
+//!
+//! ```text
+//! A[v][u1] / A[v][u2] ≤ γ = ρ2(1−ρ1) / (ρ1(1−ρ2))   for all v, u1, u2
+//! ```
+//!
+//! The module provides the `(ρ1, ρ2) ↔ γ` algebra, worst-case posterior
+//! computations for deterministic matrices, the posterior *range*
+//! analysis for randomized gamma-diagonal matrices (paper Section 4.1,
+//! Figure 3a), and an auditor that checks an arbitrary explicit matrix
+//! against a γ bound.
+
+use crate::{FrappError, Result};
+use frapp_linalg::Matrix;
+
+/// A strict privacy requirement `(ρ1, ρ2)`: properties with prior below
+/// `ρ1` must keep posterior below `ρ2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyRequirement {
+    rho1: f64,
+    rho2: f64,
+}
+
+impl PrivacyRequirement {
+    /// Creates a requirement; needs `0 < ρ1 < ρ2 < 1`.
+    pub fn new(rho1: f64, rho2: f64) -> Result<Self> {
+        if !(rho1 > 0.0 && rho1 < 1.0) {
+            return Err(FrappError::InvalidParameter {
+                name: "rho1",
+                reason: format!("must be in (0,1), got {rho1}"),
+            });
+        }
+        if !(rho2 > rho1 && rho2 < 1.0) {
+            return Err(FrappError::InvalidParameter {
+                name: "rho2",
+                reason: format!("must be in (rho1,1), got {rho2}"),
+            });
+        }
+        Ok(PrivacyRequirement { rho1, rho2 })
+    }
+
+    /// The paper's running example: `(5%, 50%)`, which yields `γ = 19`.
+    pub fn paper_default() -> Self {
+        PrivacyRequirement {
+            rho1: 0.05,
+            rho2: 0.50,
+        }
+    }
+
+    /// Prior threshold `ρ1`.
+    pub fn rho1(&self) -> f64 {
+        self.rho1
+    }
+
+    /// Posterior ceiling `ρ2`.
+    pub fn rho2(&self) -> f64 {
+        self.rho2
+    }
+
+    /// The amplification bound `γ = ρ2(1−ρ1) / (ρ1(1−ρ2))`
+    /// (paper Equation 2).
+    pub fn gamma(&self) -> f64 {
+        self.rho2 * (1.0 - self.rho1) / (self.rho1 * (1.0 - self.rho2))
+    }
+}
+
+/// Worst-case posterior probability of a property with prior `prior`
+/// after observing output of a matrix whose within-row entry ratio is at
+/// most `gamma`:
+///
+/// ```text
+/// posterior = prior·γ / (prior·γ + (1 − prior))
+/// ```
+///
+/// With the gamma-diagonal matrix this bound is tight (the max/min entry
+/// ratio is exactly γ). For `prior = 5%`, `γ = 19` this evaluates to the
+/// paper's quoted 50%.
+pub fn worst_case_posterior(prior: f64, gamma: f64) -> f64 {
+    prior * gamma / (prior * gamma + (1.0 - prior))
+}
+
+/// The γ needed so that a property with prior `rho1` keeps worst-case
+/// posterior at most `rho2` — the inverse of [`worst_case_posterior`].
+pub fn gamma_for(rho1: f64, rho2: f64) -> f64 {
+    rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2))
+}
+
+/// Result of auditing an explicit matrix against an amplification bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplificationAudit {
+    /// The worst within-row max/min entry ratio found in the matrix.
+    pub observed_gamma: f64,
+    /// The bound the matrix was audited against.
+    pub required_gamma: f64,
+}
+
+impl AmplificationAudit {
+    /// Whether the matrix satisfies the bound (small tolerance for
+    /// floating-point parameter selection at the boundary).
+    pub fn passes(&self) -> bool {
+        self.observed_gamma <= self.required_gamma * (1.0 + 1e-9)
+    }
+}
+
+/// Audits an explicit perturbation matrix against a γ bound: computes
+/// the worst within-row entry ratio (paper Equation 2). An infinite
+/// observed γ (a row mixing zero and nonzero entries) always fails.
+pub fn audit_matrix(matrix: &Matrix, required_gamma: f64) -> AmplificationAudit {
+    AmplificationAudit {
+        observed_gamma: matrix.amplification(),
+        required_gamma,
+    }
+}
+
+/// Posterior analysis of the *randomized* gamma-diagonal matrix
+/// (paper Section 4.1).
+///
+/// Each client draws `r ~ U[−α, α]` and perturbs with the realized
+/// matrix `diag = γx + r`, `off = x − r/(n−1)`. Because the miner knows
+/// only the distribution of `r`, the worst-case posterior of a property
+/// with prior `P` becomes a function of the unknown `r`:
+///
+/// ```text
+/// ρ2(r) = P(γx + r) / (P(γx + r) + (1−P)(x − r/(n−1)))
+/// ```
+///
+/// and the miner can only determine the range `[ρ2(−α), ρ2(+α)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedPosterior {
+    /// Prior probability `P` of the sensitive property.
+    pub prior: f64,
+    /// Amplification parameter γ of the expected matrix.
+    pub gamma: f64,
+    /// Domain size `n = |S_U|`.
+    pub n: usize,
+    /// Randomization half-width α.
+    pub alpha: f64,
+}
+
+impl RandomizedPosterior {
+    /// The matrix parameter `x = 1/(γ+n−1)`.
+    pub fn x(&self) -> f64 {
+        1.0 / (self.gamma + self.n as f64 - 1.0)
+    }
+
+    /// Posterior as a function of the realized randomization value `r`.
+    /// Clamped to `[0, 1]`; at `r = −γx` the diagonal vanishes and the
+    /// posterior is 0.
+    pub fn posterior_at(&self, r: f64) -> f64 {
+        let x = self.x();
+        let diag = (self.gamma * x + r).max(0.0);
+        let off = (x - r / (self.n as f64 - 1.0)).max(0.0);
+        let num = self.prior * diag;
+        let den = num + (1.0 - self.prior) * off;
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// The determinable posterior range `[ρ2(−α), ρ2(+α)]`. `ρ2` is
+    /// monotonically increasing in `r` (larger diagonal ⇒ the observed
+    /// value is stronger evidence), so the endpoints are at `∓α`.
+    pub fn range(&self) -> (f64, f64) {
+        (
+            self.posterior_at(-self.alpha),
+            self.posterior_at(self.alpha),
+        )
+    }
+
+    /// Posterior of the deterministic (expected) matrix — the midpoint
+    /// `r = 0`, which equals [`worst_case_posterior`].
+    pub fn deterministic(&self) -> f64 {
+        self.posterior_at(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frapp_linalg::structured::UniformDiagonal;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn paper_default_gives_gamma_19() {
+        let req = PrivacyRequirement::paper_default();
+        assert_close(req.gamma(), 19.0, 1e-12);
+    }
+
+    #[test]
+    fn requirement_validation() {
+        assert!(PrivacyRequirement::new(0.0, 0.5).is_err());
+        assert!(PrivacyRequirement::new(0.5, 0.5).is_err());
+        assert!(PrivacyRequirement::new(0.05, 1.0).is_err());
+        assert!(PrivacyRequirement::new(0.6, 0.5).is_err());
+        assert!(PrivacyRequirement::new(0.05, 0.5).is_ok());
+    }
+
+    #[test]
+    fn worst_case_posterior_matches_paper_example() {
+        // P(Q(u)) = 5%, γ = 19 ⇒ posterior 50% (paper Section 4.1).
+        assert_close(worst_case_posterior(0.05, 19.0), 0.50, 1e-12);
+    }
+
+    #[test]
+    fn gamma_for_inverts_worst_case_posterior() {
+        let gamma = gamma_for(0.05, 0.50);
+        assert_close(worst_case_posterior(0.05, gamma), 0.50, 1e-12);
+        assert_close(gamma, 19.0, 1e-12);
+    }
+
+    #[test]
+    fn audit_accepts_gamma_diagonal_at_exact_bound() {
+        let gd = UniformDiagonal::gamma_diagonal(50, 19.0).to_dense();
+        let audit = audit_matrix(&gd, 19.0);
+        assert_close(audit.observed_gamma, 19.0, 1e-9);
+        assert!(audit.passes());
+        assert!(!audit_matrix(&gd, 18.0).passes());
+    }
+
+    #[test]
+    fn audit_rejects_identity() {
+        // The identity matrix is perfect accuracy but zero privacy:
+        // rows mix 0 and 1 ⇒ infinite amplification.
+        let audit = audit_matrix(&Matrix::identity(4), 1e9);
+        assert_eq!(audit.observed_gamma, f64::INFINITY);
+        assert!(!audit.passes());
+    }
+
+    #[test]
+    fn randomized_posterior_paper_example() {
+        // Paper Section 4.1: P = 5%, γ = 19, α = γx/2 ⇒ range ≈ [33%, 60%].
+        let n = 2000;
+        let x = 1.0 / (19.0 + n as f64 - 1.0);
+        let rp = RandomizedPosterior {
+            prior: 0.05,
+            gamma: 19.0,
+            n,
+            alpha: 19.0 * x / 2.0,
+        };
+        let (lo, hi) = rp.range();
+        assert_close(rp.deterministic(), 0.50, 1e-9);
+        // The paper rounds to [33%, 60%].
+        assert!((lo - 0.33).abs() < 0.02, "lo = {lo}");
+        assert!((hi - 0.60).abs() < 0.02, "hi = {hi}");
+    }
+
+    #[test]
+    fn randomized_posterior_is_monotone_in_r() {
+        let n = 2000;
+        let x = 1.0 / (19.0 + n as f64 - 1.0);
+        let rp = RandomizedPosterior {
+            prior: 0.05,
+            gamma: 19.0,
+            n,
+            alpha: 19.0 * x,
+        };
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let r = -rp.alpha + (2.0 * rp.alpha) * (i as f64) / 20.0;
+            let p = rp.posterior_at(r);
+            assert!(p >= prev - 1e-12, "posterior not monotone at r={r}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn randomized_posterior_full_alpha_reaches_zero() {
+        // At α = γx and r = −α the diagonal vanishes: seeing v=u is no
+        // evidence at all, posterior 0 (Figure 3a's ρ2⁻ hits 0 at
+        // α/(γx) = 1).
+        let n = 2000;
+        let x = 1.0 / (19.0 + n as f64 - 1.0);
+        let rp = RandomizedPosterior {
+            prior: 0.05,
+            gamma: 19.0,
+            n,
+            alpha: 19.0 * x,
+        };
+        let (lo, _) = rp.range();
+        assert_close(lo, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn zero_alpha_collapses_to_deterministic() {
+        let rp = RandomizedPosterior {
+            prior: 0.05,
+            gamma: 19.0,
+            n: 2000,
+            alpha: 0.0,
+        };
+        let (lo, hi) = rp.range();
+        assert_close(lo, 0.50, 1e-9);
+        assert_close(hi, 0.50, 1e-9);
+    }
+
+    #[test]
+    fn stricter_requirement_needs_larger_gamma() {
+        let loose = PrivacyRequirement::new(0.05, 0.50).unwrap();
+        let strict = PrivacyRequirement::new(0.05, 0.30).unwrap();
+        // A *lower* posterior ceiling is a stricter requirement and
+        // forces a *smaller* gamma (less distinguishability allowed).
+        assert!(strict.gamma() < loose.gamma());
+    }
+}

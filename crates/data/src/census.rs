@@ -1,0 +1,198 @@
+//! The CENSUS-like dataset: the paper's Table 1 schema with a
+//! calibrated synthetic population.
+//!
+//! The paper uses a ~50,000-record extract of the UCI Adult census
+//! data with three discretised continuous attributes and three nominal
+//! attributes (Table 1). That extract is substituted here by a
+//! latent-class mixture whose marginals follow the well-known Adult
+//! marginals (White-dominated race, two-thirds male, 90% US-born, …)
+//! and whose class structure is calibrated so that the expected
+//! frequent-itemset profile at `sup_min = 2%` approximates the paper's
+//! Table 3 row for CENSUS: 19/102/203/165/64/10 itemsets of lengths
+//! 1–6. See DESIGN.md §4 and EXPERIMENTS.md for the measured profile.
+
+use crate::mixture::{MixtureClass, MixtureModel};
+use frapp_core::schema::{Attribute, Schema};
+use frapp_core::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of records in the paper's CENSUS extract (UCI Adult size).
+pub const CENSUS_N: usize = 48_842;
+
+/// The Table 1 schema: age, fnlwgt, hours-per-week (discretised into
+/// equi-width intervals) and race, sex, native-country.
+pub fn schema() -> Schema {
+    let attrs = vec![
+        Attribute::with_labels(
+            "age",
+            vec![
+                "(15-35]".into(),
+                "(35-55]".into(),
+                "(55-75]".into(),
+                ">75".into(),
+            ],
+        ),
+        Attribute::with_labels(
+            "fnlwgt",
+            vec![
+                "(0-1e5]".into(),
+                "(1e5-2e5]".into(),
+                "(2e5-3e5]".into(),
+                "(3e5-4e5]".into(),
+                ">4e5".into(),
+            ],
+        ),
+        Attribute::with_labels(
+            "hours-per-week",
+            vec![
+                "(0-20]".into(),
+                "(20-40]".into(),
+                "(40-60]".into(),
+                "(60-80]".into(),
+                ">80".into(),
+            ],
+        ),
+        Attribute::with_labels(
+            "race",
+            vec![
+                "White".into(),
+                "Asian-Pac-Islander".into(),
+                "Amer-Indian-Eskimo".into(),
+                "Other".into(),
+                "Black".into(),
+            ],
+        ),
+        Attribute::with_labels("sex", vec!["Female".into(), "Male".into()]),
+        Attribute::with_labels(
+            "native-country",
+            vec!["United-States".into(), "Other".into()],
+        ),
+    ];
+    Schema::from_attributes(
+        attrs
+            .into_iter()
+            .collect::<frapp_core::Result<Vec<_>>>()
+            .expect("static labels are valid"),
+    )
+    .expect("static schema is valid")
+}
+
+/// The calibrated generative model behind [`census_like`].
+pub fn model() -> MixtureModel {
+    let s = schema();
+    // Background population: independent draws from Adult-like
+    // marginals. Correlations come from the prototype classes below.
+    let background = MixtureClass::new(
+        52.0,
+        vec![
+            vec![0.42, 0.31, 0.21, 0.06],            // age
+            vec![0.44, 0.37, 0.12, 0.058, 0.012],    // fnlwgt
+            vec![0.14, 0.565, 0.23, 0.06, 0.005],    // hours-per-week
+            vec![0.835, 0.045, 0.008, 0.015, 0.097], // race
+            vec![0.33, 0.67],                        // sex
+            vec![0.90, 0.10],                        // native-country
+        ],
+    )
+    .expect("static background class is valid");
+
+    // Prototype sub-populations (weight, prototype record, peak).
+    // Chosen to share values pairwise so that mid-length itemsets
+    // accumulate, with a few fully-aligned groups driving the
+    // length-6 itemsets.
+    let protos: Vec<(f64, [u32; 6], f64)> = vec![
+        (7.0, [0, 0, 1, 0, 1, 0], 0.93),
+        (6.0, [1, 1, 1, 0, 1, 0], 0.93),
+        (5.0, [0, 0, 1, 0, 0, 0], 0.92),
+        (4.5, [1, 0, 2, 0, 1, 0], 0.92),
+        (4.0, [2, 1, 1, 0, 0, 0], 0.92),
+        (3.5, [0, 1, 1, 4, 1, 0], 0.90),
+        (3.5, [1, 0, 1, 0, 1, 1], 0.90),
+        (3.0, [2, 2, 0, 0, 0, 0], 0.90),
+        (2.5, [0, 0, 3, 0, 1, 0], 0.90),
+        (2.0, [1, 1, 2, 4, 0, 0], 0.90),
+        (2.0, [0, 1, 1, 0, 1, 0], 0.90),
+        (2.0, [2, 0, 1, 0, 1, 0], 0.90),
+    ];
+    let mut classes = vec![background];
+    for (w, values, peak) in protos {
+        classes.push(
+            MixtureClass::prototype(w, &s, &values, peak).expect("static prototype class is valid"),
+        );
+    }
+    MixtureModel::new(s, classes).expect("static census model is valid")
+}
+
+/// Generates the CENSUS-like dataset with `CENSUS_N` records.
+pub fn census_like(seed: u64) -> Dataset {
+    census_like_n(CENSUS_N, seed)
+}
+
+/// Generates a CENSUS-like dataset of arbitrary size (for quick tests
+/// and scaled-down experiments).
+pub fn census_like_n(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    model().sample(n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_1() {
+        let s = schema();
+        assert_eq!(s.num_attributes(), 6);
+        assert_eq!(s.domain_size(), 2000);
+        assert_eq!(s.boolean_width(), 23);
+        assert_eq!(s.attribute(0).name(), "age");
+        assert_eq!(s.attribute(3).label(0), Some("White"));
+        assert_eq!(s.attribute(5).label(1), Some("Other"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = census_like_n(200, 7);
+        let b = census_like_n(200, 7);
+        let c = census_like_n(200, 8);
+        assert_eq!(a.records(), b.records());
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn generated_records_are_valid() {
+        let ds = census_like_n(1000, 1);
+        assert_eq!(ds.len(), 1000);
+        let s = schema();
+        for r in ds.records() {
+            assert!(s.validate_record(r).is_ok());
+        }
+    }
+
+    #[test]
+    fn marginals_reflect_adult_shape() {
+        let m = model();
+        // White is the dominant race; US the dominant country; males the
+        // majority — the qualitative Adult facts.
+        assert!(m.expected_support(&[3], &[0]) > 0.7);
+        assert!(m.expected_support(&[5], &[0]) > 0.8);
+        assert!(m.expected_support(&[4], &[1]) > 0.55);
+    }
+
+    #[test]
+    fn analytic_profile_has_table_3_shape() {
+        // Shape requirements distilled from Table 3 (CENSUS row:
+        // 19/102/203/165/64/10): rises to a peak at length 3, decays,
+        // and retains a small number of 6-itemsets.
+        let profile = model().frequent_profile(0.02);
+        assert_eq!(profile.len(), 6, "profile {profile:?}");
+        assert!(profile[2] > profile[0], "profile {profile:?}");
+        assert!(profile[2] > profile[4], "profile {profile:?}");
+        assert!(profile[5] >= 3 && profile[5] <= 30, "profile {profile:?}");
+        // Near the paper's counts (loose bands; exact values recorded in
+        // EXPERIMENTS.md).
+        assert!((15..=23).contains(&profile[0]), "profile {profile:?}");
+        assert!((60..=160).contains(&profile[1]), "profile {profile:?}");
+        assert!((120..=300).contains(&profile[2]), "profile {profile:?}");
+    }
+}

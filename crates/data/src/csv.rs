@@ -1,0 +1,102 @@
+//! Minimal CSV round-trip for categorical datasets.
+//!
+//! Experiments persist generated datasets and load them back for
+//! repeatability; the format is a header of attribute names followed by
+//! one comma-separated row of category ids per record.
+
+use frapp_core::schema::Schema;
+use frapp_core::{Dataset, FrappError, Result};
+
+/// Serialises a dataset to CSV text (header + one row per record).
+pub fn to_csv(dataset: &Dataset) -> String {
+    let schema = dataset.schema();
+    let mut out = String::new();
+    let names: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for r in dataset.records() {
+        let row: Vec<String> = r.iter().map(u32::to_string).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text produced by [`to_csv`] against an expected schema.
+/// The header must match the schema's attribute names; every value must
+/// parse as a category id inside the attribute's domain.
+pub fn from_csv(schema: &Schema, text: &str) -> Result<Dataset> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| FrappError::InvalidRecord {
+        reason: "empty CSV input".into(),
+    })?;
+    let names: Vec<&str> = header.split(',').collect();
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
+    if names != expected {
+        return Err(FrappError::InvalidRecord {
+            reason: format!("header {names:?} does not match schema {expected:?}"),
+        });
+    }
+    let mut records = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let record = line
+            .split(',')
+            .map(|tok| {
+                tok.parse::<u32>().map_err(|e| FrappError::InvalidRecord {
+                    reason: format!("line {}: bad value {tok:?}: {e}", lineno + 2),
+                })
+            })
+            .collect::<Result<Vec<u32>>>()?;
+        records.push(record);
+    }
+    Dataset::new(schema.clone(), records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", 3), ("b", 2)]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let s = schema();
+        let ds = Dataset::new(s.clone(), vec![vec![0, 1], vec![2, 0], vec![1, 1]]).unwrap();
+        let text = to_csv(&ds);
+        let back = from_csv(&s, &text).unwrap();
+        assert_eq!(back.records(), ds.records());
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let s = schema();
+        assert!(from_csv(&s, "x,y\n0,0\n").is_err());
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let s = schema();
+        assert!(from_csv(&s, "a,b\n0,zebra\n").is_err());
+        assert!(from_csv(&s, "a,b\n9,0\n").is_err()); // out of domain
+    }
+
+    #[test]
+    fn empty_input_rejected_but_empty_dataset_ok() {
+        let s = schema();
+        assert!(from_csv(&s, "").is_err());
+        let ds = from_csv(&s, "a,b\n").unwrap();
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let s = schema();
+        let ds = from_csv(&s, "a,b\n0,0\n\n1,1\n").unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! The HEALTH-like dataset: the paper's Table 2 schema with a
+//! calibrated synthetic population.
+//!
+//! The paper uses a >100,000-record extract of the US National Health
+//! Interview Survey with three discretised continuous attributes and
+//! four nominal attributes (Table 2). Substituted here by a
+//! latent-class mixture calibrated against the paper's Table 3 row for
+//! HEALTH: 23/123/292/361/250/86/12 frequent itemsets of lengths 1–7 at
+//! `sup_min = 2%`.
+
+use crate::mixture::{MixtureClass, MixtureModel};
+use frapp_core::schema::{Attribute, Schema};
+use frapp_core::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of records generated (the paper reports "over 100,000").
+pub const HEALTH_N: usize = 100_000;
+
+/// The Table 2 schema.
+pub fn schema() -> Schema {
+    let attrs = vec![
+        Attribute::with_labels(
+            "AGE",
+            vec![
+                "[0-20)".into(),
+                "[20-40)".into(),
+                "[40-60)".into(),
+                "[60-80)".into(),
+                ">=80".into(),
+            ],
+        ),
+        Attribute::with_labels(
+            "BDDAY12",
+            vec![
+                "[0-7)".into(),
+                "[7-15)".into(),
+                "[15-30)".into(),
+                "[30-60)".into(),
+                ">=60".into(),
+            ],
+        ),
+        Attribute::with_labels(
+            "DV12",
+            vec![
+                "[0-7)".into(),
+                "[7-15)".into(),
+                "[15-30)".into(),
+                "[30-60)".into(),
+                ">=60".into(),
+            ],
+        ),
+        Attribute::with_labels(
+            "PHONE",
+            vec![
+                "Yes, number given".into(),
+                "Yes, no number given".into(),
+                "No".into(),
+            ],
+        ),
+        Attribute::with_labels("SEX", vec!["Male".into(), "Female".into()]),
+        Attribute::with_labels(
+            "INCFAM20",
+            vec!["Less than $20,000".into(), "$20,000 or more".into()],
+        ),
+        Attribute::with_labels(
+            "HEALTH",
+            vec![
+                "Excellent".into(),
+                "Very Good".into(),
+                "Good".into(),
+                "Fair".into(),
+                "Poor".into(),
+            ],
+        ),
+    ];
+    Schema::from_attributes(
+        attrs
+            .into_iter()
+            .collect::<frapp_core::Result<Vec<_>>>()
+            .expect("static labels are valid"),
+    )
+    .expect("static schema is valid")
+}
+
+/// The calibrated generative model behind [`health_like`].
+pub fn model() -> MixtureModel {
+    let s = schema();
+    let background = MixtureClass::new(
+        50.0,
+        vec![
+            vec![0.27, 0.30, 0.22, 0.14, 0.07],     // AGE
+            vec![0.825, 0.10, 0.045, 0.015, 0.015], // BDDAY12
+            vec![0.565, 0.25, 0.115, 0.055, 0.015], // DV12
+            vec![0.935, 0.004, 0.061],              // PHONE
+            vec![0.48, 0.52],                       // SEX
+            vec![0.38, 0.62],                       // INCFAM20
+            vec![0.34, 0.30, 0.22, 0.10, 0.04],     // HEALTH
+        ],
+    )
+    .expect("static background class is valid");
+
+    // Prototype sub-populations: healthy young adults, healthy
+    // children, chronically ill seniors, etc. They share the dominant
+    // values (BDDAY12=0, DV12=0, PHONE=0) so long itemsets accumulate.
+    let protos: Vec<(f64, [u32; 7], f64)> = vec![
+        (8.5, [1, 0, 0, 0, 1, 1, 0], 0.97),
+        (7.5, [1, 0, 0, 0, 0, 1, 1], 0.97),
+        (6.0, [0, 0, 0, 0, 0, 1, 0], 0.96),
+        (5.5, [2, 0, 0, 0, 1, 1, 1], 0.96),
+        (4.5, [2, 0, 1, 0, 1, 1, 2], 0.96),
+        (4.0, [3, 0, 1, 0, 0, 1, 2], 0.95),
+        (3.5, [0, 0, 0, 0, 1, 0, 1], 0.95),
+        (3.0, [3, 1, 1, 0, 1, 0, 3], 0.93),
+        (3.0, [1, 0, 0, 0, 0, 0, 0], 0.93),
+        (2.0, [2, 0, 0, 0, 1, 1, 0], 0.94),
+        (2.5, [2, 0, 0, 0, 0, 1, 2], 0.93),
+        (2.0, [0, 0, 1, 0, 0, 1, 0], 0.90),
+        (2.0, [3, 0, 0, 0, 1, 1, 1], 0.90),
+        (1.5, [4, 1, 2, 0, 1, 0, 3], 0.90),
+        (3.0, [1, 0, 1, 0, 1, 1, 0], 0.95),
+        (2.8, [2, 0, 0, 0, 0, 1, 0], 0.95),
+        (2.8, [0, 0, 0, 0, 1, 1, 1], 0.95),
+        (2.6, [3, 0, 0, 0, 0, 1, 2], 0.95),
+        (2.6, [1, 0, 0, 0, 1, 0, 1], 0.95),
+        (2.4, [2, 0, 1, 0, 1, 1, 1], 0.95),
+    ];
+    let mut classes = vec![background];
+    for (w, values, peak) in protos {
+        classes.push(
+            MixtureClass::prototype(w, &s, &values, peak).expect("static prototype class is valid"),
+        );
+    }
+    MixtureModel::new(s, classes).expect("static health model is valid")
+}
+
+/// Generates the HEALTH-like dataset with `HEALTH_N` records.
+pub fn health_like(seed: u64) -> Dataset {
+    health_like_n(HEALTH_N, seed)
+}
+
+/// Generates a HEALTH-like dataset of arbitrary size.
+pub fn health_like_n(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    model().sample(n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_2() {
+        let s = schema();
+        assert_eq!(s.num_attributes(), 7);
+        assert_eq!(s.domain_size(), 5 * 5 * 5 * 3 * 2 * 2 * 5);
+        assert_eq!(s.boolean_width(), 27);
+        assert_eq!(s.attribute(6).label(4), Some("Poor"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = health_like_n(150, 3);
+        let b = health_like_n(150, 3);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn generated_records_are_valid() {
+        let ds = health_like_n(800, 5);
+        let s = schema();
+        for r in ds.records() {
+            assert!(s.validate_record(r).is_ok());
+        }
+    }
+
+    #[test]
+    fn analytic_profile_has_table_3_shape() {
+        // Table 3 HEALTH row: 23/123/292/361/250/86/12 — peak at length
+        // 4, long tail down to a dozen 7-itemsets.
+        let profile = model().frequent_profile(0.02);
+        assert_eq!(profile.len(), 7, "profile {profile:?}");
+        let peak = profile
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i + 1);
+        assert!(matches!(peak, Some(3..=5)), "profile {profile:?}");
+        assert!(profile[6] >= 3 && profile[6] <= 40, "profile {profile:?}");
+        assert!((18..=28).contains(&profile[0]), "profile {profile:?}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! Figure 4 of the FRAPP paper compares condition numbers
+//! `σ_max/σ_min` of reconstruction matrices that are *not* symmetric
+//! (the Cut-and-Paste partial-support matrices), so a general SVD is
+//! the natural tool. One-sided Jacobi orthogonalises the columns of `A`
+//! by plane rotations; at convergence the column norms are the singular
+//! values. It is slower than Golub–Kahan bidiagonalisation but simple,
+//! remarkably accurate for small singular values, and entirely
+//! dependency-free — the right trade-off for the ≤ 2⁷-sized matrices
+//! this workspace inverts.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum number of sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// The singular value decomposition `A = U Σ Vᵀ` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns of `U`), orthonormal.
+    pub u: Matrix,
+    /// Singular values in descending order, all nonnegative.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (columns of `V`), orthonormal.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the SVD of a square matrix with one-sided Jacobi.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        // Work on B = A (columns get rotated); V accumulates rotations.
+        let mut b = a.clone();
+        let mut v = Matrix::identity(n);
+        // Standard one-sided Jacobi stopping rule: rotate a column pair
+        // only while the Gram cross-term is significant *relative* to
+        // the column norms (|apq|² > eps²·app·aqq); a sweep with no
+        // rotations means convergence. An absolute threshold would
+        // never be reached for large column norms due to rounding noise
+        // in the freshly computed Gram entries.
+        let eps = 1e-14_f64;
+
+        for _sweep in 0..MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries of columns p, q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..n {
+                        app += b[(i, p)] * b[(i, p)];
+                        aqq += b[(i, q)] * b[(i, q)];
+                        apq += b[(i, p)] * b[(i, q)];
+                    }
+                    if apq * apq <= eps * eps * app * aqq || apq == 0.0 {
+                        continue;
+                    }
+                    rotated = true;
+                    // Jacobi rotation zeroing the (p,q) Gram entry.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    for i in 0..n {
+                        let bp = b[(i, p)];
+                        let bq = b[(i, q)];
+                        b[(i, p)] = c * bp - s * bq;
+                        b[(i, q)] = s * bp + c * bq;
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if !rotated {
+                return Ok(Self::finish(b, v));
+            }
+        }
+        Err(LinalgError::NonConvergence {
+            iterations: MAX_SWEEPS,
+        })
+    }
+
+    /// Extracts `(U, Σ, V)` from the column-orthogonal `B` and the
+    /// accumulated rotations, sorting by descending singular value.
+    fn finish(b: Matrix, v: Matrix) -> Svd {
+        let n = b.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n)
+            .map(|j| (0..n).map(|i| b[(i, j)] * b[(i, j)]).sum::<f64>().sqrt())
+            .collect();
+        order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).expect("finite norms"));
+        let mut u = Matrix::zeros(n, n);
+        let mut vv = Matrix::zeros(n, n);
+        let mut sigma = Vec::with_capacity(n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            let s = norms[old_j];
+            sigma.push(s);
+            for i in 0..n {
+                u[(i, new_j)] = if s > 0.0 { b[(i, old_j)] / s } else { 0.0 };
+                vv[(i, new_j)] = v[(i, old_j)];
+            }
+        }
+        Svd { u, sigma, v: vv }
+    }
+
+    /// Largest singular value.
+    pub fn sigma_max(&self) -> f64 {
+        self.sigma.first().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest singular value.
+    pub fn sigma_min(&self) -> f64 {
+        self.sigma.last().copied().unwrap_or(0.0)
+    }
+
+    /// 2-norm condition number `σ_max/σ_min`; infinite when singular.
+    pub fn condition_number(&self) -> f64 {
+        let min = self.sigma_min();
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.sigma_max() / min
+        }
+    }
+
+    /// Numerical rank: number of singular values above
+    /// `tol · σ_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let cutoff = tol * self.sigma_max();
+        self.sigma.iter().filter(|&&s| s > cutoff).count()
+    }
+
+    /// Reassembles `U Σ Vᵀ` (for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.sigma.len();
+        let mut us = self.u.clone();
+        for j in 0..n {
+            for i in 0..n {
+                us[(i, j)] *= self.sigma[j];
+            }
+        }
+        us.mul_mat(&self.v.transpose()).expect("square factors")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    fn assert_orthonormal(m: &Matrix) {
+        let gram = m.transpose().mul_mat(m).unwrap();
+        let diff = &gram - &Matrix::identity(m.rows());
+        assert!(
+            diff.max_abs() < 1e-10,
+            "not orthonormal: deviation {}",
+            diff.max_abs()
+        );
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -2.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_close(svd.sigma[0], 3.0, 1e-12);
+        assert_close(svd.sigma[1], 2.0, 1e-12);
+        assert_orthonormal(&svd.u);
+        assert_orthonormal(&svd.v);
+    }
+
+    #[test]
+    fn svd_reconstructs_original() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[-3.0, 0.1, 4.0], &[2.0, 2.0, -1.0]]);
+        let svd = Svd::new(&a).unwrap();
+        let back = svd.reconstruct();
+        let diff = &back - &a;
+        assert!(diff.max_abs() < 1e-10, "deviation {}", diff.max_abs());
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.5, 3.0]]);
+        let svd = Svd::new(&a).unwrap();
+        let gram = a.transpose().mul_mat(&a).unwrap();
+        let eig = eigen::jacobi_eigenvalues(&gram).unwrap();
+        assert_close(svd.sigma[0], eig[1].sqrt(), 1e-10);
+        assert_close(svd.sigma[1], eig[0].sqrt(), 1e-10);
+    }
+
+    #[test]
+    fn condition_number_agrees_with_eigen_path() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.5, 1.0]]);
+        let via_svd = Svd::new(&a).unwrap().condition_number();
+        let via_eigen = eigen::condition_number_2(&a).unwrap();
+        assert_close(via_svd, via_eigen, 1e-8);
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert_eq!(svd.condition_number(), f64::INFINITY);
+    }
+
+    #[test]
+    fn gamma_diagonal_svd_matches_closed_form() {
+        let n = 10;
+        let gamma = 19.0;
+        let gd = crate::structured::UniformDiagonal::gamma_diagonal(n, gamma);
+        let svd = Svd::new(&gd.to_dense()).unwrap();
+        assert_close(svd.sigma_max(), 1.0, 1e-10);
+        assert_close(
+            svd.sigma_min(),
+            (gamma - 1.0) / (gamma + n as f64 - 1.0),
+            1e-10,
+        );
+        assert_close(svd.condition_number(), gd.condition_number(), 1e-8);
+    }
+
+    #[test]
+    fn identity_has_unit_spectrum() {
+        let svd = Svd::new(&Matrix::identity(5)).unwrap();
+        for &s in &svd.sigma {
+            assert_close(s, 1.0, 1e-12);
+        }
+        assert_eq!(svd.rank(1e-12), 5);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Svd::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn mask_kronecker_svd_condition() {
+        // sigma ratios of the MASK flip matrix power: (1/(2p-1))^k.
+        let p = 0.7;
+        let flip = Matrix::from_rows(&[&[p, 1.0 - p], &[1.0 - p, p]]);
+        let m = crate::structured::kronecker_power(&flip, 3);
+        let svd = Svd::new(&m).unwrap();
+        assert_close(
+            svd.condition_number(),
+            (1.0 / (2.0 * p - 1.0)).powi(3),
+            1e-8,
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB 1994), parameterised
+//! by a pluggable support estimator.
+//!
+//! The paper's privacy-preserving mining (Section 7) runs Apriori on the
+//! perturbed database "with an additional support reconstruction phase
+//! at the end of each pass". Abstracting the support computation behind
+//! [`SupportEstimator`] lets the identical candidate-generation loop
+//! serve the exact miner (ground truth) and every perturbation method.
+
+use crate::itemset::ItemSet;
+use std::collections::{HashMap, HashSet};
+
+/// Supplies (possibly reconstructed) fractional supports for candidate
+/// itemsets.
+///
+/// `Sync` is required so that Apriori passes can fan candidate batches
+/// out across threads; all estimators in this workspace are read-only
+/// views over perturbed datasets and are trivially `Sync`.
+pub trait SupportEstimator: Sync {
+    /// Size of the item universe `M_b` (boolean columns).
+    fn num_items(&self) -> usize;
+
+    /// Estimated fractional support of `itemset` in the *original*
+    /// database. Estimates may be negative (reconstruction noise) —
+    /// such itemsets are simply infrequent.
+    fn estimate(&self, itemset: ItemSet) -> f64;
+
+    /// Batch estimation; the default maps [`SupportEstimator::estimate`]
+    /// over the slice, but implementations may override with a shared
+    /// dataset scan.
+    fn estimate_all(&self, itemsets: &[ItemSet]) -> Vec<f64> {
+        itemsets.iter().map(|&i| self.estimate(i)).collect()
+    }
+}
+
+/// Apriori parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AprioriParams {
+    /// Minimum fractional support `sup_min` (the paper uses 2%).
+    pub min_support: f64,
+    /// Maximum itemset length mined (0 = unbounded up to `M_b`).
+    pub max_length: usize,
+    /// Safety valve: abort candidate generation for a pass that would
+    /// exceed this many candidates (0 = unlimited). Noisy reconstruction
+    /// (ill-conditioned baselines) can admit floods of false positives;
+    /// the cap keeps experiment runs bounded.
+    pub max_candidates: usize,
+}
+
+impl Default for AprioriParams {
+    fn default() -> Self {
+        AprioriParams {
+            min_support: 0.02,
+            max_length: 0,
+            max_candidates: 0,
+        }
+    }
+}
+
+/// The frequent itemsets discovered in one mining run, grouped by
+/// length, with their (estimated) supports.
+#[derive(Debug, Clone, Default)]
+pub struct FrequentItemsets {
+    by_length: Vec<Vec<(ItemSet, f64)>>,
+}
+
+impl FrequentItemsets {
+    /// Frequent itemsets of length `k` (1-based; empty slice if none).
+    pub fn of_length(&self, k: usize) -> &[(ItemSet, f64)] {
+        if k == 0 || k > self.by_length.len() {
+            &[]
+        } else {
+            &self.by_length[k - 1]
+        }
+    }
+
+    /// The longest length with at least one frequent itemset.
+    pub fn max_length(&self) -> usize {
+        self.by_length.len()
+    }
+
+    /// Number of frequent itemsets per length (index 0 = length 1) —
+    /// the row format of the paper's Table 3.
+    pub fn length_profile(&self) -> Vec<usize> {
+        self.by_length.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of frequent itemsets.
+    pub fn total(&self) -> usize {
+        self.by_length.iter().map(Vec::len).sum()
+    }
+
+    /// Support of a specific itemset, if frequent.
+    pub fn support_of(&self, itemset: ItemSet) -> Option<f64> {
+        let k = itemset.len();
+        self.of_length(k)
+            .iter()
+            .find(|(i, _)| *i == itemset)
+            .map(|&(_, s)| s)
+    }
+
+    /// Iterates all frequent itemsets with their supports.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemSet, f64)> + '_ {
+        self.by_length.iter().flatten().copied()
+    }
+
+    /// The frequent itemsets of length `k` as a lookup set.
+    pub fn set_of_length(&self, k: usize) -> HashSet<ItemSet> {
+        self.of_length(k).iter().map(|&(i, _)| i).collect()
+    }
+
+    /// Appends the next level (itemsets one longer than the current
+    /// maximum) — used by the miners to assemble results.
+    pub fn push_level(&mut self, mut level: Vec<(ItemSet, f64)>) {
+        level.sort_by_key(|&(i, _)| i);
+        self.by_length.push(level);
+    }
+}
+
+/// Runs Apriori: returns all itemsets whose estimated support reaches
+/// `params.min_support`, level by level.
+pub fn apriori(estimator: &dyn SupportEstimator, params: &AprioriParams) -> FrequentItemsets {
+    let max_len = if params.max_length == 0 {
+        estimator.num_items()
+    } else {
+        params.max_length
+    };
+    let mut result = FrequentItemsets::default();
+
+    // Pass 1: single items.
+    let singles: Vec<ItemSet> = (0..estimator.num_items()).map(ItemSet::singleton).collect();
+    let supports = estimate_parallel(estimator, &singles);
+    let mut frontier: Vec<(ItemSet, f64)> = singles
+        .into_iter()
+        .zip(supports)
+        .filter(|&(_, s)| s >= params.min_support)
+        .collect();
+
+    let mut k = 1usize;
+    while !frontier.is_empty() {
+        result.push_level(frontier.clone());
+        if k >= max_len {
+            break;
+        }
+        let candidates = generate_candidates(&frontier);
+        if candidates.is_empty() {
+            break;
+        }
+        if params.max_candidates != 0 && candidates.len() > params.max_candidates {
+            break;
+        }
+        let supports = estimate_parallel(estimator, &candidates);
+        frontier = candidates
+            .into_iter()
+            .zip(supports)
+            .filter(|&(_, s)| s >= params.min_support)
+            .collect();
+        k += 1;
+    }
+    result
+}
+
+/// Fans candidate support estimation out across threads when the batch
+/// is large enough to amortise the spawn cost; preserves input order.
+fn estimate_parallel(estimator: &dyn SupportEstimator, candidates: &[ItemSet]) -> Vec<f64> {
+    const PARALLEL_THRESHOLD: usize = 64;
+    let workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    if candidates.len() < PARALLEL_THRESHOLD || workers < 2 {
+        return estimator.estimate_all(candidates);
+    }
+    let chunk = candidates.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(candidates.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || estimator.estimate_all(c)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("estimation worker panicked"));
+        }
+    });
+    out
+}
+
+/// Classic Apriori-gen: join frequent `k`-itemsets pairwise into
+/// `(k+1)`-candidates and prune any candidate with an infrequent
+/// `k`-subset.
+fn generate_candidates(frequent: &[(ItemSet, f64)]) -> Vec<ItemSet> {
+    let frequent_set: HashSet<ItemSet> = frequent.iter().map(|&(i, _)| i).collect();
+    let k = match frequent.first() {
+        Some((i, _)) => i.len(),
+        None => return Vec::new(),
+    };
+    let mut seen: HashMap<ItemSet, ()> = HashMap::new();
+    let mut out = Vec::new();
+    for (a_idx, &(a, _)) in frequent.iter().enumerate() {
+        for &(b, _) in &frequent[a_idx + 1..] {
+            let u = a.union(b);
+            if u.len() != k + 1 || seen.contains_key(&u) {
+                continue;
+            }
+            seen.insert(u, ());
+            // Prune: every k-subset must be frequent.
+            if u.remove_one_subsets().all(|s| frequent_set.contains(&s)) {
+                out.push(u);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::row_to_mask;
+
+    /// Exact estimator over boolean rows for tests.
+    struct TestData {
+        masks: Vec<u64>,
+        num_items: usize,
+    }
+
+    impl TestData {
+        fn new(rows: &[&[bool]]) -> Self {
+            TestData {
+                masks: rows.iter().map(|r| row_to_mask(r)).collect(),
+                num_items: rows.first().map_or(0, |r| r.len()),
+            }
+        }
+    }
+
+    impl SupportEstimator for TestData {
+        fn num_items(&self) -> usize {
+            self.num_items
+        }
+
+        fn estimate(&self, itemset: ItemSet) -> f64 {
+            if self.masks.is_empty() {
+                return 0.0;
+            }
+            let hits = self
+                .masks
+                .iter()
+                .filter(|&&m| m & itemset.0 == itemset.0)
+                .count();
+            hits as f64 / self.masks.len() as f64
+        }
+    }
+
+    #[test]
+    fn mines_textbook_example() {
+        // 4 transactions over 5 items; min support 50% (2 of 4).
+        let t = TestData::new(&[
+            &[true, true, false, false, true],
+            &[false, true, false, true, false],
+            &[false, true, true, false, false],
+            &[true, true, false, true, false],
+        ]);
+        let params = AprioriParams {
+            min_support: 0.5,
+            max_length: 0,
+            max_candidates: 0,
+        };
+        let result = apriori(&t, &params);
+        // Frequent singles: 0 (2/4), 1 (4/4), 3 (2/4). Items 2, 4 have 1/4.
+        assert_eq!(result.set_of_length(1).len(), 3);
+        assert!(result.support_of(ItemSet::singleton(1)).unwrap() == 1.0);
+        // Frequent pairs: {0,1} (2/4), {1,3} (2/4). {0,3} only 1/4.
+        let pairs = result.set_of_length(2);
+        assert!(pairs.contains(&ItemSet::from_items(&[0, 1])));
+        assert!(pairs.contains(&ItemSet::from_items(&[1, 3])));
+        assert_eq!(pairs.len(), 2);
+        // No frequent triples: candidate {0,1,3} pruned because {0,3}
+        // infrequent.
+        assert_eq!(result.of_length(3).len(), 0);
+        assert_eq!(result.max_length(), 2);
+    }
+
+    #[test]
+    fn empty_data_mines_nothing() {
+        let t = TestData {
+            masks: vec![],
+            num_items: 4,
+        };
+        let result = apriori(&t, &AprioriParams::default());
+        assert_eq!(result.total(), 0);
+        assert_eq!(result.length_profile(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn max_length_truncates() {
+        let t = TestData::new(&[&[true, true, true], &[true, true, true]]);
+        let full = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.5,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        assert_eq!(full.length_profile(), vec![3, 3, 1]);
+        let capped = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.5,
+                max_length: 2,
+                max_candidates: 0,
+            },
+        );
+        assert_eq!(capped.length_profile(), vec![3, 3]);
+    }
+
+    #[test]
+    fn min_support_one_keeps_universal_itemsets() {
+        let t = TestData::new(&[&[true, false, true], &[true, true, true]]);
+        let result = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 1.0,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        // Items 0 and 2 appear in all rows; the pair {0,2} as well.
+        assert_eq!(result.length_profile(), vec![2, 1]);
+        assert!(result.support_of(ItemSet::from_items(&[0, 2])).is_some());
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        // Every subset of a frequent itemset must itself be frequent.
+        let rows: Vec<Vec<bool>> = (0..64u32)
+            .map(|i| (0..6).map(|b| i >> b & 1 == 1 || i % 3 == 0).collect())
+            .collect();
+        let refs: Vec<&[bool]> = rows.iter().map(Vec::as_slice).collect();
+        let t = TestData::new(&refs);
+        let result = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.3,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        for (itemset, _) in result.iter() {
+            for sub in itemset.remove_one_subsets() {
+                if !sub.is_empty() {
+                    assert!(
+                        result.support_of(sub).is_some(),
+                        "subset {sub} of frequent {itemset} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supports_are_recorded_exactly() {
+        let t = TestData::new(&[&[true, true], &[true, false], &[false, true], &[true, true]]);
+        let result = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.25,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        assert_eq!(result.support_of(ItemSet::singleton(0)), Some(0.75));
+        assert_eq!(result.support_of(ItemSet::from_items(&[0, 1])), Some(0.5));
+    }
+
+    #[test]
+    fn length_profile_matches_of_length() {
+        let t = TestData::new(&[&[true, true, false], &[true, true, true]]);
+        let result = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.5,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        let profile = result.length_profile();
+        for (i, &count) in profile.iter().enumerate() {
+            assert_eq!(result.of_length(i + 1).len(), count);
+        }
+        assert_eq!(result.of_length(0).len(), 0);
+        assert_eq!(result.of_length(99).len(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Condensed representations of frequent-itemset collections: maximal
+//! and closed itemsets.
+//!
+//! The paper reports raw per-length counts (Table 3), but downstream
+//! users of a mining library routinely want the condensed forms: the
+//! *maximal* frequent itemsets (no frequent superset) summarise the
+//! border of the frequent lattice, and the *closed* ones (no superset
+//! with the same support) preserve all support information losslessly.
+
+use crate::apriori::FrequentItemsets;
+use crate::itemset::ItemSet;
+
+/// Returns the maximal frequent itemsets — those with no frequent
+/// proper superset — with their supports, sorted by itemset.
+pub fn maximal_itemsets(frequent: &FrequentItemsets) -> Vec<(ItemSet, f64)> {
+    let mut out = Vec::new();
+    let max_len = frequent.max_length();
+    for k in 1..=max_len {
+        let supersets = frequent.set_of_length(k + 1);
+        for &(itemset, sup) in frequent.of_length(k) {
+            // A frequent (k+1)-superset exists iff adding one item to
+            // `itemset` lands in the next level; check via the next
+            // level's sets directly (levels are small).
+            let has_frequent_superset =
+                supersets.iter().any(|&sup_set| sup_set.contains(itemset));
+            if !has_frequent_superset {
+                out.push((itemset, sup));
+            }
+        }
+    }
+    out.sort_by_key(|&(i, _)| i);
+    out
+}
+
+/// Returns the closed frequent itemsets — those with no proper superset
+/// of equal support — with their supports, sorted by itemset.
+///
+/// Supports are compared with a small tolerance so reconstructed
+/// (noisy) supports don't spuriously separate truly-equal ones.
+pub fn closed_itemsets(frequent: &FrequentItemsets, tolerance: f64) -> Vec<(ItemSet, f64)> {
+    let mut out = Vec::new();
+    let max_len = frequent.max_length();
+    for k in 1..=max_len {
+        for &(itemset, sup) in frequent.of_length(k) {
+            let closed = !frequent
+                .of_length(k + 1)
+                .iter()
+                .any(|&(s, ssup)| s.contains(itemset) && (ssup - sup).abs() <= tolerance);
+            if closed {
+                out.push((itemset, sup));
+            }
+        }
+    }
+    out.sort_by_key(|&(i, _)| i);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriParams, SupportEstimator};
+    use crate::itemset::row_to_mask;
+
+    struct Exact {
+        masks: Vec<u64>,
+        num_items: usize,
+    }
+
+    impl SupportEstimator for Exact {
+        fn num_items(&self) -> usize {
+            self.num_items
+        }
+        fn estimate(&self, itemset: ItemSet) -> f64 {
+            let hits = self
+                .masks
+                .iter()
+                .filter(|&&m| m & itemset.0 == itemset.0)
+                .count();
+            hits as f64 / self.masks.len() as f64
+        }
+    }
+
+    fn mine(rows: &[&[bool]], min_support: f64) -> FrequentItemsets {
+        let e = Exact {
+            masks: rows.iter().map(|r| row_to_mask(r)).collect(),
+            num_items: rows[0].len(),
+        };
+        apriori(
+            &e,
+            &AprioriParams {
+                min_support,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn maximal_of_a_chain_is_the_top() {
+        // Items 0,1,2 always co-occur: the only maximal itemset is the
+        // triple.
+        let f = mine(&[&[true, true, true], &[true, true, true]], 0.5);
+        let max = maximal_itemsets(&f);
+        assert_eq!(max.len(), 1);
+        assert_eq!(max[0].0, ItemSet::from_items(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn maximal_covers_all_frequent_itemsets() {
+        let f = mine(
+            &[
+                &[true, true, false, true],
+                &[true, true, false, false],
+                &[false, true, true, false],
+                &[true, false, true, false],
+            ],
+            0.25,
+        );
+        let max = maximal_itemsets(&f);
+        // Every frequent itemset is a subset of some maximal one.
+        for (itemset, _) in f.iter() {
+            assert!(
+                max.iter().any(|&(m, _)| m.contains(itemset)),
+                "{itemset} not covered"
+            );
+        }
+        // No maximal itemset is a subset of another.
+        for &(a, _) in &max {
+            for &(b, _) in &max {
+                assert!(a == b || !b.contains(a), "{a} subsumed by {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_preserves_support_information() {
+        // Item 0 occurs exactly when item 1 does: {0} is NOT closed
+        // (superset {0,1} has equal support); {1} IS closed (it also
+        // occurs alone).
+        let f = mine(
+            &[
+                &[true, true, false],
+                &[true, true, false],
+                &[false, true, false],
+                &[false, false, true],
+            ],
+            0.25,
+        );
+        let closed = closed_itemsets(&f, 1e-12);
+        let sets: Vec<ItemSet> = closed.iter().map(|&(i, _)| i).collect();
+        assert!(!sets.contains(&ItemSet::singleton(0)), "{sets:?}");
+        assert!(sets.contains(&ItemSet::singleton(1)));
+        assert!(sets.contains(&ItemSet::from_items(&[0, 1])));
+    }
+
+    #[test]
+    fn maximal_are_a_subset_of_closed() {
+        let f = mine(
+            &[
+                &[true, true, true, false],
+                &[true, true, false, false],
+                &[true, false, false, true],
+                &[false, true, true, true],
+            ],
+            0.25,
+        );
+        let max: Vec<ItemSet> = maximal_itemsets(&f).iter().map(|&(i, _)| i).collect();
+        let closed: Vec<ItemSet> = closed_itemsets(&f, 1e-12).iter().map(|&(i, _)| i).collect();
+        for m in &max {
+            assert!(closed.contains(m), "maximal {m} not closed");
+        }
+        assert!(closed.len() <= f.total());
+    }
+
+    #[test]
+    fn empty_result_yields_empty_condensations() {
+        let f = FrequentItemsets::default();
+        assert!(maximal_itemsets(&f).is_empty());
+        assert!(closed_itemsets(&f, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! FP-growth (Han, Pei & Yin, SIGMOD 2000): frequent-itemset mining
+//! without candidate generation.
+//!
+//! The paper's privacy-preserving loop is built around Apriori because
+//! support *reconstruction* happens per candidate; but the exact
+//! ground-truth pass — which every experiment needs — has no such
+//! constraint. FP-growth compresses the dataset into a prefix tree and
+//! mines it recursively, typically much faster than level-wise
+//! counting. The result type is the same [`FrequentItemsets`], so the
+//! two miners cross-validate each other (see the property tests).
+
+use crate::apriori::FrequentItemsets;
+use crate::itemset::ItemSet;
+
+/// An FP-tree node; nodes live in an arena indexed by `usize`.
+#[derive(Debug, Clone)]
+struct Node {
+    item: usize,
+    count: usize,
+    parent: usize,
+    /// Child links as (item, node) pairs; fan-out is small for
+    /// categorical data, so a sorted Vec beats a HashMap here.
+    children: Vec<(usize, usize)>,
+}
+
+/// An FP-tree over items `0..num_items`, counting transaction masks.
+struct FpTree {
+    arena: Vec<Node>,
+    /// All nodes carrying each item (the "header table").
+    header: Vec<Vec<usize>>,
+    /// Item order: position in the frequency-descending ordering.
+    rank: Vec<usize>,
+}
+
+const ROOT: usize = 0;
+const NO_ITEM: usize = usize::MAX;
+
+impl FpTree {
+    fn new(num_items: usize, rank: Vec<usize>) -> Self {
+        FpTree {
+            arena: vec![Node {
+                item: NO_ITEM,
+                count: 0,
+                parent: ROOT,
+                children: Vec::new(),
+            }],
+            header: vec![Vec::new(); num_items],
+            rank,
+        }
+    }
+
+    /// Inserts a transaction given as item list already filtered to
+    /// frequent items; sorts by the tree's canonical rank.
+    fn insert(&mut self, items: &mut [usize], count: usize) {
+        items.sort_by_key(|&i| self.rank[i]);
+        let mut at = ROOT;
+        for &item in items.iter() {
+            let found = self.arena[at]
+                .children
+                .iter()
+                .find(|&&(i, _)| i == item)
+                .map(|&(_, n)| n);
+            at = match found {
+                Some(child) => {
+                    self.arena[child].count += count;
+                    child
+                }
+                None => {
+                    let idx = self.arena.len();
+                    self.arena.push(Node {
+                        item,
+                        count,
+                        parent: at,
+                        children: Vec::new(),
+                    });
+                    self.arena[at].children.push((item, idx));
+                    self.header[item].push(idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// Walks from a node to the root, collecting the prefix path items.
+    fn prefix_path(&self, mut node: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        node = self.arena[node].parent;
+        while node != ROOT {
+            path.push(self.arena[node].item);
+            node = self.arena[node].parent;
+        }
+        path
+    }
+}
+
+/// Mines all itemsets with count ≥ `min_count` from transaction masks.
+///
+/// `masks` holds one `u64` bitmask per transaction (bit `i` = item `i`
+/// present); `num_items ≤ 64`. Supports in the returned
+/// [`FrequentItemsets`] are fractions of `masks.len()`.
+pub fn fp_growth(masks: &[u64], num_items: usize, min_support: f64) -> FrequentItemsets {
+    assert!(num_items <= 64, "item universe must fit in a u64 mask");
+    let n = masks.len();
+    let mut found: Vec<(ItemSet, usize)> = Vec::new();
+    if n > 0 {
+        let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
+        // Global item frequencies.
+        let mut freq = vec![0usize; num_items];
+        for &m in masks {
+            let mut rest = m;
+            while rest != 0 {
+                freq[rest.trailing_zeros() as usize] += 1;
+                rest &= rest - 1;
+            }
+        }
+        // Canonical order: frequency-descending, item-ascending ties.
+        let mut order: Vec<usize> = (0..num_items).collect();
+        order.sort_by(|&a, &b| freq[b].cmp(&freq[a]).then(a.cmp(&b)));
+        let mut rank = vec![0usize; num_items];
+        for (pos, &item) in order.iter().enumerate() {
+            rank[item] = pos;
+        }
+        // Build the initial tree from frequent items only.
+        let mut tree = FpTree::new(num_items, rank);
+        let mut scratch = Vec::with_capacity(num_items);
+        for &m in masks {
+            scratch.clear();
+            let mut rest = m;
+            while rest != 0 {
+                let item = rest.trailing_zeros() as usize;
+                if freq[item] >= min_count {
+                    scratch.push(item);
+                }
+                rest &= rest - 1;
+            }
+            if !scratch.is_empty() {
+                tree.insert(&mut scratch, 1);
+            }
+        }
+        mine_tree(&tree, &freq, min_count, ItemSet::EMPTY, &mut found);
+    }
+
+    // Repackage as FrequentItemsets grouped by length.
+    let mut by_length: Vec<Vec<(ItemSet, f64)>> = Vec::new();
+    for (itemset, count) in found {
+        let k = itemset.len();
+        while by_length.len() < k {
+            by_length.push(Vec::new());
+        }
+        by_length[k - 1].push((itemset, count as f64 / n as f64));
+    }
+    while by_length.last().is_some_and(Vec::is_empty) {
+        by_length.pop();
+    }
+    let mut out = FrequentItemsets::default();
+    for level in by_length {
+        out.push_level(level);
+    }
+    out
+}
+
+/// Recursive FP-growth over a (conditional) tree.
+fn mine_tree(
+    tree: &FpTree,
+    freq: &[usize],
+    min_count: usize,
+    suffix: ItemSet,
+    out: &mut Vec<(ItemSet, usize)>,
+) {
+    // Visit items in reverse canonical order (least frequent first).
+    let mut items: Vec<usize> = (0..tree.header.len())
+        .filter(|&i| freq[i] >= min_count && !tree.header[i].is_empty())
+        .collect();
+    items.sort_by_key(|&i| std::cmp::Reverse(tree.rank[i]));
+
+    for item in items {
+        let new_suffix = suffix.union(ItemSet::singleton(item));
+        let support: usize = tree.header[item].iter().map(|&n| tree.arena[n].count).sum();
+        if support < min_count {
+            continue;
+        }
+        out.push((new_suffix, support));
+        // Conditional pattern base: prefix paths weighted by the node
+        // count.
+        let mut cond_freq = vec![0usize; tree.header.len()];
+        let mut paths: Vec<(Vec<usize>, usize)> = Vec::new();
+        for &node in &tree.header[item] {
+            let count = tree.arena[node].count;
+            let path = tree.prefix_path(node);
+            for &p in &path {
+                cond_freq[p] += count;
+            }
+            if !path.is_empty() {
+                paths.push((path, count));
+            }
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        // Build the conditional tree on frequent conditional items.
+        let mut cond_tree = FpTree::new(tree.header.len(), tree.rank.clone());
+        let mut any = false;
+        for (path, count) in paths {
+            let mut filtered: Vec<usize> = path
+                .into_iter()
+                .filter(|&p| cond_freq[p] >= min_count)
+                .collect();
+            if !filtered.is_empty() {
+                cond_tree.insert(&mut filtered, count);
+                any = true;
+            }
+        }
+        if any {
+            mine_tree(&cond_tree, &cond_freq, min_count, new_suffix, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriParams, SupportEstimator};
+    use crate::itemset::row_to_mask;
+
+    struct Exact {
+        masks: Vec<u64>,
+        num_items: usize,
+    }
+
+    impl SupportEstimator for Exact {
+        fn num_items(&self) -> usize {
+            self.num_items
+        }
+        fn estimate(&self, itemset: ItemSet) -> f64 {
+            if self.masks.is_empty() {
+                return 0.0;
+            }
+            let hits = self
+                .masks
+                .iter()
+                .filter(|&&m| m & itemset.0 == itemset.0)
+                .count();
+            hits as f64 / self.masks.len() as f64
+        }
+    }
+
+    fn assert_same_result(masks: Vec<u64>, num_items: usize, min_support: f64) {
+        let fp = fp_growth(&masks, num_items, min_support);
+        let exact = Exact { masks, num_items };
+        let ap = apriori(
+            &exact,
+            &AprioriParams {
+                min_support,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        assert_eq!(
+            fp.length_profile(),
+            ap.length_profile(),
+            "profiles differ: fp={:?} apriori={:?}",
+            fp.length_profile(),
+            ap.length_profile()
+        );
+        for (itemset, sup) in ap.iter() {
+            let fp_sup = fp
+                .support_of(itemset)
+                .unwrap_or_else(|| panic!("fp-growth missing itemset {itemset} (support {sup})"));
+            assert!((fp_sup - sup).abs() < 1e-12, "{itemset}: {fp_sup} vs {sup}");
+        }
+    }
+
+    #[test]
+    fn matches_apriori_on_textbook_example() {
+        let rows: Vec<u64> = [
+            [true, true, false, false, true],
+            [false, true, false, true, false],
+            [false, true, true, false, false],
+            [true, true, false, true, false],
+        ]
+        .iter()
+        .map(|r| row_to_mask(r))
+        .collect();
+        assert_same_result(rows, 5, 0.5);
+    }
+
+    #[test]
+    fn matches_apriori_on_structured_data() {
+        // Deterministic pseudo-random transactions with correlations.
+        let masks: Vec<u64> = (0..500u64)
+            .map(|i| {
+                let mut m = 0u64;
+                if i % 2 == 0 {
+                    m |= 0b0011;
+                }
+                if i % 3 == 0 {
+                    m |= 0b0110;
+                }
+                if i % 7 == 0 {
+                    m |= 0b11000;
+                }
+                m | (1 << (i % 5))
+            })
+            .collect();
+        for min_sup in [0.05, 0.2, 0.5] {
+            assert_same_result(masks.clone(), 5, min_sup);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let fp = fp_growth(&[], 4, 0.1);
+        assert_eq!(fp.total(), 0);
+    }
+
+    #[test]
+    fn min_support_one_requires_universal_items() {
+        let masks = vec![0b101u64, 0b111, 0b101];
+        let fp = fp_growth(&masks, 3, 1.0);
+        // Items 0 and 2 in every transaction; pair {0,2} as well.
+        assert_eq!(fp.length_profile(), vec![2, 1]);
+        assert!(fp.support_of(ItemSet::from_items(&[0, 2])).is_some());
+    }
+
+    #[test]
+    fn single_transaction_mines_its_power_set_levels() {
+        let masks = vec![0b111u64];
+        let fp = fp_growth(&masks, 3, 0.5);
+        // 3 singles, 3 pairs, 1 triple.
+        assert_eq!(fp.length_profile(), vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn supports_are_fractions() {
+        let masks = vec![0b1u64, 0b1, 0b0, 0b1];
+        let fp = fp_growth(&masks, 1, 0.5);
+        assert_eq!(fp.support_of(ItemSet::singleton(0)), Some(0.75));
+    }
+
+    #[test]
+    fn matches_apriori_on_census_sample() {
+        let ds = frapp_data_free_census(1500);
+        let masks: Vec<u64> = ds.iter().map(|r| row_to_mask(r)).collect();
+        assert_same_result(masks, 23, 0.02);
+    }
+
+    /// A tiny local census-like boolean generator (the real one lives in
+    /// frapp-data, which depends on this crate — avoid the cycle).
+    fn frapp_data_free_census(n: usize) -> Vec<Vec<bool>> {
+        let cards = [4usize, 5, 5, 5, 2, 2];
+        let width: usize = cards.iter().sum();
+        (0..n)
+            .map(|i| {
+                let mut row = vec![false; width];
+                let mut offset = 0;
+                for (j, &c) in cards.iter().enumerate() {
+                    // Skewed deterministic pattern with correlations.
+                    let v = if i % 3 == 0 { 0 } else { (i * (j + 7)) % c };
+                    row[offset + v] = true;
+                    offset += c;
+                }
+                row
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,36 @@
+//! Frequent-itemset mining substrate for the FRAPP reproduction
+//! (paper Section 6 and the experimental Section 7).
+//!
+//! The paper evaluates FRAPP on association-rule mining: find all
+//! itemsets whose support exceeds `sup_min` with the Apriori algorithm,
+//! where each pass counts supports on the *perturbed* database and then
+//! reconstructs the original supports before the frequency test.
+//!
+//! * [`itemset`] — compact bitmask itemsets over the boolean item view
+//!   (`M_b = Σ_j |S_j|` items; at most one item per attribute holds in a
+//!   categorical record).
+//! * [`mod@apriori`] — the bottom-up Apriori of Agrawal & Srikant (VLDB
+//!   1994) parameterised by a [`apriori::SupportEstimator`], so the same
+//!   mining loop runs exact (ground truth), DET-GD, RAN-GD, MASK and
+//!   C&P configurations.
+//! * [`estimators`] — the per-method support reconstruction plugged into
+//!   each Apriori pass.
+//! * [`metrics`] — the paper's accuracy measures: support error `ρ` and
+//!   identity errors `σ⁺`/`σ⁻` per itemset length (Section 7).
+//! * [`rules`] — confidence-based association-rule generation on top of
+//!   the mined itemsets.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod condense;
+pub mod estimators;
+pub mod fpgrowth;
+pub mod itemset;
+pub mod metrics;
+pub mod rules;
+
+pub use apriori::{apriori, AprioriParams, FrequentItemsets, SupportEstimator};
+pub use fpgrowth::fp_growth;
+pub use itemset::ItemSet;
+pub use metrics::{compare, AccuracyMetrics};

@@ -1,0 +1,174 @@
+//! Association-rule generation (Agrawal, Imieliński & Swami, SIGMOD
+//! 1993) over mined frequent itemsets.
+//!
+//! Frequent itemsets are the paper's evaluation target, but the
+//! motivating application is association rules ("adult females with
+//! malarial infections are also prone to contract tuberculosis"). This
+//! module derives confidence-filtered rules `X ⇒ Y` from a
+//! [`FrequentItemsets`] result, using whatever supports that result
+//! carries — exact or privacy-preserving reconstructions alike.
+
+use crate::apriori::FrequentItemsets;
+use crate::itemset::ItemSet;
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    /// The antecedent `X`.
+    pub antecedent: ItemSet,
+    /// The consequent `Y` (disjoint from `X`).
+    pub consequent: ItemSet,
+    /// Support of `X ∪ Y`.
+    pub support: f64,
+    /// Confidence `sup(X ∪ Y) / sup(X)`.
+    pub confidence: f64,
+    /// Lift `conf / sup(Y)`; `f64::INFINITY` if `sup(Y)` is 0.
+    pub lift: f64,
+}
+
+/// Generates all rules with confidence at least `min_confidence` from
+/// the frequent itemsets. Rules whose antecedent or consequent support
+/// is unavailable (possible in reconstructed results when a subset was
+/// missed) are skipped.
+pub fn generate_rules(frequent: &FrequentItemsets, min_confidence: f64) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for (itemset, support) in frequent.iter() {
+        if itemset.len() < 2 {
+            continue;
+        }
+        for antecedent in itemset.proper_subsets() {
+            let consequent = itemset.difference(antecedent);
+            let Some(sup_x) = frequent.support_of(antecedent) else {
+                continue;
+            };
+            if sup_x <= 0.0 {
+                continue;
+            }
+            let confidence = support / sup_x;
+            if confidence >= min_confidence {
+                let lift = match frequent.support_of(consequent) {
+                    Some(sup_y) if sup_y > 0.0 => confidence / sup_y,
+                    _ => f64::INFINITY,
+                };
+                rules.push(Rule {
+                    antecedent,
+                    consequent,
+                    support,
+                    confidence,
+                    lift,
+                });
+            }
+        }
+    }
+    // Deterministic order: by confidence descending, then lexicographic.
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite confidences")
+            .then(a.antecedent.cmp(&b.antecedent))
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriParams, SupportEstimator};
+    use crate::itemset::row_to_mask;
+
+    struct TestData {
+        masks: Vec<u64>,
+        num_items: usize,
+    }
+
+    impl SupportEstimator for TestData {
+        fn num_items(&self) -> usize {
+            self.num_items
+        }
+        fn estimate(&self, itemset: ItemSet) -> f64 {
+            let hits = self
+                .masks
+                .iter()
+                .filter(|&&m| m & itemset.0 == itemset.0)
+                .count();
+            hits as f64 / self.masks.len() as f64
+        }
+    }
+
+    fn mined() -> FrequentItemsets {
+        // Item 0 implies item 1 deterministically; item 2 independent.
+        let rows: Vec<Vec<bool>> = (0..100)
+            .map(|i| vec![i % 2 == 0, i % 2 == 0 || i % 5 == 1, i % 4 == 0])
+            .collect();
+        let t = TestData {
+            masks: rows.iter().map(|r| row_to_mask(r)).collect(),
+            num_items: 3,
+        };
+        apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.1,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn deterministic_implication_has_confidence_one() {
+        let rules = generate_rules(&mined(), 0.9);
+        let rule = rules
+            .iter()
+            .find(|r| {
+                r.antecedent == ItemSet::singleton(0) && r.consequent == ItemSet::singleton(1)
+            })
+            .expect("rule 0 => 1 present");
+        assert!((rule.confidence - 1.0).abs() < 1e-12);
+        assert!(rule.lift > 1.0);
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let all = generate_rules(&mined(), 0.0);
+        let strict = generate_rules(&mined(), 0.95);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.95));
+    }
+
+    #[test]
+    fn antecedent_and_consequent_are_disjoint_and_nonempty() {
+        for r in generate_rules(&mined(), 0.0) {
+            assert!(!r.antecedent.is_empty());
+            assert!(!r.consequent.is_empty());
+            assert!(r.antecedent.intersect(r.consequent).is_empty());
+        }
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence_descending() {
+        let rules = generate_rules(&mined(), 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_rules_from_single_itemsets_only() {
+        let rows: Vec<Vec<bool>> = (0..10).map(|i| vec![i % 2 == 0, i % 2 == 1]).collect();
+        let t = TestData {
+            masks: rows.iter().map(|r| row_to_mask(r)).collect(),
+            num_items: 2,
+        };
+        // Pairs have zero support: only singletons are frequent.
+        let f = apriori(
+            &t,
+            &AprioriParams {
+                min_support: 0.4,
+                max_length: 0,
+                max_candidates: 0,
+            },
+        );
+        assert!(generate_rules(&f, 0.0).is_empty());
+    }
+}

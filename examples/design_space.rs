@@ -1,0 +1,112 @@
+//! Exploring the FRAPP design space: the framework's point is that a
+//! perturbation *matrix* is the designable object. This example builds
+//! several candidate matrices over one small domain, audits each against
+//! the same γ = 19 privacy bound, computes its condition number, and
+//! runs the same perturb→reconstruct experiment through each — making
+//! the paper's "choose the matrix first" argument concrete.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use frapp::core::perturb::{ExplicitMatrix, Perturber};
+use frapp::core::privacy::audit_matrix;
+use frapp::core::reconstruct::reconstruct_counts;
+use frapp::core::{Dataset, Schema};
+use frapp::linalg::{condition_number_2, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean absolute per-cell reconstruction error for one matrix.
+fn run(matrix: &Matrix, schema: &Schema, original: &Dataset, seed: u64) -> f64 {
+    let perturber = ExplicitMatrix::new(schema, matrix.clone()).expect("valid Markov matrix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perturbed_records = perturber
+        .perturb_dataset(original.records(), &mut rng)
+        .expect("valid records");
+    let perturbed = Dataset::from_trusted(schema.clone(), perturbed_records);
+    let x_hat = reconstruct_counts(matrix, &perturbed.count_vector()).expect("invertible matrix");
+    let x_true = original.count_vector();
+    x_hat
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / x_true.len() as f64
+}
+
+fn main() {
+    let schema = Schema::new(vec![("a", 3), ("b", 2), ("c", 2)]).expect("valid schema");
+    let n = schema.domain_size();
+    let gamma = 19.0;
+    let x = 1.0 / (gamma + n as f64 - 1.0);
+
+    // A skewed original dataset.
+    let mut records = Vec::new();
+    for i in 0..40_000usize {
+        let r = match i % 10 {
+            0..=5 => vec![0, 0, 0],
+            6..=7 => vec![1, 1, 1],
+            8 => vec![2, 0, 1],
+            _ => vec![(i % 3) as u32, (i % 2) as u32, (i % 2) as u32],
+        };
+        records.push(r);
+    }
+    let original = Dataset::new(schema.clone(), records).expect("valid records");
+
+    // Candidate matrices over the 12-cell domain.
+    let gamma_diagonal = Matrix::from_fn(n, n, |i, j| if i == j { gamma * x } else { x });
+    // Two-level ring: strong diagonal, medium neighbours — still within gamma.
+    let ring = {
+        let raw = Matrix::from_fn(n, n, |i, j| {
+            let d = (i + n - j) % n;
+            match d {
+                0 => 4.0,
+                1 => 2.0,
+                _ if d == n - 1 => 2.0,
+                _ => 1.0,
+            }
+        });
+        let col_sum: f64 = (0..n).map(|i| raw[(i, 0)]).sum();
+        raw.scaled(1.0 / col_sum)
+    };
+    // Near-uniform: maximal privacy margin, nearly singular.
+    let near_uniform = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.05 / (n as f64 + 0.05)
+        } else {
+            1.0 / (n as f64 + 0.05)
+        }
+    });
+
+    println!("design space over a {n}-cell domain at gamma = {gamma} (40k records)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>16}",
+        "matrix", "obs gamma", "privacy", "cond", "mean |err|/cell"
+    );
+    for (name, m) in [
+        ("gamma-diagonal", &gamma_diagonal),
+        ("two-level ring", &ring),
+        ("near-uniform", &near_uniform),
+    ] {
+        assert!(m.is_column_stochastic(1e-9), "{name} must be Markov");
+        let audit = audit_matrix(m, gamma);
+        let cond = condition_number_2(m).expect("square matrix");
+        let err = run(m, &schema, &original, 99);
+        println!(
+            "{:<16} {:>12.3} {:>12} {:>10.1} {:>16.1}",
+            name,
+            audit.observed_gamma,
+            if audit.passes() { "PASS" } else { "FAIL" },
+            cond,
+            err
+        );
+    }
+    println!(
+        "\nreading: all three matrices satisfy the privacy bound, but their\n\
+         condition numbers — and hence reconstruction errors — differ sharply.\n\
+         The gamma-diagonal matrix realises the theoretical optimum\n\
+         (gamma+n-1)/(gamma-1) = {:.3}.",
+        (gamma + n as f64 - 1.0) / (gamma - 1.0)
+    );
+}

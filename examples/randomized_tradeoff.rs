@@ -1,0 +1,91 @@
+//! The paper's Section-4 idea: randomize the perturbation matrix itself.
+//!
+//! Sweeps the randomization half-width α and shows the two sides of the
+//! trade-off on a planted dataset: the determinable posterior range
+//! shrinks toward zero breach (privacy gain) while the support
+//! reconstruction error stays close to the deterministic case
+//! (accuracy cost ≈ marginal) — the paper's Figure 3 in miniature.
+//!
+//! ```sh
+//! cargo run --release --example randomized_tradeoff
+//! ```
+
+use frapp::core::perturb::{GammaDiagonal, Perturber, RandomizedGammaDiagonal};
+use frapp::core::privacy::RandomizedPosterior;
+use frapp::core::reconstruct::GammaDiagonalReconstructor;
+use frapp::core::{Dataset, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean absolute reconstruction error over the domain cells.
+fn reconstruction_error(original: &Dataset, perturber: &dyn Perturber, seed: u64) -> f64 {
+    let gd = GammaDiagonal::new(original.schema(), 19.0).expect("gamma > 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perturbed_records = perturber
+        .perturb_dataset(original.records(), &mut rng)
+        .expect("valid records");
+    let perturbed = Dataset::from_trusted(original.schema().clone(), perturbed_records);
+    let x_hat = GammaDiagonalReconstructor::new(&gd).reconstruct(&perturbed.count_vector());
+    let x_true = original.count_vector();
+    x_hat
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / x_true.len() as f64
+}
+
+fn main() {
+    let schema = Schema::new(vec![("a", 5), ("b", 4), ("c", 3)]).expect("valid schema");
+    let n_cells = schema.domain_size();
+    // Planted skew: a handful of popular cells over a uniform floor.
+    let mut records = Vec::new();
+    for i in 0..50_000usize {
+        let r = match i % 20 {
+            0..=7 => vec![0, 0, 0],
+            8..=12 => vec![1, 2, 1],
+            13..=15 => vec![4, 3, 2],
+            _ => vec![(i % 5) as u32, (i % 4) as u32, (i % 3) as u32],
+        };
+        records.push(r);
+    }
+    let original = Dataset::new(schema.clone(), records).expect("valid records");
+
+    let gamma = 19.0;
+    let x = 1.0 / (gamma + n_cells as f64 - 1.0);
+    let det = GammaDiagonal::new(&schema, gamma).expect("gamma > 1");
+    let det_err = reconstruction_error(&original, &det, 7);
+
+    println!("randomizing the perturbation matrix: privacy vs accuracy (gamma = 19)");
+    println!(
+        "{:>10} {:>24} {:>18} {:>14}",
+        "alpha/gx", "posterior range", "mean |err|/cell", "vs det"
+    );
+    for step in 0..=5 {
+        let fraction = step as f64 / 5.0;
+        let rp = RandomizedPosterior {
+            prior: 0.05,
+            gamma,
+            n: n_cells,
+            alpha: fraction * gamma * x,
+        };
+        let (lo, hi) = rp.range();
+        let err = if fraction == 0.0 {
+            det_err
+        } else {
+            let rgd = RandomizedGammaDiagonal::with_alpha_fraction(&schema, gamma, fraction)
+                .expect("valid fraction");
+            reconstruction_error(&original, &rgd, 7)
+        };
+        println!(
+            "{:>10.1} {:>11.1}% .. {:>7.1}% {:>18.1} {:>+13.1}%",
+            fraction,
+            lo * 100.0,
+            hi * 100.0,
+            err,
+            (err / det_err - 1.0) * 100.0
+        );
+    }
+    println!("\nreading: the worst-case *determinable* posterior spreads into a range");
+    println!("(down to 0% at full randomization) while accuracy degrades only marginally.");
+}

@@ -1,0 +1,43 @@
+//! # FRAPP — a FRamework for Accuracy in Privacy-Preserving mining
+//!
+//! A from-scratch Rust reproduction of *"A Framework for High-Accuracy
+//! Privacy-Preserving Mining"* by Shipra Agrawal and Jayant R. Haritsa
+//! (ICDE 2005). This facade crate re-exports the workspace:
+//!
+//! * [`linalg`] — dense linear algebra (LU, eigensolvers, condition
+//!   numbers, structured gamma-diagonal matrices, Kronecker products),
+//! * [`core`] — the FRAPP framework itself: categorical schemas,
+//!   perturbation matrices (deterministic and randomized gamma-diagonal),
+//!   amplification-based privacy accounting, distribution reconstruction,
+//! * [`baselines`] — the prior techniques FRAPP is compared against:
+//!   MASK and the Cut-and-Paste randomization operator,
+//! * [`mining`] — exact and privacy-preserving Apriori plus the paper's
+//!   accuracy metrics (support error ρ, identity errors σ⁺/σ⁻),
+//! * [`data`] — synthetic CENSUS-like and HEALTH-like dataset generators
+//!   matching the paper's Tables 1 and 2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use frapp::core::perturb::{GammaDiagonal, Perturber};
+//! use frapp::core::privacy::PrivacyRequirement;
+//! use frapp::core::schema::Schema;
+//! use rand::SeedableRng;
+//!
+//! // Two categorical attributes: 3 x 2 = 6-cell domain.
+//! let schema = Schema::new(vec![("color", 3), ("size", 2)]).unwrap();
+//! // The paper's running privacy requirement: (rho1, rho2) = (5%, 50%).
+//! let req = PrivacyRequirement::new(0.05, 0.50).unwrap();
+//! let gd = GammaDiagonal::from_requirement(&schema, &req);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let record = vec![2u32, 1u32];
+//! let perturbed = gd.perturb_record(&record, &mut rng).unwrap();
+//! assert_eq!(perturbed.len(), 2);
+//! ```
+
+pub use frapp_baselines as baselines;
+pub use frapp_core as core;
+pub use frapp_data as data;
+pub use frapp_linalg as linalg;
+pub use frapp_mining as mining;

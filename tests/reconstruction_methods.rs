@@ -1,0 +1,138 @@
+//! Integration tests comparing reconstruction operators and miners
+//! across crates: inversion vs EM, Apriori vs FP-growth.
+
+use frapp::core::em::{em_reconstruct, em_reconstruct_gamma, EmParams};
+use frapp::core::perturb::{GammaDiagonal, Perturber};
+use frapp::core::reconstruct::{clamp_counts, GammaDiagonalReconstructor};
+use frapp::core::Dataset;
+use frapp::mining::apriori::{apriori, AprioriParams};
+use frapp::mining::estimators::ExactSupport;
+use frapp::mining::fp_growth;
+use frapp::mining::itemset::row_to_mask;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fp_growth_matches_apriori_on_census_sample() {
+    let ds = frapp::data::census::census_like_n(8_000, 31);
+    let masks: Vec<u64> = ds.to_boolean().iter().map(|r| row_to_mask(r)).collect();
+    let fp = fp_growth(&masks, ds.schema().boolean_width(), 0.02);
+    let ap = apriori(
+        &ExactSupport::from_dataset(&ds),
+        &AprioriParams {
+            min_support: 0.02,
+            max_length: 0,
+            max_candidates: 0,
+        },
+    );
+    assert_eq!(fp.length_profile(), ap.length_profile());
+    for (itemset, sup) in ap.iter() {
+        let fp_sup = fp
+            .support_of(itemset)
+            .expect("fp-growth found the same itemset");
+        assert!((fp_sup - sup).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fp_growth_matches_apriori_on_health_sample() {
+    let ds = frapp::data::health::health_like_n(6_000, 37);
+    let masks: Vec<u64> = ds.to_boolean().iter().map(|r| row_to_mask(r)).collect();
+    let fp = fp_growth(&masks, ds.schema().boolean_width(), 0.05);
+    let ap = apriori(
+        &ExactSupport::from_dataset(&ds),
+        &AprioriParams {
+            min_support: 0.05,
+            max_length: 0,
+            max_candidates: 0,
+        },
+    );
+    assert_eq!(fp.length_profile(), ap.length_profile());
+}
+
+/// Per-cell recovery is only meaningful on small domains: at the
+/// paper's CENSUS scale (2000 cells, cond 112) per-cell noise swamps
+/// individual counts, which is exactly why Section 6 reconstructs
+/// itemset supports over small sub-domains instead. This test uses a
+/// 12-cell domain where cell recovery is well-posed.
+#[test]
+fn em_and_inversion_agree_on_well_sampled_cells() {
+    let schema = frapp::core::Schema::new(vec![("a", 3), ("b", 2), ("c", 2)]).unwrap();
+    let mut records = Vec::new();
+    for i in 0..30_000usize {
+        records.push(match i % 10 {
+            0..=5 => vec![0, 0, 0],
+            6..=8 => vec![1, 1, 1],
+            _ => vec![2, 0, 1],
+        });
+    }
+    let ds = Dataset::new(schema.clone(), records).unwrap();
+    let gd = GammaDiagonal::new(ds.schema(), 19.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let perturbed =
+        Dataset::from_trusted(schema, gd.perturb_dataset(ds.records(), &mut rng).unwrap());
+    let y = perturbed.count_vector();
+    let x_true = ds.count_vector();
+
+    let mut inv = GammaDiagonalReconstructor::new(&gd).reconstruct(&y);
+    clamp_counts(&mut inv, ds.len() as f64);
+    let em = em_reconstruct_gamma(&gd, &y, &EmParams::default()).unwrap();
+
+    // On the heaviest true cells, both estimates land in the same
+    // neighbourhood of the truth.
+    let mut heavy: Vec<usize> = (0..x_true.len()).collect();
+    heavy.sort_by(|&a, &b| x_true[b].partial_cmp(&x_true[a]).unwrap());
+    for &cell in heavy.iter().take(3) {
+        let t = x_true[cell];
+        assert!(t > 2000.0, "test needs heavy cells, got {t}");
+        assert!(
+            (inv[cell] - t).abs() < 0.3 * t,
+            "inversion cell {cell}: {} vs {t}",
+            inv[cell]
+        );
+        assert!(
+            (em.estimate[cell] - t).abs() < 0.3 * t,
+            "em cell {cell}: {} vs {t}",
+            em.estimate[cell]
+        );
+    }
+    // EM is nonnegative everywhere by construction.
+    assert!(em.estimate.iter().all(|&e| e >= 0.0));
+}
+
+/// EM against a dense *marginal* matrix on a small domain: the marginal
+/// distribution over a 2-attribute subset is recovered from the
+/// perturbed projection counts.
+#[test]
+fn em_dense_recovers_marginal_distribution_small_domain() {
+    let schema = frapp::core::Schema::new(vec![("a", 3), ("b", 2), ("c", 2)]).unwrap();
+    let mut records = Vec::new();
+    for i in 0..40_000usize {
+        records.push(match i % 10 {
+            0..=5 => vec![0, 0, 0],
+            6..=8 => vec![1, 1, 1],
+            _ => vec![2, 0, 1],
+        });
+    }
+    let ds = Dataset::new(schema.clone(), records).unwrap();
+    let gd = GammaDiagonal::new(ds.schema(), 19.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let perturbed =
+        Dataset::from_trusted(schema, gd.perturb_dataset(ds.records(), &mut rng).unwrap());
+    let attrs = [0usize, 1]; // a x b: 6 cells
+    let y_marg = perturbed.projected_counts(&attrs);
+    let dense = gd.marginal_matrix(&attrs).to_dense();
+    let em_marginal = em_reconstruct(&dense, &y_marg, &EmParams::default()).unwrap();
+
+    let truth = ds.projected_counts(&attrs);
+    // Heavy marginal cells (a=0,b=0: 60%; a=1,b=1: 30%) recovered well.
+    for (e, t) in em_marginal.estimate.iter().zip(&truth) {
+        if *t > 8_000.0 {
+            assert!(
+                (e - t).abs() < 0.25 * t,
+                "marginal cell: em {e} vs truth {t} (all: {:?} vs {truth:?})",
+                em_marginal.estimate
+            );
+        }
+    }
+}
