@@ -38,11 +38,11 @@ fn main() {
             "alpha/gx", "rho2-", "rho2", "rho2+", "RAN-GD rho%", "DET-GD rho%"
         );
         // The sweep's mining runs are independent: fan them out.
-        let rows: Vec<(f64, f64, f64, f64, f64)> = crossbeam::thread::scope(|scope| {
+        let rows: Vec<(f64, f64, f64, f64, f64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..=STEPS)
                 .map(|step| {
                     let exp = &exp;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let fraction = step as f64 / STEPS as f64;
                         let rp = RandomizedPosterior {
                             prior: exp.requirement.rho1(),
@@ -71,8 +71,7 @@ fn main() {
                 .into_iter()
                 .map(|h| h.join().expect("sweep worker"))
                 .collect()
-        })
-        .expect("sweep scope");
+        });
         for (lo, mid, hi, rho, fraction) in rows {
             println!(
                 "{:>10.2} {:>9.3} {:>9.3} {:>9.3} {:>12.2} {:>12.2}",

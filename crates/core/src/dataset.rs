@@ -8,6 +8,92 @@
 use crate::schema::Schema;
 use crate::{FrappError, Result};
 
+/// An incrementally updatable count vector over a schema's domain.
+///
+/// [`Dataset::count_vector`] recomputes counts from scratch on every
+/// call, which is the right shape for offline experiments but not for a
+/// collection server ingesting a perturbed record stream. A
+/// `CountAccumulator` is the streaming counterpart: `O(M)` per observed
+/// record, mergeable across shards, and convertible into the same
+/// `Vec<f64>` the reconstruction APIs consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountAccumulator {
+    schema: Schema,
+    counts: Vec<f64>,
+    n: u64,
+}
+
+impl CountAccumulator {
+    /// An empty accumulator over `schema`'s full domain.
+    pub fn new(schema: Schema) -> Self {
+        let counts = vec![0.0; schema.domain_size()];
+        CountAccumulator {
+            schema,
+            counts,
+            n: 0,
+        }
+    }
+
+    /// The schema being counted over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records observed so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Validates `record` against the schema and counts it.
+    pub fn observe(&mut self, record: &[u32]) -> Result<()> {
+        let idx = self.schema.encode(record)?;
+        self.observe_index(idx);
+        Ok(())
+    }
+
+    /// Counts a pre-encoded domain index (trusted input — e.g. the
+    /// output of this crate's own samplers).
+    ///
+    /// # Panics
+    /// If `index` is outside the domain.
+    pub fn observe_index(&mut self, index: usize) {
+        self.counts[index] += 1.0;
+        self.n += 1;
+    }
+
+    /// Adds another accumulator's counts into this one. The two must
+    /// share a schema.
+    pub fn merge(&mut self, other: &CountAccumulator) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(FrappError::InvalidParameter {
+                name: "other",
+                reason: "cannot merge accumulators over different schemas".into(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+
+    /// The current count vector.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Consumes the accumulator, yielding the count vector.
+    pub fn into_counts(self) -> Vec<f64> {
+        self.counts
+    }
+
+    /// Resets all counts to zero.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0.0);
+        self.n = 0;
+    }
+}
+
 /// A categorical database: `N` records over a [`Schema`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
@@ -56,18 +142,36 @@ impl Dataset {
         &self.records
     }
 
+    /// Validates one record against the schema and appends it.
+    pub fn push(&mut self, record: Vec<u32>) -> Result<()> {
+        self.schema
+            .validate_record(&record)
+            .map_err(|e| FrappError::InvalidRecord {
+                reason: format!("record {}: {e}", self.records.len()),
+            })?;
+        self.records.push(record);
+        Ok(())
+    }
+
     /// Count vector `X` over the full domain: `X[u]` = number of records
     /// equal to domain cell `u`.
     pub fn count_vector(&self) -> Vec<f64> {
-        let mut counts = vec![0.0; self.schema.domain_size()];
+        self.count_accumulator().into_counts()
+    }
+
+    /// The same counts as [`Dataset::count_vector`], as a
+    /// [`CountAccumulator`] that can keep absorbing a record stream or
+    /// be merged with per-shard accumulators.
+    pub fn count_accumulator(&self) -> CountAccumulator {
+        let mut acc = CountAccumulator::new(self.schema.clone());
         for r in &self.records {
             let idx = self
                 .schema
                 .encode(r)
                 .expect("records validated at construction");
-            counts[idx] += 1.0;
+            acc.observe_index(idx);
         }
-        counts
+        acc
     }
 
     /// Count vector over the sub-domain spanned by `attrs`.
@@ -174,6 +278,63 @@ mod tests {
         assert_eq!(b[0].len(), 5);
         // attribute 0 (width 2): bit 1 set; attribute 1 (width 3): bit 2+2=4.
         assert_eq!(b[0], vec![false, true, false, false, true]);
+    }
+
+    #[test]
+    fn accumulator_matches_count_vector() {
+        let s = schema();
+        let records: Vec<Vec<u32>> = (0..40).map(|i| vec![i % 2, i % 3]).collect();
+        let ds = Dataset::new(s.clone(), records.clone()).unwrap();
+        let mut acc = CountAccumulator::new(s);
+        for r in &records {
+            acc.observe(r).unwrap();
+        }
+        assert_eq!(acc.n(), 40);
+        assert_eq!(acc.counts(), ds.count_vector().as_slice());
+        assert_eq!(ds.count_accumulator(), acc);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_stream() {
+        let s = schema();
+        let records: Vec<Vec<u32>> = (0..30).map(|i| vec![i % 2, (i / 2) % 3]).collect();
+        let mut whole = CountAccumulator::new(s.clone());
+        let mut left = CountAccumulator::new(s.clone());
+        let mut right = CountAccumulator::new(s.clone());
+        for (i, r) in records.iter().enumerate() {
+            whole.observe(r).unwrap();
+            if i % 2 == 0 {
+                left.observe(r).unwrap();
+            } else {
+                right.observe(r).unwrap();
+            }
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left, whole);
+        // Schema mismatch is rejected.
+        let other = CountAccumulator::new(Schema::new(vec![("z", 4)]).unwrap());
+        assert!(left.merge(&other).is_err());
+    }
+
+    #[test]
+    fn accumulator_rejects_invalid_and_clears() {
+        let s = schema();
+        let mut acc = CountAccumulator::new(s);
+        assert!(acc.observe(&[5, 0]).is_err());
+        acc.observe(&[1, 2]).unwrap();
+        assert_eq!(acc.n(), 1);
+        acc.clear();
+        assert_eq!(acc.n(), 0);
+        assert!(acc.counts().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn push_validates_and_appends() {
+        let s = schema();
+        let mut ds = Dataset::new(s, vec![]).unwrap();
+        assert!(ds.push(vec![1, 2]).is_ok());
+        assert!(ds.push(vec![2, 0]).is_err());
+        assert_eq!(ds.len(), 1);
     }
 
     #[test]

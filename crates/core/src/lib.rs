@@ -32,7 +32,7 @@ pub mod privacy;
 pub mod reconstruct;
 pub mod schema;
 
-pub use dataset::Dataset;
+pub use dataset::{CountAccumulator, Dataset};
 pub use perturb::{GammaDiagonal, Perturber, RandomizedGammaDiagonal};
 pub use privacy::PrivacyRequirement;
 pub use schema::Schema;
@@ -96,3 +96,17 @@ impl From<frapp_linalg::LinalgError> for FrappError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FrappError>;
+
+#[cfg(test)]
+mod error_tests {
+    use super::FrappError;
+
+    /// `FrappError` must stay `Send + Sync + 'static` so it can cross
+    /// thread and crate boundaries inside `frapp-service` (worker
+    /// threads return `Result<_, ServiceError>` wrapping it).
+    #[test]
+    fn frapp_error_is_send_sync_static_error() {
+        fn assert_bounds<T: Send + Sync + std::error::Error + 'static>() {}
+        assert_bounds::<FrappError>();
+    }
+}

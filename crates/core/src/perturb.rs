@@ -35,7 +35,12 @@ use rand::RngCore;
 /// A client-side record perturber: the FRAPP trust model has every
 /// client independently randomizing their own record before submission,
 /// so the interface is strictly record-at-a-time.
-pub trait Perturber {
+///
+/// The trait is object-safe (samplers take `&mut dyn RngCore`) and
+/// requires `Send + Sync` so a single perturber — whose alias/CDF state
+/// is built once — can be shared as `Arc<dyn Perturber>` across the
+/// ingest shards of `frapp-service`.
+pub trait Perturber: Send + Sync {
     /// The schema both the original and perturbed records conform to
     /// (FRAPP here uses `S_V = S_U`).
     fn schema(&self) -> &Schema;
@@ -90,11 +95,13 @@ pub struct GammaDiagonal {
 
 impl GammaDiagonal {
     /// Creates the matrix for a given amplification bound `γ > 1`.
+    /// `γ` must be finite: at `γ = ∞` the matrix degenerates to
+    /// `x = 0` and every downstream coefficient becomes NaN.
     pub fn new(schema: &Schema, gamma: f64) -> Result<Self> {
-        if gamma <= 1.0 || gamma.is_nan() {
+        if gamma <= 1.0 || !gamma.is_finite() {
             return Err(FrappError::InvalidParameter {
                 name: "gamma",
-                reason: format!("must exceed 1, got {gamma}"),
+                reason: format!("must be finite and exceed 1, got {gamma}"),
             });
         }
         let n = schema.domain_size() as f64;
@@ -467,6 +474,16 @@ mod tests {
         let s = schema_small();
         assert!(GammaDiagonal::new(&s, 1.0).is_err());
         assert!(GammaDiagonal::new(&s, 0.5).is_err());
+    }
+
+    #[test]
+    fn gamma_diagonal_rejects_non_finite_gamma() {
+        // gamma = inf would give x = 0 and NaN reconstruction
+        // coefficients; the service layer feeds this from untrusted
+        // input, so it must be a validation error, not silent NaN.
+        let s = schema_small();
+        assert!(GammaDiagonal::new(&s, f64::INFINITY).is_err());
+        assert!(GammaDiagonal::new(&s, f64::NAN).is_err());
     }
 
     #[test]

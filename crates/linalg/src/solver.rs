@@ -1,0 +1,128 @@
+//! A reusable linear-solver handle.
+//!
+//! FRAPP's online setting (see `frapp-service`) answers repeated
+//! reconstruction queries `A X̂ = Y` against the *same* perturbation
+//! matrix while `Y` keeps growing with the ingested stream. Factoring
+//! `A` per query would cost `O(n³)` every time; the [`LinearSolver`]
+//! trait abstracts "something already prepared to solve against `A`" so
+//! callers can build the expensive state once and reuse it:
+//!
+//! * [`LuDecomposition`] — factor once (`O(n³)`), then `O(n²)` per
+//!   solve, for arbitrary dense matrices;
+//! * [`UniformDiagonal`] — the gamma-diagonal closed form, `O(n)` per
+//!   solve with no preparation at all.
+//!
+//! The trait requires `Send + Sync` so one handle can be shared across
+//! server threads behind an `Arc`.
+
+use crate::lu::LuDecomposition;
+use crate::structured::UniformDiagonal;
+use crate::Result;
+
+/// A prepared solver for a fixed square system matrix `A`.
+pub trait LinearSolver: Send + Sync {
+    /// The dimension `n` of the system.
+    fn dim(&self) -> usize;
+
+    /// Solves `A x = b` for one right-hand side.
+    fn solve_system(&self, b: &[f64]) -> Result<Vec<f64>>;
+
+    /// Solves `A x = b`, writing into `out` (cleared and refilled) so
+    /// hot loops can reuse an allocation. The default delegates to
+    /// [`LinearSolver::solve_system`].
+    fn solve_system_into(&self, b: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let x = self.solve_system(b)?;
+        out.clear();
+        out.extend_from_slice(&x);
+        Ok(())
+    }
+}
+
+impl LinearSolver for LuDecomposition {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn solve_system(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve(b)
+    }
+}
+
+impl LinearSolver for UniformDiagonal {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn solve_system(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn solvers_for_gamma_diagonal(n: usize, gamma: f64) -> (UniformDiagonal, LuDecomposition) {
+        let gd = UniformDiagonal::gamma_diagonal(n, gamma);
+        let lu = LuDecomposition::new(&gd.to_dense()).unwrap();
+        (gd, lu)
+    }
+
+    #[test]
+    fn lu_and_closed_form_agree_through_the_trait() {
+        let (gd, lu) = solvers_for_gamma_diagonal(40, 19.0);
+        let y: Vec<f64> = (0..40).map(|i| (i * 17 % 11) as f64).collect();
+        let handles: [&dyn LinearSolver; 2] = [&gd, &lu];
+        let results: Vec<Vec<f64>> = handles
+            .iter()
+            .map(|s| {
+                assert_eq!(s.dim(), 40);
+                s.solve_system(&y).unwrap()
+            })
+            .collect();
+        for (a, b) in results[0].iter().zip(&results[1]) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer() {
+        let (gd, _) = solvers_for_gamma_diagonal(8, 5.0);
+        let mut out = vec![999.0; 3];
+        gd.solve_system_into(&[1.0; 8], &mut out).unwrap();
+        assert_eq!(out.len(), 8);
+        let direct = gd.solve_system(&[1.0; 8]).unwrap();
+        assert_eq!(out, direct);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let (gd, lu) = solvers_for_gamma_diagonal(5, 3.0);
+        assert!(gd.solve_system(&[1.0; 4]).is_err());
+        assert!(lu.solve_system(&[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn handle_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let m = Matrix::from_fn(6, 6, |i, j| if i == j { 4.0 } else { 0.5 });
+        let solver: Arc<dyn LinearSolver> = Arc::new(LuDecomposition::new(&m).unwrap());
+        let b = vec![1.0; 6];
+        let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let solver = Arc::clone(&solver);
+                    let b = b.clone();
+                    scope.spawn(move || solver.solve_system(&b).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+}

@@ -21,8 +21,7 @@ pub fn maximal_itemsets(frequent: &FrequentItemsets) -> Vec<(ItemSet, f64)> {
             // A frequent (k+1)-superset exists iff adding one item to
             // `itemset` lands in the next level; check via the next
             // level's sets directly (levels are small).
-            let has_frequent_superset =
-                supersets.iter().any(|&sup_set| sup_set.contains(itemset));
+            let has_frequent_superset = supersets.iter().any(|&sup_set| sup_set.contains(itemset));
             if !has_frequent_superset {
                 out.push((itemset, sup));
             }

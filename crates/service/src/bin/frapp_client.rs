@@ -1,0 +1,183 @@
+//! `frapp-client` — load generator for the FRAPP collection server.
+//!
+//! ```text
+//! frapp-client [--addr 127.0.0.1:7878] [--records 100000] [--batch 1000]
+//!              [--threads 4] [--gamma 19] [--seed 11] [--pre-perturb]
+//! ```
+//!
+//! Generates a synthetic CENSUS-like workload (the paper's Table 1
+//! schema), streams it to the server from `--threads` concurrent
+//! connections, then issues a reconstruction query and reports ingest
+//! throughput plus the total-variation distance between the
+//! reconstructed and the true distribution.
+//!
+//! With `--pre-perturb` the *client* perturbs each record before
+//! submission — the paper's actual trust model, where the server never
+//! sees a raw record. Without it, records are submitted raw and the
+//! server perturbs on ingest (useful for benchmarking the server-side
+//! sampler).
+
+use frapp_core::perturb::{GammaDiagonal, Perturber};
+use frapp_service::client::{Client, SessionSpec};
+use frapp_service::session::ReconstructionMethod;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    records: usize,
+    batch: usize,
+    threads: usize,
+    gamma: f64,
+    seed: u64,
+    pre_perturb: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: frapp-client [--addr HOST:PORT] [--records N] [--batch B] \
+         [--threads T] [--gamma G] [--seed S] [--pre-perturb]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: "127.0.0.1:7878".into(),
+        records: 100_000,
+        batch: 1_000,
+        threads: 4,
+        gamma: 19.0,
+        seed: 11,
+        pre_perturb: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value("--addr"),
+            "--records" => parsed.records = value("--records").parse().unwrap_or_else(|_| usage()),
+            "--batch" => parsed.batch = value("--batch").parse().unwrap_or_else(|_| usage()),
+            "--threads" => parsed.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--gamma" => parsed.gamma = value("--gamma").parse().unwrap_or_else(|_| usage()),
+            "--seed" => parsed.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--pre-perturb" => parsed.pre_perturb = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if parsed.threads == 0 || parsed.batch == 0 || parsed.records == 0 {
+        usage();
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let schema = frapp_data::census::schema();
+    println!(
+        "generating {} CENSUS-like records ({} attributes, {}-cell domain)...",
+        args.records,
+        schema.num_attributes(),
+        schema.domain_size()
+    );
+    let dataset = frapp_data::census::census_like_n(args.records, args.seed);
+    let true_counts = dataset.count_vector();
+
+    let spec = SessionSpec {
+        schema: schema
+            .attributes()
+            .iter()
+            .map(|a| (a.name().to_owned(), a.cardinality()))
+            .collect(),
+        mechanism: frapp_service::Mechanism::Deterministic { gamma: args.gamma },
+        shards: Some(args.threads),
+        seed: Some(args.seed),
+    };
+    let mut control = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("frapp-client: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let session = control.create_session(&spec).expect("create_session");
+    println!(
+        "session {session} open (gamma {}, {} shards)",
+        args.gamma, args.threads
+    );
+
+    // Optional client-side perturbation, mirroring the paper's trust
+    // model: each "client" thread perturbs with its own seeded RNG.
+    let gd = GammaDiagonal::new(&schema, args.gamma).expect("gamma > 1");
+
+    let started = Instant::now();
+    let records = dataset.records();
+    std::thread::scope(|scope| {
+        for (t, chunk) in records
+            .chunks(records.len().div_ceil(args.threads))
+            .enumerate()
+        {
+            let addr = &args.addr;
+            let gd = &gd;
+            let args = &args;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connect");
+                let mut rng = StdRng::seed_from_u64(args.seed ^ (t as u64 + 1) << 32);
+                for batch in chunk.chunks(args.batch) {
+                    if args.pre_perturb {
+                        let perturbed: Vec<Vec<u32>> = batch
+                            .iter()
+                            .map(|r| gd.perturb_record(r, &mut rng).expect("valid record"))
+                            .collect();
+                        client
+                            .submit_batch(session, &perturbed, true)
+                            .expect("submit");
+                    } else {
+                        client.submit_batch(session, batch, false).expect("submit");
+                    }
+                }
+            });
+        }
+    });
+    let ingest_secs = started.elapsed().as_secs_f64();
+
+    let stats = control.stats(session).expect("stats");
+    println!(
+        "ingested {} records in {:.2}s ({:.0} records/s) across shards {:?}",
+        stats.total,
+        ingest_secs,
+        stats.total as f64 / ingest_secs,
+        stats.per_shard
+    );
+
+    let q0 = Instant::now();
+    let rec = control
+        .reconstruct(session, ReconstructionMethod::ClosedForm, true)
+        .expect("reconstruct");
+    let q_secs = q0.elapsed().as_secs_f64();
+
+    // Total-variation distance between reconstructed and true
+    // distributions.
+    let n = rec.n as f64;
+    let tv: f64 = rec
+        .estimates
+        .iter()
+        .zip(&true_counts)
+        .map(|(e, t)| (e / n - t / n).abs())
+        .sum::<f64>()
+        / 2.0;
+    println!(
+        "reconstruction ({} cells) in {:.3}s; total-variation distance to true distribution: {:.4}",
+        rec.estimates.len(),
+        q_secs,
+        tv
+    );
+    control.close_session(session).expect("close_session");
+}

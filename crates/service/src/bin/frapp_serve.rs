@@ -1,0 +1,56 @@
+//! `frapp-serve` — run the FRAPP collection server.
+//!
+//! ```text
+//! frapp-serve [--addr 127.0.0.1:7878] [--shards N] [--seed S]
+//! ```
+//!
+//! The server prints its bound address on stdout (useful with port 0)
+//! and runs until a client sends `{"op":"shutdown"}`.
+
+use frapp_service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: frapp-serve [--addr HOST:PORT] [--shards N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServiceConfig::with_addr("127.0.0.1:7878");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--shards" => {
+                config.default_shards = value("--shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => config.default_seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("frapp-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("frapp-serve listening on {addr}"),
+        Err(e) => eprintln!("frapp-serve: {e}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("frapp-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,254 @@
+//! A blocking client for the line-delimited JSON protocol.
+
+use crate::error::{Result, ServiceError};
+use crate::json::{self, object, Value};
+use crate::session::{Mechanism, Reconstruction, ReconstructionMethod, SessionStats};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Parameters for [`Client::create_session`].
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// `(name, cardinality)` per attribute.
+    pub schema: Vec<(String, u32)>,
+    /// Perturbation mechanism.
+    pub mechanism: Mechanism,
+    /// Ingest shard count (server default when `None`).
+    pub shards: Option<usize>,
+    /// Base RNG seed (server default when `None`).
+    pub seed: Option<u64>,
+}
+
+impl SessionSpec {
+    /// A deterministic gamma-diagonal session over `schema`.
+    pub fn deterministic(schema: Vec<(String, u32)>, gamma: f64) -> Self {
+        SessionSpec {
+            schema,
+            mechanism: Mechanism::Deterministic { gamma },
+            shards: None,
+            seed: None,
+        }
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the parsed successful
+    /// response object; `ok: false` becomes [`ServiceError::Remote`].
+    pub fn request(&mut self, line: &str) -> Result<Value> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(ServiceError::ConnectionClosed);
+        }
+        let v = json::parse(response.trim())?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ServiceError::Remote(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_owned(),
+            )),
+            None => Err(ServiceError::Protocol(
+                "response is missing the `ok` field".into(),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.request(r#"{"op":"ping"}"#).map(|_| ())
+    }
+
+    /// Creates a collection session, returning its id.
+    pub fn create_session(&mut self, spec: &SessionSpec) -> Result<u64> {
+        let schema = Value::Array(
+            spec.schema
+                .iter()
+                .map(|(name, card)| Value::Array(vec![name.as_str().into(), (*card).into()]))
+                .collect(),
+        );
+        let mut pairs = vec![("op", "create_session".into()), ("schema", schema)];
+        match spec.mechanism {
+            Mechanism::Deterministic { gamma } => {
+                pairs.push(("mechanism", "det".into()));
+                pairs.push(("gamma", gamma.into()));
+            }
+            Mechanism::Randomized {
+                gamma,
+                alpha_fraction,
+            } => {
+                pairs.push(("mechanism", "ran".into()));
+                pairs.push(("gamma", gamma.into()));
+                pairs.push(("alpha_fraction", alpha_fraction.into()));
+            }
+        }
+        if let Some(shards) = spec.shards {
+            pairs.push(("shards", shards.into()));
+        }
+        if let Some(seed) = spec.seed {
+            pairs.push(("seed", seed.into()));
+        }
+        let v = self.request(&object(pairs).to_json())?;
+        v.get("session").and_then(Value::as_u64).ok_or_else(|| {
+            ServiceError::Protocol("create_session response missing `session`".into())
+        })
+    }
+
+    fn submit_inner(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+        shard: Option<usize>,
+    ) -> Result<usize> {
+        let records = Value::Array(
+            records
+                .iter()
+                .map(|r| Value::Array(r.iter().map(|&v| v.into()).collect()))
+                .collect(),
+        );
+        let mut pairs = vec![
+            ("op", "submit".into()),
+            ("session", session.into()),
+            ("records", records),
+            ("pre_perturbed", pre_perturbed.into()),
+        ];
+        if let Some(shard) = shard {
+            pairs.push(("shard", shard.into()));
+        }
+        let v = self.request(&object(pairs).to_json())?;
+        v.get("shard")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| ServiceError::Protocol("submit response missing `shard`".into()))
+    }
+
+    /// Ingests a batch on a server-chosen shard; returns the shard used.
+    pub fn submit_batch(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<usize> {
+        self.submit_inner(session, records, pre_perturbed, None)
+    }
+
+    /// Ingests a batch on a specific shard.
+    pub fn submit_batch_to_shard(
+        &mut self,
+        session: u64,
+        shard: usize,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<()> {
+        self.submit_inner(session, records, pre_perturbed, Some(shard))
+            .map(|_| ())
+    }
+
+    /// Runs a reconstruction query.
+    pub fn reconstruct(
+        &mut self,
+        session: u64,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> Result<Reconstruction> {
+        let line = object(vec![
+            ("op", "reconstruct".into()),
+            ("session", session.into()),
+            ("method", method.wire_name().into()),
+            ("clamp", clamp.into()),
+        ])
+        .to_json();
+        let v = self.request(&line)?;
+        let estimates = v
+            .get("estimates")
+            .and_then(Value::as_array)
+            .ok_or_else(|| {
+                ServiceError::Protocol("reconstruct response missing `estimates`".into())
+            })?
+            .iter()
+            .map(|e| {
+                e.as_f64()
+                    .ok_or_else(|| ServiceError::Protocol("estimates must be numbers".into()))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        Ok(Reconstruction {
+            n: v.get("n").and_then(Value::as_u64).unwrap_or(0),
+            estimates,
+            method,
+            lu_cache_hit: v
+                .get("lu_cache_hit")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Fetches ingest statistics.
+    pub fn stats(&mut self, session: u64) -> Result<SessionStats> {
+        let line = object(vec![("op", "stats".into()), ("session", session.into())]).to_json();
+        let v = self.request(&line)?;
+        let per_shard = v
+            .get("per_shard")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol("stats response missing `per_shard`".into()))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or_else(|| ServiceError::Protocol("shard counts must be integers".into()))
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        Ok(SessionStats {
+            total: v.get("total").and_then(Value::as_u64).unwrap_or(0),
+            per_shard,
+        })
+    }
+
+    /// Lists live session ids.
+    pub fn list_sessions(&mut self) -> Result<Vec<u64>> {
+        let v = self.request(r#"{"op":"list_sessions"}"#)?;
+        v.get("sessions")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol("list response missing `sessions`".into()))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| ServiceError::Protocol("session ids must be integers".into()))
+            })
+            .collect()
+    }
+
+    /// Closes a session; returns whether it existed.
+    pub fn close_session(&mut self, session: u64) -> Result<bool> {
+        let line = object(vec![
+            ("op", "close_session".into()),
+            ("session", session.into()),
+        ])
+        .to_json();
+        let v = self.request(&line)?;
+        Ok(v.get("closed").and_then(Value::as_bool).unwrap_or(false))
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.request(r#"{"op":"shutdown"}"#).map(|_| ())
+    }
+}

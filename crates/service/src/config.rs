@@ -1,0 +1,67 @@
+//! Server configuration.
+
+/// Configuration for a [`crate::server::Server`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878`. Port `0` asks the OS for
+    /// an ephemeral port (the default, which suits tests).
+    pub addr: String,
+    /// Default number of ingest shards for sessions that do not specify
+    /// one.
+    pub default_shards: usize,
+    /// Default base seed for sessions that do not specify one.
+    pub default_seed: u64,
+    /// Maximum accepted request-line length in bytes. Lines beyond this
+    /// are rejected rather than buffered, bounding per-connection
+    /// memory.
+    pub max_line_bytes: usize,
+    /// Largest domain size for which the server will build a dense LU
+    /// factorization on demand; `reconstruct` requests with
+    /// `method = "cached_lu"` against bigger sessions are refused
+    /// (`closed` stays available at any size).
+    pub max_dense_domain: usize,
+    /// Largest schema domain a `create_session` request may declare.
+    /// Every shard allocates one `f64` counter per domain cell, so an
+    /// unbounded schema (`[["a", 4294967295]]`) would let a single
+    /// request allocate tens of gigabytes. The default (2^24 cells)
+    /// caps a shard's counter vector at 128 MiB.
+    pub max_session_domain: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            default_shards: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            default_seed: 0xF4A9,
+            max_line_bytes: 8 << 20,
+            max_dense_domain: 4096,
+            max_session_domain: 1 << 24,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config bound to a specific address.
+    pub fn with_addr(addr: impl Into<String>) -> Self {
+        ServiceConfig {
+            addr: addr.into(),
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServiceConfig::default();
+        assert!(c.default_shards >= 1);
+        assert!(c.max_line_bytes >= 1 << 20);
+        assert_eq!(c.addr, "127.0.0.1:0");
+    }
+}

@@ -1,0 +1,105 @@
+//! The service-layer error type.
+
+use frapp_core::FrappError;
+use frapp_linalg::LinalgError;
+
+/// Errors produced by the collection service.
+///
+/// Unlike [`FrappError`] this type carries `std::io::Error` (connection
+/// handling) and protocol-level failures; like it, it is `Send + Sync +
+/// 'static` so results cross worker-thread joins and crate boundaries
+/// without friction.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// An I/O failure on the listener or a connection.
+    Io(std::io::Error),
+    /// An error bubbled up from the FRAPP framework.
+    Frapp(FrappError),
+    /// An error bubbled up from the linear-algebra layer.
+    Linalg(LinalgError),
+    /// The peer sent something that is not valid protocol JSON.
+    Protocol(String),
+    /// A request referenced a session id this server does not know.
+    UnknownSession(u64),
+    /// A request was well-formed JSON but semantically invalid.
+    InvalidRequest(String),
+    /// The connection was closed mid-exchange.
+    ConnectionClosed,
+    /// The server answered a client request with `ok: false`.
+    Remote(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Frapp(e) => write!(f, "frapp error: {e}"),
+            ServiceError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::ConnectionClosed => write!(f, "connection closed by peer"),
+            ServiceError::Remote(msg) => write!(f, "server rejected request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Frapp(e) => Some(e),
+            ServiceError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<FrappError> for ServiceError {
+    fn from(e: FrappError) -> Self {
+        ServiceError::Frapp(e)
+    }
+}
+
+impl From<LinalgError> for ServiceError {
+    fn from(e: LinalgError) -> Self {
+        ServiceError::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_error_is_send_sync_static_error() {
+        fn assert_bounds<T: Send + Sync + std::error::Error + 'static>() {}
+        assert_bounds::<ServiceError>();
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: ServiceError = std::io::Error::other("boom").into();
+        assert!(matches!(e, ServiceError::Io(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn frapp_errors_convert_and_keep_source() {
+        use std::error::Error as _;
+        let inner = FrappError::InvalidRecord {
+            reason: "bad".into(),
+        };
+        let e: ServiceError = inner.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,61 @@
+//! `frapp-service` — an asynchronous, sharded privacy-collection and
+//! reconstruction server for the FRAPP framework.
+//!
+//! The FRAPP paper (Agrawal & Haritsa, ICDE 2005) is a *deployment*
+//! story as much as a mathematical one: millions of clients each
+//! perturb their own record with a known Markov matrix and submit it;
+//! the miner reconstructs aggregate distributions from the stream. The
+//! rest of this workspace exercises that pipeline offline; this crate
+//! is the online half:
+//!
+//! * [`session::CollectionSession`] — one schema + privacy mechanism +
+//!   the perturbed counts collected so far, split across independently
+//!   locked [`shard::Shard`]s so concurrent batches never contend on a
+//!   single counter vector. The perturbation sampler is built once per
+//!   session and shared by every shard.
+//! * [`session::SessionRegistry`] — the server's table of live
+//!   sessions, keyed by id.
+//! * Reconstruction queries snapshot the merged counts and solve
+//!   `A X̂ = Y` with either the O(n) gamma-diagonal closed form or a
+//!   dense LU factorization cached per session
+//!   (`frapp_linalg::solver::LinearSolver`), so repeated queries cost
+//!   `O(n²)` instead of `O(n³)`.
+//! * [`server::Server`] / [`client::Client`] — a line-delimited JSON
+//!   protocol over TCP ([`protocol`]), with the `frapp-serve` and
+//!   `frapp-client` binaries on top.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use frapp_service::client::{Client, SessionSpec};
+//! use frapp_service::config::ServiceConfig;
+//! use frapp_service::server::Server;
+//! use frapp_service::session::ReconstructionMethod;
+//!
+//! let handle = Server::bind(ServiceConfig::default()).unwrap().spawn().unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//!
+//! let spec = SessionSpec::deterministic(vec![("color".into(), 3), ("size".into(), 2)], 19.0);
+//! let session = client.create_session(&spec).unwrap();
+//! client.submit_batch(session, &[vec![2, 1], vec![0, 0]], false).unwrap();
+//! let rec = client.reconstruct(session, ReconstructionMethod::ClosedForm, true).unwrap();
+//! assert_eq!(rec.estimates.len(), 6);
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod shard;
+
+pub use client::{Client, SessionSpec};
+pub use config::ServiceConfig;
+pub use error::{Result, ServiceError};
+pub use server::{Server, ServerHandle};
+pub use session::{CollectionSession, Mechanism, ReconstructionMethod, SessionRegistry};

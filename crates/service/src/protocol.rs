@@ -1,0 +1,420 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, over a plain TCP
+//! stream. Requests are objects with an `"op"` discriminator:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"create_session","schema":[["age",8],["sex",2]],
+//!  "mechanism":"det","gamma":19.0,"shards":4,"seed":7}
+//! {"op":"create_session","schema":[["age",8]],"mechanism":"det",
+//!  "rho1":0.05,"rho2":0.5}
+//! {"op":"submit","session":1,"records":[[3,0],[7,1]],
+//!  "pre_perturbed":false,"shard":0}
+//! {"op":"reconstruct","session":1,"method":"closed","clamp":true}
+//! {"op":"stats","session":1}
+//! {"op":"list_sessions"}
+//! {"op":"close_session","session":1}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`: `{"ok":true, ...}` on success,
+//! `{"ok":false,"error":"..."}` on failure. The error never tears down
+//! the connection — clients may pipeline further requests.
+
+use crate::error::{Result, ServiceError};
+use crate::json::{self, object, Value};
+use crate::session::{Mechanism, Reconstruction, ReconstructionMethod, SessionStats};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Create a collection session.
+    CreateSession {
+        /// `(name, cardinality)` per attribute.
+        schema: Vec<(String, u32)>,
+        /// Perturbation mechanism for server-side perturbation and
+        /// reconstruction.
+        mechanism: Mechanism,
+        /// Ingest shard count (server default when `None`).
+        shards: Option<usize>,
+        /// Base RNG seed (server default when `None`).
+        seed: Option<u64>,
+    },
+    /// Ingest a batch of records.
+    Submit {
+        /// Target session id.
+        session: u64,
+        /// The records, one array of attribute values each.
+        records: Vec<Vec<u32>>,
+        /// Whether the records were already perturbed client-side.
+        pre_perturbed: bool,
+        /// Pin the batch to a specific shard (round-robin when `None`).
+        shard: Option<usize>,
+    },
+    /// Reconstruct the original distribution estimate.
+    Reconstruct {
+        /// Target session id.
+        session: u64,
+        /// Solver choice.
+        method: ReconstructionMethod,
+        /// Apply non-negativity clamping + rescale to `N`.
+        clamp: bool,
+    },
+    /// Ingest statistics for a session.
+    Stats {
+        /// Target session id.
+        session: u64,
+    },
+    /// Ids of all live sessions.
+    ListSessions,
+    /// Drop a session and its counts.
+    CloseSession {
+        /// Target session id.
+        session: u64,
+    },
+    /// Stop the server (used by tests and the load generator).
+    Shutdown,
+}
+
+fn require<'v>(v: &'v Value, key: &str) -> Result<&'v Value> {
+    v.get(key)
+        .ok_or_else(|| ServiceError::InvalidRequest(format!("missing field `{key}`")))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64> {
+    require(v, key)?.as_u64().ok_or_else(|| {
+        ServiceError::InvalidRequest(format!("field `{key}` must be a non-negative integer"))
+    })
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64> {
+    require(v, key)?
+        .as_f64()
+        .ok_or_else(|| ServiceError::InvalidRequest(format!("field `{key}` must be a number")))
+}
+
+fn optional_bool(v: &Value, key: &str, default: bool) -> Result<bool> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(val) => val.as_bool().ok_or_else(|| {
+            ServiceError::InvalidRequest(format!("field `{key}` must be a boolean"))
+        }),
+    }
+}
+
+fn parse_schema(v: &Value) -> Result<Vec<(String, u32)>> {
+    let arr = require(v, "schema")?
+        .as_array()
+        .ok_or_else(|| ServiceError::InvalidRequest("`schema` must be an array".into()))?;
+    arr.iter()
+        .map(|attr| {
+            let pair = attr.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::InvalidRequest(
+                    "each schema attribute must be a [name, cardinality] pair".into(),
+                )
+            })?;
+            let name = pair[0].as_str().ok_or_else(|| {
+                ServiceError::InvalidRequest("attribute name must be a string".into())
+            })?;
+            let card = pair[1]
+                .as_u64()
+                .filter(|&c| c > 0 && c <= u32::MAX as u64)
+                .ok_or_else(|| {
+                    ServiceError::InvalidRequest(
+                        "attribute cardinality must be a positive integer".into(),
+                    )
+                })?;
+            Ok((name.to_owned(), card as u32))
+        })
+        .collect()
+}
+
+fn parse_mechanism(v: &Value) -> Result<Mechanism> {
+    let kind = v.get("mechanism").and_then(Value::as_str).unwrap_or("det");
+    let gamma = match v.get("gamma") {
+        Some(g) => g
+            .as_f64()
+            .ok_or_else(|| ServiceError::InvalidRequest("`gamma` must be a number".into()))?,
+        None => {
+            // Fall back to a (rho1, rho2) amplification requirement.
+            let rho1 = field_f64(v, "rho1")?;
+            let rho2 = field_f64(v, "rho2")?;
+            frapp_core::PrivacyRequirement::new(rho1, rho2)
+                .map_err(ServiceError::from)?
+                .gamma()
+        }
+    };
+    match kind {
+        "det" => Ok(Mechanism::Deterministic { gamma }),
+        "ran" => {
+            let alpha_fraction = match v.get("alpha_fraction") {
+                None | Some(Value::Null) => 0.5,
+                Some(a) => a.as_f64().ok_or_else(|| {
+                    ServiceError::InvalidRequest("`alpha_fraction` must be a number".into())
+                })?,
+            };
+            Ok(Mechanism::Randomized {
+                gamma,
+                alpha_fraction,
+            })
+        }
+        other => Err(ServiceError::InvalidRequest(format!(
+            "unknown mechanism `{other}` (expected det|ran)"
+        ))),
+    }
+}
+
+fn parse_records(v: &Value) -> Result<Vec<Vec<u32>>> {
+    let arr = require(v, "records")?
+        .as_array()
+        .ok_or_else(|| ServiceError::InvalidRequest("`records` must be an array".into()))?;
+    arr.iter()
+        .map(|rec| {
+            rec.as_array()
+                .ok_or_else(|| ServiceError::InvalidRequest("each record must be an array".into()))?
+                .iter()
+                .map(|cell| {
+                    cell.as_u64()
+                        .filter(|&c| c <= u32::MAX as u64)
+                        .map(|c| c as u32)
+                        .ok_or_else(|| {
+                            ServiceError::InvalidRequest(
+                                "record values must be non-negative integers".into(),
+                            )
+                        })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request> {
+    let v = json::parse(line)?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServiceError::InvalidRequest("missing string field `op`".into()))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "create_session" => Ok(Request::CreateSession {
+            schema: parse_schema(&v)?,
+            mechanism: parse_mechanism(&v)?,
+            shards: match v.get("shards") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(s.as_usize().filter(|&s| s > 0).ok_or_else(|| {
+                    ServiceError::InvalidRequest("`shards` must be a positive integer".into())
+                })?),
+            },
+            seed: match v.get("seed") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(s.as_u64().ok_or_else(|| {
+                    ServiceError::InvalidRequest("`seed` must be a non-negative integer".into())
+                })?),
+            },
+        }),
+        "submit" => Ok(Request::Submit {
+            session: field_u64(&v, "session")?,
+            records: parse_records(&v)?,
+            pre_perturbed: optional_bool(&v, "pre_perturbed", false)?,
+            shard: match v.get("shard") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(s.as_usize().ok_or_else(|| {
+                    ServiceError::InvalidRequest("`shard` must be a non-negative integer".into())
+                })?),
+            },
+        }),
+        "reconstruct" => Ok(Request::Reconstruct {
+            session: field_u64(&v, "session")?,
+            method: match v.get("method") {
+                None | Some(Value::Null) => ReconstructionMethod::ClosedForm,
+                Some(m) => ReconstructionMethod::from_wire(m.as_str().ok_or_else(|| {
+                    ServiceError::InvalidRequest("`method` must be a string".into())
+                })?)?,
+            },
+            clamp: optional_bool(&v, "clamp", true)?,
+        }),
+        "stats" => Ok(Request::Stats {
+            session: field_u64(&v, "session")?,
+        }),
+        "list_sessions" => Ok(Request::ListSessions),
+        "close_session" => Ok(Request::CloseSession {
+            session: field_u64(&v, "session")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServiceError::InvalidRequest(format!(
+            "unknown op `{other}`"
+        ))),
+    }
+}
+
+/// `{"ok":true}` plus extra fields.
+pub fn ok_response(extra: Vec<(&str, Value)>) -> String {
+    let mut pairs = vec![("ok", Value::Bool(true))];
+    pairs.extend(extra);
+    object(pairs).to_json()
+}
+
+/// `{"ok":false,"error":...}` for any service error.
+pub fn error_response(err: &ServiceError) -> String {
+    object(vec![
+        ("ok", false.into()),
+        ("error", err.to_string().into()),
+    ])
+    .to_json()
+}
+
+/// Response payload for a successful `reconstruct`.
+pub fn reconstruction_response(rec: &Reconstruction) -> String {
+    ok_response(vec![
+        ("n", rec.n.into()),
+        ("method", rec.method.wire_name().into()),
+        ("lu_cache_hit", rec.lu_cache_hit.into()),
+        (
+            "estimates",
+            Value::Array(rec.estimates.iter().map(|&e| Value::Number(e)).collect()),
+        ),
+    ])
+}
+
+/// Response payload for a successful `stats`.
+pub fn stats_response(stats: &SessionStats) -> String {
+    ok_response(vec![
+        ("total", stats.total.into()),
+        (
+            "per_shard",
+            Value::Array(stats.per_shard.iter().map(|&c| c.into()).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ping_and_shutdown() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn parses_create_session_with_gamma() {
+        let req = parse_request(
+            r#"{"op":"create_session","schema":[["age",8],["sex",2]],
+               "mechanism":"det","gamma":19.0,"shards":4,"seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::CreateSession {
+                schema: vec![("age".into(), 8), ("sex".into(), 2)],
+                mechanism: Mechanism::Deterministic { gamma: 19.0 },
+                shards: Some(4),
+                seed: Some(7),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_create_session_with_privacy_requirement() {
+        let req =
+            parse_request(r#"{"op":"create_session","schema":[["a",3]],"rho1":0.05,"rho2":0.5}"#)
+                .unwrap();
+        match req {
+            Request::CreateSession {
+                mechanism: Mechanism::Deterministic { gamma },
+                ..
+            } => assert!((gamma - 19.0).abs() < 1e-9, "gamma {gamma}"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_randomized_mechanism_with_default_alpha() {
+        let req = parse_request(
+            r#"{"op":"create_session","schema":[["a",3]],"mechanism":"ran","gamma":19.0}"#,
+        )
+        .unwrap();
+        match req {
+            Request::CreateSession {
+                mechanism:
+                    Mechanism::Randomized {
+                        gamma,
+                        alpha_fraction,
+                    },
+                ..
+            } => {
+                assert_eq!(gamma, 19.0);
+                assert_eq!(alpha_fraction, 0.5);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_submit_with_defaults() {
+        let req = parse_request(r#"{"op":"submit","session":3,"records":[[0,1],[2,0]]}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Submit {
+                session: 3,
+                records: vec![vec![0, 1], vec![2, 0]],
+                pre_perturbed: false,
+                shard: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_reconstruct_defaults_to_clamped_closed_form() {
+        let req = parse_request(r#"{"op":"reconstruct","session":1}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Reconstruct {
+                session: 1,
+                method: ReconstructionMethod::ClosedForm,
+                clamp: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"no_op":1}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"submit","records":[[0]]}"#,
+            r#"{"op":"submit","session":1,"records":[[0,-1]]}"#,
+            r#"{"op":"create_session","schema":[["a",0]]}"#,
+            r#"{"op":"create_session","schema":[["a",3]],"mechanism":"qr","gamma":2}"#,
+            r#"{"op":"create_session","schema":[["a",3]],"gamma":19,"shards":0}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_are_parseable_json() {
+        let ok = ok_response(vec![("session", 5u64.into())]);
+        let v = crate::json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("session").and_then(Value::as_u64), Some(5));
+
+        let err = error_response(&ServiceError::UnknownSession(9));
+        let v = crate::json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("unknown session 9"));
+    }
+}

@@ -1,0 +1,501 @@
+//! The TCP server: accept loop, connection handling, dispatch.
+//!
+//! Concurrency model: one OS thread per connection (ingest is
+//! lock-striped across session shards, so connections rarely contend),
+//! a shared [`SessionRegistry`] behind an `Arc`, and a cooperative
+//! shutdown flag. The `shutdown` op sets the flag and wakes the accept
+//! loop with a loopback connection, so [`Server::run`] returns cleanly
+//! — no thread is ever killed mid-request.
+
+use crate::config::ServiceConfig;
+use crate::error::{Result, ServiceError};
+use crate::json::Value;
+use crate::protocol::{
+    error_response, ok_response, parse_request, reconstruction_response, stats_response, Request,
+};
+use crate::session::SessionRegistry;
+use frapp_core::Schema;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound (but not yet running) collection server.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<SessionRegistry>,
+    config: ServiceConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the address in `config`.
+    pub fn bind(config: ServiceConfig) -> Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(SessionRegistry::new()),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The shared session registry (useful for in-process embedding).
+    pub fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Runs the accept loop on the calling thread until a client sends
+    /// `shutdown`.
+    pub fn run(self) -> Result<()> {
+        let addr = self.local_addr()?;
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // A single failed accept (e.g. peer reset between
+                // accept and handshake) should not kill the server.
+                Err(_) => continue,
+            };
+            let registry = Arc::clone(&self.registry);
+            let config = self.config.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            workers.push(std::thread::spawn(move || {
+                // Per-connection errors are reported to the peer
+                // in-band; a torn connection is simply dropped.
+                let _ = handle_connection(stream, &registry, &config, &shutdown, addr);
+            }));
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle for
+    /// the bound address and a clean shutdown.
+    pub fn spawn(self) -> Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let registry = self.registry();
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            registry,
+            join,
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<SessionRegistry>,
+    join: JoinHandle<Result<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's session registry.
+    pub fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Asks the server to stop and waits for the accept loop to exit.
+    pub fn shutdown(self) -> Result<()> {
+        let mut client = crate::client::Client::connect(self.addr)?;
+        let _ = client.shutdown();
+        self.join
+            .join()
+            .map_err(|_| ServiceError::Protocol("server thread panicked".into()))?
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &SessionRegistry,
+    config: &ServiceConfig,
+    shutdown: &AtomicBool,
+    server_addr: SocketAddr,
+) -> Result<()> {
+    // A finite read timeout lets idle connections notice the shutdown
+    // flag instead of blocking in `read` forever, and a write timeout
+    // bounds how long a peer that stops reading can pin this worker —
+    // either would otherwise wedge `Server::run`'s final join.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = read_bounded_line(&mut reader, &mut line, config.max_line_bytes, shutdown)?;
+        if n == 0 {
+            return Ok(()); // peer closed, or server shutting down
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, stop) = dispatch(registry, config, trimmed);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so Server::run observes the flag.
+            let _ = TcpStream::connect(wake_addr(server_addr));
+            return Ok(());
+        }
+    }
+}
+
+/// The address the shutdown handler connects to in order to wake the
+/// accept loop. A wildcard bind (`0.0.0.0` / `::`) is not a connectable
+/// destination on every platform, so route the wake-up via loopback.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    if bound.ip().is_unspecified() {
+        let ip: std::net::IpAddr = if bound.is_ipv4() {
+            std::net::Ipv4Addr::LOCALHOST.into()
+        } else {
+            std::net::Ipv6Addr::LOCALHOST.into()
+        };
+        SocketAddr::new(ip, bound.port())
+    } else {
+        bound
+    }
+}
+
+/// Reads one `\n`-terminated line, erroring out instead of buffering
+/// without bound when a peer sends an oversized line. Read timeouts are
+/// treated as "check the shutdown flag and keep waiting"; a set flag
+/// reads as EOF.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    max_bytes: usize,
+    shutdown: &AtomicBool,
+) -> Result<usize> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(0);
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if chunk.is_empty() {
+            break; // EOF
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&chunk[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                buf.extend_from_slice(chunk);
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+        if buf.len() > max_bytes {
+            return Err(ServiceError::Protocol(format!(
+                "request line exceeds {max_bytes} bytes"
+            )));
+        }
+    }
+    let text = String::from_utf8(buf)
+        .map_err(|_| ServiceError::Protocol("request line is not valid UTF-8".into()))?;
+    let n = text.len();
+    line.push_str(&text);
+    Ok(n)
+}
+
+/// Parses and executes one request line; returns the response line and
+/// whether the server should shut down.
+pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) -> (String, bool) {
+    match parse_request(line).and_then(|req| execute(registry, config, req)) {
+        Ok((response, stop)) => (response, stop),
+        Err(e) => (error_response(&e), false),
+    }
+}
+
+fn execute(
+    registry: &SessionRegistry,
+    config: &ServiceConfig,
+    req: Request,
+) -> Result<(String, bool)> {
+    let response = match req {
+        Request::Ping => ok_response(vec![("pong", true.into())]),
+        Request::CreateSession {
+            schema,
+            mechanism,
+            shards,
+            seed,
+        } => {
+            let specs: Vec<(&str, u32)> = schema.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+            let schema = Schema::new(specs)?;
+            if schema.domain_size() > config.max_session_domain {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "schema domain size {} exceeds this server's limit of {} cells",
+                    schema.domain_size(),
+                    config.max_session_domain
+                )));
+            }
+            let session = registry.create(
+                schema,
+                mechanism,
+                shards.unwrap_or(config.default_shards),
+                seed.unwrap_or(config.default_seed),
+                config.max_dense_domain,
+            )?;
+            ok_response(vec![
+                ("session", session.id().into()),
+                ("shards", session.num_shards().into()),
+                ("gamma", session.mechanism().gamma().into()),
+                ("domain_size", session.schema().domain_size().into()),
+            ])
+        }
+        Request::Submit {
+            session,
+            records,
+            pre_perturbed,
+            shard,
+        } => {
+            let session = registry.get(session)?;
+            let shard_used = match shard {
+                Some(idx) => {
+                    session.submit_batch_to_shard(idx, &records, pre_perturbed)?;
+                    idx
+                }
+                None => session.submit_batch(&records, pre_perturbed)?,
+            };
+            ok_response(vec![
+                ("accepted", records.len().into()),
+                ("shard", shard_used.into()),
+            ])
+        }
+        Request::Reconstruct {
+            session,
+            method,
+            clamp,
+        } => {
+            let session = registry.get(session)?;
+            let rec = session.reconstruct(method, clamp)?;
+            reconstruction_response(&rec)
+        }
+        Request::Stats { session } => {
+            let session = registry.get(session)?;
+            stats_response(&session.stats())
+        }
+        Request::ListSessions => ok_response(vec![(
+            "sessions",
+            Value::Array(registry.ids().into_iter().map(Value::from).collect()),
+        )]),
+        Request::CloseSession { session } => {
+            ok_response(vec![("closed", registry.remove(session).into())])
+        }
+        Request::Shutdown => {
+            return Ok((ok_response(vec![("shutting_down", true.into())]), true));
+        }
+    };
+    Ok((response, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn harness() -> (SessionRegistry, ServiceConfig) {
+        (SessionRegistry::new(), ServiceConfig::default())
+    }
+
+    fn ok_of(response: &str) -> json::Value {
+        let v = json::parse(response).unwrap();
+        assert_eq!(
+            v.get("ok").and_then(json::Value::as_bool),
+            Some(true),
+            "expected success, got {response}"
+        );
+        v
+    }
+
+    #[test]
+    fn dispatch_full_session_lifecycle_without_sockets() {
+        let (reg, cfg) = harness();
+        let (resp, stop) = dispatch(
+            &reg,
+            &cfg,
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":19.0,"shards":2,"seed":5}"#,
+        );
+        assert!(!stop);
+        let v = ok_of(&resp);
+        let sid = v.get("session").and_then(json::Value::as_u64).unwrap();
+        assert_eq!(v.get("domain_size").and_then(json::Value::as_u64), Some(6));
+
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(
+                r#"{{"op":"submit","session":{sid},"records":[[0,0],[1,1],[2,0]],"pre_perturbed":true}}"#
+            ),
+        );
+        let v = ok_of(&resp);
+        assert_eq!(v.get("accepted").and_then(json::Value::as_u64), Some(3));
+
+        let (resp, _) = dispatch(&reg, &cfg, &format!(r#"{{"op":"stats","session":{sid}}}"#));
+        let v = ok_of(&resp);
+        assert_eq!(v.get("total").and_then(json::Value::as_u64), Some(3));
+
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"reconstruct","session":{sid},"clamp":false,"method":"closed"}}"#),
+        );
+        let v = ok_of(&resp);
+        let est = v.get("estimates").and_then(json::Value::as_array).unwrap();
+        assert_eq!(est.len(), 6);
+
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"close_session","session":{sid}}}"#),
+        );
+        assert_eq!(
+            ok_of(&resp).get("closed").and_then(json::Value::as_bool),
+            Some(true)
+        );
+        let (resp, _) = dispatch(&reg, &cfg, &format!(r#"{{"op":"stats","session":{sid}}}"#));
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn dispatch_reports_errors_in_band() {
+        let (reg, cfg) = harness();
+        let (resp, stop) = dispatch(&reg, &cfg, "garbage");
+        assert!(!stop);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+
+        let (resp, _) = dispatch(&reg, &cfg, r#"{"op":"stats","session":404}"#);
+        let v = json::parse(&resp).unwrap();
+        assert!(v
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("unknown session"));
+    }
+
+    #[test]
+    fn wake_addr_routes_wildcard_binds_through_loopback() {
+        let v4: SocketAddr = "0.0.0.0:7878".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:7878".parse().unwrap());
+        let v6: SocketAddr = "[::]:7878".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:7878".parse().unwrap());
+        let concrete: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+    }
+
+    #[test]
+    fn create_session_rejects_non_finite_gamma() {
+        let (reg, cfg) = harness();
+        // 1e999 overflows f64 parsing to +inf; must be a validation
+        // error, not a session serving NaN estimates.
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":1e999}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("finite"));
+        assert!(reg.ids().is_empty());
+    }
+
+    #[test]
+    fn create_session_refuses_oversized_domains() {
+        let (reg, cfg) = harness();
+        // 4294967295 * 8 cells would be ~275 GB of shard counters.
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            r#"{"op":"create_session","schema":[["a",4294967295],["b",8]],"gamma":19.0}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("exceeds this server's limit"));
+        assert!(reg.ids().is_empty(), "no session must have been created");
+    }
+
+    #[test]
+    fn dispatch_shutdown_signals_stop() {
+        let (reg, cfg) = harness();
+        let (resp, stop) = dispatch(&reg, &cfg, r#"{"op":"shutdown"}"#);
+        assert!(stop);
+        ok_of(&resp);
+    }
+
+    #[test]
+    fn submit_validation_failures_do_not_poison_session() {
+        let (reg, cfg) = harness();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":19.0,"shards":1}"#,
+        );
+        let sid = ok_of(&resp)
+            .get("session")
+            .and_then(json::Value::as_u64)
+            .unwrap();
+        // Second record is invalid; the batch errors in-band.
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(
+                r#"{{"op":"submit","session":{sid},"records":[[0,0],[9,9]],"pre_perturbed":true}}"#
+            ),
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+        // The session still works afterwards.
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"submit","session":{sid},"records":[[1,1]],"pre_perturbed":true}}"#),
+        );
+        ok_of(&resp);
+    }
+}

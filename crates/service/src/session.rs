@@ -1,0 +1,621 @@
+//! Collection sessions and their registry.
+//!
+//! A [`CollectionSession`] is the server-side embodiment of one FRAPP
+//! deployment: a schema, a perturbation mechanism at some privacy
+//! level, and the (sharded) perturbed counts collected so far. Clients
+//! stream records into it — pre-perturbed, or raw for server-side
+//! perturbation — and issue reconstruction queries at any point; the
+//! session answers from a snapshot of the merged shard counts using
+//! either the O(n) gamma-diagonal closed form or a dense LU
+//! factorization that is built once and cached for all later queries.
+
+use crate::error::{Result, ServiceError};
+use crate::shard::Shard;
+use frapp_core::perturb::{GammaDiagonal, Perturber, RandomizedGammaDiagonal};
+use frapp_core::reconstruct::{clamp_counts, GammaDiagonalReconstructor};
+use frapp_core::{CountAccumulator, PrivacyRequirement, Schema};
+use frapp_linalg::solver::LinearSolver;
+use frapp_linalg::LuDecomposition;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// The perturbation mechanism a session applies server-side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mechanism {
+    /// The deterministic gamma-diagonal matrix (paper Section 3).
+    Deterministic {
+        /// Amplification bound `γ > 1`.
+        gamma: f64,
+    },
+    /// The randomized gamma-diagonal matrix (paper Section 4), with
+    /// `α` expressed as a fraction of its natural scale `γx`.
+    Randomized {
+        /// Amplification bound `γ > 1`.
+        gamma: f64,
+        /// `α / (γx) ∈ [0, 1]`.
+        alpha_fraction: f64,
+    },
+}
+
+impl Mechanism {
+    /// The deterministic mechanism at the `γ` induced by a `(ρ1, ρ2)`
+    /// privacy requirement.
+    pub fn from_requirement(req: &PrivacyRequirement) -> Self {
+        Mechanism::Deterministic { gamma: req.gamma() }
+    }
+
+    /// The amplification bound of the (expected) matrix.
+    pub fn gamma(&self) -> f64 {
+        match self {
+            Mechanism::Deterministic { gamma } | Mechanism::Randomized { gamma, .. } => *gamma,
+        }
+    }
+}
+
+/// How a reconstruction query should solve `A X̂ = Y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconstructionMethod {
+    /// The O(n) Sherman–Morrison closed form (the default).
+    ClosedForm,
+    /// Dense LU, factored on first use and cached for the session's
+    /// lifetime; `O(n²)` per query thereafter.
+    CachedLu,
+    /// Dense LU factored from scratch on every query. Exists to make
+    /// the cache's benefit measurable (see `benches/service.rs`); not
+    /// something a production client should ask for.
+    FreshLu,
+}
+
+impl ReconstructionMethod {
+    /// Parses the wire name (`closed` / `cached_lu` / `fresh_lu`).
+    pub fn from_wire(name: &str) -> Result<Self> {
+        match name {
+            "closed" => Ok(ReconstructionMethod::ClosedForm),
+            "cached_lu" => Ok(ReconstructionMethod::CachedLu),
+            "fresh_lu" => Ok(ReconstructionMethod::FreshLu),
+            other => Err(ServiceError::InvalidRequest(format!(
+                "unknown reconstruction method `{other}` (expected closed|cached_lu|fresh_lu)"
+            ))),
+        }
+    }
+
+    /// The wire name.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            ReconstructionMethod::ClosedForm => "closed",
+            ReconstructionMethod::CachedLu => "cached_lu",
+            ReconstructionMethod::FreshLu => "fresh_lu",
+        }
+    }
+}
+
+/// The result of a reconstruction query.
+#[derive(Debug, Clone)]
+pub struct Reconstruction {
+    /// Total records ingested at snapshot time.
+    pub n: u64,
+    /// The estimated original count vector `X̂`.
+    pub estimates: Vec<f64>,
+    /// Which solver produced the estimates.
+    pub method: ReconstructionMethod,
+    /// Whether the cached LU factorization already existed when the
+    /// query arrived (always `false` for the other methods).
+    pub lu_cache_hit: bool,
+}
+
+/// Point-in-time ingest statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total records ingested.
+    pub total: u64,
+    /// Records ingested per shard.
+    pub per_shard: Vec<u64>,
+}
+
+/// One schema + mechanism + sharded perturbed counts.
+pub struct CollectionSession {
+    id: u64,
+    schema: Schema,
+    mechanism: Mechanism,
+    seed: u64,
+    perturber: Arc<dyn Perturber>,
+    closed_form: GammaDiagonalReconstructor,
+    shards: Vec<Mutex<Shard>>,
+    next_shard: AtomicUsize,
+    lu_cache: OnceLock<Arc<LuDecomposition>>,
+    max_dense_domain: usize,
+}
+
+impl std::fmt::Debug for CollectionSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectionSession")
+            .field("id", &self.id)
+            .field("mechanism", &self.mechanism)
+            .field("shards", &self.shards.len())
+            .field("domain_size", &self.schema.domain_size())
+            .finish()
+    }
+}
+
+impl CollectionSession {
+    /// Builds a session. `num_shards` must be at least 1; the expensive
+    /// per-mechanism sampler state is built once here and shared across
+    /// all shards.
+    pub fn new(
+        id: u64,
+        schema: Schema,
+        mechanism: Mechanism,
+        num_shards: usize,
+        seed: u64,
+        max_dense_domain: usize,
+    ) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(ServiceError::InvalidRequest(
+                "a session needs at least one shard".into(),
+            ));
+        }
+        let gd = GammaDiagonal::new(&schema, mechanism.gamma())?;
+        let closed_form = GammaDiagonalReconstructor::new(&gd);
+        let perturber: Arc<dyn Perturber> = match mechanism {
+            Mechanism::Deterministic { .. } => Arc::new(gd),
+            Mechanism::Randomized {
+                gamma,
+                alpha_fraction,
+            } => Arc::new(RandomizedGammaDiagonal::with_alpha_fraction(
+                &schema,
+                gamma,
+                alpha_fraction,
+            )?),
+        };
+        let shards = (0..num_shards)
+            .map(|i| Mutex::new(Shard::new(schema.clone(), seed, i)))
+            .collect();
+        Ok(CollectionSession {
+            id,
+            schema,
+            mechanism,
+            seed,
+            perturber,
+            closed_form,
+            shards,
+            next_shard: AtomicUsize::new(0),
+            lu_cache: OnceLock::new(),
+            max_dense_domain,
+        })
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The schema records must conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The perturbation mechanism.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// The session's base RNG seed (shard `i` derives its stream via
+    /// [`crate::shard::shard_seed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of ingest shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ingests a batch on an automatically chosen shard (round-robin,
+    /// so concurrent submitters spread across shard locks). Returns the
+    /// shard index used.
+    ///
+    /// `pre_perturbed` declares whether the records already went
+    /// through the mechanism client-side (the paper's deployment
+    /// model) or should be perturbed here with the shard's RNG.
+    pub fn submit_batch(&self, records: &[Vec<u32>], pre_perturbed: bool) -> Result<usize> {
+        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.submit_batch_to_shard(idx, records, pre_perturbed)?;
+        Ok(idx)
+    }
+
+    /// Ingests a batch on a specific shard. Lets a client pin its
+    /// stream to one shard, which (with the session seed) makes
+    /// server-side perturbation bit-reproducible offline.
+    ///
+    /// Ingestion is record-at-a-time: if a record mid-batch fails
+    /// validation, the error is returned and the records *before* it
+    /// stay counted (exactly as if the client had sent them in a
+    /// smaller batch). Clients that need all-or-nothing batches should
+    /// validate against the schema before submitting.
+    pub fn submit_batch_to_shard(
+        &self,
+        shard_index: usize,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<()> {
+        let shard = self.shards.get(shard_index).ok_or_else(|| {
+            ServiceError::InvalidRequest(format!(
+                "shard {shard_index} out of range (session has {})",
+                self.shards.len()
+            ))
+        })?;
+        let mut shard = shard.lock().expect("shard mutex poisoned");
+        for record in records {
+            if pre_perturbed {
+                shard.ingest_perturbed(record)?;
+            } else {
+                shard.ingest_raw(record, self.perturber.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges all shard counts into one snapshot accumulator.
+    pub fn snapshot(&self) -> CountAccumulator {
+        let mut acc = CountAccumulator::new(self.schema.clone());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard mutex poisoned");
+            shard
+                .merge_into(&mut acc)
+                .expect("shards share the session schema");
+        }
+        acc
+    }
+
+    /// Ingest statistics.
+    pub fn stats(&self) -> SessionStats {
+        let per_shard: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard mutex poisoned").ingested())
+            .collect();
+        SessionStats {
+            total: per_shard.iter().sum(),
+            per_shard,
+        }
+    }
+
+    /// Refuses dense-LU work on domains past the configured limit.
+    fn check_dense_domain(&self) -> Result<()> {
+        if self.schema.domain_size() > self.max_dense_domain {
+            return Err(ServiceError::InvalidRequest(format!(
+                "domain size {} exceeds the dense-LU limit {}; use method `closed`",
+                self.schema.domain_size(),
+                self.max_dense_domain
+            )));
+        }
+        Ok(())
+    }
+
+    /// The cached dense LU handle, building it on first use.
+    fn cached_lu(&self) -> Result<(Arc<LuDecomposition>, bool)> {
+        let hit = self.lu_cache.get().is_some();
+        if !hit {
+            self.check_dense_domain()?;
+        }
+        let lu = self.lu_cache.get_or_init(|| {
+            let dense = GammaDiagonal::new(&self.schema, self.mechanism.gamma())
+                .expect("validated at session construction")
+                .as_uniform_diagonal()
+                .to_dense();
+            Arc::new(LuDecomposition::new(&dense).expect("gamma-diagonal matrices are invertible"))
+        });
+        Ok((Arc::clone(lu), hit))
+    }
+
+    /// Answers a reconstruction query from a snapshot of the current
+    /// counts. `clamp` applies [`clamp_counts`] (non-negativity +
+    /// rescale to `N`) to the estimates.
+    pub fn reconstruct(&self, method: ReconstructionMethod, clamp: bool) -> Result<Reconstruction> {
+        let snapshot = self.snapshot();
+        let n = snapshot.n();
+        let counts = snapshot.into_counts();
+        let (mut estimates, lu_cache_hit) = match method {
+            ReconstructionMethod::ClosedForm => (self.closed_form.reconstruct(&counts), false),
+            ReconstructionMethod::CachedLu => {
+                let (lu, hit) = self.cached_lu()?;
+                (lu.solve_system(&counts)?, hit)
+            }
+            ReconstructionMethod::FreshLu => {
+                self.check_dense_domain()?;
+                let dense = GammaDiagonal::new(&self.schema, self.mechanism.gamma())?
+                    .as_uniform_diagonal()
+                    .to_dense();
+                let lu = LuDecomposition::new(&dense)?;
+                (lu.solve_system(&counts)?, false)
+            }
+        };
+        if clamp {
+            clamp_counts(&mut estimates, n as f64);
+        }
+        Ok(Reconstruction {
+            n,
+            estimates,
+            method,
+            lu_cache_hit,
+        })
+    }
+}
+
+/// The server's table of live sessions.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    next_id: AtomicU64,
+    sessions: RwLock<HashMap<u64, Arc<CollectionSession>>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SessionRegistry {
+            next_id: AtomicU64::new(1),
+            sessions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Creates and registers a session, returning it.
+    pub fn create(
+        &self,
+        schema: Schema,
+        mechanism: Mechanism,
+        num_shards: usize,
+        seed: u64,
+        max_dense_domain: usize,
+    ) -> Result<Arc<CollectionSession>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(CollectionSession::new(
+            id,
+            schema,
+            mechanism,
+            num_shards,
+            seed,
+            max_dense_domain,
+        )?);
+        self.sessions
+            .write()
+            .expect("registry lock poisoned")
+            .insert(id, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Looks up a session by id.
+    pub fn get(&self, id: u64) -> Result<Arc<CollectionSession>> {
+        self.sessions
+            .read()
+            .expect("registry lock poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ServiceError::UnknownSession(id))
+    }
+
+    /// Removes a session, returning whether it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        self.sessions
+            .write()
+            .expect("registry lock poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Ids of all live sessions, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .sessions
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", 3), ("b", 2)]).unwrap()
+    }
+
+    fn session(shards: usize) -> CollectionSession {
+        CollectionSession::new(
+            1,
+            schema(),
+            Mechanism::Deterministic { gamma: 19.0 },
+            shards,
+            7,
+            4096,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_shards_and_bad_gamma() {
+        assert!(CollectionSession::new(
+            1,
+            schema(),
+            Mechanism::Deterministic { gamma: 19.0 },
+            0,
+            7,
+            4096
+        )
+        .is_err());
+        assert!(CollectionSession::new(
+            1,
+            schema(),
+            Mechanism::Deterministic { gamma: 0.5 },
+            1,
+            7,
+            4096
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn round_robin_spreads_batches() {
+        let s = session(3);
+        for _ in 0..6 {
+            s.submit_batch(&[vec![0, 0]], true).unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.total, 6);
+        assert_eq!(stats.per_shard, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn pre_perturbed_counts_pass_through_exactly() {
+        let s = session(2);
+        s.submit_batch_to_shard(0, &[vec![1, 1], vec![1, 1]], true)
+            .unwrap();
+        s.submit_batch_to_shard(1, &[vec![2, 0]], true).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.n(), 3);
+        assert_eq!(snap.counts()[schema().encode(&[1, 1]).unwrap()], 2.0);
+    }
+
+    #[test]
+    fn closed_and_cached_lu_reconstructions_agree() {
+        let s = session(4);
+        let records: Vec<Vec<u32>> = (0..3000)
+            .map(|i| vec![i % 3, (i % 7 == 0) as u32])
+            .collect();
+        s.submit_batch(&records, false).unwrap();
+        let closed = s
+            .reconstruct(ReconstructionMethod::ClosedForm, false)
+            .unwrap();
+        let lu = s
+            .reconstruct(ReconstructionMethod::CachedLu, false)
+            .unwrap();
+        assert_eq!(closed.n, 3000);
+        for (a, b) in closed.estimates.iter().zip(&lu.estimates) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lu_cache_is_hit_on_repeat_queries() {
+        let s = session(1);
+        s.submit_batch(&[vec![0, 0], vec![1, 1]], true).unwrap();
+        let first = s
+            .reconstruct(ReconstructionMethod::CachedLu, false)
+            .unwrap();
+        assert!(!first.lu_cache_hit);
+        let second = s
+            .reconstruct(ReconstructionMethod::CachedLu, false)
+            .unwrap();
+        assert!(second.lu_cache_hit);
+    }
+
+    #[test]
+    fn dense_lu_refused_beyond_domain_limit() {
+        let s = CollectionSession::new(
+            1,
+            schema(),
+            Mechanism::Deterministic { gamma: 19.0 },
+            1,
+            7,
+            4, // domain size is 6 > 4
+        )
+        .unwrap();
+        assert!(s
+            .reconstruct(ReconstructionMethod::CachedLu, false)
+            .is_err());
+        assert!(s.reconstruct(ReconstructionMethod::FreshLu, false).is_err());
+        assert!(s
+            .reconstruct(ReconstructionMethod::ClosedForm, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn clamped_reconstruction_is_nonnegative_and_totals_n() {
+        let s = session(2);
+        let records: Vec<Vec<u32>> = (0..2000).map(|_| vec![0, 0]).collect();
+        s.submit_batch(&records, false).unwrap();
+        let rec = s
+            .reconstruct(ReconstructionMethod::ClosedForm, true)
+            .unwrap();
+        assert!(rec.estimates.iter().all(|&e| e >= 0.0));
+        assert!((rec.estimates.iter().sum::<f64>() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn randomized_mechanism_sessions_reconstruct_with_expected_matrix() {
+        let s = CollectionSession::new(
+            1,
+            schema(),
+            // alpha must stay below (n−1)x on this tiny 6-cell domain,
+            // which caps the usable fraction at 5/19.
+            Mechanism::Randomized {
+                gamma: 19.0,
+                alpha_fraction: 0.2,
+            },
+            2,
+            9,
+            4096,
+        )
+        .unwrap();
+        let records: Vec<Vec<u32>> = (0..4000).map(|_| vec![2, 1]).collect();
+        s.submit_batch(&records, false).unwrap();
+        let rec = s
+            .reconstruct(ReconstructionMethod::ClosedForm, true)
+            .unwrap();
+        let hot = schema().encode(&[2, 1]).unwrap();
+        assert!(
+            rec.estimates[hot] > 3000.0,
+            "hot cell estimate {}",
+            rec.estimates[hot]
+        );
+    }
+
+    #[test]
+    fn registry_creates_gets_and_removes() {
+        let reg = SessionRegistry::new();
+        let a = reg
+            .create(
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                2,
+                7,
+                4096,
+            )
+            .unwrap();
+        let b = reg
+            .create(
+                schema(),
+                Mechanism::Deterministic { gamma: 9.0 },
+                1,
+                8,
+                4096,
+            )
+            .unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(reg.ids(), vec![a.id(), b.id()]);
+        assert_eq!(reg.get(a.id()).unwrap().num_shards(), 2);
+        assert!(reg.remove(a.id()));
+        assert!(!reg.remove(a.id()));
+        assert!(matches!(
+            reg.get(a.id()),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn wire_method_names_roundtrip() {
+        for m in [
+            ReconstructionMethod::ClosedForm,
+            ReconstructionMethod::CachedLu,
+            ReconstructionMethod::FreshLu,
+        ] {
+            assert_eq!(ReconstructionMethod::from_wire(m.wire_name()).unwrap(), m);
+        }
+        assert!(ReconstructionMethod::from_wire("qr").is_err());
+    }
+}

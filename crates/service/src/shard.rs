@@ -1,0 +1,139 @@
+//! Per-shard ingest state.
+//!
+//! A [`crate::session::CollectionSession`] splits its count state across
+//! `S` shards so concurrent batches never contend on one counter
+//! vector: each shard owns an independent [`CountAccumulator`] and an
+//! independent deterministically-seeded RNG, and is protected by its own
+//! mutex. Merging shards is `O(S·n)` at snapshot time, which the
+//! reconstruction path amortizes over the whole ingested stream.
+
+use crate::error::Result;
+use frapp_core::perturb::Perturber;
+use frapp_core::{CountAccumulator, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Multiplier mixing a shard index into the session seed (SplitMix64's
+/// golden-ratio increment). Kept stable and public-in-effect: tests and
+/// offline replays rely on shard `i` of a session seeded `s` drawing
+/// from `StdRng::seed_from_u64(shard_seed(s, i))`.
+const SHARD_SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The RNG seed used by shard `index` of a session with base seed
+/// `session_seed`. Deterministic so any server-side perturbation can be
+/// reproduced offline record-for-record.
+pub fn shard_seed(session_seed: u64, index: usize) -> u64 {
+    session_seed.wrapping_add(SHARD_SEED_MIX.wrapping_mul(index as u64 + 1))
+}
+
+/// One ingest shard: a count accumulator plus its private RNG.
+#[derive(Debug)]
+pub struct Shard {
+    acc: CountAccumulator,
+    rng: StdRng,
+    ingested: u64,
+}
+
+impl Shard {
+    /// A fresh shard for `schema`, with the RNG derived from the
+    /// session seed and this shard's index via [`shard_seed`].
+    pub fn new(schema: Schema, session_seed: u64, index: usize) -> Self {
+        Shard {
+            acc: CountAccumulator::new(schema),
+            rng: StdRng::seed_from_u64(shard_seed(session_seed, index)),
+            ingested: 0,
+        }
+    }
+
+    /// Number of records this shard has counted.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Counts a record that the client already perturbed.
+    pub fn ingest_perturbed(&mut self, record: &[u32]) -> Result<()> {
+        self.acc.observe(record)?;
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Perturbs a raw record with this shard's RNG, then counts the
+    /// perturbed version. The original record is validated by the
+    /// perturber and never stored — matching the paper's trust model
+    /// where the miner only ever retains `V = A(U)`.
+    pub fn ingest_raw(&mut self, record: &[u32], perturber: &dyn Perturber) -> Result<()> {
+        let perturbed = perturber.perturb_record(record, &mut self.rng)?;
+        let idx = self
+            .acc
+            .schema()
+            .encode(&perturbed)
+            .expect("perturber output is schema-valid by construction");
+        self.acc.observe_index(idx);
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Adds this shard's counts into `target`.
+    pub fn merge_into(&self, target: &mut CountAccumulator) -> Result<()> {
+        target.merge(&self.acc)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frapp_core::perturb::GammaDiagonal;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", 3), ("b", 2)]).unwrap()
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..16).map(|i| shard_seed(7, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+        assert_eq!(shard_seed(7, 3), seeds[3]);
+    }
+
+    #[test]
+    fn perturbed_ingest_counts_exactly() {
+        let mut shard = Shard::new(schema(), 0, 0);
+        shard.ingest_perturbed(&[1, 1]).unwrap();
+        shard.ingest_perturbed(&[1, 1]).unwrap();
+        shard.ingest_perturbed(&[2, 0]).unwrap();
+        assert!(shard.ingest_perturbed(&[9, 0]).is_err());
+        assert_eq!(shard.ingested(), 3);
+        let mut acc = CountAccumulator::new(schema());
+        shard.merge_into(&mut acc).unwrap();
+        assert_eq!(acc.counts()[schema().encode(&[1, 1]).unwrap()], 2.0);
+        assert_eq!(acc.n(), 3);
+    }
+
+    #[test]
+    fn raw_ingest_replays_offline_with_same_seed() {
+        let s = schema();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let records: Vec<Vec<u32>> = (0..500).map(|i| vec![i % 3, i % 2]).collect();
+
+        let mut shard = Shard::new(s.clone(), 42, 0);
+        for r in &records {
+            shard.ingest_raw(r, &gd).unwrap();
+        }
+        let mut via_shard = CountAccumulator::new(s.clone());
+        shard.merge_into(&mut via_shard).unwrap();
+
+        // Offline replay: same derived seed, same record order.
+        let mut rng = StdRng::seed_from_u64(shard_seed(42, 0));
+        let mut offline = CountAccumulator::new(s);
+        for r in &records {
+            offline
+                .observe(&gd.perturb_record(r, &mut rng).unwrap())
+                .unwrap();
+        }
+        assert_eq!(via_shard.counts(), offline.counts());
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart for the FRAPP collection service: spin up the server
+//! in-process, stream a perturbed CENSUS-like workload through a real
+//! TCP loopback connection, and reconstruct attribute marginals.
+//!
+//! ```text
+//! cargo run --release --example service_quickstart
+//! ```
+
+use frapp::core::perturb::{GammaDiagonal, Perturber};
+use frapp::service::client::{Client, SessionSpec};
+use frapp::service::session::ReconstructionMethod;
+use frapp::service::{Server, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const N_RECORDS: usize = 50_000;
+const GAMMA: f64 = 19.0;
+
+fn main() {
+    // 1. A server on an ephemeral loopback port, on a background thread.
+    let handle = Server::bind(ServiceConfig::default())
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    println!("server listening on {}", handle.addr());
+
+    // 2. A session over the paper's Table 1 CENSUS schema.
+    let schema = frapp::data::census::schema();
+    let spec = SessionSpec {
+        schema: schema
+            .attributes()
+            .iter()
+            .map(|a| (a.name().to_owned(), a.cardinality()))
+            .collect(),
+        mechanism: frapp::service::Mechanism::Deterministic { gamma: GAMMA },
+        shards: Some(4),
+        seed: Some(7),
+    };
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let session = client.create_session(&spec).expect("create session");
+    println!(
+        "session {session}: {} attributes, {}-cell domain, gamma {GAMMA}",
+        schema.num_attributes(),
+        schema.domain_size()
+    );
+
+    // 3. Clients perturb their own records (the paper's trust model)
+    //    and stream them in batches.
+    let dataset = frapp::data::census::census_like_n(N_RECORDS, 11);
+    let gd = GammaDiagonal::new(&schema, GAMMA).expect("gamma > 1");
+    let mut rng = StdRng::seed_from_u64(23);
+    let started = Instant::now();
+    for batch in dataset.records().chunks(1_000) {
+        let perturbed: Vec<Vec<u32>> = batch
+            .iter()
+            .map(|r| gd.perturb_record(r, &mut rng).expect("valid record"))
+            .collect();
+        client
+            .submit_batch(session, &perturbed, true)
+            .expect("submit");
+    }
+    let stats = client.stats(session).expect("stats");
+    println!(
+        "ingested {} records in {:.2}s (shard loads {:?})",
+        stats.total,
+        started.elapsed().as_secs_f64(),
+        stats.per_shard
+    );
+
+    // 4. Reconstruct and compare a single-attribute marginal with the
+    //    (normally unobservable) truth.
+    let rec = client
+        .reconstruct(session, ReconstructionMethod::ClosedForm, true)
+        .expect("reconstruct");
+    let attr = 0;
+    let card = schema.cardinality(attr) as usize;
+    let mut marginal = vec![0.0; card];
+    for (cell, est) in rec.estimates.iter().enumerate() {
+        marginal[schema.decode(cell)[attr] as usize] += est;
+    }
+    let truth = dataset.projected_counts(&[attr]);
+    println!(
+        "marginal of `{}` (estimated vs true counts):",
+        schema.attribute(attr).name()
+    );
+    for v in 0..card {
+        println!("  value {v}: {:>9.1} vs {:>9.1}", marginal[v], truth[v]);
+    }
+    println!(
+        "(estimates carry noise amplified ~{:.0}x by the matrix conditioning at \
+         gamma {GAMMA}, n = {} — the paper's Theorem 1; accuracy grows with N)",
+        (GAMMA + schema.domain_size() as f64 - 1.0) / (GAMMA - 1.0),
+        schema.domain_size()
+    );
+
+    client.close_session(session).expect("close");
+    handle.shutdown().expect("shutdown");
+    println!("server stopped cleanly");
+}

@@ -1,0 +1,309 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! stands in for the real `criterion`. It keeps the same macro and
+//! builder surface (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`]) but replaces the statistical machinery with a plain
+//! warm-up + repeated-sample median, printed per benchmark:
+//!
+//! ```text
+//! group/name/param        time: [median 1.23 µs]  (20 samples)
+//! ```
+//!
+//! That is deliberately crude — no outlier analysis, no HTML reports —
+//! but it is honest wall-clock data, deterministic to run, and enough to
+//! compare the relative costs the workspace's benches care about
+//! (closed-form vs LU, shard counts, cached vs fresh factorization).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration and entry point (shim of
+/// `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for collecting samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples to collect.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_benchmark(id, &self.clone(), f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and
+/// configuration (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput (printed alongside timings).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_benchmark(&format!("{}/{id}", self.name), &self.config, f);
+    }
+
+    /// Runs a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_benchmark(&format!("{}/{id}", self.name), &self.config, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter
+/// (shim of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "unnamed"),
+        }
+    }
+}
+
+/// Declared throughput of one benchmark iteration (shim of
+/// `criterion::Throughput`; informational only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures to drive timed iterations (shim of
+/// `criterion::Bencher`).
+pub struct Bencher {
+    config: Criterion,
+    /// Median nanoseconds per iteration, set by [`Bencher::iter`].
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Choose iterations per sample so all samples fit the budget.
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.config.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns).floor() as u64).clamp(1, 10_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+            // Never exceed twice the measurement budget even for very
+            // slow benchmarks.
+            if run_start.elapsed() > self.config.measurement_time * 2 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.samples = samples_ns.len();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, config: &Criterion, mut f: F) {
+    let mut bencher = Bencher {
+        config: config.clone(),
+        median_ns: f64::NAN,
+        samples: 0,
+    };
+    f(&mut bencher);
+    if bencher.samples == 0 {
+        println!("{name:<55} (no iterations recorded)");
+    } else {
+        println!(
+            "{name:<55} time: [median {}]  ({} samples)",
+            format_ns(bencher.median_ns),
+            bencher.samples
+        );
+    }
+}
+
+/// Declares a group of benchmark functions (shim of
+/// `criterion::criterion_group!`). Supports both the plain and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main` (shim of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_median() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut group = c.benchmark_group("shim_selftest");
+        let mut ran = false;
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline shim for the subset of the `proptest` 1.x API this
+//! workspace's property tests use.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! stands in for the real `proptest`. It keeps the same test-facing
+//! surface — the [`proptest!`] macro with `arg in strategy` bindings,
+//! [`strategy::Strategy`] with `prop_map`, `prop::collection::{vec,
+//! btree_set}`, range strategies, [`prop_assert!`] and
+//! [`prop_assert_eq!`] — but drops shrinking and failure persistence:
+//! a failing case simply panics with the values the macro generated,
+//! which are reproducible because every test's RNG stream is derived
+//! deterministically from the test name and case index.
+//!
+//! The number of cases per test defaults to 24 and can be raised with
+//! the `PROPTEST_CASES` environment variable, matching the real crate's
+//! knob.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What the real crate calls the prelude: everything a `proptest!` test
+/// module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace mirror of the real crate's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Number of generated cases per property, from `PROPTEST_CASES` or the
+/// shim default of 24.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(24)
+}
+
+/// Deterministic RNG for one test case: seeded from an FNV-1a hash of
+/// the test name mixed with the case index, so every test sees an
+/// independent but reproducible stream.
+pub fn test_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body against [`cases`] generated
+/// inputs (shim of `proptest::proptest!`, without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            for case in 0..cases {
+                let mut proptest_shim_rng = $crate::test_rng(stringify!($name), case as u64);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut proptest_shim_rng,
+                    );
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics on failure; the real
+/// crate would shrink first).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("some_test", 3);
+        let mut b = crate::test_rng("some_test", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("some_test", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        /// The macro itself: bindings, strategies and assertions wire up.
+        #[test]
+        fn macro_generates_values_in_range(
+            x in 0usize..10,
+            y in 1.5f64..2.5,
+            v in prop::collection::vec(0u32..5, 2..=4),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((1.5..2.5).contains(&y));
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        /// prop_map composes.
+        #[test]
+        fn prop_map_applies_function(n in 0u64..100) {
+            let doubled = (0u64..100).prop_map(|v| v * 2).generate(
+                &mut crate::test_rng("inner", n));
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+}

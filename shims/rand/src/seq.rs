@@ -1,0 +1,106 @@
+//! Sequence-related random operations.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices (shim analogue of
+/// `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffles the whole slice in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffles the first `amount` positions so they hold a uniformly
+    /// random `amount`-subset of the slice in uniformly random order;
+    /// returns `(shuffled_prefix, rest)`.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        let len = self.len();
+        self.partial_shuffle(rng, len);
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.gen_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn partial_shuffle_prefix_is_uniform_subset() {
+        // Each element should land in the size-2 prefix of a 5-element
+        // slice with probability 2/5.
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 50_000;
+        let mut hits = [0usize; 5];
+        for _ in 0..trials {
+            let mut v = [0usize, 1, 2, 3, 4];
+            v.partial_shuffle(&mut rng, 2);
+            hits[v[0]] += 1;
+            hits[v[1]] += 1;
+        }
+        for &h in &hits {
+            let expected = trials as f64 * 2.0 / 5.0;
+            assert!(
+                (h as f64 - expected).abs() < 6.0 * expected.sqrt(),
+                "hit count {h} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [7u8, 8, 9];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`mining`] — exact and privacy-preserving Apriori plus the paper's
 //!   accuracy metrics (support error ρ, identity errors σ⁺/σ⁻),
 //! * [`data`] — synthetic CENSUS-like and HEALTH-like dataset generators
-//!   matching the paper's Tables 1 and 2.
+//!   matching the paper's Tables 1 and 2,
+//! * [`service`] — the online half of the paper's deployment model: an
+//!   asynchronous, sharded record-collection and reconstruction server
+//!   speaking line-delimited JSON over TCP.
 //!
 //! ## Quickstart
 //!
@@ -35,9 +38,37 @@
 //! let perturbed = gd.perturb_record(&record, &mut rng).unwrap();
 //! assert_eq!(perturbed.len(), 2);
 //! ```
+//!
+//! ## Running the service
+//!
+//! The workspace ships two binaries. `frapp-serve` runs the collection
+//! server; `frapp-client` is a CENSUS-like load generator:
+//!
+//! ```text
+//! cargo run --release -p frapp-service --bin frapp-serve -- --addr 127.0.0.1:7878
+//! cargo run --release -p frapp-service --bin frapp-client -- \
+//!     --addr 127.0.0.1:7878 --records 100000 --threads 4 --pre-perturb
+//! ```
+//!
+//! Clients open a *collection session* (schema + privacy mechanism),
+//! stream perturbed records into it in batches — ingestion is sharded
+//! so concurrent batches never contend on one counter vector — and ask
+//! for distribution reconstructions at any time. Repeated queries reuse
+//! a per-session cached LU factorization (or the O(n) gamma-diagonal
+//! closed form). The wire protocol is one JSON object per line:
+//!
+//! ```text
+//! {"op":"create_session","schema":[["age",8],["sex",2]],"gamma":19.0}
+//! {"op":"submit","session":1,"records":[[3,0],[7,1]],"pre_perturbed":true}
+//! {"op":"reconstruct","session":1,"method":"closed","clamp":true}
+//! ```
+//!
+//! See [`service`] (the `frapp-service` crate) for the in-process API,
+//! and `examples/service_quickstart.rs` for an end-to-end loopback run.
 
 pub use frapp_baselines as baselines;
 pub use frapp_core as core;
 pub use frapp_data as data;
 pub use frapp_linalg as linalg;
 pub use frapp_mining as mining;
+pub use frapp_service as service;

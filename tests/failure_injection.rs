@@ -59,10 +59,8 @@ fn reconstructing_with_wrong_gamma_biases_predictably() {
     }
     let ds = Dataset::new(s.clone(), records).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
-    let perturbed = Dataset::from_trusted(
-        s,
-        true_gd.perturb_dataset(ds.records(), &mut rng).unwrap(),
-    );
+    let perturbed =
+        Dataset::from_trusted(s, true_gd.perturb_dataset(ds.records(), &mut rng).unwrap());
     let y = perturbed.count_vector();
 
     let right = GammaDiagonalReconstructor::new(&true_gd).reconstruct(&y);

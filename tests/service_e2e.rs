@@ -1,0 +1,79 @@
+//! Facade-level end-to-end check of the collection service: everything
+//! reachable through `frapp::service`, over a real loopback connection,
+//! cross-validated against the offline reconstruction path.
+
+use frapp::core::perturb::{GammaDiagonal, Perturber};
+use frapp::core::reconstruct::GammaDiagonalReconstructor;
+use frapp::core::{Dataset, Schema};
+use frapp::service::client::{Client, SessionSpec};
+use frapp::service::session::ReconstructionMethod;
+use frapp::service::{Mechanism, Server, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn facade_service_roundtrip_matches_offline_path() {
+    let schema = Schema::new(vec![("color", 5), ("size", 4), ("shape", 3)]).unwrap();
+    let gamma = 12.0;
+
+    // Pre-perturb client-side so the comparison is exact.
+    let gd = GammaDiagonal::new(&schema, gamma).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let originals: Vec<Vec<u32>> = (0..20_000)
+        .map(|i| vec![(i % 5) as u32, ((i / 5) % 4) as u32, ((i / 20) % 3) as u32])
+        .collect();
+    let perturbed: Vec<Vec<u32>> = originals
+        .iter()
+        .map(|r| gd.perturb_record(r, &mut rng).unwrap())
+        .collect();
+
+    let handle = Server::bind(ServiceConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let spec = SessionSpec {
+        schema: vec![("color".into(), 5), ("size".into(), 4), ("shape".into(), 3)],
+        mechanism: Mechanism::Deterministic { gamma },
+        shards: Some(3),
+        seed: Some(1),
+    };
+    let session = client.create_session(&spec).unwrap();
+    assert_eq!(client.list_sessions().unwrap(), vec![session]);
+
+    for batch in perturbed.chunks(512) {
+        client.submit_batch(session, batch, true).unwrap();
+    }
+    let stats = client.stats(session).unwrap();
+    assert_eq!(stats.total, 20_000);
+    assert_eq!(stats.per_shard.len(), 3);
+
+    // Service reconstruction (closed form and cached LU) equals the
+    // offline reconstructor on the same perturbed counts.
+    let counts = Dataset::from_trusted(schema, perturbed).count_vector();
+    let offline = GammaDiagonalReconstructor::new(&gd).reconstruct(&counts);
+    for method in [
+        ReconstructionMethod::ClosedForm,
+        ReconstructionMethod::CachedLu,
+    ] {
+        let rec = client.reconstruct(session, method, false).unwrap();
+        assert_eq!(rec.n, 20_000);
+        for (s, o) in rec.estimates.iter().zip(&offline) {
+            assert!(
+                (s - o).abs() < 1e-6 * (1.0 + o.abs()),
+                "{method:?}: {s} vs {o}"
+            );
+        }
+    }
+
+    // Second cached-LU query hits the session's factorization cache.
+    let again = client
+        .reconstruct(session, ReconstructionMethod::CachedLu, false)
+        .unwrap();
+    assert!(again.lu_cache_hit);
+
+    assert!(client.close_session(session).unwrap());
+    assert!(client.list_sessions().unwrap().is_empty());
+    handle.shutdown().unwrap();
+}
