@@ -136,10 +136,35 @@ fn bench_reconstruction_queries(c: &mut Criterion) {
     group.finish();
 }
 
+/// Snapshot persistence cost: what the periodic persister pays to dump
+/// a loaded 500-cell, 4-shard session, and what recovery pays to read
+/// it back (parse + count validation + RNG fast-forward).
+fn bench_persistence(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("frapp-bench-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let session = session(4);
+    // Server-perturbed ingest so recovery also fast-forwards the RNG.
+    let base: Vec<Vec<u32>> = (0..20_000)
+        .map(|i| vec![(i % 3) as u32, (i % 7) as u32, (i % 5) as u32])
+        .collect();
+    session.submit_batch(&base, false).expect("ingest");
+
+    let mut group = c.benchmark_group("service_persist");
+    group.bench_function("save_snapshot", |b| {
+        b.iter(|| black_box(frapp_service::persist::save_session(&dir, &session).unwrap()));
+    });
+    let path = frapp_service::persist::save_session(&dir, &session).expect("snapshot");
+    group.bench_function("load_snapshot", |b| {
+        b.iter(|| black_box(frapp_service::persist::load_session(&path, 4096, 1 << 24).unwrap()));
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     name = benches;
     config = quick_config();
-    targets = bench_sharded_ingest, bench_reconstruction_queries);
+    targets = bench_sharded_ingest, bench_reconstruction_queries, bench_persistence);
 criterion_main!(benches);
 
 /// Short measurement windows, matching the other benches in this crate.

@@ -34,6 +34,32 @@ impl CountAccumulator {
         }
     }
 
+    /// Rebuilds an accumulator from a previously materialised count
+    /// vector (e.g. a persisted snapshot being recovered). `counts`
+    /// must hold exactly one finite, non-negative entry per domain
+    /// cell; `n` is recovered as the rounded total, matching the
+    /// invariant that every `observe` adds exactly 1.0 to one cell.
+    pub fn from_counts(schema: Schema, counts: Vec<f64>) -> Result<Self> {
+        if counts.len() != schema.domain_size() {
+            return Err(FrappError::InvalidParameter {
+                name: "counts",
+                reason: format!(
+                    "expected {} domain cells, got {}",
+                    schema.domain_size(),
+                    counts.len()
+                ),
+            });
+        }
+        if counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return Err(FrappError::InvalidParameter {
+                name: "counts",
+                reason: "every count must be finite and non-negative".into(),
+            });
+        }
+        let n = counts.iter().sum::<f64>().round() as u64;
+        Ok(CountAccumulator { schema, counts, n })
+    }
+
     /// The schema being counted over.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -223,6 +249,23 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![("a", 2), ("b", 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_counts_roundtrips_and_validates() {
+        let s = schema();
+        let mut acc = CountAccumulator::new(s.clone());
+        acc.observe(&[0, 0]).unwrap();
+        acc.observe(&[0, 0]).unwrap();
+        acc.observe(&[1, 2]).unwrap();
+        let rebuilt = CountAccumulator::from_counts(s.clone(), acc.counts().to_vec()).unwrap();
+        assert_eq!(rebuilt.n(), 3);
+        assert_eq!(rebuilt.counts(), acc.counts());
+
+        // Wrong length, negative and non-finite vectors are rejected.
+        assert!(CountAccumulator::from_counts(s.clone(), vec![0.0; 2]).is_err());
+        assert!(CountAccumulator::from_counts(s.clone(), vec![-1.0; 6]).is_err());
+        assert!(CountAccumulator::from_counts(s, vec![f64::NAN; 6]).is_err());
     }
 
     #[test]

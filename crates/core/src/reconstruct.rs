@@ -31,6 +31,13 @@ pub fn reconstruct_counts(matrix: &Matrix, counts_v: &[f64]) -> Result<Vec<f64>>
 /// Clamps negative estimates to zero and rescales so the total matches
 /// `n`. Reconstruction can produce slightly negative cell estimates;
 /// for mining purposes they are noise around zero.
+///
+/// Degenerate case: if *every* estimate clamps to zero (possible at
+/// tiny `N`, where sampling noise can push all cells negative), there
+/// is no shape left to rescale, so the estimate falls back to the
+/// maximum-entropy answer — the uniform distribution `n / len` —
+/// instead of an all-zero vector that would contradict the
+/// total-matches-`n` contract.
 pub fn clamp_counts(estimates: &mut [f64], n: f64) {
     let mut total = 0.0;
     for e in estimates.iter_mut() {
@@ -43,6 +50,11 @@ pub fn clamp_counts(estimates: &mut [f64], n: f64) {
         let scale = n / total;
         for e in estimates.iter_mut() {
             *e *= scale;
+        }
+    } else if n > 0.0 && !estimates.is_empty() {
+        let uniform = n / estimates.len() as f64;
+        for e in estimates.iter_mut() {
+            *e = uniform;
         }
     }
 }
@@ -213,10 +225,30 @@ mod tests {
     }
 
     #[test]
-    fn clamp_counts_all_negative_is_safe() {
+    fn clamp_counts_all_negative_falls_back_to_uniform() {
+        // Every estimate clamps to zero: rather than returning an
+        // all-zero vector whose total contradicts `n`, the fallback is
+        // the uniform distribution over the domain.
         let mut est = vec![-1.0, -2.0];
         clamp_counts(&mut est, 10.0);
+        assert_eq!(est, vec![5.0, 5.0]);
+        assert_close(est.iter().sum::<f64>(), 10.0, 1e-12);
+    }
+
+    #[test]
+    fn clamp_counts_degenerate_inputs_stay_safe() {
+        // n = 0: nothing to rescale to, all-zero is the right answer.
+        let mut est = vec![-1.0, -2.0];
+        clamp_counts(&mut est, 0.0);
         assert_eq!(est, vec![0.0, 0.0]);
+        // Empty slice: must not divide by zero.
+        let mut empty: Vec<f64> = vec![];
+        clamp_counts(&mut empty, 10.0);
+        assert!(empty.is_empty());
+        // Exact zeros (not negative) with n > 0 also take the fallback.
+        let mut zeros = vec![0.0; 4];
+        clamp_counts(&mut zeros, 8.0);
+        assert_eq!(zeros, vec![2.0; 4]);
     }
 
     #[test]

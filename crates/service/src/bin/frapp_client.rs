@@ -1,21 +1,31 @@
-//! `frapp-client` — load generator for the FRAPP collection server.
+//! `frapp-client` — load generator and operations CLI for the FRAPP
+//! collection server.
 //!
 //! ```text
-//! frapp-client [--addr 127.0.0.1:7878] [--records 100000] [--batch 1000]
-//!              [--threads 4] [--gamma 19] [--seed 11] [--pre-perturb]
+//! frapp-client [load] [--addr 127.0.0.1:7878] [--records 100000]
+//!              [--batch 1000] [--threads 4] [--gamma 19] [--seed 11]
+//!              [--pre-perturb]
+//! frapp-client list    [--addr HOST:PORT]
+//! frapp-client metrics [--addr HOST:PORT] --session N
+//! frapp-client persist [--addr HOST:PORT] [--session N]
 //! ```
 //!
-//! Generates a synthetic CENSUS-like workload (the paper's Table 1
-//! schema), streams it to the server from `--threads` concurrent
-//! connections, then issues a reconstruction query and reports ingest
-//! throughput plus the total-variation distance between the
-//! reconstructed and the true distribution.
+//! The default `load` subcommand generates a synthetic CENSUS-like
+//! workload (the paper's Table 1 schema), streams it to the server from
+//! `--threads` concurrent connections, then issues a reconstruction
+//! query and reports ingest throughput plus the total-variation
+//! distance between the reconstructed and the true distribution.
 //!
 //! With `--pre-perturb` the *client* perturbs each record before
 //! submission — the paper's actual trust model, where the server never
 //! sees a raw record. Without it, records are submitted raw and the
 //! server perturbs on ingest (useful for benchmarking the server-side
 //! sampler).
+//!
+//! `list` prints one summary line per live session; `metrics` prints a
+//! session's ingest counters and query-latency histogram; `persist`
+//! asks the server to snapshot one (or all) sessions to its
+//! persistence directory.
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
 use frapp_service::client::{Client, SessionSpec};
@@ -32,17 +42,21 @@ struct Args {
     gamma: f64,
     seed: u64,
     pre_perturb: bool,
+    session: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: frapp-client [--addr HOST:PORT] [--records N] [--batch B] \
-         [--threads T] [--gamma G] [--seed S] [--pre-perturb]"
+        "usage: frapp-client [load] [--addr HOST:PORT] [--records N] [--batch B] \
+         [--threads T] [--gamma G] [--seed S] [--pre-perturb]\n\
+         \x20      frapp-client list    [--addr HOST:PORT]\n\
+         \x20      frapp-client metrics [--addr HOST:PORT] --session N\n\
+         \x20      frapp-client persist [--addr HOST:PORT] [--session N]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+fn parse_args(args: impl Iterator<Item = String>) -> Args {
     let mut parsed = Args {
         addr: "127.0.0.1:7878".into(),
         records: 100_000,
@@ -51,8 +65,9 @@ fn parse_args() -> Args {
         gamma: 19.0,
         seed: 11,
         pre_perturb: false,
+        session: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
             args.next().unwrap_or_else(|| {
@@ -67,6 +82,9 @@ fn parse_args() -> Args {
             "--threads" => parsed.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
             "--gamma" => parsed.gamma = value("--gamma").parse().unwrap_or_else(|_| usage()),
             "--seed" => parsed.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--session" => {
+                parsed.session = Some(value("--session").parse().unwrap_or_else(|_| usage()))
+            }
             "--pre-perturb" => parsed.pre_perturb = true,
             "--help" | "-h" => usage(),
             other => {
@@ -81,8 +99,97 @@ fn parse_args() -> Args {
     parsed
 }
 
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("frapp-client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Unwraps an ops-subcommand result with a clean one-line error —
+/// server-side rejections (unknown session, no persistence directory)
+/// are expected user-facing cases, not panics.
+fn ok_or_exit<T>(result: frapp_service::Result<T>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("frapp-client: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn run_list(args: Args) {
+    let mut client = connect(&args.addr);
+    let sessions = ok_or_exit(client.list_sessions_detail());
+    if sessions.is_empty() {
+        println!("no live sessions");
+        return;
+    }
+    println!(
+        "{:>8}  {:>12}  {:>7}  {:>7}  {:>12}  {:>8}",
+        "session", "domain_size", "shards", "gamma", "records", "queries"
+    );
+    for s in sessions {
+        println!(
+            "{:>8}  {:>12}  {:>7}  {:>7}  {:>12}  {:>8}",
+            s.id, s.domain_size, s.shards, s.gamma, s.total, s.reconstructions
+        );
+    }
+}
+
+fn run_metrics(args: Args) {
+    let session = args.session.unwrap_or_else(|| {
+        eprintln!("metrics needs --session N");
+        usage()
+    });
+    let mut client = connect(&args.addr);
+    let (report, total) = ok_or_exit(client.metrics(session));
+    println!("session {session}");
+    println!("  records (all-time):      {total}");
+    println!("  records (this process):  {}", report.records_ingested);
+    println!("  batches:                 {}", report.batches);
+    println!(
+        "  ingest rate:             {:.1} records/s over {:.1}s",
+        report.ingest_rate, report.uptime_secs
+    );
+    println!("  reconstructions:         {}", report.reconstructions);
+    let lat = &report.query_latency;
+    if lat.count == 0 {
+        println!("  query latency:           (no queries yet)");
+        return;
+    }
+    println!(
+        "  query latency:           mean {:.1} µs, max {} µs over {} queries",
+        lat.mean_us, lat.max_us, lat.count
+    );
+    for &(lt_us, count) in &lat.buckets {
+        println!("    < {lt_us:>10} µs  {count:>8}");
+    }
+}
+
+fn run_persist(args: Args) {
+    let mut client = connect(&args.addr);
+    let persisted = ok_or_exit(client.persist(args.session));
+    println!(
+        "persisted {} session{}: {persisted:?}",
+        persisted.len(),
+        if persisted.len() == 1 { "" } else { "s" }
+    );
+}
+
 fn main() {
-    let args = parse_args();
+    let mut argv = std::env::args().skip(1).peekable();
+    let subcommand = match argv.peek().map(String::as_str) {
+        Some("list") | Some("metrics") | Some("persist") | Some("load") => {
+            argv.next().expect("peeked")
+        }
+        _ => "load".to_owned(),
+    };
+    let args = parse_args(argv);
+    match subcommand.as_str() {
+        "list" => return run_list(args),
+        "metrics" => return run_metrics(args),
+        "persist" => return run_persist(args),
+        _ => {}
+    }
     let schema = frapp_data::census::schema();
     println!(
         "generating {} CENSUS-like records ({} attributes, {}-cell domain)...",

@@ -2,15 +2,26 @@
 //!
 //! ```text
 //! frapp-serve [--addr 127.0.0.1:7878] [--shards N] [--seed S]
+//!             [--max-sessions N] [--persist-dir PATH]
+//!             [--persist-interval SECS]
 //! ```
 //!
 //! The server prints its bound address on stdout (useful with port 0)
 //! and runs until a client sends `{"op":"shutdown"}`.
+//!
+//! With `--persist-dir`, session snapshots found there are recovered on
+//! startup, every live session is snapshotted on clean shutdown (and
+//! every `--persist-interval` seconds when set), and sessions evicted
+//! by the `--max-sessions` LRU cap are spilled to disk instead of
+//! dropped.
 
 use frapp_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: frapp-serve [--addr HOST:PORT] [--shards N] [--seed S]");
+    eprintln!(
+        "usage: frapp-serve [--addr HOST:PORT] [--shards N] [--seed S] \
+         [--max-sessions N] [--persist-dir PATH] [--persist-interval SECS]"
+    );
     std::process::exit(2);
 }
 
@@ -30,6 +41,15 @@ fn main() {
                 config.default_shards = value("--shards").parse().unwrap_or_else(|_| usage())
             }
             "--seed" => config.default_seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-sessions" => {
+                config.max_sessions = value("--max-sessions").parse().unwrap_or_else(|_| usage())
+            }
+            "--persist-dir" => config.persist_dir = Some(value("--persist-dir").into()),
+            "--persist-interval" => {
+                config.persist_interval_secs = value("--persist-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -37,7 +57,12 @@ fn main() {
             }
         }
     }
+    if config.persist_interval_secs > 0 && config.persist_dir.is_none() {
+        eprintln!("--persist-interval requires --persist-dir");
+        usage();
+    }
 
+    let persist_dir = config.persist_dir.clone();
     let server = match Server::bind(config) {
         Ok(s) => s,
         Err(e) => {
@@ -48,6 +73,15 @@ fn main() {
     match server.local_addr() {
         Ok(addr) => println!("frapp-serve listening on {addr}"),
         Err(e) => eprintln!("frapp-serve: {e}"),
+    }
+    if let Some(dir) = &persist_dir {
+        let recovered = server.registry().ids();
+        println!(
+            "persistence: {} ({} session{} recovered)",
+            dir.display(),
+            recovered.len(),
+            if recovered.len() == 1 { "" } else { "s" }
+        );
     }
     if let Err(e) = server.run() {
         eprintln!("frapp-serve: {e}");

@@ -2,7 +2,10 @@
 
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::session::{Mechanism, Reconstruction, ReconstructionMethod, SessionStats};
+use crate::metrics::{LatencySummary, MetricsReport};
+use crate::session::{
+    Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -62,12 +65,14 @@ impl Client {
         let v = json::parse(response.trim())?;
         match v.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(v),
-            Some(false) => Err(ServiceError::Remote(
-                v.get("error")
+            Some(false) => Err(ServiceError::Remote {
+                message: v
+                    .get("error")
                     .and_then(Value::as_str)
                     .unwrap_or("unspecified error")
                     .to_owned(),
-            )),
+                accepted: v.get("accepted").and_then(Value::as_u64),
+            }),
             None => Err(ServiceError::Protocol(
                 "response is missing the `ok` field".into(),
             )),
@@ -143,6 +148,22 @@ impl Client {
     }
 
     /// Ingests a batch on a server-chosen shard; returns the shard used.
+    ///
+    /// # Retry contract
+    ///
+    /// Server ingestion is record-at-a-time: a batch that fails
+    /// mid-way (e.g. one record violates the schema) has its prefix
+    /// *already counted*. The resulting
+    /// [`ServiceError::Remote`] carries `accepted: Some(k)` — the
+    /// server counted `records[..k]` and rejected `records[k]`.
+    /// A client retrying after such an error must resubmit only
+    /// `records[k..]` (typically after fixing or dropping the offending
+    /// record); resubmitting the whole batch would double-count the
+    /// first `k` records. Errors with `accepted: None` (connection
+    /// failures, unknown session, …) mean nothing from the batch is
+    /// known to have landed, and the whole batch should be retried once
+    /// the cause is resolved — `stats` can be used to reconcile when a
+    /// connection died mid-submit.
     pub fn submit_batch(
         &mut self,
         session: u64,
@@ -152,7 +173,8 @@ impl Client {
         self.submit_inner(session, records, pre_perturbed, None)
     }
 
-    /// Ingests a batch on a specific shard.
+    /// Ingests a batch on a specific shard. The retry contract of
+    /// [`Client::submit_batch`] applies here too.
     pub fn submit_batch_to_shard(
         &mut self,
         session: u64,
@@ -228,6 +250,101 @@ impl Client {
         v.get("sessions")
             .and_then(Value::as_array)
             .ok_or_else(|| ServiceError::Protocol("list response missing `sessions`".into()))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| ServiceError::Protocol("session ids must be integers".into()))
+            })
+            .collect()
+    }
+
+    /// Lists live sessions with per-session summaries.
+    pub fn list_sessions_detail(&mut self) -> Result<Vec<SessionSummary>> {
+        let v = self.request(r#"{"op":"list_sessions"}"#)?;
+        v.get("detail")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol("list response missing `detail`".into()))?
+            .iter()
+            .map(|d| {
+                let field = |key: &str| {
+                    d.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                        ServiceError::Protocol(format!("session detail missing `{key}`"))
+                    })
+                };
+                Ok(SessionSummary {
+                    id: field("session")?,
+                    domain_size: field("domain_size")? as usize,
+                    shards: field("shards")? as usize,
+                    gamma: d.get("gamma").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                    total: field("total")?,
+                    reconstructions: field("reconstructions")?,
+                })
+            })
+            .collect()
+    }
+
+    /// Fetches a session's operational metrics. Returns the report plus
+    /// the session's all-time record total (which survives restarts,
+    /// unlike the report's process-lifetime counters).
+    pub fn metrics(&mut self, session: u64) -> Result<(MetricsReport, u64)> {
+        let line = object(vec![("op", "metrics".into()), ("session", session.into())]).to_json();
+        let v = self.request(&line)?;
+        let u64_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServiceError::Protocol(format!("metrics response missing `{key}`")))
+        };
+        let latency = v.get("query_latency").ok_or_else(|| {
+            ServiceError::Protocol("metrics response missing `query_latency`".into())
+        })?;
+        let buckets = latency
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol("query_latency missing `buckets`".into()))?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                    ServiceError::Protocol("latency buckets must be [bound, count] pairs".into())
+                })?;
+                match (pair[0].as_u64(), pair[1].as_u64()) {
+                    (Some(le), Some(c)) => Ok((le, c)),
+                    _ => Err(ServiceError::Protocol(
+                        "latency bucket entries must be integers".into(),
+                    )),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let report = MetricsReport {
+            records_ingested: u64_field("records_ingested")?,
+            batches: u64_field("batches")?,
+            reconstructions: u64_field("reconstructions")?,
+            uptime_secs: v.get("uptime_secs").and_then(Value::as_f64).unwrap_or(0.0),
+            ingest_rate: v.get("ingest_rate").and_then(Value::as_f64).unwrap_or(0.0),
+            query_latency: LatencySummary {
+                count: latency.get("count").and_then(Value::as_u64).unwrap_or(0),
+                mean_us: latency
+                    .get("mean_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                max_us: latency.get("max_us").and_then(Value::as_u64).unwrap_or(0),
+                buckets,
+            },
+        };
+        Ok((report, u64_field("total")?))
+    }
+
+    /// Asks the server to snapshot one session (or all live sessions,
+    /// with `None`) to its persistence directory. Returns the persisted
+    /// session ids. Fails if the server has no persistence directory.
+    pub fn persist(&mut self, session: Option<u64>) -> Result<Vec<u64>> {
+        let mut pairs = vec![("op", "persist".into())];
+        if let Some(id) = session {
+            pairs.push(("session", id.into()));
+        }
+        let v = self.request(&object(pairs).to_json())?;
+        v.get("persisted")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol("persist response missing `persisted`".into()))?
             .iter()
             .map(|s| {
                 s.as_u64()

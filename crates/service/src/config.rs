@@ -1,5 +1,7 @@
 //! Server configuration.
 
+use std::path::PathBuf;
+
 /// Configuration for a [`crate::server::Server`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -26,6 +28,22 @@ pub struct ServiceConfig {
     /// request allocate tens of gigabytes. The default (2^24 cells)
     /// caps a shard's counter vector at 128 MiB.
     pub max_session_domain: usize,
+    /// Most sessions the registry keeps live at once; creating a
+    /// session past the cap evicts the least-recently-used one (after
+    /// spilling it to the persistence directory, when configured).
+    /// Bounds a long-lived server's memory.
+    pub max_sessions: usize,
+    /// Directory for session snapshots. When set, `Server::bind`
+    /// recovers every snapshot found there, the `persist` op (and the
+    /// periodic persister) write snapshots, LRU-evicted sessions are
+    /// spilled before dropping, and a clean shutdown snapshots every
+    /// live session. `None` disables persistence entirely.
+    pub persist_dir: Option<PathBuf>,
+    /// Seconds between automatic snapshots of every live session; `0`
+    /// disables the periodic persister (on-demand `persist`, eviction
+    /// spill and shutdown snapshots still run when `persist_dir` is
+    /// set).
+    pub persist_interval_secs: u64,
 }
 
 impl Default for ServiceConfig {
@@ -39,6 +57,9 @@ impl Default for ServiceConfig {
             max_line_bytes: 8 << 20,
             max_dense_domain: 4096,
             max_session_domain: 1 << 24,
+            max_sessions: 1024,
+            persist_dir: None,
+            persist_interval_secs: 0,
         }
     }
 }
@@ -50,6 +71,12 @@ impl ServiceConfig {
             addr: addr.into(),
             ..ServiceConfig::default()
         }
+    }
+
+    /// Enables snapshot persistence under `dir`.
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
     }
 }
 
@@ -63,5 +90,17 @@ mod tests {
         assert!(c.default_shards >= 1);
         assert!(c.max_line_bytes >= 1 << 20);
         assert_eq!(c.addr, "127.0.0.1:0");
+        assert!(c.max_sessions >= 1);
+        assert!(c.persist_dir.is_none());
+        assert_eq!(c.persist_interval_secs, 0);
+    }
+
+    #[test]
+    fn with_persist_dir_sets_the_directory() {
+        let c = ServiceConfig::default().with_persist_dir("/tmp/frapp-snapshots");
+        assert_eq!(
+            c.persist_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/frapp-snapshots"))
+        );
     }
 }

@@ -23,10 +23,30 @@ pub enum ServiceError {
     UnknownSession(u64),
     /// A request was well-formed JSON but semantically invalid.
     InvalidRequest(String),
+    /// A submit batch failed part-way through: the first `accepted`
+    /// records were counted (ingest is record-at-a-time), the rest were
+    /// not. A client retrying the failure must resubmit only
+    /// `records[accepted..]` — resubmitting the whole batch would
+    /// double-count the prefix.
+    PartialBatch {
+        /// How many records at the front of the batch were counted
+        /// before the failure.
+        accepted: u64,
+        /// The underlying per-record failure.
+        source: Box<ServiceError>,
+    },
+    /// A session snapshot could not be written, read or validated.
+    Snapshot(String),
     /// The connection was closed mid-exchange.
     ConnectionClosed,
     /// The server answered a client request with `ok: false`.
-    Remote(String),
+    Remote {
+        /// The server's error message.
+        message: String,
+        /// For failed submits: how many records at the front of the
+        /// batch the server counted before failing (the retry offset).
+        accepted: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -38,8 +58,16 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::PartialBatch { accepted, source } => write!(
+                f,
+                "batch rejected after {accepted} records were counted \
+                 (retry only the remainder): {source}"
+            ),
+            ServiceError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             ServiceError::ConnectionClosed => write!(f, "connection closed by peer"),
-            ServiceError::Remote(msg) => write!(f, "server rejected request: {msg}"),
+            ServiceError::Remote { message, .. } => {
+                write!(f, "server rejected request: {message}")
+            }
         }
     }
 }
@@ -50,6 +78,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Io(e) => Some(e),
             ServiceError::Frapp(e) => Some(e),
             ServiceError::Linalg(e) => Some(e),
+            ServiceError::PartialBatch { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -100,6 +129,19 @@ mod tests {
             reason: "bad".into(),
         };
         let e: ServiceError = inner.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn partial_batch_reports_accepted_and_keeps_source() {
+        use std::error::Error as _;
+        let e = ServiceError::PartialBatch {
+            accepted: 7,
+            source: Box::new(ServiceError::InvalidRequest("bad record".into())),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("after 7 records"), "{msg}");
+        assert!(msg.contains("bad record"), "{msg}");
         assert!(e.source().is_some());
     }
 }

@@ -14,7 +14,18 @@
 //!   single counter vector. The perturbation sampler is built once per
 //!   session and shared by every shard.
 //! * [`session::SessionRegistry`] — the server's table of live
-//!   sessions, keyed by id.
+//!   sessions, keyed by id and bounded by an LRU cap
+//!   (`max_sessions`): a long-lived server evicts the
+//!   least-recently-used session — spilling it to the persistence
+//!   directory first, when configured — instead of growing without
+//!   bound.
+//! * [`persist`] — versioned JSON session snapshots: periodic, on
+//!   demand (the `persist` op), on LRU eviction and on clean shutdown;
+//!   `Server::bind` recovers them, preserving seed, shard layout and
+//!   each shard's RNG position so deterministic replay holds across
+//!   restarts.
+//! * [`metrics`] — per-session counters (ingest rate, reconstruction
+//!   count, query-latency histogram) behind the `metrics` op.
 //! * Reconstruction queries snapshot the merged counts and solve
 //!   `A X̂ = Y` with either the O(n) gamma-diagonal closed form or a
 //!   dense LU factorization cached per session
@@ -49,6 +60,8 @@ pub mod client;
 pub mod config;
 pub mod error;
 pub mod json;
+pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod session;
@@ -57,5 +70,8 @@ pub mod shard;
 pub use client::{Client, SessionSpec};
 pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
+pub use metrics::{MetricsReport, SessionMetrics};
 pub use server::{Server, ServerHandle};
-pub use session::{CollectionSession, Mechanism, ReconstructionMethod, SessionRegistry};
+pub use session::{
+    CollectionSession, Mechanism, ReconstructionMethod, SessionRegistry, SessionSummary,
+};

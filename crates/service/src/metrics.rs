@@ -1,0 +1,250 @@
+//! Per-session operational metrics.
+//!
+//! Every [`crate::session::CollectionSession`] owns a [`SessionMetrics`]
+//! that the hot paths update with plain relaxed atomics — an ingest
+//! batch costs two `fetch_add`s, a reconstruction one `fetch_add` plus a
+//! histogram bucket increment — so metering never serializes the
+//! lock-striped ingest path. The `metrics` protocol op snapshots the
+//! counters into a [`MetricsReport`].
+//!
+//! Query latency is kept as a power-of-two histogram over microseconds
+//! (bucket `k` counts latencies in `[2^(k-1), 2^k)` µs), which is exact
+//! enough to separate the O(n) closed form from a cold LU factorization
+//! while costing one atomic increment per observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets. The last bucket (`>= 2^30` µs ≈ 18 min)
+/// absorbs any overflow.
+const LATENCY_BUCKETS: usize = 32;
+
+/// A lock-free power-of-two latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a latency of `us` microseconds: 0 for
+    /// sub-microsecond, otherwise the bit width of `us` (so bucket `k`
+    /// covers `[2^(k-1), 2^k)`), clamped into the last bucket.
+    fn bucket_index(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> LatencySummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, c)| {
+                let c = c.load(Ordering::Relaxed);
+                // Bucket k covers [2^(k-1), 2^k) µs; report the
+                // exclusive upper bound. Empty buckets are elided.
+                (c > 0).then_some((1u64 << k, c))
+            })
+            .collect();
+        LatencySummary {
+            count,
+            mean_us: if count > 0 {
+                sum_us as f64 / count as f64
+            } else {
+                0.0
+            },
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A snapshot of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Total observations.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Largest observed latency in microseconds.
+    pub max_us: u64,
+    /// Non-empty `(upper_bound_us, count)` buckets, ascending; an
+    /// observation lands in the first bucket whose bound exceeds it.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Live counters for one collection session.
+///
+/// `records_ingested` / `batches` count work done by *this process*
+/// since the session was created or recovered — the total across
+/// restarts lives in the persisted counts and is reported by `stats`.
+#[derive(Debug)]
+pub struct SessionMetrics {
+    started: Instant,
+    records_ingested: AtomicU64,
+    batches: AtomicU64,
+    reconstructions: AtomicU64,
+    query_latency: LatencyHistogram,
+}
+
+impl Default for SessionMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionMetrics {
+    /// Fresh counters, with the rate clock starting now.
+    pub fn new() -> Self {
+        SessionMetrics {
+            started: Instant::now(),
+            records_ingested: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            reconstructions: AtomicU64::new(0),
+            query_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Counts `records` ingested records in one batch. Called with the
+    /// *accepted* count, so a partially failed batch is metered by what
+    /// actually landed.
+    pub fn record_ingest(&self, records: u64) {
+        self.records_ingested.fetch_add(records, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reconstruction query and its latency.
+    pub fn record_reconstruction(&self, elapsed: Duration) {
+        self.reconstructions.fetch_add(1, Ordering::Relaxed);
+        self.query_latency.observe(elapsed);
+    }
+
+    /// A point-in-time report of all counters.
+    pub fn report(&self) -> MetricsReport {
+        let uptime_secs = self.started.elapsed().as_secs_f64();
+        let records_ingested = self.records_ingested.load(Ordering::Relaxed);
+        MetricsReport {
+            records_ingested,
+            batches: self.batches.load(Ordering::Relaxed),
+            reconstructions: self.reconstructions.load(Ordering::Relaxed),
+            uptime_secs,
+            ingest_rate: if uptime_secs > 0.0 {
+                records_ingested as f64 / uptime_secs
+            } else {
+                0.0
+            },
+            query_latency: self.query_latency.snapshot(),
+        }
+    }
+}
+
+/// A snapshot of one session's [`SessionMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Records ingested by this process since create/recovery.
+    pub records_ingested: u64,
+    /// Ingest batches handled.
+    pub batches: u64,
+    /// Reconstruction queries answered.
+    pub reconstructions: u64,
+    /// Seconds since the session was created or recovered here.
+    pub uptime_secs: f64,
+    /// `records_ingested / uptime_secs`.
+    pub ingest_rate: f64,
+    /// Reconstruction-query latency distribution.
+    pub query_latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_power_of_two_log() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(LatencyHistogram::bucket_index(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 11);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            LATENCY_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn histogram_tracks_count_mean_max_and_buckets() {
+        let h = LatencyHistogram::new();
+        h.observe(Duration::from_micros(3));
+        h.observe(Duration::from_micros(5));
+        h.observe(Duration::from_micros(100));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 36.0).abs() < 1e-9);
+        // 3 µs → bucket (4, 1); 5 µs → (8, 1); 100 µs → (128, 1).
+        assert_eq!(s.buckets, vec![(4, 1), (8, 1), (128, 1)]);
+        assert_eq!(s.buckets.iter().map(|(_, c)| c).sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn session_metrics_report_accumulates() {
+        let m = SessionMetrics::new();
+        m.record_ingest(100);
+        m.record_ingest(50);
+        m.record_reconstruction(Duration::from_micros(10));
+        let r = m.report();
+        assert_eq!(r.records_ingested, 150);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.reconstructions, 1);
+        assert_eq!(r.query_latency.count, 1);
+        assert!(r.uptime_secs >= 0.0);
+        assert!(r.ingest_rate >= 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_report_is_all_zero() {
+        let r = SessionMetrics::new().report();
+        assert_eq!(r.records_ingested, 0);
+        assert_eq!(r.reconstructions, 0);
+        assert_eq!(r.query_latency.count, 0);
+        assert_eq!(r.query_latency.mean_us, 0.0);
+        assert!(r.query_latency.buckets.is_empty());
+    }
+}

@@ -1,0 +1,553 @@
+//! Session snapshot persistence.
+//!
+//! A long-lived collection server must survive restarts without losing
+//! the perturbed counts its clients streamed in. This module writes one
+//! self-describing JSON document per session — schema, mechanism, seed,
+//! and per-shard `(ingested, rng_draws, counts)` — and reads it back
+//! into a [`CollectionSession`] whose deterministic replay contract
+//! still holds: the shard layout and seed are preserved, and each
+//! shard's RNG is fast-forwarded to exactly the draw it would have made
+//! next before the restart.
+//!
+//! ## Format (`frapp-session`, version 1)
+//!
+//! ```json
+//! {"format":"frapp-session","version":1,"session":3,"seed":7,
+//!  "mechanism":{"kind":"det","gamma":19.0},
+//!  "schema":[["age",8],["sex",2]],
+//!  "shards":[{"ingested":2,"rng_draws":2,"counts":[0,1,...]}]}
+//! ```
+//!
+//! Counts are whole numbers by construction (every ingest adds exactly
+//! 1.0 to one cell) and the JSON writer emits integral `f64`s without a
+//! fraction, so the on-disk representation is exact. Files are written
+//! to `<dir>/session-<id>.json` via a temp-file-and-rename so a crash
+//! mid-write never corrupts the previous snapshot. Unknown versions are
+//! rejected at load; unreadable files are skipped by [`load_all`] (a
+//! corrupt snapshot must not brick the whole server) and reported to
+//! the caller.
+
+use crate::error::{Result, ServiceError};
+use crate::json::{self, object, Value};
+use crate::session::{CollectionSession, Mechanism, ShardDump};
+use frapp_core::Schema;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The `format` discriminator written into every snapshot.
+pub const FORMAT: &str = "frapp-session";
+/// The snapshot format version this build writes and reads.
+pub const VERSION: u64 = 1;
+
+/// The snapshot file name for a session id.
+pub fn session_file_name(id: u64) -> String {
+    format!("session-{id}.json")
+}
+
+/// The snapshot path for a session id under `dir`.
+pub fn session_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(session_file_name(id))
+}
+
+/// The session id encoded in a snapshot file name
+/// (`session-<id>.json`), or `None` for other files.
+pub fn session_id_from_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("session-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+fn mechanism_value(mechanism: Mechanism) -> Value {
+    match mechanism {
+        Mechanism::Deterministic { gamma } => {
+            object(vec![("kind", "det".into()), ("gamma", gamma.into())])
+        }
+        Mechanism::Randomized {
+            gamma,
+            alpha_fraction,
+        } => object(vec![
+            ("kind", "ran".into()),
+            ("gamma", gamma.into()),
+            ("alpha_fraction", alpha_fraction.into()),
+        ]),
+    }
+}
+
+fn parse_mechanism(v: &Value) -> Result<Mechanism> {
+    let m = v
+        .get("mechanism")
+        .ok_or_else(|| ServiceError::Snapshot("missing `mechanism`".into()))?;
+    let gamma = m
+        .get("gamma")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| ServiceError::Snapshot("mechanism is missing numeric `gamma`".into()))?;
+    match m.get("kind").and_then(Value::as_str) {
+        Some("det") => Ok(Mechanism::Deterministic { gamma }),
+        Some("ran") => Ok(Mechanism::Randomized {
+            gamma,
+            alpha_fraction: m
+                .get("alpha_fraction")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| {
+                    ServiceError::Snapshot(
+                        "randomized mechanism is missing `alpha_fraction`".into(),
+                    )
+                })?,
+        }),
+        other => Err(ServiceError::Snapshot(format!(
+            "unknown mechanism kind {other:?}"
+        ))),
+    }
+}
+
+/// Serializes one session into its snapshot document.
+fn snapshot_value(session: &CollectionSession) -> Value {
+    let schema = Value::Array(
+        session
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| Value::Array(vec![a.name().into(), a.cardinality().into()]))
+            .collect(),
+    );
+    let shards = Value::Array(
+        session
+            .dump_shards()
+            .into_iter()
+            .map(|d| {
+                object(vec![
+                    ("ingested", d.ingested.into()),
+                    ("rng_draws", d.rng_draws.into()),
+                    (
+                        "counts",
+                        Value::Array(d.counts.into_iter().map(Value::Number).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    object(vec![
+        ("format", FORMAT.into()),
+        ("version", VERSION.into()),
+        ("session", session.id().into()),
+        ("seed", session.seed().into()),
+        ("mechanism", mechanism_value(session.mechanism())),
+        ("schema", schema),
+        ("shards", shards),
+    ])
+}
+
+/// Writes a session snapshot into `dir`, atomically (a uniquely named
+/// temp file + rename). Returns the snapshot path.
+///
+/// Writes for one session are serialized through the session's persist
+/// gate, so concurrent writers (the periodic persister, an on-demand
+/// `persist` op, an eviction spill) cannot interleave; and a session
+/// that was explicitly closed refuses the write, so an in-flight
+/// periodic save cannot resurrect a snapshot that `close_session` just
+/// deleted.
+pub fn save_session(dir: &Path, session: &CollectionSession) -> Result<PathBuf> {
+    static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let _gate = session.persist_gate();
+    if session.is_closed() {
+        return Err(ServiceError::Snapshot(format!(
+            "session {} is closed; not writing a snapshot",
+            session.id()
+        )));
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = session_path(dir, session.id());
+    let tmp = dir.join(format!(
+        ".{}.{}.{}.tmp",
+        session_file_name(session.id()),
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(snapshot_value(session).to_json().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Deletes a session's snapshot (used when a session is explicitly
+/// closed, so it does not resurrect on the next restart). Returns
+/// whether a file was actually removed — `close_session` uses this to
+/// report closure of a session that was already LRU-evicted to disk.
+pub fn remove_session_file(dir: &Path, id: u64) -> bool {
+    std::fs::remove_file(session_path(dir, id)).is_ok()
+}
+
+/// Deletes orphaned `.tmp` snapshot files left by a crash mid-write
+/// (the rename never happened, so they are dead weight). Returns how
+/// many were swept. Called by `Server::bind` before recovery.
+pub fn sweep_temp_files(dir: &Path) -> usize {
+    let mut swept = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with(".session-")
+            && name.ends_with(".tmp")
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+/// Loads one snapshot file into a session.
+///
+/// `max_session_domain` enforces the same memory bound `create_session`
+/// applies: a snapshot whose schema exceeds it (written under a looser
+/// previous config, or hand-placed) is rejected rather than allocating
+/// past the cap the server was restarted to enforce.
+pub fn load_session(
+    path: &Path,
+    max_dense_domain: usize,
+    max_session_domain: usize,
+) -> Result<CollectionSession> {
+    let text = std::fs::read_to_string(path)?;
+    let v = json::parse(text.trim())?;
+    if v.get("format").and_then(Value::as_str) != Some(FORMAT) {
+        return Err(ServiceError::Snapshot(format!(
+            "{} is not a {FORMAT} snapshot",
+            path.display()
+        )));
+    }
+    match v.get("version").and_then(Value::as_u64) {
+        Some(VERSION) => {}
+        other => {
+            return Err(ServiceError::Snapshot(format!(
+                "unsupported snapshot version {other:?} (this build reads {VERSION})"
+            )))
+        }
+    }
+    let id = v
+        .get("session")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServiceError::Snapshot("missing `session` id".into()))?;
+    let seed = v
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServiceError::Snapshot("missing `seed`".into()))?;
+    let mechanism = parse_mechanism(&v)?;
+    let specs = v
+        .get("schema")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Snapshot("missing `schema` array".into()))?
+        .iter()
+        .map(|attr| {
+            let pair = attr.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::Snapshot("schema attributes must be [name, cardinality] pairs".into())
+            })?;
+            let name = pair[0]
+                .as_str()
+                .ok_or_else(|| ServiceError::Snapshot("attribute name must be a string".into()))?;
+            let card = pair[1]
+                .as_u64()
+                .filter(|&c| c > 0 && c <= u32::MAX as u64)
+                .ok_or_else(|| {
+                    ServiceError::Snapshot("attribute cardinality must be a positive u32".into())
+                })?;
+            Ok((name, card as u32))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let schema = Schema::new(specs)?;
+    if schema.domain_size() > max_session_domain {
+        return Err(ServiceError::Snapshot(format!(
+            "snapshot domain size {} exceeds this server's limit of {} cells",
+            schema.domain_size(),
+            max_session_domain
+        )));
+    }
+    let dumps =
+        v.get("shards")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Snapshot("missing `shards` array".into()))?
+            .iter()
+            .map(|s| {
+                let counts = s
+                    .get("counts")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ServiceError::Snapshot("shard is missing `counts`".into()))?
+                    .iter()
+                    .map(|c| {
+                        c.as_f64()
+                            .ok_or_else(|| ServiceError::Snapshot("counts must be numbers".into()))
+                    })
+                    .collect::<Result<Vec<f64>>>()?;
+                Ok(ShardDump {
+                    ingested: s.get("ingested").and_then(Value::as_u64).ok_or_else(|| {
+                        ServiceError::Snapshot("shard is missing `ingested`".into())
+                    })?,
+                    rng_draws: s.get("rng_draws").and_then(Value::as_u64).ok_or_else(|| {
+                        ServiceError::Snapshot("shard is missing `rng_draws`".into())
+                    })?,
+                    counts,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+    CollectionSession::recover(id, schema, mechanism, seed, max_dense_domain, dumps)
+}
+
+/// Loads every parseable snapshot in `dir`, ordered oldest snapshot
+/// first (by file modification time, ties broken by id).
+///
+/// The ordering lets a cap-limited recovery reconstruct the LRU
+/// policy's intent from disk: snapshots written at clean shutdown are
+/// newer than stale eviction spills, so a caller inserting in order
+/// (each insert stamping a newer last-touched tick) leaves the most
+/// recently active sessions most recently touched — and can skip the
+/// *oldest* snapshots when the cap forces a choice.
+///
+/// Unreadable or invalid files are skipped and returned as
+/// `(path, error)` pairs so the caller can report them; a missing
+/// directory is simply an empty result.
+pub fn load_all(
+    dir: &Path,
+    max_dense_domain: usize,
+    max_session_domain: usize,
+) -> (Vec<Arc<CollectionSession>>, Vec<(PathBuf, ServiceError)>) {
+    let mut sessions: Vec<(std::time::SystemTime, Arc<CollectionSession>)> = Vec::new();
+    let mut skipped = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return (Vec::new(), skipped),
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("session-") || !name.ends_with(".json") {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        match load_session(&path, max_dense_domain, max_session_domain) {
+            Ok(session) => sessions.push((modified, Arc::new(session))),
+            Err(e) => skipped.push((path, e)),
+        }
+    }
+    sessions.sort_unstable_by_key(|(modified, s)| (*modified, s.id()));
+    (sessions.into_iter().map(|(_, s)| s).collect(), skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ReconstructionMethod;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        // Same sandbox contract as tests/lifecycle.rs: CI routes all
+        // snapshot churn into a throwaway mktemp dir.
+        let base = std::env::var_os("FRAPP_PERSIST_TEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "frapp-persist-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_session(id: u64) -> CollectionSession {
+        let schema = Schema::new(vec![("a", 3), ("b", 2)]).unwrap();
+        let s = CollectionSession::new(
+            id,
+            schema,
+            Mechanism::Deterministic { gamma: 19.0 },
+            2,
+            7,
+            4096,
+        )
+        .unwrap();
+        let records: Vec<Vec<u32>> = (0..200).map(|i| vec![i % 3, i % 2]).collect();
+        s.submit_batch_to_shard(0, &records, false).unwrap();
+        s.submit_batch_to_shard(1, &records[..50], true).unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_counts_and_rng_position() {
+        let dir = temp_dir("roundtrip");
+        let original = sample_session(3);
+        let path = save_session(&dir, &original).unwrap();
+        assert_eq!(path, session_path(&dir, 3));
+
+        let recovered = load_session(&path, 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.id(), 3);
+        assert_eq!(recovered.seed(), original.seed());
+        assert_eq!(recovered.mechanism(), original.mechanism());
+        assert_eq!(recovered.num_shards(), 2);
+        assert_eq!(recovered.dump_shards(), original.dump_shards());
+        assert_eq!(
+            recovered
+                .reconstruct(ReconstructionMethod::ClosedForm, false)
+                .unwrap()
+                .estimates,
+            original
+                .reconstruct(ReconstructionMethod::ClosedForm, false)
+                .unwrap()
+                .estimates
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_all_skips_corrupt_files_and_orders_oldest_snapshot_first() {
+        let dir = temp_dir("load-all");
+        save_session(&dir, &sample_session(9)).unwrap();
+        // Ensure a strictly newer mtime for the second snapshot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        save_session(&dir, &sample_session(2)).unwrap();
+        std::fs::write(dir.join("session-5.json"), "not json").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), "ignored").unwrap();
+
+        let (sessions, skipped) = load_all(&dir, 4096, 1 << 24);
+        // Snapshot 9 was written first, so it is the oldest and comes
+        // first; a cap-limited recovery drops from the front.
+        assert_eq!(
+            sessions.iter().map(|s| s.id()).collect::<Vec<_>>(),
+            vec![9, 2]
+        );
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].0.ends_with("session-5.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temp_file_sweep_removes_only_orphaned_tmp_files() {
+        let dir = temp_dir("sweep");
+        let path = save_session(&dir, &sample_session(1)).unwrap();
+        std::fs::write(dir.join(".session-1.json.999.0.tmp"), "half a snapshot").unwrap();
+        std::fs::write(dir.join(".session-7.json.999.1.tmp"), "").unwrap();
+        std::fs::write(dir.join("keep.txt"), "not a temp file").unwrap();
+
+        assert_eq!(sweep_temp_files(&dir), 2);
+        assert!(path.exists(), "real snapshots must survive the sweep");
+        assert!(dir.join("keep.txt").exists());
+        assert_eq!(sweep_temp_files(&dir), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_enforces_the_session_domain_cap() {
+        // A snapshot written under a looser config (or hand-placed)
+        // must not bypass the memory bound `create_session` enforces.
+        let dir = temp_dir("domain-cap");
+        let path = save_session(&dir, &sample_session(1)).unwrap();
+        // Domain size is 6; a cap of 4 must reject it, the real default
+        // must accept it.
+        let err = load_session(&path, 4096, 4).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(load_session(&path, 4096, 1 << 24).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected() {
+        let dir = temp_dir("version");
+        let path = dir.join("session-1.json");
+        std::fs::write(
+            &path,
+            r#"{"format":"frapp-session","version":99,"session":1,"seed":0,
+               "mechanism":{"kind":"det","gamma":19.0},"schema":[["a",2]],
+               "shards":[{"ingested":0,"rng_draws":0,"counts":[0,0]}]}"#,
+        )
+        .unwrap();
+        let err = load_session(&path, 4096, 1 << 24).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn closed_sessions_refuse_snapshots() {
+        // The close/persister race: once a session is marked closed, a
+        // racing save must not resurrect a file that close just
+        // deleted.
+        let dir = temp_dir("closed");
+        use crate::session::{Mechanism, SessionRegistry};
+        let reg = SessionRegistry::new();
+        let session = reg
+            .create(
+                Schema::new(vec![("a", 3), ("b", 2)]).unwrap(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .unwrap()
+            .session;
+        save_session(&dir, &session).unwrap();
+        let closed = reg.remove(session.id()).unwrap();
+        remove_session_file(&dir, closed.id());
+        let err = save_session(&dir, &closed).unwrap_err();
+        assert!(err.to_string().contains("closed"), "{err}");
+        assert!(!session_path(&dir, closed.id()).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_never_corrupt_the_snapshot() {
+        // The periodic persister, an on-demand persist op and an
+        // eviction spill can all write the same session at once; every
+        // interleaving must leave a parseable, complete snapshot.
+        let dir = temp_dir("concurrent");
+        let session = std::sync::Arc::new(sample_session(6));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let session = std::sync::Arc::clone(&session);
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        save_session(&dir, &session).unwrap();
+                    }
+                });
+            }
+        });
+        let recovered = load_session(&session_path(&dir, 6), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_ids_parse_from_file_names() {
+        assert_eq!(session_id_from_file_name("session-42.json"), Some(42));
+        assert_eq!(session_id_from_file_name(&session_file_name(7)), Some(7));
+        assert_eq!(session_id_from_file_name("session-.json"), None);
+        assert_eq!(session_id_from_file_name("session-42.json.tmp"), None);
+        assert_eq!(session_id_from_file_name("other.json"), None);
+    }
+
+    #[test]
+    fn close_removes_snapshot_files() {
+        let dir = temp_dir("remove");
+        let path = save_session(&dir, &sample_session(4)).unwrap();
+        assert!(path.exists());
+        remove_session_file(&dir, 4);
+        assert!(!path.exists());
+        remove_session_file(&dir, 4); // idempotent
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,18 +13,29 @@
 //!  "pre_perturbed":false,"shard":0}
 //! {"op":"reconstruct","session":1,"method":"closed","clamp":true}
 //! {"op":"stats","session":1}
+//! {"op":"metrics","session":1}
 //! {"op":"list_sessions"}
+//! {"op":"persist"}
+//! {"op":"persist","session":1}
 //! {"op":"close_session","session":1}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `"ok"`: `{"ok":true, ...}` on success,
 //! `{"ok":false,"error":"..."}` on failure. The error never tears down
-//! the connection — clients may pipeline further requests.
+//! the connection — clients may pipeline further requests. A failed
+//! `submit` additionally carries `"accepted"`: how many records at the
+//! front of the batch were counted before the failure, so a retrying
+//! client resubmits only the remainder (see
+//! [`crate::client::Client::submit_batch`] for the full retry
+//! contract).
 
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::session::{Mechanism, Reconstruction, ReconstructionMethod, SessionStats};
+use crate::metrics::MetricsReport;
+use crate::session::{
+    Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
+};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,8 +79,20 @@ pub enum Request {
         /// Target session id.
         session: u64,
     },
-    /// Ids of all live sessions.
+    /// Operational metrics for a session (ingest rate, reconstruction
+    /// count, query-latency histogram).
+    Metrics {
+        /// Target session id.
+        session: u64,
+    },
+    /// Ids and summaries of all live sessions.
     ListSessions,
+    /// Snapshot one session (or all, when `session` is omitted) to the
+    /// server's persistence directory.
+    Persist {
+        /// Target session id; `None` persists every live session.
+        session: Option<u64>,
+    },
     /// Drop a session and its counts.
     CloseSession {
         /// Target session id.
@@ -240,7 +263,18 @@ pub fn parse_request(line: &str) -> Result<Request> {
         "stats" => Ok(Request::Stats {
             session: field_u64(&v, "session")?,
         }),
+        "metrics" => Ok(Request::Metrics {
+            session: field_u64(&v, "session")?,
+        }),
         "list_sessions" => Ok(Request::ListSessions),
+        "persist" => Ok(Request::Persist {
+            session: match v.get("session") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(s.as_u64().ok_or_else(|| {
+                    ServiceError::InvalidRequest("`session` must be a non-negative integer".into())
+                })?),
+            },
+        }),
         "close_session" => Ok(Request::CloseSession {
             session: field_u64(&v, "session")?,
         }),
@@ -258,13 +292,17 @@ pub fn ok_response(extra: Vec<(&str, Value)>) -> String {
     object(pairs).to_json()
 }
 
-/// `{"ok":false,"error":...}` for any service error.
+/// `{"ok":false,"error":...}` for any service error. A
+/// [`ServiceError::PartialBatch`] additionally carries `"accepted"` —
+/// the number of records at the front of the failed batch that *were*
+/// counted — so clients can retry just the remainder instead of
+/// double-counting the prefix.
 pub fn error_response(err: &ServiceError) -> String {
-    object(vec![
-        ("ok", false.into()),
-        ("error", err.to_string().into()),
-    ])
-    .to_json()
+    let mut pairs = vec![("ok", false.into()), ("error", err.to_string().into())];
+    if let ServiceError::PartialBatch { accepted, .. } = err {
+        pairs.push(("accepted", (*accepted).into()));
+    }
+    object(pairs).to_json()
 }
 
 /// Response payload for a successful `reconstruct`.
@@ -287,6 +325,67 @@ pub fn stats_response(stats: &SessionStats) -> String {
         (
             "per_shard",
             Value::Array(stats.per_shard.iter().map(|&c| c.into()).collect()),
+        ),
+    ])
+}
+
+/// Response payload for a successful `metrics`. `total` is the
+/// all-time record count (across restarts); the report's own counters
+/// cover this process's lifetime.
+pub fn metrics_response(session: u64, total: u64, report: &MetricsReport) -> String {
+    let latency = object(vec![
+        ("count", report.query_latency.count.into()),
+        ("mean_us", report.query_latency.mean_us.into()),
+        ("max_us", report.query_latency.max_us.into()),
+        (
+            "buckets",
+            Value::Array(
+                report
+                    .query_latency
+                    .buckets
+                    .iter()
+                    .map(|&(le, c)| Value::Array(vec![le.into(), c.into()]))
+                    .collect(),
+            ),
+        ),
+    ]);
+    ok_response(vec![
+        ("session", session.into()),
+        ("total", total.into()),
+        ("records_ingested", report.records_ingested.into()),
+        ("batches", report.batches.into()),
+        ("reconstructions", report.reconstructions.into()),
+        ("uptime_secs", report.uptime_secs.into()),
+        ("ingest_rate", report.ingest_rate.into()),
+        ("query_latency", latency),
+    ])
+}
+
+/// Response payload for a successful `list_sessions`: the bare id array
+/// (stable since PR 1) plus a `detail` array of per-session summaries.
+pub fn list_response(summaries: &[SessionSummary]) -> String {
+    ok_response(vec![
+        (
+            "sessions",
+            Value::Array(summaries.iter().map(|s| s.id.into()).collect()),
+        ),
+        (
+            "detail",
+            Value::Array(
+                summaries
+                    .iter()
+                    .map(|s| {
+                        object(vec![
+                            ("session", s.id.into()),
+                            ("domain_size", s.domain_size.into()),
+                            ("shards", s.shards.into()),
+                            ("gamma", s.gamma.into()),
+                            ("total", s.total.into()),
+                            ("reconstructions", s.reconstructions.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -382,6 +481,66 @@ mod tests {
                 method: ReconstructionMethod::ClosedForm,
                 clamp: true,
             }
+        );
+    }
+
+    #[test]
+    fn parses_metrics_and_persist() {
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","session":4}"#).unwrap(),
+            Request::Metrics { session: 4 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"persist"}"#).unwrap(),
+            Request::Persist { session: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"persist","session":2}"#).unwrap(),
+            Request::Persist { session: Some(2) }
+        );
+        assert!(parse_request(r#"{"op":"metrics"}"#).is_err());
+        assert!(parse_request(r#"{"op":"persist","session":-1}"#).is_err());
+    }
+
+    #[test]
+    fn partial_batch_errors_carry_accepted() {
+        let err = ServiceError::PartialBatch {
+            accepted: 3,
+            source: Box::new(ServiceError::InvalidRequest("bad".into())),
+        };
+        let v = crate::json::parse(&error_response(&err)).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("accepted").and_then(Value::as_u64), Some(3));
+        // Other errors do not claim an accepted count.
+        let v = crate::json::parse(&error_response(&ServiceError::UnknownSession(1))).unwrap();
+        assert!(v.get("accepted").is_none());
+    }
+
+    #[test]
+    fn metrics_and_list_responses_are_parseable() {
+        let report = crate::metrics::SessionMetrics::new().report();
+        let v = crate::json::parse(&metrics_response(7, 42, &report)).unwrap();
+        assert_eq!(v.get("session").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("total").and_then(Value::as_u64), Some(42));
+        assert!(v.get("query_latency").is_some());
+
+        let summaries = vec![SessionSummary {
+            id: 7,
+            domain_size: 6,
+            shards: 2,
+            gamma: 19.0,
+            total: 42,
+            reconstructions: 1,
+        }];
+        let v = crate::json::parse(&list_response(&summaries)).unwrap();
+        assert_eq!(
+            v.get("sessions").and_then(Value::as_array).unwrap()[0].as_u64(),
+            Some(7)
+        );
+        let detail = v.get("detail").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            detail[0].get("domain_size").and_then(Value::as_u64),
+            Some(6)
         );
     }
 

@@ -10,8 +10,10 @@
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 use crate::json::Value;
+use crate::persist;
 use crate::protocol::{
-    error_response, ok_response, parse_request, reconstruction_response, stats_response, Request,
+    error_response, list_response, metrics_response, ok_response, parse_request,
+    reconstruction_response, stats_response, Request,
 };
 use crate::session::SessionRegistry;
 use frapp_core::Schema;
@@ -30,12 +32,69 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the address in `config`.
+    /// Binds the address in `config`. When a persistence directory is
+    /// configured, every session snapshot found there is recovered into
+    /// the registry — newest snapshots take priority when the
+    /// `max_sessions` cap cannot hold them all — preserving each
+    /// session's id, seed and shard layout so deterministic replay
+    /// holds across the restart. Corrupt snapshot files are skipped
+    /// with a warning rather than failing the bind.
     pub fn bind(config: ServiceConfig) -> Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let registry = Arc::new(SessionRegistry::with_max_sessions(config.max_sessions));
+        if let Some(dir) = &config.persist_dir {
+            std::fs::create_dir_all(dir)?;
+            let swept = persist::sweep_temp_files(dir);
+            if swept > 0 {
+                eprintln!(
+                    "frapp-service: swept {swept} orphaned snapshot temp file(s) \
+                     from a previous crash"
+                );
+            }
+            let (mut sessions, skipped) =
+                persist::load_all(dir, config.max_dense_domain, config.max_session_domain);
+            for (path, err) in skipped {
+                // Even an unrecovered snapshot reserves its id: a new
+                // session reusing it would overwrite this file on its
+                // first persist (and close_session would delete it).
+                if let Some(id) = path
+                    .file_name()
+                    .and_then(|n| persist::session_id_from_file_name(&n.to_string_lossy()))
+                {
+                    registry.reserve_ids_through(id);
+                }
+                eprintln!(
+                    "frapp-service: skipping unreadable snapshot {}: {err}",
+                    path.display()
+                );
+            }
+            // `load_all` orders oldest snapshot first. When the cap
+            // cannot hold every snapshot, drop the *oldest* (stale
+            // eviction spills), not the most recently active sessions;
+            // inserting the survivors oldest-first stamps ascending
+            // last-touched ticks, so the in-memory LRU order mirrors
+            // on-disk recency from the first post-restart eviction.
+            if sessions.len() > registry.max_sessions() {
+                for stale in sessions.drain(..sessions.len() - registry.max_sessions()) {
+                    registry.reserve_ids_through(stale.id());
+                    eprintln!(
+                        "frapp-service: not recovering session {}: registry at its \
+                         {}-session cap (oldest snapshots are skipped first)",
+                        stale.id(),
+                        registry.max_sessions()
+                    );
+                }
+            }
+            for session in sessions {
+                let id = session.id();
+                if !registry.insert_recovered(session) {
+                    eprintln!("frapp-service: not recovering session {id}: id already live");
+                }
+            }
+        }
         Ok(Server {
             listener,
-            registry: Arc::new(SessionRegistry::new()),
+            registry,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -52,9 +111,13 @@ impl Server {
     }
 
     /// Runs the accept loop on the calling thread until a client sends
-    /// `shutdown`.
+    /// `shutdown`. With persistence configured, a background persister
+    /// snapshots every live session on the configured interval, and a
+    /// final snapshot of all sessions is written after the accept loop
+    /// exits — so a clean shutdown never loses counts.
     pub fn run(self) -> Result<()> {
         let addr = self.local_addr()?;
+        let persister = self.spawn_persister();
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -79,7 +142,38 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(p) = persister {
+            let _ = p.join();
+        }
+        if let Some(dir) = &self.config.persist_dir {
+            persist_all_sessions_best_effort(dir, &self.registry);
+        }
         Ok(())
+    }
+
+    /// Starts the periodic snapshot thread, when configured. The thread
+    /// polls the shutdown flag at a fine grain so it never delays
+    /// `run`'s exit by more than ~50 ms.
+    fn spawn_persister(&self) -> Option<JoinHandle<()>> {
+        let dir = self.config.persist_dir.clone()?;
+        let interval = match self.config.persist_interval_secs {
+            0 => return None,
+            secs => std::time::Duration::from_secs(secs),
+        };
+        let registry = Arc::clone(&self.registry);
+        let shutdown = Arc::clone(&self.shutdown);
+        Some(std::thread::spawn(move || {
+            let tick = std::time::Duration::from_millis(50);
+            let mut since_last = std::time::Duration::ZERO;
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                since_last += tick;
+                if since_last >= interval {
+                    persist_all_sessions_best_effort(&dir, &registry);
+                    since_last = std::time::Duration::ZERO;
+                }
+            }
+        }))
     }
 
     /// Runs the server on a background thread, returning a handle for
@@ -234,6 +328,36 @@ fn read_bounded_line(
     Ok(n)
 }
 
+/// Snapshots every live session, returning the ids persisted and the
+/// per-session failures. Sessions closed between the registry scan and
+/// the write correctly refuse their snapshot and appear in neither
+/// list.
+fn persist_all_sessions(
+    dir: &std::path::Path,
+    registry: &SessionRegistry,
+) -> (Vec<u64>, Vec<(u64, ServiceError)>) {
+    let mut persisted = Vec::new();
+    let mut failed = Vec::new();
+    for session in registry.all() {
+        match persist::save_session(dir, &session) {
+            Ok(_) => persisted.push(session.id()),
+            Err(_) if session.is_closed() => {}
+            Err(e) => failed.push((session.id(), e)),
+        }
+    }
+    (persisted, failed)
+}
+
+/// The best-effort flavour for the periodic persister and the shutdown
+/// path: failures are reported on stderr but never take the server
+/// down.
+fn persist_all_sessions_best_effort(dir: &std::path::Path, registry: &SessionRegistry) {
+    let (_, failed) = persist_all_sessions(dir, registry);
+    for (id, e) in failed {
+        eprintln!("frapp-service: failed to snapshot session {id}: {e}");
+    }
+}
+
 /// Parses and executes one request line; returns the response line and
 /// whether the server should shut down.
 pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) -> (String, bool) {
@@ -265,19 +389,79 @@ fn execute(
                     config.max_session_domain
                 )));
             }
-            let session = registry.create(
-                schema,
-                mechanism,
-                shards.unwrap_or(config.default_shards),
-                seed.unwrap_or(config.default_seed),
-                config.max_dense_domain,
-            )?;
-            ok_response(vec![
+            // With persistence, eviction is two-phase: victims stay
+            // registered (retired, refusing ingest) until their spill
+            // snapshot lands, so a concurrent close_session can still
+            // find them — its closed mark makes the in-flight spill
+            // refuse under the persist gate, and an acknowledged close
+            // can never be resurrected by the spill.
+            let created = if config.persist_dir.is_some() {
+                registry.create_deferred(
+                    schema,
+                    mechanism,
+                    shards.unwrap_or(config.default_shards),
+                    seed.unwrap_or(config.default_seed),
+                    config.max_dense_domain,
+                )?
+            } else {
+                registry.create(
+                    schema,
+                    mechanism,
+                    shards.unwrap_or(config.default_shards),
+                    seed.unwrap_or(config.default_seed),
+                    config.max_dense_domain,
+                )?
+            };
+            // Spill LRU-evicted sessions to disk before they drop, so
+            // an eviction is a demotion, not data loss. If a spill
+            // fails (full disk, permissions), roll the create back —
+            // abort the un-spilled evictions, drop the new session —
+            // and fail the request: silently discarding an evicted
+            // session's acknowledged records would be worse than
+            // refusing a new session. (Victims spilled before the
+            // failure are already safe on disk and stay evicted.)
+            if let Some(dir) = &config.persist_dir {
+                for (i, evicted) in created.evicted.iter().enumerate() {
+                    match persist::save_session(dir, evicted) {
+                        // A concurrent close deleted the session's
+                        // snapshot and owns its fate; the refused spill
+                        // is correct, just settle the eviction.
+                        Ok(_) => {
+                            registry.commit_eviction(evicted.id());
+                        }
+                        Err(_) if evicted.is_closed() => {
+                            registry.commit_eviction(evicted.id());
+                        }
+                        Err(e) => {
+                            registry.remove(created.session.id());
+                            for victim in &created.evicted[i..] {
+                                if !victim.is_closed() {
+                                    registry.abort_eviction(victim);
+                                }
+                            }
+                            return Err(ServiceError::Snapshot(format!(
+                                "refusing to evict session {} without a spill snapshot \
+                                 (create rolled back): {e}",
+                                evicted.id()
+                            )));
+                        }
+                    }
+                }
+            }
+            let session = created.session;
+            let mut pairs = vec![
                 ("session", session.id().into()),
                 ("shards", session.num_shards().into()),
                 ("gamma", session.mechanism().gamma().into()),
                 ("domain_size", session.schema().domain_size().into()),
-            ])
+            ];
+            if !created.evicted.is_empty() {
+                pairs.push((
+                    "evicted",
+                    Value::Array(created.evicted.iter().map(|s| s.id().into()).collect()),
+                ));
+            }
+            ok_response(pairs)
         }
         Request::Submit {
             session,
@@ -311,12 +495,75 @@ fn execute(
             let session = registry.get(session)?;
             stats_response(&session.stats())
         }
-        Request::ListSessions => ok_response(vec![(
-            "sessions",
-            Value::Array(registry.ids().into_iter().map(Value::from).collect()),
-        )]),
+        Request::Metrics { session } => {
+            let session = registry.get(session)?;
+            metrics_response(
+                session.id(),
+                session.stats().total,
+                &session.metrics_report(),
+            )
+        }
+        Request::ListSessions => {
+            let summaries: Vec<_> = registry.all().iter().map(|s| s.summary()).collect();
+            list_response(&summaries)
+        }
+        Request::Persist { session } => {
+            let dir = config.persist_dir.as_deref().ok_or_else(|| {
+                ServiceError::InvalidRequest(
+                    "this server has no persistence directory configured".into(),
+                )
+            })?;
+            let persisted = match session {
+                Some(id) => {
+                    let session = registry.get(id)?;
+                    persist::save_session(dir, &session)?;
+                    vec![id]
+                }
+                None => {
+                    let (persisted, failed) = persist_all_sessions(dir, registry);
+                    // An explicit persist request must not report
+                    // success while snapshots silently failed — the
+                    // caller may be about to kill the server trusting
+                    // everything is on disk.
+                    if let Some((id, e)) = failed.first() {
+                        return Err(ServiceError::Snapshot(format!(
+                            "persisted {:?} but {} session(s) failed, first: session {id}: {e}",
+                            persisted,
+                            failed.len()
+                        )));
+                    }
+                    persisted
+                }
+            };
+            ok_response(vec![
+                (
+                    "persisted",
+                    Value::Array(persisted.into_iter().map(Value::from).collect()),
+                ),
+                ("dir", dir.display().to_string().into()),
+            ])
+        }
         Request::CloseSession { session } => {
-            ok_response(vec![("closed", registry.remove(session).into())])
+            // `remove` marks the session closed before we delete its
+            // snapshot; deletion happens under the session's persist
+            // gate, so a periodic save racing this close either
+            // finished before (its file is deleted here) or starts
+            // after (and refuses, seeing the closed flag). Either way a
+            // closed session cannot resurrect on the next restart.
+            let removed = registry.remove(session);
+            let mut snapshot_deleted = false;
+            if let Some(dir) = &config.persist_dir {
+                let _gate = removed.as_ref().map(|s| s.persist_gate());
+                // Deleting by id (not only via a live Arc) also lets a
+                // client close a session that was LRU-evicted to disk —
+                // otherwise a spilled session's perturbed counts could
+                // never be deleted and would resurrect on restart.
+                snapshot_deleted = persist::remove_session_file(dir, session);
+            }
+            ok_response(vec![(
+                "closed",
+                (removed.is_some() || snapshot_deleted).into(),
+            )])
         }
         Request::Shutdown => {
             return Ok((ok_response(vec![("shutting_down", true.into())]), true));
@@ -480,7 +727,9 @@ mod tests {
             .get("session")
             .and_then(json::Value::as_u64)
             .unwrap();
-        // Second record is invalid; the batch errors in-band.
+        // Second record is invalid; the batch errors in-band and the
+        // error reports the accepted prefix (1 record) so the client
+        // knows not to resubmit it.
         let (resp, _) = dispatch(
             &reg,
             &cfg,
@@ -490,12 +739,239 @@ mod tests {
         );
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
-        // The session still works afterwards.
+        assert_eq!(v.get("accepted").and_then(json::Value::as_u64), Some(1));
+        // The session still works afterwards, and holds exactly the
+        // accepted prefix.
         let (resp, _) = dispatch(
             &reg,
             &cfg,
             &format!(r#"{{"op":"submit","session":{sid},"records":[[1,1]],"pre_perturbed":true}}"#),
         );
         ok_of(&resp);
+        let (resp, _) = dispatch(&reg, &cfg, &format!(r#"{{"op":"stats","session":{sid}}}"#));
+        assert_eq!(
+            ok_of(&resp).get("total").and_then(json::Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn metrics_op_reports_counters_and_latency() {
+        let (reg, cfg) = harness();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":19.0,"shards":1}"#,
+        );
+        let sid = ok_of(&resp)
+            .get("session")
+            .and_then(json::Value::as_u64)
+            .unwrap();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(
+                r#"{{"op":"submit","session":{sid},"records":[[0,0],[1,1]],"pre_perturbed":true}}"#
+            ),
+        );
+        ok_of(&resp);
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"reconstruct","session":{sid},"method":"closed"}}"#),
+        );
+        ok_of(&resp);
+
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"metrics","session":{sid}}}"#),
+        );
+        let v = ok_of(&resp);
+        assert_eq!(
+            v.get("records_ingested").and_then(json::Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("batches").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("reconstructions").and_then(json::Value::as_u64),
+            Some(1)
+        );
+        let latency = v.get("query_latency").unwrap();
+        assert_eq!(latency.get("count").and_then(json::Value::as_u64), Some(1));
+        assert!(!latency
+            .get("buckets")
+            .and_then(json::Value::as_array)
+            .unwrap()
+            .is_empty());
+
+        // list_sessions carries the summary detail.
+        let (resp, _) = dispatch(&reg, &cfg, r#"{"op":"list_sessions"}"#);
+        let v = ok_of(&resp);
+        let detail = v.get("detail").and_then(json::Value::as_array).unwrap();
+        assert_eq!(detail.len(), 1);
+        assert_eq!(
+            detail[0].get("total").and_then(json::Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn failed_eviction_spill_rolls_the_create_back() {
+        // Point the persist "directory" at a regular file so every
+        // snapshot write fails, then create past the cap: the create
+        // must fail in-band, and the would-be victim must stay live and
+        // ingesting (no silent data loss).
+        let bogus = std::env::temp_dir().join(format!("frapp-bogus-dir-{}", std::process::id()));
+        std::fs::write(&bogus, "i am a file, not a directory").unwrap();
+        let cfg = ServiceConfig::default().with_persist_dir(&bogus);
+        let reg = SessionRegistry::with_max_sessions(1);
+
+        let create =
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":19.0,"shards":1}"#;
+        let (resp, _) = dispatch(&reg, &cfg, create);
+        let first = ok_of(&resp)
+            .get("session")
+            .and_then(json::Value::as_u64)
+            .unwrap();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(
+                r#"{{"op":"submit","session":{first},"records":[[0,0]],"pre_perturbed":true}}"#
+            ),
+        );
+        ok_of(&resp);
+
+        let (resp, _) = dispatch(&reg, &cfg, create);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("rolled back"));
+        // The victim survived, is still the only session, and ingests.
+        assert_eq!(reg.ids(), vec![first]);
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(
+                r#"{{"op":"submit","session":{first},"records":[[1,1]],"pre_perturbed":true}}"#
+            ),
+        );
+        ok_of(&resp);
+        std::fs::remove_file(&bogus).ok();
+    }
+
+    #[test]
+    fn persist_all_reports_write_failures_in_band() {
+        // An explicit persist must not claim success when snapshot
+        // writes fail (the caller may be about to kill the server).
+        let bogus = std::env::temp_dir().join(format!("frapp-bogus-pa-{}", std::process::id()));
+        std::fs::write(&bogus, "a file, not a directory").unwrap();
+        let cfg = ServiceConfig::default().with_persist_dir(&bogus);
+        let reg = SessionRegistry::new();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":19.0,"shards":1}"#,
+        );
+        ok_of(&resp);
+        let (resp, _) = dispatch(&reg, &cfg, r#"{"op":"persist"}"#);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("failed"));
+        std::fs::remove_file(&bogus).ok();
+    }
+
+    #[test]
+    fn persist_without_a_directory_is_an_in_band_error() {
+        let (reg, cfg) = harness();
+        assert!(cfg.persist_dir.is_none());
+        let (resp, _) = dispatch(&reg, &cfg, r#"{"op":"persist"}"#);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("no persistence directory"));
+    }
+
+    #[test]
+    fn create_past_the_cap_reports_and_spills_the_evicted_session() {
+        let dir = std::env::temp_dir().join(format!("frapp-evict-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServiceConfig::default().with_persist_dir(&dir);
+        let reg = SessionRegistry::with_max_sessions(1);
+
+        let create =
+            r#"{"op":"create_session","schema":[["a",3],["b",2]],"gamma":19.0,"shards":1}"#;
+        let (resp, _) = dispatch(&reg, &cfg, create);
+        let first = ok_of(&resp)
+            .get("session")
+            .and_then(json::Value::as_u64)
+            .unwrap();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(
+                r#"{{"op":"submit","session":{first},"records":[[1,1]],"pre_perturbed":true}}"#
+            ),
+        );
+        ok_of(&resp);
+
+        // The second create evicts the first session and spills it.
+        let (resp, _) = dispatch(&reg, &cfg, create);
+        let v = ok_of(&resp);
+        let evicted = v.get("evicted").and_then(json::Value::as_array).unwrap();
+        assert_eq!(evicted[0].as_u64(), Some(first));
+        let spilled = crate::persist::session_path(&dir, first);
+        assert!(spilled.exists(), "evicted session must be spilled to disk");
+        let recovered =
+            crate::persist::load_session(&spilled, cfg.max_dense_domain, cfg.max_session_domain)
+                .unwrap();
+        assert_eq!(recovered.stats().total, 1);
+
+        // Closing the spilled (no longer live) session deletes its
+        // snapshot — otherwise its counts would resurrect on restart
+        // with no way to ever remove them.
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"close_session","session":{first}}}"#),
+        );
+        assert_eq!(
+            ok_of(&resp).get("closed").and_then(json::Value::as_bool),
+            Some(true)
+        );
+        assert!(
+            !spilled.exists(),
+            "closing must delete the spilled snapshot"
+        );
+
+        // Closing a session deletes its snapshot.
+        let second = v.get("session").and_then(json::Value::as_u64).unwrap();
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"persist","session":{second}}}"#),
+        );
+        ok_of(&resp);
+        assert!(crate::persist::session_path(&dir, second).exists());
+        let (resp, _) = dispatch(
+            &reg,
+            &cfg,
+            &format!(r#"{{"op":"close_session","session":{second}}}"#),
+        );
+        ok_of(&resp);
+        assert!(!crate::persist::session_path(&dir, second).exists());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,6 +10,7 @@
 //! factorization that is built once and cached for all later queries.
 
 use crate::error::{Result, ServiceError};
+use crate::metrics::{MetricsReport, SessionMetrics};
 use crate::shard::Shard;
 use frapp_core::perturb::{GammaDiagonal, Perturber, RandomizedGammaDiagonal};
 use frapp_core::reconstruct::{clamp_counts, GammaDiagonalReconstructor};
@@ -17,8 +18,9 @@ use frapp_core::{CountAccumulator, PrivacyRequirement, Schema};
 use frapp_linalg::solver::LinearSolver;
 use frapp_linalg::LuDecomposition;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Instant;
 
 /// The perturbation mechanism a session applies server-side.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +115,36 @@ pub struct SessionStats {
     pub per_shard: Vec<u64>,
 }
 
+/// Persisted per-shard state, produced by
+/// [`CollectionSession::dump_shards`] and consumed by
+/// [`CollectionSession::recover`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDump {
+    /// Records counted by the shard.
+    pub ingested: u64,
+    /// RNG draws the shard's perturbation stream has consumed.
+    pub rng_draws: u64,
+    /// The shard's count vector, one entry per domain cell.
+    pub counts: Vec<f64>,
+}
+
+/// A one-line summary of a live session, for `list_sessions`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSummary {
+    /// Session id.
+    pub id: u64,
+    /// Domain size of the session schema.
+    pub domain_size: usize,
+    /// Ingest shard count.
+    pub shards: usize,
+    /// Amplification bound of the mechanism.
+    pub gamma: f64,
+    /// Total records counted (across restarts).
+    pub total: u64,
+    /// Reconstruction queries answered by this process.
+    pub reconstructions: u64,
+}
+
 /// One schema + mechanism + sharded perturbed counts.
 pub struct CollectionSession {
     id: u64,
@@ -125,6 +157,22 @@ pub struct CollectionSession {
     next_shard: AtomicUsize,
     lu_cache: OnceLock<Arc<LuDecomposition>>,
     max_dense_domain: usize,
+    /// Registry-clock value of the last request that touched this
+    /// session; the LRU eviction key.
+    last_touched: AtomicU64,
+    metrics: SessionMetrics,
+    /// Set when the registry retires the session (LRU eviction or an
+    /// explicit close). Ingest refuses afterwards, so no record can be
+    /// acknowledged after the eviction spill snapshotted the shards —
+    /// an acked record is always in the snapshot.
+    retired: AtomicBool,
+    /// Set on explicit close only: snapshots are forbidden, so an
+    /// in-flight periodic save cannot resurrect a closed session's
+    /// counts after its file was deleted.
+    closed: AtomicBool,
+    /// Serializes snapshot writes and close-time file removal for this
+    /// session (see [`crate::persist::save_session`]).
+    persist_gate: Mutex<()>,
 }
 
 impl std::fmt::Debug for CollectionSession {
@@ -155,6 +203,51 @@ impl CollectionSession {
                 "a session needs at least one shard".into(),
             ));
         }
+        let shards = (0..num_shards)
+            .map(|i| Mutex::new(Shard::new(schema.clone(), seed, i)))
+            .collect();
+        Self::assemble(id, schema, mechanism, seed, max_dense_domain, shards)
+    }
+
+    /// Rebuilds a session from persisted state. The shard layout, seed
+    /// and per-shard RNG positions come from the dump, so deterministic
+    /// replay holds across the restart: raw records ingested after
+    /// recovery are perturbed with exactly the draws the pre-restart
+    /// process would have used.
+    pub fn recover(
+        id: u64,
+        schema: Schema,
+        mechanism: Mechanism,
+        seed: u64,
+        max_dense_domain: usize,
+        dumps: Vec<ShardDump>,
+    ) -> Result<Self> {
+        if dumps.is_empty() {
+            return Err(ServiceError::Snapshot(
+                "a session snapshot needs at least one shard".into(),
+            ));
+        }
+        let shards = dumps
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                Shard::recover(schema.clone(), seed, i, d.counts, d.ingested, d.rng_draws)
+                    .map(Mutex::new)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::assemble(id, schema, mechanism, seed, max_dense_domain, shards)
+    }
+
+    /// The shared tail of [`Self::new`] and [`Self::recover`]: builds
+    /// the per-session sampler state around an existing shard set.
+    fn assemble(
+        id: u64,
+        schema: Schema,
+        mechanism: Mechanism,
+        seed: u64,
+        max_dense_domain: usize,
+        shards: Vec<Mutex<Shard>>,
+    ) -> Result<Self> {
         let gd = GammaDiagonal::new(&schema, mechanism.gamma())?;
         let closed_form = GammaDiagonalReconstructor::new(&gd);
         let perturber: Arc<dyn Perturber> = match mechanism {
@@ -168,9 +261,6 @@ impl CollectionSession {
                 alpha_fraction,
             )?),
         };
-        let shards = (0..num_shards)
-            .map(|i| Mutex::new(Shard::new(schema.clone(), seed, i)))
-            .collect();
         Ok(CollectionSession {
             id,
             schema,
@@ -182,6 +272,11 @@ impl CollectionSession {
             next_shard: AtomicUsize::new(0),
             lu_cache: OnceLock::new(),
             max_dense_domain,
+            last_touched: AtomicU64::new(0),
+            metrics: SessionMetrics::new(),
+            retired: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            persist_gate: Mutex::new(()),
         })
     }
 
@@ -211,6 +306,100 @@ impl CollectionSession {
         self.shards.len()
     }
 
+    /// Live metrics counters.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time metrics report.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+
+    /// Marks the session as touched at logical time `seq` (called by
+    /// the registry on every lookup).
+    pub(crate) fn touch(&self, seq: u64) {
+        self.last_touched.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// The registry-clock value of the most recent touch.
+    pub fn last_touched(&self) -> u64 {
+        self.last_touched.load(Ordering::Relaxed)
+    }
+
+    /// Marks the session retired (evicted or closed): ingest refuses
+    /// from here on. Called by the registry *before* the eviction spill
+    /// snapshots the shards, so every record a client ever saw
+    /// acknowledged is in the spill: an in-flight submit either locked
+    /// its shard before the flag was set (the spill's dump then waits
+    /// on that lock and captures the batch) or observes the flag under
+    /// the lock and errors without acking.
+    pub(crate) fn retire(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the session has been evicted or closed.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::SeqCst)
+    }
+
+    /// Reverses [`Self::retire`] when an eviction is rolled back (its
+    /// spill could not be written). No-op for closed sessions — close
+    /// is final.
+    pub(crate) fn unretire(&self) {
+        if !self.is_closed() {
+            self.retired.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Marks the session explicitly closed: retired, *and* snapshots
+    /// are forbidden so a racing periodic save cannot resurrect it.
+    pub(crate) fn mark_closed(&self) {
+        self.retire();
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the session was explicitly closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// The lock serializing snapshot writes (and close-time snapshot
+    /// removal) for this session. Poisoning is recovered: the guarded
+    /// state lives on disk behind atomic renames, not in memory.
+    pub(crate) fn persist_gate(&self) -> MutexGuard<'_, ()> {
+        self.persist_gate
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A one-line summary for `list_sessions`.
+    pub fn summary(&self) -> SessionSummary {
+        SessionSummary {
+            id: self.id,
+            domain_size: self.schema.domain_size(),
+            shards: self.shards.len(),
+            gamma: self.mechanism.gamma(),
+            total: self.stats().total,
+            reconstructions: self.metrics.report().reconstructions,
+        }
+    }
+
+    /// Locks shard `index`, recovering from a poisoned mutex.
+    ///
+    /// Shard state is per-record consistent — every ingest either
+    /// counts a record completely or not at all before any panic can
+    /// propagate — so a panic that poisoned the lock left the counts
+    /// valid (exactly as if the batch had been cut short, which is the
+    /// documented partial-batch contract). Propagating the poison
+    /// instead would permanently brick the session: every later ingest,
+    /// snapshot or stats call would panic on `.lock().expect(..)`.
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Ingests a batch on an automatically chosen shard (round-robin,
     /// so concurrent submitters spread across shard locks). Returns the
     /// shard index used.
@@ -229,51 +418,85 @@ impl CollectionSession {
     /// server-side perturbation bit-reproducible offline.
     ///
     /// Ingestion is record-at-a-time: if a record mid-batch fails
-    /// validation, the error is returned and the records *before* it
-    /// stay counted (exactly as if the client had sent them in a
-    /// smaller batch). Clients that need all-or-nothing batches should
-    /// validate against the schema before submitting.
+    /// validation, the records *before* it stay counted (exactly as if
+    /// the client had sent them in a smaller batch) and the error is a
+    /// [`ServiceError::PartialBatch`] reporting how many were accepted,
+    /// so a retrying client resubmits only the remainder. Clients that
+    /// need all-or-nothing batches should validate against the schema
+    /// before submitting.
     pub fn submit_batch_to_shard(
         &self,
         shard_index: usize,
         records: &[Vec<u32>],
         pre_perturbed: bool,
     ) -> Result<()> {
-        let shard = self.shards.get(shard_index).ok_or_else(|| {
-            ServiceError::InvalidRequest(format!(
+        if shard_index >= self.shards.len() {
+            return Err(ServiceError::InvalidRequest(format!(
                 "shard {shard_index} out of range (session has {})",
                 self.shards.len()
-            ))
-        })?;
-        let mut shard = shard.lock().expect("shard mutex poisoned");
-        for record in records {
-            if pre_perturbed {
-                shard.ingest_perturbed(record)?;
-            } else {
-                shard.ingest_raw(record, self.perturber.as_ref())?;
-            }
+            )));
         }
+        let mut shard = self.lock_shard(shard_index);
+        // Checked under the shard lock: a retired (evicted/closed)
+        // session must never acknowledge new records, because the
+        // eviction spill has already snapshotted — or is about to
+        // snapshot — the shards, and an ack after the snapshot would be
+        // silent data loss on the next recovery.
+        if self.is_retired() {
+            return Err(ServiceError::UnknownSession(self.id));
+        }
+        let mut accepted: u64 = 0;
+        for record in records {
+            let result = if pre_perturbed {
+                shard.ingest_perturbed(record)
+            } else {
+                shard.ingest_raw(record, self.perturber.as_ref())
+            };
+            if let Err(source) = result {
+                drop(shard);
+                self.metrics.record_ingest(accepted);
+                return Err(ServiceError::PartialBatch {
+                    accepted,
+                    source: Box::new(source),
+                });
+            }
+            accepted += 1;
+        }
+        drop(shard);
+        self.metrics.record_ingest(accepted);
         Ok(())
     }
 
     /// Merges all shard counts into one snapshot accumulator.
     pub fn snapshot(&self) -> CountAccumulator {
         let mut acc = CountAccumulator::new(self.schema.clone());
-        for shard in &self.shards {
-            let shard = shard.lock().expect("shard mutex poisoned");
-            shard
+        for index in 0..self.shards.len() {
+            self.lock_shard(index)
                 .merge_into(&mut acc)
                 .expect("shards share the session schema");
         }
         acc
     }
 
+    /// Dumps every shard's persisted state (counts, ingested count, RNG
+    /// position) for snapshotting.
+    pub fn dump_shards(&self) -> Vec<ShardDump> {
+        (0..self.shards.len())
+            .map(|index| {
+                let shard = self.lock_shard(index);
+                ShardDump {
+                    ingested: shard.ingested(),
+                    rng_draws: shard.rng_draws(),
+                    counts: shard.counts().to_vec(),
+                }
+            })
+            .collect()
+    }
+
     /// Ingest statistics.
     pub fn stats(&self) -> SessionStats {
-        let per_shard: Vec<u64> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("shard mutex poisoned").ingested())
+        let per_shard: Vec<u64> = (0..self.shards.len())
+            .map(|index| self.lock_shard(index).ingested())
             .collect();
         SessionStats {
             total: per_shard.iter().sum(),
@@ -313,6 +536,7 @@ impl CollectionSession {
     /// counts. `clamp` applies [`clamp_counts`] (non-negativity +
     /// rescale to `N`) to the estimates.
     pub fn reconstruct(&self, method: ReconstructionMethod, clamp: bool) -> Result<Reconstruction> {
+        let started = Instant::now();
         let snapshot = self.snapshot();
         let n = snapshot.n();
         let counts = snapshot.into_counts();
@@ -334,6 +558,7 @@ impl CollectionSession {
         if clamp {
             clamp_counts(&mut estimates, n as f64);
         }
+        self.metrics.record_reconstruction(started.elapsed());
         Ok(Reconstruction {
             n,
             estimates,
@@ -343,23 +568,115 @@ impl CollectionSession {
     }
 }
 
-/// The server's table of live sessions.
-#[derive(Debug, Default)]
+/// The result of [`SessionRegistry::create`]: the new session, plus any
+/// sessions the LRU policy evicted to make room for it (the caller —
+/// typically the server — decides whether to persist them before the
+/// last `Arc` drops).
+#[derive(Debug)]
+pub struct Created {
+    /// The newly registered session.
+    pub session: Arc<CollectionSession>,
+    /// Least-recently-used sessions evicted to stay under the cap,
+    /// oldest first. Empty while the registry is under capacity.
+    pub evicted: Vec<Arc<CollectionSession>>,
+}
+
+/// The server's table of live sessions, bounded by an LRU cap.
+///
+/// Every lookup stamps the session with a registry-wide logical clock;
+/// when `create` would exceed `max_sessions`, the sessions with the
+/// oldest stamps are evicted (and handed back to the caller, so a
+/// persistence layer can spill them to disk before they drop).
+#[derive(Debug)]
 pub struct SessionRegistry {
     next_id: AtomicU64,
+    clock: AtomicU64,
+    max_sessions: usize,
     sessions: RwLock<HashMap<u64, Arc<CollectionSession>>>,
+    /// Weak handles to recently evicted sessions. Stale `Arc`s to an
+    /// evicted session can outlive its registry entry (e.g. the
+    /// periodic persister iterating a snapshot of `all()`), and such a
+    /// holder could still write the session's snapshot; `remove` looks
+    /// here when the live table misses, so a close can mark the
+    /// evicted session closed and no stale writer can resurrect it.
+    /// Entries whose sessions have fully dropped are pruned on insert.
+    graveyard: Mutex<HashMap<u64, std::sync::Weak<CollectionSession>>>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SessionRegistry {
-    /// An empty registry.
+    /// An empty registry with no practical session cap.
     pub fn new() -> Self {
+        Self::with_max_sessions(usize::MAX)
+    }
+
+    /// An empty registry that holds at most `max_sessions` live
+    /// sessions (floored at 1), evicting least-recently-used sessions
+    /// beyond that.
+    pub fn with_max_sessions(max_sessions: usize) -> Self {
         SessionRegistry {
             next_id: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            max_sessions: max_sessions.max(1),
             sessions: RwLock::new(HashMap::new()),
+            graveyard: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Creates and registers a session, returning it.
+    /// Poison recovery as for the session map: the graveyard is a plain
+    /// map of weak handles with no cross-entry invariants.
+    fn lock_graveyard(&self) -> MutexGuard<'_, HashMap<u64, std::sync::Weak<CollectionSession>>> {
+        self.graveyard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The registry's LRU capacity.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.read_map().len()
+    }
+
+    /// Whether the registry holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registry locks guard a plain `HashMap` whose insert/remove never
+    /// leave it observable mid-operation, so a poisoned lock (a panic
+    /// on some other connection thread) carries no integrity risk and
+    /// is recovered rather than propagated.
+    fn read_map(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<CollectionSession>>> {
+        self.sessions
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write_map(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<u64, Arc<CollectionSession>>> {
+        self.sessions
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Creates and registers a session, evicting least-recently-used
+    /// sessions if the registry is at capacity. Evicted sessions are
+    /// removed from the registry immediately; callers that need to
+    /// spill them to disk first should use [`Self::create_deferred`],
+    /// whose victims stay registered (so concurrent `close` requests
+    /// can still find them) until the spill commits.
     pub fn create(
         &self,
         schema: Schema,
@@ -367,7 +684,32 @@ impl SessionRegistry {
         num_shards: usize,
         seed: u64,
         max_dense_domain: usize,
-    ) -> Result<Arc<CollectionSession>> {
+    ) -> Result<Created> {
+        let created =
+            self.create_deferred(schema, mechanism, num_shards, seed, max_dense_domain)?;
+        for victim in &created.evicted {
+            self.commit_eviction(victim.id());
+        }
+        Ok(created)
+    }
+
+    /// Like [`Self::create`], but eviction is two-phase: victims are
+    /// *retired* (ingest refuses, so nothing can be acknowledged after
+    /// a spill snapshot) yet stay registered until the caller settles
+    /// each one with [`Self::commit_eviction`] (spill done — drop it)
+    /// or [`Self::abort_eviction`] (spill failed — keep it live).
+    /// Keeping victims visible means a concurrent `close_session` still
+    /// finds the session and marks it closed, which an in-flight spill
+    /// observes under the persist gate — no snapshot can resurrect a
+    /// session whose close was acknowledged.
+    pub fn create_deferred(
+        &self,
+        schema: Schema,
+        mechanism: Mechanism,
+        num_shards: usize,
+        seed: u64,
+        max_dense_domain: usize,
+    ) -> Result<Created> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(CollectionSession::new(
             id,
@@ -377,43 +719,136 @@ impl SessionRegistry {
             seed,
             max_dense_domain,
         )?);
-        self.sessions
-            .write()
-            .expect("registry lock poisoned")
-            .insert(id, Arc::clone(&session));
+        session.touch(self.tick());
+        let mut map = self.write_map();
+        let mut evicted = Vec::new();
+        // Retired sessions are evictions already in flight (another
+        // create's spill); count only settled sessions against the cap
+        // and never pick a victim twice.
+        let mut live = map.values().filter(|s| !s.is_retired()).count();
+        while live >= self.max_sessions {
+            let lru = map
+                .values()
+                .filter(|s| !s.is_retired())
+                .min_by_key(|s| (s.last_touched(), s.id()))
+                .cloned();
+            match lru {
+                Some(victim) => {
+                    victim.retire();
+                    live -= 1;
+                    evicted.push(victim);
+                }
+                None => break,
+            }
+        }
+        map.insert(id, Arc::clone(&session));
+        Ok(Created { session, evicted })
+    }
+
+    /// Settles a deferred eviction after its spill (or its intentional
+    /// discard): drops the session from the registry without marking it
+    /// closed, leaving a weak graveyard handle so a later `remove` can
+    /// still close it while stale `Arc`s (a persister mid-iteration)
+    /// could write its snapshot. Returns whether it was still
+    /// registered.
+    pub fn commit_eviction(&self, id: u64) -> bool {
+        // The graveyard entry is published while the live-map write
+        // lock is still held (the same lock `remove` takes first), so
+        // there is no instant at which a concurrent close finds the
+        // session in neither table — that gap would let a stale
+        // persister Arc write a snapshot the close could never veto.
+        let mut map = self.write_map();
+        let Some(session) = map.get(&id).cloned() else {
+            return false;
+        };
+        {
+            let mut graveyard = self.lock_graveyard();
+            graveyard.retain(|_, weak| weak.strong_count() > 0);
+            graveyard.insert(id, Arc::downgrade(&session));
+        }
+        map.remove(&id);
+        true
+    }
+
+    /// Rolls back a deferred eviction whose spill failed: the session
+    /// is un-retired and serves again (it never left the registry). A
+    /// session closed in the meantime stays closed.
+    pub fn abort_eviction(&self, session: &Arc<CollectionSession>) {
+        session.unretire();
+        session.touch(self.tick());
+    }
+
+    /// Ensures freshly created sessions get ids strictly greater than
+    /// `id`. `Server::bind` calls this for every snapshot file observed
+    /// on disk — including ones it does *not* recover (cap-drained
+    /// spills, unreadable files) — so a new session can never collide
+    /// with an on-disk id and overwrite (or mis-delete) another
+    /// session's snapshot.
+    pub fn reserve_ids_through(&self, id: u64) {
+        self.next_id
+            .fetch_max(id.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Re-registers a session recovered from a snapshot, preserving its
+    /// id. Returns `false` (without inserting) if the registry is
+    /// already at capacity or the id is taken.
+    pub fn insert_recovered(&self, session: Arc<CollectionSession>) -> bool {
+        let id = session.id();
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        session.touch(self.tick());
+        let mut map = self.write_map();
+        if map.len() >= self.max_sessions || map.contains_key(&id) {
+            return false;
+        }
+        map.insert(id, session);
+        true
+    }
+
+    /// Looks up a session by id, stamping it as recently used.
+    pub fn get(&self, id: u64) -> Result<Arc<CollectionSession>> {
+        let session = self
+            .read_map()
+            .get(&id)
+            .cloned()
+            .ok_or(ServiceError::UnknownSession(id))?;
+        session.touch(self.tick());
         Ok(session)
     }
 
-    /// Looks up a session by id.
-    pub fn get(&self, id: u64) -> Result<Arc<CollectionSession>> {
-        self.sessions
-            .read()
-            .expect("registry lock poisoned")
-            .get(&id)
-            .cloned()
-            .ok_or(ServiceError::UnknownSession(id))
-    }
-
-    /// Removes a session, returning whether it existed.
-    pub fn remove(&self, id: u64) -> bool {
-        self.sessions
-            .write()
-            .expect("registry lock poisoned")
-            .remove(&id)
-            .is_some()
+    /// Removes a session, marking it closed (retired + snapshots
+    /// forbidden) and returning it if it existed — so the caller can
+    /// finish lifecycle work like deleting its snapshot file.
+    ///
+    /// A session recently evicted from the live table is resolved
+    /// through the graveyard: if any stale `Arc` is still alive
+    /// (capable of writing a snapshot), the close marks it closed so
+    /// that writer refuses, and the handle is returned like a live
+    /// removal.
+    pub fn remove(&self, id: u64) -> Option<Arc<CollectionSession>> {
+        let removed = self.write_map().remove(&id);
+        if let Some(session) = &removed {
+            session.mark_closed();
+            return removed;
+        }
+        let stale = self.lock_graveyard().remove(&id)?.upgrade();
+        if let Some(session) = &stale {
+            session.mark_closed();
+        }
+        stale
     }
 
     /// Ids of all live sessions, ascending.
     pub fn ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .sessions
-            .read()
-            .expect("registry lock poisoned")
-            .keys()
-            .copied()
-            .collect();
+        let mut ids: Vec<u64> = self.read_map().keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// All live sessions, ascending by id.
+    pub fn all(&self) -> Vec<Arc<CollectionSession>> {
+        let mut sessions: Vec<_> = self.read_map().values().cloned().collect();
+        sessions.sort_unstable_by_key(|s| s.id());
+        sessions
     }
 }
 
@@ -575,6 +1010,11 @@ mod tests {
         );
     }
 
+    fn create_in(reg: &SessionRegistry, gamma: f64) -> Created {
+        reg.create(schema(), Mechanism::Deterministic { gamma }, 1, 7, 4096)
+            .unwrap()
+    }
+
     #[test]
     fn registry_creates_gets_and_removes() {
         let reg = SessionRegistry::new();
@@ -586,25 +1026,283 @@ mod tests {
                 7,
                 4096,
             )
-            .unwrap();
-        let b = reg
-            .create(
-                schema(),
-                Mechanism::Deterministic { gamma: 9.0 },
-                1,
-                8,
-                4096,
-            )
-            .unwrap();
+            .unwrap()
+            .session;
+        let b = create_in(&reg, 9.0).session;
         assert_ne!(a.id(), b.id());
         assert_eq!(reg.ids(), vec![a.id(), b.id()]);
         assert_eq!(reg.get(a.id()).unwrap().num_shards(), 2);
-        assert!(reg.remove(a.id()));
-        assert!(!reg.remove(a.id()));
+        let removed = reg.remove(a.id()).expect("session was live");
+        assert!(removed.is_closed() && removed.is_retired());
+        assert!(reg.remove(a.id()).is_none());
         assert!(matches!(
             reg.get(a.id()),
             Err(ServiceError::UnknownSession(_))
         ));
+    }
+
+    #[test]
+    fn registry_evicts_least_recently_used_at_capacity() {
+        let reg = SessionRegistry::with_max_sessions(3);
+        let s1 = create_in(&reg, 19.0).session;
+        let s2 = create_in(&reg, 19.0).session;
+        let s3 = create_in(&reg, 19.0).session;
+        assert_eq!(reg.len(), 3);
+
+        // Touch s1 so s2 becomes the LRU session.
+        reg.get(s1.id()).unwrap();
+        let created = create_in(&reg, 19.0);
+        let s4 = created.session;
+        assert_eq!(
+            created.evicted.iter().map(|s| s.id()).collect::<Vec<_>>(),
+            vec![s2.id()]
+        );
+        assert_eq!(reg.ids(), vec![s1.id(), s3.id(), s4.id()]);
+        assert!(matches!(
+            reg.get(s2.id()),
+            Err(ServiceError::UnknownSession(_))
+        ));
+
+        // Without further touches, creation order is LRU order.
+        let next = create_in(&reg, 19.0);
+        assert_eq!(next.evicted[0].id(), s3.id());
+    }
+
+    #[test]
+    fn retired_sessions_refuse_ingest_but_still_answer_queries() {
+        let reg = SessionRegistry::with_max_sessions(1);
+        let first = create_in(&reg, 19.0).session;
+        first.submit_batch(&[vec![0, 0]], true).unwrap();
+        // Evicting retires the session: a client still holding the Arc
+        // (e.g. an in-flight submit) gets an error instead of an ack
+        // that the eviction spill would have missed.
+        let created = create_in(&reg, 19.0);
+        assert_eq!(created.evicted[0].id(), first.id());
+        assert!(first.is_retired());
+        assert!(!first.is_closed());
+        assert!(matches!(
+            first.submit_batch(&[vec![1, 1]], true),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        // Reads still serve from the retired Arc.
+        assert_eq!(first.stats().total, 1);
+        assert!(first
+            .reconstruct(ReconstructionMethod::ClosedForm, true)
+            .is_ok());
+    }
+
+    #[test]
+    fn deferred_eviction_keeps_victims_registered_until_settled() {
+        let reg = SessionRegistry::with_max_sessions(1);
+        let victim = create_in(&reg, 19.0).session;
+        let created = reg
+            .create_deferred(
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .unwrap();
+        assert_eq!(created.evicted[0].id(), victim.id());
+        // Victim: retired (refuses ingest) but still registered, so a
+        // concurrent close can find it and mark it closed.
+        assert!(victim.is_retired());
+        assert!(reg.get(victim.id()).is_ok());
+        // Abort (spill failed): victim serves again.
+        reg.abort_eviction(&created.evicted[0]);
+        assert!(!victim.is_retired());
+        victim.submit_batch(&[vec![0, 0]], true).unwrap();
+        // Commit (spill landed): victim leaves the registry.
+        victim.retire();
+        assert!(reg.commit_eviction(victim.id()));
+        assert!(!reg.commit_eviction(victim.id()));
+        assert!(reg.get(victim.id()).is_err());
+
+        // A victim closed mid-spill stays closed: abort does not revive.
+        let created = reg
+            .create_deferred(
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .unwrap();
+        let closing = &created.evicted[0];
+        let closed = reg.remove(closing.id()).unwrap();
+        reg.abort_eviction(closing);
+        assert!(closed.is_closed() && closed.is_retired());
+    }
+
+    #[test]
+    fn reserved_ids_are_never_reallocated() {
+        // `Server::bind` reserves the ids of snapshots it does not
+        // recover; new sessions must not collide with them (a collision
+        // would overwrite the on-disk snapshot of a different session).
+        let reg = SessionRegistry::new();
+        reg.reserve_ids_through(5);
+        assert_eq!(create_in(&reg, 19.0).session.id(), 6);
+        // Reserving below the current counter is a no-op.
+        reg.reserve_ids_through(2);
+        assert_eq!(create_in(&reg, 19.0).session.id(), 7);
+        // Saturates instead of wrapping to 0.
+        reg.reserve_ids_through(u64::MAX);
+    }
+
+    #[test]
+    fn closing_an_evicted_session_reaches_stale_arcs_via_the_graveyard() {
+        // The persister can hold an Arc captured from `all()` before an
+        // eviction; a close arriving after the eviction must still mark
+        // the session closed so that stale holder's snapshot write
+        // refuses instead of resurrecting an acknowledged close.
+        let reg = SessionRegistry::with_max_sessions(1);
+        let victim = create_in(&reg, 19.0).session; // stale Arc stand-in
+        create_in(&reg, 19.0); // evicts + commits the victim
+        assert!(reg.get(victim.id()).is_err(), "victim left the live table");
+        assert!(!victim.is_closed());
+
+        let closed = reg.remove(victim.id()).expect("graveyard hit");
+        assert_eq!(closed.id(), victim.id());
+        assert!(victim.is_closed(), "stale Arc observes the close");
+        // Second close finds nothing (graveyard entry consumed).
+        assert!(reg.remove(victim.id()).is_none());
+    }
+
+    #[test]
+    fn registry_recovers_sessions_preserving_ids() {
+        let reg = SessionRegistry::with_max_sessions(2);
+        let recovered = Arc::new(
+            CollectionSession::new(
+                41,
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .unwrap(),
+        );
+        assert!(reg.insert_recovered(Arc::clone(&recovered)));
+        // Duplicate ids are refused.
+        assert!(!reg.insert_recovered(recovered));
+        // New ids continue past the recovered one.
+        let fresh = create_in(&reg, 19.0).session;
+        assert_eq!(fresh.id(), 42);
+        // At capacity, further recoveries are refused rather than
+        // evicting live sessions.
+        let extra = Arc::new(
+            CollectionSession::new(
+                99,
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .unwrap(),
+        );
+        assert!(!reg.insert_recovered(extra));
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_instead_of_bricking_the_session() {
+        let s = Arc::new(session(2));
+        s.submit_batch_to_shard(0, &[vec![0, 0], vec![1, 1]], true)
+            .unwrap();
+        // Panic on another thread while holding shard 0's lock,
+        // poisoning the mutex.
+        let poisoner = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let _guard = s.shards[0].lock().unwrap();
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        assert!(s.shards[0].lock().is_err(), "the mutex must be poisoned");
+
+        // Every later operation still serves: ingest on the poisoned
+        // shard, stats, snapshot and reconstruction.
+        s.submit_batch_to_shard(0, &[vec![2, 0]], true).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.per_shard, vec![3, 0]);
+        assert_eq!(s.snapshot().n(), 3);
+        assert!(s
+            .reconstruct(ReconstructionMethod::ClosedForm, true)
+            .is_ok());
+    }
+
+    #[test]
+    fn partial_batch_failure_reports_accepted_prefix() {
+        let s = session(1);
+        // Third record is invalid: the two before it stay counted and
+        // the error says so.
+        let err = s
+            .submit_batch_to_shard(0, &[vec![0, 0], vec![1, 1], vec![9, 9], vec![2, 0]], true)
+            .unwrap_err();
+        match err {
+            ServiceError::PartialBatch { accepted, .. } => assert_eq!(accepted, 2),
+            other => panic!("expected PartialBatch, got {other:?}"),
+        }
+        assert_eq!(s.stats().total, 2);
+        // Retrying only the remainder (per the contract) lands exactly
+        // the valid records once.
+        s.submit_batch_to_shard(0, &[vec![2, 0]], true).unwrap();
+        assert_eq!(s.stats().total, 3);
+    }
+
+    #[test]
+    fn metrics_track_ingest_and_reconstructions() {
+        let s = session(2);
+        s.submit_batch(&[vec![0, 0], vec![1, 1]], true).unwrap();
+        s.submit_batch(&[vec![2, 0]], true).unwrap();
+        s.reconstruct(ReconstructionMethod::ClosedForm, true)
+            .unwrap();
+        s.reconstruct(ReconstructionMethod::ClosedForm, false)
+            .unwrap();
+        let report = s.metrics_report();
+        assert_eq!(report.records_ingested, 3);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.reconstructions, 2);
+        assert_eq!(report.query_latency.count, 2);
+        let summary = s.summary();
+        assert_eq!(summary.total, 3);
+        assert_eq!(summary.reconstructions, 2);
+        assert_eq!(summary.domain_size, 6);
+    }
+
+    #[test]
+    fn dump_and_recover_roundtrip_preserves_counts_and_replay() {
+        let original = session(2);
+        let raw: Vec<Vec<u32>> = (0..500).map(|i| vec![i % 3, i % 2]).collect();
+        original.submit_batch_to_shard(0, &raw, false).unwrap();
+        original.submit_batch_to_shard(1, &raw, false).unwrap();
+
+        let recovered = CollectionSession::recover(
+            original.id(),
+            schema(),
+            original.mechanism(),
+            original.seed(),
+            4096,
+            original.dump_shards(),
+        )
+        .unwrap();
+        assert_eq!(recovered.snapshot().counts(), original.snapshot().counts());
+
+        // Continued raw ingest matches an uninterrupted session.
+        let more: Vec<Vec<u32>> = (0..300).map(|i| vec![(i + 2) % 3, i % 2]).collect();
+        original.submit_batch_to_shard(0, &more, false).unwrap();
+        recovered.submit_batch_to_shard(0, &more, false).unwrap();
+        assert_eq!(recovered.snapshot().counts(), original.snapshot().counts());
+        let a = original
+            .reconstruct(ReconstructionMethod::ClosedForm, false)
+            .unwrap();
+        let b = recovered
+            .reconstruct(ReconstructionMethod::ClosedForm, false)
+            .unwrap();
+        assert_eq!(a.estimates, b.estimates);
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! mutex. Merging shards is `O(S·n)` at snapshot time, which the
 //! reconstruction path amortizes over the whole ingested stream.
 
-use crate::error::Result;
+use crate::error::{Result, ServiceError};
 use frapp_core::perturb::Perturber;
 use frapp_core::{CountAccumulator, Schema};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Multiplier mixing a shard index into the session seed (SplitMix64's
 /// golden-ratio increment). Kept stable and public-in-effect: tests and
@@ -26,11 +26,60 @@ pub fn shard_seed(session_seed: u64, index: usize) -> u64 {
     session_seed.wrapping_add(SHARD_SEED_MIX.wrapping_mul(index as u64 + 1))
 }
 
+/// The shard RNG: the shim's xoshiro generator wrapped in a draw
+/// counter, so a persisted snapshot can record *how far* the stream has
+/// advanced and recovery can fast-forward a freshly seeded generator to
+/// the identical state.
+///
+/// The count is exact because every `RngCore` call on the vendored shim
+/// (`next_u64`, `next_u32`, and `fill_bytes` per 8-byte chunk) advances
+/// the underlying state by exactly one step, so replaying `draws` calls
+/// of `next_u64` lands on the same state regardless of which calls the
+/// perturber originally made. If the real `rand` crate (ChaCha12
+/// `StdRng`, which buffers half-words) is ever swapped back in, shard
+/// recovery must switch to serializing native RNG state instead.
+#[derive(Debug, Clone)]
+struct CountingRng {
+    inner: StdRng,
+    draws: u64,
+}
+
+impl CountingRng {
+    fn seeded(seed: u64) -> Self {
+        CountingRng {
+            inner: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+
+    /// A freshly seeded generator advanced by `draws` steps.
+    fn fast_forwarded(seed: u64, draws: u64) -> Self {
+        let mut rng = Self::seeded(seed);
+        for _ in 0..draws {
+            rng.inner.next_u64();
+        }
+        rng.draws = draws;
+        rng
+    }
+}
+
+impl RngCore for CountingRng {
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
 /// One ingest shard: a count accumulator plus its private RNG.
 #[derive(Debug)]
 pub struct Shard {
     acc: CountAccumulator,
-    rng: StdRng,
+    rng: CountingRng,
     ingested: u64,
 }
 
@@ -40,14 +89,52 @@ impl Shard {
     pub fn new(schema: Schema, session_seed: u64, index: usize) -> Self {
         Shard {
             acc: CountAccumulator::new(schema),
-            rng: StdRng::seed_from_u64(shard_seed(session_seed, index)),
+            rng: CountingRng::seeded(shard_seed(session_seed, index)),
             ingested: 0,
         }
+    }
+
+    /// Rebuilds a shard from persisted state: the count vector, the
+    /// number of records counted, and the number of RNG draws consumed
+    /// (used to fast-forward the deterministic stream, so server-side
+    /// perturbation after recovery continues exactly where the
+    /// pre-restart process left off).
+    pub fn recover(
+        schema: Schema,
+        session_seed: u64,
+        index: usize,
+        counts: Vec<f64>,
+        ingested: u64,
+        rng_draws: u64,
+    ) -> Result<Self> {
+        let acc = CountAccumulator::from_counts(schema, counts)?;
+        if acc.n() != ingested {
+            return Err(ServiceError::Snapshot(format!(
+                "shard {index} claims {ingested} ingested records but its \
+                 counts total {}",
+                acc.n()
+            )));
+        }
+        Ok(Shard {
+            acc,
+            rng: CountingRng::fast_forwarded(shard_seed(session_seed, index), rng_draws),
+            ingested,
+        })
     }
 
     /// Number of records this shard has counted.
     pub fn ingested(&self) -> u64 {
         self.ingested
+    }
+
+    /// Number of RNG draws consumed by raw-record perturbation so far.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng.draws
+    }
+
+    /// The shard's current count vector.
+    pub fn counts(&self) -> &[f64] {
+        self.acc.counts()
     }
 
     /// Counts a record that the client already perturbed.
@@ -111,6 +198,51 @@ mod tests {
         shard.merge_into(&mut acc).unwrap();
         assert_eq!(acc.counts()[schema().encode(&[1, 1]).unwrap()], 2.0);
         assert_eq!(acc.n(), 3);
+    }
+
+    #[test]
+    fn recovered_shard_continues_the_rng_stream_exactly() {
+        let s = schema();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let first: Vec<Vec<u32>> = (0..400).map(|i| vec![i % 3, i % 2]).collect();
+        let second: Vec<Vec<u32>> = (0..300).map(|i| vec![(i + 1) % 3, i % 2]).collect();
+
+        // Uninterrupted reference run.
+        let mut reference = Shard::new(s.clone(), 42, 1);
+        for r in first.iter().chain(&second) {
+            reference.ingest_raw(r, &gd).unwrap();
+        }
+
+        // Interrupted run: ingest, "persist", recover, continue.
+        let mut before = Shard::new(s.clone(), 42, 1);
+        for r in &first {
+            before.ingest_raw(r, &gd).unwrap();
+        }
+        let mut after = Shard::recover(
+            s,
+            42,
+            1,
+            before.counts().to_vec(),
+            before.ingested(),
+            before.rng_draws(),
+        )
+        .unwrap();
+        for r in &second {
+            after.ingest_raw(r, &gd).unwrap();
+        }
+
+        assert_eq!(after.ingested(), reference.ingested());
+        assert_eq!(after.rng_draws(), reference.rng_draws());
+        assert_eq!(after.counts(), reference.counts());
+    }
+
+    #[test]
+    fn recover_rejects_inconsistent_snapshots() {
+        let s = schema();
+        // Wrong domain size.
+        assert!(Shard::recover(s.clone(), 1, 0, vec![0.0; 3], 0, 0).is_err());
+        // Ingested count contradicting the count total.
+        assert!(Shard::recover(s, 1, 0, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 5, 0).is_err());
     }
 
     #[test]
