@@ -100,6 +100,29 @@ fn bench_sharded_ingest(c: &mut Criterion) {
             },
         );
     }
+    // The pre-rewrite per-record raw path (perturb_record's fresh Vec +
+    // per-attribute draws + re-encode), kept as a baseline so the
+    // index-domain fast path's win stays measurable. Single-threaded:
+    // the comparison isolates per-record cost, not lock striping. See
+    // `bench_ingest` (src/bin) for the records/sec report.
+    group.bench_with_input(
+        BenchmarkId::new("server_perturbed_legacy", 1),
+        &records,
+        |b, records| {
+            let s = schema();
+            let gd = GammaDiagonal::new(&s, GAMMA).expect("gamma > 1");
+            b.iter(|| {
+                let mut acc = frapp_core::CountAccumulator::new(s.clone());
+                let mut rng = StdRng::seed_from_u64(7);
+                for record in records {
+                    let perturbed = gd.perturb_record(record, &mut rng).expect("valid record");
+                    let idx = s.encode(&perturbed).expect("schema-valid output");
+                    acc.observe_index(idx);
+                }
+                black_box(acc)
+            });
+        },
+    );
     group.finish();
 }
 

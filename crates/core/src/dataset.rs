@@ -87,6 +87,19 @@ impl CountAccumulator {
         self.n += 1;
     }
 
+    /// Counts a batch of pre-encoded domain indices (trusted input) —
+    /// the ingest hot path's form: one record-count update per batch
+    /// instead of one per record.
+    ///
+    /// # Panics
+    /// If any index is outside the domain.
+    pub fn observe_indices(&mut self, indices: &[usize]) {
+        for &index in indices {
+            self.counts[index] += 1.0;
+        }
+        self.n += indices.len() as u64;
+    }
+
     /// Adds another accumulator's counts into this one. The two must
     /// share a schema.
     pub fn merge(&mut self, other: &CountAccumulator) -> Result<()> {

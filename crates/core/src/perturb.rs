@@ -48,6 +48,64 @@ pub trait Perturber: Send + Sync {
     /// Perturbs one record.
     fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>>;
 
+    /// Perturbs a record that is already encoded as a domain index
+    /// (trusted input — e.g. the output of [`Schema::encode`]).
+    ///
+    /// This is the allocation-free fast path for server-side ingest:
+    /// implementations with structured matrices override it to sample
+    /// directly in the index domain (the gamma-diagonal family needs at
+    /// most two RNG draws and no `Vec`). The default decodes, perturbs
+    /// in the record domain and re-encodes, so every perturber supports
+    /// the API — at the cost, not the distribution, of the fast path.
+    ///
+    /// Note the *draw sequence* of this method is not required to match
+    /// [`Perturber::perturb_record`]'s for the same RNG state; callers
+    /// that persist RNG positions must replay through the same API they
+    /// recorded (see `frapp-service`'s snapshot format).
+    ///
+    /// # Panics
+    /// May panic if `index` is outside the schema's domain.
+    fn perturb_index(&self, index: usize, rng: &mut dyn RngCore) -> usize {
+        let record = self.schema().decode(index);
+        let perturbed = self
+            .perturb_record(&record, rng)
+            .expect("decoded records are schema-valid by construction");
+        self.schema()
+            .encode(&perturbed)
+            .expect("perturber output is schema-valid by construction")
+    }
+
+    /// Perturbs a batch of encoded domain indices *in place* (trusted
+    /// input, like [`Perturber::perturb_index`]).
+    ///
+    /// This is the batch form the server's ingest loop calls: one
+    /// virtual dispatch per batch instead of one per record, letting
+    /// structured implementations run a tight monomorphic loop with
+    /// their mixture parameters hoisted out. The default loops
+    /// [`Perturber::perturb_index`]; the draw sequence is identical
+    /// either way.
+    fn perturb_indices(&self, indices: &mut [usize], rng: &mut dyn RngCore) {
+        for slot in indices {
+            *slot = self.perturb_index(*slot, rng);
+        }
+    }
+
+    /// Perturbs `record` into a caller-owned buffer, avoiding the
+    /// per-record allocation (and, on the retention branch, the copy
+    /// into a fresh `Vec`) of [`Perturber::perturb_record`]. `out` is
+    /// cleared first.
+    fn perturb_record_into(
+        &self,
+        record: &[u32],
+        out: &mut Vec<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Result<()> {
+        let perturbed = self.perturb_record(record, rng)?;
+        out.clear();
+        out.extend_from_slice(&perturbed);
+        Ok(())
+    }
+
     /// Perturbs a whole dataset record by record.
     fn perturb_dataset(
         &self,
@@ -66,6 +124,14 @@ fn uniform_record(schema: &Schema, rng: &mut dyn RngCore) -> Vec<u32> {
     (0..schema.num_attributes())
         .map(|j| rng.gen_range(0..schema.cardinality(j)))
         .collect()
+}
+
+/// Draws a uniformly random record into `out` (cleared first).
+fn uniform_record_into(schema: &Schema, out: &mut Vec<u32>, rng: &mut dyn RngCore) {
+    out.clear();
+    for j in 0..schema.num_attributes() {
+        out.push(rng.gen_range(0..schema.cardinality(j)));
+    }
 }
 
 /// Draws a uniformly random record different from `record` by rejection
@@ -171,6 +237,16 @@ impl GammaDiagonal {
         (self.gamma - 1.0) * self.x
     }
 
+    /// The retention probability scaled onto the full `u64` range, so
+    /// the index samplers decide retention with one raw-draw compare
+    /// instead of a float conversion per record. Exact to within
+    /// 2⁻⁶⁴ of [`Self::retention_probability`]; retention is always
+    /// `< 1`, so the cast never saturates in practice.
+    #[inline]
+    fn retention_threshold(&self) -> u64 {
+        (self.retention_probability() * (u64::MAX as f64 + 1.0)) as u64
+    }
+
     /// The paper's Section-5 dependent-column sampler (Equation 26):
     /// generates the perturbed record attribute by attribute, where the
     /// distribution of column `j` depends on whether all previous
@@ -230,6 +306,21 @@ impl GammaDiagonal {
     }
 }
 
+impl GammaDiagonal {
+    /// The mixture sampler on an already-validated record, writing into
+    /// `out`. Shared by the `Perturber` entry points so validation is
+    /// paid exactly once per record — and, for batch entry points, can
+    /// be hoisted out of the sampling loop entirely.
+    fn perturb_validated_into(&self, record: &[u32], out: &mut Vec<u32>, rng: &mut dyn RngCore) {
+        if rng.gen::<f64>() < self.retention_probability() {
+            out.clear();
+            out.extend_from_slice(record);
+        } else {
+            uniform_record_into(&self.schema, out, rng);
+        }
+    }
+}
+
 impl Perturber for GammaDiagonal {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -242,6 +333,66 @@ impl Perturber for GammaDiagonal {
         } else {
             Ok(uniform_record(&self.schema, rng))
         }
+    }
+
+    /// The index-domain mixture sampler: retain the index with
+    /// probability `(γ−1)x`, else draw a uniform index over the whole
+    /// domain — `P(v=u) = (γ−1)x + nx/n = γx`, `P(v)=x` otherwise,
+    /// exactly Equation 13. At most two RNG draws, no allocation, no
+    /// encode round-trip.
+    fn perturb_index(&self, index: usize, rng: &mut dyn RngCore) -> usize {
+        debug_assert!(index < self.schema.domain_size());
+        if rng.next_u64() < self.retention_threshold() {
+            index
+        } else {
+            rng.gen_range(0..self.schema.domain_size())
+        }
+    }
+
+    /// The batch loop with the mixture parameters hoisted out of the
+    /// per-record iteration; draw sequence identical to calling
+    /// [`Perturber::perturb_index`] per element.
+    fn perturb_indices(&self, indices: &mut [usize], rng: &mut dyn RngCore) {
+        let threshold = self.retention_threshold();
+        let n = self.schema.domain_size();
+        for slot in indices {
+            debug_assert!(*slot < n);
+            if rng.next_u64() >= threshold {
+                *slot = rng.gen_range(0..n);
+            }
+        }
+    }
+
+    fn perturb_record_into(
+        &self,
+        record: &[u32],
+        out: &mut Vec<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Result<()> {
+        self.schema.validate_record(record)?;
+        self.perturb_validated_into(record, out, rng);
+        Ok(())
+    }
+
+    /// Batch perturbation with validation hoisted out of the sampling
+    /// loop: every record is validated up front, then the whole batch
+    /// runs through the unchecked mixture sampler.
+    fn perturb_dataset(
+        &self,
+        records: &[Vec<u32>],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Vec<u32>>> {
+        for r in records {
+            self.schema.validate_record(r)?;
+        }
+        Ok(records
+            .iter()
+            .map(|r| {
+                let mut out = Vec::with_capacity(r.len());
+                self.perturb_validated_into(r, &mut out, rng);
+                out
+            })
+            .collect())
     }
 }
 
@@ -342,6 +493,49 @@ impl RandomizedGammaDiagonal {
             }
         }
     }
+
+    /// The index-domain counterpart of
+    /// [`Self::perturb_record_with_r`]: identical output distribution,
+    /// sampled directly on encoded domain indices with no allocation.
+    pub fn perturb_index_with_r(&self, index: usize, r: f64, rng: &mut dyn RngCore) -> usize {
+        let n = self.base.domain_size();
+        let n_f = n as f64;
+        let diag = self.base.gamma() * self.base.x() + r;
+        if diag >= 1.0 / n_f {
+            // Mixture: retain with probability k, else uniform over all.
+            let k = (diag * n_f - 1.0) / (n_f - 1.0);
+            if rng.gen::<f64>() < k {
+                index
+            } else {
+                rng.gen_range(0..n)
+            }
+        } else {
+            // Anti-diagonal regime: with probability q force a change
+            // (uniform over the other n−1 indices, by rejection), else
+            // uniform over all.
+            let q = 1.0 - n_f * diag.max(0.0);
+            if rng.gen::<f64>() < q {
+                loop {
+                    let candidate = rng.gen_range(0..n);
+                    if candidate != index {
+                        return candidate;
+                    }
+                }
+            } else {
+                rng.gen_range(0..n)
+            }
+        }
+    }
+
+    /// Draws the per-record matrix realization `r ~ U[−α, α]` (zero
+    /// when `α = 0`, consuming no draw).
+    fn draw_r(&self, rng: &mut dyn RngCore) -> f64 {
+        if self.alpha == 0.0 {
+            0.0
+        } else {
+            rng.gen_range(-self.alpha..=self.alpha)
+        }
+    }
 }
 
 impl Perturber for RandomizedGammaDiagonal {
@@ -350,12 +544,14 @@ impl Perturber for RandomizedGammaDiagonal {
     }
 
     fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>> {
-        let r = if self.alpha == 0.0 {
-            0.0
-        } else {
-            rng.gen_range(-self.alpha..=self.alpha)
-        };
+        let r = self.draw_r(rng);
         self.perturb_record_with_r(record, r, rng)
+    }
+
+    fn perturb_index(&self, index: usize, rng: &mut dyn RngCore) -> usize {
+        debug_assert!(index < self.base.domain_size());
+        let r = self.draw_r(rng);
+        self.perturb_index_with_r(index, r, rng)
     }
 }
 
@@ -415,18 +611,26 @@ impl Perturber for ExplicitMatrix {
 
     fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>> {
         let u = self.schema.encode(record)?;
+        Ok(self.schema.decode(self.perturb_index(u, rng)))
+    }
+
+    /// The CDF walk already lives in the index domain; sampling an
+    /// encoded index directly skips the decode/encode round-trip of the
+    /// record API.
+    fn perturb_index(&self, index: usize, rng: &mut dyn RngCore) -> usize {
+        debug_assert!(index < self.schema.domain_size());
         let r: f64 = rng.gen::<f64>();
         let mut acc = 0.0;
         let n = self.schema.domain_size();
         let mut chosen = n - 1;
         for v in 0..n {
-            acc += self.matrix[(v, u)];
+            acc += self.matrix[(v, index)];
             if r < acc {
                 chosen = v;
                 break;
             }
         }
-        Ok(self.schema.decode(chosen))
+        chosen
     }
 }
 
@@ -743,6 +947,216 @@ mod tests {
             .map(|v| gd.matrix_entry(v, u))
             .collect();
         assert_distribution_close(&emp, &expected, trials);
+    }
+
+    /// Empirical per-cell counts of `trials` draws from an index-domain
+    /// sampler, starting from a fixed source index.
+    fn index_counts(
+        f: impl Fn(&mut StdRng) -> usize,
+        domain: usize,
+        trials: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0.0; domain];
+        for _ in 0..trials {
+            counts[f(&mut rng)] += 1.0;
+        }
+        counts
+    }
+
+    /// Pearson chi-squared statistic of observed counts against an
+    /// expected probability vector.
+    fn chi_squared(observed: &[f64], expected_probs: &[f64], trials: usize) -> f64 {
+        observed
+            .iter()
+            .zip(expected_probs)
+            .map(|(&o, &p)| {
+                let e = p * trials as f64;
+                (o - e).powi(2) / e
+            })
+            .sum()
+    }
+
+    /// Two-sample chi-squared statistic between two equal-size count
+    /// vectors (df = cells − 1).
+    fn chi_squared_two_sample(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .filter(|(&x, &y)| x + y > 0.0)
+            .map(|(&x, &y)| (x - y).powi(2) / (x + y))
+            .sum()
+    }
+
+    #[test]
+    fn index_sampler_matches_matrix_distribution_chi_squared() {
+        // The index-domain fast path must sample exactly the
+        // gamma-diagonal column: chi-squared against the matrix with
+        // df = 5 (threshold far beyond the 99.9th percentile ≈ 20.5).
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 4.0).unwrap();
+        let u = s.encode(&[2, 1]).unwrap();
+        let trials = 200_000;
+        let observed = index_counts(|rng| gd.perturb_index(u, rng), s.domain_size(), trials, 48);
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| gd.matrix_entry(v, u))
+            .collect();
+        let x2 = chi_squared(&observed, &expected, trials);
+        assert!(x2 < 30.0, "chi-squared {x2} too large for df=5");
+    }
+
+    #[test]
+    fn index_sampler_agrees_with_columnwise_sampler_chi_squared() {
+        // The paper's Section-5 dependent-column algorithm and the
+        // index-domain fast path are different samplers for the same
+        // distribution; a two-sample chi-squared must not tell their
+        // outputs apart.
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 4.0).unwrap();
+        let record = vec![1u32, 0u32];
+        let u = s.encode(&record).unwrap();
+        let trials = 200_000;
+        let via_index = index_counts(|rng| gd.perturb_index(u, rng), s.domain_size(), trials, 49);
+        let via_columnwise = index_counts(
+            |rng| {
+                s.encode(&gd.perturb_record_columnwise(&record, rng).unwrap())
+                    .unwrap()
+            },
+            s.domain_size(),
+            trials,
+            50,
+        );
+        let x2 = chi_squared_two_sample(&via_index, &via_columnwise);
+        assert!(x2 < 30.0, "chi-squared {x2} too large for df=5");
+    }
+
+    #[test]
+    fn randomized_index_sampler_matches_realized_matrix() {
+        let s = schema_small();
+        let x = 1.0 / 24.0;
+        let rgd = RandomizedGammaDiagonal::new(&s, 19.0, 4.0 * x).unwrap();
+        let u = s.encode(&[1, 1]).unwrap();
+        let r_fixed = -3.0 * x;
+        let trials = 200_000;
+        let observed = index_counts(
+            |rng| rgd.perturb_index_with_r(u, r_fixed, rng),
+            s.domain_size(),
+            trials,
+            51,
+        );
+        let m = rgd.realized_matrix(r_fixed);
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| {
+                if v == u {
+                    m.diagonal()
+                } else {
+                    m.off_diagonal()
+                }
+            })
+            .collect();
+        let x2 = chi_squared(&observed, &expected, trials);
+        assert!(x2 < 30.0, "chi-squared {x2} too large for df=5");
+    }
+
+    #[test]
+    fn randomized_index_sampler_anti_diagonal_regime() {
+        // Same regime as the record-domain anti-diagonal test: n = 6,
+        // gamma = 2, r = −0.2 pushes the realized diagonal below 1/n.
+        let s = schema_small();
+        let rgd = RandomizedGammaDiagonal::new(&s, 2.0, 0.25).unwrap();
+        let u = s.encode(&[0, 0]).unwrap();
+        let r_fixed = -0.2;
+        let m = rgd.realized_matrix(r_fixed);
+        assert!(m.diagonal() < 1.0 / 6.0);
+        let trials = 200_000;
+        let observed = index_counts(
+            |rng| rgd.perturb_index_with_r(u, r_fixed, rng),
+            s.domain_size(),
+            trials,
+            52,
+        );
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| {
+                if v == u {
+                    m.diagonal()
+                } else {
+                    m.off_diagonal()
+                }
+            })
+            .collect();
+        let x2 = chi_squared(&observed, &expected, trials);
+        assert!(x2 < 30.0, "chi-squared {x2} too large for df=5");
+    }
+
+    #[test]
+    fn explicit_matrix_index_sampler_matches_record_sampler() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 4.0).unwrap();
+        let explicit = ExplicitMatrix::new(&s, gd.as_uniform_diagonal().to_dense()).unwrap();
+        let u = s.encode(&[0, 1]).unwrap();
+        // Same RNG stream through both entry points: perturb_record is
+        // now a decode of perturb_index, so the draws line up exactly.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..2_000 {
+            let via_record = explicit.perturb_record(&s.decode(u), &mut a).unwrap();
+            let via_index = explicit.perturb_index(u, &mut b);
+            assert_eq!(s.encode(&via_record).unwrap(), via_index);
+        }
+    }
+
+    #[test]
+    fn default_perturb_index_round_trips_through_the_record_domain() {
+        /// A perturber that does *not* override the index fast path, to
+        /// exercise the trait's decode/perturb/encode default.
+        struct RecordOnly(GammaDiagonal);
+        impl Perturber for RecordOnly {
+            fn schema(&self) -> &Schema {
+                self.0.schema()
+            }
+            fn perturb_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>> {
+                self.0.perturb_record(record, rng)
+            }
+        }
+        let s = schema_small();
+        let p = RecordOnly(GammaDiagonal::new(&s, 4.0).unwrap());
+        let u = s.encode(&[2, 0]).unwrap();
+        let trials = 100_000;
+        let observed = index_counts(|rng| p.perturb_index(u, rng), s.domain_size(), trials, 53);
+        let expected: Vec<f64> = (0..s.domain_size())
+            .map(|v| p.0.matrix_entry(v, u))
+            .collect();
+        let x2 = chi_squared(&observed, &expected, trials);
+        assert!(x2 < 30.0, "chi-squared {x2} too large for df=5");
+    }
+
+    #[test]
+    fn perturb_record_into_reuses_the_buffer_and_validates() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            gd.perturb_record_into(&[2, 1], &mut out, &mut rng).unwrap();
+            assert!(s.validate_record(&out).is_ok());
+        }
+        assert!(gd.perturb_record_into(&[9, 0], &mut out, &mut rng).is_err());
+        // The randomized perturber exercises the trait's default
+        // (allocate-then-copy) implementation.
+        let rgd = RandomizedGammaDiagonal::new(&s, 19.0, 0.0).unwrap();
+        rgd.perturb_record_into(&[1, 1], &mut out, &mut rng)
+            .unwrap();
+        assert!(s.validate_record(&out).is_ok());
+    }
+
+    #[test]
+    fn perturb_dataset_rejects_invalid_batches_before_sampling() {
+        let s = schema_small();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        // An invalid record anywhere fails the whole batch up front.
+        let bad = vec![vec![0, 0], vec![9, 9], vec![1, 1]];
+        assert!(gd.perturb_dataset(&bad, &mut rng).is_err());
     }
 
     #[test]

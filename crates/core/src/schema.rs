@@ -73,6 +73,10 @@ pub struct Schema {
     /// `index = Σ_j record[j] * strides[j]` — attribute 0 is the most
     /// significant digit.
     strides: Vec<usize>,
+    /// Per-attribute cardinalities, contiguous: the encode hot loop
+    /// bounds-checks against this array instead of chasing pointers
+    /// into the (string-bearing, cache-sparse) `Attribute` structs.
+    cards: Vec<u32>,
     domain_size: usize,
 }
 
@@ -103,9 +107,11 @@ impl Schema {
                 .checked_mul(attributes[j].cardinality() as usize)
                 .ok_or(FrappError::DomainTooLarge { attributes: m - j })?;
         }
+        let cards = attributes.iter().map(Attribute::cardinality).collect();
         Ok(Schema {
             attributes,
             strides,
+            cards,
             domain_size: acc,
         })
     }
@@ -193,14 +199,45 @@ impl Schema {
     }
 
     /// Encodes a record as its index in `I_U` (mixed-radix, attribute 0
-    /// most significant).
+    /// most significant). Validation and accumulation run in a single
+    /// pass over contiguous arrays — this sits on the server's ingest
+    /// hot path, where encoding a batch is the per-record cost — with
+    /// diagnostic message construction kept out of line.
     pub fn encode(&self, record: &[u32]) -> Result<usize> {
-        self.validate_record(record)?;
-        Ok(record
-            .iter()
-            .zip(&self.strides)
-            .map(|(&v, &s)| v as usize * s)
-            .sum())
+        if record.len() != self.cards.len() {
+            return Err(self.wrong_length_error(record.len()));
+        }
+        let mut index = 0usize;
+        for ((&v, &card), &stride) in record.iter().zip(&self.cards).zip(&self.strides) {
+            if v >= card {
+                return Err(self.out_of_domain_error(record));
+            }
+            index += v as usize * stride;
+        }
+        Ok(index)
+    }
+
+    #[cold]
+    fn wrong_length_error(&self, got: usize) -> FrappError {
+        FrappError::InvalidRecord {
+            reason: format!("expected {} attributes, got {got}", self.num_attributes()),
+        }
+    }
+
+    #[cold]
+    fn out_of_domain_error(&self, record: &[u32]) -> FrappError {
+        for (j, (&v, a)) in record.iter().zip(&self.attributes).enumerate() {
+            if v >= a.cardinality() {
+                return FrappError::InvalidRecord {
+                    reason: format!(
+                        "attribute {j} (`{}`) value {v} out of domain 0..{}",
+                        a.name(),
+                        a.cardinality()
+                    ),
+                };
+            }
+        }
+        unreachable!("out_of_domain_error called on a valid record")
     }
 
     /// Decodes a domain index back into a record.

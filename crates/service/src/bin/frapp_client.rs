@@ -151,6 +151,20 @@ fn run_metrics(args: Args) {
         report.ingest_rate, report.uptime_secs
     );
     println!("  reconstructions:         {}", report.reconstructions);
+    let batch = &report.ingest_batch_size;
+    if batch.count > 0 {
+        println!(
+            "  ingest batch size:       mean {:.1}, max {} records over {} batches",
+            batch.mean_us, batch.max_us, batch.count
+        );
+    }
+    let submit = &report.submit_latency;
+    if submit.count > 0 {
+        println!(
+            "  submit latency:          mean {:.1} µs, max {} µs over {} batches",
+            submit.mean_us, submit.max_us, submit.count
+        );
+    }
     let lat = &report.query_latency;
     if lat.count == 0 {
         println!("  query latency:           (no queries yet)");

@@ -283,6 +283,43 @@ impl Client {
             .collect()
     }
 
+    /// Parses one power-of-two histogram object from a metrics
+    /// response. Absent fields (an older server) yield an empty
+    /// summary rather than an error.
+    fn parse_histogram(v: &Value, key: &str) -> Result<LatencySummary> {
+        let Some(hist) = v.get(key) else {
+            return Ok(LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                max_us: 0,
+                buckets: Vec::new(),
+            });
+        };
+        let buckets = hist
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol(format!("`{key}` missing `buckets`")))?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                    ServiceError::Protocol("histogram buckets must be [bound, count] pairs".into())
+                })?;
+                match (pair[0].as_u64(), pair[1].as_u64()) {
+                    (Some(le), Some(c)) => Ok((le, c)),
+                    _ => Err(ServiceError::Protocol(
+                        "histogram bucket entries must be integers".into(),
+                    )),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LatencySummary {
+            count: hist.get("count").and_then(Value::as_u64).unwrap_or(0),
+            mean_us: hist.get("mean_us").and_then(Value::as_f64).unwrap_or(0.0),
+            max_us: hist.get("max_us").and_then(Value::as_u64).unwrap_or(0),
+            buckets,
+        })
+    }
+
     /// Fetches a session's operational metrics. Returns the report plus
     /// the session's all-time record total (which survives restarts,
     /// unlike the report's process-lifetime counters).
@@ -294,41 +331,20 @@ impl Client {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| ServiceError::Protocol(format!("metrics response missing `{key}`")))
         };
-        let latency = v.get("query_latency").ok_or_else(|| {
-            ServiceError::Protocol("metrics response missing `query_latency`".into())
-        })?;
-        let buckets = latency
-            .get("buckets")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ServiceError::Protocol("query_latency missing `buckets`".into()))?
-            .iter()
-            .map(|pair| {
-                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
-                    ServiceError::Protocol("latency buckets must be [bound, count] pairs".into())
-                })?;
-                match (pair[0].as_u64(), pair[1].as_u64()) {
-                    (Some(le), Some(c)) => Ok((le, c)),
-                    _ => Err(ServiceError::Protocol(
-                        "latency bucket entries must be integers".into(),
-                    )),
-                }
-            })
-            .collect::<Result<Vec<_>>>()?;
+        if v.get("query_latency").is_none() {
+            return Err(ServiceError::Protocol(
+                "metrics response missing `query_latency`".into(),
+            ));
+        }
         let report = MetricsReport {
             records_ingested: u64_field("records_ingested")?,
             batches: u64_field("batches")?,
             reconstructions: u64_field("reconstructions")?,
             uptime_secs: v.get("uptime_secs").and_then(Value::as_f64).unwrap_or(0.0),
             ingest_rate: v.get("ingest_rate").and_then(Value::as_f64).unwrap_or(0.0),
-            query_latency: LatencySummary {
-                count: latency.get("count").and_then(Value::as_u64).unwrap_or(0),
-                mean_us: latency
-                    .get("mean_us")
-                    .and_then(Value::as_f64)
-                    .unwrap_or(0.0),
-                max_us: latency.get("max_us").and_then(Value::as_u64).unwrap_or(0),
-                buckets,
-            },
+            query_latency: Self::parse_histogram(&v, "query_latency")?,
+            ingest_batch_size: Self::parse_histogram(&v, "ingest_batch_size")?,
+            submit_latency: Self::parse_histogram(&v, "submit_latency")?,
         };
         Ok((report, u64_field("total")?))
     }

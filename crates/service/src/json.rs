@@ -90,6 +90,13 @@ impl Value {
         out
     }
 
+    /// Serializes compact JSON into a caller-owned buffer (appended,
+    /// not cleared) — the connection loop reuses one response `String`
+    /// across requests instead of allocating a fresh one per reply.
+    pub fn write_json(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),

@@ -19,11 +19,14 @@
 //!   least-recently-used session — spilling it to the persistence
 //!   directory first, when configured — instead of growing without
 //!   bound.
-//! * [`persist`] — versioned JSON session snapshots: periodic, on
-//!   demand (the `persist` op), on LRU eviction and on clean shutdown;
-//!   `Server::bind` recovers them, preserving seed, shard layout and
-//!   each shard's RNG position so deterministic replay holds across
-//!   restarts.
+//! * [`persist`] — versioned JSON session snapshots: on demand (the
+//!   `persist` op), on LRU eviction and on clean shutdown, plus
+//!   *incremental* periodic flushes that append sparse per-shard delta
+//!   lines instead of rewriting whole count vectors. `Server::bind`
+//!   recovers them, restoring each shard's native RNG state words in
+//!   O(1) so deterministic replay holds across restarts with zero
+//!   fast-forward draws (v1 draw-count snapshots still recover via
+//!   replay).
 //! * [`metrics`] — per-session counters (ingest rate, reconstruction
 //!   count, query-latency histogram) behind the `metrics` op.
 //! * Reconstruction queries snapshot the merged counts and solve

@@ -2,15 +2,17 @@
 //!
 //! Every [`crate::session::CollectionSession`] owns a [`SessionMetrics`]
 //! that the hot paths update with plain relaxed atomics — an ingest
-//! batch costs two `fetch_add`s, a reconstruction one `fetch_add` plus a
-//! histogram bucket increment — so metering never serializes the
-//! lock-striped ingest path. The `metrics` protocol op snapshots the
-//! counters into a [`MetricsReport`].
+//! batch costs a handful of `fetch_add`s, a reconstruction one
+//! `fetch_add` plus a histogram bucket increment — so metering never
+//! serializes the lock-striped ingest path. The `metrics` protocol op
+//! snapshots the counters into a [`MetricsReport`].
 //!
-//! Query latency is kept as a power-of-two histogram over microseconds
-//! (bucket `k` counts latencies in `[2^(k-1), 2^k)` µs), which is exact
-//! enough to separate the O(n) closed form from a cold LU factorization
-//! while costing one atomic increment per observation.
+//! Three power-of-two histograms ride on the same machinery (bucket `k`
+//! counts values in `[2^(k-1), 2^k)`): reconstruction-query latency in
+//! microseconds, submit-batch latency in microseconds, and ingest batch
+//! *size* in records — the last two make ingest-throughput regressions
+//! observable in production without any extra hot-path cost beyond one
+//! atomic increment per batch.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -56,13 +58,19 @@ impl LatencyHistogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one duration observation (in microseconds).
     pub fn observe(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.observe_value(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one raw value observation. The histogram machinery is
+    /// unit-agnostic — the same buckets meter microseconds of latency
+    /// or records per batch; the field name documents the unit.
+    pub fn observe_value(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.sum_us.fetch_add(value, Ordering::Relaxed);
+        self.max_us.fetch_max(value, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the histogram.
@@ -119,6 +127,10 @@ pub struct SessionMetrics {
     batches: AtomicU64,
     reconstructions: AtomicU64,
     query_latency: LatencyHistogram,
+    /// Records per submit batch (power-of-two buckets over counts).
+    ingest_batch_size: LatencyHistogram,
+    /// Wall-clock per submit batch, µs (validation + encode + ingest).
+    submit_latency: LatencyHistogram,
 }
 
 impl Default for SessionMetrics {
@@ -136,15 +148,19 @@ impl SessionMetrics {
             batches: AtomicU64::new(0),
             reconstructions: AtomicU64::new(0),
             query_latency: LatencyHistogram::new(),
+            ingest_batch_size: LatencyHistogram::new(),
+            submit_latency: LatencyHistogram::new(),
         }
     }
 
-    /// Counts `records` ingested records in one batch. Called with the
-    /// *accepted* count, so a partially failed batch is metered by what
-    /// actually landed.
-    pub fn record_ingest(&self, records: u64) {
+    /// Counts `records` ingested records in one batch that took
+    /// `elapsed` to land. Called with the *accepted* count, so a
+    /// partially failed batch is metered by what actually landed.
+    pub fn record_ingest(&self, records: u64, elapsed: Duration) {
         self.records_ingested.fetch_add(records, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_batch_size.observe_value(records);
+        self.submit_latency.observe(elapsed);
     }
 
     /// Counts one reconstruction query and its latency.
@@ -168,6 +184,8 @@ impl SessionMetrics {
                 0.0
             },
             query_latency: self.query_latency.snapshot(),
+            ingest_batch_size: self.ingest_batch_size.snapshot(),
+            submit_latency: self.submit_latency.snapshot(),
         }
     }
 }
@@ -187,6 +205,11 @@ pub struct MetricsReport {
     pub ingest_rate: f64,
     /// Reconstruction-query latency distribution.
     pub query_latency: LatencySummary,
+    /// Records-per-batch distribution (bucket bounds are record
+    /// counts, not microseconds — the histogram machinery is shared).
+    pub ingest_batch_size: LatencySummary,
+    /// Submit-batch latency distribution, microseconds.
+    pub submit_latency: LatencySummary,
 }
 
 #[cfg(test)]
@@ -226,8 +249,8 @@ mod tests {
     #[test]
     fn session_metrics_report_accumulates() {
         let m = SessionMetrics::new();
-        m.record_ingest(100);
-        m.record_ingest(50);
+        m.record_ingest(100, Duration::from_micros(40));
+        m.record_ingest(50, Duration::from_micros(12));
         m.record_reconstruction(Duration::from_micros(10));
         let r = m.report();
         assert_eq!(r.records_ingested, 150);
@@ -236,6 +259,14 @@ mod tests {
         assert_eq!(r.query_latency.count, 1);
         assert!(r.uptime_secs >= 0.0);
         assert!(r.ingest_rate >= 0.0);
+        // Batch sizes land in the shared power-of-two buckets: 100
+        // records → bucket (128, 1); 50 → (64, 1).
+        assert_eq!(r.ingest_batch_size.count, 2);
+        assert_eq!(r.ingest_batch_size.max_us, 100);
+        assert_eq!(r.ingest_batch_size.buckets, vec![(64, 1), (128, 1)]);
+        // Submit latency metered per batch.
+        assert_eq!(r.submit_latency.count, 2);
+        assert_eq!(r.submit_latency.max_us, 40);
     }
 
     #[test]
@@ -246,5 +277,17 @@ mod tests {
         assert_eq!(r.query_latency.count, 0);
         assert_eq!(r.query_latency.mean_us, 0.0);
         assert!(r.query_latency.buckets.is_empty());
+        assert_eq!(r.ingest_batch_size.count, 0);
+        assert_eq!(r.submit_latency.count, 0);
+    }
+
+    #[test]
+    fn observe_value_and_observe_share_buckets() {
+        let h = LatencyHistogram::new();
+        h.observe(Duration::from_micros(5));
+        h.observe_value(5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets, vec![(8, 2)]);
     }
 }

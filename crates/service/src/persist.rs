@@ -3,20 +3,49 @@
 //! A long-lived collection server must survive restarts without losing
 //! the perturbed counts its clients streamed in. This module writes one
 //! self-describing JSON document per session — schema, mechanism, seed,
-//! and per-shard `(ingested, rng_draws, counts)` — and reads it back
-//! into a [`CollectionSession`] whose deterministic replay contract
-//! still holds: the shard layout and seed are preserved, and each
-//! shard's RNG is fast-forwarded to exactly the draw it would have made
-//! next before the restart.
+//! and per-shard `(ingested, rng_state, counts)` — plus an append-only
+//! *delta* file of sparse per-shard count increments, and reads them
+//! back into a [`CollectionSession`] whose deterministic replay
+//! contract still holds across the restart.
 //!
-//! ## Format (`frapp-session`, version 1)
+//! ## Format (`frapp-session`, version 2)
 //!
 //! ```json
-//! {"format":"frapp-session","version":1,"session":3,"seed":7,
+//! {"format":"frapp-session","version":2,"session":3,"seed":7,"flush_seq":4,
 //!  "mechanism":{"kind":"det","gamma":19.0},
 //!  "schema":[["age",8],["sex",2]],
-//!  "shards":[{"ingested":2,"rng_draws":2,"counts":[0,1,...]}]}
+//!  "shards":[{"ingested":2,"rng_draws":2,
+//!             "rng_state":["0x1a2b...","0x...","0x...","0x..."],
+//!             "counts":[0,1,...]}]}
 //! ```
+//!
+//! `rng_state` holds each shard generator's native xoshiro state words
+//! (hex strings — they exceed JSON's exact-integer range), so recovery
+//! restores the stream position in O(1) with **zero** fast-forward
+//! draws. Version-1 snapshots (which recorded only `rng_draws`) are
+//! still read: their recovery fast-forwards a freshly seeded generator
+//! by that many draws — exact, but O(draws).
+//!
+//! ## Incremental deltas (`session-<id>.delta.jsonl`)
+//!
+//! The periodic persister does not rewrite the whole count vector on
+//! every tick. After a full snapshot (sequence number `flush_seq`), each
+//! tick appends one line per *dirty* shard:
+//!
+//! ```json
+//! {"format":"frapp-session-delta","seq":4,"shard":0,"ingested":120,
+//!  "rng_draws":180,"rng_state":["0x..","0x..","0x..","0x.."],
+//!  "cells":[[3,2],[17,1]]}
+//! ```
+//!
+//! `cells` are the sparse count increments since the shard's previous
+//! flush; `ingested`/`rng_state` are the shard's absolute position
+//! after them. Recovery loads the base snapshot and replays, in order,
+//! every delta line whose `seq` matches the base's `flush_seq` — lines
+//! from an older base (a truncation that failed mid-crash) and a torn
+//! trailing line (a crash mid-append) are ignored. Any full snapshot
+//! (eviction spill, on-demand `persist`, clean shutdown) folds the
+//! deltas in, bumps `flush_seq` and removes the delta file.
 //!
 //! Counts are whole numbers by construction (every ingest adds exactly
 //! 1.0 to one cell) and the JSON writer emits integral `f64`s without a
@@ -30,6 +59,7 @@
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
 use crate::session::{CollectionSession, Mechanism, ShardDump};
+use crate::shard::ShardDelta;
 use frapp_core::Schema;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -37,8 +67,11 @@ use std::sync::Arc;
 
 /// The `format` discriminator written into every snapshot.
 pub const FORMAT: &str = "frapp-session";
-/// The snapshot format version this build writes and reads.
-pub const VERSION: u64 = 1;
+/// The `format` discriminator written into every delta line.
+pub const DELTA_FORMAT: &str = "frapp-session-delta";
+/// The snapshot format version this build writes. Version 1 (draw-count
+/// RNG recovery, no deltas) is still read.
+pub const VERSION: u64 = 2;
 
 /// The snapshot file name for a session id.
 pub fn session_file_name(id: u64) -> String {
@@ -48,6 +81,16 @@ pub fn session_file_name(id: u64) -> String {
 /// The snapshot path for a session id under `dir`.
 pub fn session_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(session_file_name(id))
+}
+
+/// The delta file name for a session id.
+pub fn delta_file_name(id: u64) -> String {
+    format!("session-{id}.delta.jsonl")
+}
+
+/// The delta file path for a session id under `dir`.
+pub fn delta_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(delta_file_name(id))
 }
 
 /// The session id encoded in a snapshot file name
@@ -102,8 +145,38 @@ fn parse_mechanism(v: &Value) -> Result<Mechanism> {
     }
 }
 
+/// RNG state words as an array of hex strings — they are full-range
+/// `u64`s, beyond the 2^53 span JSON numbers can carry exactly.
+fn state_words_value(words: [u64; 4]) -> Value {
+    Value::Array(
+        words
+            .iter()
+            .map(|w| Value::String(format!("{w:#x}")))
+            .collect(),
+    )
+}
+
+fn parse_state_words(v: &Value) -> Result<[u64; 4]> {
+    let arr = v
+        .as_array()
+        .filter(|a| a.len() == 4)
+        .ok_or_else(|| ServiceError::Snapshot("`rng_state` must be a 4-word array".into()))?;
+    let mut words = [0u64; 4];
+    for (slot, value) in words.iter_mut().zip(arr) {
+        let text = value
+            .as_str()
+            .and_then(|s| s.strip_prefix("0x"))
+            .ok_or_else(|| {
+                ServiceError::Snapshot("`rng_state` words must be 0x-prefixed hex strings".into())
+            })?;
+        *slot = u64::from_str_radix(text, 16)
+            .map_err(|_| ServiceError::Snapshot("invalid `rng_state` hex word".into()))?;
+    }
+    Ok(words)
+}
+
 /// Serializes one session into its snapshot document.
-fn snapshot_value(session: &CollectionSession) -> Value {
+fn snapshot_value(session: &CollectionSession, flush_seq: u64, dumps: &[ShardDump]) -> Value {
     let schema = Value::Array(
         session
             .schema()
@@ -113,16 +186,19 @@ fn snapshot_value(session: &CollectionSession) -> Value {
             .collect(),
     );
     let shards = Value::Array(
-        session
-            .dump_shards()
-            .into_iter()
+        dumps
+            .iter()
             .map(|d| {
                 object(vec![
                     ("ingested", d.ingested.into()),
                     ("rng_draws", d.rng_draws.into()),
                     (
+                        "rng_state",
+                        state_words_value(d.rng_state.expect("live dumps carry state words")),
+                    ),
+                    (
                         "counts",
-                        Value::Array(d.counts.into_iter().map(Value::Number).collect()),
+                        Value::Array(d.counts.iter().copied().map(Value::Number).collect()),
                     ),
                 ])
             })
@@ -133,23 +209,132 @@ fn snapshot_value(session: &CollectionSession) -> Value {
         ("version", VERSION.into()),
         ("session", session.id().into()),
         ("seed", session.seed().into()),
+        ("flush_seq", flush_seq.into()),
         ("mechanism", mechanism_value(session.mechanism())),
         ("schema", schema),
         ("shards", shards),
     ])
 }
 
+/// One delta line: sparse increments of one shard since its previous
+/// flush, plus the shard's absolute position after them.
+fn delta_line_value(seq: u64, delta: &ShardDelta) -> Value {
+    object(vec![
+        ("format", DELTA_FORMAT.into()),
+        ("seq", seq.into()),
+        ("shard", delta.shard.into()),
+        ("ingested", delta.ingested.into()),
+        ("rng_draws", delta.rng_draws.into()),
+        ("rng_state", state_words_value(delta.rng_state)),
+        (
+            "cells",
+            Value::Array(
+                delta
+                    .cells
+                    .iter()
+                    .map(|&(cell, inc)| Value::Array(vec![cell.into(), inc.into()]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Writes a session snapshot into `dir`, atomically (a uniquely named
 /// temp file + rename). Returns the snapshot path.
 ///
-/// Writes for one session are serialized through the session's persist
-/// gate, so concurrent writers (the periodic persister, an on-demand
-/// `persist` op, an eviction spill) cannot interleave; and a session
-/// that was explicitly closed refuses the write, so an in-flight
-/// periodic save cannot resurrect a snapshot that `close_session` just
-/// deleted.
+/// This is a *full* snapshot: pending per-shard deltas are folded in,
+/// the session's flush sequence is bumped and the delta file is
+/// removed, so the base file alone describes the session. Writes for
+/// one session are serialized through the session's persist gate, so
+/// concurrent writers (the periodic persister, an on-demand `persist`
+/// op, an eviction spill) cannot interleave; and a session that was
+/// explicitly closed refuses the write, so an in-flight periodic save
+/// cannot resurrect a snapshot that `close_session` just deleted.
 pub fn save_session(dir: &Path, session: &CollectionSession) -> Result<PathBuf> {
+    let _gate = session.persist_gate();
+    save_session_locked(dir, session)
+}
+
+/// [`save_session`] with the persist gate already held by the caller.
+fn save_session_locked(dir: &Path, session: &CollectionSession) -> Result<PathBuf> {
     static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    if session.is_closed() {
+        return Err(ServiceError::Snapshot(format!(
+            "session {} is closed; not writing a snapshot",
+            session.id()
+        )));
+    }
+    let seq = session.persist_seq() + 1;
+    // Drain pending deltas under the shard locks: the full dump
+    // includes their increments, so they must not be re-flushed on top
+    // of the new base. If the write fails they are restored, keeping
+    // the delta stream over the previous base complete.
+    let (dumps, drained) = session.dump_shards_flushing();
+    let write = (|| -> Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = session_path(dir, session.id());
+        let tmp = dir.join(format!(
+            ".{}.{}.{}.tmp",
+            session_file_name(session.id()),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(snapshot_value(session, seq, &dumps).to_json().as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    })();
+    match write {
+        Ok(path) => {
+            session.set_persist_seq(seq);
+            session.clear_needs_full_snapshot();
+            // The new base supersedes every prior delta. A failed
+            // removal is harmless: stale lines carry an older `seq`
+            // and are ignored at load.
+            let _ = std::fs::remove_file(delta_path(dir, session.id()));
+            Ok(path)
+        }
+        Err(e) => {
+            session.restore_deltas(&drained);
+            Err(e)
+        }
+    }
+}
+
+/// What one incremental flush did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// No base snapshot existed yet, so a full one was written.
+    FullSnapshot,
+    /// This many dirty shards appended delta lines.
+    Deltas(usize),
+    /// Nothing to do — no shard was dirtied since the last flush.
+    Clean,
+}
+
+/// The periodic persister's entry point: flushes a session
+/// *incrementally*. The first flush of a session — and the first flush
+/// after a recovery — writes a full base snapshot; later flushes
+/// append one sparse delta line per dirty shard (O(cells touched) on
+/// disk, instead of rewriting the whole count vector; the in-memory
+/// scan per dirty shard is O(domain), same as the count dump a full
+/// save would pay). A failed append restores the drained deltas so no
+/// increment is ever dropped from the stream.
+///
+/// The post-recovery full save matters for durability: a recovered
+/// session's delta file may end in a torn line (a crash mid-append),
+/// and lines appended *behind* a torn tail would be unreachable to
+/// every later recovery, which stops reading there. The fresh base
+/// bumps the sequence and removes the old delta file, so new deltas
+/// always land in a clean stream.
+pub fn persist_session_incremental(
+    dir: &Path,
+    session: &CollectionSession,
+) -> Result<FlushOutcome> {
     let _gate = session.persist_gate();
     if session.is_closed() {
         return Err(ServiceError::Snapshot(format!(
@@ -157,30 +342,47 @@ pub fn save_session(dir: &Path, session: &CollectionSession) -> Result<PathBuf> 
             session.id()
         )));
     }
-    std::fs::create_dir_all(dir)?;
-    let path = session_path(dir, session.id());
-    let tmp = dir.join(format!(
-        ".{}.{}.{}.tmp",
-        session_file_name(session.id()),
-        std::process::id(),
-        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-    ));
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(snapshot_value(session).to_json().as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_all()?;
+    if session.persist_seq() == 0 || session.needs_full_snapshot() {
+        save_session_locked(dir, session)?;
+        return Ok(FlushOutcome::FullSnapshot);
     }
-    std::fs::rename(&tmp, &path)?;
-    Ok(path)
+    let deltas = session.take_dirty_deltas();
+    if deltas.is_empty() {
+        return Ok(FlushOutcome::Clean);
+    }
+    let seq = session.persist_seq();
+    let append = (|| -> Result<()> {
+        let mut text = String::new();
+        for delta in &deltas {
+            delta_line_value(seq, delta).write_json(&mut text);
+            text.push('\n');
+        }
+        let mut file = std::fs::File::options()
+            .create(true)
+            .append(true)
+            .open(delta_path(dir, session.id()))?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    match append {
+        Ok(()) => Ok(FlushOutcome::Deltas(deltas.len())),
+        Err(e) => {
+            session.restore_deltas(&deltas);
+            Err(e)
+        }
+    }
 }
 
-/// Deletes a session's snapshot (used when a session is explicitly
-/// closed, so it does not resurrect on the next restart). Returns
-/// whether a file was actually removed — `close_session` uses this to
-/// report closure of a session that was already LRU-evicted to disk.
+/// Deletes a session's snapshot and delta files (used when a session is
+/// explicitly closed, so it does not resurrect on the next restart).
+/// Returns whether a base snapshot was actually removed —
+/// `close_session` uses this to report closure of a session that was
+/// already LRU-evicted to disk.
 pub fn remove_session_file(dir: &Path, id: u64) -> bool {
-    std::fs::remove_file(session_path(dir, id)).is_ok()
+    let removed = std::fs::remove_file(session_path(dir, id)).is_ok();
+    let _ = std::fs::remove_file(delta_path(dir, id));
+    removed
 }
 
 /// Deletes orphaned `.tmp` snapshot files left by a crash mid-write
@@ -204,7 +406,73 @@ pub fn sweep_temp_files(dir: &Path) -> usize {
     swept
 }
 
-/// Loads one snapshot file into a session.
+/// Replays matching delta lines from `session-<id>.delta.jsonl` onto
+/// the base dumps. Lines whose `seq` differs from the base's
+/// `flush_seq` are skipped (stale — an older base's deltas whose
+/// truncation was lost in a crash); parsing stops at the first
+/// unparseable line (a torn tail from a crash mid-append).
+fn apply_deltas(dir: &Path, id: u64, flush_seq: u64, dumps: &mut [ShardDump]) -> Result<()> {
+    let text = match std::fs::read_to_string(delta_path(dir, id)) {
+        Ok(text) => text,
+        Err(_) => return Ok(()), // no deltas — the base stands alone
+    };
+    for line in text.lines() {
+        let Ok(v) = json::parse(line.trim()) else {
+            break; // torn tail
+        };
+        if v.get("format").and_then(Value::as_str) != Some(DELTA_FORMAT) {
+            return Err(ServiceError::Snapshot(format!(
+                "{} contains a non-delta line",
+                delta_path(dir, id).display()
+            )));
+        }
+        if v.get("seq").and_then(Value::as_u64) != Some(flush_seq) {
+            continue; // stale line from a superseded base
+        }
+        let shard = v
+            .get("shard")
+            .and_then(Value::as_usize)
+            .filter(|&s| s < dumps.len())
+            .ok_or_else(|| {
+                ServiceError::Snapshot("delta line has a missing or out-of-range `shard`".into())
+            })?;
+        let dump = &mut dumps[shard];
+        for pair in v
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Snapshot("delta line is missing `cells`".into()))?
+        {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::Snapshot("delta cells must be [cell, increment] pairs".into())
+            })?;
+            let cell = pair[0]
+                .as_usize()
+                .filter(|&c| c < dump.counts.len())
+                .ok_or_else(|| {
+                    ServiceError::Snapshot("delta cell index out of the schema domain".into())
+                })?;
+            let inc = pair[1].as_u64().ok_or_else(|| {
+                ServiceError::Snapshot("delta increments must be integers".into())
+            })?;
+            dump.counts[cell] += inc as f64;
+        }
+        dump.ingested = v
+            .get("ingested")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ServiceError::Snapshot("delta line is missing `ingested`".into()))?;
+        dump.rng_draws = v
+            .get("rng_draws")
+            .and_then(Value::as_u64)
+            .unwrap_or(dump.rng_draws);
+        dump.rng_state = Some(parse_state_words(v.get("rng_state").ok_or_else(|| {
+            ServiceError::Snapshot("delta line is missing `rng_state`".into())
+        })?)?);
+    }
+    Ok(())
+}
+
+/// Loads one snapshot file (and, for v2 bases, its delta file) into a
+/// session.
 ///
 /// `max_session_domain` enforces the same memory bound `create_session`
 /// applies: a snapshot whose schema exceeds it (written under a looser
@@ -223,14 +491,14 @@ pub fn load_session(
             path.display()
         )));
     }
-    match v.get("version").and_then(Value::as_u64) {
-        Some(VERSION) => {}
+    let version = match v.get("version").and_then(Value::as_u64) {
+        Some(version @ (1 | 2)) => version,
         other => {
             return Err(ServiceError::Snapshot(format!(
-                "unsupported snapshot version {other:?} (this build reads {VERSION})"
+                "unsupported snapshot version {other:?} (this build reads 1 and {VERSION})"
             )))
         }
-    }
+    };
     let id = v
         .get("session")
         .and_then(Value::as_u64)
@@ -269,7 +537,7 @@ pub fn load_session(
             max_session_domain
         )));
     }
-    let dumps =
+    let mut dumps =
         v.get("shards")
             .and_then(Value::as_array)
             .ok_or_else(|| ServiceError::Snapshot("missing `shards` array".into()))?
@@ -285,6 +553,17 @@ pub fn load_session(
                             .ok_or_else(|| ServiceError::Snapshot("counts must be numbers".into()))
                     })
                     .collect::<Result<Vec<f64>>>()?;
+                // v2 shards must carry state words (O(1) recovery);
+                // v1 shards recover by draw-count fast-forward.
+                let rng_state = match (version, s.get("rng_state")) {
+                    (1, _) => None,
+                    (_, Some(words)) => Some(parse_state_words(words)?),
+                    (_, None) => {
+                        return Err(ServiceError::Snapshot(
+                            "v2 shard is missing `rng_state`".into(),
+                        ))
+                    }
+                };
                 Ok(ShardDump {
                     ingested: s.get("ingested").and_then(Value::as_u64).ok_or_else(|| {
                         ServiceError::Snapshot("shard is missing `ingested`".into())
@@ -292,11 +571,20 @@ pub fn load_session(
                     rng_draws: s.get("rng_draws").and_then(Value::as_u64).ok_or_else(|| {
                         ServiceError::Snapshot("shard is missing `rng_draws`".into())
                     })?,
+                    rng_state,
                     counts,
                 })
             })
             .collect::<Result<Vec<_>>>()?;
-    CollectionSession::recover(id, schema, mechanism, seed, max_dense_domain, dumps)
+    let flush_seq = v.get("flush_seq").and_then(Value::as_u64).unwrap_or(0);
+    if version >= 2 {
+        if let Some(dir) = path.parent() {
+            apply_deltas(dir, id, flush_seq, &mut dumps)?;
+        }
+    }
+    let session = CollectionSession::recover(id, schema, mechanism, seed, max_dense_domain, dumps)?;
+    session.set_persist_seq(flush_seq);
+    Ok(session)
 }
 
 /// Loads every parseable snapshot in `dir`, ordered oldest snapshot
@@ -394,6 +682,9 @@ mod tests {
         assert_eq!(recovered.mechanism(), original.mechanism());
         assert_eq!(recovered.num_shards(), 2);
         assert_eq!(recovered.dump_shards(), original.dump_shards());
+        assert_eq!(recovered.persist_seq(), original.persist_seq());
+        // v2 recovery restores native state words: zero fast-forward.
+        assert_eq!(recovered.recovery_fast_forward_draws(), 0);
         assert_eq!(
             recovered
                 .reconstruct(ReconstructionMethod::ClosedForm, false)
@@ -404,6 +695,212 @@ mod tests {
                 .unwrap()
                 .estimates
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_recovery_continues_the_stream_bit_exactly() {
+        let dir = temp_dir("v2-replay");
+        let more: Vec<Vec<u32>> = (0..300).map(|i| vec![(i + 1) % 3, i % 2]).collect();
+
+        // Uninterrupted reference.
+        let reference = sample_session(8);
+        // Interrupted twin, persisted and recovered via state words.
+        let twin = sample_session(8);
+        let path = save_session(&dir, &twin).unwrap();
+        let recovered = load_session(&path, 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.recovery_fast_forward_draws(), 0);
+
+        reference.submit_batch_to_shard(0, &more, false).unwrap();
+        recovered.submit_batch_to_shard(0, &more, false).unwrap();
+        assert_eq!(
+            recovered.snapshot().counts(),
+            reference.snapshot().counts(),
+            "post-restart raw ingest must replay the identical draws"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_snapshots_still_recover_via_fast_forward() {
+        let dir = temp_dir("v1-compat");
+        let original = sample_session(5);
+        // Hand-write the v1 format: rng_draws only, no rng_state, no
+        // flush_seq — exactly what a PR-2 server left on disk.
+        let dumps = original.dump_shards();
+        let shards_json: Vec<String> = dumps
+            .iter()
+            .map(|d| {
+                let counts: Vec<String> =
+                    d.counts.iter().map(|c| format!("{}", *c as u64)).collect();
+                format!(
+                    r#"{{"ingested":{},"rng_draws":{},"counts":[{}]}}"#,
+                    d.ingested,
+                    d.rng_draws,
+                    counts.join(",")
+                )
+            })
+            .collect();
+        let v1 = format!(
+            r#"{{"format":"frapp-session","version":1,"session":5,"seed":{},"mechanism":{{"kind":"det","gamma":19.0}},"schema":[["a",3],["b",2]],"shards":[{}]}}"#,
+            original.seed(),
+            shards_json.join(",")
+        );
+        let path = session_path(&dir, 5);
+        std::fs::write(&path, v1).unwrap();
+
+        let recovered = load_session(&path, 4096, 1 << 24).unwrap();
+        // v1 recovery pays the O(draws) fast-forward and reports it.
+        let total_draws: u64 = dumps.iter().map(|d| d.rng_draws).sum();
+        assert!(total_draws > 0, "raw ingest must have consumed draws");
+        assert_eq!(recovered.recovery_fast_forward_draws(), total_draws);
+        assert_eq!(recovered.persist_seq(), 0, "v1 bases force a full resave");
+
+        // Continued raw ingest matches the uninterrupted session.
+        let more: Vec<Vec<u32>> = (0..250).map(|i| vec![(i + 2) % 3, i % 2]).collect();
+        original.submit_batch_to_shard(0, &more, false).unwrap();
+        recovered.submit_batch_to_shard(0, &more, false).unwrap();
+        assert_eq!(recovered.snapshot().counts(), original.snapshot().counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_flushes_append_deltas_instead_of_rewriting() {
+        let dir = temp_dir("incremental");
+        let session = sample_session(11);
+        // First flush: no base yet → full snapshot.
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::FullSnapshot
+        );
+        let base_len = std::fs::metadata(session_path(&dir, 11)).unwrap().len();
+        // Clean session → nothing written.
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::Clean
+        );
+        assert!(!delta_path(&dir, 11).exists());
+
+        // Two dirty flushes append deltas; the base never changes.
+        session
+            .submit_batch_to_shard(0, &[vec![1, 1], vec![2, 0]], true)
+            .unwrap();
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::Deltas(1)
+        );
+        session
+            .submit_batch_to_shard(1, &[vec![0, 1]], false)
+            .unwrap();
+        session
+            .submit_batch_to_shard(0, &[vec![1, 0]], true)
+            .unwrap();
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::Deltas(2)
+        );
+        assert_eq!(
+            std::fs::metadata(session_path(&dir, 11)).unwrap().len(),
+            base_len,
+            "incremental flushes must not rewrite the base snapshot"
+        );
+        assert!(delta_path(&dir, 11).exists());
+
+        // Recovery = base + deltas, bit-identical to the live session.
+        let recovered = load_session(&session_path(&dir, 11), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        assert_eq!(recovered.recovery_fast_forward_draws(), 0);
+
+        // A later full save folds the deltas in and removes the file.
+        save_session(&dir, &session).unwrap();
+        assert!(!delta_path(&dir, 11).exists());
+        let recovered = load_session(&session_path(&dir, 11), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_and_torn_delta_lines_are_ignored() {
+        let dir = temp_dir("delta-robust");
+        let session = sample_session(12);
+        save_session(&dir, &session).unwrap();
+        session
+            .submit_batch_to_shard(0, &[vec![1, 1]], true)
+            .unwrap();
+        persist_session_incremental(&dir, &session).unwrap();
+        let good_deltas = std::fs::read_to_string(delta_path(&dir, 12)).unwrap();
+
+        // Simulate a crash that lost the delta-file truncation: a full
+        // save supersedes the deltas, but the old file resurfaces.
+        save_session(&dir, &session).unwrap();
+        assert!(!delta_path(&dir, 12).exists());
+        std::fs::write(delta_path(&dir, 12), &good_deltas).unwrap();
+        let recovered = load_session(&session_path(&dir, 12), 4096, 1 << 24).unwrap();
+        assert_eq!(
+            recovered.dump_shards(),
+            session.dump_shards(),
+            "stale-seq delta lines must not be double-applied"
+        );
+
+        // A torn tail (crash mid-append) is ignored; lines before it
+        // still apply.
+        session
+            .submit_batch_to_shard(1, &[vec![2, 1]], true)
+            .unwrap();
+        persist_session_incremental(&dir, &session).unwrap();
+        let mut text = std::fs::read_to_string(delta_path(&dir, 12)).unwrap();
+        text.push_str("{\"format\":\"frapp-session-delta\",\"seq\":");
+        std::fs::write(delta_path(&dir, 12), text).unwrap();
+        let recovered = load_session(&session_path(&dir, 12), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_forces_a_fresh_base_so_torn_tails_cannot_swallow_new_deltas() {
+        // Crash story: server A appends a delta and dies mid-append
+        // (torn tail). Server B recovers — if B then appended new
+        // deltas behind the torn line, every later recovery (which
+        // stops reading at the torn line) would silently lose them.
+        // B's first flush must therefore be a full snapshot that
+        // removes the old delta file.
+        let dir = temp_dir("torn-durability");
+        let session = sample_session(14);
+        save_session(&dir, &session).unwrap();
+        session
+            .submit_batch_to_shard(0, &[vec![1, 1]], true)
+            .unwrap();
+        persist_session_incremental(&dir, &session).unwrap();
+        let mut text = std::fs::read_to_string(delta_path(&dir, 14)).unwrap();
+        text.push_str("{\"format\":\"frapp-session-delta\",\"se"); // torn
+        std::fs::write(delta_path(&dir, 14), text).unwrap();
+
+        // Server B: recover, ingest, flush. The flush must be full.
+        let recovered = load_session(&session_path(&dir, 14), 4096, 1 << 24).unwrap();
+        assert!(recovered.needs_full_snapshot());
+        recovered
+            .submit_batch_to_shard(1, &[vec![2, 0]], true)
+            .unwrap();
+        assert_eq!(
+            persist_session_incremental(&dir, &recovered).unwrap(),
+            FlushOutcome::FullSnapshot
+        );
+        assert!(
+            !delta_path(&dir, 14).exists(),
+            "the fresh base must remove the torn delta file"
+        );
+        assert!(!recovered.needs_full_snapshot());
+
+        // Later deltas land in a clean stream and survive recovery.
+        recovered
+            .submit_batch_to_shard(0, &[vec![0, 1]], true)
+            .unwrap();
+        assert_eq!(
+            persist_session_incremental(&dir, &recovered).unwrap(),
+            FlushOutcome::Deltas(1)
+        );
+        let again = load_session(&session_path(&dir, 14), 4096, 1 << 24).unwrap();
+        assert_eq!(again.dump_shards(), recovered.dump_shards());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -498,6 +995,9 @@ mod tests {
         let err = save_session(&dir, &closed).unwrap_err();
         assert!(err.to_string().contains("closed"), "{err}");
         assert!(!session_path(&dir, closed.id()).exists());
+        // The incremental path refuses identically.
+        let err = persist_session_incremental(&dir, &closed).unwrap_err();
+        assert!(err.to_string().contains("closed"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -532,21 +1032,68 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_incremental_and_full_flushes_stay_consistent() {
+        // The persist gate serializes delta appends with full saves, so
+        // racing them must never lose an increment or double-apply one.
+        let dir = temp_dir("concurrent-inc");
+        let session = std::sync::Arc::new(sample_session(13));
+        save_session(&dir, &session).unwrap();
+        std::thread::scope(|scope| {
+            let ingest = std::sync::Arc::clone(&session);
+            scope.spawn(move || {
+                for i in 0..40u32 {
+                    ingest
+                        .submit_batch_to_shard(0, &[vec![i % 3, i % 2]], true)
+                        .unwrap();
+                }
+            });
+            let flusher = std::sync::Arc::clone(&session);
+            let flush_dir = dir.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    persist_session_incremental(&flush_dir, &flusher).unwrap();
+                }
+            });
+            let saver = std::sync::Arc::clone(&session);
+            let save_dir = dir.clone();
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    save_session(&save_dir, &saver).unwrap();
+                }
+            });
+        });
+        // Final flush captures any remaining dirty state.
+        persist_session_incremental(&dir, &session).unwrap();
+        let recovered = load_session(&session_path(&dir, 13), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn session_ids_parse_from_file_names() {
         assert_eq!(session_id_from_file_name("session-42.json"), Some(42));
         assert_eq!(session_id_from_file_name(&session_file_name(7)), Some(7));
         assert_eq!(session_id_from_file_name("session-.json"), None);
         assert_eq!(session_id_from_file_name("session-42.json.tmp"), None);
+        // Delta files never parse as (and thus never shadow) a base.
+        assert_eq!(session_id_from_file_name(&delta_file_name(42)), None);
         assert_eq!(session_id_from_file_name("other.json"), None);
     }
 
     #[test]
-    fn close_removes_snapshot_files() {
+    fn close_removes_snapshot_and_delta_files() {
         let dir = temp_dir("remove");
-        let path = save_session(&dir, &sample_session(4)).unwrap();
+        let session = sample_session(4);
+        let path = save_session(&dir, &session).unwrap();
+        session
+            .submit_batch_to_shard(0, &[vec![0, 0]], true)
+            .unwrap();
+        persist_session_incremental(&dir, &session).unwrap();
         assert!(path.exists());
+        assert!(delta_path(&dir, 4).exists());
         remove_session_file(&dir, 4);
         assert!(!path.exists());
+        assert!(!delta_path(&dir, 4).exists());
         remove_session_file(&dir, 4); // idempotent
         std::fs::remove_dir_all(&dir).ok();
     }

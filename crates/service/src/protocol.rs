@@ -32,10 +32,77 @@
 
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::metrics::MetricsReport;
+use crate::metrics::{LatencySummary, MetricsReport};
 use crate::session::{
     Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
 };
+
+/// A batch of records in one flat `u32` buffer.
+///
+/// The wire layer parses `"records":[[..],[..]]` straight into one
+/// values vector plus an offsets vector (`offsets[i]..offsets[i+1]`
+/// delimits record `i`), instead of allocating a `Vec<u32>` per record.
+/// Records may be ragged — length validation happens against the
+/// session schema at ingest, preserving the partial-batch contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    values: Vec<u32>,
+    /// `len + 1` entries; `offsets[0] == 0`.
+    offsets: Vec<usize>,
+}
+
+/// Same as [`RecordBatch::new`] — a derived `Default` would produce an
+/// empty `offsets`, violating the `len + 1` invariant.
+impl Default for RecordBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RecordBatch {
+            values: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Builds a batch from per-record rows (test/client convenience).
+    pub fn from_rows(rows: &[Vec<u32>]) -> Self {
+        let mut batch = RecordBatch::new();
+        for row in rows {
+            batch.push(row);
+        }
+        batch
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &[u32]) {
+        self.values.extend_from_slice(record);
+        self.offsets.push(self.values.len());
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record `i` as a slice.
+    pub fn get(&self, i: usize) -> &[u32] {
+        &self.values[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates the records as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.offsets.windows(2).map(|w| &self.values[w[0]..w[1]])
+    }
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,8 +125,8 @@ pub enum Request {
     Submit {
         /// Target session id.
         session: u64,
-        /// The records, one array of attribute values each.
-        records: Vec<Vec<u32>>,
+        /// The records, as one flat buffer.
+        records: RecordBatch,
         /// Whether the records were already perturbed client-side.
         pre_perturbed: bool,
         /// Pin the batch to a specific shard (round-robin when `None`).
@@ -190,28 +257,31 @@ fn parse_mechanism(v: &Value) -> Result<Mechanism> {
     }
 }
 
-fn parse_records(v: &Value) -> Result<Vec<Vec<u32>>> {
+fn parse_records(v: &Value) -> Result<RecordBatch> {
     let arr = require(v, "records")?
         .as_array()
         .ok_or_else(|| ServiceError::InvalidRequest("`records` must be an array".into()))?;
-    arr.iter()
-        .map(|rec| {
-            rec.as_array()
-                .ok_or_else(|| ServiceError::InvalidRequest("each record must be an array".into()))?
-                .iter()
-                .map(|cell| {
-                    cell.as_u64()
-                        .filter(|&c| c <= u32::MAX as u64)
-                        .map(|c| c as u32)
-                        .ok_or_else(|| {
-                            ServiceError::InvalidRequest(
-                                "record values must be non-negative integers".into(),
-                            )
-                        })
-                })
-                .collect()
-        })
-        .collect()
+    let mut batch = RecordBatch::new();
+    let mut row = Vec::new();
+    for rec in arr {
+        let cells = rec
+            .as_array()
+            .ok_or_else(|| ServiceError::InvalidRequest("each record must be an array".into()))?;
+        row.clear();
+        for cell in cells {
+            let c = cell
+                .as_u64()
+                .filter(|&c| c <= u32::MAX as u64)
+                .ok_or_else(|| {
+                    ServiceError::InvalidRequest(
+                        "record values must be non-negative integers".into(),
+                    )
+                })?;
+            row.push(c as u32);
+        }
+        batch.push(&row);
+    }
+    Ok(batch)
 }
 
 /// Parses one request line.
@@ -285,11 +355,19 @@ pub fn parse_request(line: &str) -> Result<Request> {
     }
 }
 
-/// `{"ok":true}` plus extra fields.
-pub fn ok_response(extra: Vec<(&str, Value)>) -> String {
+/// Writes `{"ok":true}` plus extra fields into a reusable buffer
+/// (appended, not cleared).
+pub fn write_ok_response(out: &mut String, extra: Vec<(&str, Value)>) {
     let mut pairs = vec![("ok", Value::Bool(true))];
     pairs.extend(extra);
-    object(pairs).to_json()
+    object(pairs).write_json(out);
+}
+
+/// `{"ok":true}` plus extra fields.
+pub fn ok_response(extra: Vec<(&str, Value)>) -> String {
+    let mut out = String::new();
+    write_ok_response(&mut out, extra);
+    out
 }
 
 /// `{"ok":false,"error":...}` for any service error. A
@@ -298,96 +376,153 @@ pub fn ok_response(extra: Vec<(&str, Value)>) -> String {
 /// counted — so clients can retry just the remainder instead of
 /// double-counting the prefix.
 pub fn error_response(err: &ServiceError) -> String {
+    let mut out = String::new();
+    write_error_response(&mut out, err);
+    out
+}
+
+/// [`error_response`] into a reusable buffer.
+pub fn write_error_response(out: &mut String, err: &ServiceError) {
     let mut pairs = vec![("ok", false.into()), ("error", err.to_string().into())];
     if let ServiceError::PartialBatch { accepted, .. } = err {
         pairs.push(("accepted", (*accepted).into()));
     }
-    object(pairs).to_json()
+    object(pairs).write_json(out);
+}
+
+/// Writes the response payload for a successful `reconstruct`.
+pub fn write_reconstruction_response(out: &mut String, rec: &Reconstruction) {
+    write_ok_response(
+        out,
+        vec![
+            ("n", rec.n.into()),
+            ("method", rec.method.wire_name().into()),
+            ("lu_cache_hit", rec.lu_cache_hit.into()),
+            (
+                "estimates",
+                Value::Array(rec.estimates.iter().map(|&e| Value::Number(e)).collect()),
+            ),
+        ],
+    )
 }
 
 /// Response payload for a successful `reconstruct`.
 pub fn reconstruction_response(rec: &Reconstruction) -> String {
-    ok_response(vec![
-        ("n", rec.n.into()),
-        ("method", rec.method.wire_name().into()),
-        ("lu_cache_hit", rec.lu_cache_hit.into()),
-        (
-            "estimates",
-            Value::Array(rec.estimates.iter().map(|&e| Value::Number(e)).collect()),
-        ),
-    ])
+    let mut out = String::new();
+    write_reconstruction_response(&mut out, rec);
+    out
+}
+
+/// Writes the response payload for a successful `stats`.
+pub fn write_stats_response(out: &mut String, stats: &SessionStats) {
+    write_ok_response(
+        out,
+        vec![
+            ("total", stats.total.into()),
+            (
+                "per_shard",
+                Value::Array(stats.per_shard.iter().map(|&c| c.into()).collect()),
+            ),
+        ],
+    )
 }
 
 /// Response payload for a successful `stats`.
 pub fn stats_response(stats: &SessionStats) -> String {
-    ok_response(vec![
-        ("total", stats.total.into()),
-        (
-            "per_shard",
-            Value::Array(stats.per_shard.iter().map(|&c| c.into()).collect()),
-        ),
-    ])
+    let mut out = String::new();
+    write_stats_response(&mut out, stats);
+    out
 }
 
 /// Response payload for a successful `metrics`. `total` is the
 /// all-time record count (across restarts); the report's own counters
 /// cover this process's lifetime.
 pub fn metrics_response(session: u64, total: u64, report: &MetricsReport) -> String {
-    let latency = object(vec![
-        ("count", report.query_latency.count.into()),
-        ("mean_us", report.query_latency.mean_us.into()),
-        ("max_us", report.query_latency.max_us.into()),
+    let mut out = String::new();
+    write_metrics_response(&mut out, session, total, report);
+    out
+}
+
+/// A power-of-two histogram summary as a wire object. The field names
+/// say `us` for compatibility; for `ingest_batch_size` the unit is
+/// records per batch.
+fn histogram_value(summary: &LatencySummary) -> Value {
+    object(vec![
+        ("count", summary.count.into()),
+        ("mean_us", summary.mean_us.into()),
+        ("max_us", summary.max_us.into()),
         (
             "buckets",
             Value::Array(
-                report
-                    .query_latency
+                summary
                     .buckets
                     .iter()
                     .map(|&(le, c)| Value::Array(vec![le.into(), c.into()]))
                     .collect(),
             ),
         ),
-    ]);
-    ok_response(vec![
-        ("session", session.into()),
-        ("total", total.into()),
-        ("records_ingested", report.records_ingested.into()),
-        ("batches", report.batches.into()),
-        ("reconstructions", report.reconstructions.into()),
-        ("uptime_secs", report.uptime_secs.into()),
-        ("ingest_rate", report.ingest_rate.into()),
-        ("query_latency", latency),
     ])
+}
+
+/// [`metrics_response`] into a reusable buffer.
+pub fn write_metrics_response(out: &mut String, session: u64, total: u64, report: &MetricsReport) {
+    write_ok_response(
+        out,
+        vec![
+            ("session", session.into()),
+            ("total", total.into()),
+            ("records_ingested", report.records_ingested.into()),
+            ("batches", report.batches.into()),
+            ("reconstructions", report.reconstructions.into()),
+            ("uptime_secs", report.uptime_secs.into()),
+            ("ingest_rate", report.ingest_rate.into()),
+            ("query_latency", histogram_value(&report.query_latency)),
+            (
+                "ingest_batch_size",
+                histogram_value(&report.ingest_batch_size),
+            ),
+            ("submit_latency", histogram_value(&report.submit_latency)),
+        ],
+    )
 }
 
 /// Response payload for a successful `list_sessions`: the bare id array
 /// (stable since PR 1) plus a `detail` array of per-session summaries.
 pub fn list_response(summaries: &[SessionSummary]) -> String {
-    ok_response(vec![
-        (
-            "sessions",
-            Value::Array(summaries.iter().map(|s| s.id.into()).collect()),
-        ),
-        (
-            "detail",
-            Value::Array(
-                summaries
-                    .iter()
-                    .map(|s| {
-                        object(vec![
-                            ("session", s.id.into()),
-                            ("domain_size", s.domain_size.into()),
-                            ("shards", s.shards.into()),
-                            ("gamma", s.gamma.into()),
-                            ("total", s.total.into()),
-                            ("reconstructions", s.reconstructions.into()),
-                        ])
-                    })
-                    .collect(),
+    let mut out = String::new();
+    write_list_response(&mut out, summaries);
+    out
+}
+
+/// [`list_response`] into a reusable buffer.
+pub fn write_list_response(out: &mut String, summaries: &[SessionSummary]) {
+    write_ok_response(
+        out,
+        vec![
+            (
+                "sessions",
+                Value::Array(summaries.iter().map(|s| s.id.into()).collect()),
             ),
-        ),
-    ])
+            (
+                "detail",
+                Value::Array(
+                    summaries
+                        .iter()
+                        .map(|s| {
+                            object(vec![
+                                ("session", s.id.into()),
+                                ("domain_size", s.domain_size.into()),
+                                ("shards", s.shards.into()),
+                                ("gamma", s.gamma.into()),
+                                ("total", s.total.into()),
+                                ("reconstructions", s.reconstructions.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ],
+    )
 }
 
 #[cfg(test)]
@@ -464,11 +599,25 @@ mod tests {
             req,
             Request::Submit {
                 session: 3,
-                records: vec![vec![0, 1], vec![2, 0]],
+                records: RecordBatch::from_rows(&[vec![0, 1], vec![2, 0]]),
                 pre_perturbed: false,
                 shard: None,
             }
         );
+    }
+
+    #[test]
+    fn record_batch_flat_buffer_round_trips_rows() {
+        let rows = vec![vec![0u32, 1], vec![2, 0, 5], vec![], vec![7]];
+        let batch = RecordBatch::from_rows(&rows);
+        assert_eq!(batch.len(), 4);
+        assert!(!batch.is_empty());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batch.get(i), row.as_slice());
+        }
+        let collected: Vec<Vec<u32>> = batch.iter().map(<[u32]>::to_vec).collect();
+        assert_eq!(collected, rows);
+        assert!(RecordBatch::new().is_empty());
     }
 
     #[test]

@@ -12,8 +12,8 @@ use crate::error::{Result, ServiceError};
 use crate::json::Value;
 use crate::persist;
 use crate::protocol::{
-    error_response, list_response, metrics_response, ok_response, parse_request,
-    reconstruction_response, stats_response, Request,
+    parse_request, write_error_response, write_list_response, write_metrics_response,
+    write_ok_response, write_reconstruction_response, write_stats_response, Request,
 };
 use crate::session::SessionRegistry;
 use frapp_core::Schema;
@@ -169,7 +169,7 @@ impl Server {
                 std::thread::sleep(tick);
                 since_last += tick;
                 if since_last >= interval {
-                    persist_all_sessions_best_effort(&dir, &registry);
+                    persist_all_sessions_incremental_best_effort(&dir, &registry);
                     since_last = std::time::Duration::ZERO;
                 }
             }
@@ -233,10 +233,21 @@ fn handle_connection(
     stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // One read-line buffer, one raw-byte buffer and one response buffer
+    // per connection, reused across requests: a pipelining client costs
+    // zero steady-state allocations in the connection loop.
     let mut line = String::new();
+    let mut raw = Vec::new();
+    let mut response = String::new();
     loop {
         line.clear();
-        let n = read_bounded_line(&mut reader, &mut line, config.max_line_bytes, shutdown)?;
+        let n = read_bounded_line(
+            &mut reader,
+            &mut line,
+            &mut raw,
+            config.max_line_bytes,
+            shutdown,
+        )?;
         if n == 0 {
             return Ok(()); // peer closed, or server shutting down
         }
@@ -244,9 +255,10 @@ fn handle_connection(
         if trimmed.is_empty() {
             continue;
         }
-        let (response, stop) = dispatch(registry, config, trimmed);
+        response.clear();
+        let stop = dispatch_into(registry, config, trimmed, &mut response);
+        response.push('\n');
         writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
         writer.flush()?;
         if stop {
             shutdown.store(true, Ordering::SeqCst);
@@ -276,14 +288,16 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
 /// Reads one `\n`-terminated line, erroring out instead of buffering
 /// without bound when a peer sends an oversized line. Read timeouts are
 /// treated as "check the shutdown flag and keep waiting"; a set flag
-/// reads as EOF.
+/// reads as EOF. `buf` is a caller-owned scratch buffer (cleared here)
+/// so steady-state reads allocate nothing.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
+    buf: &mut Vec<u8>,
     max_bytes: usize,
     shutdown: &AtomicBool,
 ) -> Result<usize> {
-    let mut buf = Vec::new();
+    buf.clear();
     loop {
         let chunk = match reader.fill_buf() {
             Ok(chunk) => chunk,
@@ -321,11 +335,10 @@ fn read_bounded_line(
             )));
         }
     }
-    let text = String::from_utf8(buf)
+    let text = std::str::from_utf8(buf)
         .map_err(|_| ServiceError::Protocol("request line is not valid UTF-8".into()))?;
-    let n = text.len();
-    line.push_str(&text);
-    Ok(n)
+    line.push_str(text);
+    Ok(text.len())
 }
 
 /// Snapshots every live session, returning the ids persisted and the
@@ -348,9 +361,8 @@ fn persist_all_sessions(
     (persisted, failed)
 }
 
-/// The best-effort flavour for the periodic persister and the shutdown
-/// path: failures are reported on stderr but never take the server
-/// down.
+/// The best-effort full-snapshot flavour for the shutdown path:
+/// failures are reported on stderr but never take the server down.
 fn persist_all_sessions_best_effort(dir: &std::path::Path, registry: &SessionRegistry) {
     let (_, failed) = persist_all_sessions(dir, registry);
     for (id, e) in failed {
@@ -358,12 +370,52 @@ fn persist_all_sessions_best_effort(dir: &std::path::Path, registry: &SessionReg
     }
 }
 
+/// The periodic persister's flavour: incremental. A session with no
+/// full snapshot yet gets one; afterwards only the shards dirtied
+/// since the last flush are appended as sparse delta lines, so a
+/// steady-state tick costs O(cells touched), not O(domain). Failures
+/// are reported on stderr; sessions closed mid-scan correctly refuse
+/// and are skipped silently.
+fn persist_all_sessions_incremental_best_effort(dir: &std::path::Path, registry: &SessionRegistry) {
+    for session in registry.all() {
+        match persist::persist_session_incremental(dir, &session) {
+            Ok(_) => {}
+            Err(_) if session.is_closed() => {}
+            Err(e) => eprintln!(
+                "frapp-service: failed to flush session {}: {e}",
+                session.id()
+            ),
+        }
+    }
+}
+
 /// Parses and executes one request line; returns the response line and
 /// whether the server should shut down.
 pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) -> (String, bool) {
-    match parse_request(line).and_then(|req| execute(registry, config, req)) {
-        Ok((response, stop)) => (response, stop),
-        Err(e) => (error_response(&e), false),
+    let mut out = String::new();
+    let stop = dispatch_into(registry, config, line, &mut out);
+    (out, stop)
+}
+
+/// [`dispatch`] writing the response into a caller-owned buffer
+/// (appended — the connection loop clears and reuses one buffer per
+/// connection). Returns whether the server should shut down.
+pub fn dispatch_into(
+    registry: &SessionRegistry,
+    config: &ServiceConfig,
+    line: &str,
+    out: &mut String,
+) -> bool {
+    match parse_request(line).and_then(|req| execute(registry, config, req, out)) {
+        Ok(stop) => stop,
+        Err(e) => {
+            // Every execute arm writes its response only after all
+            // fallible work, so nothing has been appended on the error
+            // path; truncate defensively anyway.
+            out.clear();
+            write_error_response(out, &e);
+            false
+        }
     }
 }
 
@@ -371,9 +423,10 @@ fn execute(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     req: Request,
-) -> Result<(String, bool)> {
-    let response = match req {
-        Request::Ping => ok_response(vec![("pong", true.into())]),
+    out: &mut String,
+) -> Result<bool> {
+    match req {
+        Request::Ping => write_ok_response(out, vec![("pong", true.into())]),
         Request::CreateSession {
             schema,
             mechanism,
@@ -461,7 +514,7 @@ fn execute(
                     Value::Array(created.evicted.iter().map(|s| s.id().into()).collect()),
                 ));
             }
-            ok_response(pairs)
+            write_ok_response(out, pairs)
         }
         Request::Submit {
             session,
@@ -472,15 +525,18 @@ fn execute(
             let session = registry.get(session)?;
             let shard_used = match shard {
                 Some(idx) => {
-                    session.submit_batch_to_shard(idx, &records, pre_perturbed)?;
+                    session.submit_slices_to_shard(idx, records.iter(), pre_perturbed)?;
                     idx
                 }
-                None => session.submit_batch(&records, pre_perturbed)?,
+                None => session.submit_slices(records.iter(), pre_perturbed)?,
             };
-            ok_response(vec![
-                ("accepted", records.len().into()),
-                ("shard", shard_used.into()),
-            ])
+            write_ok_response(
+                out,
+                vec![
+                    ("accepted", records.len().into()),
+                    ("shard", shard_used.into()),
+                ],
+            )
         }
         Request::Reconstruct {
             session,
@@ -489,15 +545,16 @@ fn execute(
         } => {
             let session = registry.get(session)?;
             let rec = session.reconstruct(method, clamp)?;
-            reconstruction_response(&rec)
+            write_reconstruction_response(out, &rec)
         }
         Request::Stats { session } => {
             let session = registry.get(session)?;
-            stats_response(&session.stats())
+            write_stats_response(out, &session.stats())
         }
         Request::Metrics { session } => {
             let session = registry.get(session)?;
-            metrics_response(
+            write_metrics_response(
+                out,
                 session.id(),
                 session.stats().total,
                 &session.metrics_report(),
@@ -505,7 +562,7 @@ fn execute(
         }
         Request::ListSessions => {
             let summaries: Vec<_> = registry.all().iter().map(|s| s.summary()).collect();
-            list_response(&summaries)
+            write_list_response(out, &summaries)
         }
         Request::Persist { session } => {
             let dir = config.persist_dir.as_deref().ok_or_else(|| {
@@ -535,13 +592,16 @@ fn execute(
                     persisted
                 }
             };
-            ok_response(vec![
-                (
-                    "persisted",
-                    Value::Array(persisted.into_iter().map(Value::from).collect()),
-                ),
-                ("dir", dir.display().to_string().into()),
-            ])
+            write_ok_response(
+                out,
+                vec![
+                    (
+                        "persisted",
+                        Value::Array(persisted.into_iter().map(Value::from).collect()),
+                    ),
+                    ("dir", dir.display().to_string().into()),
+                ],
+            )
         }
         Request::CloseSession { session } => {
             // `remove` marks the session closed before we delete its
@@ -560,16 +620,17 @@ fn execute(
                 // never be deleted and would resurrect on restart.
                 snapshot_deleted = persist::remove_session_file(dir, session);
             }
-            ok_response(vec![(
-                "closed",
-                (removed.is_some() || snapshot_deleted).into(),
-            )])
+            write_ok_response(
+                out,
+                vec![("closed", (removed.is_some() || snapshot_deleted).into())],
+            )
         }
         Request::Shutdown => {
-            return Ok((ok_response(vec![("shutting_down", true.into())]), true));
+            write_ok_response(out, vec![("shutting_down", true.into())]);
+            return Ok(true);
         }
-    };
-    Ok((response, false))
+    }
+    Ok(false)
 }
 
 #[cfg(test)]

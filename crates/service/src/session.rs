@@ -11,7 +11,7 @@
 
 use crate::error::{Result, ServiceError};
 use crate::metrics::{MetricsReport, SessionMetrics};
-use crate::shard::Shard;
+use crate::shard::{Shard, ShardDelta};
 use frapp_core::perturb::{GammaDiagonal, Perturber, RandomizedGammaDiagonal};
 use frapp_core::reconstruct::{clamp_counts, GammaDiagonalReconstructor};
 use frapp_core::{CountAccumulator, PrivacyRequirement, Schema};
@@ -124,6 +124,10 @@ pub struct ShardDump {
     pub ingested: u64,
     /// RNG draws the shard's perturbation stream has consumed.
     pub rng_draws: u64,
+    /// The RNG's native state words (snapshot format v2). `None` for
+    /// state read from a v1 snapshot, where recovery falls back to
+    /// fast-forwarding a freshly seeded generator by `rng_draws` steps.
+    pub rng_state: Option<[u64; 4]>,
     /// The shard's count vector, one entry per domain cell.
     pub counts: Vec<f64>,
 }
@@ -173,6 +177,25 @@ pub struct CollectionSession {
     /// Serializes snapshot writes and close-time file removal for this
     /// session (see [`crate::persist::save_session`]).
     persist_gate: Mutex<()>,
+    /// Monotonic full-snapshot sequence number. `0` means no full
+    /// (v2) snapshot exists yet for this session; each successful full
+    /// save bumps it, and every appended delta line records the base
+    /// sequence it applies to, so recovery never replays deltas onto
+    /// the wrong base.
+    persist_seq: AtomicU64,
+    /// RNG draws spent fast-forwarding shard generators at recovery
+    /// time: zero when the session was created fresh or recovered from
+    /// a v2 snapshot (native state words), positive only for v1
+    /// draw-count snapshots.
+    recovery_fast_forward: u64,
+    /// Set for recovered sessions (and cleared by each successful full
+    /// save): the next persistence flush must write a *full* snapshot,
+    /// never a delta. A recovered session's shards have no in-memory
+    /// delta baseline, and its on-disk delta file may carry a torn tail
+    /// that would silently swallow lines appended after it — the fresh
+    /// base (which bumps the sequence and removes the delta file)
+    /// re-establishes both invariants.
+    pending_full_snapshot: AtomicBool,
 }
 
 impl std::fmt::Debug for CollectionSession {
@@ -206,14 +229,17 @@ impl CollectionSession {
         let shards = (0..num_shards)
             .map(|i| Mutex::new(Shard::new(schema.clone(), seed, i)))
             .collect();
-        Self::assemble(id, schema, mechanism, seed, max_dense_domain, shards)
+        Self::assemble(id, schema, mechanism, seed, max_dense_domain, shards, 0)
     }
 
     /// Rebuilds a session from persisted state. The shard layout, seed
     /// and per-shard RNG positions come from the dump, so deterministic
     /// replay holds across the restart: raw records ingested after
     /// recovery are perturbed with exactly the draws the pre-restart
-    /// process would have used.
+    /// process would have used. Dumps carrying native RNG state words
+    /// (snapshot v2) recover in O(1); dumps without them (v1) pay an
+    /// O(draws) fast-forward, reported by
+    /// [`Self::recovery_fast_forward_draws`].
     pub fn recover(
         id: u64,
         schema: Schema,
@@ -227,15 +253,39 @@ impl CollectionSession {
                 "a session snapshot needs at least one shard".into(),
             ));
         }
+        let mut fast_forward = 0u64;
         let shards = dumps
             .into_iter()
             .enumerate()
             .map(|(i, d)| {
-                Shard::recover(schema.clone(), seed, i, d.counts, d.ingested, d.rng_draws)
-                    .map(Mutex::new)
+                match d.rng_state {
+                    Some(state) => Shard::recover_from_state(
+                        schema.clone(),
+                        i,
+                        d.counts,
+                        d.ingested,
+                        state,
+                        d.rng_draws,
+                    ),
+                    None => {
+                        fast_forward += d.rng_draws;
+                        Shard::recover(schema.clone(), seed, i, d.counts, d.ingested, d.rng_draws)
+                    }
+                }
+                .map(Mutex::new)
             })
             .collect::<Result<Vec<_>>>()?;
-        Self::assemble(id, schema, mechanism, seed, max_dense_domain, shards)
+        let session = Self::assemble(
+            id,
+            schema,
+            mechanism,
+            seed,
+            max_dense_domain,
+            shards,
+            fast_forward,
+        )?;
+        session.pending_full_snapshot.store(true, Ordering::SeqCst);
+        Ok(session)
     }
 
     /// The shared tail of [`Self::new`] and [`Self::recover`]: builds
@@ -247,6 +297,7 @@ impl CollectionSession {
         seed: u64,
         max_dense_domain: usize,
         shards: Vec<Mutex<Shard>>,
+        recovery_fast_forward: u64,
     ) -> Result<Self> {
         let gd = GammaDiagonal::new(&schema, mechanism.gamma())?;
         let closed_form = GammaDiagonalReconstructor::new(&gd);
@@ -277,7 +328,43 @@ impl CollectionSession {
             retired: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             persist_gate: Mutex::new(()),
+            persist_seq: AtomicU64::new(0),
+            recovery_fast_forward,
+            pending_full_snapshot: AtomicBool::new(false),
         })
+    }
+
+    /// RNG draws spent fast-forwarding shard generators when this
+    /// session was recovered: always zero for fresh sessions and v2
+    /// (state-word) snapshots; positive only when a v1 (draw-count)
+    /// snapshot forced the O(draws) replay.
+    pub fn recovery_fast_forward_draws(&self) -> u64 {
+        self.recovery_fast_forward
+    }
+
+    /// The sequence number of the last full snapshot written for this
+    /// session (`0` = none yet). See [`crate::persist`].
+    pub fn persist_seq(&self) -> u64 {
+        self.persist_seq.load(Ordering::SeqCst)
+    }
+
+    /// Records that a full snapshot with sequence `seq` was committed
+    /// (or recovered from disk).
+    pub(crate) fn set_persist_seq(&self, seq: u64) {
+        self.persist_seq.fetch_max(seq, Ordering::SeqCst);
+    }
+
+    /// Whether the next persistence flush must be a full snapshot
+    /// (true for recovered sessions until their first successful full
+    /// save re-establishes a clean base + delta file).
+    pub fn needs_full_snapshot(&self) -> bool {
+        self.pending_full_snapshot.load(Ordering::SeqCst)
+    }
+
+    /// Clears the full-snapshot requirement after a successful full
+    /// save.
+    pub(crate) fn clear_needs_full_snapshot(&self) {
+        self.pending_full_snapshot.store(false, Ordering::SeqCst);
     }
 
     /// The session id.
@@ -408,33 +495,80 @@ impl CollectionSession {
     /// through the mechanism client-side (the paper's deployment
     /// model) or should be perturbed here with the shard's RNG.
     pub fn submit_batch(&self, records: &[Vec<u32>], pre_perturbed: bool) -> Result<usize> {
-        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.submit_batch_to_shard(idx, records, pre_perturbed)?;
-        Ok(idx)
+        self.submit_slices(records.iter().map(Vec::as_slice), pre_perturbed)
     }
 
     /// Ingests a batch on a specific shard. Lets a client pin its
     /// stream to one shard, which (with the session seed) makes
     /// server-side perturbation bit-reproducible offline.
-    ///
-    /// Ingestion is record-at-a-time: if a record mid-batch fails
-    /// validation, the records *before* it stay counted (exactly as if
-    /// the client had sent them in a smaller batch) and the error is a
-    /// [`ServiceError::PartialBatch`] reporting how many were accepted,
-    /// so a retrying client resubmits only the remainder. Clients that
-    /// need all-or-nothing batches should validate against the schema
-    /// before submitting.
     pub fn submit_batch_to_shard(
         &self,
         shard_index: usize,
         records: &[Vec<u32>],
         pre_perturbed: bool,
     ) -> Result<()> {
+        self.submit_slices_to_shard(
+            shard_index,
+            records.iter().map(Vec::as_slice),
+            pre_perturbed,
+        )
+    }
+
+    /// [`Self::submit_batch`] over borrowed record slices — the
+    /// allocation-light entry point the wire layer's flat
+    /// [`crate::protocol::RecordBatch`] feeds.
+    pub fn submit_slices<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a [u32]>,
+        pre_perturbed: bool,
+    ) -> Result<usize> {
+        let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.submit_slices_to_shard(idx, records, pre_perturbed)?;
+        Ok(idx)
+    }
+
+    /// [`Self::submit_batch_to_shard`] over borrowed record slices.
+    ///
+    /// The whole batch is validated and encoded to domain indices
+    /// *once, before the shard lock is taken*; under the lock the
+    /// per-record work is two RNG draws and a counter increment (the
+    /// index-domain fast path), with no allocation and no re-encode.
+    ///
+    /// The partial-batch contract is unchanged: if a record mid-batch
+    /// fails validation, the records *before* it are counted (exactly
+    /// as if the client had sent them in a smaller batch) and the error
+    /// is a [`ServiceError::PartialBatch`] reporting how many were
+    /// accepted, so a retrying client resubmits only the remainder.
+    /// Clients that need all-or-nothing batches should validate against
+    /// the schema before submitting.
+    pub fn submit_slices_to_shard<'a>(
+        &self,
+        shard_index: usize,
+        records: impl IntoIterator<Item = &'a [u32]>,
+        pre_perturbed: bool,
+    ) -> Result<()> {
+        let started = Instant::now();
         if shard_index >= self.shards.len() {
             return Err(ServiceError::InvalidRequest(format!(
                 "shard {shard_index} out of range (session has {})",
                 self.shards.len()
             )));
+        }
+        // Validate + encode the batch up front, outside the shard lock:
+        // validation is paid once per record here instead of twice
+        // (perturber + encode) inside the lock, and an invalid record
+        // truncates the batch to its valid prefix.
+        let records = records.into_iter();
+        let mut indices = Vec::with_capacity(records.size_hint().0);
+        let mut failure: Option<ServiceError> = None;
+        for record in records {
+            match self.schema.encode(record) {
+                Ok(idx) => indices.push(idx),
+                Err(e) => {
+                    failure = Some(e.into());
+                    break;
+                }
+            }
         }
         let mut shard = self.lock_shard(shard_index);
         // Checked under the shard lock: a retired (evicted/closed)
@@ -445,26 +579,21 @@ impl CollectionSession {
         if self.is_retired() {
             return Err(ServiceError::UnknownSession(self.id));
         }
-        let mut accepted: u64 = 0;
-        for record in records {
-            let result = if pre_perturbed {
-                shard.ingest_perturbed(record)
-            } else {
-                shard.ingest_raw(record, self.perturber.as_ref())
-            };
-            if let Err(source) = result {
-                drop(shard);
-                self.metrics.record_ingest(accepted);
-                return Err(ServiceError::PartialBatch {
-                    accepted,
-                    source: Box::new(source),
-                });
-            }
-            accepted += 1;
+        if pre_perturbed {
+            shard.ingest_perturbed_indices(&indices);
+        } else {
+            shard.ingest_raw_indices(&mut indices, self.perturber.as_ref());
         }
         drop(shard);
-        self.metrics.record_ingest(accepted);
-        Ok(())
+        let accepted = indices.len() as u64;
+        self.metrics.record_ingest(accepted, started.elapsed());
+        match failure {
+            Some(source) => Err(ServiceError::PartialBatch {
+                accepted,
+                source: Box::new(source),
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Merges all shard counts into one snapshot accumulator.
@@ -479,7 +608,8 @@ impl CollectionSession {
     }
 
     /// Dumps every shard's persisted state (counts, ingested count, RNG
-    /// position) for snapshotting.
+    /// position and native state words) for snapshotting. Pending
+    /// per-shard deltas are left untouched.
     pub fn dump_shards(&self) -> Vec<ShardDump> {
         (0..self.shards.len())
             .map(|index| {
@@ -487,10 +617,59 @@ impl CollectionSession {
                 ShardDump {
                     ingested: shard.ingested(),
                     rng_draws: shard.rng_draws(),
+                    rng_state: Some(shard.rng_state()),
                     counts: shard.counts().to_vec(),
                 }
             })
             .collect()
+    }
+
+    /// Dumps every shard for a *full* snapshot, atomically draining
+    /// each shard's pending delta under its lock (the full dump
+    /// includes those increments, so they must not be re-flushed as
+    /// deltas on top of the new base) and enabling delta tracking
+    /// relative to the dumped state. If the snapshot write then fails,
+    /// the caller must hand the drained deltas back via
+    /// [`Self::restore_deltas`] so the delta stream over the previous
+    /// base stays complete.
+    pub fn dump_shards_flushing(&self) -> (Vec<ShardDump>, Vec<ShardDelta>) {
+        let mut dumps = Vec::with_capacity(self.shards.len());
+        let mut drained = Vec::new();
+        for index in 0..self.shards.len() {
+            let mut shard = self.lock_shard(index);
+            dumps.push(ShardDump {
+                ingested: shard.ingested(),
+                rng_draws: shard.rng_draws(),
+                rng_state: Some(shard.rng_state()),
+                counts: shard.counts().to_vec(),
+            });
+            if let Some(delta) = shard.take_delta(index) {
+                drained.push(delta);
+            }
+            // The dumped state is the base all later deltas are
+            // relative to; tracking starts (or restarts, zeroed) here.
+            shard.enable_delta_tracking();
+        }
+        (dumps, drained)
+    }
+
+    /// Drains the pending delta of every dirty shard (for an
+    /// incremental persistence flush). Shards touched since their last
+    /// flush each contribute one [`ShardDelta`]; clean shards
+    /// contribute nothing. On a failed write, hand the result back via
+    /// [`Self::restore_deltas`].
+    pub fn take_dirty_deltas(&self) -> Vec<ShardDelta> {
+        (0..self.shards.len())
+            .filter_map(|index| self.lock_shard(index).take_delta(index))
+            .collect()
+    }
+
+    /// Returns drained deltas to their shards after a failed flush
+    /// write, so the increments are captured again by the next flush.
+    pub fn restore_deltas(&self, deltas: &[ShardDelta]) {
+        for delta in deltas {
+            self.lock_shard(delta.shard).restore_delta(&delta.cells);
+        }
     }
 
     /// Ingest statistics.

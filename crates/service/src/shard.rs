@@ -6,6 +6,14 @@
 //! independent deterministically-seeded RNG, and is protected by its own
 //! mutex. Merging shards is `O(S·n)` at snapshot time, which the
 //! reconstruction path amortizes over the whole ingested stream.
+//!
+//! Ingest runs in the *index domain*: the session encodes (and thereby
+//! validates) a whole batch once, outside the shard lock, and the shard
+//! loop is `perturb_index` → `observe_index` — at most two RNG draws and
+//! zero allocations per record. Each shard additionally tracks the
+//! per-cell count increments since its last persistence flush, so the
+//! periodic persister can append sparse deltas instead of rewriting the
+//! whole count vector (see [`crate::persist`]).
 
 use crate::error::{Result, ServiceError};
 use frapp_core::perturb::Perturber;
@@ -27,17 +35,14 @@ pub fn shard_seed(session_seed: u64, index: usize) -> u64 {
 }
 
 /// The shard RNG: the shim's xoshiro generator wrapped in a draw
-/// counter, so a persisted snapshot can record *how far* the stream has
-/// advanced and recovery can fast-forward a freshly seeded generator to
-/// the identical state.
+/// counter.
 ///
-/// The count is exact because every `RngCore` call on the vendored shim
-/// (`next_u64`, `next_u32`, and `fill_bytes` per 8-byte chunk) advances
-/// the underlying state by exactly one step, so replaying `draws` calls
-/// of `next_u64` lands on the same state regardless of which calls the
-/// perturber originally made. If the real `rand` crate (ChaCha12
-/// `StdRng`, which buffers half-words) is ever swapped back in, shard
-/// recovery must switch to serializing native RNG state instead.
+/// Since snapshot format v2 the persisted truth is the generator's
+/// native state words ([`StdRng::to_state_words`]), which recovery
+/// restores in O(1). The draw counter is kept for observability and for
+/// reading v1 snapshots, whose recovery fast-forwards a freshly seeded
+/// generator by `draws` steps — exact because every `RngCore` call on
+/// the vendored shim advances the underlying state by exactly one step.
 #[derive(Debug, Clone)]
 struct CountingRng {
     inner: StdRng,
@@ -52,7 +57,8 @@ impl CountingRng {
         }
     }
 
-    /// A freshly seeded generator advanced by `draws` steps.
+    /// A freshly seeded generator advanced by `draws` steps (v1
+    /// snapshot recovery — O(draws)).
     fn fast_forwarded(seed: u64, draws: u64) -> Self {
         let mut rng = Self::seeded(seed);
         for _ in 0..draws {
@@ -60,6 +66,15 @@ impl CountingRng {
         }
         rng.draws = draws;
         rng
+    }
+
+    /// A generator restored from exported state words (v2 snapshot
+    /// recovery — O(1), zero fast-forward draws).
+    fn from_state(state: [u64; 4], draws: u64) -> Self {
+        CountingRng {
+            inner: StdRng::from_state_words(state),
+            draws,
+        }
     }
 }
 
@@ -75,12 +90,43 @@ impl RngCore for CountingRng {
     }
 }
 
-/// One ingest shard: a count accumulator plus its private RNG.
+/// The state one persistence flush drains from a shard: the sparse
+/// count increments since the previous flush, plus the shard's absolute
+/// position (records counted, RNG state) *after* those increments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDelta {
+    /// Index of the shard within its session.
+    pub shard: usize,
+    /// Absolute records-counted total after this delta.
+    pub ingested: u64,
+    /// Absolute RNG draw count after this delta.
+    pub rng_draws: u64,
+    /// The RNG's native state words after this delta.
+    pub rng_state: [u64; 4],
+    /// `(cell, increment)` pairs, ascending by cell; only cells touched
+    /// since the last flush appear.
+    pub cells: Vec<(usize, u64)>,
+}
+
+/// One ingest shard: a count accumulator, its private RNG, and (when
+/// delta tracking is enabled) the per-cell increments accumulated
+/// since the last persistence flush.
 #[derive(Debug)]
 pub struct Shard {
     acc: CountAccumulator,
     rng: CountingRng,
     ingested: u64,
+    /// Count increments since the last flush, dense over the domain.
+    /// Empty until [`Shard::enable_delta_tracking`] — deltas are only
+    /// meaningful relative to a written base snapshot, so a shard on a
+    /// server without persistence never pays the extra array (which
+    /// would otherwise double count-storage memory) or the per-record
+    /// increment. Once enabled, one extra array write per ingested
+    /// record buys the persister sparse delta lines instead of
+    /// whole-vector rewrites.
+    delta: Vec<u64>,
+    /// Whether any record has been counted since the last flush.
+    dirty: bool,
 }
 
 impl Shard {
@@ -91,21 +137,19 @@ impl Shard {
             acc: CountAccumulator::new(schema),
             rng: CountingRng::seeded(shard_seed(session_seed, index)),
             ingested: 0,
+            delta: Vec::new(),
+            dirty: false,
         }
     }
 
-    /// Rebuilds a shard from persisted state: the count vector, the
-    /// number of records counted, and the number of RNG draws consumed
-    /// (used to fast-forward the deterministic stream, so server-side
-    /// perturbation after recovery continues exactly where the
-    /// pre-restart process left off).
-    pub fn recover(
+    /// The shared consistency check + assembly tail of the recovery
+    /// constructors.
+    fn recovered(
         schema: Schema,
-        session_seed: u64,
         index: usize,
         counts: Vec<f64>,
         ingested: u64,
-        rng_draws: u64,
+        rng: CountingRng,
     ) -> Result<Self> {
         let acc = CountAccumulator::from_counts(schema, counts)?;
         if acc.n() != ingested {
@@ -117,9 +161,41 @@ impl Shard {
         }
         Ok(Shard {
             acc,
-            rng: CountingRng::fast_forwarded(shard_seed(session_seed, index), rng_draws),
+            rng,
             ingested,
+            delta: Vec::new(),
+            dirty: false,
         })
+    }
+
+    /// Rebuilds a shard from v1 persisted state: the count vector, the
+    /// number of records counted, and the number of RNG draws consumed.
+    /// Recovery fast-forwards a freshly seeded generator by `rng_draws`
+    /// steps — exact, but O(draws).
+    pub fn recover(
+        schema: Schema,
+        session_seed: u64,
+        index: usize,
+        counts: Vec<f64>,
+        ingested: u64,
+        rng_draws: u64,
+    ) -> Result<Self> {
+        let rng = CountingRng::fast_forwarded(shard_seed(session_seed, index), rng_draws);
+        Self::recovered(schema, index, counts, ingested, rng)
+    }
+
+    /// Rebuilds a shard from v2 persisted state: the count vector plus
+    /// the RNG's native state words. O(1) — no fast-forward draws.
+    pub fn recover_from_state(
+        schema: Schema,
+        index: usize,
+        counts: Vec<f64>,
+        ingested: u64,
+        rng_state: [u64; 4],
+        rng_draws: u64,
+    ) -> Result<Self> {
+        let rng = CountingRng::from_state(rng_state, rng_draws);
+        Self::recovered(schema, index, counts, ingested, rng)
     }
 
     /// Number of records this shard has counted.
@@ -132,31 +208,122 @@ impl Shard {
         self.rng.draws
     }
 
+    /// The RNG's native state words (persisted by snapshot v2).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.inner.to_state_words()
+    }
+
     /// The shard's current count vector.
     pub fn counts(&self) -> &[f64] {
         self.acc.counts()
     }
 
+    /// Whether any record has been counted since the last
+    /// [`Shard::take_delta`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Whether per-cell delta tracking is active (it is enabled by the
+    /// first full snapshot that establishes a base to be relative to).
+    pub fn is_delta_tracking(&self) -> bool {
+        !self.delta.is_empty()
+    }
+
+    /// Starts (or resets) per-cell delta tracking. Called under the
+    /// shard lock by a full-snapshot dump: the base the dump writes is
+    /// the state all later deltas are relative to. Idempotent apart
+    /// from zeroing any pending increments — callers drain first.
+    pub fn enable_delta_tracking(&mut self) {
+        if self.delta.is_empty() {
+            self.delta = vec![0; self.acc.schema().domain_size()];
+        } else {
+            self.delta.iter_mut().for_each(|c| *c = 0);
+        }
+        self.dirty = false;
+    }
+
+    /// Drains the per-cell increments accumulated since the last flush,
+    /// returning `None` when the shard is clean or delta tracking has
+    /// not been enabled by a base snapshot yet (an untracked shard has
+    /// no base for a delta to be relative to — the caller must write a
+    /// full snapshot instead). The returned delta carries the shard's
+    /// absolute position so a persisted delta stream is
+    /// self-describing.
+    pub fn take_delta(&mut self, shard_index: usize) -> Option<ShardDelta> {
+        if !self.dirty || self.delta.is_empty() {
+            return None;
+        }
+        let cells: Vec<(usize, u64)> = self
+            .delta
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i, std::mem::take(c)))
+            .collect();
+        self.dirty = false;
+        Some(ShardDelta {
+            shard: shard_index,
+            ingested: self.ingested,
+            rng_draws: self.rng.draws,
+            rng_state: self.rng_state(),
+            cells,
+        })
+    }
+
+    /// Puts a previously taken delta's increments back (a flush whose
+    /// write failed): the cells rejoin the pending-delta state so the
+    /// next flush captures them again. Counts are untouched — they
+    /// always already include the increments.
+    pub fn restore_delta(&mut self, cells: &[(usize, u64)]) {
+        for &(cell, inc) in cells {
+            self.delta[cell] += inc;
+        }
+        if !cells.is_empty() {
+            self.dirty = true;
+        }
+    }
+
+    /// Counts a batch of encoded records that clients already
+    /// perturbed. Per-batch bookkeeping (record total, dirty flag) is
+    /// hoisted out of the per-record loop.
+    pub fn ingest_perturbed_indices(&mut self, indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        self.acc.observe_indices(indices);
+        if !self.delta.is_empty() {
+            for &index in indices {
+                self.delta[index] += 1;
+            }
+        }
+        self.ingested += indices.len() as u64;
+        self.dirty = true;
+    }
+
+    /// Perturbs a batch of encoded raw records *in place* with this
+    /// shard's RNG and counts the perturbed indices. The original
+    /// indices are overwritten and never stored — matching the paper's
+    /// trust model where the miner only ever retains `V = A(U)`.
+    pub fn ingest_raw_indices(&mut self, indices: &mut [usize], perturber: &dyn Perturber) {
+        perturber.perturb_indices(indices, &mut self.rng);
+        self.ingest_perturbed_indices(indices);
+    }
+
     /// Counts a record that the client already perturbed.
     pub fn ingest_perturbed(&mut self, record: &[u32]) -> Result<()> {
-        self.acc.observe(record)?;
-        self.ingested += 1;
+        let idx = self.acc.schema().encode(record)?;
+        self.ingest_perturbed_indices(&[idx]);
         Ok(())
     }
 
     /// Perturbs a raw record with this shard's RNG, then counts the
-    /// perturbed version. The original record is validated by the
-    /// perturber and never stored — matching the paper's trust model
-    /// where the miner only ever retains `V = A(U)`.
+    /// perturbed version — through the same index-domain path as the
+    /// batch API, so both entry points consume the identical draw
+    /// sequence.
     pub fn ingest_raw(&mut self, record: &[u32], perturber: &dyn Perturber) -> Result<()> {
-        let perturbed = perturber.perturb_record(record, &mut self.rng)?;
-        let idx = self
-            .acc
-            .schema()
-            .encode(&perturbed)
-            .expect("perturber output is schema-valid by construction");
-        self.acc.observe_index(idx);
-        self.ingested += 1;
+        let mut idx = [self.acc.schema().encode(record)?];
+        self.ingest_raw_indices(&mut idx, perturber);
         Ok(())
     }
 
@@ -213,7 +380,8 @@ mod tests {
             reference.ingest_raw(r, &gd).unwrap();
         }
 
-        // Interrupted run: ingest, "persist", recover, continue.
+        // Interrupted run: ingest, "persist", recover (v1 fast-forward),
+        // continue.
         let mut before = Shard::new(s.clone(), 42, 1);
         for r in &first {
             before.ingest_raw(r, &gd).unwrap();
@@ -237,12 +405,56 @@ mod tests {
     }
 
     #[test]
+    fn state_word_recovery_equals_fast_forward_recovery() {
+        let s = schema();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let first: Vec<Vec<u32>> = (0..500).map(|i| vec![i % 3, i % 2]).collect();
+        let second: Vec<Vec<u32>> = (0..250).map(|i| vec![(i + 2) % 3, i % 2]).collect();
+
+        let mut before = Shard::new(s.clone(), 42, 0);
+        for r in &first {
+            before.ingest_raw(r, &gd).unwrap();
+        }
+
+        // v2 recovery: O(1) from state words.
+        let mut via_state = Shard::recover_from_state(
+            s.clone(),
+            0,
+            before.counts().to_vec(),
+            before.ingested(),
+            before.rng_state(),
+            before.rng_draws(),
+        )
+        .unwrap();
+        // v1 recovery: O(draws) fast-forward.
+        let mut via_draws = Shard::recover(
+            s,
+            42,
+            0,
+            before.counts().to_vec(),
+            before.ingested(),
+            before.rng_draws(),
+        )
+        .unwrap();
+        assert_eq!(via_state.rng_state(), via_draws.rng_state());
+
+        for r in &second {
+            via_state.ingest_raw(r, &gd).unwrap();
+            via_draws.ingest_raw(r, &gd).unwrap();
+        }
+        assert_eq!(via_state.counts(), via_draws.counts());
+        assert_eq!(via_state.rng_draws(), via_draws.rng_draws());
+    }
+
+    #[test]
     fn recover_rejects_inconsistent_snapshots() {
         let s = schema();
         // Wrong domain size.
         assert!(Shard::recover(s.clone(), 1, 0, vec![0.0; 3], 0, 0).is_err());
         // Ingested count contradicting the count total.
-        assert!(Shard::recover(s, 1, 0, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 5, 0).is_err());
+        assert!(Shard::recover(s.clone(), 1, 0, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 5, 0).is_err());
+        // The same checks hold for state-word recovery.
+        assert!(Shard::recover_from_state(s, 0, vec![0.0; 3], 0, [1, 2, 3, 4], 0).is_err());
     }
 
     #[test]
@@ -258,14 +470,85 @@ mod tests {
         let mut via_shard = CountAccumulator::new(s.clone());
         shard.merge_into(&mut via_shard).unwrap();
 
-        // Offline replay: same derived seed, same record order.
+        // Offline replay: same derived seed, same record order, same
+        // index-domain sampler the shard uses.
         let mut rng = StdRng::seed_from_u64(shard_seed(42, 0));
-        let mut offline = CountAccumulator::new(s);
+        let mut offline = CountAccumulator::new(s.clone());
         for r in &records {
-            offline
-                .observe(&gd.perturb_record(r, &mut rng).unwrap())
-                .unwrap();
+            let u = s.encode(r).unwrap();
+            offline.observe_index(gd.perturb_index(u, &mut rng));
         }
         assert_eq!(via_shard.counts(), offline.counts());
+    }
+
+    #[test]
+    fn batch_index_ingest_matches_record_ingest() {
+        let s = schema();
+        let gd = GammaDiagonal::new(&s, 19.0).unwrap();
+        let records: Vec<Vec<u32>> = (0..300).map(|i| vec![i % 3, i % 2]).collect();
+        let mut indices: Vec<usize> = records.iter().map(|r| s.encode(r).unwrap()).collect();
+
+        let mut by_record = Shard::new(s.clone(), 7, 0);
+        for r in &records {
+            by_record.ingest_raw(r, &gd).unwrap();
+        }
+        let mut by_index = Shard::new(s, 7, 0);
+        by_index.ingest_raw_indices(&mut indices, &gd);
+
+        assert_eq!(by_record.counts(), by_index.counts());
+        assert_eq!(by_record.rng_draws(), by_index.rng_draws());
+    }
+
+    #[test]
+    fn untracked_shards_never_yield_deltas() {
+        // Without a base snapshot there is nothing for a delta to be
+        // relative to: a dirty but untracked shard must force the
+        // caller onto the full-snapshot path (take_delta -> None), and
+        // must not pay the dense delta array at all.
+        let mut shard = Shard::new(schema(), 0, 0);
+        assert!(!shard.is_delta_tracking());
+        shard.ingest_perturbed(&[1, 1]).unwrap();
+        assert!(shard.is_dirty());
+        assert!(shard.take_delta(0).is_none());
+        // Enabling tracking (what a full-snapshot dump does) starts the
+        // delta stream from the current state.
+        shard.enable_delta_tracking();
+        assert!(shard.is_delta_tracking());
+        assert!(!shard.is_dirty());
+        shard.ingest_perturbed(&[0, 0]).unwrap();
+        let delta = shard.take_delta(0).unwrap();
+        assert_eq!(delta.cells, vec![(0, 1)]);
+        assert_eq!(delta.ingested, 2, "absolute position, not delta-relative");
+    }
+
+    #[test]
+    fn delta_tracking_drains_and_restores() {
+        let s = schema();
+        let mut shard = Shard::new(s.clone(), 0, 2);
+        shard.enable_delta_tracking();
+        assert!(!shard.is_dirty());
+        assert!(shard.take_delta(2).is_none());
+
+        shard.ingest_perturbed(&[1, 1]).unwrap();
+        shard.ingest_perturbed(&[1, 1]).unwrap();
+        shard.ingest_perturbed(&[0, 0]).unwrap();
+        assert!(shard.is_dirty());
+        let delta = shard.take_delta(2).expect("dirty shard yields a delta");
+        assert_eq!(delta.shard, 2);
+        assert_eq!(delta.ingested, 3);
+        assert_eq!(delta.rng_state, shard.rng_state());
+        let hot = s.encode(&[1, 1]).unwrap();
+        assert_eq!(delta.cells, vec![(s.encode(&[0, 0]).unwrap(), 1), (hot, 2)]);
+        assert!(!shard.is_dirty());
+        assert!(shard.take_delta(2).is_none(), "drained shard is clean");
+
+        // Increments since the flush form the next delta; a restored
+        // (failed-write) delta merges back in.
+        shard.ingest_perturbed(&[2, 0]).unwrap();
+        shard.restore_delta(&delta.cells);
+        let merged = shard.take_delta(2).unwrap();
+        let total: u64 = merged.cells.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4, "3 restored + 1 new increment");
+        assert_eq!(merged.ingested, 4);
     }
 }

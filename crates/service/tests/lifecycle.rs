@@ -99,10 +99,20 @@ fn restarted_server_serves_identical_reconstructions() {
     handle.shutdown().unwrap();
 
     // Second lifetime over the same directory: the session is back
-    // under its id with identical state.
+    // under its id with identical state — restored from native RNG
+    // state words (snapshot v2), so recovery replays zero draws.
     let handle = Server::bind(config).unwrap().spawn().unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
     assert_eq!(client.list_sessions().unwrap(), vec![session]);
+    assert_eq!(
+        handle
+            .registry()
+            .get(session)
+            .unwrap()
+            .recovery_fast_forward_draws(),
+        0,
+        "v2 recovery must not fast-forward the RNG"
+    );
     let after = client
         .reconstruct(session, ReconstructionMethod::ClosedForm, false)
         .unwrap();

@@ -65,13 +65,15 @@ fn loopback_e2e_matches_offline_reconstruction() {
     assert_eq!(via_service.n as usize, N_RECORDS);
 
     // Offline replay: perturb the same records in the same order with
-    // the same derived RNG stream, then run the offline reconstructor.
+    // the same derived RNG stream — through the index-domain sampler
+    // the server's ingest fast path uses — then run the offline
+    // reconstructor.
     let gd = GammaDiagonal::new(&schema, GAMMA).unwrap();
     let mut rng = StdRng::seed_from_u64(shard_seed(SESSION_SEED, 0));
     let mut acc = CountAccumulator::new(schema.clone());
     for record in dataset.records() {
-        acc.observe(&gd.perturb_record(record, &mut rng).unwrap())
-            .unwrap();
+        let u = schema.encode(record).unwrap();
+        acc.observe_index(gd.perturb_index(u, &mut rng));
     }
     let offline = GammaDiagonalReconstructor::new(&gd).reconstruct(acc.counts());
 

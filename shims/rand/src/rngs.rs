@@ -22,6 +22,38 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// Exports the generator's native state as four words.
+    ///
+    /// Together with [`StdRng::from_state_words`] this gives O(1) state
+    /// snapshots: persisting the words and restoring them later lands on
+    /// *exactly* this generator's stream position, with no need to
+    /// replay (fast-forward) the draws made since seeding. This is a
+    /// deliberate divergence from the real `rand` crate's `StdRng`
+    /// surface (ChaCha12 keeps buffered half-words that a four-word
+    /// export could not capture); callers that must stay swappable with
+    /// the real crate should keep a draw counter instead.
+    pub fn to_state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from state words previously exported with
+    /// [`StdRng::to_state_words`]. The restored generator produces
+    /// exactly the stream the exporting generator would have produced
+    /// next.
+    ///
+    /// The all-zero state is a fixed point of xoshiro and can never be
+    /// exported by a validly seeded generator; it is remapped to the
+    /// same guard state `seed_from_u64` uses, so a hand-forged all-zero
+    /// input still yields a working generator.
+    pub fn from_state_words(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
