@@ -14,6 +14,14 @@
 //! Usage: `cargo run --release -p frapp-bench --bin bench_ingest`
 //! (add `--quick` for a CI-friendly run, `--out PATH` to move the
 //! JSON). Numbers are records/second, higher is better.
+//!
+//! With `--wire`, the benchmark instead measures *transport* cost
+//! against a real loopback server and emits `BENCH_http.json`:
+//! synchronous line-protocol submits (one round-trip per batch) vs
+//! pipelined deferred-ack submits (one flush per stream) vs the HTTP
+//! front-end, across small batch sizes where per-batch latency
+//! dominates. This is the latency-vs-throughput story the deferred-ack
+//! protocol exists for.
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
 use frapp_core::{CountAccumulator, Schema};
@@ -159,15 +167,179 @@ fn bench_legacy(records: &[Vec<u32>], shards: usize, batch: usize, reps: usize) 
     })
 }
 
+/// One transport measurement for the `--wire` mode: create a session,
+/// stream `records` in `batch`-sized submits, confirm the count landed,
+/// close. Returns wall-clock seconds for the ingest portion.
+mod wire {
+    use super::*;
+    use frapp_service::client::{Client, HttpClient, SessionSpec};
+    use frapp_service::session::Mechanism;
+    use frapp_service::ServerHandle;
+
+    fn spec() -> SessionSpec {
+        SessionSpec {
+            schema: vec![("a".into(), 10), ("b".into(), 10), ("c".into(), 5)],
+            mechanism: Mechanism::Deterministic { gamma: GAMMA },
+            shards: Some(1),
+            seed: Some(7),
+        }
+    }
+
+    /// Sync line protocol: one request/response round-trip per batch.
+    pub fn tcp_sync(handle: &ServerHandle, records: &[Vec<u32>], batch: usize) -> f64 {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let session = client.create_session(&spec()).expect("create");
+        let t0 = Instant::now();
+        for b in records.chunks(batch) {
+            client.submit_batch(session, b, true).expect("submit");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            client.stats(session).expect("stats").total,
+            records.len() as u64
+        );
+        client.close_session(session).expect("close");
+        elapsed
+    }
+
+    /// Pipelined line protocol: deferred acks, one flush at the end.
+    pub fn tcp_pipelined(handle: &ServerHandle, records: &[Vec<u32>], batch: usize) -> f64 {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let session = client.create_session(&spec()).expect("create");
+        let t0 = Instant::now();
+        for b in records.chunks(batch) {
+            client.submit_nowait(session, b, true).expect("submit");
+        }
+        let accepted = client.flush().expect("flush");
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(accepted, records.len() as u64);
+        client.close_session(session).expect("close");
+        elapsed
+    }
+
+    /// HTTP front-end: one POST round-trip per batch (keep-alive).
+    pub fn http(handle: &ServerHandle, records: &[Vec<u32>], batch: usize) -> f64 {
+        let mut client =
+            HttpClient::connect(handle.http_addr().expect("http enabled")).expect("connect");
+        let session = client.create_session(&spec()).expect("create");
+        let t0 = Instant::now();
+        for b in records.chunks(batch) {
+            client.submit_batch(session, b, true).expect("submit");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            client.stats(session).expect("stats").total,
+            records.len() as u64
+        );
+        client.close_session(session).expect("close");
+        elapsed
+    }
+}
+
+/// The `--wire` mode: loopback transport comparison → `BENCH_http.json`.
+fn run_wire(quick: bool, out_path: &str) {
+    use frapp_service::{Server, ServiceConfig};
+
+    let total = if quick { 1 << 14 } else { 1 << 16 };
+    let reps = if quick { 3 } else { 5 };
+    // Pre-perturbed records: the session-side work is a plain counter
+    // increment, so the measurement isolates framing + round-trips.
+    let records = raw_records(total);
+    let batches = [16usize, 64, 256];
+
+    let handle = Server::bind(ServiceConfig::default().with_http_addr("127.0.0.1:0"))
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    struct WireRun {
+        transport: &'static str,
+        batch: usize,
+        records_per_sec: f64,
+    }
+    type WireBench = fn(&frapp_service::ServerHandle, &[Vec<u32>], usize) -> f64;
+    let transports: [(&'static str, WireBench); 3] = [
+        ("tcp_sync", wire::tcp_sync),
+        ("tcp_pipelined", wire::tcp_pipelined),
+        ("http", wire::http),
+    ];
+    let mut runs: Vec<WireRun> = Vec::new();
+    for &batch in &batches {
+        for (name, bench) in transports {
+            let secs = (0..reps)
+                .map(|_| bench(&handle, &records, batch))
+                .fold(f64::MAX, f64::min);
+            let rps = total as f64 / secs;
+            eprintln!("batch={batch} {name}: {rps:.0} rec/s");
+            runs.push(WireRun {
+                transport: name,
+                batch,
+                records_per_sec: rps,
+            });
+        }
+    }
+    handle.shutdown().expect("shutdown");
+
+    let rate = |transport: &str, batch: usize| -> f64 {
+        runs.iter()
+            .find(|r| r.transport == transport && r.batch == batch)
+            .map(|r| r.records_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_wire\",");
+    let _ = writeln!(json, "  \"schema_domain\": {},", schema().domain_size());
+    let _ = writeln!(json, "  \"records_per_run\": {total},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"transport\": \"{}\", \"batch\": {}, \"records_per_sec\": {:.0}}}{}",
+            r.transport,
+            r.batch,
+            r.records_per_sec,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_pipelined_vs_sync\": {\n");
+    for (i, &batch) in batches.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{batch}\": {:.2}{}",
+            rate("tcp_pipelined", batch) / rate("tcp_sync", batch),
+            if i + 1 < batches.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+
+    let mut file = std::fs::File::create(out_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let wire_mode = args.iter().any(|a| a == "--wire");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_ingest.json".to_owned());
+        .unwrap_or_else(|| {
+            if wire_mode {
+                "BENCH_http.json".to_owned()
+            } else {
+                "BENCH_ingest.json".to_owned()
+            }
+        });
+    if wire_mode {
+        return run_wire(quick, &out_path);
+    }
 
     let total = if quick { 1 << 16 } else { 1 << 19 };
     let reps = if quick { 3 } else { 5 };

@@ -4,10 +4,10 @@
 //! ```text
 //! frapp-client [load] [--addr 127.0.0.1:7878] [--records 100000]
 //!              [--batch 1000] [--threads 4] [--gamma 19] [--seed 11]
-//!              [--pre-perturb]
-//! frapp-client list    [--addr HOST:PORT]
-//! frapp-client metrics [--addr HOST:PORT] --session N
-//! frapp-client persist [--addr HOST:PORT] [--session N]
+//!              [--pre-perturb] [--pipeline] [--http]
+//! frapp-client list    [--addr HOST:PORT] [--http]
+//! frapp-client metrics [--addr HOST:PORT] [--http] --session N
+//! frapp-client persist [--addr HOST:PORT] [--http] [--session N]
 //! ```
 //!
 //! The default `load` subcommand generates a synthetic CENSUS-like
@@ -22,14 +22,23 @@
 //! server perturbs on ingest (useful for benchmarking the server-side
 //! sampler).
 //!
+//! With `--pipeline`, submit batches use deferred acknowledgements
+//! (`"ack":"deferred"`) and each worker flushes once at the end of its
+//! stream: no round-trip per batch, which dominates throughput at
+//! small batch sizes over real networks. With `--http`, requests go to
+//! the HTTP front-end instead of the line protocol (`--addr` then
+//! names the server's `--http-addr`); pipelining is a line-protocol
+//! feature, so the two flags are mutually exclusive.
+//!
 //! `list` prints one summary line per live session; `metrics` prints a
 //! session's ingest counters and query-latency histogram; `persist`
 //! asks the server to snapshot one (or all) sessions to its
 //! persistence directory.
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
-use frapp_service::client::{Client, SessionSpec};
+use frapp_service::client::{Client, HttpClient, SessionSpec};
 use frapp_service::session::ReconstructionMethod;
+use frapp_service::session::{Reconstruction, SessionStats, SessionSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -42,16 +51,18 @@ struct Args {
     gamma: f64,
     seed: u64,
     pre_perturb: bool,
+    pipeline: bool,
+    http: bool,
     session: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: frapp-client [load] [--addr HOST:PORT] [--records N] [--batch B] \
-         [--threads T] [--gamma G] [--seed S] [--pre-perturb]\n\
-         \x20      frapp-client list    [--addr HOST:PORT]\n\
-         \x20      frapp-client metrics [--addr HOST:PORT] --session N\n\
-         \x20      frapp-client persist [--addr HOST:PORT] [--session N]"
+         [--threads T] [--gamma G] [--seed S] [--pre-perturb] [--pipeline] [--http]\n\
+         \x20      frapp-client list    [--addr HOST:PORT] [--http]\n\
+         \x20      frapp-client metrics [--addr HOST:PORT] [--http] --session N\n\
+         \x20      frapp-client persist [--addr HOST:PORT] [--http] [--session N]"
     );
     std::process::exit(2);
 }
@@ -65,6 +76,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
         gamma: 19.0,
         seed: 11,
         pre_perturb: false,
+        pipeline: false,
+        http: false,
         session: None,
     };
     let mut args = args;
@@ -86,6 +99,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
                 parsed.session = Some(value("--session").parse().unwrap_or_else(|_| usage()))
             }
             "--pre-perturb" => parsed.pre_perturb = true,
+            "--pipeline" => parsed.pipeline = true,
+            "--http" => parsed.http = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -96,14 +111,108 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
     if parsed.threads == 0 || parsed.batch == 0 || parsed.records == 0 {
         usage();
     }
+    if parsed.pipeline && parsed.http {
+        eprintln!("--pipeline is a line-protocol feature; drop --http to use it");
+        usage();
+    }
     parsed
 }
 
-fn connect(addr: &str) -> Client {
-    Client::connect(addr).unwrap_or_else(|e| {
-        eprintln!("frapp-client: cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    })
+/// One connection over whichever transport `--http` selected. The ops
+/// the CLI needs are mirrored across [`Client`] and [`HttpClient`], so
+/// subcommands stay transport-agnostic.
+enum AnyClient {
+    Tcp(Box<Client>),
+    Http(Box<HttpClient>),
+}
+
+impl AnyClient {
+    fn connect(addr: &str, http: bool) -> AnyClient {
+        let failed = |e: frapp_service::ServiceError| -> ! {
+            eprintln!("frapp-client: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        };
+        if http {
+            match HttpClient::connect(addr) {
+                Ok(c) => AnyClient::Http(Box::new(c)),
+                Err(e) => failed(e),
+            }
+        } else {
+            match Client::connect(addr) {
+                Ok(c) => AnyClient::Tcp(Box::new(c)),
+                Err(e) => failed(e),
+            }
+        }
+    }
+
+    fn create_session(&mut self, spec: &SessionSpec) -> frapp_service::Result<u64> {
+        match self {
+            AnyClient::Tcp(c) => c.create_session(spec),
+            AnyClient::Http(c) => c.create_session(spec),
+        }
+    }
+
+    fn submit_batch(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> frapp_service::Result<usize> {
+        match self {
+            AnyClient::Tcp(c) => c.submit_batch(session, records, pre_perturbed),
+            AnyClient::Http(c) => c.submit_batch(session, records, pre_perturbed),
+        }
+    }
+
+    fn stats(&mut self, session: u64) -> frapp_service::Result<SessionStats> {
+        match self {
+            AnyClient::Tcp(c) => c.stats(session),
+            AnyClient::Http(c) => c.stats(session),
+        }
+    }
+
+    fn reconstruct(
+        &mut self,
+        session: u64,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> frapp_service::Result<Reconstruction> {
+        match self {
+            AnyClient::Tcp(c) => c.reconstruct(session, method, clamp),
+            AnyClient::Http(c) => c.reconstruct(session, method, clamp),
+        }
+    }
+
+    fn close_session(&mut self, session: u64) -> frapp_service::Result<bool> {
+        match self {
+            AnyClient::Tcp(c) => c.close_session(session),
+            AnyClient::Http(c) => c.close_session(session),
+        }
+    }
+
+    fn list_sessions_detail(&mut self) -> frapp_service::Result<Vec<SessionSummary>> {
+        match self {
+            AnyClient::Tcp(c) => c.list_sessions_detail(),
+            AnyClient::Http(c) => c.list_sessions_detail(),
+        }
+    }
+
+    fn metrics(
+        &mut self,
+        session: u64,
+    ) -> frapp_service::Result<(frapp_service::MetricsReport, u64)> {
+        match self {
+            AnyClient::Tcp(c) => c.metrics(session),
+            AnyClient::Http(c) => c.metrics(session),
+        }
+    }
+
+    fn persist(&mut self, session: Option<u64>) -> frapp_service::Result<Vec<u64>> {
+        match self {
+            AnyClient::Tcp(c) => c.persist(session),
+            AnyClient::Http(c) => c.persist(session),
+        }
+    }
 }
 
 /// Unwraps an ops-subcommand result with a clean one-line error —
@@ -117,7 +226,7 @@ fn ok_or_exit<T>(result: frapp_service::Result<T>) -> T {
 }
 
 fn run_list(args: Args) {
-    let mut client = connect(&args.addr);
+    let mut client = AnyClient::connect(&args.addr, args.http);
     let sessions = ok_or_exit(client.list_sessions_detail());
     if sessions.is_empty() {
         println!("no live sessions");
@@ -140,7 +249,7 @@ fn run_metrics(args: Args) {
         eprintln!("metrics needs --session N");
         usage()
     });
-    let mut client = connect(&args.addr);
+    let mut client = AnyClient::connect(&args.addr, args.http);
     let (report, total) = ok_or_exit(client.metrics(session));
     println!("session {session}");
     println!("  records (all-time):      {total}");
@@ -180,7 +289,7 @@ fn run_metrics(args: Args) {
 }
 
 fn run_persist(args: Args) {
-    let mut client = connect(&args.addr);
+    let mut client = AnyClient::connect(&args.addr, args.http);
     let persisted = ok_or_exit(client.persist(args.session));
     println!(
         "persisted {} session{}: {persisted:?}",
@@ -224,14 +333,18 @@ fn main() {
         shards: Some(args.threads),
         seed: Some(args.seed),
     };
-    let mut control = Client::connect(&args.addr).unwrap_or_else(|e| {
-        eprintln!("frapp-client: cannot connect to {}: {e}", args.addr);
-        std::process::exit(1);
-    });
+    let mut control = AnyClient::connect(&args.addr, args.http);
     let session = control.create_session(&spec).expect("create_session");
     println!(
-        "session {session} open (gamma {}, {} shards)",
-        args.gamma, args.threads
+        "session {session} open (gamma {}, {} shards{}{})",
+        args.gamma,
+        args.threads,
+        if args.pipeline {
+            ", pipelined acks"
+        } else {
+            ""
+        },
+        if args.http { ", http" } else { "" },
     );
 
     // Optional client-side perturbation, mirroring the paper's trust
@@ -249,20 +362,39 @@ fn main() {
             let gd = &gd;
             let args = &args;
             scope.spawn(move || {
-                let mut client = Client::connect(addr).expect("worker connect");
                 let mut rng = StdRng::seed_from_u64(args.seed ^ (t as u64 + 1) << 32);
+                let mut client = AnyClient::connect(addr, args.http);
+                let mut submit = |batch: &[Vec<u32>], pre: bool| {
+                    if args.pipeline {
+                        let AnyClient::Tcp(tcp) = &mut client else {
+                            unreachable!("--pipeline with --http is rejected at parse time");
+                        };
+                        tcp.submit_nowait(session, batch, pre).expect("submit");
+                    } else {
+                        client.submit_batch(session, batch, pre).expect("submit");
+                    }
+                };
                 for batch in chunk.chunks(args.batch) {
                     if args.pre_perturb {
                         let perturbed: Vec<Vec<u32>> = batch
                             .iter()
                             .map(|r| gd.perturb_record(r, &mut rng).expect("valid record"))
                             .collect();
-                        client
-                            .submit_batch(session, &perturbed, true)
-                            .expect("submit");
+                        submit(&perturbed, true);
                     } else {
-                        client.submit_batch(session, batch, false).expect("submit");
+                        submit(batch, false);
                     }
+                }
+                if args.pipeline {
+                    let AnyClient::Tcp(tcp) = &mut client else {
+                        unreachable!("--pipeline with --http is rejected at parse time");
+                    };
+                    let accepted = tcp.flush().expect("flush");
+                    assert_eq!(
+                        accepted as usize,
+                        chunk.len(),
+                        "pipelined stream must be fully accepted"
+                    );
                 }
             });
         }

@@ -1,13 +1,20 @@
 //! `frapp-serve` — run the FRAPP collection server.
 //!
 //! ```text
-//! frapp-serve [--addr 127.0.0.1:7878] [--shards N] [--seed S]
-//!             [--max-sessions N] [--persist-dir PATH]
+//! frapp-serve [--addr 127.0.0.1:7878] [--http-addr 127.0.0.1:7880]
+//!             [--shards N] [--seed S] [--max-sessions N]
+//!             [--max-connections N] [--persist-dir PATH]
 //!             [--persist-interval SECS]
 //! ```
 //!
-//! The server prints its bound address on stdout (useful with port 0)
-//! and runs until a client sends `{"op":"shutdown"}`.
+//! The server prints its bound address(es) on stdout (useful with port
+//! 0) and runs until a client sends `{"op":"shutdown"}`.
+//!
+//! With `--http-addr`, an HTTP/1.1 front-end serves the same sessions
+//! over REST routes (`POST /sessions`, `POST /sessions/{id}/records`,
+//! `GET /sessions/{id}/reconstruct`, ...). `--max-connections` bounds
+//! concurrent connections across both transports; connections past the
+//! cap are refused with an in-band error and counted as sheds.
 //!
 //! With `--persist-dir`, session snapshots found there are recovered on
 //! startup, every live session is snapshotted on clean shutdown (and
@@ -19,8 +26,9 @@ use frapp_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: frapp-serve [--addr HOST:PORT] [--shards N] [--seed S] \
-         [--max-sessions N] [--persist-dir PATH] [--persist-interval SECS]"
+        "usage: frapp-serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--shards N] \
+         [--seed S] [--max-sessions N] [--max-connections N] [--persist-dir PATH] \
+         [--persist-interval SECS]"
     );
     std::process::exit(2);
 }
@@ -37,6 +45,14 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => config.addr = value("--addr"),
+            "--http-addr" => config.http_addr = Some(value("--http-addr")),
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
             "--shards" => {
                 config.default_shards = value("--shards").parse().unwrap_or_else(|_| usage())
             }
@@ -73,6 +89,9 @@ fn main() {
     match server.local_addr() {
         Ok(addr) => println!("frapp-serve listening on {addr}"),
         Err(e) => eprintln!("frapp-serve: {e}"),
+    }
+    if let Some(addr) = server.local_http_addr() {
+        println!("frapp-serve http on {addr}");
     }
     if let Some(dir) = &persist_dir {
         let recovered = server.registry().ids();

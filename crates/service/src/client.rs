@@ -1,12 +1,18 @@
-//! A blocking client for the line-delimited JSON protocol.
+//! Blocking clients for both transports: the line-delimited JSON
+//! protocol ([`Client`]) and the HTTP/1.1 front-end ([`HttpClient`]).
+//!
+//! Both speak the same JSON bodies against the same server core, so
+//! every parse helper here is shared; the difference is framing (lines
+//! vs HTTP messages) and that only the line protocol supports
+//! *pipelined* submits ([`Client::submit_nowait`] / [`Client::flush`]).
 
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::metrics::{LatencySummary, MetricsReport};
+use crate::metrics::{LatencySummary, MetricsReport, TransportReport};
 use crate::session::{
     Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
 };
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Parameters for [`Client::create_session`].
@@ -32,12 +38,264 @@ impl SessionSpec {
             seed: None,
         }
     }
+
+    /// The create-session JSON fields (everything but the line
+    /// protocol's `"op"`), shared by both transports.
+    fn body_pairs(&self) -> Vec<(&'static str, Value)> {
+        let schema = Value::Array(
+            self.schema
+                .iter()
+                .map(|(name, card)| Value::Array(vec![name.as_str().into(), (*card).into()]))
+                .collect(),
+        );
+        let mut pairs = vec![("schema", schema)];
+        match self.mechanism {
+            Mechanism::Deterministic { gamma } => {
+                pairs.push(("mechanism", "det".into()));
+                pairs.push(("gamma", gamma.into()));
+            }
+            Mechanism::Randomized {
+                gamma,
+                alpha_fraction,
+            } => {
+                pairs.push(("mechanism", "ran".into()));
+                pairs.push(("gamma", gamma.into()));
+                pairs.push(("alpha_fraction", alpha_fraction.into()));
+            }
+        }
+        if let Some(shards) = self.shards {
+            pairs.push(("shards", shards.into()));
+        }
+        if let Some(seed) = self.seed {
+            pairs.push(("seed", seed.into()));
+        }
+        pairs
+    }
 }
 
-/// A connected protocol client.
+/// Appends the submit-body fields both transports share —
+/// `"records":[[..],..],"pre_perturbed":..(,"shard":..)` — straight
+/// into a string buffer. This is the client-side ingest hot path:
+/// going through a [`Value`] tree would cost an allocation per record
+/// plus a serialize pass, the dominant per-batch client cost once acks
+/// are pipelined. One serializer for both framings also keeps the
+/// emitted bytes canonical, which the server's fast submit-line
+/// decoder relies on.
+fn write_submit_fields(
+    out: &mut String,
+    records: &[Vec<u32>],
+    pre_perturbed: bool,
+    shard: Option<usize>,
+) {
+    use std::fmt::Write as _;
+    out.push_str("\"records\":[");
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, &v) in record.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    let _ = write!(out, "],\"pre_perturbed\":{pre_perturbed}");
+    if let Some(shard) = shard {
+        let _ = write!(out, ",\"shard\":{shard}");
+    }
+}
+
+/// Validates a response object's `ok` field, mapping `ok: false` to
+/// [`ServiceError::Remote`] (carrying the retry offset, when present).
+fn check_ok(v: Value) -> Result<Value> {
+    match v.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(v),
+        Some(false) => Err(ServiceError::Remote {
+            message: v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified error")
+                .to_owned(),
+            accepted: v.get("accepted").and_then(Value::as_u64),
+        }),
+        None => Err(ServiceError::Protocol(
+            "response is missing the `ok` field".into(),
+        )),
+    }
+}
+
+fn parse_session_id(v: &Value) -> Result<u64> {
+    v.get("session")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServiceError::Protocol("create_session response missing `session`".into()))
+}
+
+fn parse_submit_shard(v: &Value) -> Result<usize> {
+    v.get("shard")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| ServiceError::Protocol("submit response missing `shard`".into()))
+}
+
+fn parse_reconstruction(v: &Value, method: ReconstructionMethod) -> Result<Reconstruction> {
+    let estimates = v
+        .get("estimates")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol("reconstruct response missing `estimates`".into()))?
+        .iter()
+        .map(|e| {
+            e.as_f64()
+                .ok_or_else(|| ServiceError::Protocol("estimates must be numbers".into()))
+        })
+        .collect::<Result<Vec<f64>>>()?;
+    Ok(Reconstruction {
+        n: v.get("n").and_then(Value::as_u64).unwrap_or(0),
+        estimates,
+        method,
+        lu_cache_hit: v
+            .get("lu_cache_hit")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+fn parse_stats(v: &Value) -> Result<SessionStats> {
+    let per_shard = v
+        .get("per_shard")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol("stats response missing `per_shard`".into()))?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .ok_or_else(|| ServiceError::Protocol("shard counts must be integers".into()))
+        })
+        .collect::<Result<Vec<u64>>>()?;
+    Ok(SessionStats {
+        total: v.get("total").and_then(Value::as_u64).unwrap_or(0),
+        per_shard,
+    })
+}
+
+fn parse_session_ids(v: &Value) -> Result<Vec<u64>> {
+    v.get("sessions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol("list response missing `sessions`".into()))?
+        .iter()
+        .map(|s| {
+            s.as_u64()
+                .ok_or_else(|| ServiceError::Protocol("session ids must be integers".into()))
+        })
+        .collect()
+}
+
+fn parse_session_details(v: &Value) -> Result<Vec<SessionSummary>> {
+    v.get("detail")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol("list response missing `detail`".into()))?
+        .iter()
+        .map(|d| {
+            let field = |key: &str| {
+                d.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                    ServiceError::Protocol(format!("session detail missing `{key}`"))
+                })
+            };
+            Ok(SessionSummary {
+                id: field("session")?,
+                domain_size: field("domain_size")? as usize,
+                shards: field("shards")? as usize,
+                gamma: d.get("gamma").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                total: field("total")?,
+                reconstructions: field("reconstructions")?,
+            })
+        })
+        .collect()
+}
+
+/// Parses one power-of-two histogram object from a metrics response.
+/// Absent fields (an older server) yield an empty summary rather than
+/// an error.
+fn parse_histogram(v: &Value, key: &str) -> Result<LatencySummary> {
+    let Some(hist) = v.get(key) else {
+        return Ok(LatencySummary {
+            count: 0,
+            mean_us: 0.0,
+            max_us: 0,
+            buckets: Vec::new(),
+        });
+    };
+    let buckets = hist
+        .get("buckets")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol(format!("`{key}` missing `buckets`")))?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::Protocol("histogram buckets must be [bound, count] pairs".into())
+            })?;
+            match (pair[0].as_u64(), pair[1].as_u64()) {
+                (Some(le), Some(c)) => Ok((le, c)),
+                _ => Err(ServiceError::Protocol(
+                    "histogram bucket entries must be integers".into(),
+                )),
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(LatencySummary {
+        count: hist.get("count").and_then(Value::as_u64).unwrap_or(0),
+        mean_us: hist.get("mean_us").and_then(Value::as_f64).unwrap_or(0.0),
+        max_us: hist.get("max_us").and_then(Value::as_u64).unwrap_or(0),
+        buckets,
+    })
+}
+
+fn parse_metrics(v: &Value) -> Result<(MetricsReport, u64)> {
+    let u64_field = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ServiceError::Protocol(format!("metrics response missing `{key}`")))
+    };
+    if v.get("query_latency").is_none() {
+        return Err(ServiceError::Protocol(
+            "metrics response missing `query_latency`".into(),
+        ));
+    }
+    let report = MetricsReport {
+        records_ingested: u64_field("records_ingested")?,
+        batches: u64_field("batches")?,
+        reconstructions: u64_field("reconstructions")?,
+        uptime_secs: v.get("uptime_secs").and_then(Value::as_f64).unwrap_or(0.0),
+        ingest_rate: v.get("ingest_rate").and_then(Value::as_f64).unwrap_or(0.0),
+        query_latency: parse_histogram(v, "query_latency")?,
+        ingest_batch_size: parse_histogram(v, "ingest_batch_size")?,
+        submit_latency: parse_histogram(v, "submit_latency")?,
+    };
+    Ok((report, u64_field("total")?))
+}
+
+fn parse_transport_report(v: &Value) -> Result<TransportReport> {
+    let t = v
+        .get("transport")
+        .ok_or_else(|| ServiceError::Protocol("metrics response missing `transport`".into()))?;
+    let field = |key: &str| t.get(key).and_then(Value::as_u64).unwrap_or(0);
+    Ok(TransportReport {
+        tcp_connections: field("tcp_connections"),
+        http_connections: field("http_connections"),
+        tcp_requests: field("tcp_requests"),
+        http_requests: field("http_requests"),
+        deferred_batches: field("deferred_batches"),
+        sheds: field("sheds"),
+        accept_errors: field("accept_errors"),
+    })
+}
+
+/// A connected line-protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    /// Buffered so pipelined submits coalesce into large writes; every
+    /// synchronous request flushes before reading.
+    writer: BufWriter<TcpStream>,
 }
 
 impl Client {
@@ -45,7 +303,7 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
+        let writer = BufWriter::new(stream.try_clone()?);
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
@@ -62,21 +320,7 @@ impl Client {
         if self.reader.read_line(&mut response)? == 0 {
             return Err(ServiceError::ConnectionClosed);
         }
-        let v = json::parse(response.trim())?;
-        match v.get("ok").and_then(Value::as_bool) {
-            Some(true) => Ok(v),
-            Some(false) => Err(ServiceError::Remote {
-                message: v
-                    .get("error")
-                    .and_then(Value::as_str)
-                    .unwrap_or("unspecified error")
-                    .to_owned(),
-                accepted: v.get("accepted").and_then(Value::as_u64),
-            }),
-            None => Err(ServiceError::Protocol(
-                "response is missing the `ok` field".into(),
-            )),
-        }
+        check_ok(json::parse(response.trim())?)
     }
 
     /// Liveness probe.
@@ -86,37 +330,30 @@ impl Client {
 
     /// Creates a collection session, returning its id.
     pub fn create_session(&mut self, spec: &SessionSpec) -> Result<u64> {
-        let schema = Value::Array(
-            spec.schema
-                .iter()
-                .map(|(name, card)| Value::Array(vec![name.as_str().into(), (*card).into()]))
-                .collect(),
-        );
-        let mut pairs = vec![("op", "create_session".into()), ("schema", schema)];
-        match spec.mechanism {
-            Mechanism::Deterministic { gamma } => {
-                pairs.push(("mechanism", "det".into()));
-                pairs.push(("gamma", gamma.into()));
-            }
-            Mechanism::Randomized {
-                gamma,
-                alpha_fraction,
-            } => {
-                pairs.push(("mechanism", "ran".into()));
-                pairs.push(("gamma", gamma.into()));
-                pairs.push(("alpha_fraction", alpha_fraction.into()));
-            }
-        }
-        if let Some(shards) = spec.shards {
-            pairs.push(("shards", shards.into()));
-        }
-        if let Some(seed) = spec.seed {
-            pairs.push(("seed", seed.into()));
-        }
+        let mut pairs = vec![("op", Value::from("create_session"))];
+        pairs.extend(spec.body_pairs());
         let v = self.request(&object(pairs).to_json())?;
-        v.get("session").and_then(Value::as_u64).ok_or_else(|| {
-            ServiceError::Protocol("create_session response missing `session`".into())
-        })
+        parse_session_id(&v)
+    }
+
+    /// Builds one submit line straight into a string (see
+    /// [`write_submit_fields`] for why this skips the `Value` tree).
+    fn submit_line(
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+        shard: Option<usize>,
+        deferred: bool,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(72 + records.len() * 12);
+        let _ = write!(line, "{{\"op\":\"submit\",\"session\":{session},");
+        write_submit_fields(&mut line, records, pre_perturbed, shard);
+        if deferred {
+            line.push_str(",\"ack\":\"deferred\"");
+        }
+        line.push('}');
+        line
     }
 
     fn submit_inner(
@@ -126,25 +363,14 @@ impl Client {
         pre_perturbed: bool,
         shard: Option<usize>,
     ) -> Result<usize> {
-        let records = Value::Array(
-            records
-                .iter()
-                .map(|r| Value::Array(r.iter().map(|&v| v.into()).collect()))
-                .collect(),
-        );
-        let mut pairs = vec![
-            ("op", "submit".into()),
-            ("session", session.into()),
-            ("records", records),
-            ("pre_perturbed", pre_perturbed.into()),
-        ];
-        if let Some(shard) = shard {
-            pairs.push(("shard", shard.into()));
-        }
-        let v = self.request(&object(pairs).to_json())?;
-        v.get("shard")
-            .and_then(Value::as_usize)
-            .ok_or_else(|| ServiceError::Protocol("submit response missing `shard`".into()))
+        let v = self.request(&Self::submit_line(
+            session,
+            records,
+            pre_perturbed,
+            shard,
+            false,
+        ))?;
+        parse_submit_shard(&v)
     }
 
     /// Ingests a batch on a server-chosen shard; returns the shard used.
@@ -186,6 +412,61 @@ impl Client {
             .map(|_| ())
     }
 
+    /// Queues a batch with a *deferred* acknowledgement: the request is
+    /// buffered (and streamed to the server) without waiting for — or
+    /// ever receiving — a per-batch response, so a submission loop pays
+    /// no round-trip per batch. Call [`Client::flush`] to learn the
+    /// cumulative accepted watermark and surface any ingest failure.
+    ///
+    /// # Retry contract, pipelined
+    ///
+    /// The server ingests deferred batches in submission order and
+    /// *stops at the first failure* (later deferred batches are
+    /// dropped), so the watermark `flush` reports is always a
+    /// contiguous prefix of everything queued since the previous
+    /// flush. After a failed flush, resubmit every record past the
+    /// watermark — exactly the synchronous contract, applied to the
+    /// concatenated stream instead of one batch.
+    pub fn submit_nowait(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<()> {
+        let line = Self::submit_line(session, records, pre_perturbed, None, true);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// [`Client::submit_nowait`] pinned to a shard (deterministic
+    /// server-side perturbation, as with
+    /// [`Client::submit_batch_to_shard`]).
+    pub fn submit_nowait_to_shard(
+        &mut self,
+        session: u64,
+        shard: usize,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<()> {
+        let line = Self::submit_line(session, records, pre_perturbed, Some(shard), true);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Reports (and resets) the deferred-submit watermark: how many
+    /// records the server accepted across every [`Client::submit_nowait`]
+    /// since the last flush. If any deferred batch failed, the error
+    /// arrives here as [`ServiceError::Remote`] with `accepted:
+    /// Some(watermark)` — resubmit everything past the watermark.
+    pub fn flush(&mut self) -> Result<u64> {
+        let v = self.request(r#"{"op":"flush"}"#)?;
+        v.get("accepted")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("flush response missing `accepted`".into()))
+    }
+
     /// Runs a reconstruction query.
     pub fn reconstruct(
         &mut self,
@@ -201,123 +482,26 @@ impl Client {
         ])
         .to_json();
         let v = self.request(&line)?;
-        let estimates = v
-            .get("estimates")
-            .and_then(Value::as_array)
-            .ok_or_else(|| {
-                ServiceError::Protocol("reconstruct response missing `estimates`".into())
-            })?
-            .iter()
-            .map(|e| {
-                e.as_f64()
-                    .ok_or_else(|| ServiceError::Protocol("estimates must be numbers".into()))
-            })
-            .collect::<Result<Vec<f64>>>()?;
-        Ok(Reconstruction {
-            n: v.get("n").and_then(Value::as_u64).unwrap_or(0),
-            estimates,
-            method,
-            lu_cache_hit: v
-                .get("lu_cache_hit")
-                .and_then(Value::as_bool)
-                .unwrap_or(false),
-        })
+        parse_reconstruction(&v, method)
     }
 
     /// Fetches ingest statistics.
     pub fn stats(&mut self, session: u64) -> Result<SessionStats> {
         let line = object(vec![("op", "stats".into()), ("session", session.into())]).to_json();
         let v = self.request(&line)?;
-        let per_shard = v
-            .get("per_shard")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ServiceError::Protocol("stats response missing `per_shard`".into()))?
-            .iter()
-            .map(|c| {
-                c.as_u64()
-                    .ok_or_else(|| ServiceError::Protocol("shard counts must be integers".into()))
-            })
-            .collect::<Result<Vec<u64>>>()?;
-        Ok(SessionStats {
-            total: v.get("total").and_then(Value::as_u64).unwrap_or(0),
-            per_shard,
-        })
+        parse_stats(&v)
     }
 
     /// Lists live session ids.
     pub fn list_sessions(&mut self) -> Result<Vec<u64>> {
         let v = self.request(r#"{"op":"list_sessions"}"#)?;
-        v.get("sessions")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ServiceError::Protocol("list response missing `sessions`".into()))?
-            .iter()
-            .map(|s| {
-                s.as_u64()
-                    .ok_or_else(|| ServiceError::Protocol("session ids must be integers".into()))
-            })
-            .collect()
+        parse_session_ids(&v)
     }
 
     /// Lists live sessions with per-session summaries.
     pub fn list_sessions_detail(&mut self) -> Result<Vec<SessionSummary>> {
         let v = self.request(r#"{"op":"list_sessions"}"#)?;
-        v.get("detail")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ServiceError::Protocol("list response missing `detail`".into()))?
-            .iter()
-            .map(|d| {
-                let field = |key: &str| {
-                    d.get(key).and_then(Value::as_u64).ok_or_else(|| {
-                        ServiceError::Protocol(format!("session detail missing `{key}`"))
-                    })
-                };
-                Ok(SessionSummary {
-                    id: field("session")?,
-                    domain_size: field("domain_size")? as usize,
-                    shards: field("shards")? as usize,
-                    gamma: d.get("gamma").and_then(Value::as_f64).unwrap_or(f64::NAN),
-                    total: field("total")?,
-                    reconstructions: field("reconstructions")?,
-                })
-            })
-            .collect()
-    }
-
-    /// Parses one power-of-two histogram object from a metrics
-    /// response. Absent fields (an older server) yield an empty
-    /// summary rather than an error.
-    fn parse_histogram(v: &Value, key: &str) -> Result<LatencySummary> {
-        let Some(hist) = v.get(key) else {
-            return Ok(LatencySummary {
-                count: 0,
-                mean_us: 0.0,
-                max_us: 0,
-                buckets: Vec::new(),
-            });
-        };
-        let buckets = hist
-            .get("buckets")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ServiceError::Protocol(format!("`{key}` missing `buckets`")))?
-            .iter()
-            .map(|pair| {
-                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
-                    ServiceError::Protocol("histogram buckets must be [bound, count] pairs".into())
-                })?;
-                match (pair[0].as_u64(), pair[1].as_u64()) {
-                    (Some(le), Some(c)) => Ok((le, c)),
-                    _ => Err(ServiceError::Protocol(
-                        "histogram bucket entries must be integers".into(),
-                    )),
-                }
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(LatencySummary {
-            count: hist.get("count").and_then(Value::as_u64).unwrap_or(0),
-            mean_us: hist.get("mean_us").and_then(Value::as_f64).unwrap_or(0.0),
-            max_us: hist.get("max_us").and_then(Value::as_u64).unwrap_or(0),
-            buckets,
-        })
+        parse_session_details(&v)
     }
 
     /// Fetches a session's operational metrics. Returns the report plus
@@ -326,27 +510,14 @@ impl Client {
     pub fn metrics(&mut self, session: u64) -> Result<(MetricsReport, u64)> {
         let line = object(vec![("op", "metrics".into()), ("session", session.into())]).to_json();
         let v = self.request(&line)?;
-        let u64_field = |key: &str| {
-            v.get(key)
-                .and_then(Value::as_u64)
-                .ok_or_else(|| ServiceError::Protocol(format!("metrics response missing `{key}`")))
-        };
-        if v.get("query_latency").is_none() {
-            return Err(ServiceError::Protocol(
-                "metrics response missing `query_latency`".into(),
-            ));
-        }
-        let report = MetricsReport {
-            records_ingested: u64_field("records_ingested")?,
-            batches: u64_field("batches")?,
-            reconstructions: u64_field("reconstructions")?,
-            uptime_secs: v.get("uptime_secs").and_then(Value::as_f64).unwrap_or(0.0),
-            ingest_rate: v.get("ingest_rate").and_then(Value::as_f64).unwrap_or(0.0),
-            query_latency: Self::parse_histogram(&v, "query_latency")?,
-            ingest_batch_size: Self::parse_histogram(&v, "ingest_batch_size")?,
-            submit_latency: Self::parse_histogram(&v, "submit_latency")?,
-        };
-        Ok((report, u64_field("total")?))
+        parse_metrics(&v)
+    }
+
+    /// Fetches the server's per-transport counters (connections,
+    /// requests, deferred batches, sheds, accept errors).
+    pub fn server_metrics(&mut self) -> Result<TransportReport> {
+        let v = self.request(r#"{"op":"metrics"}"#)?;
+        parse_transport_report(&v)
     }
 
     /// Asks the server to snapshot one session (or all live sessions,
@@ -383,5 +554,213 @@ impl Client {
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<()> {
         self.request(r#"{"op":"shutdown"}"#).map(|_| ())
+    }
+}
+
+/// A client for the HTTP/1.1 front-end ([`crate::http`]).
+///
+/// One keep-alive connection, hand-rolled framing, and the same JSON
+/// bodies and error mapping as the line protocol (`ok: false` becomes
+/// [`ServiceError::Remote`] whatever the status code). Pipelined
+/// submits are a line-protocol feature; over HTTP every submit is
+/// synchronous.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to a server's HTTP address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and returns the parsed response body. The
+    /// returned status is folded into the `ok` check — the body always
+    /// carries `ok`/`error` — so callers only see [`ServiceError`]s.
+    pub fn request(&mut self, method: &str, path: &str, body: Option<&Value>) -> Result<Value> {
+        let body = body.map(Value::to_json).unwrap_or_default();
+        self.request_raw(method, path, &body)
+    }
+
+    /// [`Self::request`] with a pre-serialized body (the submit hot
+    /// path builds its JSON directly, skipping the `Value` tree).
+    fn request_raw(&mut self, method: &str, path: &str, body: &str) -> Result<Value> {
+        // One write per request: a head/body split across segments
+        // would trip Nagle against the server's delayed ACKs.
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\nHost: frapp\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        message.push_str(body);
+        self.writer.write_all(message.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::ConnectionClosed);
+        }
+        if !line.starts_with("HTTP/1.1 ") && !line.starts_with("HTTP/1.0 ") {
+            return Err(ServiceError::Protocol(format!(
+                "malformed status line `{}`",
+                line.trim()
+            )));
+        }
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ServiceError::Protocol(
+                    "connection closed mid-headers".into(),
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        ServiceError::Protocol(format!("invalid Content-Length `{value}`"))
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = std::str::from_utf8(&body)
+            .map_err(|_| ServiceError::Protocol("response body is not valid UTF-8".into()))?;
+        check_ok(json::parse(text)?)
+    }
+
+    /// Liveness probe (`GET /ping`).
+    pub fn ping(&mut self) -> Result<()> {
+        self.request("GET", "/ping", None).map(|_| ())
+    }
+
+    /// Creates a collection session (`POST /sessions`), returning its
+    /// id.
+    pub fn create_session(&mut self, spec: &SessionSpec) -> Result<u64> {
+        let body = object(spec.body_pairs());
+        let v = self.request("POST", "/sessions", Some(&body))?;
+        parse_session_id(&v)
+    }
+
+    /// Ingests a batch (`POST /sessions/{id}/records`); returns the
+    /// shard used. The synchronous retry contract of
+    /// [`Client::submit_batch`] applies unchanged.
+    pub fn submit_batch(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<usize> {
+        self.submit_inner(session, records, pre_perturbed, None)
+    }
+
+    /// Ingests a batch on a specific shard.
+    pub fn submit_batch_to_shard(
+        &mut self,
+        session: u64,
+        shard: usize,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+    ) -> Result<()> {
+        self.submit_inner(session, records, pre_perturbed, Some(shard))
+            .map(|_| ())
+    }
+
+    fn submit_inner(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+        shard: Option<usize>,
+    ) -> Result<usize> {
+        let mut body = String::with_capacity(48 + records.len() * 12);
+        body.push('{');
+        write_submit_fields(&mut body, records, pre_perturbed, shard);
+        body.push('}');
+        let v = self.request_raw("POST", &format!("/sessions/{session}/records"), &body)?;
+        parse_submit_shard(&v)
+    }
+
+    /// Runs a reconstruction query
+    /// (`GET /sessions/{id}/reconstruct?method=...&clamp=...`).
+    pub fn reconstruct(
+        &mut self,
+        session: u64,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> Result<Reconstruction> {
+        let path = format!(
+            "/sessions/{session}/reconstruct?method={}&clamp={clamp}",
+            method.wire_name()
+        );
+        let v = self.request("GET", &path, None)?;
+        parse_reconstruction(&v, method)
+    }
+
+    /// Fetches ingest statistics (`GET /sessions/{id}/stats`).
+    pub fn stats(&mut self, session: u64) -> Result<SessionStats> {
+        let v = self.request("GET", &format!("/sessions/{session}/stats"), None)?;
+        parse_stats(&v)
+    }
+
+    /// Lists live session ids (`GET /sessions`).
+    pub fn list_sessions(&mut self) -> Result<Vec<u64>> {
+        let v = self.request("GET", "/sessions", None)?;
+        parse_session_ids(&v)
+    }
+
+    /// Lists live sessions with per-session summaries.
+    pub fn list_sessions_detail(&mut self) -> Result<Vec<SessionSummary>> {
+        let v = self.request("GET", "/sessions", None)?;
+        parse_session_details(&v)
+    }
+
+    /// Fetches a session's metrics (`GET /sessions/{id}/metrics`).
+    pub fn metrics(&mut self, session: u64) -> Result<(MetricsReport, u64)> {
+        let v = self.request("GET", &format!("/sessions/{session}/metrics"), None)?;
+        parse_metrics(&v)
+    }
+
+    /// Fetches the server's per-transport counters (`GET /metrics`).
+    pub fn server_metrics(&mut self) -> Result<TransportReport> {
+        let v = self.request("GET", "/metrics", None)?;
+        parse_transport_report(&v)
+    }
+
+    /// Asks the server to snapshot one session
+    /// (`POST /sessions/{id}/persist`) or all sessions
+    /// (`POST /persist`). Returns the persisted session ids.
+    pub fn persist(&mut self, session: Option<u64>) -> Result<Vec<u64>> {
+        let path = match session {
+            Some(id) => format!("/sessions/{id}/persist"),
+            None => "/persist".to_owned(),
+        };
+        let v = self.request("POST", &path, None)?;
+        v.get("persisted")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServiceError::Protocol("persist response missing `persisted`".into()))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| ServiceError::Protocol("session ids must be integers".into()))
+            })
+            .collect()
+    }
+
+    /// Closes a session (`DELETE /sessions/{id}`); returns whether it
+    /// existed.
+    pub fn close_session(&mut self, session: u64) -> Result<bool> {
+        let v = self.request("DELETE", &format!("/sessions/{session}"), None)?;
+        Ok(v.get("closed").and_then(Value::as_bool).unwrap_or(false))
     }
 }

@@ -8,6 +8,17 @@ pub struct ServiceConfig {
     /// Address to bind, e.g. `127.0.0.1:7878`. Port `0` asks the OS for
     /// an ephemeral port (the default, which suits tests).
     pub addr: String,
+    /// Address for the HTTP/1.1 front-end, e.g. `127.0.0.1:7880`.
+    /// `None` (the default) disables HTTP entirely; when set, the same
+    /// dispatch core serves REST routes alongside the line protocol
+    /// (see [`crate::http`]).
+    pub http_addr: Option<String>,
+    /// Most concurrent connections the server accepts, *across both
+    /// transports*. Each connection owns one OS thread, so an unbounded
+    /// accept loop would let N clients exhaust the process; connections
+    /// past the cap are refused with an in-band error (line protocol)
+    /// or `503` (HTTP) and counted as sheds in the transport metrics.
+    pub max_connections: usize,
     /// Default number of ingest shards for sessions that do not specify
     /// one.
     pub default_shards: usize,
@@ -50,6 +61,8 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             addr: "127.0.0.1:0".to_owned(),
+            http_addr: None,
+            max_connections: 1024,
             default_shards: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
@@ -78,6 +91,12 @@ impl ServiceConfig {
         self.persist_dir = Some(dir.into());
         self
     }
+
+    /// Enables the HTTP front-end on `addr` (port `0` for ephemeral).
+    pub fn with_http_addr(mut self, addr: impl Into<String>) -> Self {
+        self.http_addr = Some(addr.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +112,14 @@ mod tests {
         assert!(c.max_sessions >= 1);
         assert!(c.persist_dir.is_none());
         assert_eq!(c.persist_interval_secs, 0);
+        assert!(c.http_addr.is_none());
+        assert!(c.max_connections >= 64);
+    }
+
+    #[test]
+    fn with_http_addr_enables_the_http_front_end() {
+        let c = ServiceConfig::default().with_http_addr("127.0.0.1:0");
+        assert_eq!(c.http_addr.as_deref(), Some("127.0.0.1:0"));
     }
 
     #[test]

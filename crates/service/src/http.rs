@@ -1,0 +1,696 @@
+//! A minimal HTTP/1.1 front-end over the same dispatch core as the
+//! line protocol.
+//!
+//! Hand-rolled request parsing in the spirit of the line protocol — no
+//! new dependencies — implementing just enough of HTTP/1.1 for REST
+//! clients and `curl`: request line + headers, `Content-Length` bodies,
+//! keep-alive connections, and `Expect: 100-continue`. Every route maps
+//! onto an existing [`Request`] with the *same JSON bodies* as the line
+//! protocol, so a response is byte-identical across transports:
+//!
+//! ```text
+//! GET    /ping                          -> ping
+//! POST   /sessions                      -> create_session (JSON body)
+//! GET    /sessions                      -> list_sessions
+//! GET    /sessions/{id}                 -> stats
+//! GET    /sessions/{id}/stats           -> stats
+//! POST   /sessions/{id}/records         -> submit (JSON body)
+//! GET    /sessions/{id}/reconstruct     -> reconstruct
+//!        ?method=closed|cached_lu|fresh_lu&clamp=true|false
+//! GET    /sessions/{id}/metrics         -> metrics
+//! GET    /metrics                       -> metrics (transport counters)
+//! POST   /sessions/{id}/persist         -> persist one session
+//! POST   /persist                       -> persist all sessions
+//! DELETE /sessions/{id}                 -> close_session
+//! ```
+//!
+//! `shutdown` and deferred-ack submits are deliberately not exposed:
+//! both are connection-oriented (the latter relies on *not* answering a
+//! request), which HTTP's strict request/response pairing cannot
+//! express. Errors map onto status codes (`404` unknown session or
+//! route, `400` invalid request, `500` server-side failure) with the
+//! line protocol's `{"ok":false,"error":...}` body.
+
+use crate::dispatch;
+use crate::error::{Result, ServiceError};
+use crate::json::{self, Value};
+use crate::protocol::{self, write_error_response, Request};
+use crate::server::{AcceptBackoff, Shared};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers. Bodies are separately
+/// bounded by `ServiceConfig::max_line_bytes`.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// How long the accept loop sleeps when polling an idle (non-blocking)
+/// listener before re-checking the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Runs the HTTP accept loop until the shared shutdown flag is set.
+/// The listener must be non-blocking: unlike the TCP loop (which a
+/// shutdown handler wakes with a loopback connection), this loop polls
+/// the flag between accepts.
+pub(crate) fn run_accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = AcceptBackoff::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff.on_success();
+                stream
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // Same bounded backoff as the TCP loop: a persistent accept
+            // failure (EMFILE) must not spin this thread hot.
+            Err(_) => {
+                shared.transport.record_accept_error();
+                std::thread::sleep(backoff.on_error());
+                continue;
+            }
+        };
+        let Some(guard) = shared.try_admit() else {
+            shed_http_connection(stream, shared);
+            continue;
+        };
+        shared.transport.record_http_connection();
+        let shared = Arc::clone(shared);
+        workers.push(std::thread::spawn(move || {
+            let _guard = guard;
+            let _ = handle_connection(stream, &shared);
+        }));
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Refuses a connection at the cap: `503 Service Unavailable` with the
+/// in-band error body, then close. Runs on the accept thread, so the
+/// write timeout is short.
+fn shed_http_connection(mut stream: TcpStream, shared: &Shared) {
+    // See handle_connection: the accepted socket may have inherited the
+    // listener's non-blocking flag, under which the write timeout below
+    // would not apply.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut body = String::new();
+    write_error_response(
+        &mut body,
+        &ServiceError::InvalidRequest(shared.shed_message()),
+    );
+    let _ = write_http_response(&mut stream, 503, "Service Unavailable", &body, false);
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
+    // The listener is non-blocking (the accept loop polls the shutdown
+    // flag), and on some platforms (BSD/macOS, Windows) accepted
+    // sockets inherit that flag. This connection must block on its
+    // read timeout — a non-blocking socket would turn the
+    // WouldBlock-means-poll-shutdown loops below into a hot spin.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    // Responses are written as one buffer, but disable Nagle anyway:
+    // with it on, a head/body pair split across segments stalls ~40 ms
+    // against the peer's delayed ACK, capping keep-alive connections
+    // at ~25 requests/second.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    let mut body_buf = Vec::new();
+    let mut response = String::new();
+    loop {
+        if !read_head(&mut reader, &mut head, &shared.shutdown)? {
+            return Ok(()); // peer closed, or server shutting down
+        }
+        let parsed = parse_head(&head);
+        let (method, target, version, content_length, keep_alive, expect_continue) = match parsed {
+            Ok(h) => h,
+            Err(e) => {
+                response.clear();
+                write_error_response(&mut response, &e);
+                write_http_response(&mut writer, 400, "Bad Request", &response, false)?;
+                return Ok(());
+            }
+        };
+        if content_length > shared.config.max_line_bytes {
+            response.clear();
+            write_error_response(
+                &mut response,
+                &ServiceError::Protocol(format!(
+                    "request body exceeds {} bytes",
+                    shared.config.max_line_bytes
+                )),
+            );
+            write_http_response(&mut writer, 413, "Payload Too Large", &response, false)?;
+            return Ok(());
+        }
+        if expect_continue && content_length > 0 {
+            // curl sends `Expect: 100-continue` for larger bodies and
+            // waits for this interim response before transmitting.
+            writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+            writer.flush()?;
+        }
+        read_exact_with_shutdown(&mut reader, &mut body_buf, content_length, &shared.shutdown)?;
+        shared.transport.record_http_request();
+
+        response.clear();
+        let (status, reason) = respond(shared, &method, &target, &body_buf, &mut response);
+        // HTTP/1.1 defaults to keep-alive; honour an explicit close.
+        let keep = keep_alive && version == "HTTP/1.1";
+        write_http_response(&mut writer, status, reason, &response, keep)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request and executes it, writing the JSON body into
+/// `out`; returns the status line pair.
+fn respond(
+    shared: &Shared,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    out: &mut String,
+) -> (u16, &'static str) {
+    let req = match route(method, target, body) {
+        Ok(req) => req,
+        Err(RouteError::NotFound(msg)) => {
+            write_error_response(out, &ServiceError::InvalidRequest(msg));
+            return (404, "Not Found");
+        }
+        Err(RouteError::Bad(e)) => {
+            write_error_response(out, &e);
+            return status_of(&e);
+        }
+    };
+    match dispatch::execute(
+        &shared.registry,
+        &shared.config,
+        &shared.transport,
+        req,
+        out,
+    ) {
+        Ok(_) => (200, "OK"),
+        Err(e) => {
+            out.clear();
+            write_error_response(out, &e);
+            status_of(&e)
+        }
+    }
+}
+
+/// The status code an in-band error maps to. The JSON body carries the
+/// same `error` (and `accepted`, for partial batches) either way.
+fn status_of(e: &ServiceError) -> (u16, &'static str) {
+    match e {
+        ServiceError::UnknownSession(_) => (404, "Not Found"),
+        ServiceError::InvalidRequest(_)
+        | ServiceError::Protocol(_)
+        | ServiceError::Frapp(_)
+        | ServiceError::PartialBatch { .. } => (400, "Bad Request"),
+        _ => (500, "Internal Server Error"),
+    }
+}
+
+enum RouteError {
+    /// No such path/method: `404` without consulting the registry.
+    NotFound(String),
+    /// The path matched but the request is malformed.
+    Bad(ServiceError),
+}
+
+impl From<ServiceError> for RouteError {
+    fn from(e: ServiceError) -> Self {
+        RouteError::Bad(e)
+    }
+}
+
+/// Maps `(method, path, query, body)` onto a [`Request`]. Bodies are
+/// the line protocol's JSON objects minus the `op`/`session` fields
+/// (both are in the request line), parsed by the same
+/// [`crate::protocol`] helpers.
+fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request, RouteError> {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let parse_body = || -> std::result::Result<Value, RouteError> {
+        if body.is_empty() {
+            // An absent body reads as an empty object so that ops with
+            // all-optional fields (persist) need no payload.
+            return Ok(Value::Object(Vec::new()));
+        }
+        let text = std::str::from_utf8(body).map_err(|_| {
+            RouteError::Bad(ServiceError::Protocol(
+                "request body is not valid UTF-8".into(),
+            ))
+        })?;
+        Ok(json::parse(text)?)
+    };
+    let session_id = |seg: &str| -> std::result::Result<u64, RouteError> {
+        seg.parse::<u64>().map_err(|_| {
+            RouteError::Bad(ServiceError::InvalidRequest(format!(
+                "`{seg}` is not a session id"
+            )))
+        })
+    };
+    match (method, segments.as_slice()) {
+        ("GET", ["ping"]) => Ok(Request::Ping),
+        ("GET", ["metrics"]) => Ok(Request::Metrics { session: None }),
+        ("POST", ["sessions"]) => Ok(protocol::parse_create_session(&parse_body()?)?),
+        ("GET", ["sessions"]) => Ok(Request::ListSessions),
+        ("GET", ["sessions", id]) | ("GET", ["sessions", id, "stats"]) => Ok(Request::Stats {
+            session: session_id(id)?,
+        }),
+        ("POST", ["sessions", id, "records"]) => {
+            // Deferred acks are connection-oriented; over HTTP every
+            // request is answered, so the parser refuses them here.
+            Ok(protocol::parse_submit(
+                &parse_body()?,
+                session_id(id)?,
+                false,
+            )?)
+        }
+        ("GET", ["sessions", id, "reconstruct"]) => {
+            let (method_param, clamp) = reconstruct_query(query)?;
+            Ok(protocol::parse_reconstruct(
+                session_id(id)?,
+                method_param,
+                clamp,
+            )?)
+        }
+        ("GET", ["sessions", id, "metrics"]) => Ok(Request::Metrics {
+            session: Some(session_id(id)?),
+        }),
+        ("POST", ["sessions", id, "persist"]) => Ok(Request::Persist {
+            session: Some(session_id(id)?),
+        }),
+        ("POST", ["persist"]) => Ok(Request::Persist { session: None }),
+        ("DELETE", ["sessions", id]) => Ok(Request::CloseSession {
+            session: session_id(id)?,
+        }),
+        _ => Err(RouteError::NotFound(format!(
+            "no route for {method} {path}"
+        ))),
+    }
+}
+
+/// Parses `method=...&clamp=...` from a reconstruct query string.
+fn reconstruct_query(query: &str) -> std::result::Result<(Option<&str>, Option<bool>), RouteError> {
+    let mut method = None;
+    let mut clamp = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "method" => method = Some(value),
+            "clamp" => {
+                clamp = Some(match value {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    other => {
+                        return Err(RouteError::Bad(ServiceError::InvalidRequest(format!(
+                            "`clamp` must be true or false, got `{other}`"
+                        ))))
+                    }
+                })
+            }
+            other => {
+                return Err(RouteError::Bad(ServiceError::InvalidRequest(format!(
+                    "unknown query parameter `{other}`"
+                ))))
+            }
+        }
+    }
+    Ok((method, clamp))
+}
+
+/// Reads one request head (request line + headers, through the blank
+/// line) into `buf`. Returns `false` on a clean EOF before any byte
+/// (the peer closed an idle keep-alive connection) or on shutdown.
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> Result<bool> {
+    const TERM: &[u8; 4] = b"\r\n\r\n";
+    buf.clear();
+    // How many bytes of the terminator the tail of `buf` matches — the
+    // matcher state survives chunk boundaries, so the head is consumed
+    // byte-exactly and any pipelined body bytes stay in the reader.
+    let mut matched = 0usize;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(false); // clean EOF between requests
+            }
+            return Err(ServiceError::Protocol(
+                "connection closed mid-request".into(),
+            ));
+        }
+        let mut end = None;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b == TERM[matched] {
+                matched += 1;
+                if matched == TERM.len() {
+                    end = Some(i + 1);
+                    break;
+                }
+            } else if b == TERM[0] {
+                matched = 1;
+            } else {
+                matched = 0;
+            }
+        }
+        match end {
+            Some(end) => {
+                buf.extend_from_slice(&chunk[..end]);
+                reader.consume(end);
+                return Ok(true);
+            }
+            None => {
+                buf.extend_from_slice(chunk);
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ServiceError::Protocol(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+    }
+}
+
+/// Reads exactly `n` body bytes, treating read timeouts as "check the
+/// shutdown flag and keep waiting" like the line protocol does.
+fn read_exact_with_shutdown(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    n: usize,
+    shutdown: &AtomicBool,
+) -> Result<()> {
+    buf.clear();
+    while buf.len() < n {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(ServiceError::ConnectionClosed);
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if chunk.is_empty() {
+            return Err(ServiceError::Protocol("connection closed mid-body".into()));
+        }
+        let take = chunk.len().min(n - buf.len());
+        buf.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+    }
+    Ok(())
+}
+
+type Head = (String, String, String, usize, bool, bool);
+
+/// Parses the request line and the headers this front-end cares about:
+/// `(method, target, version, content_length, keep_alive,
+/// expect_continue)`.
+fn parse_head(head: &[u8]) -> Result<Head> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ServiceError::Protocol("request head is not valid UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServiceError::Protocol("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/") => {
+            (m.to_owned(), t.to_owned(), v.to_owned())
+        }
+        _ => {
+            return Err(ServiceError::Protocol(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to persistent connections.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut expect_continue = false;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServiceError::Protocol(format!(
+                "malformed header line `{line}`"
+            )));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ServiceError::Protocol(format!("invalid Content-Length `{value}`")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked bodies are not implemented; refusing beats
+            // silently misreading the framing.
+            return Err(ServiceError::Protocol(
+                "Transfer-Encoding is not supported; send a Content-Length body".into(),
+            ));
+        }
+    }
+    Ok((
+        method,
+        target,
+        version,
+        content_length,
+        keep_alive,
+        expect_continue,
+    ))
+}
+
+/// Writes one HTTP response with a JSON body. Head and body go out in
+/// a single `write` so the response never straddles Nagle's algorithm
+/// and the peer's delayed-ACK timer.
+fn write_http_response(
+    writer: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut message = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {connection}\r\n\r\n",
+        body.len()
+    );
+    message.push_str(body);
+    writer.write_all(message.as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_head_extracts_request_line_and_headers() {
+        let head = b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\
+                     Connection: close\r\nExpect: 100-continue\r\n\r\n";
+        let (method, target, version, len, keep, expect) = parse_head(head).unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(target, "/sessions");
+        assert_eq!(version, "HTTP/1.1");
+        assert_eq!(len, 12);
+        assert!(!keep);
+        assert!(expect);
+        // Defaults: HTTP/1.1 keeps alive, no body.
+        let (_, _, _, len, keep, expect) =
+            parse_head(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(len, 0);
+        assert!(keep);
+        assert!(!expect);
+        assert!(parse_head(b"GARBAGE\r\n\r\n").is_err());
+        assert!(parse_head(b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn routes_map_to_protocol_requests() {
+        assert!(matches!(route("GET", "/ping", b""), Ok(Request::Ping)));
+        assert!(matches!(
+            route("GET", "/sessions", b""),
+            Ok(Request::ListSessions)
+        ));
+        assert!(matches!(
+            route("GET", "/sessions/7", b""),
+            Ok(Request::Stats { session: 7 })
+        ));
+        assert!(matches!(
+            route("GET", "/sessions/7/stats", b""),
+            Ok(Request::Stats { session: 7 })
+        ));
+        assert!(matches!(
+            route("GET", "/metrics", b""),
+            Ok(Request::Metrics { session: None })
+        ));
+        assert!(matches!(
+            route("GET", "/sessions/3/metrics", b""),
+            Ok(Request::Metrics { session: Some(3) })
+        ));
+        assert!(matches!(
+            route("DELETE", "/sessions/3", b""),
+            Ok(Request::CloseSession { session: 3 })
+        ));
+        assert!(matches!(
+            route("POST", "/persist", b""),
+            Ok(Request::Persist { session: None })
+        ));
+        assert!(matches!(
+            route("POST", "/sessions/9/persist", b""),
+            Ok(Request::Persist { session: Some(9) })
+        ));
+        let req = route(
+            "POST",
+            "/sessions",
+            br#"{"schema":[["a",3]],"gamma":19.0,"seed":7}"#,
+        )
+        .ok()
+        .unwrap();
+        assert!(matches!(req, Request::CreateSession { seed: Some(7), .. }));
+        let req = route(
+            "POST",
+            "/sessions/4/records",
+            br#"{"records":[[0],[1]],"pre_perturbed":true}"#,
+        )
+        .ok()
+        .unwrap();
+        match req {
+            Request::Submit {
+                session,
+                records,
+                pre_perturbed,
+                deferred,
+                ..
+            } => {
+                assert_eq!(session, 4);
+                assert_eq!(records.len(), 2);
+                assert!(pre_perturbed);
+                assert!(!deferred);
+            }
+            other => panic!("unexpected route result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reconstruct_route_parses_query_parameters() {
+        match route(
+            "GET",
+            "/sessions/2/reconstruct?method=cached_lu&clamp=false",
+            b"",
+        ) {
+            Ok(Request::Reconstruct {
+                session,
+                method,
+                clamp,
+            }) => {
+                assert_eq!(session, 2);
+                assert_eq!(method, crate::session::ReconstructionMethod::CachedLu);
+                assert!(!clamp);
+            }
+            _ => panic!("route failed"),
+        }
+        // Defaults: closed form, clamped.
+        match route("GET", "/sessions/2/reconstruct", b"") {
+            Ok(Request::Reconstruct { method, clamp, .. }) => {
+                assert_eq!(method, crate::session::ReconstructionMethod::ClosedForm);
+                assert!(clamp);
+            }
+            _ => panic!("route failed"),
+        }
+        assert!(route("GET", "/sessions/2/reconstruct?clamp=maybe", b"").is_err());
+        assert!(route("GET", "/sessions/2/reconstruct?boost=1", b"").is_err());
+    }
+
+    #[test]
+    fn unknown_routes_and_bad_ids_are_distinguished() {
+        assert!(matches!(
+            route("GET", "/nope", b""),
+            Err(RouteError::NotFound(_))
+        ));
+        assert!(matches!(
+            route("PATCH", "/sessions/1", b""),
+            Err(RouteError::NotFound(_))
+        ));
+        assert!(matches!(
+            route("GET", "/sessions/abc", b""),
+            Err(RouteError::Bad(_))
+        ));
+        // Deferred acks are refused over HTTP.
+        assert!(matches!(
+            route(
+                "POST",
+                "/sessions/1/records",
+                br#"{"records":[[0]],"ack":"deferred"}"#
+            ),
+            Err(RouteError::Bad(ServiceError::InvalidRequest(_)))
+        ));
+    }
+
+    #[test]
+    fn error_statuses_follow_the_error_kind() {
+        assert_eq!(status_of(&ServiceError::UnknownSession(1)).0, 404);
+        assert_eq!(status_of(&ServiceError::InvalidRequest("x".into())).0, 400);
+        assert_eq!(
+            status_of(&ServiceError::PartialBatch {
+                accepted: 1,
+                source: Box::new(ServiceError::InvalidRequest("x".into())),
+            })
+            .0,
+            400
+        );
+        assert_eq!(status_of(&ServiceError::Snapshot("x".into())).0, 500);
+    }
+}

@@ -286,8 +286,31 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Value> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
+        }
+        // Fast path: plain integers — the overwhelmingly common case on
+        // the ingest hot path, where a submit line is mostly record
+        // arrays of small integers — accumulate directly instead of
+        // slicing through UTF-8 validation and the general f64 parser.
+        let digits_start = self.pos;
+        let mut int: u64 = 0;
+        while let Some(d @ b'0'..=b'9') = self.peek() {
+            // 19+ digits could overflow u64; punt to the slow path.
+            if self.pos - digits_start >= 18 {
+                break;
+            }
+            int = int * 10 + u64::from(d - b'0');
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'.' | b'e' | b'E' | b'0'..=b'9' | b'+' | b'-') => {}
+            _ if self.pos > digits_start => {
+                let n = int as f64;
+                return Ok(Value::Number(if negative { -n } else { n }));
+            }
+            _ => return Err(self.err("malformed number")),
         }
         while matches!(
             self.peek(),

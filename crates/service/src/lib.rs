@@ -36,7 +36,18 @@
 //!   `O(n²)` instead of `O(n³)`.
 //! * [`server::Server`] / [`client::Client`] — a line-delimited JSON
 //!   protocol over TCP ([`protocol`]), with the `frapp-serve` and
-//!   `frapp-client` binaries on top.
+//!   `frapp-client` binaries on top. The line protocol supports
+//!   *pipelined* submits: `"ack":"deferred"` batches are ingested
+//!   without a per-batch response, and a `flush` op returns the
+//!   cumulative accepted watermark — decoupling ingest throughput from
+//!   round-trip latency while preserving the partial-batch retry
+//!   contract.
+//! * [`http`] — a hand-rolled HTTP/1.1 front-end over the same
+//!   transport-agnostic dispatch core ([`dispatch`]): `POST /sessions`,
+//!   `POST /sessions/{id}/records`, `GET /sessions/{id}/reconstruct`
+//!   and friends, with JSON bodies identical to the line protocol
+//!   (enabled by `ServiceConfig::http_addr`; [`client::HttpClient`]
+//!   speaks it).
 //!
 //! ## In-process quickstart
 //!
@@ -61,7 +72,9 @@
 
 pub mod client;
 pub mod config;
+pub mod dispatch;
 pub mod error;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod persist;
@@ -70,10 +83,10 @@ pub mod server;
 pub mod session;
 pub mod shard;
 
-pub use client::{Client, SessionSpec};
+pub use client::{Client, HttpClient, SessionSpec};
 pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
-pub use metrics::{MetricsReport, SessionMetrics};
+pub use metrics::{MetricsReport, SessionMetrics, TransportMetrics, TransportReport};
 pub use server::{Server, ServerHandle};
 pub use session::{
     CollectionSession, Mechanism, ReconstructionMethod, SessionRegistry, SessionSummary,

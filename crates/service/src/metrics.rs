@@ -169,6 +169,13 @@ impl SessionMetrics {
         self.query_latency.observe(elapsed);
     }
 
+    /// Reconstruction queries answered so far — a single counter read,
+    /// for callers (like `list_sessions` summaries) that do not need
+    /// the full histogram snapshot of [`Self::report`].
+    pub fn reconstructions(&self) -> u64 {
+        self.reconstructions.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time report of all counters.
     pub fn report(&self) -> MetricsReport {
         let uptime_secs = self.started.elapsed().as_secs_f64();
@@ -188,6 +195,99 @@ impl SessionMetrics {
             submit_latency: self.submit_latency.snapshot(),
         }
     }
+}
+
+/// Server-wide transport counters, shared by every front-end.
+///
+/// One instance lives in the server and is updated by the TCP and HTTP
+/// accept loops and connection handlers with relaxed atomics. Unlike
+/// [`SessionMetrics`] these survive session churn — they meter the
+/// *transports*, not any one session — and are reported by the
+/// session-less `{"op":"metrics"}` request (or `GET /metrics` over
+/// HTTP).
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    tcp_connections: AtomicU64,
+    http_connections: AtomicU64,
+    tcp_requests: AtomicU64,
+    http_requests: AtomicU64,
+    deferred_batches: AtomicU64,
+    sheds: AtomicU64,
+    accept_errors: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one accepted TCP (line-protocol) connection.
+    pub fn record_tcp_connection(&self) {
+        self.tcp_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted HTTP connection.
+    pub fn record_http_connection(&self) {
+        self.http_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one dispatched line-protocol request.
+    pub fn record_tcp_request(&self) {
+        self.tcp_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one dispatched HTTP request.
+    pub fn record_http_request(&self) {
+        self.http_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one deferred-ack (`"ack":"deferred"`) submit batch.
+    pub fn record_deferred_batch(&self) {
+        self.deferred_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection refused at the `max_connections` cap.
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed `accept` on a listener.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn report(&self) -> TransportReport {
+        TransportReport {
+            tcp_connections: self.tcp_connections.load(Ordering::Relaxed),
+            http_connections: self.http_connections.load(Ordering::Relaxed),
+            tcp_requests: self.tcp_requests.load(Ordering::Relaxed),
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+            deferred_batches: self.deferred_batches.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the server's [`TransportMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportReport {
+    /// Line-protocol connections accepted.
+    pub tcp_connections: u64,
+    /// HTTP connections accepted.
+    pub http_connections: u64,
+    /// Line-protocol requests dispatched.
+    pub tcp_requests: u64,
+    /// HTTP requests dispatched.
+    pub http_requests: u64,
+    /// Deferred-ack submit batches received.
+    pub deferred_batches: u64,
+    /// Connections refused at the `max_connections` cap.
+    pub sheds: u64,
+    /// Failed `accept` calls across all listeners.
+    pub accept_errors: u64,
 }
 
 /// A snapshot of one session's [`SessionMetrics`].
@@ -279,6 +379,28 @@ mod tests {
         assert!(r.query_latency.buckets.is_empty());
         assert_eq!(r.ingest_batch_size.count, 0);
         assert_eq!(r.submit_latency.count, 0);
+    }
+
+    #[test]
+    fn transport_metrics_count_per_transport() {
+        let t = TransportMetrics::new();
+        t.record_tcp_connection();
+        t.record_tcp_request();
+        t.record_tcp_request();
+        t.record_http_connection();
+        t.record_http_request();
+        t.record_deferred_batch();
+        t.record_shed();
+        t.record_accept_error();
+        let r = t.report();
+        assert_eq!(r.tcp_connections, 1);
+        assert_eq!(r.tcp_requests, 2);
+        assert_eq!(r.http_connections, 1);
+        assert_eq!(r.http_requests, 1);
+        assert_eq!(r.deferred_batches, 1);
+        assert_eq!(r.sheds, 1);
+        assert_eq!(r.accept_errors, 1);
+        assert_eq!(TransportMetrics::new().report(), TransportReport::default());
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!  "rho1":0.05,"rho2":0.5}
 //! {"op":"submit","session":1,"records":[[3,0],[7,1]],
 //!  "pre_perturbed":false,"shard":0}
+//! {"op":"submit","session":1,"records":[[3,0]],"ack":"deferred"}
+//! {"op":"flush"}
 //! {"op":"reconstruct","session":1,"method":"closed","clamp":true}
 //! {"op":"stats","session":1}
 //! {"op":"metrics","session":1}
+//! {"op":"metrics"}
 //! {"op":"list_sessions"}
 //! {"op":"persist"}
 //! {"op":"persist","session":1}
@@ -29,10 +32,33 @@
 //! client resubmits only the remainder (see
 //! [`crate::client::Client::submit_batch`] for the full retry
 //! contract).
+//!
+//! ## Pipelined submits
+//!
+//! A `submit` with `"ack":"deferred"` is *not* answered: the server
+//! ingests it and remembers the cumulative accepted count on the
+//! connection, so a client can stream many batches without paying one
+//! round-trip each. `{"op":"flush"}` answers with the watermark:
+//! `{"ok":true,"accepted":N,"batches":B}` where `N` counts every record
+//! accepted since the last flush. If any deferred batch failed, later
+//! deferred batches are *dropped* (not ingested) until the flush, which
+//! then reports `{"ok":false,"error":...,"accepted":N,"batches":B}` —
+//! `accepted` is still a contiguous prefix of the submitted stream, so
+//! the PR 2 retry contract lifts unchanged to pipelining: resubmit
+//! everything after the first `N` records. Any synchronous op arriving
+//! with deferred state pending carries `"deferred_accepted"` (and
+//! `"deferred_error"`, if one is stashed) on its own response, so the
+//! watermark is never silently lost. A `metrics` request *without* a
+//! session id reports the server's per-transport counters instead of
+//! session counters.
+//!
+//! The same ops are also exposed over HTTP/1.1 by
+//! [`crate::http`] (except `shutdown` and deferred acks, which are
+//! connection-oriented).
 
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::metrics::{LatencySummary, MetricsReport};
+use crate::metrics::{LatencySummary, MetricsReport, TransportReport};
 use crate::session::{
     Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
 };
@@ -80,6 +106,20 @@ impl RecordBatch {
     /// Appends one record.
     pub fn push(&mut self, record: &[u32]) {
         self.values.extend_from_slice(record);
+        self.offsets.push(self.values.len());
+    }
+
+    /// Appends one cell to the record currently being built (see
+    /// [`Self::end_record`]) — the streaming construction the
+    /// fast-path submit decoder uses.
+    pub fn push_cell(&mut self, value: u32) {
+        self.values.push(value);
+    }
+
+    /// Closes the record currently being built: everything pushed via
+    /// [`Self::push_cell`] since the last `end_record` (or since
+    /// construction) becomes one record.
+    pub fn end_record(&mut self) {
         self.offsets.push(self.values.len());
     }
 
@@ -131,7 +171,13 @@ pub enum Request {
         pre_perturbed: bool,
         /// Pin the batch to a specific shard (round-robin when `None`).
         shard: Option<usize>,
+        /// `"ack":"deferred"` — do not answer this submit; accumulate
+        /// its accepted count into the connection's watermark instead
+        /// (reported by `flush` or the next synchronous op).
+        deferred: bool,
     },
+    /// Report (and reset) the connection's deferred-submit watermark.
+    Flush,
     /// Reconstruct the original distribution estimate.
     Reconstruct {
         /// Target session id.
@@ -147,10 +193,11 @@ pub enum Request {
         session: u64,
     },
     /// Operational metrics for a session (ingest rate, reconstruction
-    /// count, query-latency histogram).
+    /// count, query-latency histogram), or — with no session id — the
+    /// server's per-transport counters.
     Metrics {
-        /// Target session id.
-        session: u64,
+        /// Target session id; `None` asks for server transport metrics.
+        session: Option<u64>,
     },
     /// Ids and summaries of all live sessions.
     ListSessions,
@@ -284,75 +331,258 @@ fn parse_records(v: &Value) -> Result<RecordBatch> {
     Ok(batch)
 }
 
-/// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request> {
-    let v = json::parse(line)?;
+fn optional_u64(v: &Value, key: &str) -> Result<Option<u64>> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(s) => s.as_u64().map(Some).ok_or_else(|| {
+            ServiceError::InvalidRequest(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Builds a `create_session` request from its JSON fields (shared with
+/// the HTTP front-end, where the same object is a `POST /sessions`
+/// body).
+pub(crate) fn parse_create_session(v: &Value) -> Result<Request> {
+    Ok(Request::CreateSession {
+        schema: parse_schema(v)?,
+        mechanism: parse_mechanism(v)?,
+        shards: match v.get("shards") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(s.as_usize().filter(|&s| s > 0).ok_or_else(|| {
+                ServiceError::InvalidRequest("`shards` must be a positive integer".into())
+            })?),
+        },
+        seed: optional_u64(v, "seed")?,
+    })
+}
+
+/// Builds a `submit` request for `session` from the batch fields
+/// (shared with the HTTP front-end, where the session id comes from the
+/// request path and the body carries only the batch). `allow_deferred`
+/// is false for HTTP, whose request/response pairing cannot leave a
+/// request unanswered.
+pub(crate) fn parse_submit(v: &Value, session: u64, allow_deferred: bool) -> Result<Request> {
+    let deferred = match v.get("ack").and_then(Value::as_str) {
+        None | Some("sync") => false,
+        Some("deferred") => true,
+        Some(other) => {
+            return Err(ServiceError::InvalidRequest(format!(
+                "unknown ack mode `{other}` (expected sync|deferred)"
+            )))
+        }
+    };
+    if deferred && !allow_deferred {
+        return Err(ServiceError::InvalidRequest(
+            "deferred acks are not available on this transport; \
+             use the line protocol for pipelined submits"
+                .into(),
+        ));
+    }
+    Ok(Request::Submit {
+        session,
+        records: parse_records(v)?,
+        pre_perturbed: optional_bool(v, "pre_perturbed", false)?,
+        shard: match v.get("shard") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(s.as_usize().ok_or_else(|| {
+                ServiceError::InvalidRequest("`shard` must be a non-negative integer".into())
+            })?),
+        },
+        deferred,
+    })
+}
+
+/// Builds a `reconstruct` request from wire-level method/clamp values
+/// (shared with the HTTP front-end, where they arrive as query
+/// parameters).
+pub(crate) fn parse_reconstruct(
+    session: u64,
+    method: Option<&str>,
+    clamp: Option<bool>,
+) -> Result<Request> {
+    Ok(Request::Reconstruct {
+        session,
+        method: match method {
+            None => ReconstructionMethod::ClosedForm,
+            Some(m) => ReconstructionMethod::from_wire(m)?,
+        },
+        clamp: clamp.unwrap_or(true),
+    })
+}
+
+/// Fast-path decoder for the *canonical* compact submit line the
+/// bundled clients emit:
+///
+/// ```text
+/// {"op":"submit","session":N,"records":[[..],..],"pre_perturbed":B
+///  (,"shard":N)(,"ack":"deferred"|"sync")}
+/// ```
+///
+/// Decodes straight into a flat [`RecordBatch`] with zero `Value`
+/// allocations — on the pipelined ingest path the general JSON parser's
+/// per-record `Vec<Value>` tree is the dominant server-side cost.
+/// Returns `None` on *any* deviation (whitespace, reordered keys,
+/// unknown fields, non-integer cells), in which case the caller falls
+/// back to the general parser; this is an encoding of the common case,
+/// not a second grammar.
+pub fn parse_submit_line_fast(line: &str) -> Option<Request> {
+    let b = line.as_bytes();
+    let mut p = 0usize;
+    fn eat(b: &[u8], p: &mut usize, lit: &[u8]) -> bool {
+        if b[*p..].starts_with(lit) {
+            *p += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+    fn int(b: &[u8], p: &mut usize) -> Option<u64> {
+        let start = *p;
+        let mut v: u64 = 0;
+        while let Some(d @ b'0'..=b'9') = b.get(*p) {
+            // 19+ digits could overflow; that is not a canonical line.
+            if *p - start >= 18 {
+                return None;
+            }
+            v = v * 10 + u64::from(d - b'0');
+            *p += 1;
+        }
+        (*p > start).then_some(v)
+    }
+    if !eat(b, &mut p, br#"{"op":"submit","session":"#) {
+        return None;
+    }
+    let session = int(b, &mut p)?;
+    if !eat(b, &mut p, br#","records":["#) {
+        return None;
+    }
+    let mut records = RecordBatch::new();
+    if !eat(b, &mut p, b"]") {
+        loop {
+            if !eat(b, &mut p, b"[") {
+                return None;
+            }
+            if !eat(b, &mut p, b"]") {
+                loop {
+                    let v = int(b, &mut p)?;
+                    if v > u64::from(u32::MAX) {
+                        return None;
+                    }
+                    records.push_cell(v as u32);
+                    if eat(b, &mut p, b",") {
+                        continue;
+                    }
+                    if eat(b, &mut p, b"]") {
+                        break;
+                    }
+                    return None;
+                }
+            }
+            records.end_record();
+            if eat(b, &mut p, b",") {
+                continue;
+            }
+            if eat(b, &mut p, b"]") {
+                break;
+            }
+            return None;
+        }
+    }
+    let pre_perturbed = if eat(b, &mut p, br#","pre_perturbed":true"#) {
+        true
+    } else if eat(b, &mut p, br#","pre_perturbed":false"#) {
+        false
+    } else {
+        return None;
+    };
+    let shard = if eat(b, &mut p, br#","shard":"#) {
+        let s = int(b, &mut p)?;
+        if s > usize::MAX as u64 {
+            return None;
+        }
+        Some(s as usize)
+    } else {
+        None
+    };
+    let deferred = if eat(b, &mut p, br#","ack":"deferred""#) {
+        true
+    } else {
+        // An explicit `"ack":"sync"` is canonical too.
+        eat(b, &mut p, br#","ack":"sync""#);
+        false
+    };
+    if !eat(b, &mut p, b"}") || p != b.len() {
+        return None;
+    }
+    Some(Request::Submit {
+        session,
+        records,
+        pre_perturbed,
+        shard,
+        deferred,
+    })
+}
+
+/// Whether a parsed request object is a deferred-ack submit. The
+/// dispatcher checks this *before* full field validation so that a
+/// semantically invalid deferred submit stays quiet (stashing its error
+/// for `flush`) instead of emitting a response line the pipelining
+/// client is not reading.
+pub fn is_deferred_submit(v: &Value) -> bool {
+    v.get("op").and_then(Value::as_str) == Some("submit")
+        && v.get("ack").and_then(Value::as_str) == Some("deferred")
+}
+
+/// Builds a request from a parsed JSON object (the line protocol's
+/// whole line; the HTTP front-end routes paths to the same helpers this
+/// calls).
+pub fn request_from_value(v: &Value) -> Result<Request> {
     let op = v
         .get("op")
         .and_then(Value::as_str)
         .ok_or_else(|| ServiceError::InvalidRequest("missing string field `op`".into()))?;
     match op {
         "ping" => Ok(Request::Ping),
-        "create_session" => Ok(Request::CreateSession {
-            schema: parse_schema(&v)?,
-            mechanism: parse_mechanism(&v)?,
-            shards: match v.get("shards") {
+        "create_session" => parse_create_session(v),
+        "submit" => parse_submit(v, field_u64(v, "session")?, true),
+        "flush" => Ok(Request::Flush),
+        "reconstruct" => {
+            let method = match v.get("method") {
                 None | Some(Value::Null) => None,
-                Some(s) => Some(s.as_usize().filter(|&s| s > 0).ok_or_else(|| {
-                    ServiceError::InvalidRequest("`shards` must be a positive integer".into())
-                })?),
-            },
-            seed: match v.get("seed") {
-                None | Some(Value::Null) => None,
-                Some(s) => Some(s.as_u64().ok_or_else(|| {
-                    ServiceError::InvalidRequest("`seed` must be a non-negative integer".into())
-                })?),
-            },
-        }),
-        "submit" => Ok(Request::Submit {
-            session: field_u64(&v, "session")?,
-            records: parse_records(&v)?,
-            pre_perturbed: optional_bool(&v, "pre_perturbed", false)?,
-            shard: match v.get("shard") {
-                None | Some(Value::Null) => None,
-                Some(s) => Some(s.as_usize().ok_or_else(|| {
-                    ServiceError::InvalidRequest("`shard` must be a non-negative integer".into())
-                })?),
-            },
-        }),
-        "reconstruct" => Ok(Request::Reconstruct {
-            session: field_u64(&v, "session")?,
-            method: match v.get("method") {
-                None | Some(Value::Null) => ReconstructionMethod::ClosedForm,
-                Some(m) => ReconstructionMethod::from_wire(m.as_str().ok_or_else(|| {
+                Some(m) => Some(m.as_str().ok_or_else(|| {
                     ServiceError::InvalidRequest("`method` must be a string".into())
-                })?)?,
-            },
-            clamp: optional_bool(&v, "clamp", true)?,
-        }),
+                })?),
+            };
+            parse_reconstruct(
+                field_u64(v, "session")?,
+                method,
+                Some(optional_bool(v, "clamp", true)?),
+            )
+        }
         "stats" => Ok(Request::Stats {
-            session: field_u64(&v, "session")?,
+            session: field_u64(v, "session")?,
         }),
         "metrics" => Ok(Request::Metrics {
-            session: field_u64(&v, "session")?,
+            session: optional_u64(v, "session")?,
         }),
         "list_sessions" => Ok(Request::ListSessions),
         "persist" => Ok(Request::Persist {
-            session: match v.get("session") {
-                None | Some(Value::Null) => None,
-                Some(s) => Some(s.as_u64().ok_or_else(|| {
-                    ServiceError::InvalidRequest("`session` must be a non-negative integer".into())
-                })?),
-            },
+            session: optional_u64(v, "session")?,
         }),
         "close_session" => Ok(Request::CloseSession {
-            session: field_u64(&v, "session")?,
+            session: field_u64(v, "session")?,
         }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServiceError::InvalidRequest(format!(
             "unknown op `{other}`"
         ))),
     }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request> {
+    request_from_value(&json::parse(line)?)
 }
 
 /// Writes `{"ok":true}` plus extra fields into a reusable buffer
@@ -486,6 +716,48 @@ pub fn write_metrics_response(out: &mut String, session: u64, total: u64, report
     )
 }
 
+/// Writes the response payload for a `flush`: the cumulative accepted
+/// watermark across the connection's deferred submits since the last
+/// flush. With a stashed deferred error the response is `ok: false` and
+/// carries the error, but `accepted`/`batches` are reported either way
+/// — `accepted` is always a contiguous prefix of the submitted stream
+/// (ingest stops at the first deferred failure), so it doubles as the
+/// retry offset.
+pub fn write_flush_response(
+    out: &mut String,
+    accepted: u64,
+    batches: u64,
+    error: Option<&ServiceError>,
+) {
+    let mut pairs = match error {
+        None => vec![("ok", true.into())],
+        Some(e) => vec![("ok", false.into()), ("error", e.to_string().into())],
+    };
+    pairs.push(("accepted", accepted.into()));
+    pairs.push(("batches", batches.into()));
+    object(pairs).write_json(out);
+}
+
+/// Writes the response payload for a session-less `metrics` request:
+/// the server's per-transport counters.
+pub fn write_transport_metrics_response(out: &mut String, report: &TransportReport) {
+    write_ok_response(
+        out,
+        vec![(
+            "transport",
+            object(vec![
+                ("tcp_connections", report.tcp_connections.into()),
+                ("http_connections", report.http_connections.into()),
+                ("tcp_requests", report.tcp_requests.into()),
+                ("http_requests", report.http_requests.into()),
+                ("deferred_batches", report.deferred_batches.into()),
+                ("sheds", report.sheds.into()),
+                ("accept_errors", report.accept_errors.into()),
+            ]),
+        )],
+    )
+}
+
 /// Response payload for a successful `list_sessions`: the bare id array
 /// (stable since PR 1) plus a `detail` array of per-session summaries.
 pub fn list_response(summaries: &[SessionSummary]) -> String {
@@ -602,8 +874,137 @@ mod tests {
                 records: RecordBatch::from_rows(&[vec![0, 1], vec![2, 0]]),
                 pre_perturbed: false,
                 shard: None,
+                deferred: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_deferred_submits_and_flush() {
+        let req =
+            parse_request(r#"{"op":"submit","session":3,"records":[[0,1]],"ack":"deferred"}"#)
+                .unwrap();
+        assert!(matches!(req, Request::Submit { deferred: true, .. }));
+        // "sync" is the explicit spelling of the default.
+        let req =
+            parse_request(r#"{"op":"submit","session":3,"records":[[0,1]],"ack":"sync"}"#).unwrap();
+        assert!(matches!(
+            req,
+            Request::Submit {
+                deferred: false,
+                ..
+            }
+        ));
+        assert!(
+            parse_request(r#"{"op":"submit","session":3,"records":[[0,1]],"ack":"maybe"}"#)
+                .is_err()
+        );
+        assert_eq!(parse_request(r#"{"op":"flush"}"#).unwrap(), Request::Flush);
+    }
+
+    #[test]
+    fn fast_submit_decoder_agrees_with_the_general_parser() {
+        // Every canonical line the bundled client can emit decodes to
+        // exactly what the general parser produces.
+        for line in [
+            r#"{"op":"submit","session":3,"records":[[0,1],[2,0]],"pre_perturbed":false}"#,
+            r#"{"op":"submit","session":3,"records":[[0,1]],"pre_perturbed":true}"#,
+            r#"{"op":"submit","session":0,"records":[],"pre_perturbed":true}"#,
+            r#"{"op":"submit","session":3,"records":[[7]],"pre_perturbed":true,"shard":2}"#,
+            r#"{"op":"submit","session":3,"records":[[1,2,3]],"pre_perturbed":false,"ack":"deferred"}"#,
+            r#"{"op":"submit","session":3,"records":[[1]],"pre_perturbed":false,"ack":"sync"}"#,
+            r#"{"op":"submit","session":9,"records":[[4294967295]],"pre_perturbed":true,"shard":0,"ack":"deferred"}"#,
+        ] {
+            let fast = parse_submit_line_fast(line)
+                .unwrap_or_else(|| panic!("fast path must accept {line}"));
+            assert_eq!(fast, parse_request(line).unwrap(), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn fast_submit_decoder_falls_back_on_any_deviation() {
+        for line in [
+            // Whitespace, key order, extra keys: all fall back.
+            r#"{"op":"submit", "session":3,"records":[[0]],"pre_perturbed":true}"#,
+            r#"{"op":"submit","records":[[0]],"session":3,"pre_perturbed":true}"#,
+            r#"{"op":"submit","session":3,"records":[[0]],"pre_perturbed":true,"extra":1}"#,
+            // Non-integers and overflow.
+            r#"{"op":"submit","session":3,"records":[[1.5]],"pre_perturbed":true}"#,
+            r#"{"op":"submit","session":3,"records":[[4294967296]],"pre_perturbed":true}"#,
+            r#"{"op":"submit","session":3,"records":[[-1]],"pre_perturbed":true}"#,
+            // Other ops and malformed tails.
+            r#"{"op":"stats","session":3}"#,
+            r#"{"op":"submit","session":3,"records":[[0]],"pre_perturbed":true,"ack":"maybe"}"#,
+            r#"{"op":"submit","session":3,"records":[[0]]}"#,
+        ] {
+            assert!(
+                parse_submit_line_fast(line).is_none(),
+                "fast path must reject {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_batch_streaming_construction_matches_push() {
+        let mut streamed = RecordBatch::new();
+        streamed.push_cell(1);
+        streamed.push_cell(2);
+        streamed.end_record();
+        streamed.end_record(); // empty record
+        streamed.push_cell(7);
+        streamed.end_record();
+        assert_eq!(
+            streamed,
+            RecordBatch::from_rows(&[vec![1, 2], vec![], vec![7]])
+        );
+    }
+
+    #[test]
+    fn deferred_submit_detection_sees_through_invalid_bodies() {
+        // A deferred submit with a bad record must still be *detected*
+        // as deferred (so the dispatcher stays quiet and stashes the
+        // error) even though full parsing fails.
+        let v = crate::json::parse(r#"{"op":"submit","session":1,"records":"x","ack":"deferred"}"#)
+            .unwrap();
+        assert!(is_deferred_submit(&v));
+        assert!(request_from_value(&v).is_err());
+        let v = crate::json::parse(r#"{"op":"stats","session":1,"ack":"deferred"}"#).unwrap();
+        assert!(!is_deferred_submit(&v));
+    }
+
+    #[test]
+    fn flush_and_transport_responses_are_parseable() {
+        let mut out = String::new();
+        write_flush_response(&mut out, 128, 2, None);
+        let v = crate::json::parse(&out).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("accepted").and_then(Value::as_u64), Some(128));
+        assert_eq!(v.get("batches").and_then(Value::as_u64), Some(2));
+
+        out.clear();
+        let err = ServiceError::UnknownSession(9);
+        write_flush_response(&mut out, 64, 3, Some(&err));
+        let v = crate::json::parse(&out).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("accepted").and_then(Value::as_u64), Some(64));
+        assert!(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("unknown session"));
+
+        out.clear();
+        let report = TransportReport {
+            tcp_requests: 5,
+            sheds: 1,
+            ..TransportReport::default()
+        };
+        write_transport_metrics_response(&mut out, &report);
+        let v = crate::json::parse(&out).unwrap();
+        let t = v.get("transport").unwrap();
+        assert_eq!(t.get("tcp_requests").and_then(Value::as_u64), Some(5));
+        assert_eq!(t.get("sheds").and_then(Value::as_u64), Some(1));
+        assert_eq!(t.get("http_requests").and_then(Value::as_u64), Some(0));
     }
 
     #[test]
@@ -637,7 +1038,12 @@ mod tests {
     fn parses_metrics_and_persist() {
         assert_eq!(
             parse_request(r#"{"op":"metrics","session":4}"#).unwrap(),
-            Request::Metrics { session: 4 }
+            Request::Metrics { session: Some(4) }
+        );
+        // A session-less metrics request asks for transport counters.
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics { session: None }
         );
         assert_eq!(
             parse_request(r#"{"op":"persist"}"#).unwrap(),
@@ -647,7 +1053,7 @@ mod tests {
             parse_request(r#"{"op":"persist","session":2}"#).unwrap(),
             Request::Persist { session: Some(2) }
         );
-        assert!(parse_request(r#"{"op":"metrics"}"#).is_err());
+        assert!(parse_request(r#"{"op":"metrics","session":-1}"#).is_err());
         assert!(parse_request(r#"{"op":"persist","session":-1}"#).is_err());
     }
 

@@ -1,46 +1,152 @@
-//! The TCP server: accept loop, connection handling, dispatch.
+//! The TCP server: accept loops, connection handling, lifecycle.
 //!
 //! Concurrency model: one OS thread per connection (ingest is
 //! lock-striped across session shards, so connections rarely contend),
-//! a shared [`SessionRegistry`] behind an `Arc`, and a cooperative
-//! shutdown flag. The `shutdown` op sets the flag and wakes the accept
-//! loop with a loopback connection, so [`Server::run`] returns cleanly
-//! — no thread is ever killed mid-request.
+//! bounded by [`crate::config::ServiceConfig::max_connections`] across
+//! *all* transports; a shared [`SessionRegistry`] behind an `Arc`, and
+//! a cooperative shutdown flag. The `shutdown` op sets the flag and
+//! wakes the accept loop with a loopback connection, so [`Server::run`]
+//! returns cleanly — no thread is ever killed mid-request.
+//!
+//! Request parsing and execution are transport-agnostic and live in
+//! [`crate::dispatch`]; this module owns the line-JSON TCP framing,
+//! while [`crate::http`] frames the same dispatch core as HTTP/1.1
+//! (enabled by `ServiceConfig::http_addr`).
 
 use crate::config::ServiceConfig;
+use crate::dispatch::{persist_all_sessions, ConnState, Outcome};
 use crate::error::{Result, ServiceError};
-use crate::json::Value;
+use crate::metrics::TransportMetrics;
 use crate::persist;
-use crate::protocol::{
-    parse_request, write_error_response, write_list_response, write_metrics_response,
-    write_ok_response, write_reconstruction_response, write_stats_response, Request,
-};
 use crate::session::SessionRegistry;
-use frapp_core::Schema;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+// The dispatch core moved to `crate::dispatch`; re-export its
+// entry points here so `frapp_service::server::dispatch` keeps working
+// for embedders that predate the transport split.
+pub use crate::dispatch::dispatch;
+
+/// State shared by every accept loop and connection worker: the
+/// session registry, the config, the shutdown flag, the per-transport
+/// counters and the cross-transport live-connection count.
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) config: ServiceConfig,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) transport: Arc<TransportMetrics>,
+    live_connections: Arc<AtomicUsize>,
+}
+
+impl Shared {
+    /// Admits one connection against the `max_connections` cap, or
+    /// refuses (`None`) when the server is full. The returned guard
+    /// releases the slot when the connection's worker finishes, so a
+    /// crashed worker can never leak its slot.
+    pub(crate) fn try_admit(&self) -> Option<ConnGuard> {
+        let prev = self.live_connections.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.config.max_connections {
+            self.live_connections.fetch_sub(1, Ordering::SeqCst);
+            self.transport.record_shed();
+            return None;
+        }
+        Some(ConnGuard {
+            live: Arc::clone(&self.live_connections),
+        })
+    }
+
+    /// The in-band message a shed connection receives before the close.
+    pub(crate) fn shed_message(&self) -> String {
+        format!(
+            "server is at its {}-connection capacity; retry later",
+            self.config.max_connections
+        )
+    }
+}
+
+/// Releases a connection slot on drop (RAII, panic-safe).
+pub(crate) struct ConnGuard {
+    live: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Bounded exponential backoff for accept-loop errors.
+///
+/// A failed `accept` with a *persistent* cause — EMFILE when the
+/// process is out of file descriptors is the classic one — used to
+/// retry immediately, spinning the accept loop at 100% CPU for as long
+/// as the condition lasted. Consecutive errors now back off
+/// exponentially from [`Self::BASE`] to [`Self::CAP`]; any successful
+/// accept resets the sequence, so one transient hiccup costs a single
+/// short sleep.
+#[derive(Debug, Default)]
+pub(crate) struct AcceptBackoff {
+    consecutive: u32,
+}
+
+impl AcceptBackoff {
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(1);
+
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called after a successful accept: the next error starts from
+    /// `BASE` again.
+    pub(crate) fn on_success(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Called after a failed accept; returns how long to sleep before
+    /// retrying. The n-th consecutive error sleeps `BASE * 2^(n-1)`,
+    /// capped at `CAP`.
+    pub(crate) fn on_error(&mut self) -> Duration {
+        // 2^7 * 10ms already exceeds the 1s cap; saturating the shift
+        // keeps the arithmetic overflow-free however long the outage.
+        let delay = Self::BASE.saturating_mul(1u32 << self.consecutive.min(7));
+        self.consecutive = self.consecutive.saturating_add(1);
+        delay.min(Self::CAP)
+    }
+}
 
 /// A bound (but not yet running) collection server.
 pub struct Server {
     listener: TcpListener,
-    registry: Arc<SessionRegistry>,
-    config: ServiceConfig,
-    shutdown: Arc<AtomicBool>,
+    http_listener: Option<TcpListener>,
+    shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Binds the address in `config`. When a persistence directory is
-    /// configured, every session snapshot found there is recovered into
-    /// the registry — newest snapshots take priority when the
-    /// `max_sessions` cap cannot hold them all — preserving each
-    /// session's id, seed and shard layout so deterministic replay
-    /// holds across the restart. Corrupt snapshot files are skipped
-    /// with a warning rather than failing the bind.
+    /// Binds the address in `config` (and `http_addr`, when set). When
+    /// a persistence directory is configured, every session snapshot
+    /// found there is recovered into the registry — newest snapshots
+    /// take priority when the `max_sessions` cap cannot hold them all —
+    /// preserving each session's id, seed and shard layout so
+    /// deterministic replay holds across the restart. Corrupt snapshot
+    /// files are skipped with a warning rather than failing the bind.
     pub fn bind(config: ServiceConfig) -> Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let http_listener = match &config.http_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                // The HTTP accept loop polls the shutdown flag instead
+                // of relying on a wake-up connection, so it must not
+                // block in `accept`.
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
         let registry = Arc::new(SessionRegistry::with_max_sessions(config.max_sessions));
         if let Some(dir) = &config.persist_dir {
             std::fs::create_dir_all(dir)?;
@@ -94,9 +200,14 @@ impl Server {
         }
         Ok(Server {
             listener,
-            registry,
-            config,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            http_listener,
+            shared: Arc::new(Shared {
+                registry,
+                config,
+                shutdown: Arc::new(AtomicBool::new(false)),
+                transport: Arc::new(TransportMetrics::new()),
+                live_connections: Arc::new(AtomicUsize::new(0)),
+            }),
         })
     }
 
@@ -105,48 +216,85 @@ impl Server {
         Ok(self.listener.local_addr()?)
     }
 
+    /// The bound HTTP address, when the HTTP front-end is enabled.
+    pub fn local_http_addr(&self) -> Option<SocketAddr> {
+        self.http_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
     /// The shared session registry (useful for in-process embedding).
     pub fn registry(&self) -> Arc<SessionRegistry> {
-        Arc::clone(&self.registry)
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// The server's per-transport counters.
+    pub fn transport_metrics(&self) -> Arc<TransportMetrics> {
+        Arc::clone(&self.shared.transport)
     }
 
     /// Runs the accept loop on the calling thread until a client sends
     /// `shutdown`. With persistence configured, a background persister
     /// snapshots every live session on the configured interval, and a
     /// final snapshot of all sessions is written after the accept loop
-    /// exits — so a clean shutdown never loses counts.
+    /// exits — so a clean shutdown never loses counts. With an HTTP
+    /// address configured, the HTTP accept loop runs on a second
+    /// thread against the same dispatch core and stops with the same
+    /// flag.
     pub fn run(self) -> Result<()> {
         let addr = self.local_addr()?;
         let persister = self.spawn_persister();
+        let http = self.http_listener.map(|listener| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || crate::http::run_accept_loop(listener, &shared))
+        });
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        let mut backoff = AcceptBackoff::new();
         for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match stream {
-                Ok(s) => s,
+                Ok(s) => {
+                    backoff.on_success();
+                    s
+                }
                 // A single failed accept (e.g. peer reset between
-                // accept and handshake) should not kill the server.
-                Err(_) => continue,
+                // accept and handshake) should not kill the server —
+                // but a persistent failure (EMFILE) must not spin the
+                // loop hot either: back off, bounded, until an accept
+                // succeeds again.
+                Err(_) => {
+                    self.shared.transport.record_accept_error();
+                    std::thread::sleep(backoff.on_error());
+                    continue;
+                }
             };
-            let registry = Arc::clone(&self.registry);
-            let config = self.config.clone();
-            let shutdown = Arc::clone(&self.shutdown);
+            let Some(guard) = self.shared.try_admit() else {
+                shed_tcp_connection(stream, &self.shared);
+                continue;
+            };
+            self.shared.transport.record_tcp_connection();
+            let shared = Arc::clone(&self.shared);
             workers.push(std::thread::spawn(move || {
+                let _guard = guard;
                 // Per-connection errors are reported to the peer
                 // in-band; a torn connection is simply dropped.
-                let _ = handle_connection(stream, &registry, &config, &shutdown, addr);
+                let _ = handle_connection(stream, &shared, addr);
             }));
             workers.retain(|w| !w.is_finished());
         }
         for w in workers {
             let _ = w.join();
         }
+        if let Some(h) = http {
+            let _ = h.join();
+        }
         if let Some(p) = persister {
             let _ = p.join();
         }
-        if let Some(dir) = &self.config.persist_dir {
-            persist_all_sessions_best_effort(dir, &self.registry);
+        if let Some(dir) = &self.shared.config.persist_dir {
+            persist_all_sessions_best_effort(dir, &self.shared.registry);
         }
         Ok(())
     }
@@ -155,36 +303,40 @@ impl Server {
     /// polls the shutdown flag at a fine grain so it never delays
     /// `run`'s exit by more than ~50 ms.
     fn spawn_persister(&self) -> Option<JoinHandle<()>> {
-        let dir = self.config.persist_dir.clone()?;
-        let interval = match self.config.persist_interval_secs {
+        let dir = self.shared.config.persist_dir.clone()?;
+        let interval = match self.shared.config.persist_interval_secs {
             0 => return None,
-            secs => std::time::Duration::from_secs(secs),
+            secs => Duration::from_secs(secs),
         };
-        let registry = Arc::clone(&self.registry);
-        let shutdown = Arc::clone(&self.shutdown);
+        let registry = Arc::clone(&self.shared.registry);
+        let shutdown = Arc::clone(&self.shared.shutdown);
         Some(std::thread::spawn(move || {
-            let tick = std::time::Duration::from_millis(50);
-            let mut since_last = std::time::Duration::ZERO;
+            let tick = Duration::from_millis(50);
+            let mut since_last = Duration::ZERO;
             while !shutdown.load(Ordering::SeqCst) {
                 std::thread::sleep(tick);
                 since_last += tick;
                 if since_last >= interval {
                     persist_all_sessions_incremental_best_effort(&dir, &registry);
-                    since_last = std::time::Duration::ZERO;
+                    since_last = Duration::ZERO;
                 }
             }
         }))
     }
 
     /// Runs the server on a background thread, returning a handle for
-    /// the bound address and a clean shutdown.
+    /// the bound addresses and a clean shutdown.
     pub fn spawn(self) -> Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let http_addr = self.local_http_addr();
         let registry = self.registry();
+        let transport = self.transport_metrics();
         let join = std::thread::spawn(move || self.run());
         Ok(ServerHandle {
             addr,
+            http_addr,
             registry,
+            transport,
             join,
         })
     }
@@ -193,14 +345,22 @@ impl Server {
 /// Handle to a server running on a background thread.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     registry: Arc<SessionRegistry>,
+    transport: Arc<TransportMetrics>,
     join: JoinHandle<Result<()>>,
 }
 
 impl ServerHandle {
-    /// The server's bound address.
+    /// The server's bound (line-protocol) address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's bound HTTP address, when the HTTP front-end is
+    /// enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// The server's session registry.
@@ -208,29 +368,61 @@ impl ServerHandle {
         Arc::clone(&self.registry)
     }
 
+    /// The server's per-transport counters.
+    pub fn transport_metrics(&self) -> Arc<TransportMetrics> {
+        Arc::clone(&self.transport)
+    }
+
     /// Asks the server to stop and waits for the accept loop to exit.
+    ///
+    /// The shutdown request is an ordinary connection, so a server
+    /// sitting at its `max_connections` cap could shed it; retry
+    /// briefly until a slot frees up rather than joining a server that
+    /// never saw the request. A *refused connect* means the listener is
+    /// already gone (some other client shut the server down) — skip
+    /// straight to the join instead of retrying against a closed port.
     pub fn shutdown(self) -> Result<()> {
-        let mut client = crate::client::Client::connect(self.addr)?;
-        let _ = client.shutdown();
+        for attempt in 0..100 {
+            match crate::client::Client::connect(self.addr) {
+                Ok(mut client) => match client.shutdown() {
+                    Ok(()) => break,
+                    // Shed at the cap (in-band refusal or torn
+                    // connection): a slot should free up shortly.
+                    Err(_) if attempt < 99 => std::thread::sleep(Duration::from_millis(50)),
+                    Err(e) => return Err(e),
+                },
+                Err(_) => break,
+            }
+        }
         self.join
             .join()
             .map_err(|_| ServiceError::Protocol("server thread panicked".into()))?
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    registry: &SessionRegistry,
-    config: &ServiceConfig,
-    shutdown: &AtomicBool,
-    server_addr: SocketAddr,
-) -> Result<()> {
+/// Refuses a connection at the cap: one in-band error line, then close.
+/// Runs on the accept thread, so the write timeout is short — a peer
+/// that will not read its refusal gets dropped rather than stalling
+/// accepts.
+fn shed_tcp_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut line = String::new();
+    crate::protocol::write_error_response(
+        &mut line,
+        &ServiceError::InvalidRequest(shared.shed_message()),
+    );
+    line.push('\n');
+    let mut stream = stream;
+    let _ = stream.write_all(line.as_bytes());
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr) -> Result<()> {
     // A finite read timeout lets idle connections notice the shutdown
     // flag instead of blocking in `read` forever, and a write timeout
     // bounds how long a peer that stops reading can pin this worker —
     // either would otherwise wedge `Server::run`'s final join.
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
-    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     // One read-line buffer, one raw-byte buffer and one response buffer
@@ -239,14 +431,15 @@ fn handle_connection(
     let mut line = String::new();
     let mut raw = Vec::new();
     let mut response = String::new();
+    let mut state = ConnState::new();
     loop {
         line.clear();
         let n = read_bounded_line(
             &mut reader,
             &mut line,
             &mut raw,
-            config.max_line_bytes,
-            shutdown,
+            shared.config.max_line_bytes,
+            &shared.shutdown,
         )?;
         if n == 0 {
             return Ok(()); // peer closed, or server shutting down
@@ -255,13 +448,27 @@ fn handle_connection(
         if trimmed.is_empty() {
             continue;
         }
+        shared.transport.record_tcp_request();
         response.clear();
-        let stop = dispatch_into(registry, config, trimmed, &mut response);
+        let outcome = crate::dispatch::dispatch_into(
+            &shared.registry,
+            &shared.config,
+            &shared.transport,
+            &mut state,
+            trimmed,
+            &mut response,
+        );
+        if outcome == Outcome::Quiet {
+            // A deferred-ack submit: no response, keep reading. This is
+            // the pipelined fast path — the client is streaming more
+            // submits, not waiting on us.
+            continue;
+        }
         response.push('\n');
         writer.write_all(response.as_bytes())?;
         writer.flush()?;
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
+        if outcome == Outcome::Shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so Server::run observes the flag.
             let _ = TcpStream::connect(wake_addr(server_addr));
             return Ok(());
@@ -341,26 +548,6 @@ fn read_bounded_line(
     Ok(text.len())
 }
 
-/// Snapshots every live session, returning the ids persisted and the
-/// per-session failures. Sessions closed between the registry scan and
-/// the write correctly refuse their snapshot and appear in neither
-/// list.
-fn persist_all_sessions(
-    dir: &std::path::Path,
-    registry: &SessionRegistry,
-) -> (Vec<u64>, Vec<(u64, ServiceError)>) {
-    let mut persisted = Vec::new();
-    let mut failed = Vec::new();
-    for session in registry.all() {
-        match persist::save_session(dir, &session) {
-            Ok(_) => persisted.push(session.id()),
-            Err(_) if session.is_closed() => {}
-            Err(e) => failed.push((session.id(), e)),
-        }
-    }
-    (persisted, failed)
-}
-
 /// The best-effort full-snapshot flavour for the shutdown path:
 /// failures are reported on stderr but never take the server down.
 fn persist_all_sessions_best_effort(dir: &std::path::Path, registry: &SessionRegistry) {
@@ -387,250 +574,6 @@ fn persist_all_sessions_incremental_best_effort(dir: &std::path::Path, registry:
             ),
         }
     }
-}
-
-/// Parses and executes one request line; returns the response line and
-/// whether the server should shut down.
-pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) -> (String, bool) {
-    let mut out = String::new();
-    let stop = dispatch_into(registry, config, line, &mut out);
-    (out, stop)
-}
-
-/// [`dispatch`] writing the response into a caller-owned buffer
-/// (appended — the connection loop clears and reuses one buffer per
-/// connection). Returns whether the server should shut down.
-pub fn dispatch_into(
-    registry: &SessionRegistry,
-    config: &ServiceConfig,
-    line: &str,
-    out: &mut String,
-) -> bool {
-    match parse_request(line).and_then(|req| execute(registry, config, req, out)) {
-        Ok(stop) => stop,
-        Err(e) => {
-            // Every execute arm writes its response only after all
-            // fallible work, so nothing has been appended on the error
-            // path; truncate defensively anyway.
-            out.clear();
-            write_error_response(out, &e);
-            false
-        }
-    }
-}
-
-fn execute(
-    registry: &SessionRegistry,
-    config: &ServiceConfig,
-    req: Request,
-    out: &mut String,
-) -> Result<bool> {
-    match req {
-        Request::Ping => write_ok_response(out, vec![("pong", true.into())]),
-        Request::CreateSession {
-            schema,
-            mechanism,
-            shards,
-            seed,
-        } => {
-            let specs: Vec<(&str, u32)> = schema.iter().map(|(n, c)| (n.as_str(), *c)).collect();
-            let schema = Schema::new(specs)?;
-            if schema.domain_size() > config.max_session_domain {
-                return Err(ServiceError::InvalidRequest(format!(
-                    "schema domain size {} exceeds this server's limit of {} cells",
-                    schema.domain_size(),
-                    config.max_session_domain
-                )));
-            }
-            // With persistence, eviction is two-phase: victims stay
-            // registered (retired, refusing ingest) until their spill
-            // snapshot lands, so a concurrent close_session can still
-            // find them — its closed mark makes the in-flight spill
-            // refuse under the persist gate, and an acknowledged close
-            // can never be resurrected by the spill.
-            let created = if config.persist_dir.is_some() {
-                registry.create_deferred(
-                    schema,
-                    mechanism,
-                    shards.unwrap_or(config.default_shards),
-                    seed.unwrap_or(config.default_seed),
-                    config.max_dense_domain,
-                )?
-            } else {
-                registry.create(
-                    schema,
-                    mechanism,
-                    shards.unwrap_or(config.default_shards),
-                    seed.unwrap_or(config.default_seed),
-                    config.max_dense_domain,
-                )?
-            };
-            // Spill LRU-evicted sessions to disk before they drop, so
-            // an eviction is a demotion, not data loss. If a spill
-            // fails (full disk, permissions), roll the create back —
-            // abort the un-spilled evictions, drop the new session —
-            // and fail the request: silently discarding an evicted
-            // session's acknowledged records would be worse than
-            // refusing a new session. (Victims spilled before the
-            // failure are already safe on disk and stay evicted.)
-            if let Some(dir) = &config.persist_dir {
-                for (i, evicted) in created.evicted.iter().enumerate() {
-                    match persist::save_session(dir, evicted) {
-                        // A concurrent close deleted the session's
-                        // snapshot and owns its fate; the refused spill
-                        // is correct, just settle the eviction.
-                        Ok(_) => {
-                            registry.commit_eviction(evicted.id());
-                        }
-                        Err(_) if evicted.is_closed() => {
-                            registry.commit_eviction(evicted.id());
-                        }
-                        Err(e) => {
-                            registry.remove(created.session.id());
-                            for victim in &created.evicted[i..] {
-                                if !victim.is_closed() {
-                                    registry.abort_eviction(victim);
-                                }
-                            }
-                            return Err(ServiceError::Snapshot(format!(
-                                "refusing to evict session {} without a spill snapshot \
-                                 (create rolled back): {e}",
-                                evicted.id()
-                            )));
-                        }
-                    }
-                }
-            }
-            let session = created.session;
-            let mut pairs = vec![
-                ("session", session.id().into()),
-                ("shards", session.num_shards().into()),
-                ("gamma", session.mechanism().gamma().into()),
-                ("domain_size", session.schema().domain_size().into()),
-            ];
-            if !created.evicted.is_empty() {
-                pairs.push((
-                    "evicted",
-                    Value::Array(created.evicted.iter().map(|s| s.id().into()).collect()),
-                ));
-            }
-            write_ok_response(out, pairs)
-        }
-        Request::Submit {
-            session,
-            records,
-            pre_perturbed,
-            shard,
-        } => {
-            let session = registry.get(session)?;
-            let shard_used = match shard {
-                Some(idx) => {
-                    session.submit_slices_to_shard(idx, records.iter(), pre_perturbed)?;
-                    idx
-                }
-                None => session.submit_slices(records.iter(), pre_perturbed)?,
-            };
-            write_ok_response(
-                out,
-                vec![
-                    ("accepted", records.len().into()),
-                    ("shard", shard_used.into()),
-                ],
-            )
-        }
-        Request::Reconstruct {
-            session,
-            method,
-            clamp,
-        } => {
-            let session = registry.get(session)?;
-            let rec = session.reconstruct(method, clamp)?;
-            write_reconstruction_response(out, &rec)
-        }
-        Request::Stats { session } => {
-            let session = registry.get(session)?;
-            write_stats_response(out, &session.stats())
-        }
-        Request::Metrics { session } => {
-            let session = registry.get(session)?;
-            write_metrics_response(
-                out,
-                session.id(),
-                session.stats().total,
-                &session.metrics_report(),
-            )
-        }
-        Request::ListSessions => {
-            let summaries: Vec<_> = registry.all().iter().map(|s| s.summary()).collect();
-            write_list_response(out, &summaries)
-        }
-        Request::Persist { session } => {
-            let dir = config.persist_dir.as_deref().ok_or_else(|| {
-                ServiceError::InvalidRequest(
-                    "this server has no persistence directory configured".into(),
-                )
-            })?;
-            let persisted = match session {
-                Some(id) => {
-                    let session = registry.get(id)?;
-                    persist::save_session(dir, &session)?;
-                    vec![id]
-                }
-                None => {
-                    let (persisted, failed) = persist_all_sessions(dir, registry);
-                    // An explicit persist request must not report
-                    // success while snapshots silently failed — the
-                    // caller may be about to kill the server trusting
-                    // everything is on disk.
-                    if let Some((id, e)) = failed.first() {
-                        return Err(ServiceError::Snapshot(format!(
-                            "persisted {:?} but {} session(s) failed, first: session {id}: {e}",
-                            persisted,
-                            failed.len()
-                        )));
-                    }
-                    persisted
-                }
-            };
-            write_ok_response(
-                out,
-                vec![
-                    (
-                        "persisted",
-                        Value::Array(persisted.into_iter().map(Value::from).collect()),
-                    ),
-                    ("dir", dir.display().to_string().into()),
-                ],
-            )
-        }
-        Request::CloseSession { session } => {
-            // `remove` marks the session closed before we delete its
-            // snapshot; deletion happens under the session's persist
-            // gate, so a periodic save racing this close either
-            // finished before (its file is deleted here) or starts
-            // after (and refuses, seeing the closed flag). Either way a
-            // closed session cannot resurrect on the next restart.
-            let removed = registry.remove(session);
-            let mut snapshot_deleted = false;
-            if let Some(dir) = &config.persist_dir {
-                let _gate = removed.as_ref().map(|s| s.persist_gate());
-                // Deleting by id (not only via a live Arc) also lets a
-                // client close a session that was LRU-evicted to disk —
-                // otherwise a spilled session's perturbed counts could
-                // never be deleted and would resurrect on restart.
-                snapshot_deleted = persist::remove_session_file(dir, session);
-            }
-            write_ok_response(
-                out,
-                vec![("closed", (removed.is_some() || snapshot_deleted).into())],
-            )
-        }
-        Request::Shutdown => {
-            write_ok_response(out, vec![("shutting_down", true.into())]);
-            return Ok(true);
-        }
-    }
-    Ok(false)
 }
 
 #[cfg(test)]
@@ -727,6 +670,49 @@ mod tests {
         assert_eq!(wake_addr(v6), "[::1]:7878".parse().unwrap());
         let concrete: SocketAddr = "127.0.0.1:9999".parse().unwrap();
         assert_eq!(wake_addr(concrete), concrete);
+    }
+
+    #[test]
+    fn accept_backoff_grows_exponentially_caps_and_resets() {
+        let mut b = AcceptBackoff::new();
+        // Consecutive errors: 10ms, 20ms, 40ms, ... capped at 1s.
+        assert_eq!(b.on_error(), Duration::from_millis(10));
+        assert_eq!(b.on_error(), Duration::from_millis(20));
+        assert_eq!(b.on_error(), Duration::from_millis(40));
+        for _ in 0..10 {
+            assert!(b.on_error() <= AcceptBackoff::CAP);
+        }
+        assert_eq!(b.on_error(), AcceptBackoff::CAP, "must saturate at the cap");
+        // One successful accept resets the sequence to the base delay.
+        b.on_success();
+        assert_eq!(b.on_error(), Duration::from_millis(10));
+        // The sum of one full escalation is bounded (a persistent
+        // EMFILE burns ~1 wakeup/second steady-state, not a hot spin).
+        let mut fresh = AcceptBackoff::new();
+        let total: Duration = (0..8).map(|_| fresh.on_error()).sum();
+        assert!(total < Duration::from_secs(3));
+    }
+
+    #[test]
+    fn connection_admission_enforces_the_cap_and_releases_on_drop() {
+        let shared = Shared {
+            registry: Arc::new(SessionRegistry::new()),
+            config: ServiceConfig {
+                max_connections: 2,
+                ..ServiceConfig::default()
+            },
+            shutdown: Arc::new(AtomicBool::new(false)),
+            transport: Arc::new(TransportMetrics::new()),
+            live_connections: Arc::new(AtomicUsize::new(0)),
+        };
+        let a = shared.try_admit().expect("first connection fits");
+        let _b = shared.try_admit().expect("second connection fits");
+        assert!(shared.try_admit().is_none(), "third must be shed");
+        assert_eq!(shared.transport.report().sheds, 1);
+        // Dropping a guard frees its slot.
+        drop(a);
+        assert!(shared.try_admit().is_some());
+        assert!(shared.shed_message().contains("2-connection"));
     }
 
     #[test]

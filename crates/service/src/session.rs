@@ -468,7 +468,10 @@ impl CollectionSession {
             shards: self.shards.len(),
             gamma: self.mechanism.gamma(),
             total: self.stats().total,
-            reconstructions: self.metrics.report().reconstructions,
+            // A single counter read — `list_sessions` summarises every
+            // live session, so building the full histogram report here
+            // would cost O(sessions × buckets) per listing.
+            reconstructions: self.metrics.reconstructions(),
         }
     }
 
