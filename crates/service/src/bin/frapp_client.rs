@@ -7,6 +7,7 @@
 //!              [--pre-perturb] [--pipeline] [--http]
 //! frapp-client list    [--addr HOST:PORT] [--http]
 //! frapp-client metrics [--addr HOST:PORT] [--http] --session N
+//! frapp-client server-metrics [--addr HOST:PORT] [--http]
 //! frapp-client persist [--addr HOST:PORT] [--http] [--session N]
 //! ```
 //!
@@ -31,9 +32,11 @@
 //! feature, so the two flags are mutually exclusive.
 //!
 //! `list` prints one summary line per live session; `metrics` prints a
-//! session's ingest counters and query-latency histogram; `persist`
-//! asks the server to snapshot one (or all) sessions to its
-//! persistence directory.
+//! session's ingest counters and query-latency histogram;
+//! `server-metrics` prints the per-transport counters (connections,
+//! requests, sheds) and — on an `--async` server — the reactor's
+//! event-loop counters; `persist` asks the server to snapshot one (or
+//! all) sessions to its persistence directory.
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
 use frapp_service::client::{Client, HttpClient, SessionSpec};
@@ -62,6 +65,7 @@ fn usage() -> ! {
          [--threads T] [--gamma G] [--seed S] [--pre-perturb] [--pipeline] [--http]\n\
          \x20      frapp-client list    [--addr HOST:PORT] [--http]\n\
          \x20      frapp-client metrics [--addr HOST:PORT] [--http] --session N\n\
+         \x20      frapp-client server-metrics [--addr HOST:PORT] [--http]\n\
          \x20      frapp-client persist [--addr HOST:PORT] [--http] [--session N]"
     );
     std::process::exit(2);
@@ -213,6 +217,13 @@ impl AnyClient {
             AnyClient::Http(c) => c.persist(session),
         }
     }
+
+    fn server_metrics(&mut self) -> frapp_service::Result<frapp_service::TransportReport> {
+        match self {
+            AnyClient::Tcp(c) => c.server_metrics(),
+            AnyClient::Http(c) => c.server_metrics(),
+        }
+    }
 }
 
 /// Unwraps an ops-subcommand result with a clean one-line error —
@@ -288,6 +299,30 @@ fn run_metrics(args: Args) {
     }
 }
 
+fn run_server_metrics(args: Args) {
+    let mut client = AnyClient::connect(&args.addr, args.http);
+    let r = ok_or_exit(client.server_metrics());
+    println!("transport");
+    println!(
+        "  tcp:  {} connections, {} requests",
+        r.tcp_connections, r.tcp_requests
+    );
+    println!(
+        "  http: {} connections, {} requests",
+        r.http_connections, r.http_requests
+    );
+    println!("  deferred batches: {}", r.deferred_batches);
+    println!("  sheds:            {}", r.sheds);
+    println!("  accept errors:    {}", r.accept_errors);
+    // All-zero on a thread-per-connection server; meaningful under
+    // `frapp-serve --async`.
+    println!("reactor");
+    println!("  registered fds:   {}", r.reactor_registered_fds);
+    println!("  wakeups:          {}", r.reactor_wakeups);
+    println!("  partial reads:    {}", r.reactor_partial_reads);
+    println!("  partial writes:   {}", r.reactor_partial_writes);
+}
+
 fn run_persist(args: Args) {
     let mut client = AnyClient::connect(&args.addr, args.http);
     let persisted = ok_or_exit(client.persist(args.session));
@@ -301,15 +336,18 @@ fn run_persist(args: Args) {
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     let subcommand = match argv.peek().map(String::as_str) {
-        Some("list") | Some("metrics") | Some("persist") | Some("load") => {
-            argv.next().expect("peeked")
-        }
+        Some("list")
+        | Some("metrics")
+        | Some("server-metrics")
+        | Some("persist")
+        | Some("load") => argv.next().expect("peeked"),
         _ => "load".to_owned(),
     };
     let args = parse_args(argv);
     match subcommand.as_str() {
         "list" => return run_list(args),
         "metrics" => return run_metrics(args),
+        "server-metrics" => return run_server_metrics(args),
         "persist" => return run_persist(args),
         _ => {}
     }

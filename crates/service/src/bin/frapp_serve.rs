@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! frapp-serve [--addr 127.0.0.1:7878] [--http-addr 127.0.0.1:7880]
+//!             [--async] [--reactor-threads N]
 //!             [--shards N] [--seed S] [--max-sessions N]
 //!             [--max-connections N] [--persist-dir PATH]
 //!             [--persist-interval SECS]
@@ -16,6 +17,12 @@
 //! concurrent connections across both transports; connections past the
 //! cap are refused with an in-band error and counted as sheds.
 //!
+//! With `--async`, both transports are served by the nonblocking
+//! epoll/kqueue reactor instead of one OS thread per connection — same
+//! wire behaviour, far higher concurrent-connection fan-in;
+//! `--reactor-threads N` shards the event loop across N threads (see
+//! `docs/ARCHITECTURE.md`).
+//!
 //! With `--persist-dir`, session snapshots found there are recovered on
 //! startup, every live session is snapshotted on clean shutdown (and
 //! every `--persist-interval` seconds when set), and sessions evicted
@@ -26,9 +33,9 @@ use frapp_service::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: frapp-serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--shards N] \
-         [--seed S] [--max-sessions N] [--max-connections N] [--persist-dir PATH] \
-         [--persist-interval SECS]"
+        "usage: frapp-serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--async] \
+         [--reactor-threads N] [--shards N] [--seed S] [--max-sessions N] \
+         [--max-connections N] [--persist-dir PATH] [--persist-interval SECS]"
     );
     std::process::exit(2);
 }
@@ -46,6 +53,14 @@ fn main() {
         match flag.as_str() {
             "--addr" => config.addr = value("--addr"),
             "--http-addr" => config.http_addr = Some(value("--http-addr")),
+            "--async" => config.async_reactor = true,
+            "--reactor-threads" => {
+                config.reactor_threads = value("--reactor-threads")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
             "--max-connections" => {
                 config.max_connections = value("--max-connections")
                     .parse()
@@ -77,8 +92,13 @@ fn main() {
         eprintln!("--persist-interval requires --persist-dir");
         usage();
     }
+    if config.reactor_threads > 1 && !config.async_reactor {
+        eprintln!("--reactor-threads requires --async");
+        usage();
+    }
 
     let persist_dir = config.persist_dir.clone();
+    let (async_mode, reactor_threads) = (config.async_reactor, config.reactor_threads);
     let server = match Server::bind(config) {
         Ok(s) => s,
         Err(e) => {
@@ -92,6 +112,9 @@ fn main() {
     }
     if let Some(addr) = server.local_http_addr() {
         println!("frapp-serve http on {addr}");
+    }
+    if async_mode {
+        println!("front-end: async reactor ({reactor_threads} thread(s))");
     }
     if let Some(dir) = &persist_dir {
         let recovered = server.registry().ids();

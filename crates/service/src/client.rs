@@ -279,6 +279,14 @@ fn parse_transport_report(v: &Value) -> Result<TransportReport> {
         .get("transport")
         .ok_or_else(|| ServiceError::Protocol("metrics response missing `transport`".into()))?;
     let field = |key: &str| t.get(key).and_then(Value::as_u64).unwrap_or(0);
+    // The reactor section is absent on pre-reactor servers; all-zero is
+    // also what a thread-per-connection server reports.
+    let reactor = |key: &str| {
+        v.get("reactor")
+            .and_then(|r| r.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
     Ok(TransportReport {
         tcp_connections: field("tcp_connections"),
         http_connections: field("http_connections"),
@@ -287,6 +295,10 @@ fn parse_transport_report(v: &Value) -> Result<TransportReport> {
         deferred_batches: field("deferred_batches"),
         sheds: field("sheds"),
         accept_errors: field("accept_errors"),
+        reactor_registered_fds: reactor("registered_fds"),
+        reactor_wakeups: reactor("wakeups"),
+        reactor_partial_reads: reactor("partial_reads"),
+        reactor_partial_writes: reactor("partial_writes"),
     })
 }
 

@@ -55,6 +55,21 @@ pub struct ServiceConfig {
     /// spill and shutdown snapshots still run when `persist_dir` is
     /// set).
     pub persist_interval_secs: u64,
+    /// Serve both transports from the nonblocking epoll/kqueue reactor
+    /// ([`crate::reactor`], `frapp-serve --async`) instead of one OS
+    /// thread per connection. The wire behaviour is bit-identical —
+    /// same dispatch core, same framing — but concurrent-connection
+    /// fan-in is no longer bounded by thread count: each reactor
+    /// thread multiplexes every connection assigned to it.
+    /// `max_connections` still caps admissions across transports.
+    pub async_reactor: bool,
+    /// Number of reactor event-loop threads when `async_reactor` is
+    /// set. Each thread runs an independent epoll/kqueue instance;
+    /// all of them poll both listeners, so accepted connections spread
+    /// across reactors without a handoff queue. Ignored (and
+    /// irrelevant) in thread-per-connection mode. Values below 1 are
+    /// treated as 1.
+    pub reactor_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +88,8 @@ impl Default for ServiceConfig {
             max_sessions: 1024,
             persist_dir: None,
             persist_interval_secs: 0,
+            async_reactor: false,
+            reactor_threads: 1,
         }
     }
 }
@@ -97,6 +114,14 @@ impl ServiceConfig {
         self.http_addr = Some(addr.into());
         self
     }
+
+    /// Selects the epoll/kqueue reactor front-end with `threads`
+    /// event-loop threads (clamped to at least 1).
+    pub fn with_reactor(mut self, threads: usize) -> Self {
+        self.async_reactor = true;
+        self.reactor_threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +139,16 @@ mod tests {
         assert_eq!(c.persist_interval_secs, 0);
         assert!(c.http_addr.is_none());
         assert!(c.max_connections >= 64);
+        assert!(!c.async_reactor);
+        assert_eq!(c.reactor_threads, 1);
+    }
+
+    #[test]
+    fn with_reactor_selects_the_async_front_end() {
+        let c = ServiceConfig::default().with_reactor(4);
+        assert!(c.async_reactor);
+        assert_eq!(c.reactor_threads, 4);
+        assert_eq!(ServiceConfig::default().with_reactor(0).reactor_threads, 1);
     }
 
     #[test]

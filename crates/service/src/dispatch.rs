@@ -1,8 +1,9 @@
 //! The transport-agnostic dispatch core.
 //!
-//! Both front-ends — the line-JSON TCP listener in [`crate::server`]
-//! and the HTTP/1.1 listener in [`crate::http`] — parse their framing
-//! into the same [`Request`] enum and hand it to [`execute`] here; the
+//! Every front-end — the line-JSON TCP listener in [`crate::server`],
+//! the HTTP/1.1 listener in [`crate::http`] and the nonblocking
+//! reactor in [`crate::reactor`] — parses its framing into the same
+//! [`Request`] enum and hands it to the shared `execute` here; the
 //! response body is identical JSON either way. What *is*
 //! transport-specific lives in [`ConnState`]: the line protocol keeps a
 //! per-connection deferred-submit watermark (pipelined acks), which a

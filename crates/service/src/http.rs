@@ -3,10 +3,11 @@
 //!
 //! Hand-rolled request parsing in the spirit of the line protocol — no
 //! new dependencies — implementing just enough of HTTP/1.1 for REST
-//! clients and `curl`: request line + headers, `Content-Length` bodies,
-//! keep-alive connections, and `Expect: 100-continue`. Every route maps
-//! onto an existing [`Request`] with the *same JSON bodies* as the line
-//! protocol, so a response is byte-identical across transports:
+//! clients and `curl`: request line + headers, `Content-Length` and
+//! `Transfer-Encoding: chunked` bodies, keep-alive connections, and
+//! `Expect: 100-continue`. Every route maps onto an existing
+//! [`Request`] with the *same JSON bodies* as the line protocol, so a
+//! response is byte-identical across transports:
 //!
 //! ```text
 //! GET    /ping                          -> ping
@@ -30,6 +31,12 @@
 //! express. Errors map onto status codes (`404` unknown session or
 //! route, `400` invalid request, `500` server-side failure) with the
 //! line protocol's `{"ok":false,"error":...}` body.
+//!
+//! This module owns the *threaded* HTTP connection loop; the parsing
+//! pieces (`parse_head`, `ChunkDecoder`, `respond`,
+//! `format_http_response`) are shared with the nonblocking state
+//! machines in [`crate::reactor`], so both front-ends speak the same
+//! dialect by construction. `docs/PROTOCOL.md` is the normative spec.
 
 use crate::dispatch;
 use crate::error::{Result, ServiceError};
@@ -44,8 +51,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Upper bound on the request line + headers. Bodies are separately
-/// bounded by `ServiceConfig::max_line_bytes`.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// bounded by `ServiceConfig::max_line_bytes`. Shared with the reactor
+/// front-end so both paths enforce the same frame limits.
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// How long the accept loop sleeps when polling an idle (non-blocking)
 /// listener before re-checking the shutdown flag.
@@ -134,7 +142,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
             return Ok(()); // peer closed, or server shutting down
         }
         let parsed = parse_head(&head);
-        let (method, target, version, content_length, keep_alive, expect_continue) = match parsed {
+        let h = match parsed {
             Ok(h) => h,
             Err(e) => {
                 response.clear();
@@ -143,31 +151,53 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
                 return Ok(());
             }
         };
-        if content_length > shared.config.max_line_bytes {
-            response.clear();
-            write_error_response(
-                &mut response,
-                &ServiceError::Protocol(format!(
-                    "request body exceeds {} bytes",
-                    shared.config.max_line_bytes
-                )),
-            );
-            write_http_response(&mut writer, 413, "Payload Too Large", &response, false)?;
-            return Ok(());
+        if let BodyFraming::Length(n) = h.body {
+            if n > shared.config.max_line_bytes {
+                response.clear();
+                write_error_response(
+                    &mut response,
+                    &ServiceError::Protocol(format!(
+                        "request body exceeds {} bytes",
+                        shared.config.max_line_bytes
+                    )),
+                );
+                write_http_response(&mut writer, 413, "Payload Too Large", &response, false)?;
+                return Ok(());
+            }
         }
-        if expect_continue && content_length > 0 {
+        if h.expect_continue && h.expects_body() {
             // curl sends `Expect: 100-continue` for larger bodies and
             // waits for this interim response before transmitting.
             writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
             writer.flush()?;
         }
-        read_exact_with_shutdown(&mut reader, &mut body_buf, content_length, &shared.shutdown)?;
+        match h.body {
+            BodyFraming::Length(n) => {
+                read_exact_with_shutdown(&mut reader, &mut body_buf, n, &shared.shutdown)?;
+            }
+            BodyFraming::Chunked => {
+                let mut decoder = ChunkDecoder::new(shared.config.max_line_bytes);
+                match read_chunked_with_shutdown(&mut reader, &mut decoder, &shared.shutdown)? {
+                    Ok(()) => decoder.take_body(&mut body_buf),
+                    // Framing errors in the chunk stream are answered
+                    // in-band and tear the connection down (the framing
+                    // itself can no longer be trusted).
+                    Err(e) => {
+                        let (status, reason) = e.status();
+                        response.clear();
+                        write_error_response(&mut response, &e.into_service_error());
+                        write_http_response(&mut writer, status, reason, &response, false)?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
         shared.transport.record_http_request();
 
         response.clear();
-        let (status, reason) = respond(shared, &method, &target, &body_buf, &mut response);
+        let (status, reason) = respond(shared, &h.method, &h.target, &body_buf, &mut response);
         // HTTP/1.1 defaults to keep-alive; honour an explicit close.
-        let keep = keep_alive && version == "HTTP/1.1";
+        let keep = h.keep_alive();
         write_http_response(&mut writer, status, reason, &response, keep)?;
         if !keep {
             return Ok(());
@@ -176,8 +206,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
 }
 
 /// Routes one request and executes it, writing the JSON body into
-/// `out`; returns the status line pair.
-fn respond(
+/// `out`; returns the status line pair. Shared with the reactor
+/// front-end, which frames the same call with nonblocking I/O.
+pub(crate) fn respond(
     shared: &Shared,
     method: &str,
     target: &str,
@@ -444,12 +475,44 @@ fn read_exact_with_shutdown(
     Ok(())
 }
 
-type Head = (String, String, String, usize, bool, bool);
+/// How a request's body bytes are framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BodyFraming {
+    /// A `Content-Length` body of exactly this many bytes (0 when the
+    /// header is absent).
+    Length(usize),
+    /// A `Transfer-Encoding: chunked` body ([`ChunkDecoder`] reads it).
+    Chunked,
+}
 
-/// Parses the request line and the headers this front-end cares about:
-/// `(method, target, version, content_length, keep_alive,
-/// expect_continue)`.
-fn parse_head(head: &[u8]) -> Result<Head> {
+/// A parsed request head: the request line plus the headers this
+/// front-end cares about.
+#[derive(Debug)]
+pub(crate) struct Head {
+    pub(crate) method: String,
+    pub(crate) target: String,
+    pub(crate) version: String,
+    pub(crate) body: BodyFraming,
+    /// The `Connection` header's verdict (HTTP/1.1 defaults true).
+    keep_alive: bool,
+    pub(crate) expect_continue: bool,
+}
+
+impl Head {
+    /// Whether the connection persists after this exchange: only
+    /// HTTP/1.1 without an explicit `Connection: close`.
+    pub(crate) fn keep_alive(&self) -> bool {
+        self.keep_alive && self.version == "HTTP/1.1"
+    }
+
+    /// Whether body bytes follow the head (drives `100 Continue`).
+    pub(crate) fn expects_body(&self) -> bool {
+        !matches!(self.body, BodyFraming::Length(0))
+    }
+}
+
+/// Parses the request line and the headers this front-end cares about.
+pub(crate) fn parse_head(head: &[u8]) -> Result<Head> {
     let text = std::str::from_utf8(head)
         .map_err(|_| ServiceError::Protocol("request head is not valid UTF-8".into()))?;
     let mut lines = text.split("\r\n");
@@ -467,7 +530,8 @@ fn parse_head(head: &[u8]) -> Result<Head> {
             )))
         }
     };
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
     // HTTP/1.1 defaults to persistent connections.
     let mut keep_alive = version == "HTTP/1.1";
     let mut expect_continue = false;
@@ -482,30 +546,323 @@ fn parse_head(head: &[u8]) -> Result<Head> {
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            let parsed: usize = value
                 .parse()
                 .map_err(|_| ServiceError::Protocol(format!("invalid Content-Length `{value}`")))?;
+            // Differing duplicate Content-Lengths are the sibling
+            // smuggling vector of TE+CL below: a front proxy honouring
+            // one and this server the other desyncs the framing. RFC
+            // 7230 §3.3.3 says refuse (identical repeats may collapse).
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(ServiceError::Protocol(
+                    "request carries conflicting Content-Length headers".into(),
+                ));
+            }
+            content_length = Some(parsed);
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
         {
             expect_continue = true;
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            // Chunked bodies are not implemented; refusing beats
-            // silently misreading the framing.
-            return Err(ServiceError::Protocol(
-                "Transfer-Encoding is not supported; send a Content-Length body".into(),
-            ));
+            if value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else {
+                // `gzip, chunked` and friends: refusing beats silently
+                // misreading the framing.
+                return Err(ServiceError::Protocol(format!(
+                    "unsupported Transfer-Encoding `{value}` (only `chunked` is implemented)"
+                )));
+            }
         }
     }
-    Ok((
+    // A message carrying both framings is a classic request-smuggling
+    // vector; RFC 7230 §3.3.3 says to treat it as an error.
+    if chunked && content_length.is_some() {
+        return Err(ServiceError::Protocol(
+            "request carries both Transfer-Encoding and Content-Length".into(),
+        ));
+    }
+    Ok(Head {
         method,
         target,
         version,
-        content_length,
+        body: if chunked {
+            BodyFraming::Chunked
+        } else {
+            BodyFraming::Length(content_length.unwrap_or(0))
+        },
         keep_alive,
         expect_continue,
-    ))
+    })
+}
+
+/// Why a chunked body could not be decoded.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ChunkError {
+    /// The decoded body would exceed the server's body-size limit.
+    TooLarge(usize),
+    /// The chunk framing itself is malformed.
+    Malformed(String),
+}
+
+impl ChunkError {
+    /// The HTTP status line this decode failure maps to.
+    pub(crate) fn status(&self) -> (u16, &'static str) {
+        match self {
+            ChunkError::TooLarge(_) => (413, "Payload Too Large"),
+            ChunkError::Malformed(_) => (400, "Bad Request"),
+        }
+    }
+
+    /// The in-band error body for this decode failure.
+    pub(crate) fn into_service_error(self) -> ServiceError {
+        match self {
+            ChunkError::TooLarge(limit) => {
+                ServiceError::Protocol(format!("request body exceeds {limit} bytes"))
+            }
+            ChunkError::Malformed(msg) => {
+                ServiceError::Protocol(format!("malformed chunked body: {msg}"))
+            }
+        }
+    }
+}
+
+/// Upper bound on one chunk-size or trailer line. Size lines are a hex
+/// count plus optional extensions; anything longer is hostile.
+const MAX_CHUNK_LINE: usize = 1024;
+
+enum ChunkState {
+    /// Reading a `<hex-size>[;ext]\r\n` line.
+    Size,
+    /// Reading this many remaining data bytes of the current chunk.
+    Data(usize),
+    /// Reading the `\r\n` that terminates a chunk's data.
+    DataEnd,
+    /// After the zero-size chunk: reading (and discarding) trailer
+    /// lines until the blank line.
+    Trailers,
+    /// The terminal `\r\n` seen; the body is complete.
+    Done,
+}
+
+/// An incremental `Transfer-Encoding: chunked` body decoder.
+///
+/// Feed it raw wire bytes with [`ChunkDecoder::push`]; it consumes as
+/// much as it can (possibly stopping mid-chunk) and accumulates the
+/// de-chunked body. Both HTTP front-ends share it: the threaded path
+/// feeds it straight from a `BufReader`, the reactor from a
+/// connection's read buffer — which is exactly why it is a resumable
+/// state machine rather than a blocking read loop. Chunk extensions
+/// are ignored and trailer headers are discarded, per the grammar in
+/// RFC 7230 §4.1.
+pub(crate) struct ChunkDecoder {
+    state: ChunkState,
+    body: Vec<u8>,
+    /// Scratch for size/trailer lines that straddle `push` calls.
+    line: Vec<u8>,
+    max_bytes: usize,
+}
+
+impl ChunkDecoder {
+    /// A decoder that refuses bodies longer than `max_bytes`.
+    pub(crate) fn new(max_bytes: usize) -> Self {
+        ChunkDecoder {
+            state: ChunkState::Size,
+            body: Vec::new(),
+            line: Vec::new(),
+            max_bytes,
+        }
+    }
+
+    /// Whether the terminal chunk (and its trailers) have been read.
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(self.state, ChunkState::Done)
+    }
+
+    /// Moves the decoded body into `out` (clearing it first).
+    pub(crate) fn take_body(&mut self, out: &mut Vec<u8>) {
+        out.clear();
+        std::mem::swap(out, &mut self.body);
+    }
+
+    /// Consumes as many of `input`'s bytes as the state machine can,
+    /// returning how many were eaten. Call again with the remainder
+    /// (plus newly read bytes) once more data arrives; when
+    /// [`Self::is_done`] turns true the unconsumed tail belongs to the
+    /// next request on the connection.
+    pub(crate) fn push(&mut self, input: &[u8]) -> std::result::Result<usize, ChunkError> {
+        let mut consumed = 0usize;
+        while consumed < input.len() {
+            let rest = &input[consumed..];
+            match self.state {
+                ChunkState::Done => break,
+                ChunkState::Size => match self.take_line(rest)? {
+                    None => consumed = input.len(),
+                    Some(eaten) => {
+                        consumed += eaten;
+                        let line = std::mem::take(&mut self.line);
+                        let size = parse_chunk_size(&line)?;
+                        if self.body.len() + size > self.max_bytes {
+                            return Err(ChunkError::TooLarge(self.max_bytes));
+                        }
+                        self.state = if size == 0 {
+                            ChunkState::Trailers
+                        } else {
+                            self.body.reserve(size);
+                            ChunkState::Data(size)
+                        };
+                    }
+                },
+                ChunkState::Data(remaining) => {
+                    let take = remaining.min(rest.len());
+                    self.body.extend_from_slice(&rest[..take]);
+                    consumed += take;
+                    self.state = if take == remaining {
+                        ChunkState::DataEnd
+                    } else {
+                        ChunkState::Data(remaining - take)
+                    };
+                }
+                ChunkState::DataEnd => match self.take_line(rest)? {
+                    None => consumed = input.len(),
+                    Some(eaten) => {
+                        consumed += eaten;
+                        if !self.line.is_empty() {
+                            return Err(ChunkError::Malformed(
+                                "chunk data is not terminated by CRLF".into(),
+                            ));
+                        }
+                        self.line.clear();
+                        self.state = ChunkState::Size;
+                    }
+                },
+                ChunkState::Trailers => match self.take_line(rest)? {
+                    None => consumed = input.len(),
+                    Some(eaten) => {
+                        consumed += eaten;
+                        let blank = self.line.is_empty();
+                        self.line.clear();
+                        if blank {
+                            self.state = ChunkState::Done;
+                            break;
+                        }
+                        // A non-blank trailer line is discarded; keep
+                        // reading until the blank terminator.
+                    }
+                },
+            }
+        }
+        Ok(consumed)
+    }
+
+    /// Accumulates bytes of one CRLF-terminated line into `self.line`
+    /// (CRLF stripped). Returns how many input bytes were eaten when
+    /// the line completed, `None` when more input is needed (everything
+    /// was buffered).
+    fn take_line(&mut self, input: &[u8]) -> std::result::Result<Option<usize>, ChunkError> {
+        match input.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                self.line.extend_from_slice(&input[..pos]);
+                if self.line.last() != Some(&b'\r') {
+                    return Err(ChunkError::Malformed(
+                        "chunk line is not CRLF-terminated".into(),
+                    ));
+                }
+                self.line.pop();
+                if self.line.len() > MAX_CHUNK_LINE {
+                    return Err(ChunkError::Malformed("chunk line too long".into()));
+                }
+                Ok(Some(pos + 1))
+            }
+            None => {
+                self.line.extend_from_slice(input);
+                if self.line.len() > MAX_CHUNK_LINE {
+                    return Err(ChunkError::Malformed("chunk line too long".into()));
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Parses a chunk-size line: hex digits, optionally followed by
+/// `;extension` (ignored).
+fn parse_chunk_size(line: &[u8]) -> std::result::Result<usize, ChunkError> {
+    let digits = match line.iter().position(|&b| b == b';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    };
+    let text = std::str::from_utf8(digits)
+        .map_err(|_| ChunkError::Malformed("chunk size is not ASCII".into()))?
+        .trim();
+    if text.is_empty() || text.len() > 8 {
+        return Err(ChunkError::Malformed(format!(
+            "invalid chunk size `{text}`"
+        )));
+    }
+    usize::from_str_radix(text, 16)
+        .map_err(|_| ChunkError::Malformed(format!("invalid chunk size `{text}`")))
+}
+
+/// Feeds a [`ChunkDecoder`] from the threaded path's buffered reader
+/// until the body completes. Outer errors are I/O-level (torn
+/// connection, shutdown) and tear the connection down silently like any
+/// other read failure; the inner result carries chunk-framing errors,
+/// which the caller answers in-band.
+fn read_chunked_with_shutdown(
+    reader: &mut BufReader<TcpStream>,
+    decoder: &mut ChunkDecoder,
+    shutdown: &AtomicBool,
+) -> Result<std::result::Result<(), ChunkError>> {
+    while !decoder.is_done() {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(ServiceError::ConnectionClosed);
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if chunk.is_empty() {
+            return Err(ServiceError::Protocol("connection closed mid-body".into()));
+        }
+        match decoder.push(chunk) {
+            Ok(consumed) => reader.consume(consumed),
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// Appends one HTTP response (status line, headers, JSON body) to a
+/// byte buffer. Shared by the threaded writer below and the reactor's
+/// output buffers, so both front-ends emit byte-identical messages.
+pub(crate) fn format_http_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {connection}\r\n\r\n",
+        body.len()
+    );
+    out.reserve(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
 }
 
 /// Writes one HTTP response with a JSON body. Head and body go out in
@@ -518,16 +875,9 @@ fn write_http_response(
     body: &str,
     keep_alive: bool,
 ) -> Result<()> {
-    let connection = if keep_alive { "keep-alive" } else { "close" };
-    let mut message = format!(
-        "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
-         Content-Length: {}\r\n\
-         Connection: {connection}\r\n\r\n",
-        body.len()
-    );
-    message.push_str(body);
-    writer.write_all(message.as_bytes())?;
+    let mut message = Vec::new();
+    format_http_response(&mut message, status, reason, body, keep_alive);
+    writer.write_all(&message)?;
     writer.flush()?;
     Ok(())
 }
@@ -540,21 +890,113 @@ mod tests {
     fn parse_head_extracts_request_line_and_headers() {
         let head = b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\
                      Connection: close\r\nExpect: 100-continue\r\n\r\n";
-        let (method, target, version, len, keep, expect) = parse_head(head).unwrap();
-        assert_eq!(method, "POST");
-        assert_eq!(target, "/sessions");
-        assert_eq!(version, "HTTP/1.1");
-        assert_eq!(len, 12);
-        assert!(!keep);
-        assert!(expect);
+        let h = parse_head(head).unwrap();
+        assert_eq!(h.method, "POST");
+        assert_eq!(h.target, "/sessions");
+        assert_eq!(h.version, "HTTP/1.1");
+        assert_eq!(h.body, BodyFraming::Length(12));
+        assert!(!h.keep_alive());
+        assert!(h.expect_continue);
+        assert!(h.expects_body());
         // Defaults: HTTP/1.1 keeps alive, no body.
-        let (_, _, _, len, keep, expect) =
-            parse_head(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        assert_eq!(len, 0);
-        assert!(keep);
-        assert!(!expect);
+        let h = parse_head(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(h.body, BodyFraming::Length(0));
+        assert!(h.keep_alive());
+        assert!(!h.expect_continue);
+        assert!(!h.expects_body());
         assert!(parse_head(b"GARBAGE\r\n\r\n").is_err());
-        assert!(parse_head(b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parse_head_recognises_chunked_framing() {
+        let h = parse_head(b"POST /x HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+        assert_eq!(h.body, BodyFraming::Chunked);
+        assert!(h.expects_body());
+        // Non-chunked codings stay refused.
+        assert!(
+            parse_head(b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n").is_err()
+        );
+        // Both framings at once is a smuggling vector: refuse.
+        assert!(parse_head(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 3\r\n\r\n"
+        )
+        .is_err());
+        // So are conflicting duplicate Content-Lengths; identical
+        // repeats collapse per RFC 7230 §3.3.3.
+        assert!(parse_head(
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 100\r\n\r\n"
+        )
+        .is_err());
+        let h = parse_head(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n")
+            .unwrap();
+        assert_eq!(h.body, BodyFraming::Length(5));
+    }
+
+    #[test]
+    fn chunk_decoder_reassembles_split_chunks() {
+        let wire = b"4\r\nWiki\r\n5\r\npedia\r\nE;ext=1\r\n in\r\n\r\nchunks.\r\n0\r\n\r\n";
+        // Feed in every possible split position: the state machine must
+        // resume anywhere, including mid-CRLF and mid-size-line.
+        for split in 0..wire.len() {
+            let mut dec = ChunkDecoder::new(1 << 20);
+            let mut fed = 0;
+            for part in [&wire[..split], &wire[split..]] {
+                let mut rest = part;
+                while !rest.is_empty() && !dec.is_done() {
+                    let n = dec.push(rest).unwrap();
+                    assert!(n > 0, "decoder must make progress");
+                    rest = &rest[n..];
+                    fed += n;
+                }
+            }
+            assert!(dec.is_done(), "split at {split}");
+            assert_eq!(fed, wire.len());
+            let mut body = Vec::new();
+            dec.take_body(&mut body);
+            assert_eq!(body, b"Wikipedia in\r\n\r\nchunks.");
+        }
+    }
+
+    #[test]
+    fn chunk_decoder_stops_at_the_message_end() {
+        // Bytes past the terminal chunk belong to the next request.
+        let wire = b"3\r\nabc\r\n0\r\n\r\nGET /ping HTTP/1.1\r\n";
+        let mut dec = ChunkDecoder::new(1 << 20);
+        let consumed = dec.push(wire).unwrap();
+        assert!(dec.is_done());
+        assert_eq!(&wire[consumed..], b"GET /ping HTTP/1.1\r\n");
+        // Trailer headers before the blank line are discarded.
+        let wire = b"1\r\nx\r\n0\r\nX-Sum: 1\r\n\r\n";
+        let mut dec = ChunkDecoder::new(1 << 20);
+        let consumed = dec.push(wire).unwrap();
+        assert!(dec.is_done());
+        assert_eq!(consumed, wire.len());
+        let mut body = Vec::new();
+        dec.take_body(&mut body);
+        assert_eq!(body, b"x");
+    }
+
+    #[test]
+    fn chunk_decoder_rejects_malformed_and_oversized_streams() {
+        // Garbage size line.
+        let mut dec = ChunkDecoder::new(1 << 20);
+        assert!(matches!(dec.push(b"zz\r\n"), Err(ChunkError::Malformed(_))));
+        // Missing CRLF after chunk data.
+        let mut dec = ChunkDecoder::new(1 << 20);
+        assert!(matches!(
+            dec.push(b"3\r\nabcXY\r\n"),
+            Err(ChunkError::Malformed(_))
+        ));
+        // Bare-LF line endings are refused.
+        let mut dec = ChunkDecoder::new(1 << 20);
+        assert!(matches!(dec.push(b"3\nabc"), Err(ChunkError::Malformed(_))));
+        // A chunk that would blow the body cap fails before buffering.
+        let mut dec = ChunkDecoder::new(8);
+        let err = dec.push(b"FF\r\n").unwrap_err();
+        assert_eq!(err, ChunkError::TooLarge(8));
+        assert_eq!(err.status().0, 413);
+        assert_eq!(ChunkError::Malformed("x".into()).status().0, 400);
     }
 
     #[test]

@@ -47,7 +47,16 @@
 //!   `POST /sessions/{id}/records`, `GET /sessions/{id}/reconstruct`
 //!   and friends, with JSON bodies identical to the line protocol
 //!   (enabled by `ServiceConfig::http_addr`; [`client::HttpClient`]
-//!   speaks it).
+//!   speaks it). Request bodies may be `Content-Length` or
+//!   `Transfer-Encoding: chunked`.
+//! * [`reactor`] — an optional nonblocking epoll/kqueue front-end
+//!   (`frapp-serve --async`, `ServiceConfig::async_reactor`) serving
+//!   *both* wire protocols from a fixed set of event-loop threads
+//!   instead of a thread per connection: bit-identical responses, far
+//!   higher concurrent-connection fan-in.
+//!
+//! The normative wire specification lives in `docs/PROTOCOL.md`, and
+//! `docs/ARCHITECTURE.md` maps the whole workspace.
 //!
 //! ## In-process quickstart
 //!
@@ -79,6 +88,7 @@ pub mod json;
 pub mod metrics;
 pub mod persist;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod session;
 pub mod shard;

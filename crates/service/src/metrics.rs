@@ -214,6 +214,16 @@ pub struct TransportMetrics {
     deferred_batches: AtomicU64,
     sheds: AtomicU64,
     accept_errors: AtomicU64,
+    // Reactor ([`crate::reactor`]) counters. All-zero under
+    // thread-per-connection; under `--async` they make the event loop
+    // observable: a wakeup rate near the 50 ms poll-timeout floor means
+    // an idle server, a high partial-read/-write rate means peers are
+    // slower than the reactor (framing straddles reads, responses
+    // straddle writes and lean on interest re-registration).
+    reactor_registered_fds: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reactor_partial_reads: AtomicU64,
+    reactor_partial_writes: AtomicU64,
 }
 
 impl TransportMetrics {
@@ -257,6 +267,35 @@ impl TransportMetrics {
         self.accept_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Gauges one fd registered with a reactor's poller (listener or
+    /// connection).
+    pub fn record_reactor_fd_registered(&self) {
+        self.reactor_registered_fds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gauges one fd deregistered from a reactor's poller.
+    pub fn record_reactor_fd_deregistered(&self) {
+        self.reactor_registered_fds.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reactor `epoll_wait`/`kevent` return (event batch or
+    /// timeout).
+    pub fn record_reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one readable event that ended with an incomplete frame
+    /// still buffered (the peer's write straddled our read).
+    pub fn record_reactor_partial_read(&self) {
+        self.reactor_partial_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one write attempt that could not flush the whole output
+    /// buffer (backpressure: the remainder waits on a writable event).
+    pub fn record_reactor_partial_write(&self) {
+        self.reactor_partial_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn report(&self) -> TransportReport {
         TransportReport {
@@ -267,6 +306,10 @@ impl TransportMetrics {
             deferred_batches: self.deferred_batches.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            reactor_registered_fds: self.reactor_registered_fds.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_partial_reads: self.reactor_partial_reads.load(Ordering::Relaxed),
+            reactor_partial_writes: self.reactor_partial_writes.load(Ordering::Relaxed),
         }
     }
 }
@@ -288,6 +331,16 @@ pub struct TransportReport {
     pub sheds: u64,
     /// Failed `accept` calls across all listeners.
     pub accept_errors: u64,
+    /// File descriptors currently registered across all reactor pollers
+    /// (a gauge: listeners + live connections; zero in
+    /// thread-per-connection mode).
+    pub reactor_registered_fds: u64,
+    /// Reactor poll wakeups (event batches + timeouts).
+    pub reactor_wakeups: u64,
+    /// Readable events that left an incomplete frame buffered.
+    pub reactor_partial_reads: u64,
+    /// Writes that could not flush the whole output buffer.
+    pub reactor_partial_writes: u64,
 }
 
 /// A snapshot of one session's [`SessionMetrics`].
@@ -401,6 +454,22 @@ mod tests {
         assert_eq!(r.sheds, 1);
         assert_eq!(r.accept_errors, 1);
         assert_eq!(TransportMetrics::new().report(), TransportReport::default());
+    }
+
+    #[test]
+    fn reactor_counters_count_and_the_fd_gauge_tracks_registrations() {
+        let t = TransportMetrics::new();
+        t.record_reactor_fd_registered();
+        t.record_reactor_fd_registered();
+        t.record_reactor_fd_deregistered();
+        t.record_reactor_wakeup();
+        t.record_reactor_partial_read();
+        t.record_reactor_partial_write();
+        let r = t.report();
+        assert_eq!(r.reactor_registered_fds, 1);
+        assert_eq!(r.reactor_wakeups, 1);
+        assert_eq!(r.reactor_partial_reads, 1);
+        assert_eq!(r.reactor_partial_writes, 1);
     }
 
     #[test]

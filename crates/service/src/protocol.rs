@@ -739,22 +739,34 @@ pub fn write_flush_response(
 }
 
 /// Writes the response payload for a session-less `metrics` request:
-/// the server's per-transport counters.
+/// the server's per-transport counters, plus the reactor event-loop
+/// counters (all zero when the server runs thread-per-connection).
 pub fn write_transport_metrics_response(out: &mut String, report: &TransportReport) {
     write_ok_response(
         out,
-        vec![(
-            "transport",
-            object(vec![
-                ("tcp_connections", report.tcp_connections.into()),
-                ("http_connections", report.http_connections.into()),
-                ("tcp_requests", report.tcp_requests.into()),
-                ("http_requests", report.http_requests.into()),
-                ("deferred_batches", report.deferred_batches.into()),
-                ("sheds", report.sheds.into()),
-                ("accept_errors", report.accept_errors.into()),
-            ]),
-        )],
+        vec![
+            (
+                "transport",
+                object(vec![
+                    ("tcp_connections", report.tcp_connections.into()),
+                    ("http_connections", report.http_connections.into()),
+                    ("tcp_requests", report.tcp_requests.into()),
+                    ("http_requests", report.http_requests.into()),
+                    ("deferred_batches", report.deferred_batches.into()),
+                    ("sheds", report.sheds.into()),
+                    ("accept_errors", report.accept_errors.into()),
+                ]),
+            ),
+            (
+                "reactor",
+                object(vec![
+                    ("registered_fds", report.reactor_registered_fds.into()),
+                    ("wakeups", report.reactor_wakeups.into()),
+                    ("partial_reads", report.reactor_partial_reads.into()),
+                    ("partial_writes", report.reactor_partial_writes.into()),
+                ]),
+            ),
+        ],
     )
 }
 
@@ -1005,6 +1017,11 @@ mod tests {
         assert_eq!(t.get("tcp_requests").and_then(Value::as_u64), Some(5));
         assert_eq!(t.get("sheds").and_then(Value::as_u64), Some(1));
         assert_eq!(t.get("http_requests").and_then(Value::as_u64), Some(0));
+        // The reactor section rides along (zeros under
+        // thread-per-connection).
+        let r = v.get("reactor").unwrap();
+        assert_eq!(r.get("registered_fds").and_then(Value::as_u64), Some(0));
+        assert_eq!(r.get("wakeups").and_then(Value::as_u64), Some(0));
     }
 
     #[test]

@@ -1,0 +1,1236 @@
+//! The nonblocking (epoll/kqueue) reactor front-end.
+//!
+//! Thread-per-connection serves this workload fine until fan-in becomes
+//! the bottleneck: a million-client collection deployment means tens of
+//! thousands of mostly-idle connections, and a thread apiece for them
+//! buys nothing but stack reservations and scheduler pressure. This
+//! module serves *both* wire protocols — the line-JSON framing of
+//! [`crate::server`] and the HTTP/1.1 framing of [`crate::http`] — from
+//! a small, fixed set of event-loop threads instead (`frapp-serve
+//! --async`, [`crate::config::ServiceConfig::async_reactor`]).
+//!
+//! Three design rules keep it honest:
+//!
+//! 1. **Same dispatch core, bit-identical responses.** Framing is the
+//!    only thing that lives here. Complete line-protocol requests go
+//!    through [`crate::dispatch::dispatch_into`] with the same
+//!    per-connection [`ConnState`] watermark as the threaded loop, and
+//!    complete HTTP requests go through the same `respond` /
+//!    `format_http_response` helpers as [`crate::http`];
+//!    `tests/reactor.rs` asserts raw byte parity against the threaded
+//!    front-ends.
+//! 2. **No new dependencies.** The poller is a ~150-line `sys` shim of
+//!    raw `extern "C"` syscall declarations — `epoll` on Linux/Android,
+//!    `kqueue` on the BSDs and macOS — resolved by the libc that `std`
+//!    already links. Unsupported platforms refuse `--async` at startup
+//!    with a clear error instead of failing at build time.
+//! 3. **Backpressure by interest, not by blocking.** Each connection
+//!    owns a read buffer (incomplete frames wait in it) and a write
+//!    buffer (unflushed responses wait in it). A peer that stops
+//!    reading gets its responses parked in the write buffer; past a
+//!    high-water mark the reactor *de-registers read interest* so the
+//!    connection stops producing new work until the peer drains —
+//!    memory per slow client stays bounded without stalling the loop.
+//!
+//! Sharding: with `--reactor-threads N`, every reactor thread runs its
+//! own poller and registers *both* listeners (via dup'd fds), so
+//! accepted connections spread across reactors without a handoff
+//! queue; a connection lives on the reactor that accepted it for its
+//! whole life, which keeps every per-connection structure single-
+//! threaded. Shutdown is cooperative: the poll timeout doubles as a
+//! shutdown-flag check, exactly like the threaded loops' read
+//! timeouts.
+
+use crate::dispatch::{dispatch_into, ConnState, Outcome};
+use crate::error::{Result, ServiceError};
+use crate::http::{self, BodyFraming, ChunkDecoder, Head};
+use crate::protocol::write_error_response;
+use crate::server::{AcceptBackoff, ConnGuard, Shared};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// Raw syscall shim for the platform's readiness API. No `libc` crate:
+/// these symbols live in the C library `std` already links against.
+#[cfg(unix)]
+mod sys {
+    /// One readiness event, normalized across backends.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Event {
+        /// The registration token (connection id or listener marker).
+        pub token: u64,
+        /// Readable, or the peer hung up / errored (reads will resolve
+        /// the condition either way).
+        pub readable: bool,
+        /// Writable.
+        pub writable: bool,
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    mod imp {
+        use super::Event;
+        use std::io;
+
+        // The kernel ABI packs epoll_event on x86-64 (and only there).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLLRDHUP: u32 = 0x2000;
+        const EPOLL_CTL_ADD: i32 = 1;
+        const EPOLL_CTL_DEL: i32 = 2;
+        const EPOLL_CTL_MOD: i32 = 3;
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+        const EINTR: i32 = 4;
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        fn cvt(ret: i32) -> io::Result<i32> {
+            if ret < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(ret)
+            }
+        }
+
+        /// An epoll instance (level-triggered).
+        pub struct Poller {
+            epfd: i32,
+        }
+
+        impl Poller {
+            pub fn new() -> io::Result<Self> {
+                let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+                Ok(Poller { epfd })
+            }
+
+            fn ctl(
+                &self,
+                op: i32,
+                fd: i32,
+                token: u64,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                let mut ev = EpollEvent {
+                    events: if readable { EPOLLIN | EPOLLRDHUP } else { 0 }
+                        | if writable { EPOLLOUT } else { 0 },
+                    data: token,
+                };
+                cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+            }
+
+            pub fn add(&self, fd: i32, token: u64, writable: bool) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd, token, true, writable)
+            }
+
+            /// Replaces the fd's interest set. Dropping `readable` is
+            /// real deregistration: a paused connection with unread
+            /// socket bytes must NOT keep waking the level-triggered
+            /// loop. (`EPOLLERR`/`EPOLLHUP` are always reported
+            /// regardless, so a dead peer still surfaces.)
+            pub fn modify(
+                &self,
+                fd: i32,
+                token: u64,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
+            }
+
+            pub fn delete(&self, fd: i32) -> io::Result<()> {
+                // The event argument must be non-null on pre-2.6.9
+                // kernels; pass one unconditionally.
+                let mut ev = EpollEvent { events: 0, data: 0 };
+                cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+            }
+
+            pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+                out.clear();
+                let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        events.as_mut_ptr(),
+                        events.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() == Some(EINTR) {
+                        return Ok(()); // a signal; treat as a timeout
+                    }
+                    return Err(err);
+                }
+                for e in &events[..n as usize] {
+                    // Copy out of the (possibly packed) struct before
+                    // taking references.
+                    let (bits, data) = (e.events, e.data);
+                    out.push(Event {
+                        token: data,
+                        readable: bits & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLERR) != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Poller {
+            fn drop(&mut self) {
+                unsafe { close(self.epfd) };
+            }
+        }
+    }
+
+    #[cfg(any(
+        target_os = "macos",
+        target_os = "ios",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ))]
+    mod imp {
+        use super::Event;
+        use std::io;
+
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+
+        // The classic (pre-kevent64) struct kevent layout shared by
+        // macOS and the BSDs: ident is uintptr_t, udata a pointer.
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct Kevent {
+            ident: usize,
+            filter: i16,
+            flags: u16,
+            fflags: u32,
+            data: isize,
+            udata: *mut std::ffi::c_void,
+        }
+
+        const EVFILT_READ: i16 = -1;
+        const EVFILT_WRITE: i16 = -2;
+        const EV_ADD: u16 = 0x0001;
+        const EV_DELETE: u16 = 0x0002;
+        const EV_ERROR: u16 = 0x4000;
+        const EINTR: i32 = 4;
+        const ENOENT: i32 = 2;
+
+        extern "C" {
+            fn kqueue() -> i32;
+            fn kevent(
+                kq: i32,
+                changelist: *const Kevent,
+                nchanges: i32,
+                eventlist: *mut Kevent,
+                nevents: i32,
+                timeout: *const Timespec,
+            ) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        /// A kqueue instance (level-triggered filters).
+        pub struct Poller {
+            kq: i32,
+        }
+
+        impl Poller {
+            pub fn new() -> io::Result<Self> {
+                let kq = unsafe { kqueue() };
+                if kq < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(Poller { kq })
+            }
+
+            fn change(&self, fd: i32, filter: i16, flags: u16, token: u64) -> io::Result<()> {
+                let change = Kevent {
+                    ident: fd as usize,
+                    filter,
+                    flags,
+                    fflags: 0,
+                    data: 0,
+                    udata: token as *mut std::ffi::c_void,
+                };
+                let ret = unsafe {
+                    kevent(
+                        self.kq,
+                        &change,
+                        1,
+                        std::ptr::null_mut(),
+                        0,
+                        std::ptr::null(),
+                    )
+                };
+                if ret < 0 {
+                    let err = io::Error::last_os_error();
+                    // Deleting a never-registered write filter is fine.
+                    if flags & EV_DELETE != 0 && err.raw_os_error() == Some(ENOENT) {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                Ok(())
+            }
+
+            pub fn add(&self, fd: i32, token: u64, writable: bool) -> io::Result<()> {
+                self.change(fd, EVFILT_READ, EV_ADD, token)?;
+                if writable {
+                    self.change(fd, EVFILT_WRITE, EV_ADD, token)?;
+                }
+                Ok(())
+            }
+
+            /// Replaces the fd's interest set; both filters toggle
+            /// (deleting an absent filter is tolerated above).
+            pub fn modify(
+                &self,
+                fd: i32,
+                token: u64,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                let read_flags = if readable { EV_ADD } else { EV_DELETE };
+                self.change(fd, EVFILT_READ, read_flags, token)?;
+                let write_flags = if writable { EV_ADD } else { EV_DELETE };
+                self.change(fd, EVFILT_WRITE, write_flags, token)
+            }
+
+            pub fn delete(&self, fd: i32) -> io::Result<()> {
+                self.change(fd, EVFILT_READ, EV_DELETE, 0)?;
+                self.change(fd, EVFILT_WRITE, EV_DELETE, 0)
+            }
+
+            pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+                out.clear();
+                let timeout = Timespec {
+                    tv_sec: (timeout_ms / 1000) as i64,
+                    tv_nsec: (timeout_ms % 1000) as i64 * 1_000_000,
+                };
+                let mut events = [Kevent {
+                    ident: 0,
+                    filter: 0,
+                    flags: 0,
+                    fflags: 0,
+                    data: 0,
+                    udata: std::ptr::null_mut(),
+                }; 256];
+                let n = unsafe {
+                    kevent(
+                        self.kq,
+                        std::ptr::null(),
+                        0,
+                        events.as_mut_ptr(),
+                        events.len() as i32,
+                        &timeout,
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() == Some(EINTR) {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for e in &events[..n as usize] {
+                    if e.flags & EV_ERROR != 0 {
+                        continue;
+                    }
+                    out.push(Event {
+                        token: e.udata as u64,
+                        readable: e.filter == EVFILT_READ,
+                        writable: e.filter == EVFILT_WRITE,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Poller {
+            fn drop(&mut self) {
+                unsafe { close(self.kq) };
+            }
+        }
+    }
+
+    #[cfg(not(any(
+        target_os = "linux",
+        target_os = "android",
+        target_os = "macos",
+        target_os = "ios",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    )))]
+    mod imp {
+        use super::Event;
+        use std::io;
+
+        /// Stub for unix platforms without an epoll/kqueue shim.
+        pub struct Poller;
+
+        impl Poller {
+            pub fn new() -> io::Result<Self> {
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "the async reactor front-end has no poller shim for this platform",
+                ))
+            }
+            pub fn add(&self, _: i32, _: u64, _: bool) -> io::Result<()> {
+                unreachable!("Poller::new never succeeds here")
+            }
+            pub fn modify(&self, _: i32, _: u64, _: bool, _: bool) -> io::Result<()> {
+                unreachable!("Poller::new never succeeds here")
+            }
+            pub fn delete(&self, _: i32) -> io::Result<()> {
+                unreachable!("Poller::new never succeeds here")
+            }
+            pub fn wait(&self, _: &mut Vec<Event>, _: i32) -> io::Result<()> {
+                unreachable!("Poller::new never succeeds here")
+            }
+        }
+    }
+
+    pub use imp::Poller;
+
+    /// Sanity coverage for the shim itself: readiness on real sockets.
+    #[cfg(all(test, any(target_os = "linux", target_os = "android")))]
+    mod tests {
+        use super::*;
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+
+        #[test]
+        fn poller_times_out_empty_and_reports_listener_readiness() {
+            let poller = Poller::new().unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poller.add(listener.as_raw_fd(), 7, false).unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, 0).unwrap();
+            assert!(events.is_empty(), "idle listener must not be ready");
+
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            client.write_all(b"x").unwrap();
+            // Readiness may take a beat on a loaded machine.
+            for _ in 0..100 {
+                poller.wait(&mut events, 50).unwrap();
+                if !events.is_empty() {
+                    break;
+                }
+            }
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+            poller.delete(listener.as_raw_fd()).unwrap();
+        }
+    }
+}
+
+/// How long one `wait` blocks before re-checking the shutdown flag —
+/// the reactor's analogue of the threaded loops' 200 ms read timeout.
+const POLL_TIMEOUT_MS: i32 = 50;
+
+/// Pending-output threshold past which a connection's *read* interest
+/// is dropped: a peer that will not drain its responses stops being
+/// allowed to submit new work until it does.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Registration token of the line-protocol listener.
+const TOKEN_LINE: u64 = 0;
+/// Registration token of the HTTP listener.
+const TOKEN_HTTP: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Runs the reactor front-end over the given listeners until the shared
+/// shutdown flag is set. Spawns `config.reactor_threads - 1` sibling
+/// reactors (each with dup'd listener fds and its own poller) and runs
+/// the last one on the calling thread.
+#[cfg(unix)]
+pub(crate) fn run(
+    listener: TcpListener,
+    http_listener: Option<TcpListener>,
+    shared: &Arc<Shared>,
+) -> Result<()> {
+    listener.set_nonblocking(true)?;
+    if let Some(l) = &http_listener {
+        l.set_nonblocking(true)?;
+    }
+    let threads = shared.config.reactor_threads.max(1);
+    let mut siblings = Vec::new();
+    for i in 1..threads {
+        let listener = listener.try_clone()?;
+        let http_listener = http_listener
+            .as_ref()
+            .map(TcpListener::try_clone)
+            .transpose()?;
+        let shared = Arc::clone(shared);
+        siblings.push(
+            std::thread::Builder::new()
+                .name(format!("frapp-reactor-{i}"))
+                .spawn(move || {
+                    if let Err(e) = reactor_loop(listener, http_listener, &shared) {
+                        eprintln!("frapp-service: reactor {i} failed: {e}");
+                        // A dead sibling must not leave the server
+                        // half-alive and unkillable.
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                    }
+                })?,
+        );
+    }
+    let result = reactor_loop(listener, http_listener, shared);
+    if result.is_err() {
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+    for s in siblings {
+        let _ = s.join();
+    }
+    result
+}
+
+/// Non-unix stub: `AsRawFd` does not exist here, so `--async` is
+/// refused at startup.
+#[cfg(not(unix))]
+pub(crate) fn run(
+    _listener: TcpListener,
+    _http_listener: Option<TcpListener>,
+    _shared: &Arc<Shared>,
+) -> Result<()> {
+    Err(ServiceError::InvalidRequest(
+        "the async reactor front-end requires a unix platform; \
+         run without --async"
+            .into(),
+    ))
+}
+
+/// Which wire protocol a connection speaks (decided by the listener
+/// that accepted it).
+#[cfg(unix)]
+enum ConnKind {
+    /// Line-delimited JSON, with the pipelining watermark.
+    Line { state: ConnState },
+    /// HTTP/1.1, with the incremental message parser.
+    Http { state: HttpState },
+}
+
+/// Where an HTTP connection is in its current message.
+#[cfg(unix)]
+enum HttpState {
+    /// Scanning the read buffer for the end of a request head.
+    Head,
+    /// Collecting a `Content-Length` body.
+    Body {
+        head: Head,
+        body: Vec<u8>,
+        need: usize,
+    },
+    /// Collecting a chunked body.
+    Chunked { head: Head, decoder: ChunkDecoder },
+}
+
+/// One registered connection: its socket, admission guard, protocol
+/// state and elastic buffers.
+#[cfg(unix)]
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    _guard: ConnGuard,
+    kind: ConnKind,
+    /// Raw unconsumed input; incomplete frames wait here.
+    read_buf: Vec<u8>,
+    /// Unflushed output, already formatted; `write_pos` marks how much
+    /// of it has been written so far.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Reusable response-body scratch.
+    response: String,
+    /// Currently registered for writable events.
+    want_write: bool,
+    /// Read interest dropped because the write buffer crossed the
+    /// high-water mark.
+    read_paused: bool,
+    /// Close once the write buffer drains.
+    close_after_flush: bool,
+    /// Set the server-wide shutdown flag once the write buffer drains
+    /// (the `shutdown` op's response must still reach its sender).
+    shutdown_after_flush: bool,
+    /// The peer half-closed; close once everything owed is flushed.
+    peer_eof: bool,
+}
+
+#[cfg(unix)]
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// The verdict after handling one connection event.
+#[cfg(unix)]
+enum Verdict {
+    Keep,
+    Close,
+}
+
+#[cfg(unix)]
+fn reactor_loop(
+    listener: TcpListener,
+    http_listener: Option<TcpListener>,
+    shared: &Arc<Shared>,
+) -> Result<()> {
+    let poller = sys::Poller::new().map_err(|e| {
+        ServiceError::InvalidRequest(format!(
+            "cannot start the async reactor front-end: {e}; run without --async"
+        ))
+    })?;
+
+    /// One listener's registration state. On a persistent accept
+    /// failure (EMFILE is the classic) the listener is *deregistered*
+    /// for the backoff window instead of sleeping the reactor thread:
+    /// sleeping would stall every established connection on this
+    /// reactor, and merely skipping accepts would leave the
+    /// level-triggered readable event hot-spinning the loop.
+    struct ListenerSlot<'l> {
+        listener: &'l TcpListener,
+        token: u64,
+        is_http: bool,
+        registered: bool,
+        resume_at: Option<std::time::Instant>,
+    }
+    let mut slots: Vec<ListenerSlot<'_>> = Vec::new();
+    slots.push(ListenerSlot {
+        listener: &listener,
+        token: TOKEN_LINE,
+        is_http: false,
+        registered: false,
+        resume_at: None,
+    });
+    if let Some(l) = &http_listener {
+        slots.push(ListenerSlot {
+            listener: l,
+            token: TOKEN_HTTP,
+            is_http: true,
+            registered: false,
+            resume_at: None,
+        });
+    }
+    for slot in &mut slots {
+        poller.add(slot.listener.as_raw_fd(), slot.token, false)?;
+        slot.registered = true;
+        shared.transport.record_reactor_fd_registered();
+    }
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut backoff = AcceptBackoff::new();
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Re-register any listener whose backoff window has passed;
+        // the poll timeout bounds how stale this check can be.
+        for slot in &mut slots {
+            if !slot.registered
+                && slot
+                    .resume_at
+                    .is_some_and(|at| std::time::Instant::now() >= at)
+                && poller
+                    .add(slot.listener.as_raw_fd(), slot.token, false)
+                    .is_ok()
+            {
+                slot.registered = true;
+                slot.resume_at = None;
+                shared.transport.record_reactor_fd_registered();
+            }
+        }
+        poller.wait(&mut events, POLL_TIMEOUT_MS)?;
+        shared.transport.record_reactor_wakeup();
+        for &ev in &events {
+            if let Some(slot) = slots.iter_mut().find(|s| s.token == ev.token) {
+                let outcome = accept_ready(
+                    slot.listener,
+                    slot.is_http,
+                    shared,
+                    &poller,
+                    &mut conns,
+                    &mut next_token,
+                    &mut backoff,
+                );
+                if let AcceptOutcome::Backoff(delay) = outcome {
+                    let _ = poller.delete(slot.listener.as_raw_fd());
+                    shared.transport.record_reactor_fd_deregistered();
+                    slot.registered = false;
+                    slot.resume_at = Some(std::time::Instant::now() + delay);
+                }
+                continue;
+            }
+            let token = ev.token;
+            // The connection may have been closed by an earlier
+            // event in this same batch.
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let verdict = handle_conn_event(
+                conn,
+                ev.readable,
+                ev.writable,
+                shared,
+                &poller,
+                token,
+                &mut scratch,
+            );
+            if matches!(verdict, Verdict::Close) {
+                close_conn(&poller, shared, conns.remove(&token).expect("present"));
+            }
+        }
+    }
+
+    // Cooperative shutdown: give peers their last responses
+    // (best-effort, bounded), then drop everything.
+    for (_, mut conn) in conns.drain() {
+        let _ = poller.delete(conn.fd);
+        shared.transport.record_reactor_fd_deregistered();
+        if conn.pending_write() > 0 {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(500)));
+            let pos = conn.write_pos;
+            let _ = conn.stream.write_all(&conn.write_buf[pos..]);
+        }
+    }
+    for slot in &slots {
+        if slot.registered {
+            let _ = poller.delete(slot.listener.as_raw_fd());
+            shared.transport.record_reactor_fd_deregistered();
+        }
+    }
+    Ok(())
+}
+
+/// What draining one listener's accept queue concluded.
+#[cfg(unix)]
+enum AcceptOutcome {
+    /// The queue is drained (or a sibling reactor got there first).
+    Drained,
+    /// A persistent accept failure: the caller should deregister the
+    /// listener for this long (sleeping here would stall every
+    /// established connection on the reactor).
+    Backoff(Duration),
+}
+
+/// Drains one listener's accept queue (level-triggered: stop at
+/// `WouldBlock`). Sibling reactors share the listeners, so a wakeup may
+/// find the queue already empty — that is the no-handoff sharding
+/// working as intended, not an error.
+#[cfg(unix)]
+fn accept_ready(
+    listener: &TcpListener,
+    is_http: bool,
+    shared: &Arc<Shared>,
+    poller: &sys::Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    backoff: &mut AcceptBackoff,
+) -> AcceptOutcome {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff.on_success();
+                stream
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return AcceptOutcome::Drained,
+            Err(_) => {
+                // Same bounded pacing as the threaded accept loops: a
+                // persistent EMFILE must not turn the level-triggered
+                // listener event into a hot spin.
+                shared.transport.record_accept_error();
+                return AcceptOutcome::Backoff(backoff.on_error());
+            }
+        };
+        let Some(guard) = shared.try_admit() else {
+            shed(stream, is_http, shared);
+            continue;
+        };
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            continue; // guard drops, slot freed
+        }
+        let token = *next_token;
+        *next_token += 1;
+        let fd = stream.as_raw_fd();
+        let conn = Conn {
+            stream,
+            fd,
+            _guard: guard,
+            kind: if is_http {
+                ConnKind::Http {
+                    state: HttpState::Head,
+                }
+            } else {
+                ConnKind::Line {
+                    state: ConnState::new(),
+                }
+            },
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            response: String::new(),
+            want_write: false,
+            read_paused: false,
+            close_after_flush: false,
+            shutdown_after_flush: false,
+            peer_eof: false,
+        };
+        if poller.add(fd, token, false).is_err() {
+            continue; // conn (and its guard) drop
+        }
+        shared.transport.record_reactor_fd_registered();
+        if is_http {
+            shared.transport.record_http_connection();
+        } else {
+            shared.transport.record_tcp_connection();
+        }
+        conns.insert(token, conn);
+    }
+}
+
+/// Refuses a connection at the `max_connections` cap with the same
+/// in-band message the threaded front-ends use. Best-effort single
+/// write on the (nonblocking is fine — the refusal is one small
+/// buffer) socket, then drop.
+#[cfg(unix)]
+fn shed(mut stream: TcpStream, is_http: bool, shared: &Shared) {
+    let mut body = String::new();
+    write_error_response(
+        &mut body,
+        &ServiceError::InvalidRequest(shared.shed_message()),
+    );
+    let mut message = Vec::new();
+    if is_http {
+        http::format_http_response(&mut message, 503, "Service Unavailable", &body, false);
+    } else {
+        body.push('\n');
+        message.extend_from_slice(body.as_bytes());
+    }
+    let _ = stream.set_nonblocking(true);
+    let _ = stream.write(&message);
+}
+
+/// Handles one readiness event on an established connection.
+#[cfg(unix)]
+fn handle_conn_event(
+    conn: &mut Conn,
+    readable: bool,
+    writable: bool,
+    shared: &Arc<Shared>,
+    poller: &sys::Poller,
+    token: u64,
+    scratch: &mut [u8],
+) -> Verdict {
+    if readable && !conn.read_paused && !conn.close_after_flush {
+        match fill_read_buf(conn, shared, scratch) {
+            Ok(()) => {}
+            Err(()) => return Verdict::Close,
+        }
+        if let Err(()) = process_frames(conn, shared) {
+            return Verdict::Close;
+        }
+    }
+    if writable || conn.pending_write() > 0 {
+        if let Err(()) = flush_writes(conn, shared) {
+            return Verdict::Close;
+        }
+        // Draining below the high-water mark resumes frames that were
+        // parked in the read buffer by backpressure. Judge by the
+        // *current* pending count, not `read_paused` — that flag is
+        // last event's verdict, and a connection whose peer has read
+        // its responses may never see another readable event to
+        // deliver the buffered requests otherwise.
+        if conn.pending_write() <= WRITE_HIGH_WATER && !conn.close_after_flush {
+            if let Err(()) = process_frames(conn, shared) {
+                return Verdict::Close;
+            }
+            if let Err(()) = flush_writes(conn, shared) {
+                return Verdict::Close;
+            }
+        }
+    }
+    if conn.shutdown_after_flush && conn.pending_write() == 0 {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        return Verdict::Close;
+    }
+    if (conn.close_after_flush || conn.peer_eof) && conn.pending_write() == 0 {
+        return Verdict::Close;
+    }
+    update_interest(conn, poller, token)
+}
+
+/// Reads everything currently available on the socket into the
+/// connection's read buffer. `Err(())` means the connection died.
+#[cfg(unix)]
+fn fill_read_buf(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    scratch: &mut [u8],
+) -> std::result::Result<(), ()> {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return Ok(());
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&scratch[..n]);
+                // Bound per-connection input memory: nothing the
+                // protocols accept legitimately outgrows one maximal
+                // frame plus one scratch read of pipelined follow-ups.
+                if conn.read_buf.len()
+                    > shared.config.max_line_bytes + http::MAX_HEAD_BYTES + scratch.len()
+                {
+                    return Err(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Processes every complete frame sitting in the read buffer,
+/// appending responses to the write buffer. Stops early when the write
+/// buffer crosses the high-water mark (backpressure) or the connection
+/// decided to close. `Err(())` closes the connection without ceremony
+/// (unrecoverable framing, exactly like the threaded loops' dropped
+/// `Result`s).
+#[cfg(unix)]
+fn process_frames(conn: &mut Conn, shared: &Arc<Shared>) -> std::result::Result<(), ()> {
+    let mut consumed = 0usize;
+    let result = loop {
+        if conn.close_after_flush || conn.shutdown_after_flush {
+            break Ok(());
+        }
+        if conn.write_buf.len() - conn.write_pos > WRITE_HIGH_WATER {
+            break Ok(()); // backpressure: finish after the peer drains
+        }
+        let made_progress = if matches!(conn.kind, ConnKind::Line { .. }) {
+            process_line_frame(conn, shared, &mut consumed)?
+        } else {
+            process_http_frame(conn, shared, &mut consumed)?
+        };
+        if !made_progress {
+            if consumed < conn.read_buf.len() {
+                shared.transport.record_reactor_partial_read();
+            }
+            break Ok(());
+        }
+    };
+    conn.read_buf.drain(..consumed);
+    result
+}
+
+/// Tries to consume one line-protocol frame at `read_buf[*consumed..]`.
+/// Returns whether a frame was consumed.
+#[cfg(unix)]
+fn process_line_frame(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    consumed: &mut usize,
+) -> std::result::Result<bool, ()> {
+    let buf = &conn.read_buf[*consumed..];
+    let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
+        if buf.len() > shared.config.max_line_bytes {
+            return Err(()); // oversized line: same silent close as threaded
+        }
+        return Ok(false);
+    };
+    let line = &buf[..pos];
+    if line.len() > shared.config.max_line_bytes {
+        return Err(());
+    }
+    let Ok(text) = std::str::from_utf8(line) else {
+        return Err(());
+    };
+    let trimmed = text.trim();
+    *consumed += pos + 1;
+    if trimmed.is_empty() {
+        return Ok(true);
+    }
+    let ConnKind::Line { state } = &mut conn.kind else {
+        unreachable!("line frames only on line connections");
+    };
+    shared.transport.record_tcp_request();
+    conn.response.clear();
+    let outcome = dispatch_into(
+        &shared.registry,
+        &shared.config,
+        &shared.transport,
+        state,
+        trimmed,
+        &mut conn.response,
+    );
+    match outcome {
+        Outcome::Quiet => {}
+        Outcome::Reply | Outcome::Shutdown => {
+            conn.write_buf.extend_from_slice(conn.response.as_bytes());
+            conn.write_buf.push(b'\n');
+            if outcome == Outcome::Shutdown {
+                conn.shutdown_after_flush = true;
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Advances the HTTP state machine over `read_buf[*consumed..]`.
+/// Returns whether any bytes were consumed (progress).
+#[cfg(unix)]
+fn process_http_frame(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    consumed: &mut usize,
+) -> std::result::Result<bool, ()> {
+    let ConnKind::Http { state } = &mut conn.kind else {
+        unreachable!("http frames only on http connections");
+    };
+    let buf = &conn.read_buf[*consumed..];
+    match std::mem::replace(state, HttpState::Head) {
+        HttpState::Head => {
+            let Some(end) = find_head_end(buf) else {
+                if buf.len() > http::MAX_HEAD_BYTES {
+                    return Err(()); // oversized head: silent close, as threaded
+                }
+                return Ok(false);
+            };
+            let parsed = http::parse_head(&buf[..end]);
+            *consumed += end;
+            let head = match parsed {
+                Ok(h) => h,
+                Err(e) => {
+                    respond_error(conn, 400, "Bad Request", &e);
+                    return Ok(true);
+                }
+            };
+            match head.body {
+                BodyFraming::Length(n) if n > shared.config.max_line_bytes => {
+                    respond_error(
+                        conn,
+                        413,
+                        "Payload Too Large",
+                        &ServiceError::Protocol(format!(
+                            "request body exceeds {} bytes",
+                            shared.config.max_line_bytes
+                        )),
+                    );
+                    Ok(true)
+                }
+                BodyFraming::Length(0) => {
+                    dispatch_http(conn, shared, &head, &[]);
+                    Ok(true)
+                }
+                BodyFraming::Length(n) => {
+                    maybe_continue(conn, &head);
+                    *state_of(conn) = HttpState::Body {
+                        head,
+                        body: Vec::with_capacity(n),
+                        need: n,
+                    };
+                    Ok(true)
+                }
+                BodyFraming::Chunked => {
+                    maybe_continue(conn, &head);
+                    *state_of(conn) = HttpState::Chunked {
+                        head,
+                        decoder: ChunkDecoder::new(shared.config.max_line_bytes),
+                    };
+                    Ok(true)
+                }
+            }
+        }
+        HttpState::Body {
+            head,
+            mut body,
+            need,
+        } => {
+            let take = (need - body.len()).min(buf.len());
+            body.extend_from_slice(&buf[..take]);
+            *consumed += take;
+            if body.len() == need {
+                dispatch_http(conn, shared, &head, &body);
+                Ok(true)
+            } else {
+                *state_of(conn) = HttpState::Body { head, body, need };
+                Ok(take > 0)
+            }
+        }
+        HttpState::Chunked { head, mut decoder } => match decoder.push(buf) {
+            Ok(eaten) => {
+                *consumed += eaten;
+                if decoder.is_done() {
+                    let mut body = Vec::new();
+                    decoder.take_body(&mut body);
+                    dispatch_http(conn, shared, &head, &body);
+                    Ok(true)
+                } else {
+                    *state_of(conn) = HttpState::Chunked { head, decoder };
+                    Ok(eaten > 0)
+                }
+            }
+            Err(e) => {
+                let (status, reason) = e.status();
+                respond_error(conn, status, reason, &e.into_service_error());
+                Ok(true)
+            }
+        },
+    }
+}
+
+/// The HTTP state slot of an HTTP connection (for reassignment after a
+/// `mem::replace` take).
+#[cfg(unix)]
+fn state_of(conn: &mut Conn) -> &mut HttpState {
+    match &mut conn.kind {
+        ConnKind::Http { state } => state,
+        ConnKind::Line { .. } => unreachable!("only called on http connections"),
+    }
+}
+
+/// Queues the `100 Continue` interim response when the head asked for
+/// one.
+#[cfg(unix)]
+fn maybe_continue(conn: &mut Conn, head: &Head) {
+    if head.expect_continue && head.expects_body() {
+        conn.write_buf
+            .extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+}
+
+/// Dispatches one complete HTTP request and queues its response.
+#[cfg(unix)]
+fn dispatch_http(conn: &mut Conn, shared: &Arc<Shared>, head: &Head, body: &[u8]) {
+    shared.transport.record_http_request();
+    conn.response.clear();
+    let (status, reason) =
+        http::respond(shared, &head.method, &head.target, body, &mut conn.response);
+    let keep = head.keep_alive();
+    http::format_http_response(&mut conn.write_buf, status, reason, &conn.response, keep);
+    if !keep {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Queues an HTTP error response and marks the connection for close —
+/// the same "answer, then tear down" the threaded path uses when
+/// framing goes wrong.
+#[cfg(unix)]
+fn respond_error(conn: &mut Conn, status: u16, reason: &'static str, e: &ServiceError) {
+    conn.response.clear();
+    write_error_response(&mut conn.response, e);
+    http::format_http_response(&mut conn.write_buf, status, reason, &conn.response, false);
+    conn.close_after_flush = true;
+}
+
+/// The index just past `\r\n\r\n`, if the buffer holds a full head.
+#[cfg(unix)]
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Writes as much pending output as the socket will take. `Err(())`
+/// means the connection died.
+#[cfg(unix)]
+fn flush_writes(conn: &mut Conn, shared: &Arc<Shared>) -> std::result::Result<(), ()> {
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                shared.transport.record_reactor_partial_write();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    conn.write_buf.clear();
+    conn.write_pos = 0;
+    Ok(())
+}
+
+/// Re-registers the connection's interest set to match its buffers:
+/// writable while output is pending, readable unless backpressure
+/// paused it. This is where a slow reader stops being fed.
+#[cfg(unix)]
+fn update_interest(conn: &mut Conn, poller: &sys::Poller, token: u64) -> Verdict {
+    let want_write = conn.pending_write() > 0;
+    // Backpressure (and a half-closed or closing peer) genuinely
+    // deregisters read interest — under level triggering, a paused
+    // connection with unread socket bytes would otherwise wake the
+    // loop on every poll, a hot spin. The connection still wants
+    // writables (that is how it unpauses), and `EPOLLERR`/`EPOLLHUP`
+    // are delivered regardless, so a dead peer still surfaces.
+    let want_read =
+        conn.pending_write() <= WRITE_HIGH_WATER && !conn.close_after_flush && !conn.peer_eof;
+    let read_changed = want_read == conn.read_paused;
+    if (want_write != conn.want_write || read_changed)
+        && poller
+            .modify(conn.fd, token, want_read, want_write)
+            .is_err()
+    {
+        return Verdict::Close;
+    }
+    conn.want_write = want_write;
+    conn.read_paused = !want_read;
+    Verdict::Keep
+}
+
+/// Deregisters and drops a connection (the admission guard releases its
+/// slot on drop).
+#[cfg(unix)]
+fn close_conn(poller: &sys::Poller, shared: &Arc<Shared>, conn: Conn) {
+    let _ = poller.delete(conn.fd);
+    shared.transport.record_reactor_fd_deregistered();
+    drop(conn);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_head_end_locates_the_blank_line() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+}

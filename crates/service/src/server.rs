@@ -241,7 +241,15 @@ impl Server {
     /// address configured, the HTTP accept loop runs on a second
     /// thread against the same dispatch core and stops with the same
     /// flag.
+    ///
+    /// With [`crate::config::ServiceConfig::async_reactor`] set, both
+    /// transports are served by the nonblocking [`crate::reactor`]
+    /// event loop instead of thread-per-connection — same wire
+    /// behaviour, far higher concurrent-connection fan-in.
     pub fn run(self) -> Result<()> {
+        if self.shared.config.async_reactor {
+            return self.run_reactor();
+        }
         let addr = self.local_addr()?;
         let persister = self.spawn_persister();
         let http = self.http_listener.map(|listener| {
@@ -297,6 +305,24 @@ impl Server {
             persist_all_sessions_best_effort(dir, &self.shared.registry);
         }
         Ok(())
+    }
+
+    /// The `--async` flavour of [`Server::run`]: both listeners are
+    /// handed to the reactor event loop(s); the persister and the
+    /// shutdown-time snapshot behave exactly as in threaded mode.
+    fn run_reactor(self) -> Result<()> {
+        let persister = self.spawn_persister();
+        let result = crate::reactor::run(self.listener, self.http_listener, &self.shared);
+        // However the reactors exited, the flag must be set so the
+        // persister stops too.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(p) = persister {
+            let _ = p.join();
+        }
+        if let Some(dir) = &self.shared.config.persist_dir {
+            persist_all_sessions_best_effort(dir, &self.shared.registry);
+        }
+        result
     }
 
     /// Starts the periodic snapshot thread, when configured. The thread
