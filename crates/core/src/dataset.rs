@@ -116,6 +116,61 @@ impl CountAccumulator {
         Ok(())
     }
 
+    /// [`Self::merge`] with overflow checking: fails (leaving `self`
+    /// untouched) if the merged record total would overflow `u64` or
+    /// any merged cell count would leave the finite range. This is the
+    /// variant a federated merge uses: a corrupt or adversarial peer
+    /// snapshot must surface as an error, not wrap a counter.
+    pub fn merge_checked(&mut self, other: &CountAccumulator) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(FrappError::InvalidParameter {
+                name: "other",
+                reason: "cannot merge accumulators over different schemas".into(),
+            });
+        }
+        let n = self
+            .n
+            .checked_add(other.n)
+            .ok_or_else(|| FrappError::InvalidParameter {
+                name: "other",
+                reason: "merged record total overflows u64".into(),
+            })?;
+        // Validate every cell before mutating any: a failed merge must
+        // not leave `self` half-updated.
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            if !(a + b).is_finite() {
+                return Err(FrappError::InvalidParameter {
+                    name: "other",
+                    reason: "merged cell count is not finite".into(),
+                });
+            }
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n = n;
+        Ok(())
+    }
+
+    /// [`Self::merge`] that saturates instead of failing: the record
+    /// total clamps at `u64::MAX` and any non-finite cell sum clamps at
+    /// `f64::MAX`. Schema mismatch is still an error — saturation can
+    /// paper over magnitude, never over shape.
+    pub fn merge_saturating(&mut self, other: &CountAccumulator) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(FrappError::InvalidParameter {
+                name: "other",
+                reason: "cannot merge accumulators over different schemas".into(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            let sum = *a + b;
+            *a = if sum.is_finite() { sum } else { f64::MAX };
+        }
+        self.n = self.n.saturating_add(other.n);
+        Ok(())
+    }
+
     /// The current count vector.
     pub fn counts(&self) -> &[f64] {
         &self.counts
@@ -279,6 +334,61 @@ mod tests {
         assert!(CountAccumulator::from_counts(s.clone(), vec![0.0; 2]).is_err());
         assert!(CountAccumulator::from_counts(s.clone(), vec![-1.0; 6]).is_err());
         assert!(CountAccumulator::from_counts(s, vec![f64::NAN; 6]).is_err());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_rejects_schema_mismatch() {
+        let s = schema();
+        let mut a = CountAccumulator::new(s.clone());
+        a.observe(&[0, 0]).unwrap();
+        let mut b = CountAccumulator::new(s.clone());
+        b.observe(&[1, 2]).unwrap();
+        b.observe(&[1, 2]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 3);
+        assert_eq!(a.counts()[s.encode(&[1, 2]).unwrap()], 2.0);
+
+        let other = Schema::new(vec![("a", 4)]).unwrap();
+        let c = CountAccumulator::new(other);
+        assert!(a.merge(&c).is_err());
+        assert!(a.merge_checked(&c).is_err());
+        assert!(a.merge_saturating(&c).is_err());
+    }
+
+    #[test]
+    fn merge_checked_refuses_overflow_without_mutating() {
+        let s = schema();
+        let mut a =
+            CountAccumulator::from_counts(s.clone(), vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        // Force the overflow arms directly: `n` at the ceiling and a
+        // cell near f64::MAX can never arise from unit observations,
+        // but a corrupt peer snapshot could claim them.
+        let mut big = CountAccumulator::new(s.clone());
+        big.n = u64::MAX;
+        assert!(a.merge_checked(&big).is_err());
+        assert_eq!(a.n(), 1, "failed merge must leave self untouched");
+
+        let mut huge = CountAccumulator::new(s.clone());
+        huge.counts[0] = f64::MAX;
+        let mut b = CountAccumulator::new(s);
+        b.counts[0] = f64::MAX;
+        b.n = 1;
+        assert!(huge.merge_checked(&b).is_err());
+        assert_eq!(huge.counts()[0], f64::MAX, "no cell may be half-merged");
+    }
+
+    #[test]
+    fn merge_saturating_clamps_instead_of_failing() {
+        let s = schema();
+        let mut a = CountAccumulator::new(s.clone());
+        a.n = u64::MAX - 1;
+        a.counts[0] = f64::MAX;
+        let mut b = CountAccumulator::new(s);
+        b.n = 5;
+        b.counts[0] = f64::MAX;
+        a.merge_saturating(&b).unwrap();
+        assert_eq!(a.n(), u64::MAX);
+        assert_eq!(a.counts()[0], f64::MAX);
     }
 
     #[test]

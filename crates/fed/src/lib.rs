@@ -1,0 +1,36 @@
+//! `frapp-fed` — the routing and merge brain of the federated FRAPP
+//! collection tier.
+//!
+//! The paper's deployment model is many clients streaming perturbed
+//! records at a miner; one node stops being enough long before the
+//! math does. This crate holds the *pure* half of the distribution
+//! story — everything that must be bit-identically agreed on by every
+//! node, with no sockets anywhere near it:
+//!
+//! * [`ring::HashRing`] — a consistent-hash ring over a static peer
+//!   list. Sessions hash onto the ring; the first `replication`
+//!   distinct peers clockwise from a session's point are its *owners*.
+//!   Every node builds the identical ring from the identical
+//!   `--peers` list, so routing needs no coordination traffic.
+//! * [`topology::Topology`] — the cluster as one node sees it: the
+//!   peer list, this node's own index in it, and the replication
+//!   factor, with `owners(session)` answering placement queries.
+//! * [`merge`] — folds per-owner [`frapp_core::CountAccumulator`]
+//!   partitions into the cluster-wide count vector. Because FRAPP's
+//!   accumulators are purely additive and integral, the fold is a
+//!   commutative monoid and the merged vector is *bitwise* independent
+//!   of fan-in order — the cheapest possible conflict resolution.
+//!
+//! The impure half — peer links, replication watermarks, anti-entropy
+//! resync — lives in `frapp-service`'s `fed` module, which consumes
+//! these types.
+
+#![warn(missing_docs)]
+
+pub mod merge;
+pub mod ring;
+pub mod topology;
+
+pub use merge::merge_partitions;
+pub use ring::HashRing;
+pub use topology::Topology;

@@ -1,0 +1,63 @@
+//! Conflict-free merging of per-owner count partitions.
+
+use frapp_core::{CountAccumulator, FrappError, Schema};
+
+/// Folds the disjoint per-owner partitions of one session into the
+/// cluster-wide count vector, using the overflow-checked merge (a
+/// corrupt peer snapshot must fail loudly, not wrap a counter).
+///
+/// Counts are integral by construction, so f64 addition is exact below
+/// 2^53 and the result is *bitwise* independent of the order the
+/// partitions arrived in — the property the unit tests here and the
+/// `crates/core` property suite pin down.
+pub fn merge_partitions(
+    schema: &Schema,
+    partitions: impl IntoIterator<Item = CountAccumulator>,
+) -> Result<CountAccumulator, FrappError> {
+    let mut merged = CountAccumulator::new(schema.clone());
+    for partition in partitions {
+        merged.merge_checked(&partition)?;
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("a", 3), ("b", 2)]).unwrap()
+    }
+
+    fn partition(seed: u64, records: usize) -> CountAccumulator {
+        let s = schema();
+        let mut acc = CountAccumulator::new(s.clone());
+        for i in 0..records {
+            acc.observe_index(((seed as usize).wrapping_mul(31) + i * 7) % s.domain_size());
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_is_order_independent_bitwise() {
+        let parts: Vec<CountAccumulator> = (0..5).map(|i| partition(i, 100 + i as usize)).collect();
+        let forward = merge_partitions(&schema(), parts.clone()).unwrap();
+        let reversed = merge_partitions(&schema(), parts.iter().rev().cloned()).unwrap();
+        assert_eq!(forward.counts(), reversed.counts());
+        assert_eq!(forward.n(), reversed.n());
+        assert_eq!(forward.n(), 100 + 101 + 102 + 103 + 104);
+    }
+
+    #[test]
+    fn merge_rejects_foreign_schemas() {
+        let alien = CountAccumulator::new(Schema::new(vec![("z", 7)]).unwrap());
+        assert!(merge_partitions(&schema(), vec![partition(1, 10), alien]).is_err());
+    }
+
+    #[test]
+    fn empty_fan_in_is_the_empty_accumulator() {
+        let merged = merge_partitions(&schema(), vec![]).unwrap();
+        assert_eq!(merged.n(), 0);
+        assert!(merged.counts().iter().all(|&c| c == 0.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! The consistent-hash ring.
+//!
+//! Each peer contributes [`VNODES`] virtual points to a ring of `u64`
+//! hash values; a session id hashes to a point and its owners are the
+//! first `replication` *distinct* peers clockwise from there. Virtual
+//! nodes smooth the load split (a handful of physical peers would
+//! otherwise partition the ring very unevenly), and consistent hashing
+//! keeps placement stable: adding or removing one peer only remaps the
+//! sessions that hashed into its arcs, never reshuffling the rest of
+//! the cluster.
+//!
+//! Determinism is the load-bearing property: every node builds the
+//! ring from the same ordered peer list with the same hash, so
+//! `owners(session)` agrees cluster-wide without any coordination.
+
+/// Virtual points each peer contributes to the ring.
+pub const VNODES: usize = 64;
+
+/// SplitMix64's finalizer: a cheap, well-mixed `u64 -> u64` hash.
+/// Stable by construction — ring placement is a wire-visible contract,
+/// so this must never silently change between builds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string, then finished through [`mix64`] — used to
+/// hash peer addresses into ring points.
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// A consistent-hash ring over `n` peers, indexable by any `u64` key.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, peer)` pairs sorted by point, ties broken by peer so
+    /// identical peer lists always build the identical ring.
+    points: Vec<(u64, usize)>,
+    peers: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for an ordered peer list. The *addresses* are
+    /// hashed (not the indices), so a session keeps its owners when the
+    /// list is extended — only arcs claimed by the new peer move.
+    pub fn new(peer_addrs: &[String]) -> Self {
+        let mut points = Vec::with_capacity(peer_addrs.len() * VNODES);
+        for (peer, addr) in peer_addrs.iter().enumerate() {
+            let base = hash_bytes(addr.as_bytes());
+            for v in 0..VNODES {
+                points.push((mix64(base ^ mix64(v as u64)), peer));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            peers: peer_addrs.len(),
+        }
+    }
+
+    /// Number of physical peers on the ring.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// The first `replication` distinct peers clockwise from `key`'s
+    /// ring point, in ring order. `replication` is clamped to the peer
+    /// count; the result is never empty for a non-empty ring.
+    pub fn owners(&self, key: u64, replication: usize) -> Vec<usize> {
+        let want = replication.clamp(1, self.peers.max(1));
+        let mut owners = Vec::with_capacity(want);
+        if self.points.is_empty() {
+            return owners;
+        }
+        let point = mix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        for i in 0..self.points.len() {
+            let (_, peer) = self.points[(start + i) % self.points.len()];
+            if !owners.contains(&peer) {
+                owners.push(peer);
+                if owners.len() == want {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The single primary owner of `key`.
+    pub fn primary(&self, key: u64) -> Option<usize> {
+        self.owners(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn identical_peer_lists_build_identical_rings() {
+        let a = HashRing::new(&addrs(5));
+        let b = HashRing::new(&addrs(5));
+        for key in 0..500u64 {
+            assert_eq!(a.owners(key, 3), b.owners(key, 3));
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_clamped() {
+        let ring = HashRing::new(&addrs(4));
+        for key in 0..200u64 {
+            let owners = ring.owners(key, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            // Replication beyond the peer count clamps to all peers.
+            let all = ring.owners(key, 99);
+            assert_eq!(all.len(), 4);
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            // Zero clamps up to one.
+            assert_eq!(ring.owners(key, 0).len(), 1);
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_peers() {
+        let ring = HashRing::new(&addrs(4));
+        let mut primary_load = [0usize; 4];
+        for key in 0..4000u64 {
+            primary_load[ring.primary(key).unwrap()] += 1;
+        }
+        for (peer, &load) in primary_load.iter().enumerate() {
+            // With 64 vnodes the split is rough but nobody starves or
+            // hogs: each of 4 peers gets 10%..50% of 4000 keys.
+            assert!(
+                (400..=2000).contains(&load),
+                "peer {peer} owns {load} of 4000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_peer_only_remaps_its_own_keys() {
+        let full = HashRing::new(&addrs(5));
+        let mut reduced_addrs = addrs(5);
+        let removed_addr = reduced_addrs.remove(4);
+        let reduced = HashRing::new(&reduced_addrs);
+        let removed = 4usize;
+        let mut moved = 0;
+        for key in 0..2000u64 {
+            let before = full.primary(key).unwrap();
+            let after = reduced.primary(key).unwrap();
+            if before != removed {
+                assert_eq!(
+                    before, after,
+                    "key {key} moved off surviving peer {before} when {removed_addr} left"
+                );
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the removed peer owned some keys");
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(&[]);
+        assert!(ring.owners(7, 2).is_empty());
+        assert_eq!(ring.primary(7), None);
+    }
+}

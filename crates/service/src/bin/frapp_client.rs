@@ -8,6 +8,7 @@
 //! frapp-client list    [--addr HOST:PORT] [--http]
 //! frapp-client metrics [--addr HOST:PORT] [--http] --session N
 //! frapp-client server-metrics [--addr HOST:PORT] [--http]
+//! frapp-client cluster-status [--addr HOST:PORT]
 //! frapp-client persist [--addr HOST:PORT] [--http] [--session N]
 //! ```
 //!
@@ -34,8 +35,11 @@
 //! `list` prints one summary line per live session; `metrics` prints a
 //! session's ingest counters and query-latency histogram;
 //! `server-metrics` prints the per-transport counters (connections,
-//! requests, sheds) and — on an `--async` server — the reactor's
-//! event-loop counters; `persist` asks the server to snapshot one (or
+//! requests, sheds), — on an `--async` server — the reactor's
+//! event-loop counters, and — on a federated server — the per-peer
+//! replication counters (batches forwarded, acks, retries, peer-down
+//! events); `cluster-status` prints the federation topology with
+//! per-peer liveness; `persist` asks the server to snapshot one (or
 //! all) sessions to its persistence directory.
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
@@ -66,6 +70,7 @@ fn usage() -> ! {
          \x20      frapp-client list    [--addr HOST:PORT] [--http]\n\
          \x20      frapp-client metrics [--addr HOST:PORT] [--http] --session N\n\
          \x20      frapp-client server-metrics [--addr HOST:PORT] [--http]\n\
+         \x20      frapp-client cluster-status [--addr HOST:PORT]\n\
          \x20      frapp-client persist [--addr HOST:PORT] [--http] [--session N]"
     );
     std::process::exit(2);
@@ -321,6 +326,80 @@ fn run_server_metrics(args: Args) {
     println!("  wakeups:          {}", r.reactor_wakeups);
     println!("  partial reads:    {}", r.reactor_partial_reads);
     println!("  partial writes:   {}", r.reactor_partial_writes);
+    // The federation section only exists on a `--peers` server, and
+    // only the line protocol carries it back.
+    if let AnyClient::Tcp(tcp) = &mut client {
+        let peers = ok_or_exit(tcp.federation_metrics());
+        if !peers.is_empty() {
+            println!("federation");
+            for p in peers {
+                println!(
+                    "  peer {} ({}): {} batches / {} records forwarded, \
+                     {} acked, {} retries, {} peer-down",
+                    p.node,
+                    p.addr,
+                    p.forwarded_batches,
+                    p.forwarded_records,
+                    p.acked_records,
+                    p.retries,
+                    p.peer_down
+                );
+            }
+        }
+    }
+}
+
+fn run_cluster_status(args: Args) {
+    if args.http {
+        eprintln!("cluster-status speaks the line protocol; drop --http");
+        usage();
+    }
+    let mut client = AnyClient::connect(&args.addr, false);
+    let AnyClient::Tcp(tcp) = &mut client else {
+        unreachable!("connected without --http");
+    };
+    let v = ok_or_exit(tcp.cluster_status());
+    let federated = v
+        .get("federated")
+        .and_then(frapp_service::json::Value::as_bool)
+        .unwrap_or(false);
+    if !federated {
+        println!("not federated (single-node server)");
+        return;
+    }
+    let replication = v
+        .get("replication")
+        .and_then(frapp_service::json::Value::as_u64)
+        .unwrap_or(1);
+    let peers = v
+        .get("peers")
+        .and_then(frapp_service::json::Value::as_array)
+        .unwrap_or(&[]);
+    println!(
+        "federation: {} node(s), replication factor {replication}",
+        peers.len()
+    );
+    for p in peers {
+        let get_u64 = |k| p.get(k).and_then(frapp_service::json::Value::as_u64);
+        let get_bool = |k| p.get(k).and_then(frapp_service::json::Value::as_bool);
+        println!(
+            "  node {} {:<21} {}{}",
+            get_u64("node").unwrap_or(0),
+            p.get("addr")
+                .and_then(frapp_service::json::Value::as_str)
+                .unwrap_or("?"),
+            if get_bool("up").unwrap_or(false) {
+                "up"
+            } else {
+                "DOWN"
+            },
+            if get_bool("self").unwrap_or(false) {
+                " (this node)"
+            } else {
+                ""
+            },
+        );
+    }
 }
 
 fn run_persist(args: Args) {
@@ -339,6 +418,7 @@ fn main() {
         Some("list")
         | Some("metrics")
         | Some("server-metrics")
+        | Some("cluster-status")
         | Some("persist")
         | Some("load") => argv.next().expect("peeked"),
         _ => "load".to_owned(),
@@ -348,6 +428,7 @@ fn main() {
         "list" => return run_list(args),
         "metrics" => return run_metrics(args),
         "server-metrics" => return run_server_metrics(args),
+        "cluster-status" => return run_cluster_status(args),
         "persist" => return run_persist(args),
         _ => {}
     }

@@ -6,6 +6,9 @@
 //!             [--shards N] [--seed S] [--max-sessions N]
 //!             [--max-connections N] [--persist-dir PATH]
 //!             [--persist-interval SECS]
+//!             [--peers HOST:PORT,HOST:PORT,...] [--replication N]
+//!             [--node-id K] [--connect-timeout-ms MS]
+//!             [--read-timeout-ms MS]
 //! ```
 //!
 //! The server prints its bound address(es) on stdout (useful with port
@@ -28,6 +31,15 @@
 //! every `--persist-interval` seconds when set), and sessions evicted
 //! by the `--max-sessions` LRU cap are spilled to disk instead of
 //! dropped.
+//!
+//! With `--peers`, this node joins a federation: every node is started
+//! with the *identical* comma-separated peer list (this node's own
+//! address included), sessions are replicated cluster-wide with their
+//! ingest spread across `--replication` owner nodes by consistent
+//! hashing, and reconstruction/stats merge the owners' partitions (see
+//! `docs/ARCHITECTURE.md`). `--node-id` names this node's index in the
+//! list, required when `--addr` is not a literal match (e.g. binding
+//! `0.0.0.0`).
 
 use frapp_service::{Server, ServiceConfig};
 
@@ -35,7 +47,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: frapp-serve [--addr HOST:PORT] [--http-addr HOST:PORT] [--async] \
          [--reactor-threads N] [--shards N] [--seed S] [--max-sessions N] \
-         [--max-connections N] [--persist-dir PATH] [--persist-interval SECS]"
+         [--max-connections N] [--persist-dir PATH] [--persist-interval SECS] \
+         [--peers HOST:PORT,...] [--replication N] [--node-id K] \
+         [--connect-timeout-ms MS] [--read-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -81,6 +95,33 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--peers" => {
+                config.peers = frapp_fed::Topology::parse_peer_list(&value("--peers"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("--peers: {e}");
+                        usage()
+                    })
+            }
+            "--replication" => {
+                config.replication = value("--replication")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--node-id" => {
+                config.node_id = Some(value("--node-id").parse().unwrap_or_else(|_| usage()))
+            }
+            "--connect-timeout-ms" => {
+                config.connect_timeout_ms = value("--connect-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = value("--read-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -96,7 +137,17 @@ fn main() {
         eprintln!("--reactor-threads requires --async");
         usage();
     }
+    if (config.replication > 1 || config.node_id.is_some()) && config.peers.is_empty() {
+        eprintln!("--replication/--node-id require --peers");
+        usage();
+    }
 
+    let federation = (!config.peers.is_empty()).then(|| {
+        (
+            config.peers.len(),
+            config.replication.min(config.peers.len()),
+        )
+    });
     let persist_dir = config.persist_dir.clone();
     let (async_mode, reactor_threads) = (config.async_reactor, config.reactor_threads);
     let server = match Server::bind(config) {
@@ -115,6 +166,9 @@ fn main() {
     }
     if async_mode {
         println!("front-end: async reactor ({reactor_threads} thread(s))");
+    }
+    if let Some((nodes, replication)) = federation {
+        println!("federation: {nodes} node(s), replication factor {replication}");
     }
     if let Some(dir) = &persist_dir {
         let recovered = server.registry().ids();

@@ -6,14 +6,21 @@
 //! vs HTTP messages) and that only the line protocol supports
 //! *pipelined* submits ([`Client::submit_nowait`] / [`Client::flush`]).
 
+use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::metrics::{LatencySummary, MetricsReport, TransportReport};
+use crate::metrics::{LatencySummary, MetricsReport, PeerReplReport, TransportReport};
 use crate::session::{
     Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
 };
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default connect timeout for [`Client::connect`] — generous enough
+/// for any healthy network, finite so a black-holed address cannot
+/// hang a CLI or a federation link forever.
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Parameters for [`Client::create_session`].
 #[derive(Debug, Clone)]
@@ -161,7 +168,7 @@ fn parse_reconstruction(v: &Value, method: ReconstructionMethod) -> Result<Recon
     })
 }
 
-fn parse_stats(v: &Value) -> Result<SessionStats> {
+pub(crate) fn parse_stats(v: &Value) -> Result<SessionStats> {
     let per_shard = v
         .get("per_shard")
         .and_then(Value::as_array)
@@ -302,6 +309,39 @@ fn parse_transport_report(v: &Value) -> Result<TransportReport> {
     })
 }
 
+/// Parses the optional `federation.peers` section of a transport
+/// metrics response into per-peer replication reports. Absent section
+/// (a non-federated server) parses as an empty list.
+pub(crate) fn parse_federation_peers(v: &Value) -> Result<Vec<PeerReplReport>> {
+    let Some(peers) = v.get("federation").and_then(|f| f.get("peers")) else {
+        return Ok(Vec::new());
+    };
+    peers
+        .as_array()
+        .ok_or_else(|| ServiceError::Protocol("`federation.peers` must be an array".into()))?
+        .iter()
+        .map(|p| {
+            let field = |key: &str| p.get(key).and_then(Value::as_u64).unwrap_or(0);
+            Ok(PeerReplReport {
+                node: p
+                    .get("node")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| ServiceError::Protocol("peer entry missing `node`".into()))?,
+                addr: p
+                    .get("addr")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                forwarded_batches: field("forwarded_batches"),
+                forwarded_records: field("forwarded_records"),
+                acked_records: field("acked_records"),
+                retries: field("retries"),
+                peer_down: field("peer_down"),
+            })
+        })
+        .collect()
+}
+
 /// A connected line-protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -311,15 +351,75 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the default connect timeout
+    /// and no read timeout (a synchronous request waits as long as the
+    /// server computes).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with_timeouts(addr, Some(DEFAULT_CONNECT_TIMEOUT), None)
+    }
+
+    /// Connects with the timeouts a [`ServiceConfig`] specifies
+    /// (`connect_timeout_ms` / `read_timeout_ms`, `0` meaning
+    /// unbounded) — what the federation links and the bundled CLI use,
+    /// so one stalled peer cannot wedge them forever.
+    pub fn connect_with_config(addr: impl ToSocketAddrs, config: &ServiceConfig) -> Result<Self> {
+        let of_ms = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+        Self::connect_with_timeouts(
+            addr,
+            of_ms(config.connect_timeout_ms),
+            of_ms(config.read_timeout_ms),
+        )
+    }
+
+    /// Connects with explicit timeouts. `connect_timeout` bounds the
+    /// TCP handshake per resolved address; `read_timeout` bounds every
+    /// subsequent response wait (a stalled server surfaces as an
+    /// [`ServiceError::Io`] with kind `WouldBlock`/`TimedOut` instead
+    /// of hanging the caller). `None` means unbounded, the historical
+    /// behaviour.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> Result<Self> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last_err: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| match last_err {
+                    Some(e) => ServiceError::Io(e),
+                    None => ServiceError::Protocol("address resolved to no endpoints".into()),
+                })?
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(read_timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Queues one pre-built request line without waiting for (or
+    /// reading) any response — the raw pipelining primitive the
+    /// federation forwarder uses for deferred-ack replication lines.
+    /// The line is buffered; any synchronous [`Client::request`]
+    /// flushes it in order.
+    pub fn send_raw_nowait(&mut self, line: &str) -> Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
     }
 
     /// Sends one raw request line and returns the parsed successful
@@ -530,6 +630,22 @@ impl Client {
     pub fn server_metrics(&mut self) -> Result<TransportReport> {
         let v = self.request(r#"{"op":"metrics"}"#)?;
         parse_transport_report(&v)
+    }
+
+    /// Fetches the server's per-peer federation replication counters.
+    /// Empty on a non-federated server (the `federation` section is
+    /// simply absent from the metrics response).
+    pub fn federation_metrics(&mut self) -> Result<Vec<PeerReplReport>> {
+        let v = self.request(r#"{"op":"metrics"}"#)?;
+        parse_federation_peers(&v)
+    }
+
+    /// Fetches the cluster topology and per-peer liveness
+    /// (`{"op":"cluster_status"}`) as the raw response object. On a
+    /// non-federated server the response carries `"federated": false`
+    /// and no peer list.
+    pub fn cluster_status(&mut self) -> Result<Value> {
+        self.request(r#"{"op":"cluster_status"}"#)
     }
 
     /// Asks the server to snapshot one session (or all live sessions,

@@ -70,6 +70,27 @@ pub struct ServiceConfig {
     /// irrelevant) in thread-per-connection mode. Values below 1 are
     /// treated as 1.
     pub reactor_threads: usize,
+    /// The full ordered federation peer list (`host:port` per node,
+    /// *including this node*), identical on every node so all of them
+    /// build the same consistent-hash ring. Empty (the default) runs a
+    /// plain single-node server with no federation layer at all.
+    pub peers: Vec<String>,
+    /// Federation replication factor: how many owner nodes each
+    /// session's ingest is spread across (clamped to the peer count).
+    /// Ignored without `peers`.
+    pub replication: usize,
+    /// This node's index in `peers`. `None` asks `Server::bind` to
+    /// locate `addr` in the peer list, which only works when `addr` is
+    /// a literal match (tests binding port 0 must set this
+    /// explicitly).
+    pub node_id: Option<usize>,
+    /// TCP connect timeout for outbound client/replication
+    /// connections, in milliseconds (`0` = OS default, unbounded).
+    pub connect_timeout_ms: u64,
+    /// Read timeout for outbound client/replication connections, in
+    /// milliseconds (`0` = none). Bounds how long a stalled peer can
+    /// wedge a federation link or CLI call mid-response.
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +111,11 @@ impl Default for ServiceConfig {
             persist_interval_secs: 0,
             async_reactor: false,
             reactor_threads: 1,
+            peers: Vec::new(),
+            replication: 1,
+            node_id: None,
+            connect_timeout_ms: 5_000,
+            read_timeout_ms: 10_000,
         }
     }
 }
@@ -122,6 +148,16 @@ impl ServiceConfig {
         self.reactor_threads = threads.max(1);
         self
     }
+
+    /// Joins this node into a federation: `peers` is the full ordered
+    /// peer list (identical on every node), `node_id` this node's index
+    /// in it, and `replication` the owner count per session.
+    pub fn with_peers(mut self, peers: Vec<String>, node_id: usize, replication: usize) -> Self {
+        self.peers = peers;
+        self.node_id = Some(node_id);
+        self.replication = replication;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +177,20 @@ mod tests {
         assert!(c.max_connections >= 64);
         assert!(!c.async_reactor);
         assert_eq!(c.reactor_threads, 1);
+        assert!(c.peers.is_empty());
+        assert_eq!(c.replication, 1);
+        assert!(c.node_id.is_none());
+        assert!(c.connect_timeout_ms > 0);
+        assert!(c.read_timeout_ms > 0);
+    }
+
+    #[test]
+    fn with_peers_joins_a_federation() {
+        let peers = vec!["127.0.0.1:7001".to_owned(), "127.0.0.1:7002".to_owned()];
+        let c = ServiceConfig::default().with_peers(peers.clone(), 1, 2);
+        assert_eq!(c.peers, peers);
+        assert_eq!(c.node_id, Some(1));
+        assert_eq!(c.replication, 2);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
+use crate::fed::{FedState, Routed};
 use crate::json::{self, Value};
 use crate::metrics::TransportMetrics;
 use crate::persist;
@@ -93,7 +94,7 @@ pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) 
     let transport = TransportMetrics::new();
     let mut state = ConnState::new();
     let stop = matches!(
-        dispatch_into(registry, config, &transport, &mut state, line, &mut out),
+        dispatch_into(registry, config, &transport, None, &mut state, line, &mut out),
         Outcome::Shutdown
     );
     (out, stop)
@@ -101,11 +102,16 @@ pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) 
 
 /// [`dispatch`] writing the response into a caller-owned buffer
 /// (appended — the connection loop clears and reuses one buffer per
-/// connection), against per-connection pipelining state.
+/// connection), against per-connection pipelining state. `fed` is the
+/// node's federation layer when it has peers: client-facing ops route
+/// through it, while forwarded ops (those carrying `origin`/`seq` or
+/// an explicit session id) always apply locally so replication never
+/// cascades.
 pub fn dispatch_into(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     transport: &TransportMetrics,
+    fed: Option<&FedState>,
     state: &mut ConnState,
     line: &str,
     out: &mut String,
@@ -115,10 +121,10 @@ pub fn dispatch_into(
     // Anything else falls through to the general parser below.
     if let Some(req) = crate::protocol::parse_submit_line_fast(line) {
         if matches!(req, Request::Submit { deferred: true, .. }) {
-            execute_deferred(registry, transport, state, req);
+            execute_deferred(registry, transport, fed, state, req);
             return Outcome::Quiet;
         }
-        return match execute_with_state(registry, config, transport, state, req, out) {
+        return match execute_with_state(registry, config, transport, fed, state, req, out) {
             Ok(_) => {
                 attach_watermark(state, out);
                 Outcome::Reply
@@ -144,7 +150,7 @@ pub fn dispatch_into(
     };
     if is_deferred_submit(&value) {
         match request_from_value(&value) {
-            Ok(req) => execute_deferred(registry, transport, state, req),
+            Ok(req) => execute_deferred(registry, transport, fed, state, req),
             // A deferred submit with invalid fields is quiet too: its
             // error is stashed for the flush, because the pipelining
             // client is not reading responses at this point.
@@ -156,7 +162,7 @@ pub fn dispatch_into(
         return Outcome::Quiet;
     }
     match request_from_value(&value)
-        .and_then(|req| execute_with_state(registry, config, transport, state, req, out))
+        .and_then(|req| execute_with_state(registry, config, transport, fed, state, req, out))
     {
         Ok(ExecuteOutcome::Respond) => {
             attach_watermark(state, out);
@@ -184,6 +190,7 @@ pub fn dispatch_into(
 fn execute_deferred(
     registry: &SessionRegistry,
     transport: &TransportMetrics,
+    fed: Option<&FedState>,
     state: &mut ConnState,
     req: Request,
 ) {
@@ -193,6 +200,8 @@ fn execute_deferred(
         records,
         pre_perturbed,
         shard,
+        origin,
+        seq,
         deferred: _,
     } = req
     else {
@@ -206,6 +215,22 @@ fn execute_deferred(
         return;
     }
     let result = (|| -> Result<u64> {
+        // A forwarded replication batch always applies locally on its
+        // deterministic shard (`seq % shards`), claiming the
+        // `(origin, seq)` watermark; a duplicate retry counts as
+        // accepted — its records already did.
+        if let (Some(origin), Some(seq)) = (origin, seq) {
+            let session = registry.get(session)?;
+            session.submit_slices_repl(records.iter(), pre_perturbed, origin, seq)?;
+            return Ok(records.len() as u64);
+        }
+        // A client-facing submit on a federated node routes by the
+        // session's owners; the accepted count is optimistic for
+        // remote owners until `flush` barriers the links.
+        if let Some(fed) = fed {
+            let (accepted, _) = fed.submit(registry, session, &records, pre_perturbed, true)?;
+            return Ok(accepted);
+        }
         let session = registry.get(session)?;
         match shard {
             Some(idx) => session.submit_slices_to_shard(idx, records.iter(), pre_perturbed)?,
@@ -271,10 +296,19 @@ pub(crate) fn execute(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     transport: &TransportMetrics,
+    fed: Option<&FedState>,
     req: Request,
     out: &mut String,
 ) -> Result<ExecuteOutcome> {
-    execute_with_state(registry, config, transport, &mut ConnState::new(), req, out)
+    execute_with_state(
+        registry,
+        config,
+        transport,
+        fed,
+        &mut ConnState::new(),
+        req,
+        out,
+    )
 }
 
 /// Executes one request against the registry, writing the response into
@@ -285,6 +319,7 @@ fn execute_with_state(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     transport: &TransportMetrics,
+    fed: Option<&FedState>,
     state: &mut ConnState,
     req: Request,
     out: &mut String,
@@ -292,6 +327,18 @@ fn execute_with_state(
     match req {
         Request::Ping => write_ok_response(out, vec![("pong", true.into())]),
         Request::Flush => {
+            // On a federated node the flush is also the replication
+            // barrier: every forwarded batch must be confirmed by its
+            // owner before the watermark is reported back. A barrier
+            // failure (an owner stayed unreachable through resync
+            // retries) poisons the watermark like any deferred error —
+            // the client retries the flush, and the links resend past
+            // the owners' watermarks, so nothing is lost or recounted.
+            if let Some(fed) = fed {
+                if let Err(e) = fed.barrier_all() {
+                    state.error.get_or_insert(e);
+                }
+            }
             let (accepted, batches, error) = state.reset();
             write_flush_response(out, accepted, batches, error.as_ref());
             return Ok(ExecuteOutcome::Flush);
@@ -301,13 +348,14 @@ fn execute_with_state(
             mechanism,
             shards,
             seed,
+            session,
         } => {
             let specs: Vec<(&str, u32)> = schema.iter().map(|(n, c)| (n.as_str(), *c)).collect();
-            let schema = Schema::new(specs)?;
-            if schema.domain_size() > config.max_session_domain {
+            let built = Schema::new(specs)?;
+            if built.domain_size() > config.max_session_domain {
                 return Err(ServiceError::InvalidRequest(format!(
                     "schema domain size {} exceeds this server's limit of {} cells",
-                    schema.domain_size(),
+                    built.domain_size(),
                     config.max_session_domain
                 )));
             }
@@ -317,9 +365,34 @@ fn execute_with_state(
             // find them — its closed mark makes the in-flight spill
             // refuse under the persist gate, and an acknowledged close
             // can never be resurrected by the spill.
-            let created = if config.persist_dir.is_some() {
+            let deferred_evictions =
+                session.is_some() || fed.is_some() || config.persist_dir.is_some();
+            let created = if let Some(id) = session {
+                // An explicit id: a replicated create from a federation
+                // coordinator (never re-federated — that is what keeps
+                // replication from cascading), or an embedder pinning
+                // ids.
+                registry.create_deferred_with_id(
+                    id,
+                    built,
+                    mechanism,
+                    shards.unwrap_or(config.default_shards),
+                    seed.unwrap_or(config.default_seed),
+                    config.max_dense_domain,
+                )?
+            } else if let Some(fed) = fed {
+                fed.create_session(
+                    registry,
+                    &schema,
+                    built,
+                    mechanism,
+                    shards.unwrap_or(config.default_shards),
+                    seed.unwrap_or(config.default_seed),
+                    config.max_dense_domain,
+                )?
+            } else if config.persist_dir.is_some() {
                 registry.create_deferred(
-                    schema,
+                    built,
                     mechanism,
                     shards.unwrap_or(config.default_shards),
                     seed.unwrap_or(config.default_seed),
@@ -327,7 +400,7 @@ fn execute_with_state(
                 )?
             } else {
                 registry.create(
-                    schema,
+                    built,
                     mechanism,
                     shards.unwrap_or(config.default_shards),
                     seed.unwrap_or(config.default_seed),
@@ -369,6 +442,12 @@ fn execute_with_state(
                         }
                     }
                 }
+            } else if deferred_evictions {
+                // A deferred-eviction create without persistence has
+                // nothing to spill; settle the victims immediately.
+                for evicted in &created.evicted {
+                    registry.commit_eviction(evicted.id());
+                }
             }
             let session = created.session;
             let mut pairs = vec![
@@ -390,39 +469,84 @@ fn execute_with_state(
             records,
             pre_perturbed,
             shard,
+            origin,
+            seq,
             deferred: _,
         } => {
-            let session = registry.get(session)?;
-            let shard_used = match shard {
-                Some(idx) => {
-                    session.submit_slices_to_shard(idx, records.iter(), pre_perturbed)?;
-                    idx
-                }
-                None => session.submit_slices(records.iter(), pre_perturbed)?,
-            };
-            write_ok_response(
-                out,
-                vec![
+            if let (Some(origin), Some(seq)) = (origin, seq) {
+                // A forwarded replication batch: apply locally on the
+                // deterministic shard, claiming the (origin, seq)
+                // watermark. A duplicate retry is acked as accepted —
+                // its records are already counted — with the fact
+                // surfaced for observability.
+                let session = registry.get(session)?;
+                let fresh =
+                    session.submit_slices_repl(records.iter(), pre_perturbed, origin, seq)?;
+                let shard_used = (seq % session.num_shards() as u64) as usize;
+                let mut pairs = vec![
                     ("accepted", records.len().into()),
                     ("shard", shard_used.into()),
-                ],
-            )
+                ];
+                if !fresh {
+                    pairs.push(("duplicate", true.into()));
+                }
+                write_ok_response(out, pairs)
+            } else if let Some(fed) = fed {
+                // A client-facing submit on a federated node: route by
+                // the session's owners (any `shard` hint is a
+                // single-node concept and is superseded by the
+                // deterministic federation routing).
+                let (accepted, routed) =
+                    fed.submit(registry, session, &records, pre_perturbed, false)?;
+                let mut pairs = vec![("accepted", accepted.into())];
+                match routed {
+                    Routed::Local { shard } => pairs.push(("shard", shard.into())),
+                    Routed::Forwarded { peer } => pairs.push(("peer", peer.into())),
+                }
+                write_ok_response(out, pairs)
+            } else {
+                let session = registry.get(session)?;
+                let shard_used = match shard {
+                    Some(idx) => {
+                        session.submit_slices_to_shard(idx, records.iter(), pre_perturbed)?;
+                        idx
+                    }
+                    None => session.submit_slices(records.iter(), pre_perturbed)?,
+                };
+                write_ok_response(
+                    out,
+                    vec![
+                        ("accepted", records.len().into()),
+                        ("shard", shard_used.into()),
+                    ],
+                )
+            }
         }
         Request::Reconstruct {
             session,
             method,
             clamp,
         } => {
-            let session = registry.get(session)?;
-            let rec = session.reconstruct(method, clamp)?;
-            write_reconstruction_response(out, &rec)
+            if let Some(fed) = fed {
+                let rec = fed.reconstruct(registry, session, method, clamp)?;
+                write_reconstruction_response(out, &rec)
+            } else {
+                let session = registry.get(session)?;
+                let rec = session.reconstruct(method, clamp)?;
+                write_reconstruction_response(out, &rec)
+            }
         }
         Request::Stats { session } => {
-            let session = registry.get(session)?;
-            write_stats_response(out, &session.stats())
+            if let Some(fed) = fed {
+                write_stats_response(out, &fed.stats(registry, session)?)
+            } else {
+                let session = registry.get(session)?;
+                write_stats_response(out, &session.stats())
+            }
         }
         Request::Metrics { session: None } => {
-            write_transport_metrics_response(out, &transport.report())
+            let peers = fed.map(|f| f.peer_reports());
+            write_transport_metrics_response(out, &transport.report(), peers.as_deref())
         }
         Request::Metrics {
             session: Some(session),
@@ -478,7 +602,7 @@ fn execute_with_state(
                 ],
             )
         }
-        Request::CloseSession { session } => {
+        Request::CloseSession { session, local } => {
             // `remove` marks the session closed before we delete its
             // snapshot; deletion happens under the session's persist
             // gate, so a periodic save racing this close either
@@ -495,9 +619,60 @@ fn execute_with_state(
                 // never be deleted and would resurrect on restart.
                 snapshot_deleted = persist::remove_session_file(dir, session);
             }
+            let mut closed = removed.is_some() || snapshot_deleted;
+            // A client-facing close fans out to every peer (marked
+            // `local` so nobody re-federates it). Best-effort: a down
+            // peer keeps its — at worst empty — copy until an operator
+            // closes it directly.
+            if !local {
+                if let Some(fed) = fed {
+                    closed |= fed.close_fanout(session);
+                }
+            }
+            write_ok_response(out, vec![("closed", closed.into())])
+        }
+        Request::ClusterStatus => match fed {
+            Some(fed) => write_ok_response(out, fed.cluster_status_pairs()),
+            None => write_ok_response(out, vec![("federated", false.into())]),
+        },
+        Request::SyncSession { session } => {
+            // Always strictly local: a federation coordinator calls
+            // this on each owner and merges. Counts ship sparse —
+            // `[index, count]` pairs for the nonzero cells only.
+            let session_ref = registry.get(session)?;
+            let snapshot = session_ref.snapshot();
+            let counts: Vec<Value> = snapshot
+                .counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0.0)
+                .map(|(i, &c)| Value::Array(vec![i.into(), c.into()]))
+                .collect();
             write_ok_response(
                 out,
-                vec![("closed", (removed.is_some() || snapshot_deleted).into())],
+                vec![
+                    ("session", session.into()),
+                    ("total", snapshot.n().into()),
+                    ("counts", Value::Array(counts)),
+                ],
+            )
+        }
+        Request::ReplStatus { session, origin } => {
+            // Always strictly local: the per-shard replication
+            // watermarks this node has applied from `origin`, the
+            // anchor for anti-entropy resends after a reconnect.
+            let session_ref = registry.get(session)?;
+            let marks = session_ref.repl_status(origin);
+            write_ok_response(
+                out,
+                vec![
+                    ("session", session.into()),
+                    ("origin", origin.into()),
+                    (
+                        "marks",
+                        Value::Array(marks.into_iter().map(Value::from).collect()),
+                    ),
+                ],
             )
         }
         Request::Shutdown => {
@@ -581,7 +756,15 @@ mod tests {
             line: &str,
         ) -> (String, Outcome) {
             let mut out = String::new();
-            let outcome = dispatch_into(reg, cfg, &self.transport, &mut self.state, line, &mut out);
+            let outcome = dispatch_into(
+                reg,
+                cfg,
+                &self.transport,
+                None,
+                &mut self.state,
+                line,
+                &mut out,
+            );
             (out, outcome)
         }
     }

@@ -1,0 +1,1070 @@
+//! The federated collection tier: consistent-hash routing, inter-node
+//! replication links and conflict-free merge of per-owner partitions.
+//!
+//! # Model
+//!
+//! A federation is a static list of `frapp-serve` nodes, each started
+//! with the identical `--peers` list. Placement is pure — every node
+//! derives the same [`frapp_fed::Topology`] from the same list, so
+//! there is no membership protocol and no coordination traffic:
+//!
+//! * **Creates replicate everywhere.** The coordinator allocates a
+//!   cluster-unique id from its residue class (node `k` of `n` only
+//!   assigns ids `≡ k mod n`), creates locally, and replays the create
+//!   (with the id, seed and shard count made explicit) to every peer.
+//!   Any node can therefore coordinate any session's later requests
+//!   from its local registry alone.
+//! * **Ingest partitions across the owners.** A session's `replication`
+//!   owner nodes are the first distinct peers clockwise from its hash
+//!   point on the ring. The coordinator stamps each batch with a
+//!   per-session sequence number and routes it to
+//!   `owners[seq % replication]`; non-owner copies of the session stay
+//!   empty. Forwarded batches carry `origin` (the coordinator's node
+//!   index) and `seq`, and the receiving shard claims the pair under
+//!   the same lock as the ingest — retries after a dropped link or a
+//!   peer restart can never double-count.
+//! * **Queries fan out and merge.** `reconstruct`/`stats` barrier the
+//!   replication links (so every acknowledged record is visible), pull
+//!   each owner's local partition (`sync_session`), fold them with
+//!   [`frapp_fed::merge_partitions`] — a commutative, bitwise
+//!   order-independent merge, because the partitions are disjoint
+//!   integer tallies — and solve once locally on the cached-LU path.
+//!
+//! # Anti-entropy
+//!
+//! Each peer link is a background forwarder thread owning one
+//! [`Client`]. Deferred batches pipeline through it with no round
+//! trip; a *barrier* flushes the link and confirms the peer's
+//! watermark. When a link drops (peer crash/restart), the forwarder
+//! reconnects, replays its session creates (`already exists` is fine),
+//! asks the peer for its per-shard replication watermarks
+//! (`repl_status`) and resends exactly the batches past them — the
+//! push-based anti-entropy that, combined with the receiver-side
+//! claim, turns at-least-once delivery into exactly-once counting.
+//! The forwarder keeps each session's full forwarded-batch history in
+//! memory for this purpose — a deliberate simplification: history is
+//! bounded by the coordinator's own ingest volume, and a production
+//! deployment would truncate it below the peer's last *persisted*
+//! watermark.
+
+use crate::client::Client;
+use crate::config::ServiceConfig;
+use crate::error::{Result, ServiceError};
+use crate::json::{object, Value};
+use crate::metrics::{PeerReplCounters, PeerReplReport};
+use crate::protocol::RecordBatch;
+use crate::session::{
+    Created, Mechanism, Reconstruction, ReconstructionMethod, SessionRegistry, SessionStats,
+};
+use frapp_core::{CountAccumulator, Schema};
+use frapp_fed::{merge_partitions, Topology};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Connect attempts per reconnect cycle (with exponential backoff
+/// between them) before a link operation reports the peer down.
+const CONNECT_ATTEMPTS: u32 = 6;
+/// Barrier attempts (each may reconnect + resync) before giving up.
+const BARRIER_ATTEMPTS: u32 = 4;
+
+/// How one submit was routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routed {
+    /// Applied to this node's own partition, on `shard`.
+    Local {
+        /// The shard the batch landed on (`seq % num_shards`).
+        shard: usize,
+    },
+    /// Forwarded to the owner node `peer`.
+    Forwarded {
+        /// The owner's index in the peer list.
+        peer: usize,
+    },
+}
+
+/// The per-process federation state: topology, one replication link
+/// per peer, per-session forward sequence counters and per-peer
+/// replication metrics.
+pub struct FedState {
+    topology: Topology,
+    /// Indexed by peer id; `None` at this node's own slot.
+    links: Vec<Option<PeerLink>>,
+    counters: Vec<Arc<PeerReplCounters>>,
+    /// `session -> last assigned forward seq`. Lazily recovered from
+    /// the owners' watermarks after a coordinator restart, so a
+    /// restarted coordinator can never reuse a sequence number (which
+    /// the owners would silently dedup away).
+    seqs: Mutex<HashMap<u64, u64>>,
+    /// Floor for cluster-unique session id allocation.
+    id_floor: AtomicU64,
+}
+
+impl std::fmt::Debug for FedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FedState")
+            .field("self_id", &self.topology.self_id())
+            .field("peers", &self.topology.peers())
+            .field("replication", &self.topology.replication())
+            .finish()
+    }
+}
+
+impl FedState {
+    /// Builds the federation state from a config, or `None` when the
+    /// config names no peers (a plain single-node server). The node's
+    /// own index comes from `config.node_id`, falling back to locating
+    /// `config.addr` in the peer list.
+    pub fn from_config(config: &ServiceConfig) -> Result<Option<Arc<FedState>>> {
+        if config.peers.is_empty() {
+            return Ok(None);
+        }
+        let self_id = match config.node_id {
+            Some(id) => id,
+            None => config
+                .peers
+                .iter()
+                .position(|p| p == &config.addr)
+                .ok_or_else(|| {
+                    ServiceError::InvalidRequest(format!(
+                        "this node's address {} is not in the peer list; pass --node-id",
+                        config.addr
+                    ))
+                })?,
+        };
+        let topology = Topology::new(config.peers.clone(), self_id, config.replication)
+            .map_err(ServiceError::InvalidRequest)?;
+        let counters: Vec<Arc<PeerReplCounters>> = (0..config.peers.len())
+            .map(|_| Arc::new(PeerReplCounters::new()))
+            .collect();
+        let links = config
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(node, addr)| {
+                (node != self_id).then(|| {
+                    PeerLink::spawn(
+                        addr.clone(),
+                        self_id as u64,
+                        Arc::clone(&counters[node]),
+                        Duration::from_millis(config.connect_timeout_ms.max(1)),
+                        Duration::from_millis(config.read_timeout_ms.max(1)),
+                    )
+                })
+            })
+            .collect();
+        Ok(Some(Arc::new(FedState {
+            topology,
+            links,
+            counters,
+            seqs: Mutex::new(HashMap::new()),
+            id_floor: AtomicU64::new(0),
+        })))
+    }
+
+    /// The cluster topology this node routes with.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn self_id(&self) -> u64 {
+        self.topology.self_id() as u64
+    }
+
+    fn link(&self, peer: usize) -> &PeerLink {
+        self.links[peer]
+            .as_ref()
+            .expect("no replication link to self")
+    }
+
+    /// Per-peer replication reports (self excluded), for the
+    /// `federation` section of the transport metrics response.
+    pub fn peer_reports(&self) -> Vec<PeerReplReport> {
+        self.topology
+            .peers()
+            .iter()
+            .enumerate()
+            .filter(|(node, _)| *node != self.topology.self_id())
+            .map(|(node, addr)| self.counters[node].report(node, addr))
+            .collect()
+    }
+
+    /// Creates a session cluster-wide: allocates an id from this
+    /// node's residue class, creates locally (deferred eviction, like
+    /// any other create) and replays the create — id, seed and shard
+    /// count made explicit so every node builds the identical session
+    /// — to every peer link in FIFO order ahead of any forwards.
+    #[allow(clippy::too_many_arguments)] // mirrors the create_session wire fields
+    pub fn create_session(
+        &self,
+        registry: &SessionRegistry,
+        raw_schema: &[(String, u32)],
+        schema: Schema,
+        mechanism: Mechanism,
+        shards: usize,
+        seed: u64,
+        max_dense_domain: usize,
+    ) -> Result<Created> {
+        let mut floor = self.id_floor.load(Ordering::Relaxed);
+        let created = loop {
+            let id = self.topology.next_local_id(floor);
+            self.id_floor.fetch_max(id, Ordering::Relaxed);
+            match registry.create_deferred_with_id(
+                id,
+                schema.clone(),
+                mechanism,
+                shards,
+                seed,
+                max_dense_domain,
+            ) {
+                Ok(created) => break created,
+                // The id is occupied (a recovered pre-restart session):
+                // walk the residue class past it.
+                Err(ServiceError::InvalidRequest(msg)) if msg.contains("already exists") => {
+                    floor = id;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let id = created.session.id();
+        let line = create_line(id, raw_schema, mechanism, shards, seed);
+        // Kick every link, then wait for each to confirm it attempted
+        // delivery: once the create is acknowledged to the client, the
+        // session is visible through every *live* peer (read-your-
+        // writes across nodes). A down peer confirms vacuously — its
+        // copy arrives with the resync replay.
+        let confirms: Vec<_> = (0..self.topology.peers().len())
+            .filter(|&peer| peer != self.topology.self_id())
+            .map(|peer| self.link(peer).register(id, line.clone()))
+            .collect();
+        for confirm in confirms {
+            let _ = recv_link(confirm);
+        }
+        // Freshly created: the next forward seq starts at 1.
+        self.seqs.lock().unwrap().insert(id, 0);
+        Ok(created)
+    }
+
+    /// Assigns the next forward sequence number for `session`. On the
+    /// first submit after a coordinator restart the counter is
+    /// recovered as the maximum watermark any owner has recorded for
+    /// this node — reusing a sequence number would make the owners
+    /// silently drop brand-new batches as duplicates.
+    fn next_seq(&self, registry: &SessionRegistry, session: u64) -> Result<u64> {
+        let mut seqs = self.seqs.lock().unwrap();
+        if let Some(last) = seqs.get_mut(&session) {
+            *last += 1;
+            return Ok(*last);
+        }
+        let mut max_mark = 0u64;
+        for &owner in &self.topology.owners(session) {
+            let marks = if owner == self.topology.self_id() {
+                registry.get(session)?.repl_status(self.self_id())
+            } else {
+                self.fetch_repl_status(owner, session)?
+            };
+            max_mark = max_mark.max(marks.into_iter().max().unwrap_or(0));
+        }
+        let seq = max_mark + 1;
+        seqs.insert(session, seq);
+        Ok(seq)
+    }
+
+    fn fetch_repl_status(&self, peer: usize, session: u64) -> Result<Vec<u64>> {
+        let line = format!(
+            r#"{{"op":"repl_status","session":{session},"origin":{}}}"#,
+            self.self_id()
+        );
+        match self.link(peer).sync(&line) {
+            Ok(v) => parse_marks(&v),
+            // The peer holds nothing for this session (create not yet
+            // applied there): factually, every mark is zero.
+            Err(ServiceError::Remote { message, .. }) if message.contains("unknown session") => {
+                Ok(Vec::new())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Routes one client submit: stamps it with the next per-session
+    /// sequence number and sends it to `owners[seq % replication]` —
+    /// applied locally when that owner is this node, forwarded over
+    /// the peer link otherwise (pipelined with no round trip when
+    /// `deferred`). Returns the accepted record count and the route.
+    ///
+    /// Unlike a single-node submit, the whole batch is validated
+    /// before routing and rejected atomically: a partial-batch prefix
+    /// landing on a *remote* owner would leave the client's retry
+    /// contract spanning two machines.
+    pub fn submit(
+        &self,
+        registry: &SessionRegistry,
+        session: u64,
+        records: &RecordBatch,
+        pre_perturbed: bool,
+        deferred: bool,
+    ) -> Result<(u64, Routed)> {
+        let sess = registry.get(session)?;
+        for record in records.iter() {
+            sess.schema().validate_record(record)?;
+        }
+        let seq = self.next_seq(registry, session)?;
+        let owners = self.topology.owners(session);
+        let owner = owners[(seq % owners.len() as u64) as usize];
+        let accepted = records.len() as u64;
+        if owner == self.topology.self_id() {
+            // Locally applied batches go through the same claim path
+            // as forwarded ones, so this node's own partition dedups
+            // identically across restarts.
+            sess.submit_slices_repl(records.iter(), pre_perturbed, self.self_id(), seq)?;
+            let shard = (seq % sess.num_shards() as u64) as usize;
+            return Ok((accepted, Routed::Local { shard }));
+        }
+        let line = forwarded_line(
+            session,
+            records,
+            pre_perturbed,
+            deferred,
+            self.self_id(),
+            seq,
+        );
+        if deferred {
+            self.link(owner).forward(session, seq, accepted, line);
+        } else {
+            self.counters[owner].record_forward(accepted);
+            self.link(owner).sync(&line)?;
+            self.counters[owner].record_acked(accepted);
+        }
+        Ok((accepted, Routed::Forwarded { peer: owner }))
+    }
+
+    /// Barriers every replication link: all queued deferred forwards
+    /// are flushed and acknowledged (reconnecting and resending past
+    /// the peers' watermarks as needed) before this returns. The
+    /// first unreachable peer aborts with its error.
+    pub fn barrier_all(&self) -> Result<()> {
+        // Kick every link first so they drain concurrently, then
+        // collect — a barrier's cost is the slowest link, not the sum.
+        let waits: Vec<_> = self
+            .links
+            .iter()
+            .flatten()
+            .map(|link| link.barrier_async())
+            .collect();
+        for wait in waits {
+            recv_link(wait)??;
+        }
+        Ok(())
+    }
+
+    /// A federated reconstruction: barrier the links, pull every
+    /// owner's partition, merge (bitwise order-independent) and solve
+    /// once locally — the cached-LU path if the coordinator has warmed
+    /// it, exactly as on a single node.
+    pub fn reconstruct(
+        &self,
+        registry: &SessionRegistry,
+        session: u64,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> Result<Reconstruction> {
+        let sess = registry.get(session)?;
+        self.barrier_all()?;
+        let mut partitions = Vec::new();
+        for &owner in &self.topology.owners(session) {
+            if owner == self.topology.self_id() {
+                partitions.push(sess.snapshot());
+            } else {
+                partitions.push(self.fetch_partition(owner, session, sess.schema())?);
+            }
+        }
+        let merged = merge_partitions(sess.schema(), partitions)?;
+        sess.reconstruct_counts(merged, method, clamp)
+    }
+
+    /// Federated ingest statistics: the cluster-wide record total,
+    /// with `per_shard` reporting each *owner's* partition total in
+    /// ring order (shard-level detail stays a per-node concern). The
+    /// fan-out uses `sync_session` — strictly local on the receiving
+    /// node — so federated owners never fan out in turn.
+    pub fn stats(&self, registry: &SessionRegistry, session: u64) -> Result<SessionStats> {
+        let sess = registry.get(session)?;
+        self.barrier_all()?;
+        let mut per_owner = Vec::new();
+        for &owner in &self.topology.owners(session) {
+            if owner == self.topology.self_id() {
+                per_owner.push(sess.stats().total);
+            } else {
+                let line = format!(r#"{{"op":"sync_session","session":{session}}}"#);
+                let v = self.link(owner).sync(&line)?;
+                let total = v.get("total").and_then(Value::as_u64).ok_or_else(|| {
+                    ServiceError::Protocol("sync_session response missing `total`".into())
+                })?;
+                per_owner.push(total);
+            }
+        }
+        Ok(SessionStats {
+            total: per_owner.iter().sum(),
+            per_shard: per_owner,
+        })
+    }
+
+    fn fetch_partition(
+        &self,
+        peer: usize,
+        session: u64,
+        schema: &Schema,
+    ) -> Result<CountAccumulator> {
+        let line = format!(r#"{{"op":"sync_session","session":{session}}}"#);
+        let v = self.link(peer).sync(&line)?;
+        let pairs = v.get("counts").and_then(Value::as_array).ok_or_else(|| {
+            ServiceError::Protocol("sync_session response missing `counts`".into())
+        })?;
+        let mut dense = vec![0.0; schema.domain_size()];
+        for pair in pairs {
+            let cell = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::Protocol("sync_session counts must be [index, count] pairs".into())
+            })?;
+            let idx = cell[0]
+                .as_usize()
+                .filter(|&i| i < dense.len())
+                .ok_or_else(|| {
+                    ServiceError::Protocol("sync_session count index out of domain".into())
+                })?;
+            let count = cell[1].as_f64().ok_or_else(|| {
+                ServiceError::Protocol("sync_session counts must be numbers".into())
+            })?;
+            dense[idx] = count;
+        }
+        CountAccumulator::from_counts(schema.clone(), dense).map_err(ServiceError::from)
+    }
+
+    /// Fans a close out to every peer (as `local: true`, so nobody
+    /// re-federates it) and forgets the session's replication state.
+    /// Best-effort: a peer that is down keeps its empty copy until an
+    /// operator closes it directly. Returns whether any peer reported
+    /// the session closed.
+    pub fn close_fanout(&self, session: u64) -> bool {
+        self.seqs.lock().unwrap().remove(&session);
+        let line = format!(r#"{{"op":"close_session","session":{session},"local":true}}"#);
+        let mut any = false;
+        for (peer, link) in self.links.iter().enumerate() {
+            let Some(link) = link else { continue };
+            link.forget(session);
+            if let Ok(v) = link.sync(&line) {
+                any |= v.get("closed").and_then(Value::as_bool).unwrap_or(false);
+            } else {
+                self.counters[peer].record_peer_down();
+            }
+        }
+        any
+    }
+
+    /// The `cluster_status` response payload: topology, replication
+    /// factor and per-peer liveness (one live probe per peer).
+    pub fn cluster_status_pairs(&self) -> Vec<(&'static str, Value)> {
+        let self_id = self.topology.self_id();
+        let peers: Vec<Value> = self
+            .topology
+            .peers()
+            .iter()
+            .enumerate()
+            .map(|(node, addr)| {
+                let up = node == self_id || self.link(node).probe();
+                object(vec![
+                    ("node", node.into()),
+                    ("addr", addr.as_str().into()),
+                    ("self", (node == self_id).into()),
+                    ("up", up.into()),
+                ])
+            })
+            .collect();
+        vec![
+            ("federated", true.into()),
+            ("self", self_id.into()),
+            ("replication", self.topology.replication().into()),
+            ("peers", Value::Array(peers)),
+        ]
+    }
+}
+
+/// Builds the replicated create line for a session, with every
+/// server-side default resolved so all nodes build identical sessions.
+fn create_line(
+    id: u64,
+    raw_schema: &[(String, u32)],
+    mechanism: Mechanism,
+    shards: usize,
+    seed: u64,
+) -> String {
+    let schema = Value::Array(
+        raw_schema
+            .iter()
+            .map(|(name, card)| Value::Array(vec![name.as_str().into(), (*card).into()]))
+            .collect(),
+    );
+    let mut pairs = vec![("op", Value::from("create_session")), ("schema", schema)];
+    match mechanism {
+        Mechanism::Deterministic { gamma } => {
+            pairs.push(("mechanism", "det".into()));
+            pairs.push(("gamma", gamma.into()));
+        }
+        Mechanism::Randomized {
+            gamma,
+            alpha_fraction,
+        } => {
+            pairs.push(("mechanism", "ran".into()));
+            pairs.push(("gamma", gamma.into()));
+            pairs.push(("alpha_fraction", alpha_fraction.into()));
+        }
+    }
+    pairs.push(("shards", shards.into()));
+    pairs.push(("seed", seed.into()));
+    pairs.push(("session", id.into()));
+    object(pairs).to_json()
+}
+
+/// Builds a forwarded submit line in the canonical field order the
+/// receiving peer's zero-allocation fast-path decoder accepts.
+fn forwarded_line(
+    session: u64,
+    records: &RecordBatch,
+    pre_perturbed: bool,
+    deferred: bool,
+    origin: u64,
+    seq: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(96 + records.len() * 12);
+    let _ = write!(
+        line,
+        "{{\"op\":\"submit\",\"session\":{session},\"records\":["
+    );
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('[');
+        for (j, &v) in record.iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{v}");
+        }
+        line.push(']');
+    }
+    let _ = write!(line, "],\"pre_perturbed\":{pre_perturbed}");
+    if deferred {
+        line.push_str(",\"ack\":\"deferred\"");
+    }
+    let _ = write!(line, ",\"origin\":{origin},\"seq\":{seq}}}");
+    line
+}
+
+fn parse_marks(v: &Value) -> Result<Vec<u64>> {
+    v.get("marks")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol("repl_status response missing `marks`".into()))?
+        .iter()
+        .map(|m| {
+            m.as_u64()
+                .ok_or_else(|| ServiceError::Protocol("watermarks must be integers".into()))
+        })
+        .collect()
+}
+
+fn peer_down(addr: &str) -> ServiceError {
+    ServiceError::Remote {
+        message: format!("federation peer {addr} is unreachable"),
+        accepted: None,
+    }
+}
+
+/// Maps a dead link thread (channel closed) to a peer-down error.
+fn recv_link<T>(rx: mpsc::Receiver<T>) -> Result<T> {
+    rx.recv().map_err(|_| ServiceError::Remote {
+        message: "replication link thread is gone".into(),
+        accepted: None,
+    })
+}
+
+enum LinkCmd {
+    /// Remember (and replay on every reconnect) a session's create
+    /// line, then try to deliver it now, signalling `resp` once the
+    /// attempt completes so the coordinator can promise read-your-
+    /// writes through live peers. An unreachable peer signals
+    /// vacuously and receives the create during resync.
+    Register {
+        session: u64,
+        line: String,
+        resp: mpsc::Sender<()>,
+    },
+    /// Pipeline one deferred forwarded batch (no round trip).
+    Forward {
+        session: u64,
+        seq: u64,
+        records: u64,
+        line: String,
+    },
+    /// One synchronous request/response over the link.
+    Sync {
+        line: String,
+        resp: mpsc::Sender<Result<Value>>,
+    },
+    /// Flush and confirm every queued forward.
+    Barrier {
+        resp: mpsc::Sender<Result<()>>,
+    },
+    /// Single connect-and-ping liveness probe (no retries).
+    Probe {
+        resp: mpsc::Sender<bool>,
+    },
+    /// Drop a closed session's replay state.
+    Forget {
+        session: u64,
+    },
+    Close,
+}
+
+/// A replication link to one peer: a command channel into a background
+/// forwarder thread that owns the socket, the per-session replay
+/// history and the reconnect/resync logic.
+struct PeerLink {
+    tx: mpsc::Sender<LinkCmd>,
+}
+
+impl PeerLink {
+    fn spawn(
+        addr: String,
+        origin: u64,
+        counters: Arc<PeerReplCounters>,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> PeerLink {
+        let (tx, rx) = mpsc::channel();
+        let worker = LinkWorker {
+            addr,
+            origin,
+            client: None,
+            creates: HashMap::new(),
+            history: HashMap::new(),
+            outstanding: 0,
+            queued_while_down: 0,
+            counters,
+            connect_timeout,
+            read_timeout,
+        };
+        std::thread::Builder::new()
+            .name("frapp-fed-link".into())
+            .spawn(move || worker.run(rx))
+            .expect("spawn replication link thread");
+        PeerLink { tx }
+    }
+
+    fn register(&self, session: u64, line: String) -> mpsc::Receiver<()> {
+        let (resp, rx) = mpsc::channel();
+        let _ = self.tx.send(LinkCmd::Register {
+            session,
+            line,
+            resp,
+        });
+        rx
+    }
+
+    fn forward(&self, session: u64, seq: u64, records: u64, line: String) {
+        let _ = self.tx.send(LinkCmd::Forward {
+            session,
+            seq,
+            records,
+            line,
+        });
+    }
+
+    fn forget(&self, session: u64) {
+        let _ = self.tx.send(LinkCmd::Forget { session });
+    }
+
+    fn sync(&self, line: &str) -> Result<Value> {
+        let (resp, rx) = mpsc::channel();
+        self.tx
+            .send(LinkCmd::Sync {
+                line: line.to_owned(),
+                resp,
+            })
+            .map_err(|_| ServiceError::ConnectionClosed)?;
+        recv_link(rx)?
+    }
+
+    fn barrier_async(&self) -> mpsc::Receiver<Result<()>> {
+        let (resp, rx) = mpsc::channel();
+        let _ = self.tx.send(LinkCmd::Barrier { resp });
+        rx
+    }
+
+    fn probe(&self) -> bool {
+        let (resp, rx) = mpsc::channel();
+        if self.tx.send(LinkCmd::Probe { resp }).is_err() {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+}
+
+impl Drop for PeerLink {
+    fn drop(&mut self) {
+        // Fire-and-forget: the worker exits on Close (or when the
+        // channel drops). Not joined — a worker mid-backoff would
+        // stall shutdown for no benefit.
+        let _ = self.tx.send(LinkCmd::Close);
+    }
+}
+
+struct LinkWorker {
+    addr: String,
+    /// The coordinator's node id — the `origin` every forwarded line
+    /// carries, and the key for the peer's `repl_status` watermarks.
+    origin: u64,
+    /// Invariant: `Some` implies connected *and* resynced (creates
+    /// replayed, watermark gaps resent).
+    client: Option<Client>,
+    /// Session create lines, replayed first on every reconnect.
+    creates: HashMap<u64, String>,
+    /// Forwarded-batch history per session: `(seq, records, line)` in
+    /// seq order. The resync source of truth.
+    history: HashMap<u64, Vec<(u64, u64, String)>>,
+    /// Records pipelined since the last confirmed flush.
+    outstanding: u64,
+    /// Records queued (or send-failed) while disconnected, awaiting
+    /// resync delivery. Together with `outstanding == 0` and a live
+    /// client this lets a barrier short-circuit: a node that never
+    /// forwards anything must not pay reconnect retries toward a down
+    /// peer on every flush.
+    queued_while_down: u64,
+    counters: Arc<PeerReplCounters>,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+}
+
+impl LinkWorker {
+    fn run(mut self, rx: mpsc::Receiver<LinkCmd>) {
+        loop {
+            match rx.recv() {
+                Err(_) => return,
+                Ok(LinkCmd::Close) => return,
+                Ok(LinkCmd::Forget { session }) => {
+                    self.creates.remove(&session);
+                    self.history.remove(&session);
+                }
+                Ok(LinkCmd::Register {
+                    session,
+                    line,
+                    resp,
+                }) => {
+                    self.creates.insert(session, line.clone());
+                    if self.client.is_some() {
+                        // Deliver now; a failure (stale connection,
+                        // peer restarted) gets one reconnect, whose
+                        // resync replays the just-registered create.
+                        if self.send_create(&line).is_err() {
+                            self.drop_client();
+                            let _ = self.ensure_connected(1);
+                        }
+                    } else {
+                        // One quick connect (whose resync replays the
+                        // just-registered create) so a healthy cluster
+                        // sees creates before the coordinator acks
+                        // them; a down peer catches up at the next
+                        // sync/barrier.
+                        let _ = self.ensure_connected(1);
+                    }
+                    let _ = resp.send(());
+                }
+                Ok(LinkCmd::Forward {
+                    session,
+                    seq,
+                    records,
+                    line,
+                }) => {
+                    self.counters.record_forward(records);
+                    let sent = match self.client.as_mut() {
+                        Some(client) => client.send_raw_nowait(&line).is_ok(),
+                        None => false,
+                    };
+                    if sent {
+                        self.outstanding += records;
+                    } else {
+                        self.drop_client();
+                        self.queued_while_down += records;
+                    }
+                    // Queued either way; resync resends from the
+                    // peer's watermark.
+                    self.history
+                        .entry(session)
+                        .or_default()
+                        .push((seq, records, line));
+                }
+                Ok(LinkCmd::Sync { line, resp }) => {
+                    let result = self.sync_request(&line);
+                    let _ = resp.send(result);
+                }
+                Ok(LinkCmd::Barrier { resp }) => {
+                    let _ = resp.send(self.barrier());
+                }
+                Ok(LinkCmd::Probe { resp }) => {
+                    let up = self.ensure_connected(1).is_ok();
+                    let _ = resp.send(up);
+                }
+            }
+        }
+    }
+
+    fn drop_client(&mut self) {
+        if self.client.take().is_some() {
+            self.counters.record_peer_down();
+        }
+    }
+
+    /// Connects (with up to `attempts` tries and exponential backoff)
+    /// and resyncs, upholding the `client.is_some() => resynced`
+    /// invariant.
+    fn ensure_connected(&mut self, attempts: u32) -> Result<()> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let mut delay = Duration::from_millis(50);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+            match Client::connect_with_timeouts(
+                &self.addr,
+                Some(self.connect_timeout),
+                Some(self.read_timeout),
+            ) {
+                Ok(client) => {
+                    self.client = Some(client);
+                    match self.resync() {
+                        Ok(()) => return Ok(()),
+                        Err(_) => self.drop_client(),
+                    }
+                }
+                Err(_) => self.counters.record_peer_down(),
+            }
+        }
+        Err(peer_down(&self.addr))
+    }
+
+    /// Anti-entropy after a (re)connect: replay session creates
+    /// (`already exists` confirms the peer kept it), ask the peer
+    /// which forwarded seqs each shard has applied, resend exactly the
+    /// gap, and confirm with a flush. Leaves `outstanding` at zero on
+    /// success — everything queued so far is acknowledged.
+    fn resync(&mut self) -> Result<()> {
+        let creates: Vec<String> = self.creates.values().cloned().collect();
+        for line in creates {
+            self.send_create(&line)?;
+        }
+        self.outstanding = 0;
+        self.queued_while_down = 0;
+        let sessions: Vec<u64> = self.history.keys().copied().collect();
+        for session in sessions {
+            let marks = self.fetch_marks(session)?;
+            let batches = self.history.get(&session).cloned().unwrap_or_default();
+            for (seq, records, line) in batches {
+                let applied =
+                    !marks.is_empty() && seq <= marks[(seq % marks.len() as u64) as usize];
+                if applied {
+                    continue;
+                }
+                self.counters.record_retry();
+                self.client
+                    .as_mut()
+                    .ok_or_else(|| peer_down(&self.addr))?
+                    .send_raw_nowait(&line)?;
+                self.outstanding += records;
+            }
+        }
+        self.flush_outstanding()
+    }
+
+    fn send_create(&mut self, line: &str) -> Result<()> {
+        let client = self.client.as_mut().ok_or_else(|| peer_down(&self.addr))?;
+        match client.request(line) {
+            Ok(v) => {
+                self.consume_watermark(&v);
+                Ok(())
+            }
+            Err(ServiceError::Remote { message, .. }) if message.contains("already exists") => {
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn fetch_marks(&mut self, session: u64) -> Result<Vec<u64>> {
+        let status = format!(
+            r#"{{"op":"repl_status","session":{session},"origin":{}}}"#,
+            self.origin
+        );
+        let client = self.client.as_mut().ok_or_else(|| peer_down(&self.addr))?;
+        match client.request(&status) {
+            Ok(v) => {
+                self.consume_watermark(&v);
+                parse_marks(&v)
+            }
+            // No session on the peer despite the create replay: treat
+            // as nothing applied.
+            Err(ServiceError::Remote { message, .. }) if message.contains("unknown session") => {
+                Ok(Vec::new())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Folds a response's piggybacked deferred watermark (the peer
+    /// attaches it to any synchronous reply while deferred submits are
+    /// pending) into the outstanding accounting.
+    fn consume_watermark(&mut self, v: &Value) {
+        if let Some(acked) = v.get("deferred_accepted").and_then(Value::as_u64) {
+            self.counters.record_acked(acked);
+            self.outstanding = self.outstanding.saturating_sub(acked);
+        }
+        if v.get("deferred_error").is_some() {
+            // Some pipelined batch failed on the peer; ground truth
+            // lives in its watermarks now. Reconnect-and-resync.
+            self.drop_client();
+        }
+    }
+
+    fn flush_outstanding(&mut self) -> Result<()> {
+        if self.outstanding == 0 {
+            return Ok(());
+        }
+        let client = self.client.as_mut().ok_or_else(|| peer_down(&self.addr))?;
+        let v = client.request(r#"{"op":"flush"}"#)?;
+        let acked = v.get("accepted").and_then(Value::as_u64).unwrap_or(0);
+        self.counters.record_acked(acked);
+        self.outstanding = 0;
+        Ok(())
+    }
+
+    fn sync_request(&mut self, line: &str) -> Result<Value> {
+        for _ in 0..2 {
+            self.ensure_connected(CONNECT_ATTEMPTS)?;
+            let client = self.client.as_mut().ok_or_else(|| peer_down(&self.addr))?;
+            match client.request(line) {
+                Ok(v) => {
+                    self.consume_watermark(&v);
+                    return Ok(v);
+                }
+                // An in-band refusal: the request *was* processed;
+                // retrying would re-run it for the same answer.
+                Err(e @ ServiceError::Remote { .. }) => return Err(e),
+                // I/O failure: unknown whether it landed. Reconnect
+                // and retry once — every link request is idempotent
+                // (forwards dedup on (origin, seq), the rest are reads
+                // or naturally idempotent creates/closes).
+                Err(_) => self.drop_client(),
+            }
+        }
+        Err(peer_down(&self.addr))
+    }
+
+    /// Flushes and confirms every queued forward, reconnecting and
+    /// resending watermark gaps as needed.
+    fn barrier(&mut self) -> Result<()> {
+        // Nothing in flight and nothing queued: the barrier holds
+        // vacuously. This matters cluster-wide — peers barrier their
+        // own links when *they* are flushed, and a node that never
+        // forwards must not pay reconnect retries toward a down peer.
+        if self.outstanding == 0 && self.queued_while_down == 0 {
+            return Ok(());
+        }
+        let mut last = None;
+        for _ in 0..BARRIER_ATTEMPTS {
+            let result = self
+                .ensure_connected(CONNECT_ATTEMPTS)
+                .and_then(|()| self.flush_outstanding());
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    // Whatever failed (I/O or an in-band deferred
+                    // error), the peer's watermarks are the ground
+                    // truth; reconnect and resync from them.
+                    self.drop_client();
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| peer_down(&self.addr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarded_lines_match_the_fast_path_grammar() {
+        let batch = RecordBatch::from_rows(&[vec![0, 1], vec![2, 0]]);
+        let deferred = forwarded_line(7, &batch, true, true, 2, 9);
+        assert_eq!(
+            deferred,
+            r#"{"op":"submit","session":7,"records":[[0,1],[2,0]],"pre_perturbed":true,"ack":"deferred","origin":2,"seq":9}"#
+        );
+        let sync = forwarded_line(7, &batch, false, false, 0, 1);
+        assert_eq!(
+            sync,
+            r#"{"op":"submit","session":7,"records":[[0,1],[2,0]],"pre_perturbed":false,"origin":0,"seq":1}"#
+        );
+        // Both shapes must decode on the receiving peer's zero-alloc
+        // fast path (field order matters there).
+        for line in [&deferred, &sync] {
+            let req = crate::protocol::parse_submit_line_fast(line)
+                .expect("forwarded line must hit the fast path");
+            match req {
+                crate::protocol::Request::Submit { origin, seq, .. } => {
+                    assert!(origin.is_some() && seq.is_some());
+                }
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn create_lines_resolve_every_default() {
+        let line = create_line(
+            42,
+            &[("age".to_owned(), 8), ("zip".to_owned(), 4)],
+            Mechanism::Deterministic { gamma: 19.0 },
+            4,
+            0xF00D,
+        );
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("session").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("shards").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(0xF00D));
+        assert_eq!(v.get("gamma").and_then(Value::as_f64), Some(19.0));
+        assert_eq!(v.get("mechanism").and_then(Value::as_str), Some("det"));
+    }
+
+    #[test]
+    fn from_config_requires_locatable_self() {
+        let plain = ServiceConfig::default();
+        assert!(FedState::from_config(&plain).unwrap().is_none());
+
+        let mut cfg = ServiceConfig {
+            peers: vec!["10.0.0.1:7000".into(), "10.0.0.2:7000".into()],
+            ..ServiceConfig::default()
+        };
+        assert!(FedState::from_config(&cfg).is_err());
+
+        cfg.node_id = Some(1);
+        let fed = FedState::from_config(&cfg).unwrap().unwrap();
+        assert_eq!(fed.topology().self_id(), 1);
+        assert_eq!(fed.peer_reports().len(), 1);
+        assert_eq!(fed.peer_reports()[0].node, 0);
+    }
+}

@@ -230,6 +230,7 @@ pub(crate) fn respond(
         &shared.registry,
         &shared.config,
         &shared.transport,
+        shared.fed.as_deref(),
         req,
         out,
     ) {
@@ -301,6 +302,7 @@ fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request
     match (method, segments.as_slice()) {
         ("GET", ["ping"]) => Ok(Request::Ping),
         ("GET", ["metrics"]) => Ok(Request::Metrics { session: None }),
+        ("GET", ["cluster"]) => Ok(Request::ClusterStatus),
         ("POST", ["sessions"]) => Ok(protocol::parse_create_session(&parse_body()?)?),
         ("GET", ["sessions"]) => Ok(Request::ListSessions),
         ("GET", ["sessions", id]) | ("GET", ["sessions", id, "stats"]) => Ok(Request::Stats {
@@ -332,6 +334,7 @@ fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request
         ("POST", ["persist"]) => Ok(Request::Persist { session: None }),
         ("DELETE", ["sessions", id]) => Ok(Request::CloseSession {
             session: session_id(id)?,
+            local: false,
         }),
         _ => Err(RouteError::NotFound(format!(
             "no route for {method} {path}"
@@ -1024,7 +1027,14 @@ mod tests {
         ));
         assert!(matches!(
             route("DELETE", "/sessions/3", b""),
-            Ok(Request::CloseSession { session: 3 })
+            Ok(Request::CloseSession {
+                session: 3,
+                local: false
+            })
+        ));
+        assert!(matches!(
+            route("GET", "/cluster", b""),
+            Ok(Request::ClusterStatus)
         ));
         assert!(matches!(
             route("POST", "/persist", b""),

@@ -49,6 +49,17 @@
 //!   (enabled by `ServiceConfig::http_addr`; [`client::HttpClient`]
 //!   speaks it). Request bodies may be `Content-Length` or
 //!   `Transfer-Encoding: chunked`.
+//! * [`fed`] — the federated multi-node collection tier (`frapp-serve
+//!   --peers a:1,b:2 --replication 2`): sessions replicate
+//!   cluster-wide under consistent-hash placement (`frapp_fed`),
+//!   ingest partitions across a session's owner nodes with
+//!   `(origin, seq)`-stamped forwards that are idempotent on
+//!   redelivery, and reconstruction/stats fan out to the owners and
+//!   merge their disjoint partitions before solving once — for
+//!   pre-perturbed streams, bit-identical to a single-node run.
+//!   Inter-node links pipeline through the same deferred-ack
+//!   watermark contract and catch peers up from persisted watermarks
+//!   after a restart.
 //! * [`reactor`] — an optional nonblocking epoll/kqueue front-end
 //!   (`frapp-serve --async`, `ServiceConfig::async_reactor`) serving
 //!   *both* wire protocols from a fixed set of event-loop threads
@@ -83,6 +94,7 @@ pub mod client;
 pub mod config;
 pub mod dispatch;
 pub mod error;
+pub mod fed;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -96,6 +108,7 @@ pub mod shard;
 pub use client::{Client, HttpClient, SessionSpec};
 pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
+pub use fed::FedState;
 pub use metrics::{MetricsReport, SessionMetrics, TransportMetrics, TransportReport};
 pub use server::{Server, ServerHandle};
 pub use session::{

@@ -343,6 +343,85 @@ pub struct TransportReport {
     pub reactor_partial_writes: u64,
 }
 
+/// Live replication counters for one federation peer link.
+///
+/// Owned by the link's background forwarder thread and read by the
+/// session-less `metrics` op; plain relaxed atomics, like every other
+/// counter here, because the forwarding hot path must not serialize on
+/// metering.
+#[derive(Debug, Default)]
+pub struct PeerReplCounters {
+    forwarded_batches: AtomicU64,
+    forwarded_records: AtomicU64,
+    acked_records: AtomicU64,
+    retries: AtomicU64,
+    peer_down: AtomicU64,
+}
+
+impl PeerReplCounters {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one batch of `records` records queued for forwarding to
+    /// the peer (whether or not the link is currently connected).
+    pub fn record_forward(&self, records: u64) {
+        self.forwarded_batches.fetch_add(1, Ordering::Relaxed);
+        self.forwarded_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Counts `records` records the peer acknowledged (via a flush
+    /// watermark or a synchronous forward response).
+    pub fn record_acked(&self, records: u64) {
+        self.acked_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Counts one batch resent during anti-entropy resync.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one observed peer failure (connect refusal or a dropped
+    /// connection mid-replication).
+    pub fn record_peer_down(&self) {
+        self.peer_down.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time report for peer `node` at `addr`.
+    pub fn report(&self, node: usize, addr: &str) -> PeerReplReport {
+        PeerReplReport {
+            node,
+            addr: addr.to_owned(),
+            forwarded_batches: self.forwarded_batches.load(Ordering::Relaxed),
+            forwarded_records: self.forwarded_records.load(Ordering::Relaxed),
+            acked_records: self.acked_records.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            peer_down: self.peer_down.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one peer link's [`PeerReplCounters`], as reported in
+/// the `federation` section of the transport metrics response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeerReplReport {
+    /// The peer's index in the federation peer list.
+    pub node: usize,
+    /// The peer's address.
+    pub addr: String,
+    /// Replication batches queued toward this peer.
+    pub forwarded_batches: u64,
+    /// Records inside those batches.
+    pub forwarded_records: u64,
+    /// Records the peer has acknowledged.
+    pub acked_records: u64,
+    /// Batches resent during anti-entropy resync.
+    pub retries: u64,
+    /// Observed peer failures (refused connects, dropped links).
+    pub peer_down: u64,
+}
+
 /// A snapshot of one session's [`SessionMetrics`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -470,6 +549,24 @@ mod tests {
         assert_eq!(r.reactor_wakeups, 1);
         assert_eq!(r.reactor_partial_reads, 1);
         assert_eq!(r.reactor_partial_writes, 1);
+    }
+
+    #[test]
+    fn peer_repl_counters_report_per_peer() {
+        let c = PeerReplCounters::new();
+        c.record_forward(10);
+        c.record_forward(5);
+        c.record_acked(10);
+        c.record_retry();
+        c.record_peer_down();
+        let r = c.report(2, "127.0.0.1:7002");
+        assert_eq!(r.node, 2);
+        assert_eq!(r.addr, "127.0.0.1:7002");
+        assert_eq!(r.forwarded_batches, 2);
+        assert_eq!(r.forwarded_records, 15);
+        assert_eq!(r.acked_records, 10);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.peer_down, 1);
     }
 
     #[test]

@@ -189,7 +189,7 @@ fn snapshot_value(session: &CollectionSession, flush_seq: u64, dumps: &[ShardDum
         dumps
             .iter()
             .map(|d| {
-                object(vec![
+                let mut fields = vec![
                     ("ingested", d.ingested.into()),
                     ("rng_draws", d.rng_draws.into()),
                     (
@@ -200,7 +200,13 @@ fn snapshot_value(session: &CollectionSession, flush_seq: u64, dumps: &[ShardDum
                         "counts",
                         Value::Array(d.counts.iter().copied().map(Value::Number).collect()),
                     ),
-                ])
+                ];
+                // Only federated shards carry watermarks; standalone
+                // snapshots keep the exact pre-federation layout.
+                if !d.repl.is_empty() {
+                    fields.push(("repl", repl_value(&d.repl)));
+                }
+                object(fields)
             })
             .collect(),
     );
@@ -216,10 +222,38 @@ fn snapshot_value(session: &CollectionSession, flush_seq: u64, dumps: &[ShardDum
     ])
 }
 
+/// Replication watermarks as `[[origin, seq], ...]` pairs.
+fn repl_value(repl: &[(u64, u64)]) -> Value {
+    Value::Array(
+        repl.iter()
+            .map(|&(origin, seq)| Value::Array(vec![origin.into(), seq.into()]))
+            .collect(),
+    )
+}
+
+fn parse_repl(v: &Value) -> Result<Vec<(u64, u64)>> {
+    let Some(arr) = v.get("repl").and_then(Value::as_array) else {
+        return Ok(Vec::new()); // pre-federation state: no watermarks
+    };
+    arr.iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::Snapshot("`repl` entries must be [origin, seq] pairs".into())
+            })?;
+            match (pair[0].as_u64(), pair[1].as_u64()) {
+                (Some(origin), Some(seq)) => Ok((origin, seq)),
+                _ => Err(ServiceError::Snapshot(
+                    "`repl` origins and seqs must be integers".into(),
+                )),
+            }
+        })
+        .collect()
+}
+
 /// One delta line: sparse increments of one shard since its previous
 /// flush, plus the shard's absolute position after them.
 fn delta_line_value(seq: u64, delta: &ShardDelta) -> Value {
-    object(vec![
+    let mut fields = vec![
         ("format", DELTA_FORMAT.into()),
         ("seq", seq.into()),
         ("shard", delta.shard.into()),
@@ -236,7 +270,11 @@ fn delta_line_value(seq: u64, delta: &ShardDelta) -> Value {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if !delta.repl.is_empty() {
+        fields.push(("repl", repl_value(&delta.repl)));
+    }
+    object(fields)
 }
 
 /// Writes a session snapshot into `dir`, atomically (a uniquely named
@@ -467,6 +505,13 @@ fn apply_deltas(dir: &Path, id: u64, flush_seq: u64, dumps: &mut [ShardDump]) ->
         dump.rng_state = Some(parse_state_words(v.get("rng_state").ok_or_else(|| {
             ServiceError::Snapshot("delta line is missing `rng_state`".into())
         })?)?);
+        // Delta lines carry the full watermark map at flush time; the
+        // newest applied line's view wins, matching the counts it rode
+        // in with.
+        let repl = parse_repl(&v)?;
+        if !repl.is_empty() {
+            dump.repl = repl;
+        }
     }
     Ok(())
 }
@@ -573,6 +618,7 @@ pub fn load_session(
                     })?,
                     rng_state,
                     counts,
+                    repl: parse_repl(s)?,
                 })
             })
             .collect::<Result<Vec<_>>>()?;
@@ -816,6 +862,45 @@ mod tests {
         assert!(!delta_path(&dir, 11).exists());
         let recovered = load_session(&session_path(&dir, 11), 4096, 1 << 24).unwrap();
         assert_eq!(recovered.dump_shards(), session.dump_shards());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repl_watermarks_survive_snapshot_and_delta_recovery() {
+        let dir = temp_dir("repl");
+        let session = sample_session(21);
+        let batch: Vec<Vec<u32>> = vec![vec![1, 1]];
+        let refs: Vec<&[u32]> = batch.iter().map(Vec::as_slice).collect();
+        session
+            .submit_slices_repl(refs.iter().copied(), true, 4, 6)
+            .unwrap();
+        save_session(&dir, &session).unwrap();
+
+        // Base-snapshot path: the recovered session still rejects the
+        // forwarded batch a reconnecting peer might resend.
+        let recovered = load_session(&session_path(&dir, 21), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        assert!(!recovered
+            .submit_slices_repl(refs.iter().copied(), true, 4, 6)
+            .unwrap());
+
+        // Delta path: a watermark advanced after the base snapshot
+        // rides in on the delta line.
+        session
+            .submit_slices_repl(refs.iter().copied(), true, 4, 8)
+            .unwrap();
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::Deltas(1)
+        );
+        let recovered = load_session(&session_path(&dir, 21), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+        assert!(!recovered
+            .submit_slices_repl(refs.iter().copied(), true, 4, 8)
+            .unwrap());
+        assert!(recovered
+            .submit_slices_repl(refs.iter().copied(), true, 4, 9)
+            .unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,8 +21,28 @@
 //! {"op":"persist"}
 //! {"op":"persist","session":1}
 //! {"op":"close_session","session":1}
+//! {"op":"cluster_status"}
+//! {"op":"sync_session","session":1}
+//! {"op":"repl_status","session":1,"origin":0}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! ## Federation fields
+//!
+//! When the server runs federated (`--peers`), peers talk the same
+//! protocol with three extra fields. `create_session` accepts an
+//! explicit `"session":N` (the coordinator's cluster-unique id, so
+//! every node registers the same session under the same id). `submit`
+//! accepts `"origin":N,"seq":N` on forwarded batches — the sending
+//! node's index and its per-session forwarding sequence number, which
+//! the receiving shard uses for exactly-once dedup across retries.
+//! `close_session` accepts `"local":true` to close only on the
+//! receiving node (the fan-out form; without it a federated server
+//! closes cluster-wide). `sync_session` returns a node's local merged
+//! partition counts; `repl_status` returns its per-shard replication
+//! watermarks for an origin; `cluster_status` describes the topology
+//! and per-peer link health. Standalone servers reject none of these
+//! fields but treat every session as locally owned.
 //!
 //! Responses always carry `"ok"`: `{"ok":true, ...}` on success,
 //! `{"ok":false,"error":"..."}` on failure. The error never tears down
@@ -160,6 +180,9 @@ pub enum Request {
         shards: Option<usize>,
         /// Base RNG seed (server default when `None`).
         seed: Option<u64>,
+        /// Explicit session id (federation: the coordinator allocates a
+        /// cluster-unique id and replicates the create under it).
+        session: Option<u64>,
     },
     /// Ingest a batch of records.
     Submit {
@@ -175,6 +198,12 @@ pub enum Request {
         /// its accepted count into the connection's watermark instead
         /// (reported by `flush` or the next synchronous op).
         deferred: bool,
+        /// Federation: the forwarding node's peer index. Present (with
+        /// `seq`) only on batches replicated between nodes.
+        origin: Option<u64>,
+        /// Federation: the forwarder's per-session sequence number for
+        /// this batch, used for exactly-once dedup on retries.
+        seq: Option<u64>,
     },
     /// Report (and reset) the connection's deferred-submit watermark.
     Flush,
@@ -211,6 +240,25 @@ pub enum Request {
     CloseSession {
         /// Target session id.
         session: u64,
+        /// Federation: close only on the receiving node. Set on the
+        /// fanned-out form so peers do not re-federate the close.
+        local: bool,
+    },
+    /// Federation: topology and per-peer link health.
+    ClusterStatus,
+    /// Federation: a node's local merged partition counts for one
+    /// session (the reconstruct/stats fan-out primitive).
+    SyncSession {
+        /// Target session id.
+        session: u64,
+    },
+    /// Federation: per-shard replication watermarks for an origin node
+    /// (what a reconnecting forwarder uses to resend exactly the gap).
+    ReplStatus {
+        /// Target session id.
+        session: u64,
+        /// The forwarding node's peer index.
+        origin: u64,
     },
     /// Stop the server (used by tests and the load generator).
     Shutdown,
@@ -354,6 +402,7 @@ pub(crate) fn parse_create_session(v: &Value) -> Result<Request> {
             })?),
         },
         seed: optional_u64(v, "seed")?,
+        session: optional_u64(v, "session")?,
     })
 }
 
@@ -379,6 +428,13 @@ pub(crate) fn parse_submit(v: &Value, session: u64, allow_deferred: bool) -> Res
                 .into(),
         ));
     }
+    let origin = optional_u64(v, "origin")?;
+    let seq = optional_u64(v, "seq")?;
+    if origin.is_some() != seq.is_some() {
+        return Err(ServiceError::InvalidRequest(
+            "forwarded submits must carry both `origin` and `seq`".into(),
+        ));
+    }
     Ok(Request::Submit {
         session,
         records: parse_records(v)?,
@@ -390,6 +446,8 @@ pub(crate) fn parse_submit(v: &Value, session: u64, allow_deferred: bool) -> Res
             })?),
         },
         deferred,
+        origin,
+        seq,
     })
 }
 
@@ -512,6 +570,18 @@ pub fn parse_submit_line_fast(line: &str) -> Option<Request> {
         eat(b, &mut p, br#","ack":"sync""#);
         false
     };
+    // Forwarded federation batches append `,"origin":N,"seq":N` —
+    // canonical for the inter-node forwarder, which pipelines through
+    // this same fast path on the receiving peer.
+    let (origin, seq) = if eat(b, &mut p, br#","origin":"#) {
+        let origin = int(b, &mut p)?;
+        if !eat(b, &mut p, br#","seq":"#) {
+            return None;
+        }
+        (Some(origin), Some(int(b, &mut p)?))
+    } else {
+        (None, None)
+    };
     if !eat(b, &mut p, b"}") || p != b.len() {
         return None;
     }
@@ -521,6 +591,8 @@ pub fn parse_submit_line_fast(line: &str) -> Option<Request> {
         pre_perturbed,
         shard,
         deferred,
+        origin,
+        seq,
     })
 }
 
@@ -572,6 +644,15 @@ pub fn request_from_value(v: &Value) -> Result<Request> {
         }),
         "close_session" => Ok(Request::CloseSession {
             session: field_u64(v, "session")?,
+            local: optional_bool(v, "local", false)?,
+        }),
+        "cluster_status" => Ok(Request::ClusterStatus),
+        "sync_session" => Ok(Request::SyncSession {
+            session: field_u64(v, "session")?,
+        }),
+        "repl_status" => Ok(Request::ReplStatus {
+            session: field_u64(v, "session")?,
+            origin: field_u64(v, "origin")?,
         }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServiceError::InvalidRequest(format!(
@@ -739,35 +820,62 @@ pub fn write_flush_response(
 }
 
 /// Writes the response payload for a session-less `metrics` request:
-/// the server's per-transport counters, plus the reactor event-loop
-/// counters (all zero when the server runs thread-per-connection).
-pub fn write_transport_metrics_response(out: &mut String, report: &TransportReport) {
-    write_ok_response(
-        out,
-        vec![
-            (
-                "transport",
-                object(vec![
-                    ("tcp_connections", report.tcp_connections.into()),
-                    ("http_connections", report.http_connections.into()),
-                    ("tcp_requests", report.tcp_requests.into()),
-                    ("http_requests", report.http_requests.into()),
-                    ("deferred_batches", report.deferred_batches.into()),
-                    ("sheds", report.sheds.into()),
-                    ("accept_errors", report.accept_errors.into()),
-                ]),
-            ),
-            (
-                "reactor",
-                object(vec![
-                    ("registered_fds", report.reactor_registered_fds.into()),
-                    ("wakeups", report.reactor_wakeups.into()),
-                    ("partial_reads", report.reactor_partial_reads.into()),
-                    ("partial_writes", report.reactor_partial_writes.into()),
-                ]),
-            ),
-        ],
-    )
+/// the server's per-transport counters, the reactor event-loop
+/// counters (all zero when the server runs thread-per-connection),
+/// and — on a federated server — the per-peer replication counters.
+pub fn write_transport_metrics_response(
+    out: &mut String,
+    report: &TransportReport,
+    federation: Option<&[crate::metrics::PeerReplReport]>,
+) {
+    let mut pairs = vec![
+        (
+            "transport",
+            object(vec![
+                ("tcp_connections", report.tcp_connections.into()),
+                ("http_connections", report.http_connections.into()),
+                ("tcp_requests", report.tcp_requests.into()),
+                ("http_requests", report.http_requests.into()),
+                ("deferred_batches", report.deferred_batches.into()),
+                ("sheds", report.sheds.into()),
+                ("accept_errors", report.accept_errors.into()),
+            ]),
+        ),
+        (
+            "reactor",
+            object(vec![
+                ("registered_fds", report.reactor_registered_fds.into()),
+                ("wakeups", report.reactor_wakeups.into()),
+                ("partial_reads", report.reactor_partial_reads.into()),
+                ("partial_writes", report.reactor_partial_writes.into()),
+            ]),
+        ),
+    ];
+    if let Some(peers) = federation {
+        pairs.push((
+            "federation",
+            object(vec![(
+                "peers",
+                Value::Array(
+                    peers
+                        .iter()
+                        .map(|p| {
+                            object(vec![
+                                ("node", p.node.into()),
+                                ("addr", p.addr.as_str().into()),
+                                ("forwarded_batches", p.forwarded_batches.into()),
+                                ("forwarded_records", p.forwarded_records.into()),
+                                ("acked_records", p.acked_records.into()),
+                                ("retries", p.retries.into()),
+                                ("peer_down", p.peer_down.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]),
+        ));
+    }
+    write_ok_response(out, pairs)
 }
 
 /// Response payload for a successful `list_sessions`: the bare id array
@@ -836,8 +944,21 @@ mod tests {
                 mechanism: Mechanism::Deterministic { gamma: 19.0 },
                 shards: Some(4),
                 seed: Some(7),
+                session: None,
             }
         );
+        // The federated replica form carries an explicit id.
+        let req = parse_request(
+            r#"{"op":"create_session","schema":[["a",3]],"gamma":19.0,"session":42}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::CreateSession {
+                session: Some(42),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -887,6 +1008,60 @@ mod tests {
                 pre_perturbed: false,
                 shard: None,
                 deferred: false,
+                origin: None,
+                seq: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_federation_ops_and_forwarded_submits() {
+        let req =
+            parse_request(r#"{"op":"submit","session":3,"records":[[0,1]],"origin":2,"seq":17}"#)
+                .unwrap();
+        assert!(matches!(
+            req,
+            Request::Submit {
+                origin: Some(2),
+                seq: Some(17),
+                ..
+            }
+        ));
+        // origin and seq travel together or not at all.
+        assert!(
+            parse_request(r#"{"op":"submit","session":3,"records":[[0]],"origin":2}"#).is_err()
+        );
+        assert!(parse_request(r#"{"op":"submit","session":3,"records":[[0]],"seq":5}"#).is_err());
+
+        assert_eq!(
+            parse_request(r#"{"op":"cluster_status"}"#).unwrap(),
+            Request::ClusterStatus
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"sync_session","session":4}"#).unwrap(),
+            Request::SyncSession { session: 4 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"repl_status","session":4,"origin":1}"#).unwrap(),
+            Request::ReplStatus {
+                session: 4,
+                origin: 1
+            }
+        );
+        assert!(parse_request(r#"{"op":"repl_status","session":4}"#).is_err());
+
+        assert_eq!(
+            parse_request(r#"{"op":"close_session","session":4,"local":true}"#).unwrap(),
+            Request::CloseSession {
+                session: 4,
+                local: true
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"close_session","session":4}"#).unwrap(),
+            Request::CloseSession {
+                session: 4,
+                local: false
             }
         );
     }
@@ -926,6 +1101,8 @@ mod tests {
             r#"{"op":"submit","session":3,"records":[[1,2,3]],"pre_perturbed":false,"ack":"deferred"}"#,
             r#"{"op":"submit","session":3,"records":[[1]],"pre_perturbed":false,"ack":"sync"}"#,
             r#"{"op":"submit","session":9,"records":[[4294967295]],"pre_perturbed":true,"shard":0,"ack":"deferred"}"#,
+            r#"{"op":"submit","session":3,"records":[[0,1]],"pre_perturbed":true,"ack":"deferred","origin":2,"seq":9}"#,
+            r#"{"op":"submit","session":3,"records":[[0,1]],"pre_perturbed":true,"origin":0,"seq":1}"#,
         ] {
             let fast = parse_submit_line_fast(line)
                 .unwrap_or_else(|| panic!("fast path must accept {line}"));
@@ -1011,7 +1188,7 @@ mod tests {
             sheds: 1,
             ..TransportReport::default()
         };
-        write_transport_metrics_response(&mut out, &report);
+        write_transport_metrics_response(&mut out, &report, None);
         let v = crate::json::parse(&out).unwrap();
         let t = v.get("transport").unwrap();
         assert_eq!(t.get("tcp_requests").and_then(Value::as_u64), Some(5));
@@ -1022,6 +1199,33 @@ mod tests {
         let r = v.get("reactor").unwrap();
         assert_eq!(r.get("registered_fds").and_then(Value::as_u64), Some(0));
         assert_eq!(r.get("wakeups").and_then(Value::as_u64), Some(0));
+        // Non-federated servers omit the federation section entirely.
+        assert!(v.get("federation").is_none());
+
+        out.clear();
+        let peer = crate::metrics::PeerReplReport {
+            node: 1,
+            addr: "127.0.0.1:7001".to_owned(),
+            forwarded_batches: 4,
+            forwarded_records: 40,
+            acked_records: 40,
+            retries: 2,
+            peer_down: 1,
+        };
+        write_transport_metrics_response(&mut out, &report, Some(std::slice::from_ref(&peer)));
+        let v = crate::json::parse(&out).unwrap();
+        let peers = v
+            .get("federation")
+            .and_then(|f| f.get("peers"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].get("node").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            peers[0].get("forwarded_records").and_then(Value::as_u64),
+            Some(40)
+        );
+        assert_eq!(peers[0].get("peer_down").and_then(Value::as_u64), Some(1));
     }
 
     #[test]

@@ -995,6 +995,7 @@ fn process_line_frame(
         &shared.registry,
         &shared.config,
         &shared.transport,
+        shared.fed.as_deref(),
         state,
         trimmed,
         &mut conn.response,

@@ -39,6 +39,10 @@ pub(crate) struct Shared {
     pub(crate) config: ServiceConfig,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) transport: Arc<TransportMetrics>,
+    /// The federation layer — `Some` when the config names peers.
+    /// Shared by every transport so they all route through the same
+    /// replication links and sequence counters.
+    pub(crate) fed: Option<Arc<crate::fed::FedState>>,
     live_connections: Arc<AtomicUsize>,
 }
 
@@ -198,6 +202,7 @@ impl Server {
                 }
             }
         }
+        let fed = crate::fed::FedState::from_config(&config)?;
         Ok(Server {
             listener,
             http_listener,
@@ -206,6 +211,7 @@ impl Server {
                 config,
                 shutdown: Arc::new(AtomicBool::new(false)),
                 transport: Arc::new(TransportMetrics::new()),
+                fed,
                 live_connections: Arc::new(AtomicUsize::new(0)),
             }),
         })
@@ -480,6 +486,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr
             &shared.registry,
             &shared.config,
             &shared.transport,
+            shared.fed.as_deref(),
             &mut state,
             trimmed,
             &mut response,
@@ -729,6 +736,7 @@ mod tests {
             },
             shutdown: Arc::new(AtomicBool::new(false)),
             transport: Arc::new(TransportMetrics::new()),
+            fed: None,
             live_connections: Arc::new(AtomicUsize::new(0)),
         };
         let a = shared.try_admit().expect("first connection fits");

@@ -130,6 +130,10 @@ pub struct ShardDump {
     pub rng_state: Option<[u64; 4]>,
     /// The shard's count vector, one entry per domain cell.
     pub counts: Vec<f64>,
+    /// Replication watermarks `(origin node, last applied seq)` —
+    /// persisted with the counts so recovered dedup state always
+    /// matches recovered counts. Empty for pre-federation snapshots.
+    pub repl: Vec<(u64, u64)>,
 }
 
 /// A one-line summary of a live session, for `list_sessions`.
@@ -272,7 +276,10 @@ impl CollectionSession {
                         Shard::recover(schema.clone(), seed, i, d.counts, d.ingested, d.rng_draws)
                     }
                 }
-                .map(Mutex::new)
+                .map(|mut shard| {
+                    shard.set_repl_watermarks(d.repl);
+                    Mutex::new(shard)
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         let session = Self::assemble(
@@ -550,6 +557,42 @@ impl CollectionSession {
         records: impl IntoIterator<Item = &'a [u32]>,
         pre_perturbed: bool,
     ) -> Result<()> {
+        self.submit_slices_guarded(shard_index, records, pre_perturbed, None)
+            .map(|_| ())
+    }
+
+    /// Ingests a batch forwarded by federation peer `origin` with
+    /// forwarder-assigned sequence number `seq`. Returns `Ok(false)` —
+    /// counting nothing — when the batch was already applied, so a
+    /// forwarder retry after a dropped connection or a peer restart can
+    /// never double-count.
+    ///
+    /// Routing is deterministic (`shard = seq % num_shards`) rather
+    /// than round-robin: a retried batch must land on the shard whose
+    /// watermark saw the original delivery, otherwise dedup state and
+    /// counts could disagree.
+    pub fn submit_slices_repl<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a [u32]>,
+        pre_perturbed: bool,
+        origin: u64,
+        seq: u64,
+    ) -> Result<bool> {
+        let shard_index = (seq % self.shards.len() as u64) as usize;
+        self.submit_slices_guarded(shard_index, records, pre_perturbed, Some((origin, seq)))
+    }
+
+    /// The shared ingest tail. With `repl = Some((origin, seq))` the
+    /// shard's replication watermark is claimed in the same critical
+    /// section as the ingest; `Ok(false)` reports a duplicate that was
+    /// skipped (and acked upstream).
+    fn submit_slices_guarded<'a>(
+        &self,
+        shard_index: usize,
+        records: impl IntoIterator<Item = &'a [u32]>,
+        pre_perturbed: bool,
+        repl: Option<(u64, u64)>,
+    ) -> Result<bool> {
         let started = Instant::now();
         if shard_index >= self.shards.len() {
             return Err(ServiceError::InvalidRequest(format!(
@@ -582,6 +625,15 @@ impl CollectionSession {
         if self.is_retired() {
             return Err(ServiceError::UnknownSession(self.id));
         }
+        if let Some((origin, seq)) = repl {
+            // Claimed under the same lock the ingest holds, so the
+            // watermark can never say "applied" for counts that are not
+            // there (or vice versa) — including across a crash, because
+            // persistence dumps both under this lock too.
+            if !shard.repl_claim(origin, seq) {
+                return Ok(false);
+            }
+        }
         if pre_perturbed {
             shard.ingest_perturbed_indices(&indices);
         } else {
@@ -595,8 +647,24 @@ impl CollectionSession {
                 accepted,
                 source: Box::new(source),
             }),
-            None => Ok(()),
+            None => Ok(true),
         }
+    }
+
+    /// Per-shard replication watermarks for `origin`: entry `s` is the
+    /// highest forwarded seq shard `s` has applied from that node (0 =
+    /// none). A reconnecting forwarder resends exactly the batches with
+    /// `seq > marks[seq % num_shards]`.
+    pub fn repl_status(&self, origin: u64) -> Vec<u64> {
+        (0..self.shards.len())
+            .map(|index| {
+                self.lock_shard(index)
+                    .repl_watermarks()
+                    .get(&origin)
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .collect()
     }
 
     /// Merges all shard counts into one snapshot accumulator.
@@ -622,6 +690,11 @@ impl CollectionSession {
                     rng_draws: shard.rng_draws(),
                     rng_state: Some(shard.rng_state()),
                     counts: shard.counts().to_vec(),
+                    repl: shard
+                        .repl_watermarks()
+                        .iter()
+                        .map(|(&o, &s)| (o, s))
+                        .collect(),
                 }
             })
             .collect()
@@ -645,6 +718,11 @@ impl CollectionSession {
                 rng_draws: shard.rng_draws(),
                 rng_state: Some(shard.rng_state()),
                 counts: shard.counts().to_vec(),
+                repl: shard
+                    .repl_watermarks()
+                    .iter()
+                    .map(|(&o, &s)| (o, s))
+                    .collect(),
             });
             if let Some(delta) = shard.take_delta(index) {
                 drained.push(delta);
@@ -718,8 +796,27 @@ impl CollectionSession {
     /// counts. `clamp` applies [`clamp_counts`] (non-negativity +
     /// rescale to `N`) to the estimates.
     pub fn reconstruct(&self, method: ReconstructionMethod, clamp: bool) -> Result<Reconstruction> {
+        self.reconstruct_counts(self.snapshot(), method, clamp)
+    }
+
+    /// Answers a reconstruction query over an explicitly supplied
+    /// perturbed-count snapshot — the federation coordinator's path: it
+    /// merges the owners' disjoint partitions into one accumulator and
+    /// solves *once* here, reusing this session's cached LU
+    /// factorization instead of solving per peer. The snapshot must be
+    /// over this session's schema.
+    pub fn reconstruct_counts(
+        &self,
+        snapshot: CountAccumulator,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> Result<Reconstruction> {
+        if snapshot.schema() != &self.schema {
+            return Err(ServiceError::InvalidRequest(
+                "count snapshot schema does not match the session schema".into(),
+            ));
+        }
         let started = Instant::now();
-        let snapshot = self.snapshot();
         let n = snapshot.n();
         let counts = snapshot.into_counts();
         let (mut estimates, lu_cache_hit) = match method {
@@ -893,6 +990,25 @@ impl SessionRegistry {
         max_dense_domain: usize,
     ) -> Result<Created> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.create_deferred_with_id(id, schema, mechanism, num_shards, seed, max_dense_domain)
+    }
+
+    /// [`Self::create_deferred`] with a caller-chosen session id — the
+    /// federation path, where ids must be cluster-unique and identical
+    /// on every owner node, so the coordinator allocates from its
+    /// residue class and replicates the id explicitly. Fails if the id
+    /// is already live; later auto-allocated ids are bumped past it.
+    pub fn create_deferred_with_id(
+        &self,
+        id: u64,
+        schema: Schema,
+        mechanism: Mechanism,
+        num_shards: usize,
+        seed: u64,
+        max_dense_domain: usize,
+    ) -> Result<Created> {
+        self.next_id
+            .fetch_max(id.saturating_add(1), Ordering::Relaxed);
         let session = Arc::new(CollectionSession::new(
             id,
             schema,
@@ -903,6 +1019,11 @@ impl SessionRegistry {
         )?);
         session.touch(self.tick());
         let mut map = self.write_map();
+        if map.contains_key(&id) {
+            return Err(ServiceError::InvalidRequest(format!(
+                "session {id} already exists"
+            )));
+        }
         let mut evicted = Vec::new();
         // Retired sessions are evictions already in flight (another
         // create's spill); count only settled sessions against the cap
@@ -1433,6 +1554,109 @@ mod tests {
         // the valid records once.
         s.submit_batch_to_shard(0, &[vec![2, 0]], true).unwrap();
         assert_eq!(s.stats().total, 3);
+    }
+
+    #[test]
+    fn replicated_submits_dedup_and_survive_dump_recover() {
+        let s = session(3);
+        let batch: Vec<Vec<u32>> = vec![vec![1, 1], vec![2, 0]];
+        let refs: Vec<&[u32]> = batch.iter().map(Vec::as_slice).collect();
+        assert!(s
+            .submit_slices_repl(refs.iter().copied(), true, 7, 1)
+            .unwrap());
+        assert!(
+            !s.submit_slices_repl(refs.iter().copied(), true, 7, 1)
+                .unwrap(),
+            "retry of the same (origin, seq) is skipped"
+        );
+        assert!(s
+            .submit_slices_repl(refs.iter().copied(), true, 7, 2)
+            .unwrap());
+        assert_eq!(s.stats().total, 4, "two applied batches, one skipped");
+
+        // seq routes deterministically: seq 1 -> shard 1, seq 2 -> shard 2.
+        assert_eq!(s.repl_status(7), vec![0, 1, 2]);
+        assert_eq!(s.repl_status(99), vec![0, 0, 0]);
+
+        // Watermarks ride through dump/recover, so a forwarder retry
+        // after the peer restarts is still rejected.
+        let recovered = CollectionSession::recover(
+            s.id(),
+            schema(),
+            s.mechanism(),
+            s.seed(),
+            4096,
+            s.dump_shards(),
+        )
+        .unwrap();
+        assert!(!recovered
+            .submit_slices_repl(refs.iter().copied(), true, 7, 2)
+            .unwrap());
+        assert!(recovered
+            .submit_slices_repl(refs.iter().copied(), true, 7, 5)
+            .unwrap());
+        assert_eq!(recovered.stats().total, 6);
+    }
+
+    #[test]
+    fn merged_partition_reconstruction_matches_single_session() {
+        // Two "owner" sessions holding disjoint partitions of a stream
+        // reconstruct — after a coordinator-side merge — to exactly the
+        // single-session estimates: the federated solve-once path.
+        let whole = session(2);
+        let left = session(2);
+        let right = session(2);
+        let records: Vec<Vec<u32>> = (0..1000).map(|i| vec![i % 3, i % 2]).collect();
+        for (i, r) in records.iter().enumerate() {
+            whole.submit_batch(std::slice::from_ref(r), true).unwrap();
+            let owner = if i % 2 == 0 { &left } else { &right };
+            owner.submit_batch(std::slice::from_ref(r), true).unwrap();
+        }
+        let mut merged = left.snapshot();
+        merged.merge_checked(&right.snapshot()).unwrap();
+        let fed = whole
+            .reconstruct_counts(merged, ReconstructionMethod::CachedLu, false)
+            .unwrap();
+        let single = whole
+            .reconstruct(ReconstructionMethod::CachedLu, false)
+            .unwrap();
+        assert_eq!(fed.n, 1000);
+        assert_eq!(fed.estimates, single.estimates, "bitwise identical");
+
+        // Schema mismatch is refused.
+        let alien = CountAccumulator::new(Schema::new(vec![("z", 4)]).unwrap());
+        assert!(whole
+            .reconstruct_counts(alien, ReconstructionMethod::ClosedForm, false)
+            .is_err());
+    }
+
+    #[test]
+    fn explicit_id_creation_reserves_and_refuses_duplicates() {
+        let reg = SessionRegistry::new();
+        let fed = reg
+            .create_deferred_with_id(
+                42,
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .unwrap()
+            .session;
+        assert_eq!(fed.id(), 42);
+        assert!(reg
+            .create_deferred_with_id(
+                42,
+                schema(),
+                Mechanism::Deterministic { gamma: 19.0 },
+                1,
+                7,
+                4096,
+            )
+            .is_err());
+        // Auto-allocated ids continue past the explicit one.
+        assert_eq!(create_in(&reg, 19.0).session.id(), 43);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use frapp_core::perturb::Perturber;
 use frapp_core::{CountAccumulator, Schema};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Multiplier mixing a shard index into the session seed (SplitMix64's
 /// golden-ratio increment). Kept stable and public-in-effect: tests and
@@ -106,6 +107,11 @@ pub struct ShardDelta {
     /// `(cell, increment)` pairs, ascending by cell; only cells touched
     /// since the last flush appear.
     pub cells: Vec<(usize, u64)>,
+    /// Full replication-watermark map `(origin, last applied seq)` at
+    /// the moment the delta was taken. Carried whole (it is at most one
+    /// entry per federation peer) so a recovered shard's dedup state is
+    /// always consistent with its recovered counts.
+    pub repl: Vec<(u64, u64)>,
 }
 
 /// One ingest shard: a count accumulator, its private RNG, and (when
@@ -127,6 +133,13 @@ pub struct Shard {
     delta: Vec<u64>,
     /// Whether any record has been counted since the last flush.
     dirty: bool,
+    /// Replication watermarks: for each federation origin node that has
+    /// forwarded batches into this shard, the highest contiguously
+    /// applied sequence number. Advanced under the shard lock in the
+    /// same critical section as the counts and persisted alongside
+    /// them, so a batch retried after a crash or reconnect is detected
+    /// as a duplicate exactly when its counts survived.
+    repl: BTreeMap<u64, u64>,
 }
 
 impl Shard {
@@ -139,6 +152,7 @@ impl Shard {
             ingested: 0,
             delta: Vec::new(),
             dirty: false,
+            repl: BTreeMap::new(),
         }
     }
 
@@ -165,6 +179,7 @@ impl Shard {
             ingested,
             delta: Vec::new(),
             dirty: false,
+            repl: BTreeMap::new(),
         })
     }
 
@@ -224,6 +239,34 @@ impl Shard {
         self.dirty
     }
 
+    /// The replication watermarks: `origin node -> last applied seq`.
+    pub fn repl_watermarks(&self) -> &BTreeMap<u64, u64> {
+        &self.repl
+    }
+
+    /// Restores replication watermarks from persisted state (recovery
+    /// only — later entries win, matching delta-replay order).
+    pub fn set_repl_watermarks(&mut self, marks: impl IntoIterator<Item = (u64, u64)>) {
+        for (origin, seq) in marks {
+            self.repl.insert(origin, seq);
+        }
+    }
+
+    /// Claims a forwarded batch `(origin, seq)` for application.
+    /// Returns `false` — and changes nothing — when the batch was
+    /// already applied (`seq` at or below the origin's watermark), so a
+    /// forwarder retrying after a dropped connection can never
+    /// double-count. Must be called under the shard lock in the same
+    /// critical section as the ingest it guards.
+    pub fn repl_claim(&mut self, origin: u64, seq: u64) -> bool {
+        let mark = self.repl.entry(origin).or_insert(0);
+        if seq <= *mark {
+            return false;
+        }
+        *mark = seq;
+        true
+    }
+
     /// Whether per-cell delta tracking is active (it is enabled by the
     /// first full snapshot that establishes a base to be relative to).
     pub fn is_delta_tracking(&self) -> bool {
@@ -268,6 +311,7 @@ impl Shard {
             rng_draws: self.rng.draws,
             rng_state: self.rng_state(),
             cells,
+            repl: self.repl.iter().map(|(&o, &s)| (o, s)).collect(),
         })
     }
 
@@ -519,6 +563,30 @@ mod tests {
         let delta = shard.take_delta(0).unwrap();
         assert_eq!(delta.cells, vec![(0, 1)]);
         assert_eq!(delta.ingested, 2, "absolute position, not delta-relative");
+    }
+
+    #[test]
+    fn repl_claims_are_exactly_once_and_survive_delta_flushes() {
+        let mut shard = Shard::new(schema(), 0, 0);
+        assert!(shard.repl_claim(3, 1), "first delivery applies");
+        assert!(!shard.repl_claim(3, 1), "retry of the same seq is a no-op");
+        assert!(shard.repl_claim(3, 2));
+        assert!(!shard.repl_claim(3, 2));
+        assert!(shard.repl_claim(9, 1), "watermarks are per origin");
+        assert_eq!(shard.repl_watermarks().get(&3), Some(&2));
+
+        // The watermark map rides along with every delta so persisted
+        // dedup state always matches persisted counts.
+        shard.enable_delta_tracking();
+        shard.ingest_perturbed(&[0, 0]).unwrap();
+        let delta = shard.take_delta(0).unwrap();
+        assert_eq!(delta.repl, vec![(3, 2), (9, 1)]);
+
+        // Recovery restores the marks; stale retries stay rejected.
+        let mut recovered = Shard::new(schema(), 0, 0);
+        recovered.set_repl_watermarks(delta.repl.clone());
+        assert!(!recovered.repl_claim(3, 2));
+        assert!(recovered.repl_claim(3, 3));
     }
 
     #[test]
