@@ -1,0 +1,404 @@
+//! A hand-rolled Rust lexer, just deep enough for rule extraction.
+//!
+//! The analyzer deliberately avoids external parser crates (the
+//! workspace builds offline), so this module tokenizes Rust source the
+//! simple way: identifiers, numbers, string/char literals (including
+//! raw and byte strings), lifetimes and single-character punctuation,
+//! each stamped with its 1-based source line. Comments are skipped —
+//! except that `// analyze: allow(<rule>): <reason>` comments are
+//! captured as inline waivers bound to the line of code they annotate.
+
+/// What a token is. Punctuation keeps its character so downstream
+/// pattern matching (`.`, `(`, `[`, `=>`, `::`) can work on adjacent
+/// tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal (normal, raw, byte or byte-raw). `text` holds
+    /// the *unquoted* content for normal strings and the raw content
+    /// for raw strings (escapes are not processed).
+    Str,
+    /// Character literal.
+    Char,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (unquoted for `Str`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// An inline waiver comment: `// analyze: allow(<rule>): <reason>`.
+///
+/// `line` is the line the waiver *applies to*: the comment's own line
+/// when code shares it, otherwise the next line that carries a token.
+#[derive(Debug, Clone)]
+pub struct InlineWaiver {
+    /// The waived rule name (`panic_path`, `lock_order`, ...) or `*`.
+    pub rule: String,
+    /// The justification text after the rule.
+    pub reason: String,
+    /// The source line the waiver covers.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Inline waivers, already resolved to the lines they cover.
+    pub waivers: Vec<InlineWaiver>,
+}
+
+/// Tokenizes `src`, capturing inline waiver comments along the way.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    // (comment line, rule, reason) — resolved to target lines below.
+    let mut raw_waivers: Vec<(u32, String, String)> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                if let Some((rule, reason)) = parse_waiver(comment) {
+                    raw_waivers.push((line, rule, reason));
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let next = bytes.get(i + 1).copied().map(|b| b as char);
+                let after = bytes.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_owned(),
+                        line,
+                    });
+                } else {
+                    // Char literal: consume to the closing quote,
+                    // honoring a single escape.
+                    let start = i;
+                    i += 1;
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: src[start..i.min(src.len())].to_owned(),
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                let (text, newlines, end) = lex_string(src, i);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw/byte string prefixes: r"", r#""#, b"", br#""#.
+                let next = bytes.get(i).copied();
+                if matches!(ident, "r" | "b" | "br")
+                    && (next == Some(b'"') || (ident != "b" && next == Some(b'#')))
+                {
+                    let (text, newlines, end) = if ident == "b" {
+                        lex_string(src, i)
+                    } else {
+                        lex_raw_string(src, i)
+                    };
+                    tokens.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    line += newlines;
+                    i = end;
+                } else {
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: ident.to_owned(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else if b == '.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| (*n as char).is_ascii_digit())
+                        && !src[start..i].contains('.')
+                    {
+                        i += 1; // fractional part; `0..n` stays a range
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokKind::Punct(c),
+                    text: c.to_string(),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    // Resolve each waiver comment to the line it covers: its own line
+    // when code shares it, otherwise the next line holding a token.
+    let waivers = raw_waivers
+        .into_iter()
+        .map(|(cline, rule, reason)| {
+            let line = if tokens.iter().any(|t| t.line == cline) {
+                cline
+            } else {
+                tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .filter(|&l| l > cline)
+                    .min()
+                    .unwrap_or(cline)
+            };
+            InlineWaiver { rule, reason, line }
+        })
+        .collect();
+    Lexed { tokens, waivers }
+}
+
+/// Lexes a normal (escaped) string starting at the opening quote,
+/// returning `(content, newlines consumed, index past the close)`.
+fn lex_string(src: &str, open: usize) -> (String, u32, usize) {
+    let bytes = src.as_bytes();
+    let mut i = open + 1;
+    let start = i;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => break,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let content = src[start..i.min(src.len())].to_owned();
+    ((content), newlines, (i + 1).min(bytes.len()))
+}
+
+/// Lexes a raw string (`r"…"`, `r#"…"#`, `br##"…"##`) starting at the
+/// first `#` or quote, returning `(content, newlines, end index)`.
+fn lex_raw_string(src: &str, mut i: usize) -> (String, u32, usize) {
+    let bytes = src.as_bytes();
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let start = i;
+    let closer: String = std::iter::once('"')
+        .chain("#".repeat(hashes).chars())
+        .collect();
+    let end = src[start..]
+        .find(&closer)
+        .map(|p| start + p)
+        .unwrap_or(src.len());
+    let newlines = src[start..end].matches('\n').count() as u32;
+    (src[start..end].to_owned(), newlines, end + closer.len())
+}
+
+/// Recognizes `analyze: allow(<rule>): <reason>` inside a comment.
+fn parse_waiver(comment: &str) -> Option<(String, String)> {
+    let at = comment.find("analyze: allow(")?;
+    let rest = &comment[at + "analyze: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_owned();
+    let reason = rest[close + 1..].trim_start_matches(':').trim().to_owned();
+    Some((rule, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_strings_and_tracks_lines() {
+        let lexed = lex("fn a() {\n  let s = \"x\\\"y\"; // hi\n}\n");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "a", "let", "s"]);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .unwrap();
+        assert_eq!(s.text, "x\\\"y");
+        assert_eq!(s.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_do_not_confuse_the_lexer() {
+        let lexed = lex("let r = r#\"a \"quoted\" b\"#; fn f<'a>(x: &'a str) {}");
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .unwrap();
+        assert_eq!(s.text, "a \"quoted\" b");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let lexed = lex("let c = 'x'; let n = '\\n'; let l: &'static str = s;");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            2
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn waivers_bind_to_the_annotated_line() {
+        let src = "\
+let a = x.unwrap(); // analyze: allow(panic_path): same line
+// analyze: allow(lock_order): next line
+let b = y.lock();
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.waivers.len(), 2);
+        assert_eq!(lexed.waivers[0].rule, "panic_path");
+        assert_eq!(lexed.waivers[0].line, 1);
+        assert_eq!(lexed.waivers[1].rule, "lock_order");
+        assert_eq!(lexed.waivers[1].line, 3);
+        assert_eq!(lexed.waivers[1].reason, "next line");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let lexed = lex("for i in 0..10 { let f = 1.5; }");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5"]);
+    }
+}

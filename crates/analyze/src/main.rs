@@ -1,0 +1,60 @@
+//! CLI entry point for the analysis gate.
+//!
+//! ```text
+//! frapp-analyze [--root PATH] [--waivers PATH] [--json]
+//! ```
+//!
+//! Exit status: 0 when the gate is clean, 1 on unwaived findings,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut waivers: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a path"),
+            },
+            "--waivers" => match args.next() {
+                Some(v) => waivers = Some(PathBuf::from(v)),
+                None => return usage("--waivers requires a path"),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: frapp-analyze [--root PATH] [--waivers PATH] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    match frapp_analyze::analyze(&root, waivers.as_deref()) {
+        Ok(analysis) => {
+            if json {
+                println!("{}", analysis.to_json());
+            } else {
+                print!("{}", analysis.to_text());
+            }
+            if analysis.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("frapp-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("frapp-analyze: {msg}\nusage: frapp-analyze [--root PATH] [--waivers PATH] [--json]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,7 @@
+//! The four rule families of the analysis gate.
+
+pub mod blocking;
+pub mod common;
+pub mod lock_order;
+pub mod panic_path;
+pub mod spec_drift;

@@ -1,0 +1,463 @@
+//! Spec-drift analysis: extracts the protocol surface from the code
+//! (op-dispatch match in `protocol.rs`, route table in `http.rs`,
+//! metrics keys in the transport-metrics writer) and the documented
+//! surface from `docs/PROTOCOL.md` (op headings, the route table,
+//! metrics example blocks), then fails on divergence in *either*
+//! direction: an implemented-but-undocumented op is as much drift as a
+//! documented-but-removed one.
+//!
+//! Route parameters are canonicalized to `{}` on both sides so the doc
+//! can name them (`{sid}`) while the code binds them to identifiers.
+
+use crate::lexer::{TokKind, Token};
+use crate::model::{SourceFile, Workspace};
+use crate::report::Finding;
+use std::collections::BTreeSet;
+
+/// Runs the rule. `doc` is `(root-relative path, contents)` of the
+/// protocol spec; when it or a code anchor is missing the affected
+/// sub-check is skipped (fixture workspaces are not full services).
+pub fn run(ws: &Workspace, doc: Option<(&str, &str)>) -> Vec<Finding> {
+    let Some((doc_rel, doc_text)) = doc else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+
+    if let Some((file, ops)) = code_ops(ws) {
+        diff(
+            &mut findings,
+            "op",
+            &ops,
+            &doc_ops(doc_text),
+            &file.rel,
+            doc_rel,
+        );
+    }
+    if let Some((file, routes)) = code_routes(ws) {
+        diff(
+            &mut findings,
+            "route",
+            &routes,
+            &doc_routes(doc_text),
+            &file.rel,
+            doc_rel,
+        );
+    }
+    if let Some((file, keys)) = code_metrics(ws) {
+        diff(
+            &mut findings,
+            "metrics key",
+            &keys,
+            &doc_metrics(doc_text),
+            &file.rel,
+            doc_rel,
+        );
+    }
+    findings
+}
+
+fn diff(
+    findings: &mut Vec<Finding>,
+    what: &str,
+    code: &BTreeSet<String>,
+    doc: &BTreeSet<String>,
+    code_rel: &str,
+    doc_rel: &str,
+) {
+    for item in code.difference(doc) {
+        findings.push(Finding {
+            rule: "spec_drift",
+            file: doc_rel.to_owned(),
+            line: 0,
+            function: String::new(),
+            message: format!("{what} `{item}` is implemented in {code_rel} but not documented"),
+            waived_by: None,
+        });
+    }
+    for item in doc.difference(code) {
+        findings.push(Finding {
+            rule: "spec_drift",
+            file: code_rel.to_owned(),
+            line: 0,
+            function: String::new(),
+            message: format!("{what} `{item}` is documented in {doc_rel} but not implemented"),
+            waived_by: None,
+        });
+    }
+}
+
+// ---- code side -------------------------------------------------------
+
+fn find_fn<'a>(
+    ws: &'a Workspace,
+    file_suffix: &str,
+    name: &str,
+) -> Option<(&'a SourceFile, usize)> {
+    for file in &ws.files {
+        if !file.rel.ends_with(file_suffix) {
+            continue;
+        }
+        if let Some(di) = file
+            .fns
+            .iter()
+            .position(|f| f.name == name && !f.is_test && f.body.is_some())
+        {
+            return Some((file, di));
+        }
+    }
+    None
+}
+
+/// Op names from the `match` over `op` inside `request_from_value`.
+fn code_ops(ws: &Workspace) -> Option<(&SourceFile, BTreeSet<String>)> {
+    let (file, di) = find_fn(ws, "protocol.rs", "request_from_value")?;
+    let (start, end) = file.fns[di].body?;
+    let toks = &file.tokens;
+    let mut ops = BTreeSet::new();
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        if toks[i].is_ident("match") {
+            // Scrutinee: tokens up to the match `{`.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let scrutinee_has_op = toks[i + 1..j].iter().any(|t| t.is_ident("op"));
+            if scrutinee_has_op && j < toks.len() {
+                let close = crate::model::matching_brace(toks, j);
+                for k in j..close {
+                    if toks[k].kind == TokKind::Str && arm_pattern_position(toks, k) {
+                        ops.insert(toks[k].text.clone());
+                    }
+                }
+                i = close;
+            }
+        }
+        i += 1;
+    }
+    Some((file, ops))
+}
+
+/// Whether the string token at `k` sits in match-arm pattern position:
+/// followed by `=>` or `|`.
+fn arm_pattern_position(toks: &[Token], k: usize) -> bool {
+    match toks.get(k + 1) {
+        Some(t) if t.is_punct('|') => true,
+        Some(t) if t.is_punct('=') => toks.get(k + 2).is_some_and(|t| t.is_punct('>')),
+        _ => false,
+    }
+}
+
+/// Canonical `METHOD /seg/{}` routes from the tuple patterns in
+/// `http.rs::route`.
+fn code_routes(ws: &Workspace) -> Option<(&SourceFile, BTreeSet<String>)> {
+    let (file, di) = find_fn(ws, "http.rs", "route")?;
+    let (start, end) = file.fns[di].body?;
+    let toks = &file.tokens;
+    let mut routes = BTreeSet::new();
+    for i in start..end.min(toks.len()) {
+        // `(` STR `,` `[` ... `]` `)` then `=>` or `|`
+        if !toks[i].is_punct('(')
+            || !toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Str)
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(','))
+            || !toks.get(i + 3).is_some_and(|t| t.is_punct('['))
+        {
+            continue;
+        }
+        let mut j = i + 4;
+        let mut depth = 1i32;
+        let open = j;
+        while j < toks.len() && depth > 0 {
+            match toks[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let close = j - 1; // index of `]`
+        if !toks.get(j).is_some_and(|t| t.is_punct(')')) {
+            continue;
+        }
+        let after = j + 1;
+        let is_arm = match toks.get(after) {
+            Some(t) if t.is_punct('|') => true,
+            Some(t) if t.is_punct('=') => toks.get(after + 1).is_some_and(|t| t.is_punct('>')),
+            _ => false,
+        };
+        if !is_arm {
+            continue;
+        }
+        // Split the slice pattern into comma-separated segments.
+        let mut segs: Vec<String> = Vec::new();
+        let mut cur: Vec<&Token> = Vec::new();
+        let mut d = 0i32;
+        for t in &toks[open..close] {
+            match t.kind {
+                TokKind::Punct('[') | TokKind::Punct('(') => d += 1,
+                TokKind::Punct(']') | TokKind::Punct(')') => d -= 1,
+                TokKind::Punct(',') if d == 0 => {
+                    segs.push(render_seg(&cur));
+                    cur.clear();
+                    continue;
+                }
+                _ => {}
+            }
+            cur.push(t);
+        }
+        if !cur.is_empty() {
+            segs.push(render_seg(&cur));
+        }
+        routes.insert(format!(
+            "{} /{}",
+            toks[i + 1].text.to_uppercase(),
+            segs.join("/")
+        ));
+    }
+    Some((file, routes))
+}
+
+fn render_seg(toks: &[&Token]) -> String {
+    match toks.iter().find(|t| t.kind == TokKind::Str) {
+        Some(s) => s.text.clone(),
+        None => "{}".to_owned(), // bound identifier = path parameter
+    }
+}
+
+/// Metrics keys from the transport-metrics writer: string literals in
+/// `("key", value)` tuple position whose text is identifier-shaped.
+/// The writer is self-contained by design (all keys appear literally
+/// in its body); a key moved into a helper would silently drop out of
+/// this check, so keep them inline.
+fn code_metrics(ws: &Workspace) -> Option<(&SourceFile, BTreeSet<String>)> {
+    let (file, di) = find_fn(ws, "protocol.rs", "write_transport_metrics_response")?;
+    let (start, end) = file.fns[di].body?;
+    let toks = &file.tokens;
+    let mut keys = BTreeSet::new();
+    for i in start..end.min(toks.len()) {
+        if toks[i].kind == TokKind::Str
+            && i > 0
+            && toks[i - 1].is_punct('(')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(','))
+            && ident_shaped(&toks[i].text)
+            && toks[i].text != "ok"
+            && toks[i].text != "op"
+        {
+            keys.insert(toks[i].text.clone());
+        }
+    }
+    Some((file, keys))
+}
+
+fn ident_shaped(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+// ---- doc side --------------------------------------------------------
+
+/// Op names from `#### `op`` headings.
+fn doc_ops(text: &str) -> BTreeSet<String> {
+    let mut ops = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("#### ") else {
+            continue;
+        };
+        if let Some(tok) = first_backticked(rest) {
+            if ident_shaped(&tok) {
+                ops.insert(tok);
+            }
+        }
+    }
+    ops
+}
+
+/// Canonical routes from `| `METHOD /path` | ... |` table rows.
+fn doc_routes(text: &str) -> BTreeSet<String> {
+    let mut routes = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let Some(tok) = first_backticked(line) else {
+            continue;
+        };
+        let mut parts = tok.splitn(2, ' ');
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if method.is_empty()
+            || !method.chars().all(|c| c.is_ascii_uppercase())
+            || !path.starts_with('/')
+        {
+            continue;
+        }
+        let path = path.split('?').next().unwrap_or(path);
+        let segs: Vec<String> = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if s.starts_with('{') || s.starts_with(':') {
+                    "{}".to_owned()
+                } else {
+                    s.to_owned()
+                }
+            })
+            .collect();
+        routes.insert(format!("{method} /{}", segs.join("/")));
+    }
+    routes
+}
+
+/// Metrics keys from fenced example blocks that show the transport or
+/// federation metrics payloads: every `"key":` with an identifier-
+/// shaped key, minus the envelope fields.
+fn doc_metrics(text: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let mut in_fence = false;
+    let mut block = String::new();
+    let mut blocks: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            if in_fence {
+                blocks.push(std::mem::take(&mut block));
+            }
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    for block in blocks {
+        if !block.contains("\"transport\"") && !block.contains("\"federation\"") {
+            continue;
+        }
+        let bytes = block.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                if let Some(endq) = block[i + 1..].find('"') {
+                    let key = &block[i + 1..i + 1 + endq];
+                    let after = block[i + 1 + endq + 1..].trim_start();
+                    if after.starts_with(':') && ident_shaped(key) && key != "ok" && key != "op" {
+                        keys.insert(key.to_owned());
+                    }
+                    i += endq + 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    keys
+}
+
+fn first_backticked(s: &str) -> Option<String> {
+    let start = s.find('`')?;
+    let rest = &s[start + 1..];
+    let end = rest.find('`')?;
+    Some(rest[..end].to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+    use std::path::Path;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace::new(
+            srcs.iter()
+                .map(|(name, src)| SourceFile::parse(Path::new(name), (*name).to_owned(), src))
+                .collect(),
+        )
+    }
+
+    const PROTO_SRC: &str = r#"
+fn request_from_value(v: &Value) -> Request {
+    let op = field(v, "op");
+    match op {
+        "ping" => Request::Ping,
+        "submit" | "flush" => Request::Other,
+        _ => Request::Unknown,
+    }
+}
+fn write_transport_metrics_response(out: &mut String) {
+    let v = object(vec![("transport", object(vec![("tcp_connections", n.into())]).into())]);
+}
+"#;
+
+    const HTTP_SRC: &str = r#"
+fn route(method: &str, segs: &[&str]) -> Route {
+    match (method, segs) {
+        ("GET", ["ping"]) => Route::Ping,
+        ("POST", ["sessions", sid, "submit"]) => Route::Submit,
+        _ => Route::NotFound,
+    }
+}
+"#;
+
+    const DOC_OK: &str = "\
+#### `ping`\nok\n#### `submit`\nok\n#### `flush`\nok\n\n\
+| `GET /ping` | ping |\n| `POST /sessions/{sid}/submit` | submit |\n\n\
+```json\n{\"ok\":true,\"transport\":{\"tcp_connections\":1}}\n```\n";
+
+    #[test]
+    fn matching_spec_is_clean() {
+        let w = ws(&[("protocol.rs", PROTO_SRC), ("http.rs", HTTP_SRC)]);
+        let f = run(&w, Some(("PROTOCOL.md", DOC_OK)));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn drift_fires_in_both_directions() {
+        let w = ws(&[("protocol.rs", PROTO_SRC), ("http.rs", HTTP_SRC)]);
+        // Doc documents an op that does not exist; misses `flush`.
+        let doc = "#### `ping`\nok\n#### `submit`\nok\n#### `ghost`\nok\n\n\
+| `GET /ping` | ping |\n| `POST /sessions/{sid}/submit` | submit |\n\n\
+```json\n{\"ok\":true,\"transport\":{\"tcp_connections\":1}}\n```\n";
+        let f = run(&w, Some(("PROTOCOL.md", doc)));
+        let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`flush`") && m.contains("not documented")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`ghost`") && m.contains("not implemented")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn route_params_are_canonicalized() {
+        assert!(doc_routes("| `POST /sessions/{sid}/submit` | x |")
+            .contains("POST /sessions/{}/submit"));
+        let w = ws(&[("http.rs", HTTP_SRC)]);
+        let (_, routes) = code_routes(&w).unwrap();
+        assert!(routes.contains("POST /sessions/{}/submit"), "{routes:?}");
+    }
+
+    #[test]
+    fn metrics_keys_diff_on_missing_doc_key() {
+        let w = ws(&[("protocol.rs", PROTO_SRC)]);
+        let doc = "#### `ping`\n#### `submit`\n#### `flush`\n\n```json\n{\"transport\":{}}\n```\n";
+        let f = run(&w, Some(("PROTOCOL.md", doc)));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("tcp_connections")
+                    && f.message.contains("not documented")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn missing_anchors_skip_gracefully() {
+        let w = ws(&[("other.rs", "fn f() {}")]);
+        assert!(run(&w, Some(("PROTOCOL.md", DOC_OK))).is_empty());
+        assert!(run(&w, None).is_empty());
+    }
+}

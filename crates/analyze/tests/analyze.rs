@@ -1,0 +1,302 @@
+//! Integration tests for the `frapp-analyze` gate.
+//!
+//! Three layers, mirroring how the gate is trusted in CI:
+//!
+//! 1. **Fixture corpora** (`tests/fixtures/*`): per-rule known-bad
+//!    workspaces must fire and known-good twins must stay clean — the
+//!    analyzer's own regression suite.
+//! 2. **Seeded mutation**: a fixture (and the real workspace surface)
+//!    with an op heading or route row deleted from its spec copy must
+//!    FAIL spec-drift — proving the gate actually detects drift rather
+//!    than vacuously passing.
+//! 3. **Workspace gate**: the real repository analyzes clean under the
+//!    checked-in waiver file, so a red gate in CI is always a new
+//!    regression, never pre-existing noise.
+
+use frapp_analyze::analyze;
+use frapp_analyze::model::{SourceFile, Workspace};
+use frapp_analyze::report::Analysis;
+use frapp_analyze::rules::spec_drift;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn run_fixture(name: &str) -> Analysis {
+    analyze(&fixture(name), None).expect("fixture analysis must not error")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "frapp-analyze-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---- fixture corpora: known-bad fires, known-good passes -------------
+
+#[test]
+fn lock_cycle_fixture_reports_exactly_one_cycle() {
+    let a = run_fixture("lock_cycle");
+    assert_eq!(a.findings.len(), 1, "{}", a.to_text());
+    assert_eq!(a.findings[0].rule, "lock_order");
+    assert!(
+        a.findings[0].message.contains("cycle")
+            && a.findings[0].message.contains("state::queue")
+            && a.findings[0].message.contains("state::stats"),
+        "{}",
+        a.findings[0].message
+    );
+}
+
+#[test]
+fn lock_clean_fixture_passes_and_derives_the_order() {
+    let a = run_fixture("lock_clean");
+    assert!(a.clean(), "{}", a.to_text());
+    assert_eq!(a.lock_order, vec!["state::queue", "state::stats"]);
+}
+
+#[test]
+fn lock_held_across_blocking_call_is_flagged_and_drop_releases() {
+    let a = run_fixture("lock_blocking");
+    assert_eq!(a.findings.len(), 1, "{}", a.to_text());
+    let f = &a.findings[0];
+    assert_eq!((f.rule, f.function.as_str()), ("lock_order", "drain"));
+    assert!(f.message.contains("held across blocking"), "{}", f.message);
+}
+
+#[test]
+fn reactor_blocking_fixture_reports_the_call_path() {
+    let a = run_fixture("reactor_block");
+    assert_eq!(a.findings.len(), 1, "{}", a.to_text());
+    let f = &a.findings[0];
+    assert_eq!(f.rule, "reactor_blocking");
+    assert!(f.file.ends_with("link.rs"), "{}", f.file);
+    assert!(
+        f.message
+            .contains("reactor_loop -> dispatch_ready -> forward_batch"),
+        "{}",
+        f.message
+    );
+    // The poller wait is inline-waived, with its justification echoed.
+    assert_eq!(a.waived.len(), 1, "{}", a.to_text());
+    let w = &a.waived[0];
+    assert_eq!(w.function, "poll_once");
+    assert!(
+        w.waived_by
+            .as_deref()
+            .is_some_and(|by| by.contains("one blocking point")),
+        "{w:?}"
+    );
+}
+
+#[test]
+fn reactor_clean_fixture_ignores_unreachable_blocking_code() {
+    let a = run_fixture("reactor_clean");
+    assert!(a.clean(), "{}", a.to_text());
+    assert!(a.waived.is_empty());
+}
+
+#[test]
+fn panic_path_fixture_flags_all_four_shapes_in_wire_files_only() {
+    let a = run_fixture("panic_wire");
+    // unwrap, expect, unchecked index, unreachable! — all in `handle`,
+    // none in the non-wire mining.rs.
+    assert_eq!(a.findings.len(), 4, "{}", a.to_text());
+    assert!(a.findings.iter().all(|f| f.rule == "panic_path"));
+    assert!(a.findings.iter().all(|f| f.function == "handle"));
+    assert!(a.findings.iter().all(|f| f.file.ends_with("dispatch.rs")));
+    // The inline-waived unwrap in `guarded` is reported as waived.
+    assert_eq!(a.waived.len(), 1);
+    assert_eq!(a.waived[0].function, "guarded");
+}
+
+#[test]
+fn a_waiver_file_entry_suppresses_findings_and_is_echoed() {
+    let dir = temp_root("waiver");
+    let waiver = dir.join("waivers.txt");
+    fs::write(
+        &waiver,
+        "panic_path dispatch.rs handle fixture: every shape is exercised deliberately\n",
+    )
+    .unwrap();
+    let a = analyze(&fixture("panic_wire"), Some(&waiver)).unwrap();
+    assert!(a.clean(), "{}", a.to_text());
+    assert_eq!(a.waived.len(), 5, "{}", a.to_text());
+    assert!(a
+        .waived
+        .iter()
+        .all(|f| f.waived_by.as_deref().is_some_and(|by| !by.is_empty())));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_waiver_without_a_justification_is_rejected() {
+    let dir = temp_root("badwaiver");
+    let waiver = dir.join("waivers.txt");
+    fs::write(&waiver, "panic_path dispatch.rs handle\n").unwrap();
+    let err = analyze(&fixture("panic_wire"), Some(&waiver)).unwrap_err();
+    assert!(err.contains("<reason>"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---- seeded mutation: drift must be detected, not assumed ------------
+
+/// Copies the spec_ok fixture into a temp root, applying `mutate` to
+/// the doc text on the way.
+fn mutated_spec_root(tag: &str, mutate: impl Fn(&str) -> String) -> PathBuf {
+    let root = temp_root(tag);
+    let src = root.join("src");
+    fs::create_dir_all(&src).unwrap();
+    for name in ["protocol.rs", "http.rs"] {
+        fs::copy(fixture("spec_ok").join("src").join(name), src.join(name)).unwrap();
+    }
+    let doc = fs::read_to_string(fixture("spec_ok").join("docs").join("PROTOCOL.md")).unwrap();
+    fs::create_dir_all(root.join("docs")).unwrap();
+    fs::write(root.join("docs").join("PROTOCOL.md"), mutate(&doc)).unwrap();
+    root
+}
+
+#[test]
+fn unmutated_spec_fixture_is_clean() {
+    let a = run_fixture("spec_ok");
+    assert!(a.clean(), "{}", a.to_text());
+}
+
+#[test]
+fn deleting_an_op_heading_from_the_spec_fails_the_gate() {
+    let root = mutated_spec_root("drop-op", |doc| {
+        doc.lines()
+            .filter(|l| !l.starts_with("#### `flush`"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    let a = analyze(&root, None).unwrap();
+    assert!(!a.clean(), "mutation must fail the gate");
+    assert!(
+        a.findings.iter().any(|f| f.rule == "spec_drift"
+            && f.message.contains("`flush`")
+            && f.message.contains("not documented")),
+        "{}",
+        a.to_text()
+    );
+    assert!(a.to_json().contains("\"clean\":false"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_route_row_from_the_spec_fails_the_gate() {
+    let root = mutated_spec_root("drop-route", |doc| {
+        doc.lines()
+            .filter(|l| !l.contains("`GET /ping`"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    let a = analyze(&root, None).unwrap();
+    assert!(
+        a.findings.iter().any(|f| f.rule == "spec_drift"
+            && f.message.contains("`GET /ping`")
+            && f.message.contains("not documented")),
+        "{}",
+        a.to_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn documenting_a_ghost_op_fails_the_gate() {
+    let root = mutated_spec_root("ghost-op", |doc| {
+        format!("{doc}\n#### `ghost`\n\nNever implemented.\n")
+    });
+    let a = analyze(&root, None).unwrap();
+    assert!(
+        a.findings.iter().any(|f| f.rule == "spec_drift"
+            && f.message.contains("`ghost`")
+            && f.message.contains("not implemented")),
+        "{}",
+        a.to_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The mutation check against the *real* surface: parse the actual
+/// protocol.rs/http.rs, pair them with the actual PROTOCOL.md, and
+/// require that deleting the real `flush` heading is caught. This
+/// pins the extraction anchors (`request_from_value`, `route`,
+/// `#### \`op\`` headings) to the living code — if either side is
+/// renamed away from the analyzer's expectations, this fails loudly
+/// instead of the gate silently checking nothing.
+#[test]
+fn removing_a_real_documented_op_is_caught() {
+    let root = repo_root();
+    let files = [
+        "crates/service/src/protocol.rs",
+        "crates/service/src/http.rs",
+    ]
+    .iter()
+    .map(|rel| {
+        let path = root.join(rel);
+        let src = fs::read_to_string(&path).unwrap();
+        SourceFile::parse(&path, (*rel).to_owned(), &src)
+    })
+    .collect();
+    let ws = Workspace::new(files);
+    let doc = fs::read_to_string(root.join("docs").join("PROTOCOL.md")).unwrap();
+
+    let clean = spec_drift::run(&ws, Some(("docs/PROTOCOL.md", &doc)));
+    assert!(
+        clean.is_empty(),
+        "real surface must match its spec: {clean:?}"
+    );
+
+    let mutated: String = doc
+        .lines()
+        .filter(|l| !l.starts_with("#### `flush`"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let drift = spec_drift::run(&ws, Some(("docs/PROTOCOL.md", &mutated)));
+    assert!(
+        drift
+            .iter()
+            .any(|f| f.message.contains("`flush`") && f.message.contains("not documented")),
+        "seeded mutation must be detected: {drift:?}"
+    );
+}
+
+// ---- the workspace gate itself ---------------------------------------
+
+#[test]
+fn the_real_workspace_analyzes_clean_under_the_checked_in_waivers() {
+    let a = analyze(&repo_root(), None).unwrap();
+    assert!(a.clean(), "{}", a.to_text());
+    assert!(
+        !a.lock_order.is_empty(),
+        "the service locks must yield a derived order"
+    );
+    assert!(
+        !a.waived.is_empty(),
+        "the checked-in waivers cover real, deliberate sites"
+    );
+    assert!(a
+        .waived
+        .iter()
+        .all(|f| f.waived_by.as_deref().is_some_and(|by| !by.is_empty())));
+}

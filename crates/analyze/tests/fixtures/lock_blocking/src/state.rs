@@ -1,0 +1,18 @@
+//! Known-bad lock-order fixture: a mutex guard held across a channel
+//! receive, which stalls every other thread queued on the lock for as
+//! long as the sender takes. The analyzer must flag the held-across-
+//! blocking site; the explicit `drop` variant below must stay clean.
+
+impl State {
+    fn drain(&self) {
+        let g = self.queue.lock();
+        self.rx.recv();
+        g.touch();
+    }
+
+    fn drain_released(&self) {
+        let g = self.queue.lock();
+        drop(g);
+        self.rx.recv();
+    }
+}

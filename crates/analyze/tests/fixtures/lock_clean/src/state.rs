@@ -1,0 +1,17 @@
+//! Known-good lock-order fixture: every function that takes both
+//! mutexes takes them queue-before-stats, so the analyzer derives a
+//! total order and reports nothing.
+
+impl State {
+    fn submit(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        q.push(s.len());
+    }
+
+    fn report(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        s.bump(q.len());
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad lock-order fixture: two functions acquire the same pair
+//! of mutexes in opposite orders, the classic AB/BA deadlock. The
+//! analyzer must report exactly one acquisition cycle.
+
+impl State {
+    fn submit(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        q.push(s.len());
+    }
+
+    fn report(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        s.bump(q.len());
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-bad panic-path fixture, named like a wire-facing module:
+//! `handle` packs all four flagged shapes (unwrap, expect, unchecked
+//! index, panicking macro); `guarded` carries an inline waiver and
+//! must be reported as waived, not as a finding.
+
+fn handle(req: &Request) -> Response {
+    let id = req.session.unwrap();
+    let name = req.name.expect("name");
+    let first = req.records[0];
+    if first == 0 {
+        unreachable!();
+    }
+    respond(id, name, first)
+}
+
+fn guarded(req: &Request) -> u64 {
+    // analyze: allow(panic_path): validated by the framer before dispatch
+    req.header.unwrap()
+}

@@ -1,0 +1,7 @@
+//! Non-wire module in the panic_wire fixture: an unwrap here is out of
+//! the rule's scope (library code panicking on programmer error is
+//! allowed) and must produce no finding.
+
+fn free(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,6 @@
+//! The blocking leaf of the reactor_block fixture: a synchronous
+//! socket write reachable from the event loop.
+
+fn forward_batch(shared: &Shared) {
+    shared.stream.write_all(buf);
+}

@@ -1,0 +1,21 @@
+//! Known-bad reactor fixture: the event loop reaches a blocking write
+//! two hops away (via `dispatch_ready` into link.rs), which must be
+//! flagged with the full call path. The poller wait carries an inline
+//! waiver — it is the loop's one sanctioned blocking point — and must
+//! land in the waived list, not the findings.
+
+fn reactor_loop(shared: &Shared) {
+    loop {
+        poll_once(shared);
+        dispatch_ready(shared);
+    }
+}
+
+fn poll_once(shared: &Shared) {
+    // analyze: allow(reactor_blocking): the poll wait is the event loop's one blocking point
+    shared.poller.wait(events, timeout);
+}
+
+fn dispatch_ready(shared: &Shared) {
+    forward_batch(shared);
+}

@@ -1,0 +1,17 @@
+//! Known-good reactor fixture: the event loop only touches in-memory
+//! state; the blocking receive lives in a background function that is
+//! not reachable from `reactor_loop` and must not be flagged.
+
+fn reactor_loop(shared: &Shared) {
+    loop {
+        step(shared);
+    }
+}
+
+fn step(shared: &Shared) {
+    shared.counter.bump();
+}
+
+fn background(shared: &Shared) {
+    shared.rx.recv();
+}

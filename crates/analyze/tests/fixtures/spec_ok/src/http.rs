@@ -1,0 +1,11 @@
+//! Spec-drift fixture, route side: the tuple-pattern route table the
+//! analyzer canonicalizes (`sid` binding becomes `{}`) and checks
+//! against the fixture doc's route table.
+
+fn route(method: &str, segs: &[&str]) -> Route {
+    match (method, segs) {
+        ("GET", ["ping"]) => Route::Ping,
+        ("POST", ["sessions", sid, "submit"]) => Route::Submit,
+        _ => Route::NotFound,
+    }
+}

@@ -1,0 +1,25 @@
+//! Spec-drift fixture, code side: a miniature op dispatcher and
+//! metrics writer whose surface exactly matches docs/PROTOCOL.md in
+//! this fixture. The integration test mutates the doc copy and
+//! expects the gate to fail.
+
+fn request_from_value(v: &Value) -> Request {
+    let op = take_str(v, "op");
+    match op {
+        "ping" => Request::Ping,
+        "submit" | "flush" => Request::Submit,
+        _ => Request::Unknown,
+    }
+}
+
+fn write_transport_metrics_response(out: &mut Vec<u8>) {
+    let payload = object(vec![(
+        "transport",
+        object(vec![
+            ("tcp_connections", conns.into()),
+            ("sheds", sheds.into()),
+        ])
+        .into(),
+    )]);
+    out.extend(payload.to_json().into_bytes());
+}

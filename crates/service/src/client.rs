@@ -337,6 +337,7 @@ pub(crate) fn parse_federation_peers(v: &Value) -> Result<Vec<PeerReplReport>> {
                 acked_records: field("acked_records"),
                 retries: field("retries"),
                 peer_down: field("peer_down"),
+                history_batches: field("history_batches"),
             })
         })
         .collect()

@@ -205,7 +205,14 @@ fn execute_deferred(
         deferred: _,
     } = req
     else {
-        unreachable!("is_deferred_submit gates on op == submit");
+        // `is_deferred_submit` gates on op == submit, so this arm is
+        // dead — but a wire-facing path fails in-band, never panics.
+        // The first error wins, matching the frozen-watermark rule.
+        state.error.get_or_insert(ServiceError::InvalidRequest(
+            "deferred execution requires a submit request".into(),
+        ));
+        state.batches += 1;
+        return;
     };
     if state.error.is_some() {
         // A batch after the first failure is dropped un-ingested: the
@@ -663,6 +670,7 @@ fn execute_with_state(
             // anchor for anti-entropy resends after a reconnect.
             let session_ref = registry.get(session)?;
             let marks = session_ref.repl_status(origin);
+            let durable = session_ref.durable_repl_status(origin);
             write_ok_response(
                 out,
                 vec![
@@ -671,6 +679,10 @@ fn execute_with_state(
                     (
                         "marks",
                         Value::Array(marks.into_iter().map(Value::from).collect()),
+                    ),
+                    (
+                        "durable",
+                        Value::Array(durable.into_iter().map(Value::from).collect()),
                     ),
                 ],
             )

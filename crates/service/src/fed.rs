@@ -41,11 +41,15 @@
 //! (`repl_status`) and resends exactly the batches past them — the
 //! push-based anti-entropy that, combined with the receiver-side
 //! claim, turns at-least-once delivery into exactly-once counting.
-//! The forwarder keeps each session's full forwarded-batch history in
-//! memory for this purpose — a deliberate simplification: history is
-//! bounded by the coordinator's own ingest volume, and a production
-//! deployment would truncate it below the peer's last *persisted*
-//! watermark.
+//! The forwarder keeps each session's forwarded-batch history in
+//! memory for this purpose, truncated below the peer's *durable*
+//! (persisted) watermark: `repl_status` reports both the live marks
+//! and the marks last captured by a successful snapshot or delta
+//! append, and batches at or below the durable mark can never be
+//! needed again — a peer restart recovers them from its own disk.
+//! History above the durable mark is retained so a crash between
+//! persists stays replayable; link memory is therefore bounded by the
+//! peer's persistence cadence, not by total ingest volume.
 
 use crate::client::Client;
 use crate::config::ServiceConfig;
@@ -68,6 +72,12 @@ use std::time::Duration;
 const CONNECT_ATTEMPTS: u32 = 6;
 /// Barrier attempts (each may reconnect + resync) before giving up.
 const BARRIER_ATTEMPTS: u32 = 4;
+/// Per-session replay-history size (in batches) that triggers a
+/// durable-watermark fetch and truncation on the link worker. Keeps
+/// link memory proportional to the peer's persistence cadence instead
+/// of total ingest; only multiples of the threshold pay the round
+/// trip.
+const HISTORY_TRUNCATE_THRESHOLD: usize = 64;
 
 /// How one submit was routed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,19 +151,23 @@ impl FedState {
         let links = config
             .peers
             .iter()
+            .zip(&counters)
             .enumerate()
-            .map(|(node, addr)| {
-                (node != self_id).then(|| {
+            .map(|(node, (addr, counters))| {
+                if node == self_id {
+                    Ok(None)
+                } else {
                     PeerLink::spawn(
                         addr.clone(),
                         self_id as u64,
-                        Arc::clone(&counters[node]),
+                        Arc::clone(counters),
                         Duration::from_millis(config.connect_timeout_ms.max(1)),
                         Duration::from_millis(config.read_timeout_ms.max(1)),
                     )
-                })
+                    .map(Some)
+                }
             })
-            .collect();
+            .collect::<Result<Vec<Option<PeerLink>>>>()?;
         Ok(Some(Arc::new(FedState {
             topology,
             links,
@@ -172,10 +186,29 @@ impl FedState {
         self.topology.self_id() as u64
     }
 
-    fn link(&self, peer: usize) -> &PeerLink {
-        self.links[peer]
-            .as_ref()
-            .expect("no replication link to self")
+    /// The per-session forward-sequence counters, with poisoning
+    /// recovered (the map stays consistent under panic unwinding — a
+    /// torn update is impossible, every mutation is a single insert or
+    /// increment) and the acquisition registered with the debug
+    /// lock-order checker.
+    fn lock_seqs(&self) -> crate::order::Tracked<std::sync::MutexGuard<'_, HashMap<u64, u64>>> {
+        crate::order::track(
+            crate::order::RANK_FED_SEQS,
+            "fed::seqs",
+            self.seqs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// The replication link to `peer`, or an in-band error for an
+    /// out-of-range peer or this node's own slot — both indicate a
+    /// routing bug upstream, which must not unwind a wire thread.
+    fn link(&self, peer: usize) -> Result<&PeerLink> {
+        self.links
+            .get(peer)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| ServiceError::Protocol(format!("no replication link to peer {peer}")))
     }
 
     /// Per-peer replication reports (self excluded), for the
@@ -184,9 +217,10 @@ impl FedState {
         self.topology
             .peers()
             .iter()
+            .zip(&self.counters)
             .enumerate()
             .filter(|(node, _)| *node != self.topology.self_id())
-            .map(|(node, addr)| self.counters[node].report(node, addr))
+            .map(|(node, (addr, counters))| counters.report(node, addr))
             .collect()
     }
 
@@ -234,15 +268,17 @@ impl FedState {
         // session is visible through every *live* peer (read-your-
         // writes across nodes). A down peer confirms vacuously — its
         // copy arrives with the resync replay.
-        let confirms: Vec<_> = (0..self.topology.peers().len())
-            .filter(|&peer| peer != self.topology.self_id())
-            .map(|peer| self.link(peer).register(id, line.clone()))
+        let confirms: Vec<_> = self
+            .links
+            .iter()
+            .flatten()
+            .map(|link| link.register(id, line.clone()))
             .collect();
         for confirm in confirms {
             let _ = recv_link(confirm);
         }
         // Freshly created: the next forward seq starts at 1.
-        self.seqs.lock().unwrap().insert(id, 0);
+        self.lock_seqs().insert(id, 0);
         Ok(created)
     }
 
@@ -252,11 +288,15 @@ impl FedState {
     /// this node — reusing a sequence number would make the owners
     /// silently drop brand-new batches as duplicates.
     fn next_seq(&self, registry: &SessionRegistry, session: u64) -> Result<u64> {
-        let mut seqs = self.seqs.lock().unwrap();
-        if let Some(last) = seqs.get_mut(&session) {
-            *last += 1;
-            return Ok(*last);
+        // Fast path: the counter is live — bump it under the lock.
+        if let Some(seq) = self.bump_seq(session) {
+            return Ok(seq);
         }
+        // Recovery path (first submit after a coordinator restart).
+        // The owner watermark fetch is a peer round trip, so it MUST
+        // run with the counter lock released — holding `seqs` across
+        // the network would stall every other session's submits (and
+        // deadlock outright if the peer's answer routes back here).
         let mut max_mark = 0u64;
         for &owner in &self.topology.owners(session) {
             let marks = if owner == self.topology.self_id() {
@@ -266,9 +306,24 @@ impl FedState {
             };
             max_mark = max_mark.max(marks.into_iter().max().unwrap_or(0));
         }
-        let seq = max_mark + 1;
-        seqs.insert(session, seq);
-        Ok(seq)
+        // Re-acquire and merge: a concurrent submit may have recovered
+        // the counter while the lock was released. Never move the
+        // counter backwards — reused sequence numbers are silently
+        // deduped by the owners.
+        let mut seqs = self.lock_seqs();
+        let last = seqs.entry(session).or_insert(max_mark);
+        *last = (*last).max(max_mark) + 1;
+        Ok(*last)
+    }
+
+    /// Increments and returns the live forward-seq counter for
+    /// `session`, or `None` when the counter needs recovery first.
+    fn bump_seq(&self, session: u64) -> Option<u64> {
+        let mut seqs = self.lock_seqs();
+        seqs.get_mut(&session).map(|last| {
+            *last += 1;
+            *last
+        })
     }
 
     fn fetch_repl_status(&self, peer: usize, session: u64) -> Result<Vec<u64>> {
@@ -276,7 +331,7 @@ impl FedState {
             r#"{{"op":"repl_status","session":{session},"origin":{}}}"#,
             self.self_id()
         );
-        match self.link(peer).sync(&line) {
+        match self.link(peer)?.sync(&line) {
             Ok(v) => parse_marks(&v),
             // The peer holds nothing for this session (create not yet
             // applied there): factually, every mark is zero.
@@ -311,7 +366,9 @@ impl FedState {
         }
         let seq = self.next_seq(registry, session)?;
         let owners = self.topology.owners(session);
-        let owner = owners[(seq % owners.len() as u64) as usize];
+        let owner = *owners
+            .get((seq % owners.len().max(1) as u64) as usize)
+            .ok_or_else(|| ServiceError::Protocol("session has no replication owners".into()))?;
         let accepted = records.len() as u64;
         if owner == self.topology.self_id() {
             // Locally applied batches go through the same claim path
@@ -329,12 +386,16 @@ impl FedState {
             self.self_id(),
             seq,
         );
+        let link = self.link(owner)?;
         if deferred {
-            self.link(owner).forward(session, seq, accepted, line);
+            link.forward(session, seq, accepted, line);
         } else {
-            self.counters[owner].record_forward(accepted);
-            self.link(owner).sync(&line)?;
-            self.counters[owner].record_acked(accepted);
+            let counters = self.counters.get(owner).ok_or_else(|| {
+                ServiceError::Protocol(format!("no replication counters for peer {owner}"))
+            })?;
+            counters.record_forward(accepted);
+            link.sync(&line)?;
+            counters.record_acked(accepted);
         }
         Ok((accepted, Routed::Forwarded { peer: owner }))
     }
@@ -397,7 +458,7 @@ impl FedState {
                 per_owner.push(sess.stats().total);
             } else {
                 let line = format!(r#"{{"op":"sync_session","session":{session}}}"#);
-                let v = self.link(owner).sync(&line)?;
+                let v = self.link(owner)?.sync(&line)?;
                 let total = v.get("total").and_then(Value::as_u64).ok_or_else(|| {
                     ServiceError::Protocol("sync_session response missing `total`".into())
                 })?;
@@ -417,7 +478,7 @@ impl FedState {
         schema: &Schema,
     ) -> Result<CountAccumulator> {
         let line = format!(r#"{{"op":"sync_session","session":{session}}}"#);
-        let v = self.link(peer).sync(&line)?;
+        let v = self.link(peer)?.sync(&line)?;
         let pairs = v.get("counts").and_then(Value::as_array).ok_or_else(|| {
             ServiceError::Protocol("sync_session response missing `counts`".into())
         })?;
@@ -426,16 +487,19 @@ impl FedState {
             let cell = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
                 ServiceError::Protocol("sync_session counts must be [index, count] pairs".into())
             })?;
-            let idx = cell[0]
-                .as_usize()
+            let idx = cell
+                .first()
+                .and_then(Value::as_usize)
                 .filter(|&i| i < dense.len())
                 .ok_or_else(|| {
                     ServiceError::Protocol("sync_session count index out of domain".into())
                 })?;
-            let count = cell[1].as_f64().ok_or_else(|| {
+            let count = cell.get(1).and_then(Value::as_f64).ok_or_else(|| {
                 ServiceError::Protocol("sync_session counts must be numbers".into())
             })?;
-            dense[idx] = count;
+            if let Some(slot) = dense.get_mut(idx) {
+                *slot = count;
+            }
         }
         CountAccumulator::from_counts(schema.clone(), dense).map_err(ServiceError::from)
     }
@@ -446,16 +510,16 @@ impl FedState {
     /// operator closes it directly. Returns whether any peer reported
     /// the session closed.
     pub fn close_fanout(&self, session: u64) -> bool {
-        self.seqs.lock().unwrap().remove(&session);
+        self.lock_seqs().remove(&session);
         let line = format!(r#"{{"op":"close_session","session":{session},"local":true}}"#);
         let mut any = false;
-        for (peer, link) in self.links.iter().enumerate() {
+        for (link, counters) in self.links.iter().zip(&self.counters) {
             let Some(link) = link else { continue };
             link.forget(session);
             if let Ok(v) = link.sync(&line) {
                 any |= v.get("closed").and_then(Value::as_bool).unwrap_or(false);
             } else {
-                self.counters[peer].record_peer_down();
+                counters.record_peer_down();
             }
         }
         any
@@ -471,7 +535,12 @@ impl FedState {
             .iter()
             .enumerate()
             .map(|(node, addr)| {
-                let up = node == self_id || self.link(node).probe();
+                let up = node == self_id
+                    || self
+                        .links
+                        .get(node)
+                        .and_then(Option::as_ref)
+                        .is_some_and(|link| link.probe());
                 object(vec![
                     ("node", node.into()),
                     ("addr", addr.as_str().into()),
@@ -574,6 +643,44 @@ fn parse_marks(v: &Value) -> Result<Vec<u64>> {
         .collect()
 }
 
+/// Per-shard watermarks a peer reports for one origin: what it has
+/// applied (in memory) and what it has durably persisted.
+struct PeerMarks {
+    /// Highest applied seq per shard; resync resends above these.
+    applied: Vec<u64>,
+    /// Highest persisted seq per shard; replay history at or below
+    /// these can never be needed again, even across a peer restart.
+    /// Empty when the peer runs without persistence.
+    durable: Vec<u64>,
+}
+
+fn parse_peer_marks(v: &Value) -> Result<PeerMarks> {
+    let applied = parse_marks(v)?;
+    // `durable` is optional on the wire: older peers and peers running
+    // without a data directory omit it, which disables truncation.
+    let durable = match v.get("durable").and_then(Value::as_array) {
+        None => Vec::new(),
+        Some(cells) => cells
+            .iter()
+            .map(|m| {
+                m.as_u64().ok_or_else(|| {
+                    ServiceError::Protocol("durable watermarks must be integers".into())
+                })
+            })
+            .collect::<Result<Vec<u64>>>()?,
+    };
+    Ok(PeerMarks { applied, durable })
+}
+
+/// Whether per-shard watermarks cover `seq`: the batch lands on shard
+/// `seq % marks.len()` and is covered at or below that shard's mark.
+/// Empty marks cover nothing.
+fn mark_covers(marks: &[u64], seq: u64) -> bool {
+    marks
+        .get((seq % marks.len().max(1) as u64) as usize)
+        .is_some_and(|&mark| seq <= mark)
+}
+
 fn peer_down(addr: &str) -> ServiceError {
     ServiceError::Remote {
         message: format!("federation peer {addr} is unreachable"),
@@ -641,7 +748,7 @@ impl PeerLink {
         counters: Arc<PeerReplCounters>,
         connect_timeout: Duration,
         read_timeout: Duration,
-    ) -> PeerLink {
+    ) -> Result<PeerLink> {
         let (tx, rx) = mpsc::channel();
         let worker = LinkWorker {
             addr,
@@ -658,8 +765,10 @@ impl PeerLink {
         std::thread::Builder::new()
             .name("frapp-fed-link".into())
             .spawn(move || worker.run(rx))
-            .expect("spawn replication link thread");
-        PeerLink { tx }
+            .map_err(|e| {
+                ServiceError::Protocol(format!("cannot spawn replication link thread: {e}"))
+            })?;
+        Ok(PeerLink { tx })
     }
 
     fn register(&self, session: u64, line: String) -> mpsc::Receiver<()> {
@@ -755,6 +864,7 @@ impl LinkWorker {
                 Ok(LinkCmd::Forget { session }) => {
                     self.creates.remove(&session);
                     self.history.remove(&session);
+                    self.publish_history_gauge();
                 }
                 Ok(LinkCmd::Register {
                     session,
@@ -803,6 +913,8 @@ impl LinkWorker {
                         .entry(session)
                         .or_default()
                         .push((seq, records, line));
+                    self.maybe_truncate(session);
+                    self.publish_history_gauge();
                 }
                 Ok(LinkCmd::Sync { line, resp }) => {
                     let result = self.sync_request(&line);
@@ -873,9 +985,7 @@ impl LinkWorker {
             let marks = self.fetch_marks(session)?;
             let batches = self.history.get(&session).cloned().unwrap_or_default();
             for (seq, records, line) in batches {
-                let applied =
-                    !marks.is_empty() && seq <= marks[(seq % marks.len() as u64) as usize];
-                if applied {
+                if mark_covers(&marks.applied, seq) {
                     continue;
                 }
                 self.counters.record_retry();
@@ -885,8 +995,51 @@ impl LinkWorker {
                     .send_raw_nowait(&line)?;
                 self.outstanding += records;
             }
+            self.truncate_history(session, &marks.durable);
         }
+        self.publish_history_gauge();
         self.flush_outstanding()
+    }
+
+    /// Drops replay-history batches the peer has durably persisted.
+    /// With an empty `durable` (peer has no persistence) this keeps
+    /// the full history: only a durable mark survives a peer restart,
+    /// so only a durable mark licenses forgetting a batch.
+    fn truncate_history(&mut self, session: u64, durable: &[u64]) {
+        if durable.is_empty() {
+            return;
+        }
+        if let Some(batches) = self.history.get_mut(&session) {
+            batches.retain(|&(seq, _, _)| !mark_covers(durable, seq));
+        }
+    }
+
+    /// Opportunistic truncation on the forward path: once a session's
+    /// replay history reaches a multiple of the threshold (and the
+    /// link is up), ask the peer for its durable watermarks and drop
+    /// what it has persisted. While disconnected the history *is* the
+    /// pending resync payload, so nothing is fetched or dropped.
+    fn maybe_truncate(&mut self, session: u64) {
+        let backlog = self.history.get(&session).map_or(0, Vec::len);
+        if backlog < HISTORY_TRUNCATE_THRESHOLD
+            || !backlog.is_multiple_of(HISTORY_TRUNCATE_THRESHOLD)
+            || self.client.is_none()
+        {
+            return;
+        }
+        match self.fetch_marks(session) {
+            Ok(marks) => self.truncate_history(session, &marks.durable),
+            // The fetch doubling as a health probe: a failed round
+            // trip means the pipelined connection is suspect too.
+            Err(_) => self.drop_client(),
+        }
+    }
+
+    /// Publishes the total queued replay batches across sessions to
+    /// the link's metrics gauge.
+    fn publish_history_gauge(&self) {
+        let total = self.history.values().map(|b| b.len() as u64).sum();
+        self.counters.set_history_batches(total);
     }
 
     fn send_create(&mut self, line: &str) -> Result<()> {
@@ -903,7 +1056,7 @@ impl LinkWorker {
         }
     }
 
-    fn fetch_marks(&mut self, session: u64) -> Result<Vec<u64>> {
+    fn fetch_marks(&mut self, session: u64) -> Result<PeerMarks> {
         let status = format!(
             r#"{{"op":"repl_status","session":{session},"origin":{}}}"#,
             self.origin
@@ -912,12 +1065,15 @@ impl LinkWorker {
         match client.request(&status) {
             Ok(v) => {
                 self.consume_watermark(&v);
-                parse_marks(&v)
+                parse_peer_marks(&v)
             }
             // No session on the peer despite the create replay: treat
             // as nothing applied.
             Err(ServiceError::Remote { message, .. }) if message.contains("unknown session") => {
-                Ok(Vec::new())
+                Ok(PeerMarks {
+                    applied: Vec::new(),
+                    durable: Vec::new(),
+                })
             }
             Err(e) => Err(e),
         }

@@ -411,13 +411,13 @@ fn read_head(
         }
         let mut end = None;
         for (i, &b) in chunk.iter().enumerate() {
-            if b == TERM[matched] {
+            if TERM.get(matched) == Some(&b) {
                 matched += 1;
                 if matched == TERM.len() {
                     end = Some(i + 1);
                     break;
                 }
-            } else if b == TERM[0] {
+            } else if TERM.first() == Some(&b) {
                 matched = 1;
             } else {
                 matched = 0;

@@ -98,6 +98,7 @@ pub mod fed;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod order;
 pub mod persist;
 pub mod protocol;
 pub mod reactor;

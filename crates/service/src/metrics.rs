@@ -356,6 +356,7 @@ pub struct PeerReplCounters {
     acked_records: AtomicU64,
     retries: AtomicU64,
     peer_down: AtomicU64,
+    history_batches: AtomicU64,
 }
 
 impl PeerReplCounters {
@@ -388,6 +389,12 @@ impl PeerReplCounters {
         self.peer_down.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Gauges the replay batches currently held in the link's
+    /// in-memory history (bounded by durable-watermark truncation).
+    pub fn set_history_batches(&self, batches: u64) {
+        self.history_batches.store(batches, Ordering::Relaxed);
+    }
+
     /// A point-in-time report for peer `node` at `addr`.
     pub fn report(&self, node: usize, addr: &str) -> PeerReplReport {
         PeerReplReport {
@@ -398,6 +405,7 @@ impl PeerReplCounters {
             acked_records: self.acked_records.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             peer_down: self.peer_down.load(Ordering::Relaxed),
+            history_batches: self.history_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -420,6 +428,9 @@ pub struct PeerReplReport {
     pub retries: u64,
     /// Observed peer failures (refused connects, dropped links).
     pub peer_down: u64,
+    /// Replay batches currently held in the link's in-memory history
+    /// (a gauge — bounded by durable-watermark truncation).
+    pub history_batches: u64,
 }
 
 /// A snapshot of one session's [`SessionMetrics`].
@@ -559,6 +570,7 @@ mod tests {
         c.record_acked(10);
         c.record_retry();
         c.record_peer_down();
+        c.set_history_batches(7);
         let r = c.report(2, "127.0.0.1:7002");
         assert_eq!(r.node, 2);
         assert_eq!(r.addr, "127.0.0.1:7002");
@@ -567,6 +579,10 @@ mod tests {
         assert_eq!(r.acked_records, 10);
         assert_eq!(r.retries, 1);
         assert_eq!(r.peer_down, 1);
+        assert_eq!(r.history_batches, 7);
+        // A gauge, not a counter: the next publish overwrites.
+        c.set_history_batches(3);
+        assert_eq!(c.report(2, "x").history_batches, 3);
     }
 
     #[test]

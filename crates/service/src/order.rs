@@ -1,0 +1,146 @@
+//! Debug-build runtime lock-order checker.
+//!
+//! `frapp-analyze` derives the workspace's static lock order
+//! (`session::persist_gate < session::sessions < session::graveyard <
+//! fed::seqs < session::shards < session::durable_repl`); this module
+//! enforces the same order dynamically while tests and soak suites
+//! run. Every lock acquisition in the service goes through [`track`],
+//! which under `debug_assertions` pushes the lock's rank onto a
+//! thread-local stack and panics if a thread ever acquires a lock
+//! whose rank does not exceed one it already holds (shards exempted —
+//! sequential multi-shard holds at equal rank are part of the merge
+//! paths and cannot deadlock because shard index order is fixed by the
+//! caller). Release is RAII: dropping the [`Tracked`] guard pops the
+//! stack. In release builds `track` compiles down to a no-op wrapper.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Rank of `session::persist_gate` — the outermost lock: it serializes
+/// whole persistence operations and is held across file I/O by design.
+pub const RANK_PERSIST_GATE: u8 = 10;
+/// Rank of `session::sessions` (the registry map).
+pub const RANK_SESSIONS: u8 = 20;
+/// Rank of `session::graveyard` (closed-session tombstones).
+pub const RANK_GRAVEYARD: u8 = 30;
+/// Rank of `fed::seqs` (per-session forward sequence counters).
+pub const RANK_FED_SEQS: u8 = 40;
+/// Rank of `session::shards` — the innermost hot-path locks. Equal
+/// rank re-acquisition is allowed: merge paths hold several shards of
+/// one session sequentially in fixed index order.
+pub const RANK_SHARDS: u8 = 50;
+/// Rank of `session::durable_repl` (persisted-watermark map).
+pub const RANK_DURABLE: u8 = 60;
+
+thread_local! {
+    /// Locks currently held by this thread, as `(rank, name)` in
+    /// acquisition order.
+    static HELD: RefCell<Vec<(u8, &'static str)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A lock guard wrapped with rank bookkeeping: derefs to the inner
+/// guard, pops its rank from the thread-local stack on drop.
+#[derive(Debug)]
+pub struct Tracked<G> {
+    guard: G,
+    rank: u8,
+}
+
+impl<G> Deref for Tracked<G> {
+    type Target = G;
+
+    fn deref(&self) -> &G {
+        &self.guard
+    }
+}
+
+impl<G> DerefMut for Tracked<G> {
+    fn deref_mut(&mut self) -> &mut G {
+        &mut self.guard
+    }
+}
+
+impl<G> Drop for Tracked<G> {
+    fn drop(&mut self) {
+        if cfg!(debug_assertions) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                // Pop the most recent entry of this rank (guards drop
+                // in reverse acquisition order, but equal-rank shard
+                // guards may interleave).
+                if let Some(pos) = held.iter().rposition(|&(r, _)| r == self.rank) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Wraps a freshly acquired lock guard, asserting (in debug builds)
+/// that `rank` exceeds every rank this thread already holds. Equal
+/// rank is tolerated only for [`RANK_SHARDS`] (see module docs).
+pub fn track<G>(rank: u8, name: &'static str, guard: G) -> Tracked<G> {
+    if cfg!(debug_assertions) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top, top_name)) = held.iter().max_by_key(|&&(r, _)| r) {
+                let ok = rank > top || (rank == top && rank == RANK_SHARDS);
+                assert!(
+                    ok,
+                    "lock-order violation: acquiring {name} (rank {rank}) while holding \
+                     {top_name} (rank {top}); static order requires strictly increasing ranks"
+                );
+            }
+            held.push((rank, name));
+        });
+    }
+    Tracked { guard, rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn increasing_ranks_pass_and_release_resets() {
+        let a = Mutex::new(1);
+        let b = Mutex::new(2);
+        {
+            let ga = track(RANK_SESSIONS, "a", a.lock().unwrap());
+            let gb = track(RANK_SHARDS, "b", b.lock().unwrap());
+            assert_eq!(**ga + **gb, 3);
+        }
+        // Both released: re-acquiring at a lower rank is fine again.
+        let _ga = track(RANK_PERSIST_GATE, "a", a.lock().unwrap());
+    }
+
+    #[test]
+    fn equal_rank_shard_holds_are_allowed() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let _ga = track(RANK_SHARDS, "shard0", a.lock().unwrap());
+        let _gb = track(RANK_SHARDS, "shard1", b.lock().unwrap());
+    }
+
+    #[test]
+    fn out_of_order_release_keeps_the_stack_consistent() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let ga = track(RANK_SHARDS, "shard0", a.lock().unwrap());
+        let gb = track(RANK_SHARDS, "shard1", b.lock().unwrap());
+        drop(ga);
+        drop(gb);
+        let _gc = track(RANK_SESSIONS, "c", a.lock().unwrap());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "checker is debug-only")]
+    #[should_panic(expected = "lock-order violation")]
+    fn decreasing_rank_panics() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let _ga = track(RANK_SHARDS, "shard", a.lock().unwrap());
+        let _gb = track(RANK_SESSIONS, "sessions", b.lock().unwrap());
+    }
+}

@@ -330,6 +330,11 @@ fn save_session_locked(dir: &Path, session: &CollectionSession) -> Result<PathBu
         Ok(path) => {
             session.set_persist_seq(seq);
             session.clear_needs_full_snapshot();
+            // The synced snapshot makes every watermark it carries
+            // durable; advertise that so replication forwarders can
+            // truncate their replay history.
+            let marks: Vec<Vec<(u64, u64)>> = dumps.iter().map(|d| d.repl.clone()).collect();
+            session.record_durable_repl(&marks);
             // The new base supersedes every prior delta. A failed
             // removal is harmless: stale lines carry an older `seq`
             // and are ignored at load.
@@ -404,7 +409,18 @@ pub fn persist_session_incremental(
         Ok(())
     })();
     match append {
-        Ok(()) => Ok(FlushOutcome::Deltas(deltas.len())),
+        Ok(()) => {
+            // Each synced delta line carries its shard's full
+            // watermark map: those marks are durable now.
+            let mut marks = vec![Vec::new(); session.num_shards()];
+            for delta in &deltas {
+                if let Some(slot) = marks.get_mut(delta.shard) {
+                    slot.clone_from(&delta.repl);
+                }
+            }
+            session.record_durable_repl(&marks);
+            Ok(FlushOutcome::Deltas(deltas.len()))
+        }
         Err(e) => {
             session.restore_deltas(&deltas);
             Err(e)

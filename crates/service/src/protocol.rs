@@ -153,14 +153,18 @@ impl RecordBatch {
         self.len() == 0
     }
 
-    /// Record `i` as a slice.
+    /// Record `i` as a slice. Panics if `i >= len()`, like std `Index`.
     pub fn get(&self, i: usize) -> &[u32] {
+        // analyze: allow(panic_path): documented std-Index semantics; wire paths use `iter`
         &self.values[self.offsets[i]..self.offsets[i + 1]]
     }
 
     /// Iterates the records as slices.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
-        self.offsets.windows(2).map(|w| &self.values[w[0]..w[1]])
+        self.offsets
+            .iter()
+            .zip(self.offsets.iter().skip(1))
+            .map(|(&start, &end)| &self.values[start..end])
     }
 }
 
@@ -301,11 +305,12 @@ fn parse_schema(v: &Value) -> Result<Vec<(String, u32)>> {
                     "each schema attribute must be a [name, cardinality] pair".into(),
                 )
             })?;
-            let name = pair[0].as_str().ok_or_else(|| {
+            let name = pair.first().and_then(Value::as_str).ok_or_else(|| {
                 ServiceError::InvalidRequest("attribute name must be a string".into())
             })?;
-            let card = pair[1]
-                .as_u64()
+            let card = pair
+                .get(1)
+                .and_then(Value::as_u64)
                 .filter(|&c| c > 0 && c <= u32::MAX as u64)
                 .ok_or_else(|| {
                     ServiceError::InvalidRequest(
@@ -868,6 +873,7 @@ pub fn write_transport_metrics_response(
                                 ("acked_records", p.acked_records.into()),
                                 ("retries", p.retries.into()),
                                 ("peer_down", p.peer_down.into()),
+                                ("history_batches", p.history_batches.into()),
                             ])
                         })
                         .collect(),
@@ -1211,6 +1217,7 @@ mod tests {
             acked_records: 40,
             retries: 2,
             peer_down: 1,
+            history_batches: 3,
         };
         write_transport_metrics_response(&mut out, &report, Some(std::slice::from_ref(&peer)));
         let v = crate::json::parse(&out).unwrap();
@@ -1226,6 +1233,10 @@ mod tests {
             Some(40)
         );
         assert_eq!(peers[0].get("peer_down").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            peers[0].get("history_batches").and_then(Value::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

@@ -399,22 +399,25 @@ mod sys {
 
         impl Poller {
             pub fn new() -> io::Result<Self> {
-                Err(io::Error::new(
+                Err(Self::unsupported())
+            }
+            fn unsupported() -> io::Error {
+                io::Error::new(
                     io::ErrorKind::Unsupported,
                     "the async reactor front-end has no poller shim for this platform",
-                ))
+                )
             }
             pub fn add(&self, _: i32, _: u64, _: bool) -> io::Result<()> {
-                unreachable!("Poller::new never succeeds here")
+                Err(Self::unsupported())
             }
             pub fn modify(&self, _: i32, _: u64, _: bool, _: bool) -> io::Result<()> {
-                unreachable!("Poller::new never succeeds here")
+                Err(Self::unsupported())
             }
             pub fn delete(&self, _: i32) -> io::Result<()> {
-                unreachable!("Poller::new never succeeds here")
+                Err(Self::unsupported())
             }
             pub fn wait(&self, _: &mut Vec<Event>, _: i32) -> io::Result<()> {
-                unreachable!("Poller::new never succeeds here")
+                Err(Self::unsupported())
             }
         }
     }
@@ -673,6 +676,7 @@ fn reactor_loop(
                 shared.transport.record_reactor_fd_registered();
             }
         }
+        // analyze: allow(reactor_blocking): the epoll/kqueue wait IS the event loop's one blocking point
         poller.wait(&mut events, POLL_TIMEOUT_MS)?;
         shared.transport.record_reactor_wakeup();
         for &ev in &events {
@@ -710,7 +714,9 @@ fn reactor_loop(
                 &mut scratch,
             );
             if matches!(verdict, Verdict::Close) {
-                close_conn(&poller, shared, conns.remove(&token).expect("present"));
+                if let Some(conn) = conns.remove(&token) {
+                    close_conn(&poller, shared, conn);
+                }
             }
         }
     }
@@ -726,6 +732,7 @@ fn reactor_loop(
                 .stream
                 .set_write_timeout(Some(Duration::from_millis(500)));
             let pos = conn.write_pos;
+            // analyze: allow(reactor_blocking): bounded 500 ms best-effort drain, after the event loop exits
             let _ = conn.stream.write_all(&conn.write_buf[pos..]);
         }
     }
@@ -987,7 +994,9 @@ fn process_line_frame(
         return Ok(true);
     }
     let ConnKind::Line { state } = &mut conn.kind else {
-        unreachable!("line frames only on line connections");
+        // A kind/framer mismatch is a reactor bug; close the
+        // connection instead of taking the whole event loop down.
+        return Err(());
     };
     shared.transport.record_tcp_request();
     conn.response.clear();
@@ -1022,7 +1031,9 @@ fn process_http_frame(
     consumed: &mut usize,
 ) -> std::result::Result<bool, ()> {
     let ConnKind::Http { state } = &mut conn.kind else {
-        unreachable!("http frames only on http connections");
+        // A kind/framer mismatch is a reactor bug; close the
+        // connection instead of taking the whole event loop down.
+        return Err(());
     };
     let buf = &conn.read_buf[*consumed..];
     match std::mem::replace(state, HttpState::Head) {
@@ -1122,6 +1133,7 @@ fn process_http_frame(
 fn state_of(conn: &mut Conn) -> &mut HttpState {
     match &mut conn.kind {
         ConnKind::Http { state } => state,
+        // analyze: allow(panic_path): every caller sits inside process_http_frame, which matched ConnKind::Http
         ConnKind::Line { .. } => unreachable!("only called on http connections"),
     }
 }

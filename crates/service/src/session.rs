@@ -181,6 +181,15 @@ pub struct CollectionSession {
     /// Serializes snapshot writes and close-time file removal for this
     /// session (see [`crate::persist::save_session`]).
     persist_gate: Mutex<()>,
+    /// Per-origin *durable* replication watermarks: entry `s` of the
+    /// vector is the highest forwarded seq from that origin that shard
+    /// `s` has had written to a persisted snapshot or delta. Reported
+    /// alongside the live marks by `repl_status`, so forwarders can
+    /// truncate replay history that survives even a crash of this
+    /// node. Updated by the persistence layer after each successful
+    /// write; initialized from the recovered dump (what was read back
+    /// IS durable).
+    durable_repl: Mutex<HashMap<u64, Vec<u64>>>,
     /// Monotonic full-snapshot sequence number. `0` means no full
     /// (v2) snapshot exists yet for this session; each successful full
     /// save bumps it, and every appended delta line records the base
@@ -258,6 +267,10 @@ impl CollectionSession {
             ));
         }
         let mut fast_forward = 0u64;
+        // What was just read back from disk is durable by definition:
+        // seed the durable watermarks from the recovered dumps so
+        // forwarders can truncate immediately after our restart.
+        let recovered_marks: Vec<Vec<(u64, u64)>> = dumps.iter().map(|d| d.repl.clone()).collect();
         let shards = dumps
             .into_iter()
             .enumerate()
@@ -292,6 +305,7 @@ impl CollectionSession {
             fast_forward,
         )?;
         session.pending_full_snapshot.store(true, Ordering::SeqCst);
+        session.record_durable_repl(&recovered_marks);
         Ok(session)
     }
 
@@ -335,6 +349,7 @@ impl CollectionSession {
             retired: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             persist_gate: Mutex::new(()),
+            durable_repl: Mutex::new(HashMap::new()),
             persist_seq: AtomicU64::new(0),
             recovery_fast_forward,
             pending_full_snapshot: AtomicBool::new(false),
@@ -461,10 +476,14 @@ impl CollectionSession {
     /// The lock serializing snapshot writes (and close-time snapshot
     /// removal) for this session. Poisoning is recovered: the guarded
     /// state lives on disk behind atomic renames, not in memory.
-    pub(crate) fn persist_gate(&self) -> MutexGuard<'_, ()> {
-        self.persist_gate
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    pub(crate) fn persist_gate(&self) -> crate::order::Tracked<MutexGuard<'_, ()>> {
+        crate::order::track(
+            crate::order::RANK_PERSIST_GATE,
+            "session::persist_gate",
+            self.persist_gate
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     /// A one-line summary for `list_sessions`.
@@ -491,10 +510,15 @@ impl CollectionSession {
     /// documented partial-batch contract). Propagating the poison
     /// instead would permanently brick the session: every later ingest,
     /// snapshot or stats call would panic on `.lock().expect(..)`.
-    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
-        self.shards[index]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock_shard(&self, index: usize) -> crate::order::Tracked<MutexGuard<'_, Shard>> {
+        crate::order::track(
+            crate::order::RANK_SHARDS,
+            "session::shards",
+            // analyze: allow(panic_path): every caller bounds-checks index against the fixed shard count
+            self.shards[index]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     /// Ingests a batch on an automatically chosen shard (round-robin,
@@ -667,12 +691,53 @@ impl CollectionSession {
             .collect()
     }
 
+    /// Per-shard *durable* replication watermarks for `origin`: like
+    /// [`Self::repl_status`], but counting only marks that reached a
+    /// persisted snapshot or delta (all-zero for sessions that have
+    /// never been persisted). A forwarder may forget replay batches at
+    /// or below these — they survive even a crash of this node.
+    pub fn durable_repl_status(&self, origin: u64) -> Vec<u64> {
+        self.lock_durable_repl()
+            .get(&origin)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.shards.len()])
+    }
+
+    /// Folds freshly persisted per-shard replication marks into the
+    /// durable watermarks. `shard_marks[s]` lists the `(origin, seq)`
+    /// pairs just written for shard `s`; marks only ever advance, so a
+    /// slow full save racing a newer delta cannot regress them.
+    pub(crate) fn record_durable_repl(&self, shard_marks: &[Vec<(u64, u64)>]) {
+        let mut durable = self.lock_durable_repl();
+        for (index, marks) in shard_marks.iter().enumerate().take(self.shards.len()) {
+            for &(origin, seq) in marks {
+                let slots = durable
+                    .entry(origin)
+                    .or_insert_with(|| vec![0; self.shards.len()]);
+                if let Some(slot) = slots.get_mut(index) {
+                    *slot = (*slot).max(seq);
+                }
+            }
+        }
+    }
+
+    fn lock_durable_repl(&self) -> crate::order::Tracked<MutexGuard<'_, HashMap<u64, Vec<u64>>>> {
+        crate::order::track(
+            crate::order::RANK_DURABLE,
+            "session::durable_repl",
+            self.durable_repl
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
     /// Merges all shard counts into one snapshot accumulator.
     pub fn snapshot(&self) -> CountAccumulator {
         let mut acc = CountAccumulator::new(self.schema.clone());
         for index in 0..self.shards.len() {
             self.lock_shard(index)
                 .merge_into(&mut acc)
+                // analyze: allow(panic_path): all shards are built from self.schema in the constructor
                 .expect("shards share the session schema");
         }
         acc
@@ -784,9 +849,11 @@ impl CollectionSession {
         }
         let lu = self.lu_cache.get_or_init(|| {
             let dense = GammaDiagonal::new(&self.schema, self.mechanism.gamma())
+                // analyze: allow(panic_path): the same construction succeeded in Self::assemble
                 .expect("validated at session construction")
                 .as_uniform_diagonal()
                 .to_dense();
+            // analyze: allow(panic_path): gamma-diagonal matrices are diagonally dominant, hence invertible
             Arc::new(LuDecomposition::new(&dense).expect("gamma-diagonal matrices are invertible"))
         });
         Ok((Arc::clone(lu), hit))
@@ -909,10 +976,17 @@ impl SessionRegistry {
 
     /// Poison recovery as for the session map: the graveyard is a plain
     /// map of weak handles with no cross-entry invariants.
-    fn lock_graveyard(&self) -> MutexGuard<'_, HashMap<u64, std::sync::Weak<CollectionSession>>> {
-        self.graveyard
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock_graveyard(
+        &self,
+    ) -> crate::order::Tracked<MutexGuard<'_, HashMap<u64, std::sync::Weak<CollectionSession>>>>
+    {
+        crate::order::track(
+            crate::order::RANK_GRAVEYARD,
+            "session::graveyard",
+            self.graveyard
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     /// The registry's LRU capacity.
@@ -934,16 +1008,30 @@ impl SessionRegistry {
     /// leave it observable mid-operation, so a poisoned lock (a panic
     /// on some other connection thread) carries no integrity risk and
     /// is recovered rather than propagated.
-    fn read_map(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<CollectionSession>>> {
-        self.sessions
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn read_map(
+        &self,
+    ) -> crate::order::Tracked<std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<CollectionSession>>>>
+    {
+        crate::order::track(
+            crate::order::RANK_SESSIONS,
+            "session::sessions",
+            self.sessions
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
-    fn write_map(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<u64, Arc<CollectionSession>>> {
-        self.sessions
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn write_map(
+        &self,
+    ) -> crate::order::Tracked<std::sync::RwLockWriteGuard<'_, HashMap<u64, Arc<CollectionSession>>>>
+    {
+        crate::order::track(
+            crate::order::RANK_SESSIONS,
+            "session::sessions",
+            self.sessions
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     fn tick(&self) -> u64 {

@@ -300,6 +300,107 @@ fn forwarded_duplicates_are_acked_but_not_recounted() {
 }
 
 #[test]
+fn replay_history_is_bounded_by_the_peers_durable_watermark() {
+    // Regression for unbounded link memory: before durable-watermark
+    // truncation, every deferred forward stayed in the link's replay
+    // history for the life of the session. Now, once the peer reports
+    // a batch persisted (snapshot or delta on disk), the forwarder may
+    // forget it — so steady-state history is bounded by the truncation
+    // threshold plus one persistence interval, while the forwarded
+    // counter keeps growing.
+    //
+    // Mirrors HISTORY_TRUNCATE_THRESHOLD in fed.rs: the forward path
+    // checks the peer's durable marks whenever a session's backlog
+    // reaches a multiple of this.
+    const THRESHOLD: u64 = 64;
+
+    let stream = perturbed_stream(600, 0xFED4);
+    let baseline = single_node_estimates(&stream, 2);
+
+    let base = temp_dir("durable-truncate");
+    let ports = free_ports(2);
+    let configs = cluster_configs(&ports, 2, Some(&base));
+    let mut handles: Vec<_> = configs
+        .iter()
+        .map(|c| Some(Server::bind(c.clone()).unwrap().spawn().unwrap()))
+        .collect();
+
+    // With two nodes at replication 2 both own every session, and the
+    // per-session sequence alternates owners — exactly half of the
+    // batches are forwarded over the single node0 -> node1 link.
+    let mut client = Client::connect(handles[0].as_ref().unwrap().addr()).unwrap();
+    let mut peer_admin = Client::connect(handles[1].as_ref().unwrap().addr()).unwrap();
+    let session = client.create_session(&spec(2, 0x5EED)).unwrap();
+
+    // Six rounds of pipelined ingest; after every round but the last,
+    // the peer persists, advancing the durable watermark the link
+    // truncates against. The final round stays memory-only on the peer
+    // so the restart below has to be fed from the (truncated) history.
+    let rounds: Vec<&[Vec<u32>]> = stream.chunks(100).collect();
+    let last = rounds.len() - 1;
+    for (round, records) in rounds.iter().enumerate() {
+        for chunk in records.chunks(2) {
+            client.submit_nowait(session, chunk, true).unwrap();
+        }
+        assert_eq!(client.flush().unwrap() as usize, records.len());
+        if round < last {
+            assert_eq!(peer_admin.persist(None).unwrap(), vec![session]);
+        }
+    }
+
+    // 300 batches, 150 forwarded: well past two truncation rounds.
+    let report = client
+        .federation_metrics()
+        .unwrap()
+        .into_iter()
+        .find(|p| p.forwarded_batches > 0)
+        .expect("the link to the co-owner must have forwarded batches");
+    assert!(
+        report.forwarded_batches >= 2 * THRESHOLD,
+        "test must drive the link past two truncation checks \
+         (forwarded {})",
+        report.forwarded_batches
+    );
+    assert!(
+        report.history_batches < report.forwarded_batches,
+        "durable truncation must have dropped persisted batches \
+         (history {} vs forwarded {})",
+        report.history_batches,
+        report.forwarded_batches
+    );
+    assert!(
+        report.history_batches < 2 * THRESHOLD,
+        "replay history must stay bounded by the truncation threshold \
+         plus one persistence interval, got {}",
+        report.history_batches
+    );
+
+    // Truncation must never forget a batch a restart still needs: kill
+    // the peer (its memory-only last round vanishes), restart it from
+    // its snapshot, and let anti-entropy resend exactly the gap from
+    // what remains of the history.
+    handles[1].take().unwrap().shutdown().unwrap();
+    handles[1] = Some(Server::bind(configs[1].clone()).unwrap().spawn().unwrap());
+    client.flush().unwrap();
+
+    let stats = client.stats(session).unwrap();
+    assert_eq!(stats.total as usize, stream.len());
+    let rec = client
+        .reconstruct(session, ReconstructionMethod::ClosedForm, false)
+        .unwrap();
+    assert_eq!(
+        rec.estimates, baseline,
+        "reconstruction after truncation and a peer restart must stay \
+         bit-identical to the single-node run"
+    );
+
+    for handle in handles.into_iter().flatten() {
+        handle.shutdown().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn client_read_timeout_unwedges_a_stalled_server() {
     // Regression: `Client` used to connect with no timeouts at all, so
     // a stalled peer (accepts, never answers) wedged the caller
