@@ -319,6 +319,7 @@ fn run_server_metrics(args: Args) {
     println!("  deferred batches: {}", r.deferred_batches);
     println!("  sheds:            {}", r.sheds);
     println!("  accept errors:    {}", r.accept_errors);
+    println!("  idle reaped:      {}", r.idle_reaped);
     // All-zero on a thread-per-connection server; meaningful under
     // `frapp-serve --async`.
     println!("reactor");
@@ -335,14 +336,17 @@ fn run_server_metrics(args: Args) {
             for p in peers {
                 println!(
                     "  peer {} ({}): {} batches / {} records forwarded, \
-                     {} acked, {} retries, {} peer-down",
+                     {} acked, {} retries, {} peer-down, \
+                     {} breaker trips, health {}",
                     p.node,
                     p.addr,
                     p.forwarded_batches,
                     p.forwarded_records,
                     p.acked_records,
                     p.retries,
-                    p.peer_down
+                    p.peer_down,
+                    p.breaker_trips,
+                    p.health.as_str()
                 );
             }
         }
@@ -382,17 +386,26 @@ fn run_cluster_status(args: Args) {
     for p in peers {
         let get_u64 = |k| p.get(k).and_then(frapp_service::json::Value::as_u64);
         let get_bool = |k| p.get(k).and_then(frapp_service::json::Value::as_bool);
+        // The breaker-driven health state refines the probe result:
+        // a reachable peer can still be `degraded` (recent failures)
+        // or `down` (breaker open, connects failing fast).
+        let health = p
+            .get("health")
+            .and_then(frapp_service::json::Value::as_str)
+            .unwrap_or("up");
+        let status = if !get_bool("up").unwrap_or(false) {
+            "DOWN".to_owned()
+        } else if health == "up" {
+            "up".to_owned()
+        } else {
+            format!("up ({health})")
+        };
         println!(
-            "  node {} {:<21} {}{}",
+            "  node {} {:<21} {status}{}",
             get_u64("node").unwrap_or(0),
             p.get("addr")
                 .and_then(frapp_service::json::Value::as_str)
                 .unwrap_or("?"),
-            if get_bool("up").unwrap_or(false) {
-                "up"
-            } else {
-                "DOWN"
-            },
             if get_bool("self").unwrap_or(false) {
                 " (this node)"
             } else {

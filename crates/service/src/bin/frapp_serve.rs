@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! frapp-serve [--addr 127.0.0.1:7878] [--http-addr 127.0.0.1:7880]
-//!             [--async] [--reactor-threads N]
+//!             [--async] [--reactor-threads N] [--offload-threads N]
 //!             [--shards N] [--seed S] [--max-sessions N]
 //!             [--max-connections N] [--persist-dir PATH]
 //!             [--persist-interval SECS]
 //!             [--peers HOST:PORT,HOST:PORT,...] [--replication N]
 //!             [--node-id K] [--connect-timeout-ms MS]
-//!             [--read-timeout-ms MS]
+//!             [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!             [--idle-timeout-ms MS] [--breaker-threshold N]
+//!             [--breaker-cooldown-ms MS] [--fault-plan SPEC]
 //! ```
 //!
 //! The server prints its bound address(es) on stdout (useful with port
@@ -40,6 +42,15 @@
 //! `docs/ARCHITECTURE.md`). `--node-id` names this node's index in the
 //! list, required when `--addr` is not a literal match (e.g. binding
 //! `0.0.0.0`).
+//!
+//! `--fault-plan` (or the `FRAPP_FAULT_PLAN` environment variable)
+//! arms deterministic fault injection for soak and chaos testing, e.g.
+//! `seed=42,peer_send=drop:0.3,persist_sync=io_error:0.05` — see
+//! `docs/ARCHITECTURE.md` §8 for the grammar and sites. The breaker
+//! knobs (`--breaker-threshold`, `--breaker-cooldown-ms`) govern when
+//! a flapping peer link trips to `down` and how long connects fail
+//! fast before the next half-open probe; `--idle-timeout-ms` reaps
+//! connections idle past the limit on the threaded front-ends.
 
 use frapp_service::{Server, ServiceConfig};
 
@@ -49,13 +60,24 @@ fn usage() -> ! {
          [--reactor-threads N] [--shards N] [--seed S] [--max-sessions N] \
          [--max-connections N] [--persist-dir PATH] [--persist-interval SECS] \
          [--peers HOST:PORT,...] [--replication N] [--node-id K] \
-         [--connect-timeout-ms MS] [--read-timeout-ms MS]"
+         [--connect-timeout-ms MS] [--read-timeout-ms MS] \
+         [--write-timeout-ms MS] [--idle-timeout-ms MS] \
+         [--offload-threads N] [--breaker-threshold N] \
+         [--breaker-cooldown-ms MS] [--fault-plan SPEC]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut config = ServiceConfig::with_addr("127.0.0.1:7878");
+    // The environment arms the fault plan first; an explicit
+    // --fault-plan flag overrides it.
+    if let Ok(spec) = std::env::var("FRAPP_FAULT_PLAN") {
+        config.fault_plan = frapp_service::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("FRAPP_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        });
+    }
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -122,6 +144,42 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = value("--write-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value("--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--offload-threads" => {
+                config.offload_threads = value("--offload-threads")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = value("--breaker-threshold")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--breaker-cooldown-ms" => {
+                config.breaker_cooldown_ms = value("--breaker-cooldown-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--fault-plan" => {
+                config.fault_plan = frapp_service::FaultPlan::parse(&value("--fault-plan"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("--fault-plan: {e}");
+                        usage()
+                    })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -149,6 +207,7 @@ fn main() {
         )
     });
     let persist_dir = config.persist_dir.clone();
+    let fault_spec = (!config.fault_plan.is_empty()).then(|| config.fault_plan.spec().to_owned());
     let (async_mode, reactor_threads) = (config.async_reactor, config.reactor_threads);
     let server = match Server::bind(config) {
         Ok(s) => s,
@@ -169,6 +228,9 @@ fn main() {
     }
     if let Some((nodes, replication)) = federation {
         println!("federation: {nodes} node(s), replication factor {replication}");
+    }
+    if let Some(spec) = &fault_spec {
+        println!("fault injection armed: {spec}");
     }
     if let Some(dir) = &persist_dir {
         let recovered = server.registry().ids();

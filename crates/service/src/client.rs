@@ -9,7 +9,8 @@
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 use crate::json::{self, object, Value};
-use crate::metrics::{LatencySummary, MetricsReport, PeerReplReport, TransportReport};
+use crate::metrics::{LatencySummary, MetricsReport, PeerHealth, PeerReplReport, TransportReport};
+use crate::protocol::PartialCoverage;
 use crate::session::{
     Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
 };
@@ -302,6 +303,7 @@ fn parse_transport_report(v: &Value) -> Result<TransportReport> {
         deferred_batches: field("deferred_batches"),
         sheds: field("sheds"),
         accept_errors: field("accept_errors"),
+        idle_reaped: field("idle_reaped"),
         reactor_registered_fds: reactor("registered_fds"),
         reactor_wakeups: reactor("wakeups"),
         reactor_partial_reads: reactor("partial_reads"),
@@ -338,9 +340,49 @@ pub(crate) fn parse_federation_peers(v: &Value) -> Result<Vec<PeerReplReport>> {
                 retries: field("retries"),
                 peer_down: field("peer_down"),
                 history_batches: field("history_batches"),
+                breaker_trips: field("breaker_trips"),
+                health: PeerHealth::from_wire(
+                    p.get("health").and_then(Value::as_str).unwrap_or("up"),
+                ),
             })
         })
         .collect()
+}
+
+/// Extracts the degraded-answer coverage a federated server attaches
+/// to a partial `reconstruct`/`stats` response (`"degraded": true`
+/// plus a `coverage` object). `None` means the answer is exact.
+fn parse_coverage(v: &Value) -> Option<PartialCoverage> {
+    if v.get("degraded").and_then(Value::as_bool) != Some(true) {
+        return None;
+    }
+    let c = v.get("coverage")?;
+    let missing = c
+        .get("missing")
+        .and_then(Value::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    Some((
+                        e.get("node").and_then(Value::as_usize)?,
+                        e.get("addr")
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_owned(),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(PartialCoverage {
+        owners_total: c.get("owners_total").and_then(Value::as_usize).unwrap_or(0),
+        owners_reachable: c
+            .get("owners_reachable")
+            .and_then(Value::as_usize)
+            .unwrap_or(0),
+        missing,
+    })
 }
 
 /// A connected line-protocol client.
@@ -383,6 +425,20 @@ impl Client {
         connect_timeout: Option<Duration>,
         read_timeout: Option<Duration>,
     ) -> Result<Self> {
+        Self::connect_with_all_timeouts(addr, connect_timeout, read_timeout, None)
+    }
+
+    /// [`Client::connect_with_timeouts`] plus a write timeout: bounds
+    /// how long a send can block on a peer that accepted the
+    /// connection but stopped draining its socket — the failure mode
+    /// a read timeout never sees, because the wedged call is the
+    /// *write*. What the federation links use.
+    pub fn connect_with_all_timeouts(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+    ) -> Result<Self> {
         let stream = match connect_timeout {
             None => TcpStream::connect(addr)?,
             Some(timeout) => {
@@ -405,6 +461,7 @@ impl Client {
         };
         stream.set_nodelay(true)?;
         stream.set_read_timeout(read_timeout)?;
+        stream.set_write_timeout(write_timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
         Ok(Client {
             reader: BufReader::new(stream),
@@ -598,11 +655,53 @@ impl Client {
         parse_reconstruction(&v, method)
     }
 
+    /// [`Client::reconstruct`] with `allow_partial` set: on a
+    /// federated server with unreachable owners the reply is a
+    /// *degraded* estimate over the reachable partitions, and the
+    /// returned coverage names the missing owners. `None` coverage
+    /// means the answer is exact (every owner contributed) — the only
+    /// possible outcome on a single-node server, where the flag is
+    /// accepted and ignored.
+    pub fn reconstruct_partial(
+        &mut self,
+        session: u64,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> Result<(Reconstruction, Option<PartialCoverage>)> {
+        let line = object(vec![
+            ("op", "reconstruct".into()),
+            ("session", session.into()),
+            ("method", method.wire_name().into()),
+            ("clamp", clamp.into()),
+            ("allow_partial", true.into()),
+        ])
+        .to_json();
+        let v = self.request(&line)?;
+        Ok((parse_reconstruction(&v, method)?, parse_coverage(&v)))
+    }
+
     /// Fetches ingest statistics.
     pub fn stats(&mut self, session: u64) -> Result<SessionStats> {
         let line = object(vec![("op", "stats".into()), ("session", session.into())]).to_json();
         let v = self.request(&line)?;
         parse_stats(&v)
+    }
+
+    /// [`Client::stats`] with `allow_partial` set (see
+    /// [`Client::reconstruct_partial`] for the degraded-answer
+    /// contract).
+    pub fn stats_partial(
+        &mut self,
+        session: u64,
+    ) -> Result<(SessionStats, Option<PartialCoverage>)> {
+        let line = object(vec![
+            ("op", "stats".into()),
+            ("session", session.into()),
+            ("allow_partial", true.into()),
+        ])
+        .to_json();
+        let v = self.request(&line)?;
+        Ok((parse_stats(&v)?, parse_coverage(&v)))
     }
 
     /// Lists live session ids.
@@ -836,10 +935,41 @@ impl HttpClient {
         parse_reconstruction(&v, method)
     }
 
+    /// [`HttpClient::reconstruct`] with `allow_partial=true` in the
+    /// query string (see [`Client::reconstruct_partial`] for the
+    /// degraded-answer contract).
+    pub fn reconstruct_partial(
+        &mut self,
+        session: u64,
+        method: ReconstructionMethod,
+        clamp: bool,
+    ) -> Result<(Reconstruction, Option<PartialCoverage>)> {
+        let path = format!(
+            "/sessions/{session}/reconstruct?method={}&clamp={clamp}&allow_partial=true",
+            method.wire_name()
+        );
+        let v = self.request("GET", &path, None)?;
+        Ok((parse_reconstruction(&v, method)?, parse_coverage(&v)))
+    }
+
     /// Fetches ingest statistics (`GET /sessions/{id}/stats`).
     pub fn stats(&mut self, session: u64) -> Result<SessionStats> {
         let v = self.request("GET", &format!("/sessions/{session}/stats"), None)?;
         parse_stats(&v)
+    }
+
+    /// [`HttpClient::stats`] with `allow_partial=true` in the query
+    /// string (see [`Client::reconstruct_partial`]).
+    pub fn stats_partial(
+        &mut self,
+        session: u64,
+    ) -> Result<(SessionStats, Option<PartialCoverage>)> {
+        let v = self.request(
+            "GET",
+            &format!("/sessions/{session}/stats?allow_partial=true"),
+            None,
+        )?;
+        Ok((parse_stats(&v)?, parse_coverage(&v)))
     }
 
     /// Lists live session ids (`GET /sessions`).

@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use crate::fault::FaultPlan;
 use std::path::PathBuf;
 
 /// Configuration for a [`crate::server::Server`].
@@ -91,6 +92,38 @@ pub struct ServiceConfig {
     /// milliseconds (`0` = none). Bounds how long a stalled peer can
     /// wedge a federation link or CLI call mid-response.
     pub read_timeout_ms: u64,
+    /// Write timeout for outbound client/replication connections, in
+    /// milliseconds (`0` = none). Bounds how long a peer that accepts
+    /// the connection but stops draining its socket can wedge a
+    /// federation link mid-send.
+    pub write_timeout_ms: u64,
+    /// Idle timeout for *inbound* connections on the threaded
+    /// front-ends, in milliseconds (`0`, the default, disables
+    /// reaping). A connection that sends no byte for this long is
+    /// closed and counted in
+    /// [`crate::metrics::TransportReport::idle_reaped`], so stalled
+    /// clients (slowloris) cannot pin `max_connections` slots forever.
+    pub idle_timeout_ms: u64,
+    /// Consecutive peer-link failures before the per-peer circuit
+    /// breaker opens (health `down`): while open, sends fail fast
+    /// without touching the socket until `breaker_cooldown_ms` elapses
+    /// and a half-open probe is allowed through. The first failure
+    /// already marks the peer `degraded`. Values below 1 are treated
+    /// as 1.
+    pub breaker_threshold: u32,
+    /// How long an open circuit breaker back-pressures a peer link
+    /// before allowing a half-open probe, in milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Worker threads in the reactor's offload executor — the pool
+    /// that runs dispatch (including federated fan-out and persistence
+    /// I/O) off the event-loop threads. Ignored in
+    /// thread-per-connection mode. Values below 1 are treated as 1.
+    pub offload_threads: usize,
+    /// The deterministic fault-injection plan (see [`crate::fault`]).
+    /// Empty by default: no faults, no overhead. Populated via
+    /// `frapp-serve --fault-plan` / `FRAPP_FAULT_PLAN` for soak and
+    /// regression testing.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +149,12 @@ impl Default for ServiceConfig {
             node_id: None,
             connect_timeout_ms: 5_000,
             read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            idle_timeout_ms: 0,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 1_000,
+            offload_threads: 2,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -158,6 +197,18 @@ impl ServiceConfig {
         self.replication = replication;
         self
     }
+
+    /// Installs a fault-injection plan (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Enables idle-connection reaping on the threaded front-ends.
+    pub fn with_idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +233,22 @@ mod tests {
         assert!(c.node_id.is_none());
         assert!(c.connect_timeout_ms > 0);
         assert!(c.read_timeout_ms > 0);
+        assert!(c.write_timeout_ms > 0);
+        assert_eq!(c.idle_timeout_ms, 0, "reaping must be opt-in");
+        assert!(c.breaker_threshold >= 1);
+        assert!(c.breaker_cooldown_ms > 0);
+        assert!(c.offload_threads >= 1);
+        assert!(c.fault_plan.is_empty(), "no faults by default");
+    }
+
+    #[test]
+    fn fault_plan_and_idle_timeout_builders() {
+        let plan = FaultPlan::parse("seed=1,peer_send=drop:0.5").unwrap();
+        let c = ServiceConfig::default()
+            .with_fault_plan(plan)
+            .with_idle_timeout_ms(250);
+        assert!(!c.fault_plan.is_empty());
+        assert_eq!(c.idle_timeout_ms, 250);
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] is a seeded schedule of injected failures, parsed
+//! from a compact spec string (`--fault-plan` / `FRAPP_FAULT_PLAN` on
+//! `frapp-serve`) and threaded through
+//! [`crate::config::ServiceConfig::fault_plan`]. Each *site* — a named
+//! choke point in the peer-link, persistence or connection layer —
+//! draws from its own deterministic RNG stream, so the same seed and
+//! spec always yield the same injected schedule regardless of what the
+//! other sites do. That determinism is what makes soak-test failures
+//! reproducible: rerun with the same `seed=` and the same faults fire
+//! in the same order.
+//!
+//! The spec grammar is comma-separated `key=value` pairs:
+//!
+//! ```text
+//! seed=42,peer_send=drop:0.3,persist_sync=io_error:1.0,conn_read=delay(10):0.1
+//! ```
+//!
+//! where each site maps to an action (`delay(<ms>)`, `drop`,
+//! `disconnect`, `short_write`, `io_error`) and an optional `:<prob>`
+//! firing probability (default `1.0`). An empty spec (the default
+//! config) disables injection entirely and costs nothing at the call
+//! sites.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A choke point where a [`FaultPlan`] can inject a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// An outbound peer-link connect (federation replication).
+    PeerConnect,
+    /// A batch forward / request on an established peer link.
+    PeerSend,
+    /// A snapshot or delta write in the persistence layer.
+    PersistWrite,
+    /// The atomic rename publishing a snapshot.
+    PersistRename,
+    /// An fsync (file or parent directory) in the persistence layer.
+    PersistSync,
+    /// A read on an inbound connection (threaded front-ends).
+    ConnRead,
+    /// A write on an inbound connection (threaded front-ends).
+    ConnWrite,
+}
+
+impl FaultSite {
+    /// Every site, in spec-name order.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::PeerConnect,
+        FaultSite::PeerSend,
+        FaultSite::PersistWrite,
+        FaultSite::PersistRename,
+        FaultSite::PersistSync,
+        FaultSite::ConnRead,
+        FaultSite::ConnWrite,
+    ];
+
+    /// The site's name in the spec grammar.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::PeerConnect => "peer_connect",
+            FaultSite::PeerSend => "peer_send",
+            FaultSite::PersistWrite => "persist_write",
+            FaultSite::PersistRename => "persist_rename",
+            FaultSite::PersistSync => "persist_sync",
+            FaultSite::ConnRead => "conn_read",
+            FaultSite::ConnWrite => "conn_write",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FaultSite> {
+        FaultSite::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    fn index(self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|s| *s == self)
+            .expect("every site is in ALL")
+    }
+}
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Stall the operation for the given number of milliseconds, then
+    /// let it proceed (slow peer / slow disk).
+    Delay(u64),
+    /// Silently discard the operation (lost datagram semantics — the
+    /// caller believes it succeeded; recovery must come from resync).
+    Drop,
+    /// Tear down the underlying connection (peer reset).
+    Disconnect,
+    /// Write only a prefix of the payload, then fail (torn write).
+    ShortWrite,
+    /// Fail with an I/O error without touching the payload.
+    IoError,
+}
+
+impl FaultAction {
+    fn parse(token: &str) -> Result<FaultAction, String> {
+        if let Some(rest) = token.strip_prefix("delay(") {
+            let ms = rest
+                .strip_suffix(')')
+                .and_then(|n| n.parse::<u64>().ok())
+                .ok_or_else(|| format!("bad delay spec `{token}` (want `delay(<ms>)`)"))?;
+            return Ok(FaultAction::Delay(ms));
+        }
+        match token {
+            "drop" => Ok(FaultAction::Drop),
+            "disconnect" => Ok(FaultAction::Disconnect),
+            "short_write" => Ok(FaultAction::ShortWrite),
+            "io_error" => Ok(FaultAction::IoError),
+            other => Err(format!(
+                "unknown fault action `{other}` (want delay(<ms>), drop, \
+                 disconnect, short_write or io_error)"
+            )),
+        }
+    }
+}
+
+/// One parsed site rule: the action and its firing probability.
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    action: FaultAction,
+    prob: f64,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    seed: u64,
+    spec: String,
+    rules: [Option<Rule>; FaultSite::ALL.len()],
+    /// Per-site xorshift64* state; each site has an independent,
+    /// deterministic stream so one site's draw rate never shifts
+    /// another's schedule.
+    states: [AtomicU64; FaultSite::ALL.len()],
+}
+
+/// A seeded, deterministic schedule of injected faults. Cloning shares
+/// the schedule (the clone continues the same per-site streams), which
+/// is what a config fan-out wants: every layer sees one plan.
+///
+/// The default (empty) plan injects nothing and short-circuits
+/// [`FaultPlan::decide`] before touching any RNG state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanInner>>,
+}
+
+/// SplitMix64: seeds each site's stream from (plan seed, site index)
+/// with good avalanche, so site streams are decorrelated even for
+/// adjacent seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn xorshift64star(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultPlan {
+    /// Parses a spec string (see the module docs for the grammar). An
+    /// empty or whitespace-only spec yields the empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(FaultPlan::default());
+        }
+        let mut seed = 0u64;
+        let mut rules: [Option<Rule>; FaultSite::ALL.len()] = [None; 7];
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault-plan entry `{part}` (want key=value)"))?;
+            if key == "seed" {
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad fault-plan seed `{value}`"))?;
+                continue;
+            }
+            let site = FaultSite::from_name(key).ok_or_else(|| {
+                format!(
+                    "unknown fault site `{key}` (want one of {})",
+                    FaultSite::ALL
+                        .iter()
+                        .map(|s| s.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            // `delay(10):0.5` — the probability is the suffix after the
+            // *last* ':' so the action token may not contain one.
+            let (action_tok, prob) = match value.rsplit_once(':') {
+                Some((a, p)) => {
+                    let prob = p
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|p| (0.0..=1.0).contains(p))
+                        .ok_or_else(|| {
+                            format!("bad fault probability `{p}` (want a number in [0, 1])")
+                        })?;
+                    (a, prob)
+                }
+                None => (value, 1.0),
+            };
+            let action = FaultAction::parse(action_tok)?;
+            rules[site.index()] = Some(Rule { action, prob });
+        }
+        if rules.iter().all(Option::is_none) {
+            return Ok(FaultPlan::default());
+        }
+        let states = std::array::from_fn(|i| {
+            // Never seed a xorshift stream with 0 (it is a fixed point).
+            AtomicU64::new(splitmix64(seed ^ ((i as u64 + 1) << 32)).max(1))
+        });
+        Ok(FaultPlan {
+            inner: Some(Arc::new(PlanInner {
+                seed,
+                spec: spec.to_owned(),
+                rules,
+                states,
+            })),
+        })
+    }
+
+    /// Whether this plan injects nothing (the default).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The plan's seed (0 for the empty plan).
+    pub fn seed(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.seed)
+    }
+
+    /// The spec string this plan was parsed from (empty for the empty
+    /// plan).
+    pub fn spec(&self) -> &str {
+        self.inner.as_ref().map_or("", |i| i.spec.as_str())
+    }
+
+    /// Draws the next decision for `site`: `Some(action)` when the
+    /// site's rule fires, `None` otherwise. Sites without a rule never
+    /// fire and consume no RNG state.
+    pub fn decide(&self, site: FaultSite) -> Option<FaultAction> {
+        let inner = self.inner.as_ref()?;
+        let rule = inner.rules[site.index()]?;
+        if rule.prob >= 1.0 {
+            return Some(rule.action);
+        }
+        if rule.prob <= 0.0 {
+            return None;
+        }
+        let state = &inner.states[site.index()];
+        let next = state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| {
+                Some(xorshift64star(x))
+            })
+            .map(xorshift64star)
+            .unwrap_or(1);
+        // Map the top 53 bits to [0, 1).
+        let u = (next >> 11) as f64 / (1u64 << 53) as f64;
+        (u < rule.prob).then_some(rule.action)
+    }
+
+    /// Convenience for persistence/connection I/O sites: a `Delay`
+    /// sleeps and succeeds; every other action maps to an injected
+    /// `std::io::Error`; no decision succeeds immediately.
+    pub fn inject_io(&self, site: FaultSite) -> std::io::Result<()> {
+        match self.decide(site) {
+            None => Ok(()),
+            Some(FaultAction::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(action) => Err(std::io::Error::other(format!(
+                "injected fault at {}: {action:?}",
+                site.name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        for spec in ["", "   ", "seed=7"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert!(plan.is_empty(), "spec `{spec}` must be empty");
+            assert_eq!(plan.decide(FaultSite::PeerSend), None);
+            assert!(plan.inject_io(FaultSite::PersistSync).is_ok());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=42,peer_send=drop:0.3,persist_sync=io_error:1.0,conn_read=delay(10):0.1",
+        )
+        .unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seed(), 42);
+        // Probability 1.0 fires every time.
+        assert_eq!(
+            plan.decide(FaultSite::PersistSync),
+            Some(FaultAction::IoError)
+        );
+        assert_eq!(
+            plan.decide(FaultSite::PersistSync),
+            Some(FaultAction::IoError)
+        );
+        // Sites without a rule never fire.
+        assert_eq!(plan.decide(FaultSite::PeerConnect), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "nonsense",
+            "peer_send=explode",
+            "peer_send=drop:2.0",
+            "peer_send=drop:x",
+            "warp_core=drop",
+            "seed=banana",
+            "conn_read=delay(ten)",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn same_seed_yields_the_same_schedule() {
+        // Property: for any seed, two plans parsed from the same spec
+        // produce identical decision sequences at every site — the
+        // reproducibility contract the soak harness relies on.
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let spec = format!("seed={seed},peer_send=drop:0.5,conn_read=delay(1):0.25");
+            let a = FaultPlan::parse(&spec).unwrap();
+            let b = FaultPlan::parse(&spec).unwrap();
+            for site in [FaultSite::PeerSend, FaultSite::ConnRead] {
+                let sa: Vec<_> = (0..256).map(|_| a.decide(site)).collect();
+                let sb: Vec<_> = (0..256).map(|_| b.decide(site)).collect();
+                assert_eq!(sa, sb, "seed {seed} site {site:?} diverged");
+                let fired = sa.iter().filter(|d| d.is_some()).count();
+                assert!(fired > 0, "p>=0.25 over 256 draws must fire (seed {seed})");
+                assert!(fired < 256, "p<=0.5 over 256 draws must miss (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_yield_different_schedules() {
+        let a = FaultPlan::parse("seed=1,peer_send=drop:0.5").unwrap();
+        let b = FaultPlan::parse("seed=2,peer_send=drop:0.5").unwrap();
+        let sa: Vec<_> = (0..128).map(|_| a.decide(FaultSite::PeerSend)).collect();
+        let sb: Vec<_> = (0..128).map(|_| b.decide(FaultSite::PeerSend)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        // Draining one site's stream must not shift another's.
+        let spec = "seed=9,peer_send=drop:0.5,conn_read=drop:0.5";
+        let a = FaultPlan::parse(spec).unwrap();
+        let b = FaultPlan::parse(spec).unwrap();
+        for _ in 0..64 {
+            a.decide(FaultSite::ConnRead);
+        }
+        let sa: Vec<_> = (0..64).map(|_| a.decide(FaultSite::PeerSend)).collect();
+        let sb: Vec<_> = (0..64).map(|_| b.decide(FaultSite::PeerSend)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn clones_share_one_schedule() {
+        let a = FaultPlan::parse("seed=3,peer_send=drop:0.5").unwrap();
+        let b = a.clone();
+        let mut merged = Vec::new();
+        for _ in 0..64 {
+            merged.push(a.decide(FaultSite::PeerSend));
+            merged.push(b.decide(FaultSite::PeerSend));
+        }
+        let fresh = FaultPlan::parse("seed=3,peer_send=drop:0.5").unwrap();
+        let reference: Vec<_> = (0..128)
+            .map(|_| fresh.decide(FaultSite::PeerSend))
+            .collect();
+        assert_eq!(merged, reference, "clones must continue the same stream");
+    }
+
+    #[test]
+    fn inject_io_maps_actions_to_io_results() {
+        let fail = FaultPlan::parse("persist_sync=io_error").unwrap();
+        let err = fail.inject_io(FaultSite::PersistSync).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        let pass = FaultPlan::parse("persist_sync=delay(0)").unwrap();
+        assert!(pass.inject_io(FaultSite::PersistSync).is_ok());
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let plan = FaultPlan::parse("peer_send=drop:0.0").unwrap();
+        assert!((0..256).all(|_| plan.decide(FaultSite::PeerSend).is_none()));
+    }
+}

@@ -14,12 +14,13 @@
 //! POST   /sessions                      -> create_session (JSON body)
 //! GET    /sessions                      -> list_sessions
 //! GET    /sessions/{id}                 -> stats
-//! GET    /sessions/{id}/stats           -> stats
+//! GET    /sessions/{id}/stats           -> stats (?allow_partial=true|false)
 //! POST   /sessions/{id}/records         -> submit (JSON body)
 //! GET    /sessions/{id}/reconstruct     -> reconstruct
-//!        ?method=closed|cached_lu|fresh_lu&clamp=true|false
+//!        ?method=closed|cached_lu|fresh_lu&clamp=true|false&allow_partial=true|false
 //! GET    /sessions/{id}/metrics         -> metrics
-//! GET    /metrics                       -> metrics (transport counters)
+//! GET    /metrics                       -> metrics (transport counters;
+//!        `Accept: text/plain` selects the Prometheus text exposition)
 //! POST   /sessions/{id}/persist         -> persist one session
 //! POST   /persist                       -> persist all sessions
 //! DELETE /sessions/{id}                 -> close_session
@@ -42,10 +43,10 @@ use crate::dispatch;
 use crate::error::{Result, ServiceError};
 use crate::json::{self, Value};
 use crate::protocol::{self, write_error_response, Request};
-use crate::server::{AcceptBackoff, Shared};
+use crate::server::{AcceptBackoff, IdleTimer, Shared};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -115,7 +116,14 @@ fn shed_http_connection(mut stream: TcpStream, shared: &Shared) {
         &mut body,
         &ServiceError::InvalidRequest(shared.shed_message()),
     );
-    let _ = write_http_response(&mut stream, 503, "Service Unavailable", &body, false);
+    let _ = write_http_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        CONTENT_TYPE_JSON,
+        &body,
+        false,
+    );
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
@@ -137,9 +145,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
     let mut head = Vec::new();
     let mut body_buf = Vec::new();
     let mut response = String::new();
+    let mut idle = IdleTimer::new(shared.config.idle_timeout_ms);
     loop {
-        if !read_head(&mut reader, &mut head, &shared.shutdown)? {
-            return Ok(()); // peer closed, or server shutting down
+        if !read_head(&mut reader, &mut head, shared, &mut idle)? {
+            return Ok(()); // peer closed, shutdown, or idle-reaped
         }
         let parsed = parse_head(&head);
         let h = match parsed {
@@ -147,7 +156,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
             Err(e) => {
                 response.clear();
                 write_error_response(&mut response, &e);
-                write_http_response(&mut writer, 400, "Bad Request", &response, false)?;
+                write_http_response(
+                    &mut writer,
+                    400,
+                    "Bad Request",
+                    CONTENT_TYPE_JSON,
+                    &response,
+                    false,
+                )?;
                 return Ok(());
             }
         };
@@ -161,7 +177,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
                         shared.config.max_line_bytes
                     )),
                 );
-                write_http_response(&mut writer, 413, "Payload Too Large", &response, false)?;
+                write_http_response(
+                    &mut writer,
+                    413,
+                    "Payload Too Large",
+                    CONTENT_TYPE_JSON,
+                    &response,
+                    false,
+                )?;
                 return Ok(());
             }
         }
@@ -173,11 +196,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
         }
         match h.body {
             BodyFraming::Length(n) => {
-                read_exact_with_shutdown(&mut reader, &mut body_buf, n, &shared.shutdown)?;
+                read_exact_with_shutdown(&mut reader, &mut body_buf, n, shared, &mut idle)?;
             }
             BodyFraming::Chunked => {
                 let mut decoder = ChunkDecoder::new(shared.config.max_line_bytes);
-                match read_chunked_with_shutdown(&mut reader, &mut decoder, &shared.shutdown)? {
+                match read_chunked_with_shutdown(&mut reader, &mut decoder, shared, &mut idle)? {
                     Ok(()) => decoder.take_body(&mut body_buf),
                     // Framing errors in the chunk stream are answered
                     // in-band and tear the connection down (the framing
@@ -186,7 +209,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
                         let (status, reason) = e.status();
                         response.clear();
                         write_error_response(&mut response, &e.into_service_error());
-                        write_http_response(&mut writer, status, reason, &response, false)?;
+                        write_http_response(
+                            &mut writer,
+                            status,
+                            reason,
+                            CONTENT_TYPE_JSON,
+                            &response,
+                            false,
+                        )?;
                         return Ok(());
                     }
                 }
@@ -195,35 +225,60 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
         shared.transport.record_http_request();
 
         response.clear();
-        let (status, reason) = respond(shared, &h.method, &h.target, &body_buf, &mut response);
+        let (status, reason, content_type) = respond(
+            shared,
+            &h.method,
+            &h.target,
+            h.accept_text,
+            &body_buf,
+            &mut response,
+        );
         // HTTP/1.1 defaults to keep-alive; honour an explicit close.
         let keep = h.keep_alive();
-        write_http_response(&mut writer, status, reason, &response, keep)?;
+        write_http_response(&mut writer, status, reason, content_type, &response, keep)?;
         if !keep {
             return Ok(());
         }
     }
 }
 
-/// Routes one request and executes it, writing the JSON body into
-/// `out`; returns the status line pair. Shared with the reactor
-/// front-end, which frames the same call with nonblocking I/O.
+/// The Content-Type of every JSON response body.
+pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
+/// The Content-Type of the Prometheus text exposition format.
+const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
+/// Routes one request and executes it, writing the response body into
+/// `out`; returns `(status, reason, content_type)`. Shared with the
+/// reactor front-end, which frames the same call with nonblocking I/O.
+///
+/// `accept_text` (the request's `Accept` header asking for
+/// `text/plain`) selects the Prometheus exposition rendering of
+/// `GET /metrics`; every other route — and `/metrics` without the
+/// header — answers JSON exactly as before.
 pub(crate) fn respond(
     shared: &Shared,
     method: &str,
     target: &str,
+    accept_text: bool,
     body: &[u8],
     out: &mut String,
-) -> (u16, &'static str) {
+) -> (u16, &'static str, &'static str) {
+    let path = target.split('?').next().unwrap_or(target);
+    if accept_text && method == "GET" && path == "/metrics" {
+        let peers = shared.fed.as_deref().map(|f| f.peer_reports());
+        crate::metrics::write_prometheus_metrics(out, &shared.transport.report(), peers.as_deref());
+        return (200, "OK", CONTENT_TYPE_PROMETHEUS);
+    }
     let req = match route(method, target, body) {
         Ok(req) => req,
         Err(RouteError::NotFound(msg)) => {
             write_error_response(out, &ServiceError::InvalidRequest(msg));
-            return (404, "Not Found");
+            return (404, "Not Found", CONTENT_TYPE_JSON);
         }
         Err(RouteError::Bad(e)) => {
             write_error_response(out, &e);
-            return status_of(&e);
+            let (status, reason) = status_of(&e);
+            return (status, reason, CONTENT_TYPE_JSON);
         }
     };
     match dispatch::execute(
@@ -234,11 +289,12 @@ pub(crate) fn respond(
         req,
         out,
     ) {
-        Ok(_) => (200, "OK"),
+        Ok(_) => (200, "OK", CONTENT_TYPE_JSON),
         Err(e) => {
             out.clear();
             write_error_response(out, &e);
-            status_of(&e)
+            let (status, reason) = status_of(&e);
+            (status, reason, CONTENT_TYPE_JSON)
         }
     }
 }
@@ -307,6 +363,7 @@ fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request
         ("GET", ["sessions"]) => Ok(Request::ListSessions),
         ("GET", ["sessions", id]) | ("GET", ["sessions", id, "stats"]) => Ok(Request::Stats {
             session: session_id(id)?,
+            allow_partial: stats_query(query)?,
         }),
         ("POST", ["sessions", id, "records"]) => {
             // Deferred acks are connection-oriented; over HTTP every
@@ -318,11 +375,12 @@ fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request
             )?)
         }
         ("GET", ["sessions", id, "reconstruct"]) => {
-            let (method_param, clamp) = reconstruct_query(query)?;
+            let (method_param, clamp, allow_partial) = reconstruct_query(query)?;
             Ok(protocol::parse_reconstruct(
                 session_id(id)?,
                 method_param,
                 clamp,
+                allow_partial,
             )?)
         }
         ("GET", ["sessions", id, "metrics"]) => Ok(Request::Metrics {
@@ -342,25 +400,32 @@ fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request
     }
 }
 
-/// Parses `method=...&clamp=...` from a reconstruct query string.
-fn reconstruct_query(query: &str) -> std::result::Result<(Option<&str>, Option<bool>), RouteError> {
+/// Parses a boolean query value (`true`/`1`/`false`/`0`).
+fn query_bool(key: &str, value: &str) -> std::result::Result<bool, RouteError> {
+    match value {
+        "true" | "1" => Ok(true),
+        "false" | "0" => Ok(false),
+        other => Err(RouteError::Bad(ServiceError::InvalidRequest(format!(
+            "`{key}` must be true or false, got `{other}`"
+        )))),
+    }
+}
+
+/// Parses `method=...&clamp=...&allow_partial=...` from a reconstruct
+/// query string.
+#[allow(clippy::type_complexity)]
+fn reconstruct_query(
+    query: &str,
+) -> std::result::Result<(Option<&str>, Option<bool>, bool), RouteError> {
     let mut method = None;
     let mut clamp = None;
+    let mut allow_partial = false;
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
         match key {
             "method" => method = Some(value),
-            "clamp" => {
-                clamp = Some(match value {
-                    "true" | "1" => true,
-                    "false" | "0" => false,
-                    other => {
-                        return Err(RouteError::Bad(ServiceError::InvalidRequest(format!(
-                            "`clamp` must be true or false, got `{other}`"
-                        ))))
-                    }
-                })
-            }
+            "clamp" => clamp = Some(query_bool(key, value)?),
+            "allow_partial" => allow_partial = query_bool(key, value)?,
             other => {
                 return Err(RouteError::Bad(ServiceError::InvalidRequest(format!(
                     "unknown query parameter `{other}`"
@@ -368,16 +433,36 @@ fn reconstruct_query(query: &str) -> std::result::Result<(Option<&str>, Option<b
             }
         }
     }
-    Ok((method, clamp))
+    Ok((method, clamp, allow_partial))
+}
+
+/// Parses `allow_partial=...` from a stats query string.
+fn stats_query(query: &str) -> std::result::Result<bool, RouteError> {
+    let mut allow_partial = false;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "allow_partial" => allow_partial = query_bool(key, value)?,
+            other => {
+                return Err(RouteError::Bad(ServiceError::InvalidRequest(format!(
+                    "unknown query parameter `{other}`"
+                ))))
+            }
+        }
+    }
+    Ok(allow_partial)
 }
 
 /// Reads one request head (request line + headers, through the blank
 /// line) into `buf`. Returns `false` on a clean EOF before any byte
-/// (the peer closed an idle keep-alive connection) or on shutdown.
+/// (the peer closed an idle keep-alive connection), on shutdown, or
+/// when the connection is reaped for sitting idle past the configured
+/// timeout (counted in the transport metrics).
 fn read_head(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
-    shutdown: &AtomicBool,
+    shared: &Shared,
+    idle: &mut IdleTimer,
 ) -> Result<bool> {
     const TERM: &[u8; 4] = b"\r\n\r\n";
     buf.clear();
@@ -387,14 +472,21 @@ fn read_head(
     let mut matched = 0usize;
     loop {
         let chunk = match reader.fill_buf() {
-            Ok(chunk) => chunk,
+            Ok(chunk) => {
+                idle.touch();
+                chunk
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+                if idle.expired() {
+                    shared.transport.record_idle_reaped();
                     return Ok(false);
                 }
                 continue;
@@ -444,24 +536,34 @@ fn read_head(
 }
 
 /// Reads exactly `n` body bytes, treating read timeouts as "check the
-/// shutdown flag and keep waiting" like the line protocol does.
+/// shutdown flag and keep waiting" like the line protocol does. A body
+/// dripping in slower than the idle timeout (classic slowloris) is
+/// reaped mid-read.
 fn read_exact_with_shutdown(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
     n: usize,
-    shutdown: &AtomicBool,
+    shared: &Shared,
+    idle: &mut IdleTimer,
 ) -> Result<()> {
     buf.clear();
     while buf.len() < n {
         let chunk = match reader.fill_buf() {
-            Ok(chunk) => chunk,
+            Ok(chunk) => {
+                idle.touch();
+                chunk
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(ServiceError::ConnectionClosed);
+                }
+                if idle.expired() {
+                    shared.transport.record_idle_reaped();
                     return Err(ServiceError::ConnectionClosed);
                 }
                 continue;
@@ -499,6 +601,10 @@ pub(crate) struct Head {
     /// The `Connection` header's verdict (HTTP/1.1 defaults true).
     keep_alive: bool,
     pub(crate) expect_continue: bool,
+    /// Whether the `Accept` header asks for a plain-text body
+    /// (`text/plain`, or a bare `text/*`) — drives the Prometheus
+    /// exposition rendering of `GET /metrics`.
+    pub(crate) accept_text: bool,
 }
 
 impl Head {
@@ -538,6 +644,7 @@ pub(crate) fn parse_head(head: &[u8]) -> Result<Head> {
     // HTTP/1.1 defaults to persistent connections.
     let mut keep_alive = version == "HTTP/1.1";
     let mut expect_continue = false;
+    let mut accept_text = false;
     for line in lines {
         if line.is_empty() {
             break;
@@ -567,6 +674,14 @@ pub(crate) fn parse_head(head: &[u8]) -> Result<Head> {
         } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
         {
             expect_continue = true;
+        } else if name.eq_ignore_ascii_case("accept") {
+            // A simplified negotiation: any listed `text/plain` (or
+            // `text/*`) media range selects the text rendering where
+            // one exists. q-weights are not interpreted.
+            accept_text = value
+                .split(',')
+                .map(|range| range.split(';').next().unwrap_or("").trim())
+                .any(|media| media.eq_ignore_ascii_case("text/plain") || media == "text/*");
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             if value.eq_ignore_ascii_case("chunked") {
                 chunked = true;
@@ -597,6 +712,7 @@ pub(crate) fn parse_head(head: &[u8]) -> Result<Head> {
         },
         keep_alive,
         expect_continue,
+        accept_text,
     })
 }
 
@@ -816,18 +932,26 @@ fn parse_chunk_size(line: &[u8]) -> std::result::Result<usize, ChunkError> {
 fn read_chunked_with_shutdown(
     reader: &mut BufReader<TcpStream>,
     decoder: &mut ChunkDecoder,
-    shutdown: &AtomicBool,
+    shared: &Shared,
+    idle: &mut IdleTimer,
 ) -> Result<std::result::Result<(), ChunkError>> {
     while !decoder.is_done() {
         let chunk = match reader.fill_buf() {
-            Ok(chunk) => chunk,
+            Ok(chunk) => {
+                idle.touch();
+                chunk
+            }
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(ServiceError::ConnectionClosed);
+                }
+                if idle.expired() {
+                    shared.transport.record_idle_reaped();
                     return Err(ServiceError::ConnectionClosed);
                 }
                 continue;
@@ -845,20 +969,21 @@ fn read_chunked_with_shutdown(
     Ok(Ok(()))
 }
 
-/// Appends one HTTP response (status line, headers, JSON body) to a
-/// byte buffer. Shared by the threaded writer below and the reactor's
+/// Appends one HTTP response (status line, headers, body) to a byte
+/// buffer. Shared by the threaded writer below and the reactor's
 /// output buffers, so both front-ends emit byte-identical messages.
 pub(crate) fn format_http_response(
     out: &mut Vec<u8>,
     status: u16,
     reason: &str,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: {connection}\r\n\r\n",
         body.len()
@@ -868,18 +993,19 @@ pub(crate) fn format_http_response(
     out.extend_from_slice(body.as_bytes());
 }
 
-/// Writes one HTTP response with a JSON body. Head and body go out in
-/// a single `write` so the response never straddles Nagle's algorithm
-/// and the peer's delayed-ACK timer.
+/// Writes one HTTP response. Head and body go out in a single `write`
+/// so the response never straddles Nagle's algorithm and the peer's
+/// delayed-ACK timer.
 fn write_http_response(
     writer: &mut TcpStream,
     status: u16,
     reason: &str,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> Result<()> {
     let mut message = Vec::new();
-    format_http_response(&mut message, status, reason, body, keep_alive);
+    format_http_response(&mut message, status, reason, content_type, body, keep_alive);
     writer.write_all(&message)?;
     writer.flush()?;
     Ok(())
@@ -1011,12 +1137,26 @@ mod tests {
         ));
         assert!(matches!(
             route("GET", "/sessions/7", b""),
-            Ok(Request::Stats { session: 7 })
+            Ok(Request::Stats {
+                session: 7,
+                allow_partial: false
+            })
         ));
         assert!(matches!(
             route("GET", "/sessions/7/stats", b""),
-            Ok(Request::Stats { session: 7 })
+            Ok(Request::Stats {
+                session: 7,
+                allow_partial: false
+            })
         ));
+        assert!(matches!(
+            route("GET", "/sessions/7/stats?allow_partial=true", b""),
+            Ok(Request::Stats {
+                session: 7,
+                allow_partial: true
+            })
+        ));
+        assert!(route("GET", "/sessions/7/stats?allow_partial=maybe", b"").is_err());
         assert!(matches!(
             route("GET", "/metrics", b""),
             Ok(Request::Metrics { session: None })
@@ -1080,25 +1220,33 @@ mod tests {
     fn reconstruct_route_parses_query_parameters() {
         match route(
             "GET",
-            "/sessions/2/reconstruct?method=cached_lu&clamp=false",
+            "/sessions/2/reconstruct?method=cached_lu&clamp=false&allow_partial=true",
             b"",
         ) {
             Ok(Request::Reconstruct {
                 session,
                 method,
                 clamp,
+                allow_partial,
             }) => {
                 assert_eq!(session, 2);
                 assert_eq!(method, crate::session::ReconstructionMethod::CachedLu);
                 assert!(!clamp);
+                assert!(allow_partial);
             }
             _ => panic!("route failed"),
         }
-        // Defaults: closed form, clamped.
+        // Defaults: closed form, clamped, exact.
         match route("GET", "/sessions/2/reconstruct", b"") {
-            Ok(Request::Reconstruct { method, clamp, .. }) => {
+            Ok(Request::Reconstruct {
+                method,
+                clamp,
+                allow_partial,
+                ..
+            }) => {
                 assert_eq!(method, crate::session::ReconstructionMethod::ClosedForm);
                 assert!(clamp);
+                assert!(!allow_partial);
             }
             _ => panic!("route failed"),
         }

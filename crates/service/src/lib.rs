@@ -94,6 +94,7 @@ pub mod client;
 pub mod config;
 pub mod dispatch;
 pub mod error;
+pub mod fault;
 pub mod fed;
 pub mod http;
 pub mod json;
@@ -109,8 +110,11 @@ pub mod shard;
 pub use client::{Client, HttpClient, SessionSpec};
 pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
+pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use fed::FedState;
-pub use metrics::{MetricsReport, SessionMetrics, TransportMetrics, TransportReport};
+pub use metrics::{
+    MetricsReport, PeerHealth, PeerReplReport, SessionMetrics, TransportMetrics, TransportReport,
+};
 pub use server::{Server, ServerHandle};
 pub use session::{
     CollectionSession, Mechanism, ReconstructionMethod, SessionRegistry, SessionSummary,

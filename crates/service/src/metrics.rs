@@ -14,7 +14,7 @@
 //! observable in production without any extra hot-path cost beyond one
 //! atomic increment per batch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Number of histogram buckets. The last bucket (`>= 2^30` µs ≈ 18 min)
@@ -224,6 +224,7 @@ pub struct TransportMetrics {
     reactor_wakeups: AtomicU64,
     reactor_partial_reads: AtomicU64,
     reactor_partial_writes: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 impl TransportMetrics {
@@ -296,6 +297,12 @@ impl TransportMetrics {
         self.reactor_partial_writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one idle connection reaped by the slowloris guard
+    /// ([`crate::config::ServiceConfig::idle_timeout_ms`]).
+    pub fn record_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn report(&self) -> TransportReport {
         TransportReport {
@@ -310,6 +317,7 @@ impl TransportMetrics {
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
             reactor_partial_reads: self.reactor_partial_reads.load(Ordering::Relaxed),
             reactor_partial_writes: self.reactor_partial_writes.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
         }
     }
 }
@@ -341,6 +349,63 @@ pub struct TransportReport {
     pub reactor_partial_reads: u64,
     /// Writes that could not flush the whole output buffer.
     pub reactor_partial_writes: u64,
+    /// Idle connections reaped by the slowloris guard (zero when
+    /// `idle_timeout_ms` is 0).
+    pub idle_reaped: u64,
+}
+
+/// A federation peer's health, as driven by its link's circuit
+/// breaker: `Up` (requests flow normally), `Degraded` (at least one
+/// recent consecutive failure — retries are in flight), `Down` (the
+/// breaker is open: consecutive failures reached the threshold and
+/// sends fail fast until the cooldown allows a half-open probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerHealth {
+    /// The link is healthy.
+    #[default]
+    Up,
+    /// Recent failures observed; the link is retrying.
+    Degraded,
+    /// The circuit breaker is open; sends fail fast.
+    Down,
+}
+
+impl PeerHealth {
+    /// The wire name of this state (`"up"` / `"degraded"` / `"down"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PeerHealth::Up => "up",
+            PeerHealth::Degraded => "degraded",
+            PeerHealth::Down => "down",
+        }
+    }
+
+    /// Parses the wire name [`PeerHealth::as_str`] produces. Unknown
+    /// names (a newer server) read as `Up` rather than failing — the
+    /// field is advisory.
+    pub fn from_wire(name: &str) -> PeerHealth {
+        match name {
+            "degraded" => PeerHealth::Degraded,
+            "down" => PeerHealth::Down,
+            _ => PeerHealth::Up,
+        }
+    }
+
+    fn from_u8(v: u8) -> PeerHealth {
+        match v {
+            1 => PeerHealth::Degraded,
+            2 => PeerHealth::Down,
+            _ => PeerHealth::Up,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            PeerHealth::Up => 0,
+            PeerHealth::Degraded => 1,
+            PeerHealth::Down => 2,
+        }
+    }
 }
 
 /// Live replication counters for one federation peer link.
@@ -357,6 +422,8 @@ pub struct PeerReplCounters {
     retries: AtomicU64,
     peer_down: AtomicU64,
     history_batches: AtomicU64,
+    breaker_trips: AtomicU64,
+    health: AtomicU8,
 }
 
 impl PeerReplCounters {
@@ -395,6 +462,22 @@ impl PeerReplCounters {
         self.history_batches.store(batches, Ordering::Relaxed);
     }
 
+    /// Counts one circuit-breaker trip (the link entered `Down`).
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the peer's health state (driven by the link's circuit
+    /// breaker).
+    pub fn set_health(&self, health: PeerHealth) {
+        self.health.store(health.as_u8(), Ordering::Relaxed);
+    }
+
+    /// The peer's current health state.
+    pub fn health(&self) -> PeerHealth {
+        PeerHealth::from_u8(self.health.load(Ordering::Relaxed))
+    }
+
     /// A point-in-time report for peer `node` at `addr`.
     pub fn report(&self, node: usize, addr: &str) -> PeerReplReport {
         PeerReplReport {
@@ -406,6 +489,8 @@ impl PeerReplCounters {
             retries: self.retries.load(Ordering::Relaxed),
             peer_down: self.peer_down.load(Ordering::Relaxed),
             history_batches: self.history_batches.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            health: self.health(),
         }
     }
 }
@@ -431,6 +516,10 @@ pub struct PeerReplReport {
     /// Replay batches currently held in the link's in-memory history
     /// (a gauge — bounded by durable-watermark truncation).
     pub history_batches: u64,
+    /// Times the link's circuit breaker opened (entered `Down`).
+    pub breaker_trips: u64,
+    /// The peer's current health state.
+    pub health: PeerHealth,
 }
 
 /// A snapshot of one session's [`SessionMetrics`].
@@ -453,6 +542,131 @@ pub struct MetricsReport {
     pub ingest_batch_size: LatencySummary,
     /// Submit-batch latency distribution, microseconds.
     pub submit_latency: LatencySummary,
+}
+
+/// Renders the transport (and, when federated, per-peer replication)
+/// counters in the Prometheus text exposition format, version 0.0.4.
+///
+/// Served by `GET /metrics` when the request's `Accept` header asks for
+/// `text/plain` (JSON stays the default). The values come from the same
+/// snapshots as the JSON response, so the two views can never disagree.
+/// `frapp_peer_health` encodes [`PeerHealth`] as a gauge: 0 = up,
+/// 1 = degraded, 2 = down.
+pub fn write_prometheus_metrics(
+    out: &mut String,
+    transport: &TransportReport,
+    peers: Option<&[PeerReplReport]>,
+) {
+    use std::fmt::Write as _;
+    fn scalar(out: &mut String, name: &str, kind: &str, value: u64) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    scalar(
+        out,
+        "frapp_tcp_connections_total",
+        "counter",
+        transport.tcp_connections,
+    );
+    scalar(
+        out,
+        "frapp_http_connections_total",
+        "counter",
+        transport.http_connections,
+    );
+    scalar(
+        out,
+        "frapp_tcp_requests_total",
+        "counter",
+        transport.tcp_requests,
+    );
+    scalar(
+        out,
+        "frapp_http_requests_total",
+        "counter",
+        transport.http_requests,
+    );
+    scalar(
+        out,
+        "frapp_deferred_batches_total",
+        "counter",
+        transport.deferred_batches,
+    );
+    scalar(out, "frapp_sheds_total", "counter", transport.sheds);
+    scalar(
+        out,
+        "frapp_accept_errors_total",
+        "counter",
+        transport.accept_errors,
+    );
+    scalar(
+        out,
+        "frapp_reactor_registered_fds",
+        "gauge",
+        transport.reactor_registered_fds,
+    );
+    scalar(
+        out,
+        "frapp_reactor_wakeups_total",
+        "counter",
+        transport.reactor_wakeups,
+    );
+    scalar(
+        out,
+        "frapp_reactor_partial_reads_total",
+        "counter",
+        transport.reactor_partial_reads,
+    );
+    scalar(
+        out,
+        "frapp_reactor_partial_writes_total",
+        "counter",
+        transport.reactor_partial_writes,
+    );
+    scalar(
+        out,
+        "frapp_idle_reaped_total",
+        "counter",
+        transport.idle_reaped,
+    );
+    let Some(peers) = peers else {
+        return;
+    };
+    // One TYPE line per family, then one labelled sample per peer.
+    // Addresses are host:port strings, so the label values never need
+    // escaping.
+    type PeerGauge = fn(&PeerReplReport) -> u64;
+    let families: [(&str, &str, PeerGauge); 8] = [
+        ("frapp_peer_forwarded_batches_total", "counter", |p| {
+            p.forwarded_batches
+        }),
+        ("frapp_peer_forwarded_records_total", "counter", |p| {
+            p.forwarded_records
+        }),
+        ("frapp_peer_acked_records_total", "counter", |p| {
+            p.acked_records
+        }),
+        ("frapp_peer_retries_total", "counter", |p| p.retries),
+        ("frapp_peer_down_total", "counter", |p| p.peer_down),
+        ("frapp_peer_history_batches", "gauge", |p| p.history_batches),
+        ("frapp_peer_breaker_trips_total", "counter", |p| {
+            p.breaker_trips
+        }),
+        ("frapp_peer_health", "gauge", |p| p.health.as_u8() as u64),
+    ];
+    for (name, kind, get) in families {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for p in peers {
+            let _ = writeln!(
+                out,
+                "{name}{{node=\"{}\",peer=\"{}\"}} {}",
+                p.node,
+                p.addr,
+                get(p)
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -583,6 +797,60 @@ mod tests {
         // A gauge, not a counter: the next publish overwrites.
         c.set_history_batches(3);
         assert_eq!(c.report(2, "x").history_batches, 3);
+    }
+
+    #[test]
+    fn peer_health_state_round_trips_and_defaults_up() {
+        let c = PeerReplCounters::new();
+        assert_eq!(c.health(), PeerHealth::Up);
+        c.set_health(PeerHealth::Degraded);
+        assert_eq!(c.health(), PeerHealth::Degraded);
+        c.set_health(PeerHealth::Down);
+        c.record_breaker_trip();
+        let r = c.report(0, "a");
+        assert_eq!(r.health, PeerHealth::Down);
+        assert_eq!(r.breaker_trips, 1);
+        assert_eq!(PeerHealth::Up.as_str(), "up");
+        assert_eq!(PeerHealth::Degraded.as_str(), "degraded");
+        assert_eq!(PeerHealth::Down.as_str(), "down");
+    }
+
+    #[test]
+    fn idle_reaped_counts() {
+        let t = TransportMetrics::new();
+        t.record_idle_reaped();
+        t.record_idle_reaped();
+        assert_eq!(t.report().idle_reaped, 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_transport_and_peers() {
+        let t = TransportMetrics::new();
+        t.record_tcp_connection();
+        t.record_idle_reaped();
+        let c = PeerReplCounters::new();
+        c.record_forward(5);
+        c.record_breaker_trip();
+        c.set_health(PeerHealth::Down);
+        let peer = c.report(1, "127.0.0.1:7001");
+        let mut out = String::new();
+        write_prometheus_metrics(&mut out, &t.report(), Some(&[peer]));
+        assert!(out.contains("# TYPE frapp_tcp_connections_total counter\n"));
+        assert!(out.contains("frapp_tcp_connections_total 1\n"));
+        assert!(out.contains("frapp_idle_reaped_total 1\n"));
+        assert!(out.contains(
+            "frapp_peer_forwarded_records_total{node=\"1\",peer=\"127.0.0.1:7001\"} 5\n"
+        ));
+        assert!(
+            out.contains("frapp_peer_breaker_trips_total{node=\"1\",peer=\"127.0.0.1:7001\"} 1\n")
+        );
+        assert!(out.contains("frapp_peer_health{node=\"1\",peer=\"127.0.0.1:7001\"} 2\n"));
+        // Every line is a comment or a sample; no stray blank lines.
+        assert!(out.lines().all(|l| !l.is_empty()));
+        // Without federation, no peer families appear at all.
+        let mut single = String::new();
+        write_prometheus_metrics(&mut single, &t.report(), None);
+        assert!(!single.contains("frapp_peer_"));
     }
 
     #[test]

@@ -51,12 +51,17 @@
 //! 1.0 to one cell) and the JSON writer emits integral `f64`s without a
 //! fraction, so the on-disk representation is exact. Files are written
 //! to `<dir>/session-<id>.json` via a temp-file-and-rename so a crash
-//! mid-write never corrupts the previous snapshot. Unknown versions are
+//! mid-write never corrupts the previous snapshot; after the rename
+//! the parent directory is fsynced too, so the *entry* pointing at the
+//! new base is as durable as its bytes. Every file operation can be
+//! failed deterministically through an injected [`FaultPlan`] (the
+//! `*_faulted` entry points). Unknown versions are
 //! rejected at load; unreadable files are skipped by [`load_all`] (a
 //! corrupt snapshot must not brick the whole server) and reported to
 //! the caller.
 
 use crate::error::{Result, ServiceError};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::json::{self, object, Value};
 use crate::session::{CollectionSession, Mechanism, ShardDump};
 use crate::shard::ShardDelta;
@@ -91,6 +96,26 @@ pub fn delta_file_name(id: u64) -> String {
 /// The delta file path for a session id under `dir`.
 pub fn delta_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(delta_file_name(id))
+}
+
+/// Fsyncs `dir` itself, making a rename, create or removal of an
+/// entry inside it durable. Syncing the *file* is not enough: the
+/// directory entry pointing at it lives in the directory's own
+/// metadata, which the kernel flushes separately — after a crash, a
+/// fully synced snapshot can still be unreachable under its final
+/// name if the rename never hit the journal.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        // Directories cannot be opened as files on other platforms;
+        // the rename itself is the best durability available there.
+        let _ = dir;
+        Ok(())
+    }
 }
 
 /// The session id encoded in a snapshot file name
@@ -289,12 +314,29 @@ fn delta_line_value(seq: u64, delta: &ShardDelta) -> Value {
 /// explicitly closed refuses the write, so an in-flight periodic save
 /// cannot resurrect a snapshot that `close_session` just deleted.
 pub fn save_session(dir: &Path, session: &CollectionSession) -> Result<PathBuf> {
-    let _gate = session.persist_gate();
-    save_session_locked(dir, session)
+    save_session_faulted(dir, session, &FaultPlan::default())
 }
 
-/// [`save_session`] with the persist gate already held by the caller.
-fn save_session_locked(dir: &Path, session: &CollectionSession) -> Result<PathBuf> {
+/// [`save_session`] with a [`FaultPlan`] threaded through: the write,
+/// the rename and the directory fsync each consult the plan first, so
+/// tests and the soak harness can force deterministic persistence
+/// failures at every stage of the snapshot protocol.
+pub fn save_session_faulted(
+    dir: &Path,
+    session: &CollectionSession,
+    fault: &FaultPlan,
+) -> Result<PathBuf> {
+    let _gate = session.persist_gate();
+    save_session_locked(dir, session, fault)
+}
+
+/// [`save_session_faulted`] with the persist gate already held by the
+/// caller.
+fn save_session_locked(
+    dir: &Path,
+    session: &CollectionSession,
+    fault: &FaultPlan,
+) -> Result<PathBuf> {
     static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     if session.is_closed() {
         return Err(ServiceError::Snapshot(format!(
@@ -308,7 +350,9 @@ fn save_session_locked(dir: &Path, session: &CollectionSession) -> Result<PathBu
     // of the new base. If the write fails they are restored, keeping
     // the delta stream over the previous base complete.
     let (dumps, drained) = session.dump_shards_flushing();
+    let mut renamed = false;
     let write = (|| -> Result<PathBuf> {
+        fault.inject_io(FaultSite::PersistWrite)?;
         std::fs::create_dir_all(dir)?;
         let path = session_path(dir, session.id());
         let tmp = dir.join(format!(
@@ -323,7 +367,14 @@ fn save_session_locked(dir: &Path, session: &CollectionSession) -> Result<PathBu
             file.write_all(b"\n")?;
             file.sync_all()?;
         }
+        fault.inject_io(FaultSite::PersistRename)?;
         std::fs::rename(&tmp, &path)?;
+        renamed = true;
+        // The rename published the new base into the live filesystem,
+        // but it is not crash-durable until the directory entry itself
+        // is flushed.
+        fault.inject_io(FaultSite::PersistSync)?;
+        fsync_dir(dir)?;
         Ok(path)
     })();
     match write {
@@ -343,6 +394,15 @@ fn save_session_locked(dir: &Path, session: &CollectionSession) -> Result<PathBu
         }
         Err(e) => {
             session.restore_deltas(&drained);
+            if renamed {
+                // The new base (with the bumped sequence) is already
+                // visible on disk even though its durability could not
+                // be confirmed. The session's own sequence stays
+                // behind, so a later delta append would carry a stale
+                // `seq` the next recovery ignores — force the next
+                // flush to lay down a fresh full base instead.
+                session.force_full_snapshot();
+            }
             Err(e)
         }
     }
@@ -378,6 +438,16 @@ pub fn persist_session_incremental(
     dir: &Path,
     session: &CollectionSession,
 ) -> Result<FlushOutcome> {
+    persist_session_incremental_faulted(dir, session, &FaultPlan::default())
+}
+
+/// [`persist_session_incremental`] with a [`FaultPlan`] threaded
+/// through (see [`save_session_faulted`]).
+pub fn persist_session_incremental_faulted(
+    dir: &Path,
+    session: &CollectionSession,
+    fault: &FaultPlan,
+) -> Result<FlushOutcome> {
     let _gate = session.persist_gate();
     if session.is_closed() {
         return Err(ServiceError::Snapshot(format!(
@@ -386,7 +456,7 @@ pub fn persist_session_incremental(
         )));
     }
     if session.persist_seq() == 0 || session.needs_full_snapshot() {
-        save_session_locked(dir, session)?;
+        save_session_locked(dir, session, fault)?;
         return Ok(FlushOutcome::FullSnapshot);
     }
     let deltas = session.take_dirty_deltas();
@@ -395,17 +465,27 @@ pub fn persist_session_incremental(
     }
     let seq = session.persist_seq();
     let append = (|| -> Result<()> {
+        fault.inject_io(FaultSite::PersistWrite)?;
         let mut text = String::new();
         for delta in &deltas {
             delta_line_value(seq, delta).write_json(&mut text);
             text.push('\n');
         }
+        let path = delta_path(dir, session.id());
+        let created = !path.exists();
         let mut file = std::fs::File::options()
             .create(true)
             .append(true)
-            .open(delta_path(dir, session.id()))?;
+            .open(path)?;
         file.write_all(text.as_bytes())?;
+        fault.inject_io(FaultSite::PersistSync)?;
         file.sync_all()?;
+        if created {
+            // The first append created the delta file; flush the
+            // directory entry so the whole stream — not just its
+            // bytes — survives a crash.
+            fsync_dir(dir)?;
+        }
         Ok(())
     })();
     match append {
@@ -435,7 +515,12 @@ pub fn persist_session_incremental(
 /// already LRU-evicted to disk.
 pub fn remove_session_file(dir: &Path, id: u64) -> bool {
     let removed = std::fs::remove_file(session_path(dir, id)).is_ok();
-    let _ = std::fs::remove_file(delta_path(dir, id));
+    let cleaned = std::fs::remove_file(delta_path(dir, id)).is_ok();
+    if removed || cleaned {
+        // Durable deletion: flush the directory so a crash cannot
+        // resurrect a closed session's snapshot from a stale entry.
+        let _ = fsync_dir(dir);
+    }
     removed
 }
 
@@ -1179,6 +1264,72 @@ mod tests {
         // Delta files never parse as (and thus never shadow) a base.
         assert_eq!(session_id_from_file_name(&delta_file_name(42)), None);
         assert_eq!(session_id_from_file_name("other.json"), None);
+    }
+
+    #[test]
+    fn injected_faults_surface_and_never_lose_an_increment() {
+        let dir = temp_dir("faults");
+        let session = sample_session(31);
+        save_session(&dir, &session).unwrap();
+
+        // A failed delta append restores the drained increments: the
+        // fault-free retry flushes them and recovery sees everything.
+        session
+            .submit_batch_to_shard(0, &[vec![1, 1]], true)
+            .unwrap();
+        let write_fault = FaultPlan::parse("seed=1,persist_write=io_error").unwrap();
+        let err = persist_session_incremental_faulted(&dir, &session, &write_fault).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::Deltas(1)
+        );
+        let recovered = load_session(&session_path(&dir, 31), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+
+        // A rename fault fails the save before publication: the old
+        // base (plus its delta stream) still recovers bit-exactly.
+        session
+            .submit_batch_to_shard(0, &[vec![2, 0]], true)
+            .unwrap();
+        let rename_fault = FaultPlan::parse("seed=1,persist_rename=io_error").unwrap();
+        assert!(save_session_faulted(&dir, &session, &rename_fault).is_err());
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::Deltas(1)
+        );
+        let recovered = load_session(&session_path(&dir, 31), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+
+        // A directory-fsync fault fires AFTER the rename published the
+        // new base: the session must demand a full snapshot next so no
+        // delta line lands under a sequence the new base ignores.
+        session
+            .submit_batch_to_shard(1, &[vec![0, 1]], true)
+            .unwrap();
+        let sync_fault = FaultPlan::parse("seed=1,persist_sync=io_error").unwrap();
+        assert!(save_session_faulted(&dir, &session, &sync_fault).is_err());
+        assert!(
+            session.needs_full_snapshot(),
+            "a post-rename sync failure must force a fresh full base"
+        );
+        assert_eq!(
+            persist_session_incremental(&dir, &session).unwrap(),
+            FlushOutcome::FullSnapshot
+        );
+        let recovered = load_session(&session_path(&dir, 31), 4096, 1 << 24).unwrap();
+        assert_eq!(recovered.dump_shards(), session.dump_shards());
+
+        // A delay fault is not an error: the flush just takes longer.
+        session
+            .submit_batch_to_shard(0, &[vec![0, 0]], true)
+            .unwrap();
+        let slow = FaultPlan::parse("seed=1,persist_write=delay(1)").unwrap();
+        assert_eq!(
+            persist_session_incremental_faulted(&dir, &session, &slow).unwrap(),
+            FlushOutcome::Deltas(1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

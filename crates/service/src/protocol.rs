@@ -219,11 +219,19 @@ pub enum Request {
         method: ReconstructionMethod,
         /// Apply non-negativity clamping + rescale to `N`.
         clamp: bool,
+        /// Federation: answer from the reachable owner partitions when
+        /// some owners are down (the response is then tagged
+        /// `"degraded":true` with a coverage report) instead of
+        /// erroring. Ignored on single-node servers.
+        allow_partial: bool,
     },
     /// Ingest statistics for a session.
     Stats {
         /// Target session id.
         session: u64,
+        /// Federation: tolerate unreachable owners, as on
+        /// [`Request::Reconstruct`].
+        allow_partial: bool,
     },
     /// Operational metrics for a session (ingest rate, reconstruction
     /// count, query-latency histogram), or — with no session id — the
@@ -456,13 +464,14 @@ pub(crate) fn parse_submit(v: &Value, session: u64, allow_deferred: bool) -> Res
     })
 }
 
-/// Builds a `reconstruct` request from wire-level method/clamp values
-/// (shared with the HTTP front-end, where they arrive as query
+/// Builds a `reconstruct` request from wire-level method/clamp/partial
+/// values (shared with the HTTP front-end, where they arrive as query
 /// parameters).
 pub(crate) fn parse_reconstruct(
     session: u64,
     method: Option<&str>,
     clamp: Option<bool>,
+    allow_partial: bool,
 ) -> Result<Request> {
     Ok(Request::Reconstruct {
         session,
@@ -471,6 +480,7 @@ pub(crate) fn parse_reconstruct(
             Some(m) => ReconstructionMethod::from_wire(m)?,
         },
         clamp: clamp.unwrap_or(true),
+        allow_partial,
     })
 }
 
@@ -635,10 +645,12 @@ pub fn request_from_value(v: &Value) -> Result<Request> {
                 field_u64(v, "session")?,
                 method,
                 Some(optional_bool(v, "clamp", true)?),
+                optional_bool(v, "allow_partial", false)?,
             )
         }
         "stats" => Ok(Request::Stats {
             session: field_u64(v, "session")?,
+            allow_partial: optional_bool(v, "allow_partial", false)?,
         }),
         "metrics" => Ok(Request::Metrics {
             session: optional_u64(v, "session")?,
@@ -706,20 +718,75 @@ pub fn write_error_response(out: &mut String, err: &ServiceError) {
     object(pairs).write_json(out);
 }
 
+/// Coverage report attached to a degraded (partial) federated read:
+/// which owner partitions the merged answer actually covers. Only
+/// present when at least one owner was skipped — a fully covered
+/// answer is not "degraded" even if `allow_partial` was set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartialCoverage {
+    /// Owner nodes the session's ingest partitions across.
+    pub owners_total: usize,
+    /// Owners whose partitions the answer includes.
+    pub owners_reachable: usize,
+    /// The skipped owners, as `(node index, address)`.
+    pub missing: Vec<(usize, String)>,
+}
+
+/// The `"degraded":true,"coverage":{...}` tail of a partial response.
+fn degraded_pairs(coverage: &PartialCoverage) -> Vec<(&'static str, Value)> {
+    vec![
+        ("degraded", true.into()),
+        (
+            "coverage",
+            object(vec![
+                ("owners_total", coverage.owners_total.into()),
+                ("owners_reachable", coverage.owners_reachable.into()),
+                (
+                    "missing",
+                    Value::Array(
+                        coverage
+                            .missing
+                            .iter()
+                            .map(|(node, addr)| {
+                                object(vec![
+                                    ("node", (*node).into()),
+                                    ("addr", addr.as_str().into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]
+}
+
 /// Writes the response payload for a successful `reconstruct`.
 pub fn write_reconstruction_response(out: &mut String, rec: &Reconstruction) {
-    write_ok_response(
-        out,
-        vec![
-            ("n", rec.n.into()),
-            ("method", rec.method.wire_name().into()),
-            ("lu_cache_hit", rec.lu_cache_hit.into()),
-            (
-                "estimates",
-                Value::Array(rec.estimates.iter().map(|&e| Value::Number(e)).collect()),
-            ),
-        ],
-    )
+    write_reconstruction_response_with(out, rec, None)
+}
+
+/// [`write_reconstruction_response`], optionally tagged as a degraded
+/// partial answer (federation `allow_partial` with unreachable
+/// owners).
+pub fn write_reconstruction_response_with(
+    out: &mut String,
+    rec: &Reconstruction,
+    coverage: Option<&PartialCoverage>,
+) {
+    let mut pairs = vec![
+        ("n", rec.n.into()),
+        ("method", rec.method.wire_name().into()),
+        ("lu_cache_hit", rec.lu_cache_hit.into()),
+        (
+            "estimates",
+            Value::Array(rec.estimates.iter().map(|&e| Value::Number(e)).collect()),
+        ),
+    ];
+    if let Some(c) = coverage {
+        pairs.extend(degraded_pairs(c));
+    }
+    write_ok_response(out, pairs)
 }
 
 /// Response payload for a successful `reconstruct`.
@@ -731,16 +798,27 @@ pub fn reconstruction_response(rec: &Reconstruction) -> String {
 
 /// Writes the response payload for a successful `stats`.
 pub fn write_stats_response(out: &mut String, stats: &SessionStats) {
-    write_ok_response(
-        out,
-        vec![
-            ("total", stats.total.into()),
-            (
-                "per_shard",
-                Value::Array(stats.per_shard.iter().map(|&c| c.into()).collect()),
-            ),
-        ],
-    )
+    write_stats_response_with(out, stats, None)
+}
+
+/// [`write_stats_response`], optionally tagged as a degraded partial
+/// answer.
+pub fn write_stats_response_with(
+    out: &mut String,
+    stats: &SessionStats,
+    coverage: Option<&PartialCoverage>,
+) {
+    let mut pairs = vec![
+        ("total", stats.total.into()),
+        (
+            "per_shard",
+            Value::Array(stats.per_shard.iter().map(|&c| c.into()).collect()),
+        ),
+    ];
+    if let Some(c) = coverage {
+        pairs.extend(degraded_pairs(c));
+    }
+    write_ok_response(out, pairs)
 }
 
 /// Response payload for a successful `stats`.
@@ -844,6 +922,7 @@ pub fn write_transport_metrics_response(
                 ("deferred_batches", report.deferred_batches.into()),
                 ("sheds", report.sheds.into()),
                 ("accept_errors", report.accept_errors.into()),
+                ("idle_reaped", report.idle_reaped.into()),
             ]),
         ),
         (
@@ -874,6 +953,8 @@ pub fn write_transport_metrics_response(
                                 ("retries", p.retries.into()),
                                 ("peer_down", p.peer_down.into()),
                                 ("history_batches", p.history_batches.into()),
+                                ("breaker_trips", p.breaker_trips.into()),
+                                ("health", p.health.as_str().into()),
                             ])
                         })
                         .collect(),
@@ -1218,6 +1299,8 @@ mod tests {
             retries: 2,
             peer_down: 1,
             history_batches: 3,
+            breaker_trips: 1,
+            health: crate::metrics::PeerHealth::Degraded,
         };
         write_transport_metrics_response(&mut out, &report, Some(std::slice::from_ref(&peer)));
         let v = crate::json::parse(&out).unwrap();
@@ -1236,6 +1319,14 @@ mod tests {
         assert_eq!(
             peers[0].get("history_batches").and_then(Value::as_u64),
             Some(3)
+        );
+        assert_eq!(
+            peers[0].get("breaker_trips").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            peers[0].get("health").and_then(Value::as_str),
+            Some("degraded")
         );
     }
 
@@ -1262,8 +1353,70 @@ mod tests {
                 session: 1,
                 method: ReconstructionMethod::ClosedForm,
                 clamp: true,
+                allow_partial: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_allow_partial_on_reconstruct_and_stats() {
+        let req =
+            parse_request(r#"{"op":"reconstruct","session":1,"allow_partial":true}"#).unwrap();
+        assert!(matches!(
+            req,
+            Request::Reconstruct {
+                allow_partial: true,
+                ..
+            }
+        ));
+        assert_eq!(
+            parse_request(r#"{"op":"stats","session":1,"allow_partial":true}"#).unwrap(),
+            Request::Stats {
+                session: 1,
+                allow_partial: true
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats","session":1}"#).unwrap(),
+            Request::Stats {
+                session: 1,
+                allow_partial: false
+            }
+        );
+        assert!(parse_request(r#"{"op":"stats","session":1,"allow_partial":3}"#).is_err());
+    }
+
+    #[test]
+    fn degraded_responses_carry_coverage() {
+        let coverage = PartialCoverage {
+            owners_total: 2,
+            owners_reachable: 1,
+            missing: vec![(1, "127.0.0.1:7001".to_owned())],
+        };
+        let stats = SessionStats {
+            total: 10,
+            per_shard: vec![10],
+        };
+        let mut out = String::new();
+        write_stats_response_with(&mut out, &stats, Some(&coverage));
+        let v = crate::json::parse(&out).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(true));
+        let c = v.get("coverage").unwrap();
+        assert_eq!(c.get("owners_total").and_then(Value::as_u64), Some(2));
+        assert_eq!(c.get("owners_reachable").and_then(Value::as_u64), Some(1));
+        let missing = c.get("missing").and_then(Value::as_array).unwrap();
+        assert_eq!(missing[0].get("node").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            missing[0].get("addr").and_then(Value::as_str),
+            Some("127.0.0.1:7001")
+        );
+        // A fully covered answer is never tagged.
+        out.clear();
+        write_stats_response_with(&mut out, &stats, None);
+        let v = crate::json::parse(&out).unwrap();
+        assert!(v.get("degraded").is_none());
+        assert!(v.get("coverage").is_none());
     }
 
     #[test]

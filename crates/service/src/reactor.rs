@@ -18,7 +18,13 @@
 //!    complete HTTP requests go through the same `respond` /
 //!    `format_http_response` helpers as [`crate::http`];
 //!    `tests/reactor.rs` asserts raw byte parity against the threaded
-//!    front-ends.
+//!    front-ends. Dispatch itself runs *off* the event loop: buffered
+//!    complete frames are handed to the shared offload pool
+//!    (`crate::dispatch::OffloadExecutor`, one in-flight job per
+//!    connection so per-connection ordering holds) and the responses
+//!    come back through a wake pipe — so a dispatch that blocks (a
+//!    federated fan-out barrier, a persistence fsync) stalls one
+//!    worker, never the reactor.
 //! 2. **No new dependencies.** The poller is a ~150-line `sys` shim of
 //!    raw `extern "C"` syscall declarations — `epoll` on Linux/Android,
 //!    `kqueue` on the BSDs and macOS — resolved by the libc that `std`
@@ -55,6 +61,10 @@ use std::time::Duration;
 
 #[cfg(unix)]
 use std::os::unix::io::{AsRawFd, RawFd};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::sync::Mutex;
 
 /// Raw syscall shim for the platform's readiness API. No `libc` crate:
 /// these symbols live in the C library `std` already links against.
@@ -472,8 +482,21 @@ const WRITE_HIGH_WATER: usize = 256 * 1024;
 const TOKEN_LINE: u64 = 0;
 /// Registration token of the HTTP listener.
 const TOKEN_HTTP: u64 = 1;
-/// First token handed to an accepted connection.
-const TOKEN_FIRST_CONN: u64 = 2;
+/// Registration token of the completion-queue wake pipe.
+const TOKEN_WAKE: u64 = 2;
+/// First token handed to an accepted connection. Tokens are monotonic
+/// and never reused, so a completion for a connection that died while
+/// its job was in flight can never be misdelivered to a newcomer.
+const TOKEN_FIRST_CONN: u64 = 3;
+
+/// Per-connection input cap: one maximal frame of either protocol plus
+/// one scratch read of pipelined follow-ups. Past this the reactor
+/// stops *reading* (backpressure), and the offload worker's own frame
+/// bounds turn a genuinely oversized single frame into a close.
+#[cfg(unix)]
+fn read_cap(shared: &Shared) -> usize {
+    shared.config.max_line_bytes + http::MAX_HEAD_BYTES + 64 * 1024
+}
 
 /// Runs the reactor front-end over the given listeners until the shared
 /// shutdown flag is set. Spawns `config.reactor_threads - 1` sibling
@@ -568,15 +591,21 @@ struct Conn {
     stream: TcpStream,
     fd: RawFd,
     _guard: ConnGuard,
-    kind: ConnKind,
-    /// Raw unconsumed input; incomplete frames wait here.
+    /// The protocol state — `None` while an offload job holds it (at
+    /// most one job per connection is ever in flight, which is what
+    /// keeps responses ordered).
+    kind: Option<ConnKind>,
+    /// Raw unconsumed input; incomplete frames (and frames buffered
+    /// behind an in-flight job) wait here.
     read_buf: Vec<u8>,
     /// Unflushed output, already formatted; `write_pos` marks how much
     /// of it has been written so far.
     write_buf: Vec<u8>,
     write_pos: usize,
-    /// Reusable response-body scratch.
-    response: String,
+    /// The last job consumed nothing and no bytes have arrived since:
+    /// the buffer holds an incomplete frame, so don't re-spawn a job
+    /// until the socket produces more input.
+    stalled: bool,
     /// Currently registered for writable events.
     want_write: bool,
     /// Read interest dropped because the write buffer crossed the
@@ -595,6 +624,76 @@ struct Conn {
 impl Conn {
     fn pending_write(&self) -> usize {
         self.write_buf.len() - self.write_pos
+    }
+}
+
+/// The working set of one offload job: the connection's protocol state
+/// plus every byte read so far. The worker consumes complete frames
+/// from `input` into `out`; the reactor splices whatever is left back
+/// in front of any newly arrived bytes when the completion lands.
+#[cfg(unix)]
+struct Work {
+    kind: ConnKind,
+    input: Vec<u8>,
+    out: Vec<u8>,
+    response: String,
+    close_after_flush: bool,
+    shutdown_after_flush: bool,
+}
+
+/// What one finished offload job sends back to its reactor thread.
+#[cfg(unix)]
+struct Completion {
+    token: u64,
+    kind: ConnKind,
+    /// Unconsumed input, to be re-spliced ahead of newer bytes.
+    leftover: Vec<u8>,
+    /// Formatted response bytes to append to the write buffer.
+    write: Vec<u8>,
+    close_after_flush: bool,
+    shutdown_after_flush: bool,
+    /// Unrecoverable framing: close the connection without ceremony.
+    fatal: bool,
+    /// At least one frame was consumed (drives the stall detector).
+    made_progress: bool,
+}
+
+/// The channel from offload workers back to one reactor thread: a
+/// mutex-guarded vector plus a wake pipe whose read end sits in the
+/// poller under [`TOKEN_WAKE`], so a completion interrupts the poll
+/// wait instead of waiting out the timeout.
+#[cfg(unix)]
+struct CompletionQueue {
+    done: Mutex<Vec<Completion>>,
+    wake: UnixStream,
+}
+
+#[cfg(unix)]
+impl CompletionQueue {
+    /// Called by workers. One wake byte per empty-to-non-empty edge is
+    /// enough under level triggering; a full pipe (reactor far behind)
+    /// still wakes, so the nonblocking write result is ignorable.
+    fn push(&self, completion: Completion) {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let was_empty = done.is_empty();
+        done.push(completion);
+        drop(done);
+        if was_empty {
+            let _ = (&self.wake).write(&[1]);
+        }
+    }
+
+    /// Called by the reactor: takes everything queued so far.
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(
+            &mut *self
+                .done
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
@@ -653,6 +752,18 @@ fn reactor_loop(
         shared.transport.record_reactor_fd_registered();
     }
 
+    // The offload completion channel: workers push finished jobs and
+    // write one byte into the pipe; the read end wakes this poller.
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, false)?;
+    shared.transport.record_reactor_fd_registered();
+    let completions = Arc::new(CompletionQueue {
+        done: Mutex::new(Vec::new()),
+        wake: wake_tx,
+    });
+
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token = TOKEN_FIRST_CONN;
     let mut events = Vec::new();
@@ -680,6 +791,13 @@ fn reactor_loop(
         poller.wait(&mut events, POLL_TIMEOUT_MS)?;
         shared.transport.record_reactor_wakeup();
         for &ev in &events {
+            if ev.token == TOKEN_WAKE {
+                // Drain the wake bytes; the completions themselves are
+                // drained once per loop pass below.
+                let mut sink = [0u8; 64];
+                while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                continue;
+            }
             if let Some(slot) = slots.iter_mut().find(|s| s.token == ev.token) {
                 let outcome = accept_ready(
                     slot.listener,
@@ -712,12 +830,16 @@ fn reactor_loop(
                 &poller,
                 token,
                 &mut scratch,
+                &completions,
             );
             if matches!(verdict, Verdict::Close) {
                 if let Some(conn) = conns.remove(&token) {
                     close_conn(&poller, shared, conn);
                 }
             }
+        }
+        for completion in completions.drain() {
+            apply_completion(completion, &mut conns, shared, &poller, &completions);
         }
     }
 
@@ -742,6 +864,8 @@ fn reactor_loop(
             shared.transport.record_reactor_fd_deregistered();
         }
     }
+    let _ = poller.delete(wake_rx.as_raw_fd());
+    shared.transport.record_reactor_fd_deregistered();
     Ok(())
 }
 
@@ -799,7 +923,7 @@ fn accept_ready(
             stream,
             fd,
             _guard: guard,
-            kind: if is_http {
+            kind: Some(if is_http {
                 ConnKind::Http {
                     state: HttpState::Head,
                 }
@@ -807,11 +931,11 @@ fn accept_ready(
                 ConnKind::Line {
                     state: ConnState::new(),
                 }
-            },
+            }),
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             write_pos: 0,
-            response: String::new(),
+            stalled: false,
             want_write: false,
             read_paused: false,
             close_after_flush: false,
@@ -844,7 +968,14 @@ fn shed(mut stream: TcpStream, is_http: bool, shared: &Shared) {
     );
     let mut message = Vec::new();
     if is_http {
-        http::format_http_response(&mut message, 503, "Service Unavailable", &body, false);
+        http::format_http_response(
+            &mut message,
+            503,
+            "Service Unavailable",
+            http::CONTENT_TYPE_JSON,
+            &body,
+            false,
+        );
     } else {
         body.push('\n');
         message.extend_from_slice(body.as_bytes());
@@ -855,6 +986,7 @@ fn shed(mut stream: TcpStream, is_http: bool, shared: &Shared) {
 
 /// Handles one readiness event on an established connection.
 #[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
 fn handle_conn_event(
     conn: &mut Conn,
     readable: bool,
@@ -863,15 +995,14 @@ fn handle_conn_event(
     poller: &sys::Poller,
     token: u64,
     scratch: &mut [u8],
+    completions: &Arc<CompletionQueue>,
 ) -> Verdict {
     if readable && !conn.read_paused && !conn.close_after_flush {
         match fill_read_buf(conn, shared, scratch) {
             Ok(()) => {}
             Err(()) => return Verdict::Close,
         }
-        if let Err(()) = process_frames(conn, shared) {
-            return Verdict::Close;
-        }
+        maybe_start_job(conn, token, shared, completions);
     }
     if writable || conn.pending_write() > 0 {
         if let Err(()) = flush_writes(conn, shared) {
@@ -884,26 +1015,151 @@ fn handle_conn_event(
         // its responses may never see another readable event to
         // deliver the buffered requests otherwise.
         if conn.pending_write() <= WRITE_HIGH_WATER && !conn.close_after_flush {
-            if let Err(()) = process_frames(conn, shared) {
-                return Verdict::Close;
-            }
-            if let Err(()) = flush_writes(conn, shared) {
-                return Verdict::Close;
-            }
+            maybe_start_job(conn, token, shared, completions);
         }
     }
+    conn_tail(conn, shared, poller, token)
+}
+
+/// The common epilogue after any work on a connection: shutdown and
+/// close decisions, then interest re-registration. A connection with a
+/// job in flight (`kind` taken) or consumable buffered input is never
+/// closed on `peer_eof` — its response is still owed.
+#[cfg(unix)]
+fn conn_tail(conn: &mut Conn, shared: &Arc<Shared>, poller: &sys::Poller, token: u64) -> Verdict {
     if conn.shutdown_after_flush && conn.pending_write() == 0 {
         shared.shutdown.store(true, Ordering::SeqCst);
         return Verdict::Close;
     }
-    if (conn.close_after_flush || conn.peer_eof) && conn.pending_write() == 0 {
+    let drained = conn.kind.is_some() && (conn.read_buf.is_empty() || conn.stalled);
+    if (conn.close_after_flush || (conn.peer_eof && drained)) && conn.pending_write() == 0 {
         return Verdict::Close;
     }
-    update_interest(conn, poller, token)
+    update_interest(conn, shared, poller, token)
+}
+
+/// Hands the connection's buffered input and protocol state to the
+/// offload pool, unless a job is already in flight, there is nothing
+/// (new) to consume, or backpressure says not yet.
+#[cfg(unix)]
+fn maybe_start_job(
+    conn: &mut Conn,
+    token: u64,
+    shared: &Arc<Shared>,
+    completions: &Arc<CompletionQueue>,
+) {
+    if conn.stalled
+        || conn.read_buf.is_empty()
+        || conn.close_after_flush
+        || conn.shutdown_after_flush
+        || conn.pending_write() > WRITE_HIGH_WATER
+        || conn.kind.is_none()
+    {
+        return;
+    }
+    let Some(kind) = conn.kind.take() else {
+        return;
+    };
+    let input = std::mem::take(&mut conn.read_buf);
+    let job_shared = Arc::clone(shared);
+    let completions = Arc::clone(completions);
+    shared
+        .executor
+        .spawn(move || run_offload_job(token, kind, input, &job_shared, &completions));
+}
+
+/// The body of one offload job: consume every complete frame, then
+/// report back. Runs on an [`crate::dispatch::OffloadExecutor`] worker
+/// — this is the one place on the reactor side that may block.
+#[cfg(unix)]
+fn run_offload_job(
+    token: u64,
+    kind: ConnKind,
+    input: Vec<u8>,
+    shared: &Arc<Shared>,
+    completions: &Arc<CompletionQueue>,
+) {
+    let mut work = Work {
+        kind,
+        input,
+        out: Vec::new(),
+        response: String::new(),
+        close_after_flush: false,
+        shutdown_after_flush: false,
+    };
+    let (fatal, made_progress) = match process_frames(&mut work, shared) {
+        Ok(progress) => (false, progress),
+        Err(()) => (true, false),
+    };
+    if !fatal && !work.input.is_empty() {
+        shared.transport.record_reactor_partial_read();
+    }
+    completions.push(Completion {
+        token,
+        kind: work.kind,
+        leftover: work.input,
+        write: work.out,
+        close_after_flush: work.close_after_flush,
+        shutdown_after_flush: work.shutdown_after_flush,
+        fatal,
+        made_progress,
+    });
+}
+
+/// Lands one finished offload job back on its connection: restore the
+/// protocol state, splice unconsumed input ahead of newer bytes, queue
+/// and flush the response, then maybe start the next job.
+#[cfg(unix)]
+fn apply_completion(
+    completion: Completion,
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Arc<Shared>,
+    poller: &sys::Poller,
+    completions: &Arc<CompletionQueue>,
+) {
+    let token = completion.token;
+    if completion.fatal {
+        // Unrecoverable framing: the same unceremonious close the
+        // threaded loops use (nothing owed is worth sending).
+        if let Some(conn) = conns.remove(&token) {
+            close_conn(poller, shared, conn);
+        }
+        return;
+    }
+    let Some(conn) = conns.get_mut(&token) else {
+        return; // the connection died while its job was in flight
+    };
+    conn.kind = Some(completion.kind);
+    let new_bytes_arrived = !conn.read_buf.is_empty();
+    if !completion.leftover.is_empty() {
+        let mut buf = completion.leftover;
+        buf.extend_from_slice(&conn.read_buf);
+        conn.read_buf = buf;
+    }
+    conn.stalled = !completion.made_progress && !new_bytes_arrived;
+    conn.write_buf.extend_from_slice(&completion.write);
+    conn.close_after_flush |= completion.close_after_flush;
+    conn.shutdown_after_flush |= completion.shutdown_after_flush;
+    let verdict = if flush_writes(conn, shared).is_err() {
+        Verdict::Close
+    } else {
+        if conn.pending_write() <= WRITE_HIGH_WATER && !conn.close_after_flush {
+            maybe_start_job(conn, token, shared, completions);
+        }
+        conn_tail(conn, shared, poller, token)
+    };
+    if matches!(verdict, Verdict::Close) {
+        if let Some(conn) = conns.remove(&token) {
+            close_conn(poller, shared, conn);
+        }
+    }
 }
 
 /// Reads everything currently available on the socket into the
-/// connection's read buffer. `Err(())` means the connection died.
+/// connection's read buffer, stopping (without error) at the input
+/// cap — [`update_interest`] drops read interest past it, and reading
+/// resumes once the in-flight job drains the buffer. `Err(())` means
+/// the connection died.
 #[cfg(unix)]
 fn fill_read_buf(
     conn: &mut Conn,
@@ -911,6 +1167,9 @@ fn fill_read_buf(
     scratch: &mut [u8],
 ) -> std::result::Result<(), ()> {
     loop {
+        if conn.read_buf.len() > read_cap(shared) {
+            return Ok(());
+        }
         match conn.stream.read(scratch) {
             Ok(0) => {
                 conn.peer_eof = true;
@@ -918,14 +1177,7 @@ fn fill_read_buf(
             }
             Ok(n) => {
                 conn.read_buf.extend_from_slice(&scratch[..n]);
-                // Bound per-connection input memory: nothing the
-                // protocols accept legitimately outgrows one maximal
-                // frame plus one scratch read of pipelined follow-ups.
-                if conn.read_buf.len()
-                    > shared.config.max_line_bytes + http::MAX_HEAD_BYTES + scratch.len()
-                {
-                    return Err(());
-                }
+                conn.stalled = false;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -934,47 +1186,44 @@ fn fill_read_buf(
     }
 }
 
-/// Processes every complete frame sitting in the read buffer,
-/// appending responses to the write buffer. Stops early when the write
-/// buffer crosses the high-water mark (backpressure) or the connection
-/// decided to close. `Err(())` closes the connection without ceremony
-/// (unrecoverable framing, exactly like the threaded loops' dropped
-/// `Result`s).
+/// Processes every complete frame sitting in the job's input buffer,
+/// appending responses to its output buffer. Stops early when the
+/// output crosses the high-water mark (backpressure) or the connection
+/// decided to close. Returns whether any frame was consumed; `Err(())`
+/// closes the connection without ceremony (unrecoverable framing,
+/// exactly like the threaded loops' dropped `Result`s).
 #[cfg(unix)]
-fn process_frames(conn: &mut Conn, shared: &Arc<Shared>) -> std::result::Result<(), ()> {
+fn process_frames(work: &mut Work, shared: &Arc<Shared>) -> std::result::Result<bool, ()> {
     let mut consumed = 0usize;
     let result = loop {
-        if conn.close_after_flush || conn.shutdown_after_flush {
+        if work.close_after_flush || work.shutdown_after_flush {
             break Ok(());
         }
-        if conn.write_buf.len() - conn.write_pos > WRITE_HIGH_WATER {
+        if work.out.len() > WRITE_HIGH_WATER {
             break Ok(()); // backpressure: finish after the peer drains
         }
-        let made_progress = if matches!(conn.kind, ConnKind::Line { .. }) {
-            process_line_frame(conn, shared, &mut consumed)?
+        let made_progress = if matches!(work.kind, ConnKind::Line { .. }) {
+            process_line_frame(work, shared, &mut consumed)?
         } else {
-            process_http_frame(conn, shared, &mut consumed)?
+            process_http_frame(work, shared, &mut consumed)?
         };
         if !made_progress {
-            if consumed < conn.read_buf.len() {
-                shared.transport.record_reactor_partial_read();
-            }
             break Ok(());
         }
     };
-    conn.read_buf.drain(..consumed);
-    result
+    work.input.drain(..consumed);
+    result.map(|()| consumed > 0)
 }
 
-/// Tries to consume one line-protocol frame at `read_buf[*consumed..]`.
+/// Tries to consume one line-protocol frame at `input[*consumed..]`.
 /// Returns whether a frame was consumed.
 #[cfg(unix)]
 fn process_line_frame(
-    conn: &mut Conn,
+    work: &mut Work,
     shared: &Arc<Shared>,
     consumed: &mut usize,
 ) -> std::result::Result<bool, ()> {
-    let buf = &conn.read_buf[*consumed..];
+    let buf = &work.input[*consumed..];
     let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
         if buf.len() > shared.config.max_line_bytes {
             return Err(()); // oversized line: same silent close as threaded
@@ -993,13 +1242,13 @@ fn process_line_frame(
     if trimmed.is_empty() {
         return Ok(true);
     }
-    let ConnKind::Line { state } = &mut conn.kind else {
+    let ConnKind::Line { state } = &mut work.kind else {
         // A kind/framer mismatch is a reactor bug; close the
         // connection instead of taking the whole event loop down.
         return Err(());
     };
     shared.transport.record_tcp_request();
-    conn.response.clear();
+    work.response.clear();
     let outcome = dispatch_into(
         &shared.registry,
         &shared.config,
@@ -1007,35 +1256,35 @@ fn process_line_frame(
         shared.fed.as_deref(),
         state,
         trimmed,
-        &mut conn.response,
+        &mut work.response,
     );
     match outcome {
         Outcome::Quiet => {}
         Outcome::Reply | Outcome::Shutdown => {
-            conn.write_buf.extend_from_slice(conn.response.as_bytes());
-            conn.write_buf.push(b'\n');
+            work.out.extend_from_slice(work.response.as_bytes());
+            work.out.push(b'\n');
             if outcome == Outcome::Shutdown {
-                conn.shutdown_after_flush = true;
+                work.shutdown_after_flush = true;
             }
         }
     }
     Ok(true)
 }
 
-/// Advances the HTTP state machine over `read_buf[*consumed..]`.
+/// Advances the HTTP state machine over `input[*consumed..]`.
 /// Returns whether any bytes were consumed (progress).
 #[cfg(unix)]
 fn process_http_frame(
-    conn: &mut Conn,
+    work: &mut Work,
     shared: &Arc<Shared>,
     consumed: &mut usize,
 ) -> std::result::Result<bool, ()> {
-    let ConnKind::Http { state } = &mut conn.kind else {
+    let ConnKind::Http { state } = &mut work.kind else {
         // A kind/framer mismatch is a reactor bug; close the
         // connection instead of taking the whole event loop down.
         return Err(());
     };
-    let buf = &conn.read_buf[*consumed..];
+    let buf = &work.input[*consumed..];
     match std::mem::replace(state, HttpState::Head) {
         HttpState::Head => {
             let Some(end) = find_head_end(buf) else {
@@ -1049,14 +1298,14 @@ fn process_http_frame(
             let head = match parsed {
                 Ok(h) => h,
                 Err(e) => {
-                    respond_error(conn, 400, "Bad Request", &e);
+                    respond_error(work, 400, "Bad Request", &e);
                     return Ok(true);
                 }
             };
             match head.body {
                 BodyFraming::Length(n) if n > shared.config.max_line_bytes => {
                     respond_error(
-                        conn,
+                        work,
                         413,
                         "Payload Too Large",
                         &ServiceError::Protocol(format!(
@@ -1067,12 +1316,12 @@ fn process_http_frame(
                     Ok(true)
                 }
                 BodyFraming::Length(0) => {
-                    dispatch_http(conn, shared, &head, &[]);
+                    dispatch_http(work, shared, &head, &[]);
                     Ok(true)
                 }
                 BodyFraming::Length(n) => {
-                    maybe_continue(conn, &head);
-                    *state_of(conn) = HttpState::Body {
+                    maybe_continue(work, &head);
+                    *state_of(work) = HttpState::Body {
                         head,
                         body: Vec::with_capacity(n),
                         need: n,
@@ -1080,8 +1329,8 @@ fn process_http_frame(
                     Ok(true)
                 }
                 BodyFraming::Chunked => {
-                    maybe_continue(conn, &head);
-                    *state_of(conn) = HttpState::Chunked {
+                    maybe_continue(work, &head);
+                    *state_of(work) = HttpState::Chunked {
                         head,
                         decoder: ChunkDecoder::new(shared.config.max_line_bytes),
                     };
@@ -1098,10 +1347,10 @@ fn process_http_frame(
             body.extend_from_slice(&buf[..take]);
             *consumed += take;
             if body.len() == need {
-                dispatch_http(conn, shared, &head, &body);
+                dispatch_http(work, shared, &head, &body);
                 Ok(true)
             } else {
-                *state_of(conn) = HttpState::Body { head, body, need };
+                *state_of(work) = HttpState::Body { head, body, need };
                 Ok(take > 0)
             }
         }
@@ -1111,27 +1360,27 @@ fn process_http_frame(
                 if decoder.is_done() {
                     let mut body = Vec::new();
                     decoder.take_body(&mut body);
-                    dispatch_http(conn, shared, &head, &body);
+                    dispatch_http(work, shared, &head, &body);
                     Ok(true)
                 } else {
-                    *state_of(conn) = HttpState::Chunked { head, decoder };
+                    *state_of(work) = HttpState::Chunked { head, decoder };
                     Ok(eaten > 0)
                 }
             }
             Err(e) => {
                 let (status, reason) = e.status();
-                respond_error(conn, status, reason, &e.into_service_error());
+                respond_error(work, status, reason, &e.into_service_error());
                 Ok(true)
             }
         },
     }
 }
 
-/// The HTTP state slot of an HTTP connection (for reassignment after a
+/// The HTTP state slot of an HTTP job (for reassignment after a
 /// `mem::replace` take).
 #[cfg(unix)]
-fn state_of(conn: &mut Conn) -> &mut HttpState {
-    match &mut conn.kind {
+fn state_of(work: &mut Work) -> &mut HttpState {
+    match &mut work.kind {
         ConnKind::Http { state } => state,
         // analyze: allow(panic_path): every caller sits inside process_http_frame, which matched ConnKind::Http
         ConnKind::Line { .. } => unreachable!("only called on http connections"),
@@ -1141,24 +1390,36 @@ fn state_of(conn: &mut Conn) -> &mut HttpState {
 /// Queues the `100 Continue` interim response when the head asked for
 /// one.
 #[cfg(unix)]
-fn maybe_continue(conn: &mut Conn, head: &Head) {
+fn maybe_continue(work: &mut Work, head: &Head) {
     if head.expect_continue && head.expects_body() {
-        conn.write_buf
-            .extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+        work.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
     }
 }
 
 /// Dispatches one complete HTTP request and queues its response.
 #[cfg(unix)]
-fn dispatch_http(conn: &mut Conn, shared: &Arc<Shared>, head: &Head, body: &[u8]) {
+fn dispatch_http(work: &mut Work, shared: &Arc<Shared>, head: &Head, body: &[u8]) {
     shared.transport.record_http_request();
-    conn.response.clear();
-    let (status, reason) =
-        http::respond(shared, &head.method, &head.target, body, &mut conn.response);
+    work.response.clear();
+    let (status, reason, content_type) = http::respond(
+        shared,
+        &head.method,
+        &head.target,
+        head.accept_text,
+        body,
+        &mut work.response,
+    );
     let keep = head.keep_alive();
-    http::format_http_response(&mut conn.write_buf, status, reason, &conn.response, keep);
+    http::format_http_response(
+        &mut work.out,
+        status,
+        reason,
+        content_type,
+        &work.response,
+        keep,
+    );
     if !keep {
-        conn.close_after_flush = true;
+        work.close_after_flush = true;
     }
 }
 
@@ -1166,11 +1427,18 @@ fn dispatch_http(conn: &mut Conn, shared: &Arc<Shared>, head: &Head, body: &[u8]
 /// the same "answer, then tear down" the threaded path uses when
 /// framing goes wrong.
 #[cfg(unix)]
-fn respond_error(conn: &mut Conn, status: u16, reason: &'static str, e: &ServiceError) {
-    conn.response.clear();
-    write_error_response(&mut conn.response, e);
-    http::format_http_response(&mut conn.write_buf, status, reason, &conn.response, false);
-    conn.close_after_flush = true;
+fn respond_error(work: &mut Work, status: u16, reason: &'static str, e: &ServiceError) {
+    work.response.clear();
+    write_error_response(&mut work.response, e);
+    http::format_http_response(
+        &mut work.out,
+        status,
+        reason,
+        http::CONTENT_TYPE_JSON,
+        &work.response,
+        false,
+    );
+    work.close_after_flush = true;
 }
 
 /// The index just past `\r\n\r\n`, if the buffer holds a full head.
@@ -1204,16 +1472,25 @@ fn flush_writes(conn: &mut Conn, shared: &Arc<Shared>) -> std::result::Result<()
 /// writable while output is pending, readable unless backpressure
 /// paused it. This is where a slow reader stops being fed.
 #[cfg(unix)]
-fn update_interest(conn: &mut Conn, poller: &sys::Poller, token: u64) -> Verdict {
+fn update_interest(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    poller: &sys::Poller,
+    token: u64,
+) -> Verdict {
     let want_write = conn.pending_write() > 0;
     // Backpressure (and a half-closed or closing peer) genuinely
     // deregisters read interest — under level triggering, a paused
     // connection with unread socket bytes would otherwise wake the
     // loop on every poll, a hot spin. The connection still wants
     // writables (that is how it unpauses), and `EPOLLERR`/`EPOLLHUP`
-    // are delivered regardless, so a dead peer still surfaces.
-    let want_read =
-        conn.pending_write() <= WRITE_HIGH_WATER && !conn.close_after_flush && !conn.peer_eof;
+    // are delivered regardless, so a dead peer still surfaces. A full
+    // input buffer (frames parked behind an in-flight offload job)
+    // pauses reads the same way; the job's completion re-runs this.
+    let want_read = conn.pending_write() <= WRITE_HIGH_WATER
+        && conn.read_buf.len() <= read_cap(shared)
+        && !conn.close_after_flush
+        && !conn.peer_eof;
     let read_changed = want_read == conn.read_paused;
     if (want_write != conn.want_write || read_changed)
         && poller

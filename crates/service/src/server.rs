@@ -16,6 +16,7 @@
 use crate::config::ServiceConfig;
 use crate::dispatch::{persist_all_sessions, ConnState, Outcome};
 use crate::error::{Result, ServiceError};
+use crate::fault::{FaultAction, FaultSite};
 use crate::metrics::TransportMetrics;
 use crate::persist;
 use crate::session::SessionRegistry;
@@ -24,7 +25,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // The dispatch core moved to `crate::dispatch`; re-export its
 // entry points here so `frapp_service::server::dispatch` keeps working
@@ -43,6 +44,9 @@ pub(crate) struct Shared {
     /// Shared by every transport so they all route through the same
     /// replication links and sequence counters.
     pub(crate) fed: Option<Arc<crate::fed::FedState>>,
+    /// The dispatch offload pool the reactor front-end hands complete
+    /// frames to (idle under thread-per-connection).
+    pub(crate) executor: crate::dispatch::OffloadExecutor,
     live_connections: Arc<AtomicUsize>,
 }
 
@@ -120,6 +124,40 @@ impl AcceptBackoff {
         let delay = Self::BASE.saturating_mul(1u32 << self.consecutive.min(7));
         self.consecutive = self.consecutive.saturating_add(1);
         delay.min(Self::CAP)
+    }
+}
+
+/// Tracks the time since the last byte arrived on a connection so the
+/// threaded front-ends can reap idle (or deliberately slow — slowloris)
+/// peers instead of pinning a worker thread forever. A zero
+/// `idle_timeout_ms` disables reaping: `expired` never fires and
+/// `touch` is a no-op.
+#[derive(Debug)]
+pub(crate) struct IdleTimer {
+    limit: Option<Duration>,
+    last_activity: Instant,
+}
+
+impl IdleTimer {
+    pub(crate) fn new(idle_timeout_ms: u64) -> Self {
+        IdleTimer {
+            limit: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Called whenever bytes arrive: resets the idle clock.
+    pub(crate) fn touch(&mut self) {
+        if self.limit.is_some() {
+            self.last_activity = Instant::now();
+        }
+    }
+
+    /// True when the connection has been quiet past the configured
+    /// limit and should be reaped.
+    pub(crate) fn expired(&self) -> bool {
+        self.limit
+            .is_some_and(|l| self.last_activity.elapsed() >= l)
     }
 }
 
@@ -203,6 +241,7 @@ impl Server {
             }
         }
         let fed = crate::fed::FedState::from_config(&config)?;
+        let executor = crate::dispatch::OffloadExecutor::new(config.offload_threads);
         Ok(Server {
             listener,
             http_listener,
@@ -212,6 +251,7 @@ impl Server {
                 shutdown: Arc::new(AtomicBool::new(false)),
                 transport: Arc::new(TransportMetrics::new()),
                 fed,
+                executor,
                 live_connections: Arc::new(AtomicUsize::new(0)),
             }),
         })
@@ -308,7 +348,11 @@ impl Server {
             let _ = p.join();
         }
         if let Some(dir) = &self.shared.config.persist_dir {
-            persist_all_sessions_best_effort(dir, &self.shared.registry);
+            persist_all_sessions_best_effort(
+                dir,
+                &self.shared.registry,
+                &self.shared.config.fault_plan,
+            );
         }
         Ok(())
     }
@@ -326,7 +370,11 @@ impl Server {
             let _ = p.join();
         }
         if let Some(dir) = &self.shared.config.persist_dir {
-            persist_all_sessions_best_effort(dir, &self.shared.registry);
+            persist_all_sessions_best_effort(
+                dir,
+                &self.shared.registry,
+                &self.shared.config.fault_plan,
+            );
         }
         result
     }
@@ -342,6 +390,7 @@ impl Server {
         };
         let registry = Arc::clone(&self.shared.registry);
         let shutdown = Arc::clone(&self.shared.shutdown);
+        let fault = self.shared.config.fault_plan.clone();
         Some(std::thread::spawn(move || {
             let tick = Duration::from_millis(50);
             let mut since_last = Duration::ZERO;
@@ -349,7 +398,7 @@ impl Server {
                 std::thread::sleep(tick);
                 since_last += tick;
                 if since_last >= interval {
-                    persist_all_sessions_incremental_best_effort(&dir, &registry);
+                    persist_all_sessions_incremental_best_effort(&dir, &registry, &fault);
                     since_last = Duration::ZERO;
                 }
             }
@@ -464,17 +513,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr
     let mut raw = Vec::new();
     let mut response = String::new();
     let mut state = ConnState::new();
+    let mut idle = IdleTimer::new(shared.config.idle_timeout_ms);
     loop {
         line.clear();
+        // Injected connection-read faults live in the threaded
+        // front-end only: `Delay` sleeps the worker thread, which the
+        // reactor event loop must never do.
+        if shared
+            .config
+            .fault_plan
+            .inject_io(FaultSite::ConnRead)
+            .is_err()
+        {
+            return Ok(());
+        }
         let n = read_bounded_line(
             &mut reader,
             &mut line,
             &mut raw,
             shared.config.max_line_bytes,
-            &shared.shutdown,
+            shared,
+            &mut idle,
         )?;
         if n == 0 {
-            return Ok(()); // peer closed, or server shutting down
+            return Ok(()); // peer closed, idle-reaped, or server shutting down
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -498,6 +560,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr
             continue;
         }
         response.push('\n');
+        match shared.config.fault_plan.decide(FaultSite::ConnWrite) {
+            Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::ShortWrite) => {
+                // A torn response: the client sees a truncated line and
+                // a close, exactly like a peer dying mid-write.
+                let half = response.len() / 2;
+                let _ = writer.write_all(&response.as_bytes()[..half]);
+                return Ok(());
+            }
+            Some(_) => return Ok(()),
+            None => {}
+        }
         writer.write_all(response.as_bytes())?;
         writer.flush()?;
         if outcome == Outcome::Shutdown {
@@ -527,15 +601,17 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
 
 /// Reads one `\n`-terminated line, erroring out instead of buffering
 /// without bound when a peer sends an oversized line. Read timeouts are
-/// treated as "check the shutdown flag and keep waiting"; a set flag
-/// reads as EOF. `buf` is a caller-owned scratch buffer (cleared here)
-/// so steady-state reads allocate nothing.
+/// treated as "check the shutdown flag and keep waiting"; a set flag —
+/// or an expired idle timer — reads as EOF. `buf` is a caller-owned
+/// scratch buffer (cleared here) so steady-state reads allocate
+/// nothing.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
     buf: &mut Vec<u8>,
     max_bytes: usize,
-    shutdown: &AtomicBool,
+    shared: &Shared,
+    idle: &mut IdleTimer,
 ) -> Result<usize> {
     buf.clear();
     loop {
@@ -547,7 +623,11 @@ fn read_bounded_line(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(0);
+                }
+                if idle.expired() {
+                    shared.transport.record_idle_reaped();
                     return Ok(0);
                 }
                 continue;
@@ -557,6 +637,7 @@ fn read_bounded_line(
         if chunk.is_empty() {
             break; // EOF
         }
+        idle.touch();
         match chunk.iter().position(|&b| b == b'\n') {
             Some(pos) => {
                 buf.extend_from_slice(&chunk[..=pos]);
@@ -583,8 +664,12 @@ fn read_bounded_line(
 
 /// The best-effort full-snapshot flavour for the shutdown path:
 /// failures are reported on stderr but never take the server down.
-fn persist_all_sessions_best_effort(dir: &std::path::Path, registry: &SessionRegistry) {
-    let (_, failed) = persist_all_sessions(dir, registry);
+fn persist_all_sessions_best_effort(
+    dir: &std::path::Path,
+    registry: &SessionRegistry,
+    fault: &crate::fault::FaultPlan,
+) {
+    let (_, failed) = persist_all_sessions(dir, registry, fault);
     for (id, e) in failed {
         eprintln!("frapp-service: failed to snapshot session {id}: {e}");
     }
@@ -596,9 +681,13 @@ fn persist_all_sessions_best_effort(dir: &std::path::Path, registry: &SessionReg
 /// steady-state tick costs O(cells touched), not O(domain). Failures
 /// are reported on stderr; sessions closed mid-scan correctly refuse
 /// and are skipped silently.
-fn persist_all_sessions_incremental_best_effort(dir: &std::path::Path, registry: &SessionRegistry) {
+fn persist_all_sessions_incremental_best_effort(
+    dir: &std::path::Path,
+    registry: &SessionRegistry,
+    fault: &crate::fault::FaultPlan,
+) {
     for session in registry.all() {
-        match persist::persist_session_incremental(dir, &session) {
+        match persist::persist_session_incremental_faulted(dir, &session, fault) {
             Ok(_) => {}
             Err(_) if session.is_closed() => {}
             Err(e) => eprintln!(
@@ -727,6 +816,20 @@ mod tests {
     }
 
     #[test]
+    fn idle_timer_disabled_at_zero_and_expires_past_the_limit() {
+        // Zero disables reaping entirely.
+        let off = IdleTimer::new(0);
+        assert!(!off.expired());
+        // A 1ms limit expires once the clock passes it...
+        let mut t = IdleTimer::new(1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.expired());
+        // ...and touch() resets it.
+        t.touch();
+        assert!(!t.expired());
+    }
+
+    #[test]
     fn connection_admission_enforces_the_cap_and_releases_on_drop() {
         let shared = Shared {
             registry: Arc::new(SessionRegistry::new()),
@@ -737,6 +840,7 @@ mod tests {
             shutdown: Arc::new(AtomicBool::new(false)),
             transport: Arc::new(TransportMetrics::new()),
             fed: None,
+            executor: crate::dispatch::OffloadExecutor::new(1),
             live_connections: Arc::new(AtomicUsize::new(0)),
         };
         let a = shared.try_admit().expect("first connection fits");

@@ -389,6 +389,14 @@ impl CollectionSession {
         self.pending_full_snapshot.store(false, Ordering::SeqCst);
     }
 
+    /// Forces the next persistence flush to be a full snapshot. Used
+    /// when a save failed *after* its rename published a new base: the
+    /// session's sequence is now behind the file on disk, so a delta
+    /// append would carry a stale sequence the next recovery ignores.
+    pub(crate) fn force_full_snapshot(&self) {
+        self.pending_full_snapshot.store(true, Ordering::SeqCst);
+    }
+
     /// The session id.
     pub fn id(&self) -> u64 {
         self.id

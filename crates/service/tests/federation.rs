@@ -401,6 +401,123 @@ fn replay_history_is_bounded_by_the_peers_durable_watermark() {
 }
 
 #[test]
+fn degraded_reads_cover_reachable_partitions_and_heal_bit_identical() {
+    // The graceful-degradation contract end to end: with one owner
+    // down, a strict read fails, an `allow_partial` read returns the
+    // reachable partitions tagged `degraded` with an exact coverage
+    // report — and once the owner heals, the answer returns to
+    // bit-identity with the single-node run.
+    let stream = perturbed_stream(3_000, 0xFED7);
+    let baseline = single_node_estimates(&stream, 150);
+
+    let base = temp_dir("degraded");
+    let ports = free_ports(3);
+    let mut configs = cluster_configs(&ports, 2, Some(&base));
+    for config in &mut configs {
+        // A short breaker cooldown so the healing phase is not stuck
+        // in fail-fast connects for the default full second.
+        config.breaker_cooldown_ms = 100;
+        config.breaker_threshold = 2;
+    }
+    let mut handles: Vec<_> = configs
+        .iter()
+        .map(|c| Some(Server::bind(c.clone()).unwrap().spawn().unwrap()))
+        .collect();
+
+    // Derive the roles from the actual session id: coordinate through
+    // the non-owner so the outage hits a *remote* partition.
+    let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let topology = frapp_fed::Topology::new(peers, 0, 2).unwrap();
+    let mut bootstrap = Client::connect(handles[0].as_ref().unwrap().addr()).unwrap();
+    let session = bootstrap.create_session(&spec(2, 0x5EED)).unwrap();
+    drop(bootstrap);
+    let owners = topology.owners(session);
+    let coordinator = (0..3).find(|n| !owners.contains(n)).unwrap();
+    let victim = owners[0];
+
+    let mut client = Client::connect(handles[coordinator].as_ref().unwrap().addr()).unwrap();
+    for chunk in stream.chunks(150) {
+        client.submit_nowait(session, chunk, true).unwrap();
+    }
+    assert_eq!(client.flush().unwrap() as usize, stream.len());
+
+    // Healthy cluster: the partial-capable read is exact — no
+    // `degraded` tag, no coverage report, bit-identical estimates.
+    let (rec, coverage) = client
+        .reconstruct_partial(session, ReconstructionMethod::ClosedForm, false)
+        .unwrap();
+    assert!(coverage.is_none(), "full coverage must not be degraded");
+    assert_eq!(rec.estimates, baseline);
+
+    // Kill one owner. Its partition of the ingest becomes unreachable.
+    handles[victim].take().unwrap().shutdown().unwrap();
+
+    // A strict read refuses rather than silently under-counting.
+    assert!(client
+        .reconstruct(session, ReconstructionMethod::ClosedForm, false)
+        .is_err());
+
+    // The partial read answers from the surviving owner and says
+    // exactly what is missing.
+    let (rec, coverage) = client
+        .reconstruct_partial(session, ReconstructionMethod::ClosedForm, false)
+        .unwrap();
+    let coverage = coverage.expect("an owner outage must surface as partial coverage");
+    assert_eq!(coverage.owners_total, 2);
+    assert_eq!(coverage.owners_reachable, 1);
+    assert_eq!(coverage.missing.len(), 1);
+    assert_eq!(coverage.missing[0].0, victim);
+    assert!(
+        rec.n > 0 && (rec.n as usize) < stream.len(),
+        "the degraded estimate must cover some but not all records (n = {})",
+        rec.n
+    );
+
+    // Stats degrade the same way.
+    let (stats, coverage) = client.stats_partial(session).unwrap();
+    assert!(coverage.is_some());
+    assert!(stats.total > 0 && (stats.total as usize) < stream.len());
+
+    // Heal: restart the owner from its shutdown snapshot, wait out
+    // the breaker cooldown (the next connect is the half-open probe),
+    // and the exact answer must come back — bit-identical to the
+    // single-node run.
+    handles[victim] = Some(
+        Server::bind(configs[victim].clone())
+            .unwrap()
+            .spawn()
+            .unwrap(),
+    );
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let healed = loop {
+        match client.reconstruct(session, ReconstructionMethod::ClosedForm, false) {
+            Ok(rec) if rec.n as usize == stream.len() => break rec,
+            result => {
+                assert!(
+                    Instant::now() < deadline,
+                    "cluster failed to heal in time: {result:?}"
+                );
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
+    assert_eq!(
+        healed.estimates, baseline,
+        "post-heal reconstruction must return to single-node bit-identity"
+    );
+    // And the healed partial read is exact again.
+    let (_, coverage) = client
+        .reconstruct_partial(session, ReconstructionMethod::ClosedForm, false)
+        .unwrap();
+    assert!(coverage.is_none());
+
+    for handle in handles.into_iter().flatten() {
+        handle.shutdown().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn client_read_timeout_unwedges_a_stalled_server() {
     // Regression: `Client` used to connect with no timeouts at all, so
     // a stalled peer (accepts, never answers) wedged the caller
