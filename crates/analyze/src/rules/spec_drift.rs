@@ -1,10 +1,11 @@
 //! Spec-drift analysis: extracts the protocol surface from the code
 //! (op-dispatch match in `protocol.rs`, route table in `http.rs`,
-//! metrics keys in the transport-metrics writer) and the documented
-//! surface from `docs/PROTOCOL.md` (op headings, the route table,
-//! metrics example blocks), then fails on divergence in *either*
-//! direction: an implemented-but-undocumented op is as much drift as a
-//! documented-but-removed one.
+//! metrics keys in the transport-metrics writer, binary opcode/flag
+//! constants in `framing.rs`) and the documented surface from
+//! `docs/PROTOCOL.md` (op headings, the route table, metrics example
+//! blocks, the binary framing's opcode/flag tables), then fails on
+//! divergence in *either* direction: an implemented-but-undocumented
+//! op is as much drift as a documented-but-removed one.
 //!
 //! Route parameters are canonicalized to `{}` on both sides so the doc
 //! can name them (`{sid}`) while the code binds them to identifiers.
@@ -49,6 +50,16 @@ pub fn run(ws: &Workspace, doc: Option<(&str, &str)>) -> Vec<Finding> {
             "metrics key",
             &keys,
             &doc_metrics(doc_text),
+            &file.rel,
+            doc_rel,
+        );
+    }
+    if let Some((file, consts)) = code_wire_consts(ws) {
+        diff(
+            &mut findings,
+            "wire constant",
+            &consts,
+            &doc_wire_consts(doc_text),
             &file.rel,
             doc_rel,
         );
@@ -255,6 +266,70 @@ fn ident_shaped(s: &str) -> bool {
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
 }
 
+/// Binary wire constants from `framing.rs`: every `const OP_*`/
+/// `FLAG_*: u8 = <literal>;` at any nesting. Entries canonicalize to
+/// `NAME=0xNN` so a renamed constant and a re-valued one both surface
+/// as drift against the doc's opcode/flag tables.
+fn code_wire_consts(ws: &Workspace) -> Option<(&SourceFile, BTreeSet<String>)> {
+    for file in &ws.files {
+        if !file.rel.ends_with("framing.rs") {
+            continue;
+        }
+        let toks = &file.tokens;
+        let mut consts = BTreeSet::new();
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("const") {
+                continue;
+            }
+            let (Some(name), Some(colon), Some(ty), Some(eq), Some(value), Some(semi)) = (
+                toks.get(i + 1),
+                toks.get(i + 2),
+                toks.get(i + 3),
+                toks.get(i + 4),
+                toks.get(i + 5),
+                toks.get(i + 6),
+            ) else {
+                continue;
+            };
+            if name.kind != TokKind::Ident
+                || !wire_const_name(&name.text)
+                || !colon.is_punct(':')
+                || !ty.is_ident("u8")
+                || !eq.is_punct('=')
+                || value.kind != TokKind::Number
+                || !semi.is_punct(';')
+            {
+                continue;
+            }
+            if let Some(v) = parse_u8_literal(&value.text) {
+                consts.insert(format!("{}=0x{v:02x}", name.text));
+            }
+        }
+        if !consts.is_empty() {
+            return Some((file, consts));
+        }
+    }
+    None
+}
+
+/// Whether a constant name belongs to the documented wire surface:
+/// `OP_*` opcodes and `FLAG_*` submit flags (internal constants such
+/// as `KNOWN_FLAGS` are implementation detail).
+fn wire_const_name(s: &str) -> bool {
+    (s.starts_with("OP_") || s.starts_with("FLAG_"))
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn parse_u8_literal(s: &str) -> Option<u8> {
+    let s = s.trim().replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 // ---- doc side --------------------------------------------------------
 
 /// Op names from `#### `op`` headings.
@@ -361,6 +436,39 @@ fn first_backticked(s: &str) -> Option<String> {
     Some(rest[..end].to_owned())
 }
 
+/// Binary wire constants from the doc's opcode/flag tables: `|`-rows
+/// whose first backticked token is an `OP_*`/`FLAG_*` name and whose
+/// second is its value, canonicalized exactly like the code side.
+fn doc_wire_consts(text: &str) -> BTreeSet<String> {
+    let mut consts = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let ticks = backticked(line);
+        let (Some(name), Some(value)) = (ticks.first(), ticks.get(1)) else {
+            continue;
+        };
+        if !wire_const_name(name) {
+            continue;
+        }
+        if let Some(v) = parse_u8_literal(value) {
+            consts.insert(format!("{name}=0x{v:02x}"));
+        }
+    }
+    consts
+}
+
+/// Every backticked span in a line, in order.
+fn backticked(s: &str) -> Vec<String> {
+    s.split('`')
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, t)| t.to_owned())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,5 +567,64 @@ fn route(method: &str, segs: &[&str]) -> Route {
         let w = ws(&[("other.rs", "fn f() {}")]);
         assert!(run(&w, Some(("PROTOCOL.md", DOC_OK))).is_empty());
         assert!(run(&w, None).is_empty());
+    }
+
+    const FRAMING_SRC: &str = r#"
+pub const OP_SUBMIT: u8 = 0x01;
+pub const OP_JSON: u8 = 0x02;
+pub const FLAG_DEFERRED: u8 = 0x02;
+const KNOWN_FLAGS: u8 = FLAG_DEFERRED;
+const MAX_VARINT_BYTES: usize = 10;
+"#;
+
+    const FRAMING_DOC: &str = "\
+| `OP_SUBMIT` | `0x01` | compact submit |\n\
+| `OP_JSON` | `0x02` | JSON tunnel |\n\
+| `FLAG_DEFERRED` | `0x02` | deferred ack |\n";
+
+    #[test]
+    fn matching_wire_constant_tables_are_clean() {
+        let w = ws(&[("framing.rs", FRAMING_SRC)]);
+        let doc = format!("{DOC_OK}\n{FRAMING_DOC}");
+        // No op/route/metrics anchors beyond DOC_OK's: only the wire
+        // constants sub-check runs against framing.rs, and it matches.
+        let f = run(&w, Some(("PROTOCOL.md", &doc)));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    /// Seeded mutations of the real surface: each single change —
+    /// re-valuing an opcode, renaming a flag, dropping a table row —
+    /// must produce at least one drift finding.
+    #[test]
+    fn mutated_wire_constants_are_caught() {
+        let w = ws(&[("framing.rs", FRAMING_SRC)]);
+        let mutations: &[(&str, &str)] = &[
+            // Doc re-values OP_JSON: code value undocumented + ghost value.
+            ("| `OP_JSON` | `0x02` |", "| `OP_JSON` | `0x03` |"),
+            // Doc renames a flag.
+            ("| `FLAG_DEFERRED` | `0x02` |", "| `FLAG_QUIET` | `0x02` |"),
+            // Doc drops an opcode row entirely.
+            ("| `OP_SUBMIT` | `0x01` | compact submit |\n", ""),
+        ];
+        for (from, to) in mutations {
+            let doc = format!("{DOC_OK}\n{}", FRAMING_DOC.replace(from, to));
+            let f = run(&w, Some(("PROTOCOL.md", &doc)));
+            assert!(
+                f.iter().any(|f| f.message.contains("wire constant")),
+                "mutation {from:?} -> {to:?} produced no drift finding: {f:?}"
+            );
+        }
+        // And the reverse direction: code gains a flag the doc lacks.
+        let w = ws(&[(
+            "framing.rs",
+            &format!("{FRAMING_SRC}\npub const FLAG_NEW: u8 = 0x20;\n") as &str,
+        )]);
+        let doc = format!("{DOC_OK}\n{FRAMING_DOC}");
+        let f = run(&w, Some(("PROTOCOL.md", &doc)));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("FLAG_NEW") && f.message.contains("not documented")),
+            "{f:?}"
+        );
     }
 }

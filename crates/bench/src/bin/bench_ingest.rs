@@ -16,23 +16,27 @@
 //! JSON). Numbers are records/second, higher is better.
 //!
 //! With `--wire`, the benchmark instead measures *transport* cost
-//! against a real loopback server and emits `BENCH_http.json`:
-//! synchronous line-protocol submits (one round-trip per batch) vs
-//! pipelined deferred-ack submits (one flush per stream) vs the HTTP
-//! front-end, across small batch sizes where per-batch latency
-//! dominates. This is the latency-vs-throughput story the deferred-ack
-//! protocol exists for.
+//! against a real loopback server and emits `BENCH_http.json` plus a
+//! binary-framing summary in `BENCH_binary.json` (`--out-binary` to
+//! move it): synchronous line-protocol submits (one round-trip per
+//! batch) vs pipelined deferred-ack submits (one flush per stream) vs
+//! the HTTP front-end vs the negotiated binary framing (sync,
+//! pipelined, and fixed-width-cell pipelined), across small batch
+//! sizes where per-batch latency dominates. This is the
+//! latency-vs-throughput story the deferred-ack protocol and the
+//! compact binary frames exist for.
 //!
 //! With `--fanin`, it measures *concurrent-connection fan-in* instead
-//! and emits `BENCH_async.json`: N pipelined clients (64/256/1024)
-//! against the thread-per-connection front-end vs the `--async`
-//! reactor. The interesting column is connections per service thread:
-//! thread-per-connection burns one OS thread (stack, scheduler slot)
-//! per client by construction, while the reactor multiplexes every
-//! connection onto one event-loop thread at comparable aggregate
-//! throughput — that per-thread fan-in ratio is what lets the reactor
-//! hold ten thousand mostly-idle collection clients without ten
-//! thousand stacks.
+//! and emits `BENCH_async.json`: N concurrent clients (64/256/1024)
+//! over each framing (pipelined line protocol, pipelined binary,
+//! synchronous HTTP) against the thread-per-connection front-end vs
+//! the `--async` reactor. The interesting column is connections per
+//! service thread: thread-per-connection burns one OS thread (stack,
+//! scheduler slot) per client by construction, while the reactor
+//! multiplexes every connection onto a fixed pool of event-loop
+//! threads at comparable aggregate throughput — that per-thread
+//! fan-in ratio is what lets the reactor hold ten thousand mostly-idle
+//! collection clients without ten thousand stacks.
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
 use frapp_core::{CountAccumulator, Schema};
@@ -245,12 +249,68 @@ mod wire {
         client.close_session(session).expect("close");
         elapsed
     }
+
+    /// Binary framing, synchronous: negotiated upgrade, then one
+    /// `OP_SUBMIT` frame and one response frame per batch.
+    pub fn binary_sync(handle: &ServerHandle, records: &[Vec<u32>], batch: usize) -> f64 {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client.negotiate_binary().expect("negotiate");
+        let session = client.create_session(&spec()).expect("create");
+        let t0 = Instant::now();
+        for b in records.chunks(batch) {
+            client.submit_batch(session, b, true).expect("submit");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            client.stats(session).expect("stats").total,
+            records.len() as u64
+        );
+        client.close_session(session).expect("close");
+        elapsed
+    }
+
+    /// Binary framing, pipelined: deferred `OP_SUBMIT` frames (no
+    /// per-batch response), one flush at the end.
+    pub fn binary_pipelined(handle: &ServerHandle, records: &[Vec<u32>], batch: usize) -> f64 {
+        binary_pipelined_inner(handle, records, batch, false)
+    }
+
+    /// Binary framing, pipelined, with `FIXED32` cells: trades frame
+    /// size for branch-free cell decoding on the server.
+    pub fn binary_pipelined_fixed32(
+        handle: &ServerHandle,
+        records: &[Vec<u32>],
+        batch: usize,
+    ) -> f64 {
+        binary_pipelined_inner(handle, records, batch, true)
+    }
+
+    fn binary_pipelined_inner(
+        handle: &ServerHandle,
+        records: &[Vec<u32>],
+        batch: usize,
+        fixed32: bool,
+    ) -> f64 {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client.negotiate_binary().expect("negotiate");
+        client.set_binary_fixed32(fixed32);
+        let session = client.create_session(&spec()).expect("create");
+        let t0 = Instant::now();
+        for b in records.chunks(batch) {
+            client.submit_nowait(session, b, true).expect("submit");
+        }
+        let accepted = client.flush().expect("flush");
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(accepted, records.len() as u64);
+        client.close_session(session).expect("close");
+        elapsed
+    }
 }
 
 /// The `--fanin` mode: concurrent-connection fan-in, thread-per-
 /// connection vs the async reactor → `BENCH_async.json`.
 fn run_fanin(quick: bool, out_path: &str) {
-    use frapp_service::client::{Client, SessionSpec};
+    use frapp_service::client::{Client, HttpClient, SessionSpec};
     use frapp_service::session::Mechanism;
     use frapp_service::{Server, ServiceConfig};
     use std::sync::Barrier;
@@ -262,10 +322,15 @@ fn run_fanin(quick: bool, out_path: &str) {
     // the same noise filter the other modes use.
     let (total_records, reps) = if quick { (200_000, 2) } else { (2_000_000, 3) };
     let batch = 20usize;
-    const REACTOR_THREADS: usize = 1;
+    const REACTOR_THREADS: usize = 2;
+    // Pipelined framings stream deferred submits with one flush per
+    // rep; HTTP is one round-trip per batch by construction, which is
+    // exactly the comparison the framing column exists to show.
+    let framings: &[&'static str] = &["line", "binary", "http"];
 
     struct FaninRun {
         front_end: &'static str,
+        framing: &'static str,
         clients: usize,
         records_per_client: usize,
         records_per_sec: f64,
@@ -276,102 +341,137 @@ fn run_fanin(quick: bool, out_path: &str) {
     let mut runs: Vec<FaninRun> = Vec::new();
 
     for (front_end, async_mode) in [("threaded", false), ("async", true)] {
-        for &clients in levels {
-            let batches = (total_records / clients).div_ceil(batch);
-            let per_client = batches * batch;
-            // A fresh server per level so the accepted-connection
-            // counter is exactly this level's fan-in. The cap is the
-            // same for both front-ends and above every level: the
-            // measurement is fan-in capacity, not shedding.
-            let mut config = ServiceConfig {
-                max_connections: 2048,
-                ..ServiceConfig::default()
-            };
-            if async_mode {
-                config = config.with_reactor(REACTOR_THREADS);
-            }
-            let handle = Server::bind(config).expect("bind").spawn().expect("spawn");
-            let addr = handle.addr();
-            let mut control = Client::connect(addr).expect("connect");
-            let session = control
-                .create_session(&SessionSpec {
-                    schema: vec![("a".into(), 10), ("b".into(), 10), ("c".into(), 5)],
-                    mechanism: Mechanism::Deterministic { gamma: GAMMA },
-                    shards: Some(4),
-                    seed: Some(7),
-                })
-                .expect("create");
+        for &framing in framings {
+            for &clients in levels {
+                let batches = (total_records / clients).div_ceil(batch);
+                let per_client = batches * batch;
+                // A fresh server per level so the accepted-connection
+                // counter is exactly this level's fan-in. The cap is the
+                // same for both front-ends and comfortably above every
+                // level — including the window where a new rep's
+                // connections overlap the previous rep's still-closing
+                // workers: the measurement is fan-in capacity, not
+                // shedding.
+                let mut config = ServiceConfig {
+                    max_connections: 4096,
+                    ..ServiceConfig::default()
+                }
+                .with_http_addr("127.0.0.1:0");
+                if async_mode {
+                    config = config.with_reactor(REACTOR_THREADS);
+                }
+                let handle = Server::bind(config).expect("bind").spawn().expect("spawn");
+                let addr = handle.addr();
+                let http_addr = handle.http_addr().expect("http enabled");
+                let mut control = Client::connect(addr).expect("connect");
+                let session = control
+                    .create_session(&SessionSpec {
+                        schema: vec![("a".into(), 10), ("b".into(), 10), ("c".into(), 5)],
+                        mechanism: Mechanism::Deterministic { gamma: GAMMA },
+                        shards: Some(4),
+                        seed: Some(7),
+                    })
+                    .expect("create");
 
-            let mut best_elapsed = f64::MAX;
-            for _ in 0..reps {
-                // Connect everyone first, then start the clock
-                // together: the measurement is steady-state fan-in
-                // throughput, not connect-storm handling.
-                let barrier = Barrier::new(clients + 1);
-                let t0 = std::thread::scope(|scope| {
-                    for c in 0..clients {
-                        let barrier = &barrier;
-                        scope.spawn(move || {
-                            let mut client = loop {
-                                match Client::connect(addr) {
-                                    Ok(cl) => break cl,
-                                    // Backlog overflow under the connect
-                                    // storm; retry until admitted.
-                                    Err(_) => {
-                                        std::thread::sleep(std::time::Duration::from_millis(5))
+                let mut best_elapsed = f64::MAX;
+                for _ in 0..reps {
+                    // Connect everyone first, then start the clock
+                    // together: the measurement is steady-state fan-in
+                    // throughput, not connect-storm handling.
+                    let barrier = Barrier::new(clients + 1);
+                    let t0 = std::thread::scope(|scope| {
+                        for c in 0..clients {
+                            let barrier = &barrier;
+                            scope.spawn(move || {
+                                let records: Vec<Vec<u32>> = (0..batch)
+                                    .map(|i| {
+                                        vec![((c + i) % 10) as u32, (i % 10) as u32, (i % 5) as u32]
+                                    })
+                                    .collect();
+                                if framing == "http" {
+                                    let mut client = loop {
+                                        match HttpClient::connect(http_addr) {
+                                            Ok(cl) => break cl,
+                                            // Backlog overflow under the
+                                            // connect storm; retry until
+                                            // admitted.
+                                            Err(_) => std::thread::sleep(
+                                                std::time::Duration::from_millis(5),
+                                            ),
+                                        }
+                                    };
+                                    barrier.wait();
+                                    for _ in 0..batches {
+                                        client
+                                            .submit_batch(session, &records, true)
+                                            .expect("submit");
                                     }
+                                    return;
                                 }
-                            };
-                            barrier.wait();
-                            let records: Vec<Vec<u32>> = (0..batch)
-                                .map(|i| {
-                                    vec![((c + i) % 10) as u32, (i % 10) as u32, (i % 5) as u32]
-                                })
-                                .collect();
-                            for _ in 0..batches {
-                                client
-                                    .submit_nowait(session, &records, true)
-                                    .expect("submit");
-                            }
-                            let accepted = client.flush().expect("flush");
-                            assert_eq!(accepted, (batches * batch) as u64);
-                        });
-                    }
-                    barrier.wait();
-                    Instant::now()
+                                let mut client = loop {
+                                    match Client::connect(addr) {
+                                        Ok(cl) => break cl,
+                                        // Backlog overflow under the connect
+                                        // storm; retry until admitted.
+                                        Err(_) => {
+                                            std::thread::sleep(std::time::Duration::from_millis(5))
+                                        }
+                                    }
+                                };
+                                if framing == "binary" {
+                                    client.negotiate_binary().expect("negotiate");
+                                }
+                                barrier.wait();
+                                for _ in 0..batches {
+                                    client
+                                        .submit_nowait(session, &records, true)
+                                        .expect("submit");
+                                }
+                                let accepted = client.flush().expect("flush");
+                                assert_eq!(accepted, (batches * batch) as u64);
+                            });
+                        }
+                        barrier.wait();
+                        Instant::now()
+                    });
+                    best_elapsed = best_elapsed.min(t0.elapsed().as_secs_f64());
+                }
+                let total = (clients * per_client * reps) as u64;
+                assert_eq!(control.stats(session).expect("stats").total, total);
+                let report = control.server_metrics().expect("metrics");
+                assert_eq!(report.sheds, 0, "no sheds below the cap");
+                let rps = (clients * per_client) as f64 / best_elapsed;
+                // Thread-per-connection spends one worker thread per
+                // admitted client; the reactor spends its fixed event-loop
+                // threads however many clients connect.
+                let service_threads = if async_mode { REACTOR_THREADS } else { clients };
+                let accepted_connections = if framing == "http" {
+                    report.http_connections
+                } else {
+                    report.tcp_connections
+                };
+                eprintln!(
+                    "{front_end}/{framing} clients={clients}: {rps:.0} rec/s, \
+                     {accepted_connections} conns / {service_threads} service thread(s)",
+                );
+                runs.push(FaninRun {
+                    front_end,
+                    framing,
+                    clients,
+                    records_per_client: per_client,
+                    records_per_sec: rps,
+                    accepted_connections,
+                    sheds: report.sheds,
+                    service_threads,
                 });
-                best_elapsed = best_elapsed.min(t0.elapsed().as_secs_f64());
+                handle.shutdown().expect("shutdown");
             }
-            let total = (clients * per_client * reps) as u64;
-            assert_eq!(control.stats(session).expect("stats").total, total);
-            let report = control.server_metrics().expect("metrics");
-            assert_eq!(report.sheds, 0, "no sheds below the cap");
-            let rps = (clients * per_client) as f64 / best_elapsed;
-            // Thread-per-connection spends one worker thread per
-            // admitted client; the reactor spends its fixed event-loop
-            // threads however many clients connect.
-            let service_threads = if async_mode { REACTOR_THREADS } else { clients };
-            eprintln!(
-                "{front_end} clients={clients}: {rps:.0} rec/s, \
-                 {} conns / {service_threads} service thread(s)",
-                report.tcp_connections
-            );
-            runs.push(FaninRun {
-                front_end,
-                clients,
-                records_per_client: per_client,
-                records_per_sec: rps,
-                accepted_connections: report.tcp_connections,
-                sheds: report.sheds,
-                service_threads,
-            });
-            handle.shutdown().expect("shutdown");
         }
     }
 
-    let find = |front_end: &str, clients: usize| {
+    let find = |front_end: &str, framing: &str, clients: usize| {
         runs.iter()
-            .find(|r| r.front_end == front_end && r.clients == clients)
+            .find(|r| r.front_end == front_end && r.framing == framing && r.clients == clients)
             .expect("run present")
     };
     let mut json = String::new();
@@ -380,7 +480,7 @@ fn run_fanin(quick: bool, out_path: &str) {
     let _ = writeln!(json, "  \"records_per_run\": {total_records},");
     let _ = writeln!(json, "  \"reps_best_of\": {reps},");
     let _ = writeln!(json, "  \"reactor_threads\": {REACTOR_THREADS},");
-    let _ = writeln!(json, "  \"max_connections\": 2048,");
+    let _ = writeln!(json, "  \"max_connections\": 4096,");
     let _ = writeln!(
         json,
         "  \"cpus\": {},",
@@ -401,10 +501,11 @@ fn run_fanin(quick: bool, out_path: &str) {
     for (i, r) in runs.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"front_end\": \"{}\", \"clients\": {}, \"records_per_client\": {}, \
-             \"records_per_sec\": {:.0}, \"accepted_connections\": {}, \"sheds\": {}, \
-             \"service_threads\": {}}}{}",
+            "    {{\"front_end\": \"{}\", \"framing\": \"{}\", \"clients\": {}, \
+             \"records_per_client\": {}, \"records_per_sec\": {:.0}, \
+             \"accepted_connections\": {}, \"sheds\": {}, \"service_threads\": {}}}{}",
             r.front_end,
+            r.framing,
             r.clients,
             r.records_per_client,
             r.records_per_sec,
@@ -416,14 +517,15 @@ fn run_fanin(quick: bool, out_path: &str) {
     }
     json.push_str("  ],\n");
     // Headline 1: concurrent-connection fan-in per service thread —
-    // the resource the reactor exists to conserve. `clients` is the
-    // concurrent fan-in each run sustained (the accepted_connections
-    // counter is cumulative across reps and includes the control
-    // connection).
+    // the resource the reactor exists to conserve. Framing-independent
+    // (same thread accounting on every framing), so computed from the
+    // line-protocol runs. `clients` is the concurrent fan-in each run
+    // sustained (the accepted_connections counter is cumulative across
+    // reps and includes the control connection).
     json.push_str("  \"fan_in_per_service_thread\": {\n");
     for (i, &clients) in levels.iter().enumerate() {
-        let threaded = find("threaded", clients);
-        let async_run = find("async", clients);
+        let threaded = find("threaded", "line", clients);
+        let async_run = find("async", "line", clients);
         let _ = writeln!(
             json,
             "    \"{clients}\": {{\"threaded\": {:.1}, \"async\": {:.1}, \"ratio\": {:.1}}}{}",
@@ -436,14 +538,24 @@ fn run_fanin(quick: bool, out_path: &str) {
     }
     json.push_str("  },\n");
     // Headline 2: the fan-in is not bought with throughput — aggregate
-    // records/sec at equal client count and connection cap.
+    // records/sec at equal client count and connection cap, per
+    // framing.
     json.push_str("  \"throughput_async_vs_threaded\": {\n");
-    for (i, &clients) in levels.iter().enumerate() {
+    for (fi, &framing) in framings.iter().enumerate() {
+        let _ = writeln!(json, "    \"{framing}\": {{");
+        for (i, &clients) in levels.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      \"{clients}\": {:.2}{}",
+                find("async", framing, clients).records_per_sec
+                    / find("threaded", framing, clients).records_per_sec,
+                if i + 1 < levels.len() { "," } else { "" }
+            );
+        }
         let _ = writeln!(
             json,
-            "    \"{clients}\": {:.2}{}",
-            find("async", clients).records_per_sec / find("threaded", clients).records_per_sec,
-            if i + 1 < levels.len() { "," } else { "" }
+            "    }}{}",
+            if fi + 1 < framings.len() { "," } else { "" }
         );
     }
     json.push_str("  }\n}\n");
@@ -453,8 +565,9 @@ fn run_fanin(quick: bool, out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
-/// The `--wire` mode: loopback transport comparison → `BENCH_http.json`.
-fn run_wire(quick: bool, out_path: &str) {
+/// The `--wire` mode: loopback transport comparison → `BENCH_http.json`
+/// plus the binary-framing summary → `BENCH_binary.json`.
+fn run_wire(quick: bool, out_path: &str, out_binary_path: &str) {
     use frapp_service::{Server, ServiceConfig};
 
     let total = if quick { 1 << 14 } else { 1 << 16 };
@@ -475,10 +588,13 @@ fn run_wire(quick: bool, out_path: &str) {
         records_per_sec: f64,
     }
     type WireBench = fn(&frapp_service::ServerHandle, &[Vec<u32>], usize) -> f64;
-    let transports: [(&'static str, WireBench); 3] = [
+    let transports: [(&'static str, WireBench); 6] = [
         ("tcp_sync", wire::tcp_sync),
         ("tcp_pipelined", wire::tcp_pipelined),
         ("http", wire::http),
+        ("binary_sync", wire::binary_sync),
+        ("binary_pipelined", wire::binary_pipelined),
+        ("binary_pipelined_fixed32", wire::binary_pipelined_fixed32),
     ];
     let mut runs: Vec<WireRun> = Vec::new();
     for &batch in &batches {
@@ -536,6 +652,58 @@ fn run_wire(quick: bool, out_path: &str) {
     let mut file = std::fs::File::create(out_path).expect("create output file");
     file.write_all(json.as_bytes()).expect("write output file");
     eprintln!("wrote {out_path}");
+
+    // The binary-framing summary: same measurement pass, but the
+    // headline the binary protocol is accountable for — throughput
+    // against the best *JSON* path at the same batch size.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_wire_binary\",");
+    let _ = writeln!(json, "  \"schema_domain\": {},", schema().domain_size());
+    let _ = writeln!(json, "  \"records_per_run\": {total},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"runs\": [\n");
+    let binary_runs: Vec<&WireRun> = runs
+        .iter()
+        .filter(|r| r.transport.starts_with("binary"))
+        .collect();
+    for (i, r) in binary_runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"transport\": \"{}\", \"batch\": {}, \"records_per_sec\": {:.0}}}{}",
+            r.transport,
+            r.batch,
+            r.records_per_sec,
+            if i + 1 < binary_runs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_binary_pipelined_vs_json_pipelined\": {\n");
+    for (i, &batch) in batches.iter().enumerate() {
+        let best_binary =
+            rate("binary_pipelined", batch).max(rate("binary_pipelined_fixed32", batch));
+        let _ = writeln!(
+            json,
+            "    \"{batch}\": {:.2}{}",
+            best_binary / rate("tcp_pipelined", batch),
+            if i + 1 < batches.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"speedup_binary_sync_vs_http\": {\n");
+    for (i, &batch) in batches.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{batch}\": {:.2}{}",
+            rate("binary_sync", batch) / rate("http", batch),
+            if i + 1 < batches.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+
+    let mut file = std::fs::File::create(out_binary_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out_binary_path}");
 }
 
 fn main() {
@@ -561,7 +729,13 @@ fn main() {
         return run_fanin(quick, &out_path);
     }
     if wire_mode {
-        return run_wire(quick, &out_path);
+        let out_binary_path = args
+            .iter()
+            .position(|a| a == "--out-binary")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_binary.json".to_owned());
+        return run_wire(quick, &out_path, &out_binary_path);
     }
 
     let total = if quick { 1 << 16 } else { 1 << 19 };

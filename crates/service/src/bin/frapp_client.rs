@@ -4,7 +4,7 @@
 //! ```text
 //! frapp-client [load] [--addr 127.0.0.1:7878] [--records 100000]
 //!              [--batch 1000] [--threads 4] [--gamma 19] [--seed 11]
-//!              [--pre-perturb] [--pipeline] [--http]
+//!              [--pre-perturb] [--pipeline] [--http] [--binary]
 //! frapp-client list    [--addr HOST:PORT] [--http]
 //! frapp-client metrics [--addr HOST:PORT] [--http] --session N
 //! frapp-client server-metrics [--addr HOST:PORT] [--http]
@@ -31,6 +31,14 @@
 //! the HTTP front-end instead of the line protocol (`--addr` then
 //! names the server's `--http-addr`); pipelining is a line-protocol
 //! feature, so the two flags are mutually exclusive.
+//!
+//! With `--binary`, every connection upgrades to the compact binary
+//! framing (`docs/PROTOCOL.md` §6) after connecting: submits go out as
+//! binary `OP_SUBMIT` frames (no JSON on the ingest path) and every
+//! other op tunnels through `OP_JSON` frames. Binary rides the line
+//! protocol, so `--binary` and `--http` are mutually exclusive;
+//! `--binary --pipeline` combines deferred acks with binary frames —
+//! the fastest wire path.
 //!
 //! `list` prints one summary line per live session; `metrics` prints a
 //! session's ingest counters and query-latency histogram;
@@ -60,13 +68,14 @@ struct Args {
     pre_perturb: bool,
     pipeline: bool,
     http: bool,
+    binary: bool,
     session: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: frapp-client [load] [--addr HOST:PORT] [--records N] [--batch B] \
-         [--threads T] [--gamma G] [--seed S] [--pre-perturb] [--pipeline] [--http]\n\
+         [--threads T] [--gamma G] [--seed S] [--pre-perturb] [--pipeline] [--http] [--binary]\n\
          \x20      frapp-client list    [--addr HOST:PORT] [--http]\n\
          \x20      frapp-client metrics [--addr HOST:PORT] [--http] --session N\n\
          \x20      frapp-client server-metrics [--addr HOST:PORT] [--http]\n\
@@ -87,6 +96,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
         pre_perturb: false,
         pipeline: false,
         http: false,
+        binary: false,
         session: None,
     };
     let mut args = args;
@@ -110,6 +120,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
             "--pre-perturb" => parsed.pre_perturb = true,
             "--pipeline" => parsed.pipeline = true,
             "--http" => parsed.http = true,
+            "--binary" => parsed.binary = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -124,6 +135,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
         eprintln!("--pipeline is a line-protocol feature; drop --http to use it");
         usage();
     }
+    if parsed.binary && parsed.http {
+        eprintln!("--binary rides the line protocol; drop --http to use it");
+        usage();
+    }
     parsed
 }
 
@@ -136,7 +151,7 @@ enum AnyClient {
 }
 
 impl AnyClient {
-    fn connect(addr: &str, http: bool) -> AnyClient {
+    fn connect(addr: &str, http: bool, binary: bool) -> AnyClient {
         let failed = |e: frapp_service::ServiceError| -> ! {
             eprintln!("frapp-client: cannot connect to {addr}: {e}");
             std::process::exit(1);
@@ -148,7 +163,15 @@ impl AnyClient {
             }
         } else {
             match Client::connect(addr) {
-                Ok(c) => AnyClient::Tcp(Box::new(c)),
+                Ok(mut c) => {
+                    if binary {
+                        if let Err(e) = c.negotiate_binary() {
+                            eprintln!("frapp-client: binary negotiation with {addr} failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    AnyClient::Tcp(Box::new(c))
+                }
                 Err(e) => failed(e),
             }
         }
@@ -242,7 +265,7 @@ fn ok_or_exit<T>(result: frapp_service::Result<T>) -> T {
 }
 
 fn run_list(args: Args) {
-    let mut client = AnyClient::connect(&args.addr, args.http);
+    let mut client = AnyClient::connect(&args.addr, args.http, args.binary);
     let sessions = ok_or_exit(client.list_sessions_detail());
     if sessions.is_empty() {
         println!("no live sessions");
@@ -265,7 +288,7 @@ fn run_metrics(args: Args) {
         eprintln!("metrics needs --session N");
         usage()
     });
-    let mut client = AnyClient::connect(&args.addr, args.http);
+    let mut client = AnyClient::connect(&args.addr, args.http, args.binary);
     let (report, total) = ok_or_exit(client.metrics(session));
     println!("session {session}");
     println!("  records (all-time):      {total}");
@@ -305,7 +328,7 @@ fn run_metrics(args: Args) {
 }
 
 fn run_server_metrics(args: Args) {
-    let mut client = AnyClient::connect(&args.addr, args.http);
+    let mut client = AnyClient::connect(&args.addr, args.http, args.binary);
     let r = ok_or_exit(client.server_metrics());
     println!("transport");
     println!(
@@ -315,6 +338,10 @@ fn run_server_metrics(args: Args) {
     println!(
         "  http: {} connections, {} requests",
         r.http_connections, r.http_requests
+    );
+    println!(
+        "  binary: {} connections, {} requests",
+        r.binary_connections, r.binary_requests
     );
     println!("  deferred batches: {}", r.deferred_batches);
     println!("  sheds:            {}", r.sheds);
@@ -358,7 +385,7 @@ fn run_cluster_status(args: Args) {
         eprintln!("cluster-status speaks the line protocol; drop --http");
         usage();
     }
-    let mut client = AnyClient::connect(&args.addr, false);
+    let mut client = AnyClient::connect(&args.addr, false, args.binary);
     let AnyClient::Tcp(tcp) = &mut client else {
         unreachable!("connected without --http");
     };
@@ -416,7 +443,7 @@ fn run_cluster_status(args: Args) {
 }
 
 fn run_persist(args: Args) {
-    let mut client = AnyClient::connect(&args.addr, args.http);
+    let mut client = AnyClient::connect(&args.addr, args.http, args.binary);
     let persisted = ok_or_exit(client.persist(args.session));
     println!(
         "persisted {} session{}: {persisted:?}",
@@ -465,7 +492,7 @@ fn main() {
         shards: Some(args.threads),
         seed: Some(args.seed),
     };
-    let mut control = AnyClient::connect(&args.addr, args.http);
+    let mut control = AnyClient::connect(&args.addr, args.http, args.binary);
     let session = control.create_session(&spec).expect("create_session");
     println!(
         "session {session} open (gamma {}, {} shards{}{})",
@@ -478,6 +505,9 @@ fn main() {
         },
         if args.http { ", http" } else { "" },
     );
+    if args.binary {
+        println!("binary framing negotiated on every connection");
+    }
 
     // Optional client-side perturbation, mirroring the paper's trust
     // model: each "client" thread perturbs with its own seeded RNG.
@@ -495,7 +525,7 @@ fn main() {
             let args = &args;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(args.seed ^ (t as u64 + 1) << 32);
-                let mut client = AnyClient::connect(addr, args.http);
+                let mut client = AnyClient::connect(addr, args.http, args.binary);
                 let mut submit = |batch: &[Vec<u32>], pre: bool| {
                     if args.pipeline {
                         let AnyClient::Tcp(tcp) = &mut client else {

@@ -5,12 +5,19 @@
 //! every parse helper here is shared; the difference is framing (lines
 //! vs HTTP messages) and that only the line protocol supports
 //! *pipelined* submits ([`Client::submit_nowait`] / [`Client::flush`]).
+//!
+//! A [`Client`] can additionally upgrade its connection to the compact
+//! binary framing with [`Client::negotiate_binary`]: submits are then
+//! encoded as [`crate::framing`] `OP_SUBMIT` frames (skipping JSON
+//! entirely on the ingest hot path) and every other op tunnels through
+//! `OP_JSON` frames with unchanged bodies.
 
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
+use crate::framing;
 use crate::json::{self, object, Value};
 use crate::metrics::{LatencySummary, MetricsReport, PeerHealth, PeerReplReport, TransportReport};
-use crate::protocol::PartialCoverage;
+use crate::protocol::{PartialCoverage, WireFraming};
 use crate::session::{
     Mechanism, Reconstruction, ReconstructionMethod, SessionStats, SessionSummary,
 };
@@ -308,6 +315,8 @@ fn parse_transport_report(v: &Value) -> Result<TransportReport> {
         reactor_wakeups: reactor("wakeups"),
         reactor_partial_reads: reactor("partial_reads"),
         reactor_partial_writes: reactor("partial_writes"),
+        binary_connections: field("binary_connections"),
+        binary_requests: field("binary_requests"),
     })
 }
 
@@ -391,6 +400,12 @@ pub struct Client {
     /// Buffered so pipelined submits coalesce into large writes; every
     /// synchronous request flushes before reading.
     writer: BufWriter<TcpStream>,
+    /// The framing negotiated on this connection. Connections start in
+    /// line-JSON; [`Client::negotiate_binary`] upgrades.
+    framing: WireFraming,
+    /// Encode binary submit cells as fixed-width `u32` little-endian
+    /// instead of varints ([`Client::set_binary_fixed32`]).
+    fixed32: bool,
 }
 
 impl Client {
@@ -466,7 +481,81 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            framing: WireFraming::Json,
+            fixed32: false,
         })
+    }
+
+    /// Upgrades this connection to the compact binary framing via the
+    /// `hello` negotiation op. The acknowledgement arrives in the old
+    /// (line) framing; every subsequent byte in both directions uses
+    /// binary frames. A no-op on an already-binary connection.
+    pub fn negotiate_binary(&mut self) -> Result<()> {
+        if self.framing == WireFraming::Binary {
+            return Ok(());
+        }
+        self.request(r#"{"op":"hello","framing":"binary"}"#)?;
+        self.framing = WireFraming::Binary;
+        Ok(())
+    }
+
+    /// The framing currently negotiated on this connection.
+    pub fn framing(&self) -> WireFraming {
+        self.framing
+    }
+
+    /// Selects fixed-width (`u32` little-endian) cells for binary
+    /// submit frames instead of the default varint cells — larger on
+    /// the wire for small cardinalities, cheaper to decode. Ignored
+    /// until [`Client::negotiate_binary`] has run.
+    pub fn set_binary_fixed32(&mut self, fixed32: bool) {
+        self.fixed32 = fixed32;
+    }
+
+    /// Reads one `[opcode][varint len][payload]` frame off the socket.
+    fn read_frame(&mut self) -> Result<(u8, Vec<u8>)> {
+        let mut byte = [0u8; 1];
+        if let Err(e) = self.reader.read_exact(&mut byte) {
+            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ServiceError::ConnectionClosed
+            } else {
+                e.into()
+            });
+        }
+        let opcode = byte[0];
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            self.reader.read_exact(&mut byte)?;
+            let bits = u64::from(byte[0] & 0x7f);
+            if shift >= 64 || (shift == 63 && bits > 1) {
+                return Err(ServiceError::Protocol(
+                    "response frame length varint overflows 64 bits".into(),
+                ));
+            }
+            len |= bits << shift;
+            if byte[0] & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.reader.read_exact(&mut payload)?;
+        Ok((opcode, payload))
+    }
+
+    /// Reads one binary response frame and parses its JSON body (the
+    /// server answers every synchronous op with an `OP_JSON` frame).
+    fn read_json_frame_response(&mut self) -> Result<Value> {
+        let (opcode, payload) = self.read_frame()?;
+        if opcode != framing::OP_JSON {
+            return Err(ServiceError::Protocol(format!(
+                "unexpected response opcode 0x{opcode:02x}"
+            )));
+        }
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ServiceError::Protocol("response frame is not valid UTF-8".into()))?;
+        check_ok(json::parse(text.trim())?)
     }
 
     /// Queues one pre-built request line without waiting for (or
@@ -475,6 +564,12 @@ impl Client {
     /// The line is buffered; any synchronous [`Client::request`]
     /// flushes it in order.
     pub fn send_raw_nowait(&mut self, line: &str) -> Result<()> {
+        if self.framing == WireFraming::Binary {
+            let mut frame = Vec::with_capacity(line.len() + 8);
+            framing::encode_json_frame(&mut frame, line);
+            self.writer.write_all(&frame)?;
+            return Ok(());
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         Ok(())
@@ -482,7 +577,16 @@ impl Client {
 
     /// Sends one raw request line and returns the parsed successful
     /// response object; `ok: false` becomes [`ServiceError::Remote`].
+    /// On a binary connection the line tunnels through an `OP_JSON`
+    /// frame with the same body.
     pub fn request(&mut self, line: &str) -> Result<Value> {
+        if self.framing == WireFraming::Binary {
+            let mut frame = Vec::with_capacity(line.len() + 8);
+            framing::encode_json_frame(&mut frame, line);
+            self.writer.write_all(&frame)?;
+            self.writer.flush()?;
+            return self.read_json_frame_response();
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -533,6 +637,22 @@ impl Client {
         pre_perturbed: bool,
         shard: Option<usize>,
     ) -> Result<usize> {
+        if self.framing == WireFraming::Binary {
+            let mut frame = Vec::with_capacity(24 + records.len() * 8);
+            framing::encode_submit_frame(
+                &mut frame,
+                session,
+                records,
+                pre_perturbed,
+                shard,
+                false,
+                self.fixed32,
+            );
+            self.writer.write_all(&frame)?;
+            self.writer.flush()?;
+            let v = self.read_json_frame_response()?;
+            return parse_submit_shard(&v);
+        }
         let v = self.request(&Self::submit_line(
             session,
             records,
@@ -603,10 +723,7 @@ impl Client {
         records: &[Vec<u32>],
         pre_perturbed: bool,
     ) -> Result<()> {
-        let line = Self::submit_line(session, records, pre_perturbed, None, true);
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        Ok(())
+        self.submit_nowait_inner(session, records, pre_perturbed, None)
     }
 
     /// [`Client::submit_nowait`] pinned to a shard (deterministic
@@ -619,7 +736,31 @@ impl Client {
         records: &[Vec<u32>],
         pre_perturbed: bool,
     ) -> Result<()> {
-        let line = Self::submit_line(session, records, pre_perturbed, Some(shard), true);
+        self.submit_nowait_inner(session, records, pre_perturbed, Some(shard))
+    }
+
+    fn submit_nowait_inner(
+        &mut self,
+        session: u64,
+        records: &[Vec<u32>],
+        pre_perturbed: bool,
+        shard: Option<usize>,
+    ) -> Result<()> {
+        if self.framing == WireFraming::Binary {
+            let mut frame = Vec::with_capacity(24 + records.len() * 8);
+            framing::encode_submit_frame(
+                &mut frame,
+                session,
+                records,
+                pre_perturbed,
+                shard,
+                true,
+                self.fixed32,
+            );
+            self.writer.write_all(&frame)?;
+            return Ok(());
+        }
+        let line = Self::submit_line(session, records, pre_perturbed, shard, true);
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         Ok(())

@@ -19,7 +19,7 @@ use crate::protocol::{
     is_deferred_submit, request_from_value, write_error_response, write_flush_response,
     write_list_response, write_metrics_response, write_ok_response, write_reconstruction_response,
     write_reconstruction_response_with, write_stats_response, write_stats_response_with,
-    write_transport_metrics_response, Request,
+    write_transport_metrics_response, Request, WireFraming,
 };
 use crate::session::SessionRegistry;
 use frapp_core::Schema;
@@ -34,6 +34,10 @@ pub enum Outcome {
     /// A response was written, and the server should shut down after
     /// sending it.
     Shutdown,
+    /// A `hello` negotiation succeeded: send the response (written in
+    /// the *current* framing), then switch the connection's codec to
+    /// the named framing for every subsequent byte.
+    SwitchFraming(WireFraming),
 }
 
 /// Per-connection dispatch state: the deferred-submit watermark.
@@ -121,21 +125,7 @@ pub fn dispatch_into(
     // bundled clients emit) decodes without building a `Value` tree.
     // Anything else falls through to the general parser below.
     if let Some(req) = crate::protocol::parse_submit_line_fast(line) {
-        if matches!(req, Request::Submit { deferred: true, .. }) {
-            execute_deferred(registry, transport, fed, state, req);
-            return Outcome::Quiet;
-        }
-        return match execute_with_state(registry, config, transport, fed, state, req, out) {
-            Ok(_) => {
-                attach_watermark(state, out);
-                Outcome::Reply
-            }
-            Err(e) => {
-                out.clear();
-                write_error_with_watermark(state, out, &e);
-                Outcome::Reply
-            }
-        };
+        return dispatch_request(registry, config, transport, fed, state, req, out);
     }
     let parsed = json::parse(line);
     let value = match parsed {
@@ -162,14 +152,43 @@ pub fn dispatch_into(
         }
         return Outcome::Quiet;
     }
-    match request_from_value(&value)
-        .and_then(|req| execute_with_state(registry, config, transport, fed, state, req, out))
-    {
+    match request_from_value(&value) {
+        Ok(req) => dispatch_request(registry, config, transport, fed, state, req, out),
+        Err(e) => {
+            write_error_with_watermark(state, out, &e);
+            Outcome::Reply
+        }
+    }
+}
+
+/// Executes one already-decoded [`Request`] against the pipelining
+/// state, writing the response (if any) into `out`. This is the common
+/// back half of [`dispatch_into`] and the entry point for framings —
+/// like the binary one — that decode straight to a [`Request`] without
+/// ever materialising a JSON line.
+pub(crate) fn dispatch_request(
+    registry: &SessionRegistry,
+    config: &ServiceConfig,
+    transport: &TransportMetrics,
+    fed: Option<&FedState>,
+    state: &mut ConnState,
+    req: Request,
+    out: &mut String,
+) -> Outcome {
+    if matches!(req, Request::Submit { deferred: true, .. }) {
+        execute_deferred(registry, transport, fed, state, req);
+        return Outcome::Quiet;
+    }
+    match execute_with_state(registry, config, transport, fed, state, req, out) {
         Ok(ExecuteOutcome::Respond) => {
             attach_watermark(state, out);
             Outcome::Reply
         }
         Ok(ExecuteOutcome::Flush) => Outcome::Reply,
+        Ok(ExecuteOutcome::Switch(framing)) => {
+            attach_watermark(state, out);
+            Outcome::SwitchFraming(framing)
+        }
         Ok(ExecuteOutcome::Shutdown) => {
             attach_watermark(state, out);
             Outcome::Shutdown
@@ -293,6 +312,9 @@ pub(crate) enum ExecuteOutcome {
     /// A `flush` response: the watermark is the response, already
     /// consumed.
     Flush,
+    /// A `hello` acknowledgement: after sending it, the connection
+    /// switches to the negotiated framing.
+    Switch(WireFraming),
     /// A `shutdown` acknowledgement.
     Shutdown,
 }
@@ -334,6 +356,14 @@ fn execute_with_state(
 ) -> Result<ExecuteOutcome> {
     match req {
         Request::Ping => write_ok_response(out, vec![("pong", true.into())]),
+        Request::Hello { framing } => {
+            // The acknowledgement goes out in the *current* framing;
+            // every byte after it is in the negotiated one. HTTP has no
+            // hello route, so only the line-protocol front-ends (and
+            // the reactor) can ever reach this arm.
+            write_ok_response(out, vec![("framing", framing.wire_name().into())]);
+            return Ok(ExecuteOutcome::Switch(framing));
+        }
         Request::Flush => {
             // On a federated node the flush is also the replication
             // barrier: every forwarded batch must be confirmed by its

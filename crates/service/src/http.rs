@@ -33,18 +33,20 @@
 //! route, `400` invalid request, `500` server-side failure) with the
 //! line protocol's `{"ok":false,"error":...}` body.
 //!
-//! This module owns the *threaded* HTTP connection loop; the parsing
+//! This module owns the HTTP *accept loop* and the routing/parsing
 //! pieces (`parse_head`, `ChunkDecoder`, `respond`,
-//! `format_http_response`) are shared with the nonblocking state
-//! machines in [`crate::reactor`], so both front-ends speak the same
-//! dialect by construction. `docs/PROTOCOL.md` is the normative spec.
+//! `format_http_response`). The per-connection framing state machine
+//! lives in `crate::framing::HttpFraming`, which both the threaded
+//! driver here and the nonblocking reactor drive — so the two
+//! front-ends speak the same dialect by construction.
+//! `docs/PROTOCOL.md` is the normative spec.
 
 use crate::dispatch;
 use crate::error::{Result, ServiceError};
 use crate::json::{self, Value};
 use crate::protocol::{self, write_error_response, Request};
-use crate::server::{AcceptBackoff, IdleTimer, Shared};
-use std::io::{BufRead, BufReader, Write};
+use crate::server::{AcceptBackoff, Shared};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -129,117 +131,19 @@ fn shed_http_connection(mut stream: TcpStream, shared: &Shared) {
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> Result<()> {
     // The listener is non-blocking (the accept loop polls the shutdown
     // flag), and on some platforms (BSD/macOS, Windows) accepted
-    // sockets inherit that flag. This connection must block on its
-    // read timeout — a non-blocking socket would turn the
-    // WouldBlock-means-poll-shutdown loops below into a hot spin.
+    // sockets inherit that flag. The shared driver blocks on its read
+    // timeout — a non-blocking socket would turn its
+    // WouldBlock-means-poll-shutdown loop into a hot spin.
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     // Responses are written as one buffer, but disable Nagle anyway:
     // with it on, a head/body pair split across segments stalls ~40 ms
     // against the peer's delayed ACK, capping keep-alive connections
     // at ~25 requests/second.
     stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut head = Vec::new();
-    let mut body_buf = Vec::new();
-    let mut response = String::new();
-    let mut idle = IdleTimer::new(shared.config.idle_timeout_ms);
-    loop {
-        if !read_head(&mut reader, &mut head, shared, &mut idle)? {
-            return Ok(()); // peer closed, shutdown, or idle-reaped
-        }
-        let parsed = parse_head(&head);
-        let h = match parsed {
-            Ok(h) => h,
-            Err(e) => {
-                response.clear();
-                write_error_response(&mut response, &e);
-                write_http_response(
-                    &mut writer,
-                    400,
-                    "Bad Request",
-                    CONTENT_TYPE_JSON,
-                    &response,
-                    false,
-                )?;
-                return Ok(());
-            }
-        };
-        if let BodyFraming::Length(n) = h.body {
-            if n > shared.config.max_line_bytes {
-                response.clear();
-                write_error_response(
-                    &mut response,
-                    &ServiceError::Protocol(format!(
-                        "request body exceeds {} bytes",
-                        shared.config.max_line_bytes
-                    )),
-                );
-                write_http_response(
-                    &mut writer,
-                    413,
-                    "Payload Too Large",
-                    CONTENT_TYPE_JSON,
-                    &response,
-                    false,
-                )?;
-                return Ok(());
-            }
-        }
-        if h.expect_continue && h.expects_body() {
-            // curl sends `Expect: 100-continue` for larger bodies and
-            // waits for this interim response before transmitting.
-            writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-            writer.flush()?;
-        }
-        match h.body {
-            BodyFraming::Length(n) => {
-                read_exact_with_shutdown(&mut reader, &mut body_buf, n, shared, &mut idle)?;
-            }
-            BodyFraming::Chunked => {
-                let mut decoder = ChunkDecoder::new(shared.config.max_line_bytes);
-                match read_chunked_with_shutdown(&mut reader, &mut decoder, shared, &mut idle)? {
-                    Ok(()) => decoder.take_body(&mut body_buf),
-                    // Framing errors in the chunk stream are answered
-                    // in-band and tear the connection down (the framing
-                    // itself can no longer be trusted).
-                    Err(e) => {
-                        let (status, reason) = e.status();
-                        response.clear();
-                        write_error_response(&mut response, &e.into_service_error());
-                        write_http_response(
-                            &mut writer,
-                            status,
-                            reason,
-                            CONTENT_TYPE_JSON,
-                            &response,
-                            false,
-                        )?;
-                        return Ok(());
-                    }
-                }
-            }
-        }
-        shared.transport.record_http_request();
-
-        response.clear();
-        let (status, reason, content_type) = respond(
-            shared,
-            &h.method,
-            &h.target,
-            h.accept_text,
-            &body_buf,
-            &mut response,
-        );
-        // HTTP/1.1 defaults to keep-alive; honour an explicit close.
-        let keep = h.keep_alive();
-        write_http_response(&mut writer, status, reason, content_type, &response, keep)?;
-        if !keep {
-            return Ok(());
-        }
-    }
+    // No fault injection and no shutdown wake: HTTP exposes no
+    // `shutdown` route, so the codec never raises the shutdown signal.
+    let mut codec = crate::framing::HttpFraming::new();
+    crate::framing::drive_blocking(&stream, shared, &mut codec, false, None)
 }
 
 /// The Content-Type of every JSON response body.
@@ -451,133 +355,6 @@ fn stats_query(query: &str) -> std::result::Result<bool, RouteError> {
         }
     }
     Ok(allow_partial)
-}
-
-/// Reads one request head (request line + headers, through the blank
-/// line) into `buf`. Returns `false` on a clean EOF before any byte
-/// (the peer closed an idle keep-alive connection), on shutdown, or
-/// when the connection is reaped for sitting idle past the configured
-/// timeout (counted in the transport metrics).
-fn read_head(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    shared: &Shared,
-    idle: &mut IdleTimer,
-) -> Result<bool> {
-    const TERM: &[u8; 4] = b"\r\n\r\n";
-    buf.clear();
-    // How many bytes of the terminator the tail of `buf` matches — the
-    // matcher state survives chunk boundaries, so the head is consumed
-    // byte-exactly and any pipelined body bytes stay in the reader.
-    let mut matched = 0usize;
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok(chunk) => {
-                idle.touch();
-                chunk
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(false);
-                }
-                if idle.expired() {
-                    shared.transport.record_idle_reaped();
-                    return Ok(false);
-                }
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        };
-        if chunk.is_empty() {
-            if buf.is_empty() {
-                return Ok(false); // clean EOF between requests
-            }
-            return Err(ServiceError::Protocol(
-                "connection closed mid-request".into(),
-            ));
-        }
-        let mut end = None;
-        for (i, &b) in chunk.iter().enumerate() {
-            if TERM.get(matched) == Some(&b) {
-                matched += 1;
-                if matched == TERM.len() {
-                    end = Some(i + 1);
-                    break;
-                }
-            } else if TERM.first() == Some(&b) {
-                matched = 1;
-            } else {
-                matched = 0;
-            }
-        }
-        match end {
-            Some(end) => {
-                buf.extend_from_slice(&chunk[..end]);
-                reader.consume(end);
-                return Ok(true);
-            }
-            None => {
-                buf.extend_from_slice(chunk);
-                let len = chunk.len();
-                reader.consume(len);
-            }
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(ServiceError::Protocol(format!(
-                "request head exceeds {MAX_HEAD_BYTES} bytes"
-            )));
-        }
-    }
-}
-
-/// Reads exactly `n` body bytes, treating read timeouts as "check the
-/// shutdown flag and keep waiting" like the line protocol does. A body
-/// dripping in slower than the idle timeout (classic slowloris) is
-/// reaped mid-read.
-fn read_exact_with_shutdown(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    n: usize,
-    shared: &Shared,
-    idle: &mut IdleTimer,
-) -> Result<()> {
-    buf.clear();
-    while buf.len() < n {
-        let chunk = match reader.fill_buf() {
-            Ok(chunk) => {
-                idle.touch();
-                chunk
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Err(ServiceError::ConnectionClosed);
-                }
-                if idle.expired() {
-                    shared.transport.record_idle_reaped();
-                    return Err(ServiceError::ConnectionClosed);
-                }
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        };
-        if chunk.is_empty() {
-            return Err(ServiceError::Protocol("connection closed mid-body".into()));
-        }
-        let take = chunk.len().min(n - buf.len());
-        buf.extend_from_slice(&chunk[..take]);
-        reader.consume(take);
-    }
-    Ok(())
 }
 
 /// How a request's body bytes are framed on the wire.
@@ -922,51 +699,6 @@ fn parse_chunk_size(line: &[u8]) -> std::result::Result<usize, ChunkError> {
     }
     usize::from_str_radix(text, 16)
         .map_err(|_| ChunkError::Malformed(format!("invalid chunk size `{text}`")))
-}
-
-/// Feeds a [`ChunkDecoder`] from the threaded path's buffered reader
-/// until the body completes. Outer errors are I/O-level (torn
-/// connection, shutdown) and tear the connection down silently like any
-/// other read failure; the inner result carries chunk-framing errors,
-/// which the caller answers in-band.
-fn read_chunked_with_shutdown(
-    reader: &mut BufReader<TcpStream>,
-    decoder: &mut ChunkDecoder,
-    shared: &Shared,
-    idle: &mut IdleTimer,
-) -> Result<std::result::Result<(), ChunkError>> {
-    while !decoder.is_done() {
-        let chunk = match reader.fill_buf() {
-            Ok(chunk) => {
-                idle.touch();
-                chunk
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Err(ServiceError::ConnectionClosed);
-                }
-                if idle.expired() {
-                    shared.transport.record_idle_reaped();
-                    return Err(ServiceError::ConnectionClosed);
-                }
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        };
-        if chunk.is_empty() {
-            return Err(ServiceError::Protocol("connection closed mid-body".into()));
-        }
-        match decoder.push(chunk) {
-            Ok(consumed) => reader.consume(consumed),
-            Err(e) => return Ok(Err(e)),
-        }
-    }
-    Ok(Ok(()))
 }
 
 /// Appends one HTTP response (status line, headers, body) to a byte

@@ -96,6 +96,7 @@ pub mod dispatch;
 pub mod error;
 pub mod fault;
 pub mod fed;
+pub mod framing;
 pub mod http;
 pub mod json;
 pub mod metrics;

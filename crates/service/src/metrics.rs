@@ -209,8 +209,10 @@ impl SessionMetrics {
 pub struct TransportMetrics {
     tcp_connections: AtomicU64,
     http_connections: AtomicU64,
+    binary_connections: AtomicU64,
     tcp_requests: AtomicU64,
     http_requests: AtomicU64,
+    binary_requests: AtomicU64,
     deferred_batches: AtomicU64,
     sheds: AtomicU64,
     accept_errors: AtomicU64,
@@ -243,9 +245,22 @@ impl TransportMetrics {
         self.http_connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one line-protocol connection that negotiated the binary
+    /// framing (via `{"op":"hello","framing":"binary"}`); such a
+    /// connection is counted in `tcp_connections` too.
+    pub fn record_binary_connection(&self) {
+        self.binary_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one dispatched line-protocol request.
     pub fn record_tcp_request(&self) {
         self.tcp_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that arrived as a binary frame (counted in
+    /// `tcp_requests` too — the binary framing rides the TCP port).
+    pub fn record_binary_request(&self) {
+        self.binary_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one dispatched HTTP request.
@@ -308,8 +323,10 @@ impl TransportMetrics {
         TransportReport {
             tcp_connections: self.tcp_connections.load(Ordering::Relaxed),
             http_connections: self.http_connections.load(Ordering::Relaxed),
+            binary_connections: self.binary_connections.load(Ordering::Relaxed),
             tcp_requests: self.tcp_requests.load(Ordering::Relaxed),
             http_requests: self.http_requests.load(Ordering::Relaxed),
+            binary_requests: self.binary_requests.load(Ordering::Relaxed),
             deferred_batches: self.deferred_batches.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
@@ -329,10 +346,16 @@ pub struct TransportReport {
     pub tcp_connections: u64,
     /// HTTP connections accepted.
     pub http_connections: u64,
+    /// Connections that negotiated the binary framing (a subset of
+    /// `tcp_connections`).
+    pub binary_connections: u64,
     /// Line-protocol requests dispatched.
     pub tcp_requests: u64,
     /// HTTP requests dispatched.
     pub http_requests: u64,
+    /// Requests that arrived as binary frames (a subset of
+    /// `tcp_requests`).
+    pub binary_requests: u64,
     /// Deferred-ack submit batches received.
     pub deferred_batches: u64,
     /// Connections refused at the `max_connections` cap.
@@ -577,9 +600,21 @@ pub fn write_prometheus_metrics(
     );
     scalar(
         out,
+        "frapp_binary_connections_total",
+        "counter",
+        transport.binary_connections,
+    );
+    scalar(
+        out,
         "frapp_tcp_requests_total",
         "counter",
         transport.tcp_requests,
+    );
+    scalar(
+        out,
+        "frapp_binary_requests_total",
+        "counter",
+        transport.binary_requests,
     );
     scalar(
         out,
@@ -746,6 +781,8 @@ mod tests {
         t.record_tcp_request();
         t.record_http_connection();
         t.record_http_request();
+        t.record_binary_connection();
+        t.record_binary_request();
         t.record_deferred_batch();
         t.record_shed();
         t.record_accept_error();
@@ -754,6 +791,8 @@ mod tests {
         assert_eq!(r.tcp_requests, 2);
         assert_eq!(r.http_connections, 1);
         assert_eq!(r.http_requests, 1);
+        assert_eq!(r.binary_connections, 1);
+        assert_eq!(r.binary_requests, 1);
         assert_eq!(r.deferred_batches, 1);
         assert_eq!(r.sheds, 1);
         assert_eq!(r.accept_errors, 1);
@@ -827,6 +866,7 @@ mod tests {
     fn prometheus_exposition_covers_transport_and_peers() {
         let t = TransportMetrics::new();
         t.record_tcp_connection();
+        t.record_binary_connection();
         t.record_idle_reaped();
         let c = PeerReplCounters::new();
         c.record_forward(5);
@@ -837,6 +877,8 @@ mod tests {
         write_prometheus_metrics(&mut out, &t.report(), Some(&[peer]));
         assert!(out.contains("# TYPE frapp_tcp_connections_total counter\n"));
         assert!(out.contains("frapp_tcp_connections_total 1\n"));
+        assert!(out.contains("frapp_binary_connections_total 1\n"));
+        assert!(out.contains("frapp_binary_requests_total 0\n"));
         assert!(out.contains("frapp_idle_reaped_total 1\n"));
         assert!(out.contains(
             "frapp_peer_forwarded_records_total{node=\"1\",peer=\"127.0.0.1:7001\"} 5\n"

@@ -24,6 +24,7 @@
 //! {"op":"cluster_status"}
 //! {"op":"sync_session","session":1}
 //! {"op":"repl_status","session":1,"origin":0}
+//! {"op":"hello","framing":"binary"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -168,6 +169,43 @@ impl RecordBatch {
     }
 }
 
+/// A wire framing a connection can speak on the raw-TCP port.
+///
+/// Connections start in [`WireFraming::Json`] (newline-delimited JSON)
+/// and may switch with `{"op":"hello","framing":"binary"}`; the hello
+/// acknowledgement is sent in the *old* framing, and every subsequent
+/// byte in both directions uses the new one. The binary framing is
+/// speced normatively in `docs/PROTOCOL.md` and implemented by
+/// [`crate::framing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFraming {
+    /// One JSON object per `\n`-terminated line (the default).
+    Json,
+    /// Length-prefixed binary frames (`opcode`, varint length, payload).
+    Binary,
+}
+
+impl WireFraming {
+    /// The wire-level name used in `hello` negotiation.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            WireFraming::Json => "line",
+            WireFraming::Binary => "binary",
+        }
+    }
+
+    /// Parses a `hello` framing name.
+    pub fn from_wire(name: &str) -> Result<Self> {
+        match name {
+            "line" | "json" => Ok(WireFraming::Json),
+            "binary" => Ok(WireFraming::Binary),
+            other => Err(ServiceError::InvalidRequest(format!(
+                "unknown framing `{other}` (expected line|binary)"
+            ))),
+        }
+    }
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -271,6 +309,12 @@ pub enum Request {
         session: u64,
         /// The forwarding node's peer index.
         origin: u64,
+    },
+    /// Negotiate the connection's wire framing (line protocol only; the
+    /// acknowledgement is sent in the old framing before switching).
+    Hello {
+        /// The framing to switch to.
+        framing: WireFraming,
     },
     /// Stop the server (used by tests and the load generator).
     Shutdown,
@@ -671,6 +715,14 @@ pub fn request_from_value(v: &Value) -> Result<Request> {
             session: field_u64(v, "session")?,
             origin: field_u64(v, "origin")?,
         }),
+        "hello" => {
+            let name = require(v, "framing")?.as_str().ok_or_else(|| {
+                ServiceError::InvalidRequest("field `framing` must be a string".into())
+            })?;
+            Ok(Request::Hello {
+                framing: WireFraming::from_wire(name)?,
+            })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServiceError::InvalidRequest(format!(
             "unknown op `{other}`"
@@ -917,8 +969,10 @@ pub fn write_transport_metrics_response(
             object(vec![
                 ("tcp_connections", report.tcp_connections.into()),
                 ("http_connections", report.http_connections.into()),
+                ("binary_connections", report.binary_connections.into()),
                 ("tcp_requests", report.tcp_requests.into()),
                 ("http_requests", report.http_requests.into()),
+                ("binary_requests", report.binary_requests.into()),
                 ("deferred_batches", report.deferred_batches.into()),
                 ("sheds", report.sheds.into()),
                 ("accept_errors", report.accept_errors.into()),
@@ -1015,6 +1069,29 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn parses_hello_framing_negotiation() {
+        assert_eq!(
+            parse_request(r#"{"op":"hello","framing":"binary"}"#).unwrap(),
+            Request::Hello {
+                framing: WireFraming::Binary
+            }
+        );
+        // "line" and its alias "json" both name the default framing.
+        for name in ["line", "json"] {
+            assert_eq!(
+                parse_request(&format!(r#"{{"op":"hello","framing":"{name}"}}"#)).unwrap(),
+                Request::Hello {
+                    framing: WireFraming::Json
+                }
+            );
+        }
+        assert!(parse_request(r#"{"op":"hello"}"#).is_err());
+        assert!(parse_request(r#"{"op":"hello","framing":"carrier-pigeon"}"#).is_err());
+        assert_eq!(WireFraming::Binary.wire_name(), "binary");
+        assert_eq!(WireFraming::Json.wire_name(), "line");
     }
 
     #[test]

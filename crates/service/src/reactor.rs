@@ -4,23 +4,21 @@
 //! the bottleneck: a million-client collection deployment means tens of
 //! thousands of mostly-idle connections, and a thread apiece for them
 //! buys nothing but stack reservations and scheduler pressure. This
-//! module serves *both* wire protocols — the line-JSON framing of
-//! [`crate::server`] and the HTTP/1.1 framing of [`crate::http`] — from
-//! a small, fixed set of event-loop threads instead (`frapp-serve
-//! --async`, [`crate::config::ServiceConfig::async_reactor`]).
+//! module serves every wire framing — the line-JSON/binary codec and
+//! the HTTP/1.1 codec of [`crate::framing`] — from a small, fixed set
+//! of event-loop threads instead (`frapp-serve --async`,
+//! [`crate::config::ServiceConfig::async_reactor`]).
 //!
 //! Three design rules keep it honest:
 //!
-//! 1. **Same dispatch core, bit-identical responses.** Framing is the
-//!    only thing that lives here. Complete line-protocol requests go
-//!    through [`crate::dispatch::dispatch_into`] with the same
-//!    per-connection [`ConnState`] watermark as the threaded loop, and
-//!    complete HTTP requests go through the same `respond` /
-//!    `format_http_response` helpers as [`crate::http`];
+//! 1. **Same codecs, same dispatch core, bit-identical responses.**
+//!    Nothing protocol-shaped lives here: each connection owns the
+//!    *same* `crate::framing::FrameCodec` the threaded front-ends
+//!    drive, stepped incrementally over whatever bytes have arrived;
 //!    `tests/reactor.rs` asserts raw byte parity against the threaded
 //!    front-ends. Dispatch itself runs *off* the event loop: buffered
-//!    complete frames are handed to the shared offload pool
-//!    (`crate::dispatch::OffloadExecutor`, one in-flight job per
+//!    input and the connection's codec are handed to the shared offload
+//!    pool (`crate::dispatch::OffloadExecutor`, one in-flight job per
 //!    connection so per-connection ordering holds) and the responses
 //!    come back through a wake pipe — so a dispatch that blocks (a
 //!    federated fan-out barrier, a persistence fsync) stalls one
@@ -28,37 +26,45 @@
 //! 2. **No new dependencies.** The poller is a ~150-line `sys` shim of
 //!    raw `extern "C"` syscall declarations — `epoll` on Linux/Android,
 //!    `kqueue` on the BSDs and macOS — resolved by the libc that `std`
-//!    already links. Unsupported platforms refuse `--async` at startup
-//!    with a clear error instead of failing at build time.
+//!    already links. The data path uses `readv`/`writev` the same way:
+//!    one syscall fills the connection buffer *and* an overflow scratch,
+//!    one syscall flushes a whole queue of response chunks, no
+//!    coalescing copy. Unsupported platforms refuse `--async` at
+//!    startup with a clear error instead of failing at build time.
 //! 3. **Backpressure by interest, not by blocking.** Each connection
 //!    owns a read buffer (incomplete frames wait in it) and a write
-//!    buffer (unflushed responses wait in it). A peer that stops
-//!    reading gets its responses parked in the write buffer; past a
-//!    high-water mark the reactor *de-registers read interest* so the
-//!    connection stops producing new work until the peer drains —
-//!    memory per slow client stays bounded without stalling the loop.
+//!    queue (unflushed response chunks wait in it). A peer that stops
+//!    reading gets its responses parked in the queue; past a high-water
+//!    mark the reactor *de-registers read interest* so the connection
+//!    stops producing new work until the peer drains — memory per slow
+//!    client stays bounded without stalling the loop.
 //!
 //! Sharding: with `--reactor-threads N`, every reactor thread runs its
 //! own poller and registers *both* listeners (via dup'd fds), so
 //! accepted connections spread across reactors without a handoff
 //! queue; a connection lives on the reactor that accepted it for its
 //! whole life, which keeps every per-connection structure single-
-//! threaded. Shutdown is cooperative: the poll timeout doubles as a
-//! shutdown-flag check, exactly like the threaded loops' read
-//! timeouts.
+//! threaded. On Linux the listeners register with `EPOLLEXCLUSIVE`, so
+//! one pending accept wakes one sibling instead of the whole shard set
+//! (the thundering herd that otherwise taxes every added reactor).
+//! Shutdown is cooperative: the poll timeout doubles as a shutdown-flag
+//! check, exactly like the threaded loops' read timeouts.
 
-use crate::dispatch::{dispatch_into, ConnState, Outcome};
 use crate::error::{Result, ServiceError};
-use crate::http::{self, BodyFraming, ChunkDecoder, Head};
+use crate::framing::{FrameCodec, HttpFraming, LineFraming, Signals, Step};
+use crate::http;
 use crate::protocol::write_error_response;
 use crate::server::{AcceptBackoff, ConnGuard, Shared};
 use std::collections::HashMap;
-use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+#[cfg(unix)]
+use std::collections::VecDeque;
+#[cfg(unix)]
+use std::io::{Read, Write};
 #[cfg(unix)]
 use std::os::unix::io::{AsRawFd, RawFd};
 #[cfg(unix)]
@@ -101,6 +107,7 @@ mod sys {
         const EPOLLERR: u32 = 0x008;
         const EPOLLHUP: u32 = 0x010;
         const EPOLLRDHUP: u32 = 0x2000;
+        const EPOLLEXCLUSIVE: u32 = 1 << 28;
         const EPOLL_CTL_ADD: i32 = 1;
         const EPOLL_CTL_DEL: i32 = 2;
         const EPOLL_CTL_MOD: i32 = 3;
@@ -133,6 +140,14 @@ mod sys {
                 Ok(Poller { epfd })
             }
 
+            fn ctl_raw(&self, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+                let mut ev = EpollEvent {
+                    events,
+                    data: token,
+                };
+                cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+            }
+
             fn ctl(
                 &self,
                 op: i32,
@@ -141,16 +156,21 @@ mod sys {
                 readable: bool,
                 writable: bool,
             ) -> io::Result<()> {
-                let mut ev = EpollEvent {
-                    events: if readable { EPOLLIN | EPOLLRDHUP } else { 0 }
-                        | if writable { EPOLLOUT } else { 0 },
-                    data: token,
-                };
-                cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+                let events = if readable { EPOLLIN | EPOLLRDHUP } else { 0 }
+                    | if writable { EPOLLOUT } else { 0 };
+                self.ctl_raw(op, fd, events, token)
             }
 
             pub fn add(&self, fd: i32, token: u64, writable: bool) -> io::Result<()> {
                 self.ctl(EPOLL_CTL_ADD, fd, token, true, writable)
+            }
+
+            /// Registers a listener fd shared with sibling pollers:
+            /// `EPOLLEXCLUSIVE` wakes one waiter per pending accept
+            /// instead of every reactor that registered the fd. Fails
+            /// on pre-4.5 kernels — callers fall back to [`Self::add`].
+            pub fn add_shared(&self, fd: i32, token: u64) -> io::Result<()> {
+                self.ctl_raw(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLEXCLUSIVE, token)
             }
 
             /// Replaces the fd's interest set. Dropping `readable` is
@@ -318,6 +338,12 @@ mod sys {
                 Ok(())
             }
 
+            /// kqueue has no `EPOLLEXCLUSIVE` analogue; a shared
+            /// listener registers like any other fd.
+            pub fn add_shared(&self, fd: i32, token: u64) -> io::Result<()> {
+                self.add(fd, token, false)
+            }
+
             /// Replaces the fd's interest set; both filters toggle
             /// (deleting an absent filter is tolerated above).
             pub fn modify(
@@ -420,6 +446,9 @@ mod sys {
             pub fn add(&self, _: i32, _: u64, _: bool) -> io::Result<()> {
                 Err(Self::unsupported())
             }
+            pub fn add_shared(&self, _: i32, _: u64) -> io::Result<()> {
+                Err(Self::unsupported())
+            }
             pub fn modify(&self, _: i32, _: u64, _: bool, _: bool) -> io::Result<()> {
                 Err(Self::unsupported())
             }
@@ -469,6 +498,47 @@ mod sys {
     }
 }
 
+/// Vectored I/O shim: `readv`/`writev`, straight from the platform's
+/// libc. One syscall moves several buffers, which is the difference
+/// between "append to the read buffer, overflow into scratch" or
+/// "flush a queue of response chunks" costing one kernel crossing or
+/// several.
+#[cfg(unix)]
+mod sys_io {
+    use std::io;
+
+    /// `struct iovec` from `<sys/uio.h>` — the layout every unix
+    /// shares: a base pointer and a length.
+    #[repr(C)]
+    pub struct IoVec {
+        pub base: *mut std::ffi::c_void,
+        pub len: usize,
+    }
+
+    extern "C" {
+        fn readv(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+        fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+    }
+
+    pub fn readv_fd(fd: i32, iov: &mut [IoVec]) -> io::Result<usize> {
+        let n = unsafe { readv(fd, iov.as_ptr(), iov.len() as i32) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    pub fn writev_fd(fd: i32, iov: &[IoVec]) -> io::Result<usize> {
+        let n = unsafe { writev(fd, iov.as_ptr(), iov.len() as i32) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+}
+
 /// How long one `wait` blocks before re-checking the shutdown flag —
 /// the reactor's analogue of the threaded loops' 200 ms read timeout.
 const POLL_TIMEOUT_MS: i32 = 50;
@@ -477,6 +547,16 @@ const POLL_TIMEOUT_MS: i32 = 50;
 /// is dropped: a peer that will not drain its responses stops being
 /// allowed to submit new work until it does.
 const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// How many rounds of offload completions one wakeup applies before
+/// returning to the poller. Applying a completion often starts the
+/// connection's next job, and small cached dispatches finish fast
+/// enough to land while later completions are still being applied;
+/// re-draining keeps those chains moving inside one wakeup instead of
+/// paying poll latency per round trip — bounded, so a pathological
+/// ping-pong cannot starve accepts and socket events.
+#[cfg(unix)]
+const COMPLETION_DRAIN_ROUNDS: usize = 4;
 
 /// Registration token of the line-protocol listener.
 const TOKEN_LINE: u64 = 0;
@@ -559,61 +639,90 @@ pub(crate) fn run(
     ))
 }
 
-/// Which wire protocol a connection speaks (decided by the listener
-/// that accepted it).
+/// Unflushed response chunks, in wire order. Completions push their
+/// output buffers here *whole* — no coalescing copy into one flat
+/// buffer — and [`flush_writes`] hands the queue to `writev` as an
+/// iovec array, so the copy that `write_buf.extend_from_slice` used to
+/// pay per response simply does not happen.
 #[cfg(unix)]
-enum ConnKind {
-    /// Line-delimited JSON, with the pipelining watermark.
-    Line { state: ConnState },
-    /// HTTP/1.1, with the incremental message parser.
-    Http { state: HttpState },
+struct WriteQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// How far into `chunks[0]` earlier short writes got.
+    pos: usize,
+    /// Total unwritten bytes across all chunks.
+    pending: usize,
 }
 
-/// Where an HTTP connection is in its current message.
 #[cfg(unix)]
-enum HttpState {
-    /// Scanning the read buffer for the end of a request head.
-    Head,
-    /// Collecting a `Content-Length` body.
-    Body {
-        head: Head,
-        body: Vec<u8>,
-        need: usize,
-    },
-    /// Collecting a chunked body.
-    Chunked { head: Head, decoder: ChunkDecoder },
+impl WriteQueue {
+    fn new() -> Self {
+        WriteQueue {
+            chunks: VecDeque::new(),
+            pos: 0,
+            pending: 0,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn push(&mut self, chunk: Vec<u8>) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.pending += chunk.len();
+        self.chunks.push_back(chunk);
+    }
+
+    /// Records `n` bytes as written, dropping drained chunks.
+    fn advance(&mut self, mut n: usize) {
+        self.pending -= n;
+        while n > 0 {
+            let Some(front) = self.chunks.front() else {
+                return;
+            };
+            let remaining = front.len() - self.pos;
+            if n >= remaining {
+                n -= remaining;
+                self.chunks.pop_front();
+                self.pos = 0;
+            } else {
+                self.pos += n;
+                return;
+            }
+        }
+    }
 }
 
-/// One registered connection: its socket, admission guard, protocol
-/// state and elastic buffers.
+/// One registered connection: its socket, admission guard, framing
+/// codec and elastic buffers.
 #[cfg(unix)]
 struct Conn {
     stream: TcpStream,
     fd: RawFd,
     _guard: ConnGuard,
-    /// The protocol state — `None` while an offload job holds it (at
-    /// most one job per connection is ever in flight, which is what
-    /// keeps responses ordered).
-    kind: Option<ConnKind>,
+    /// The connection's framing codec — `None` while an offload job
+    /// holds it (at most one job per connection is ever in flight,
+    /// which is what keeps responses ordered).
+    codec: Option<Box<dyn FrameCodec>>,
     /// Raw unconsumed input; incomplete frames (and frames buffered
     /// behind an in-flight job) wait here.
     read_buf: Vec<u8>,
-    /// Unflushed output, already formatted; `write_pos` marks how much
-    /// of it has been written so far.
-    write_buf: Vec<u8>,
-    write_pos: usize,
+    /// Unflushed output chunks, already formatted.
+    write: WriteQueue,
     /// The last job consumed nothing and no bytes have arrived since:
     /// the buffer holds an incomplete frame, so don't re-spawn a job
     /// until the socket produces more input.
     stalled: bool,
     /// Currently registered for writable events.
     want_write: bool,
-    /// Read interest dropped because the write buffer crossed the
+    /// Read interest dropped because the write queue crossed the
     /// high-water mark.
     read_paused: bool,
-    /// Close once the write buffer drains.
+    /// Close once the write queue drains.
     close_after_flush: bool,
-    /// Set the server-wide shutdown flag once the write buffer drains
+    /// Set the server-wide shutdown flag once the write queue drains
     /// (the `shutdown` op's response must still reach its sender).
     shutdown_after_flush: bool,
     /// The peer half-closed; close once everything owed is flushed.
@@ -623,38 +732,36 @@ struct Conn {
 #[cfg(unix)]
 impl Conn {
     fn pending_write(&self) -> usize {
-        self.write_buf.len() - self.write_pos
+        self.write.pending()
     }
 }
 
-/// The working set of one offload job: the connection's protocol state
-/// plus every byte read so far. The worker consumes complete frames
-/// from `input` into `out`; the reactor splices whatever is left back
-/// in front of any newly arrived bytes when the completion lands.
+/// The working set of one offload job: the connection's codec plus
+/// every byte read so far. The worker steps the codec over `input`
+/// into `out`; the reactor splices whatever is left back in front of
+/// any newly arrived bytes when the completion lands.
 #[cfg(unix)]
 struct Work {
-    kind: ConnKind,
+    codec: Box<dyn FrameCodec>,
     input: Vec<u8>,
     out: Vec<u8>,
-    response: String,
-    close_after_flush: bool,
-    shutdown_after_flush: bool,
+    signals: Signals,
 }
 
 /// What one finished offload job sends back to its reactor thread.
 #[cfg(unix)]
 struct Completion {
     token: u64,
-    kind: ConnKind,
+    codec: Box<dyn FrameCodec>,
     /// Unconsumed input, to be re-spliced ahead of newer bytes.
     leftover: Vec<u8>,
-    /// Formatted response bytes to append to the write buffer.
+    /// Formatted response bytes to queue on the write side.
     write: Vec<u8>,
     close_after_flush: bool,
     shutdown_after_flush: bool,
     /// Unrecoverable framing: close the connection without ceremony.
     fatal: bool,
-    /// At least one frame was consumed (drives the stall detector).
+    /// At least one byte was consumed (drives the stall detector).
     made_progress: bool,
 }
 
@@ -704,6 +811,16 @@ enum Verdict {
     Close,
 }
 
+/// Registers a listener with the exclusive-wakeup path where the
+/// platform has one, falling back to a plain shared registration.
+#[cfg(unix)]
+fn register_listener(poller: &sys::Poller, fd: RawFd, token: u64) -> std::io::Result<()> {
+    if poller.add_shared(fd, token).is_ok() {
+        return Ok(());
+    }
+    poller.add(fd, token, false)
+}
+
 #[cfg(unix)]
 fn reactor_loop(
     listener: TcpListener,
@@ -747,7 +864,7 @@ fn reactor_loop(
         });
     }
     for slot in &mut slots {
-        poller.add(slot.listener.as_raw_fd(), slot.token, false)?;
+        register_listener(&poller, slot.listener.as_raw_fd(), slot.token)?;
         slot.registered = true;
         shared.transport.record_reactor_fd_registered();
     }
@@ -778,9 +895,7 @@ fn reactor_loop(
                 && slot
                     .resume_at
                     .is_some_and(|at| std::time::Instant::now() >= at)
-                && poller
-                    .add(slot.listener.as_raw_fd(), slot.token, false)
-                    .is_ok()
+                && register_listener(&poller, slot.listener.as_raw_fd(), slot.token).is_ok()
             {
                 slot.registered = true;
                 slot.resume_at = None;
@@ -838,8 +953,14 @@ fn reactor_loop(
                 }
             }
         }
-        for completion in completions.drain() {
-            apply_completion(completion, &mut conns, shared, &poller, &completions);
+        for _ in 0..COMPLETION_DRAIN_ROUNDS {
+            let batch = completions.drain();
+            if batch.is_empty() {
+                break;
+            }
+            for completion in batch {
+                apply_completion(completion, &mut conns, shared, &poller, &completions);
+            }
         }
     }
 
@@ -853,9 +974,15 @@ fn reactor_loop(
             let _ = conn
                 .stream
                 .set_write_timeout(Some(Duration::from_millis(500)));
-            let pos = conn.write_pos;
-            // analyze: allow(reactor_blocking): bounded 500 ms best-effort drain, after the event loop exits
-            let _ = conn.stream.write_all(&conn.write_buf[pos..]);
+            let mut skip = conn.write.pos;
+            for chunk in &conn.write.chunks {
+                let off = skip.min(chunk.len());
+                skip = 0;
+                // analyze: allow(reactor_blocking): bounded 500 ms best-effort drain, after the event loop exits
+                if conn.stream.write_all(&chunk[off..]).is_err() {
+                    break;
+                }
+            }
         }
     }
     for slot in &slots {
@@ -919,22 +1046,18 @@ fn accept_ready(
         let token = *next_token;
         *next_token += 1;
         let fd = stream.as_raw_fd();
+        let codec: Box<dyn FrameCodec> = if is_http {
+            Box::new(HttpFraming::new())
+        } else {
+            Box::new(LineFraming::new())
+        };
         let conn = Conn {
             stream,
             fd,
             _guard: guard,
-            kind: Some(if is_http {
-                ConnKind::Http {
-                    state: HttpState::Head,
-                }
-            } else {
-                ConnKind::Line {
-                    state: ConnState::new(),
-                }
-            }),
+            codec: Some(codec),
             read_buf: Vec::new(),
-            write_buf: Vec::new(),
-            write_pos: 0,
+            write: WriteQueue::new(),
             stalled: false,
             want_write: false,
             read_paused: false,
@@ -1023,7 +1146,7 @@ fn handle_conn_event(
 
 /// The common epilogue after any work on a connection: shutdown and
 /// close decisions, then interest re-registration. A connection with a
-/// job in flight (`kind` taken) or consumable buffered input is never
+/// job in flight (`codec` taken) or consumable buffered input is never
 /// closed on `peer_eof` — its response is still owed.
 #[cfg(unix)]
 fn conn_tail(conn: &mut Conn, shared: &Arc<Shared>, poller: &sys::Poller, token: u64) -> Verdict {
@@ -1031,14 +1154,14 @@ fn conn_tail(conn: &mut Conn, shared: &Arc<Shared>, poller: &sys::Poller, token:
         shared.shutdown.store(true, Ordering::SeqCst);
         return Verdict::Close;
     }
-    let drained = conn.kind.is_some() && (conn.read_buf.is_empty() || conn.stalled);
+    let drained = conn.codec.is_some() && (conn.read_buf.is_empty() || conn.stalled);
     if (conn.close_after_flush || (conn.peer_eof && drained)) && conn.pending_write() == 0 {
         return Verdict::Close;
     }
     update_interest(conn, shared, poller, token)
 }
 
-/// Hands the connection's buffered input and protocol state to the
+/// Hands the connection's buffered input and framing codec to the
 /// offload pool, unless a job is already in flight, there is nothing
 /// (new) to consume, or backpressure says not yet.
 #[cfg(unix)]
@@ -1053,11 +1176,11 @@ fn maybe_start_job(
         || conn.close_after_flush
         || conn.shutdown_after_flush
         || conn.pending_write() > WRITE_HIGH_WATER
-        || conn.kind.is_none()
+        || conn.codec.is_none()
     {
         return;
     }
-    let Some(kind) = conn.kind.take() else {
+    let Some(codec) = conn.codec.take() else {
         return;
     };
     let input = std::mem::take(&mut conn.read_buf);
@@ -1065,27 +1188,26 @@ fn maybe_start_job(
     let completions = Arc::clone(completions);
     shared
         .executor
-        .spawn(move || run_offload_job(token, kind, input, &job_shared, &completions));
+        .spawn(move || run_offload_job(token, codec, input, &job_shared, &completions));
 }
 
-/// The body of one offload job: consume every complete frame, then
-/// report back. Runs on an [`crate::dispatch::OffloadExecutor`] worker
-/// — this is the one place on the reactor side that may block.
+/// The body of one offload job: step the codec over every complete
+/// frame, then report back. Runs on an
+/// [`crate::dispatch::OffloadExecutor`] worker — this is the one place
+/// on the reactor side that may block.
 #[cfg(unix)]
 fn run_offload_job(
     token: u64,
-    kind: ConnKind,
+    codec: Box<dyn FrameCodec>,
     input: Vec<u8>,
     shared: &Arc<Shared>,
     completions: &Arc<CompletionQueue>,
 ) {
     let mut work = Work {
-        kind,
+        codec,
         input,
         out: Vec::new(),
-        response: String::new(),
-        close_after_flush: false,
-        shutdown_after_flush: false,
+        signals: Signals::default(),
     };
     let (fatal, made_progress) = match process_frames(&mut work, shared) {
         Ok(progress) => (false, progress),
@@ -1096,19 +1218,19 @@ fn run_offload_job(
     }
     completions.push(Completion {
         token,
-        kind: work.kind,
+        codec: work.codec,
         leftover: work.input,
         write: work.out,
-        close_after_flush: work.close_after_flush,
-        shutdown_after_flush: work.shutdown_after_flush,
+        close_after_flush: work.signals.close_after_flush,
+        shutdown_after_flush: work.signals.shutdown_after_flush,
         fatal,
         made_progress,
     });
 }
 
 /// Lands one finished offload job back on its connection: restore the
-/// protocol state, splice unconsumed input ahead of newer bytes, queue
-/// and flush the response, then maybe start the next job.
+/// codec, splice unconsumed input ahead of newer bytes, queue and flush
+/// the response, then maybe start the next job.
 #[cfg(unix)]
 fn apply_completion(
     completion: Completion,
@@ -1129,7 +1251,7 @@ fn apply_completion(
     let Some(conn) = conns.get_mut(&token) else {
         return; // the connection died while its job was in flight
     };
-    conn.kind = Some(completion.kind);
+    conn.codec = Some(completion.codec);
     let new_bytes_arrived = !conn.read_buf.is_empty();
     if !completion.leftover.is_empty() {
         let mut buf = completion.leftover;
@@ -1137,7 +1259,7 @@ fn apply_completion(
         conn.read_buf = buf;
     }
     conn.stalled = !completion.made_progress && !new_bytes_arrived;
-    conn.write_buf.extend_from_slice(&completion.write);
+    conn.write.push(completion.write);
     conn.close_after_flush |= completion.close_after_flush;
     conn.shutdown_after_flush |= completion.shutdown_after_flush;
     let verdict = if flush_writes(conn, shared).is_err() {
@@ -1160,6 +1282,11 @@ fn apply_completion(
 /// cap — [`update_interest`] drops read interest past it, and reading
 /// resumes once the in-flight job drains the buffer. `Err(())` means
 /// the connection died.
+///
+/// Each round is one `readv` with two targets: the read buffer's spare
+/// capacity (bytes land in place, no copy) and the scratch buffer
+/// (overflow for bursts larger than the spare room) — the two-buffer
+/// read costs one syscall instead of a read-into-scratch plus a copy.
 #[cfg(unix)]
 fn fill_read_buf(
     conn: &mut Conn,
@@ -1170,14 +1297,44 @@ fn fill_read_buf(
         if conn.read_buf.len() > read_cap(shared) {
             return Ok(());
         }
-        match conn.stream.read(scratch) {
+        let len = conn.read_buf.len();
+        if conn.read_buf.capacity() - len < 4 * 1024 {
+            conn.read_buf.reserve(16 * 1024);
+        }
+        let spare = conn.read_buf.capacity() - len;
+        let result = {
+            let mut iov = [
+                sys_io::IoVec {
+                    // SAFETY: `len + spare == capacity`, so the pointer
+                    // and length describe exactly the allocation's
+                    // uninitialized tail, which readv may fill.
+                    base: unsafe { conn.read_buf.as_mut_ptr().add(len) }.cast(),
+                    len: spare,
+                },
+                sys_io::IoVec {
+                    base: scratch.as_mut_ptr().cast(),
+                    len: scratch.len(),
+                },
+            ];
+            sys_io::readv_fd(conn.fd, &mut iov)
+        };
+        match result {
             Ok(0) => {
                 conn.peer_eof = true;
                 return Ok(());
             }
             Ok(n) => {
-                conn.read_buf.extend_from_slice(&scratch[..n]);
+                let in_place = n.min(spare);
+                // SAFETY: readv initialized the first `in_place` bytes
+                // of the spare capacity; `len + in_place <= capacity`.
+                unsafe { conn.read_buf.set_len(len + in_place) };
+                if n > spare {
+                    conn.read_buf.extend_from_slice(&scratch[..n - spare]);
+                }
                 conn.stalled = false;
+                if n < spare + scratch.len() {
+                    return Ok(()); // short read: the socket is drained
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -1186,275 +1343,62 @@ fn fill_read_buf(
     }
 }
 
-/// Processes every complete frame sitting in the job's input buffer,
-/// appending responses to its output buffer. Stops early when the
-/// output crosses the high-water mark (backpressure) or the connection
-/// decided to close. Returns whether any frame was consumed; `Err(())`
-/// closes the connection without ceremony (unrecoverable framing,
-/// exactly like the threaded loops' dropped `Result`s).
+/// Steps the codec over every complete frame sitting in the job's
+/// input buffer, appending responses to its output buffer. Stops early
+/// when the output crosses the high-water mark (backpressure) or the
+/// connection decided to close. Returns whether any input was
+/// consumed; `Err(())` closes the connection without ceremony
+/// (unrecoverable framing, exactly like the threaded loops' dropped
+/// `Result`s).
 #[cfg(unix)]
 fn process_frames(work: &mut Work, shared: &Arc<Shared>) -> std::result::Result<bool, ()> {
     let mut consumed = 0usize;
     let result = loop {
-        if work.close_after_flush || work.shutdown_after_flush {
+        if work.signals.close_after_flush || work.signals.shutdown_after_flush {
             break Ok(());
         }
         if work.out.len() > WRITE_HIGH_WATER {
             break Ok(()); // backpressure: finish after the peer drains
         }
-        let made_progress = if matches!(work.kind, ConnKind::Line { .. }) {
-            process_line_frame(work, shared, &mut consumed)?
-        } else {
-            process_http_frame(work, shared, &mut consumed)?
-        };
-        if !made_progress {
-            break Ok(());
+        match work.codec.step(
+            shared,
+            &work.input,
+            &mut consumed,
+            &mut work.out,
+            &mut work.signals,
+        ) {
+            Step::Progress => {}
+            Step::NeedMore => break Ok(()),
+            Step::Fatal => break Err(()),
         }
     };
     work.input.drain(..consumed);
     result.map(|()| consumed > 0)
 }
 
-/// Tries to consume one line-protocol frame at `input[*consumed..]`.
-/// Returns whether a frame was consumed.
-#[cfg(unix)]
-fn process_line_frame(
-    work: &mut Work,
-    shared: &Arc<Shared>,
-    consumed: &mut usize,
-) -> std::result::Result<bool, ()> {
-    let buf = &work.input[*consumed..];
-    let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
-        if buf.len() > shared.config.max_line_bytes {
-            return Err(()); // oversized line: same silent close as threaded
-        }
-        return Ok(false);
-    };
-    let line = &buf[..pos];
-    if line.len() > shared.config.max_line_bytes {
-        return Err(());
-    }
-    let Ok(text) = std::str::from_utf8(line) else {
-        return Err(());
-    };
-    let trimmed = text.trim();
-    *consumed += pos + 1;
-    if trimmed.is_empty() {
-        return Ok(true);
-    }
-    let ConnKind::Line { state } = &mut work.kind else {
-        // A kind/framer mismatch is a reactor bug; close the
-        // connection instead of taking the whole event loop down.
-        return Err(());
-    };
-    shared.transport.record_tcp_request();
-    work.response.clear();
-    let outcome = dispatch_into(
-        &shared.registry,
-        &shared.config,
-        &shared.transport,
-        shared.fed.as_deref(),
-        state,
-        trimmed,
-        &mut work.response,
-    );
-    match outcome {
-        Outcome::Quiet => {}
-        Outcome::Reply | Outcome::Shutdown => {
-            work.out.extend_from_slice(work.response.as_bytes());
-            work.out.push(b'\n');
-            if outcome == Outcome::Shutdown {
-                work.shutdown_after_flush = true;
-            }
-        }
-    }
-    Ok(true)
-}
-
-/// Advances the HTTP state machine over `input[*consumed..]`.
-/// Returns whether any bytes were consumed (progress).
-#[cfg(unix)]
-fn process_http_frame(
-    work: &mut Work,
-    shared: &Arc<Shared>,
-    consumed: &mut usize,
-) -> std::result::Result<bool, ()> {
-    let ConnKind::Http { state } = &mut work.kind else {
-        // A kind/framer mismatch is a reactor bug; close the
-        // connection instead of taking the whole event loop down.
-        return Err(());
-    };
-    let buf = &work.input[*consumed..];
-    match std::mem::replace(state, HttpState::Head) {
-        HttpState::Head => {
-            let Some(end) = find_head_end(buf) else {
-                if buf.len() > http::MAX_HEAD_BYTES {
-                    return Err(()); // oversized head: silent close, as threaded
-                }
-                return Ok(false);
-            };
-            let parsed = http::parse_head(&buf[..end]);
-            *consumed += end;
-            let head = match parsed {
-                Ok(h) => h,
-                Err(e) => {
-                    respond_error(work, 400, "Bad Request", &e);
-                    return Ok(true);
-                }
-            };
-            match head.body {
-                BodyFraming::Length(n) if n > shared.config.max_line_bytes => {
-                    respond_error(
-                        work,
-                        413,
-                        "Payload Too Large",
-                        &ServiceError::Protocol(format!(
-                            "request body exceeds {} bytes",
-                            shared.config.max_line_bytes
-                        )),
-                    );
-                    Ok(true)
-                }
-                BodyFraming::Length(0) => {
-                    dispatch_http(work, shared, &head, &[]);
-                    Ok(true)
-                }
-                BodyFraming::Length(n) => {
-                    maybe_continue(work, &head);
-                    *state_of(work) = HttpState::Body {
-                        head,
-                        body: Vec::with_capacity(n),
-                        need: n,
-                    };
-                    Ok(true)
-                }
-                BodyFraming::Chunked => {
-                    maybe_continue(work, &head);
-                    *state_of(work) = HttpState::Chunked {
-                        head,
-                        decoder: ChunkDecoder::new(shared.config.max_line_bytes),
-                    };
-                    Ok(true)
-                }
-            }
-        }
-        HttpState::Body {
-            head,
-            mut body,
-            need,
-        } => {
-            let take = (need - body.len()).min(buf.len());
-            body.extend_from_slice(&buf[..take]);
-            *consumed += take;
-            if body.len() == need {
-                dispatch_http(work, shared, &head, &body);
-                Ok(true)
-            } else {
-                *state_of(work) = HttpState::Body { head, body, need };
-                Ok(take > 0)
-            }
-        }
-        HttpState::Chunked { head, mut decoder } => match decoder.push(buf) {
-            Ok(eaten) => {
-                *consumed += eaten;
-                if decoder.is_done() {
-                    let mut body = Vec::new();
-                    decoder.take_body(&mut body);
-                    dispatch_http(work, shared, &head, &body);
-                    Ok(true)
-                } else {
-                    *state_of(work) = HttpState::Chunked { head, decoder };
-                    Ok(eaten > 0)
-                }
-            }
-            Err(e) => {
-                let (status, reason) = e.status();
-                respond_error(work, status, reason, &e.into_service_error());
-                Ok(true)
-            }
-        },
-    }
-}
-
-/// The HTTP state slot of an HTTP job (for reassignment after a
-/// `mem::replace` take).
-#[cfg(unix)]
-fn state_of(work: &mut Work) -> &mut HttpState {
-    match &mut work.kind {
-        ConnKind::Http { state } => state,
-        // analyze: allow(panic_path): every caller sits inside process_http_frame, which matched ConnKind::Http
-        ConnKind::Line { .. } => unreachable!("only called on http connections"),
-    }
-}
-
-/// Queues the `100 Continue` interim response when the head asked for
-/// one.
-#[cfg(unix)]
-fn maybe_continue(work: &mut Work, head: &Head) {
-    if head.expect_continue && head.expects_body() {
-        work.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
-    }
-}
-
-/// Dispatches one complete HTTP request and queues its response.
-#[cfg(unix)]
-fn dispatch_http(work: &mut Work, shared: &Arc<Shared>, head: &Head, body: &[u8]) {
-    shared.transport.record_http_request();
-    work.response.clear();
-    let (status, reason, content_type) = http::respond(
-        shared,
-        &head.method,
-        &head.target,
-        head.accept_text,
-        body,
-        &mut work.response,
-    );
-    let keep = head.keep_alive();
-    http::format_http_response(
-        &mut work.out,
-        status,
-        reason,
-        content_type,
-        &work.response,
-        keep,
-    );
-    if !keep {
-        work.close_after_flush = true;
-    }
-}
-
-/// Queues an HTTP error response and marks the connection for close —
-/// the same "answer, then tear down" the threaded path uses when
-/// framing goes wrong.
-#[cfg(unix)]
-fn respond_error(work: &mut Work, status: u16, reason: &'static str, e: &ServiceError) {
-    work.response.clear();
-    write_error_response(&mut work.response, e);
-    http::format_http_response(
-        &mut work.out,
-        status,
-        reason,
-        http::CONTENT_TYPE_JSON,
-        &work.response,
-        false,
-    );
-    work.close_after_flush = true;
-}
-
-/// The index just past `\r\n\r\n`, if the buffer holds a full head.
-#[cfg(unix)]
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
-}
-
-/// Writes as much pending output as the socket will take. `Err(())`
-/// means the connection died.
+/// Writes as much pending output as the socket will take — the whole
+/// chunk queue in one `writev` when it fits in the iovec budget.
+/// `Err(())` means the connection died.
 #[cfg(unix)]
 fn flush_writes(conn: &mut Conn, shared: &Arc<Shared>) -> std::result::Result<(), ()> {
-    while conn.write_pos < conn.write_buf.len() {
-        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+    const MAX_IOV: usize = 8;
+    while conn.pending_write() > 0 {
+        let mut iov: Vec<sys_io::IoVec> = Vec::with_capacity(MAX_IOV.min(conn.write.chunks.len()));
+        let mut skip = conn.write.pos;
+        for chunk in &conn.write.chunks {
+            let off = skip.min(chunk.len());
+            skip = 0;
+            iov.push(sys_io::IoVec {
+                base: chunk[off..].as_ptr() as *mut _,
+                len: chunk.len() - off,
+            });
+            if iov.len() == MAX_IOV {
+                break;
+            }
+        }
+        match sys_io::writev_fd(conn.fd, &iov) {
             Ok(0) => return Err(()),
-            Ok(n) => conn.write_pos += n,
+            Ok(n) => conn.write.advance(n),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 shared.transport.record_reactor_partial_write();
                 return Ok(());
@@ -1463,8 +1407,6 @@ fn flush_writes(conn: &mut Conn, shared: &Arc<Shared>) -> std::result::Result<()
             Err(_) => return Err(()),
         }
     }
-    conn.write_buf.clear();
-    conn.write_pos = 0;
     Ok(())
 }
 
@@ -1518,9 +1460,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn find_head_end_locates_the_blank_line() {
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
-        assert_eq!(find_head_end(b""), None);
+    fn write_queue_tracks_chunks_across_partial_writes() {
+        let mut q = WriteQueue::new();
+        q.push(b"hello ".to_vec());
+        q.push(Vec::new()); // empty chunks are dropped, not queued
+        q.push(b"world".to_vec());
+        assert_eq!(q.pending(), 11);
+        assert_eq!(q.chunks.len(), 2);
+
+        q.advance(3); // partial write inside the first chunk
+        assert_eq!(q.pending(), 8);
+        assert_eq!(q.pos, 3);
+
+        q.advance(4); // crosses the chunk boundary
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.chunks.len(), 1);
+        assert_eq!(q.pos, 1);
+
+        q.advance(4); // drains everything
+        assert_eq!(q.pending(), 0);
+        assert!(q.chunks.is_empty());
+        assert_eq!(q.pos, 0);
     }
 }

@@ -9,18 +9,19 @@
 //! returns cleanly — no thread is ever killed mid-request.
 //!
 //! Request parsing and execution are transport-agnostic and live in
-//! [`crate::dispatch`]; this module owns the line-JSON TCP framing,
-//! while [`crate::http`] frames the same dispatch core as HTTP/1.1
-//! (enabled by `ServiceConfig::http_addr`).
+//! [`crate::dispatch`]; per-connection framing (line-JSON, the
+//! negotiated binary format, HTTP/1.1) lives in [`crate::framing`] —
+//! this module owns accepting, admission and connection lifecycle,
+//! and [`crate::http`] does the same for the HTTP listener (enabled by
+//! `ServiceConfig::http_addr`).
 
 use crate::config::ServiceConfig;
-use crate::dispatch::{persist_all_sessions, ConnState, Outcome};
+use crate::dispatch::persist_all_sessions;
 use crate::error::{Result, ServiceError};
-use crate::fault::{FaultAction, FaultSite};
 use crate::metrics::TransportMetrics;
 use crate::persist;
 use crate::session::SessionRegistry;
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -497,96 +498,19 @@ fn shed_tcp_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.write_all(line.as_bytes());
 }
 
+/// One line-protocol connection worker: a [`crate::framing::LineFraming`]
+/// codec (which negotiates into the binary framing on `hello`) driven
+/// by the shared blocking loop — the same codec the reactor steps
+/// incrementally, so the two front-ends cannot drift.
 fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr) -> Result<()> {
-    // A finite read timeout lets idle connections notice the shutdown
-    // flag instead of blocking in `read` forever, and a write timeout
-    // bounds how long a peer that stops reading can pin this worker —
-    // either would otherwise wedge `Server::run`'s final join.
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // One read-line buffer, one raw-byte buffer and one response buffer
-    // per connection, reused across requests: a pipelining client costs
-    // zero steady-state allocations in the connection loop.
-    let mut line = String::new();
-    let mut raw = Vec::new();
-    let mut response = String::new();
-    let mut state = ConnState::new();
-    let mut idle = IdleTimer::new(shared.config.idle_timeout_ms);
-    loop {
-        line.clear();
-        // Injected connection-read faults live in the threaded
-        // front-end only: `Delay` sleeps the worker thread, which the
-        // reactor event loop must never do.
-        if shared
-            .config
-            .fault_plan
-            .inject_io(FaultSite::ConnRead)
-            .is_err()
-        {
-            return Ok(());
-        }
-        let n = read_bounded_line(
-            &mut reader,
-            &mut line,
-            &mut raw,
-            shared.config.max_line_bytes,
-            shared,
-            &mut idle,
-        )?;
-        if n == 0 {
-            return Ok(()); // peer closed, idle-reaped, or server shutting down
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        shared.transport.record_tcp_request();
-        response.clear();
-        let outcome = crate::dispatch::dispatch_into(
-            &shared.registry,
-            &shared.config,
-            &shared.transport,
-            shared.fed.as_deref(),
-            &mut state,
-            trimmed,
-            &mut response,
-        );
-        if outcome == Outcome::Quiet {
-            // A deferred-ack submit: no response, keep reading. This is
-            // the pipelined fast path — the client is streaming more
-            // submits, not waiting on us.
-            continue;
-        }
-        response.push('\n');
-        match shared.config.fault_plan.decide(FaultSite::ConnWrite) {
-            Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
-            Some(FaultAction::ShortWrite) => {
-                // A torn response: the client sees a truncated line and
-                // a close, exactly like a peer dying mid-write.
-                let half = response.len() / 2;
-                let _ = writer.write_all(&response.as_bytes()[..half]);
-                return Ok(());
-            }
-            Some(_) => return Ok(()),
-            None => {}
-        }
-        writer.write_all(response.as_bytes())?;
-        writer.flush()?;
-        if outcome == Outcome::Shutdown {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop so Server::run observes the flag.
-            let _ = TcpStream::connect(wake_addr(server_addr));
-            return Ok(());
-        }
-    }
+    let mut codec = crate::framing::LineFraming::new();
+    crate::framing::drive_blocking(&stream, shared, &mut codec, true, Some(server_addr))
 }
 
 /// The address the shutdown handler connects to in order to wake the
 /// accept loop. A wildcard bind (`0.0.0.0` / `::`) is not a connectable
 /// destination on every platform, so route the wake-up via loopback.
-fn wake_addr(bound: SocketAddr) -> SocketAddr {
+pub(crate) fn wake_addr(bound: SocketAddr) -> SocketAddr {
     if bound.ip().is_unspecified() {
         let ip: std::net::IpAddr = if bound.is_ipv4() {
             std::net::Ipv4Addr::LOCALHOST.into()
@@ -597,69 +521,6 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
     } else {
         bound
     }
-}
-
-/// Reads one `\n`-terminated line, erroring out instead of buffering
-/// without bound when a peer sends an oversized line. Read timeouts are
-/// treated as "check the shutdown flag and keep waiting"; a set flag —
-/// or an expired idle timer — reads as EOF. `buf` is a caller-owned
-/// scratch buffer (cleared here) so steady-state reads allocate
-/// nothing.
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    buf: &mut Vec<u8>,
-    max_bytes: usize,
-    shared: &Shared,
-    idle: &mut IdleTimer,
-) -> Result<usize> {
-    buf.clear();
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok(chunk) => chunk,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(0);
-                }
-                if idle.expired() {
-                    shared.transport.record_idle_reaped();
-                    return Ok(0);
-                }
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        };
-        if chunk.is_empty() {
-            break; // EOF
-        }
-        idle.touch();
-        match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                buf.extend_from_slice(&chunk[..=pos]);
-                reader.consume(pos + 1);
-                break;
-            }
-            None => {
-                buf.extend_from_slice(chunk);
-                let len = chunk.len();
-                reader.consume(len);
-            }
-        }
-        if buf.len() > max_bytes {
-            return Err(ServiceError::Protocol(format!(
-                "request line exceeds {max_bytes} bytes"
-            )));
-        }
-    }
-    let text = std::str::from_utf8(buf)
-        .map_err(|_| ServiceError::Protocol("request line is not valid UTF-8".into()))?;
-    line.push_str(text);
-    Ok(text.len())
 }
 
 /// The best-effort full-snapshot flavour for the shutdown path:
