@@ -569,6 +569,96 @@ fn route(method: &str, segs: &[&str]) -> Route {
         assert!(run(&w, None).is_empty());
     }
 
+    const JOBS_PROTO_SRC: &str = r#"
+fn request_from_value(v: &Value) -> Request {
+    let op = field(v, "op");
+    match op {
+        "ping" => Request::Ping,
+        "mine_rules" => Request::Mine,
+        "classify" => Request::Classify,
+        "job_status" => Request::Status,
+        "job_result" => Request::Result,
+        "job_cancel" => Request::Cancel,
+        "list_jobs" => Request::List,
+        _ => Request::Unknown,
+    }
+}
+"#;
+
+    const JOBS_HTTP_SRC: &str = r#"
+fn route(method: &str, segs: &[&str]) -> Route {
+    match (method, segs) {
+        ("GET", ["ping"]) => Route::Ping,
+        ("POST", ["sessions", sid, "mine"]) => Route::Mine,
+        ("POST", ["sessions", sid, "classify"]) => Route::Classify,
+        ("GET", ["jobs"]) => Route::List,
+        ("GET", ["jobs", jid]) => Route::Status,
+        ("GET", ["jobs", jid, "result"]) => Route::Result,
+        ("DELETE", ["jobs", jid]) => Route::Cancel,
+        _ => Route::NotFound,
+    }
+}
+"#;
+
+    const JOBS_DOC: &str = "\
+#### `ping`\n#### `mine_rules`\n#### `classify`\n#### `job_status`\n\
+#### `job_result`\n#### `job_cancel`\n#### `list_jobs`\n\n\
+| `GET /ping` | ping |\n\
+| `POST /sessions/{id}/mine` | mine_rules |\n\
+| `POST /sessions/{id}/classify` | classify |\n\
+| `GET /jobs` | list_jobs |\n\
+| `GET /jobs/{jid}` | job_status |\n\
+| `GET /jobs/{jid}/result` | job_result |\n\
+| `DELETE /jobs/{jid}` | job_cancel |\n";
+
+    #[test]
+    fn job_surface_in_sync_is_clean() {
+        let w = ws(&[("protocol.rs", JOBS_PROTO_SRC), ("http.rs", JOBS_HTTP_SRC)]);
+        let f = run(&w, Some(("PROTOCOL.md", JOBS_DOC)));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    /// Seeded mutations of the job surface: dropping or renaming a job
+    /// op heading or a job route row must fire, in either direction.
+    #[test]
+    fn mutated_job_surface_is_caught() {
+        let w = ws(&[("protocol.rs", JOBS_PROTO_SRC), ("http.rs", JOBS_HTTP_SRC)]);
+        let doc_mutations: &[(&str, &str, &str)] = &[
+            // Drop the mine_rules op heading: implemented-but-undocumented.
+            ("#### `mine_rules`\n", "", "mine_rules"),
+            // Rename job_cancel in the doc: ghost op + undocumented op.
+            ("#### `job_cancel`\n", "#### `job_abort`\n", "job_abort"),
+            // Drop the job-status route row.
+            ("| `GET /jobs/{jid}` | job_status |\n", "", "GET /jobs/{}"),
+            // Doc claims a cancel route the code does not serve.
+            (
+                "| `DELETE /jobs/{jid}` | job_cancel |\n",
+                "| `DELETE /jobs/{jid}` | job_cancel |\n| `POST /jobs/{jid}/cancel` | job_cancel |\n",
+                "POST /jobs/{}/cancel",
+            ),
+        ];
+        for (from, to, needle) in doc_mutations {
+            let doc = JOBS_DOC.replace(from, to);
+            let f = run(&w, Some(("PROTOCOL.md", &doc)));
+            assert!(
+                f.iter().any(|f| f.message.contains(needle)),
+                "mutation {from:?} -> {to:?} produced no finding naming {needle:?}: {f:?}"
+            );
+        }
+        // Reverse direction: code gains a job op the doc lacks.
+        let src = JOBS_PROTO_SRC.replace(
+            "\"list_jobs\" => Request::List,",
+            "\"list_jobs\" => Request::List,\n        \"job_retry\" => Request::Retry,",
+        );
+        let w = ws(&[("protocol.rs", &src as &str), ("http.rs", JOBS_HTTP_SRC)]);
+        let f = run(&w, Some(("PROTOCOL.md", JOBS_DOC)));
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("job_retry") && f.message.contains("not documented")),
+            "{f:?}"
+        );
+    }
+
     const FRAMING_SRC: &str = r#"
 pub const OP_SUBMIT: u8 = 0x01;
 pub const OP_JSON: u8 = 0x02;

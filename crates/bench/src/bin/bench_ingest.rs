@@ -26,6 +26,17 @@
 //! latency-vs-throughput story the deferred-ack protocol and the
 //! compact binary frames exist for.
 //!
+//! With `--mining`, it measures *submit-latency interference from
+//! background mining* and emits `BENCH_mining.json`: a 1M-record
+//! session (2^17 under `--quick`) is loaded, submit p99 is measured
+//! idle, then re-measured while miner threads keep `mine_rules` jobs
+//! at `min_support 0.001` continuously running on the job pool. The
+//! acceptance bound — mining leaves submit p99 within 2x the idle
+//! baseline (with a 1 ms absolute floor for few-core boxes where CPU
+//! timeslicing, not queueing, dominates microsecond-scale p99s),
+//! because jobs never execute on connection-serving threads — is
+//! recorded in the JSON (`within_bound`).
+//!
 //! With `--fanin`, it measures *concurrent-connection fan-in* instead
 //! and emits `BENCH_async.json`: N concurrent clients (64/256/1024)
 //! over each framing (pipelined line protocol, pipelined binary,
@@ -305,6 +316,147 @@ mod wire {
         client.close_session(session).expect("close");
         elapsed
     }
+}
+
+/// The `--mining` mode: the job-subsystem acceptance measurement →
+/// `BENCH_mining.json`. Submit p99 over a loaded session, idle vs
+/// while the job pool continuously runs `mine_rules` at
+/// `min_support 0.001` — the dispatch arm only validates and enqueues,
+/// so the interference bound is 2x.
+fn run_mining(quick: bool, out_path: &str) {
+    use frapp_service::client::{Client, SessionSpec};
+    use frapp_service::json::Value;
+    use frapp_service::session::Mechanism;
+    use frapp_service::{MineAlgo, MineSpec, Server, ServiceConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let n: usize = if quick { 1 << 17 } else { 1 << 20 };
+    let probes: usize = if quick { 1_000 } else { 2_000 };
+    let batch = 100usize;
+
+    let handle = Server::bind(ServiceConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&SessionSpec {
+            schema: vec![("a".into(), 10), ("b".into(), 10), ("c".into(), 5)],
+            mechanism: Mechanism::Deterministic { gamma: GAMMA },
+            shards: Some(4),
+            seed: Some(7),
+        })
+        .expect("create");
+
+    // Load the corpus pipelined; pre-perturbed, because the load is
+    // setup, not the measurement.
+    let records = raw_records(n);
+    for b in records.chunks(4096) {
+        client.submit_nowait(session, b, true).expect("load submit");
+    }
+    assert_eq!(client.flush().expect("flush"), n as u64);
+
+    let p99_us = |client: &mut Client| -> f64 {
+        let mut lat: Vec<f64> = (0..probes)
+            .map(|i| {
+                let b = &records[(i * batch) % (n - batch)..][..batch];
+                let t0 = Instant::now();
+                client.submit_batch(session, b, true).expect("probe submit");
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        lat[lat.len() * 99 / 100]
+    };
+
+    let idle_p99 = p99_us(&mut client);
+    eprintln!("idle submit p99: {idle_p99:.0} µs (batch={batch}, n={n})");
+
+    // Keep the pool saturated for the whole measured window: one miner
+    // thread per job worker, resubmitting as soon as a job finishes.
+    let stop = AtomicBool::new(false);
+    let addr = handle.addr();
+    let (mining_p99, jobs_completed) = std::thread::scope(|scope| {
+        let miners: Vec<_> = (0..2)
+            .map(|m| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut mc = Client::connect(addr).expect("miner connect");
+                    let spec = MineSpec {
+                        algo: if m == 0 {
+                            MineAlgo::Apriori
+                        } else {
+                            MineAlgo::FpGrowth
+                        },
+                        min_support: 0.001,
+                        min_confidence: 0.5,
+                        max_length: 0,
+                    };
+                    let mut jobs = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let job = mc.mine_rules(session, &spec).expect("mine submit");
+                        let status = mc
+                            .wait_job(job, Duration::from_secs(60))
+                            .expect("mine wait");
+                        assert_eq!(
+                            status.get("state").and_then(Value::as_str),
+                            Some("done"),
+                            "mining job did not complete"
+                        );
+                        jobs += 1;
+                    }
+                    jobs
+                })
+            })
+            .collect();
+        let p99 = p99_us(&mut client);
+        stop.store(true, Ordering::Relaxed);
+        let jobs: u64 = miners.into_iter().map(|h| h.join().unwrap()).sum();
+        (p99, jobs)
+    });
+    handle.shutdown().expect("shutdown");
+
+    let ratio = mining_p99 / idle_p99;
+    // The bound the job architecture is accountable for: a submit is
+    // never queued behind a mining pass (which takes seconds), so p99
+    // stays within 2x idle — or within an absolute 1 ms floor on boxes
+    // where the idle p99 is tens of microseconds and raw CPU
+    // timeslicing against the mining workers (not queueing) dominates.
+    // On a few-core machine the floor is what binds; on a wide box the
+    // 2x ratio does.
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let floor_us = 1_000.0;
+    let bound_us = (2.0 * idle_p99).max(floor_us);
+    let within_bound = mining_p99 <= bound_us;
+    eprintln!(
+        "submit p99 under mining: {mining_p99:.0} µs ({ratio:.2}x idle, bound {bound_us:.0} µs, \
+         {jobs_completed} jobs completed during the window)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_mining_interference\",");
+    let _ = writeln!(json, "  \"records\": {n},");
+    let _ = writeln!(json, "  \"probe_batches\": {probes},");
+    let _ = writeln!(json, "  \"batch\": {batch},");
+    let _ = writeln!(json, "  \"min_support\": 0.001,");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"idle_submit_p99_us\": {idle_p99:.1},");
+    let _ = writeln!(json, "  \"mining_submit_p99_us\": {mining_p99:.1},");
+    let _ = writeln!(json, "  \"p99_ratio\": {ratio:.3},");
+    let _ = writeln!(json, "  \"bound_us\": {bound_us:.1},");
+    let _ = writeln!(json, "  \"jobs_completed_in_window\": {jobs_completed},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"bound is max(2x idle, 1ms): on few-core boxes CPU timeslicing \
+         against the mining workers, not queueing, sets the microsecond-scale p99\","
+    );
+    let _ = writeln!(json, "  \"within_bound\": {within_bound}");
+    json.push_str("}\n");
+    let mut file = std::fs::File::create(out_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out_path}");
 }
 
 /// The `--fanin` mode: concurrent-connection fan-in, thread-per-
@@ -711,13 +863,16 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let wire_mode = args.iter().any(|a| a == "--wire");
     let fanin_mode = args.iter().any(|a| a == "--fanin");
+    let mining_mode = args.iter().any(|a| a == "--mining");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if fanin_mode {
+            if mining_mode {
+                "BENCH_mining.json".to_owned()
+            } else if fanin_mode {
                 "BENCH_async.json".to_owned()
             } else if wire_mode {
                 "BENCH_http.json".to_owned()
@@ -725,6 +880,9 @@ fn main() {
                 "BENCH_ingest.json".to_owned()
             }
         });
+    if mining_mode {
+        return run_mining(quick, &out_path);
+    }
     if fanin_mode {
         return run_fanin(quick, &out_path);
     }

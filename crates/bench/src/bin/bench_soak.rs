@@ -6,7 +6,7 @@
 //! bench_soak [--quick] [--duration-secs N] [--seed S] [--out PATH]
 //! ```
 //!
-//! Six scenarios run per round (one round under `--quick`, repeated
+//! Seven scenarios run per round (one round under `--quick`, repeated
 //! rounds until `--duration-secs` elapses otherwise):
 //!
 //! * **churn** — session create/close cycling far past the
@@ -22,6 +22,11 @@
 //! * **persist_faults** — snapshots taken under an injected
 //!   `persist_write`/`persist_rename`/`persist_sync` fault storm, then
 //!   a clean restart that must recover bit-identically.
+//! * **mining_churn** — background `mine_rules` jobs racing session
+//!   eviction (LRU spill under a small cap) and `close_session`:
+//!   every job must reach exactly one terminal state, jobs on closed
+//!   sessions must fail cleanly in-band, and the job counters must
+//!   balance.
 //! * **federated_outage** — a 3-node cluster with injected link delays:
 //!   ingest, kill an owner, require a correctly-labelled degraded
 //!   partial read, restart the owner and require the cluster to heal
@@ -36,8 +41,9 @@
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
 use frapp_service::client::{Client, SessionSpec};
+use frapp_service::json::Value;
 use frapp_service::session::{Mechanism, ReconstructionMethod};
-use frapp_service::{FaultPlan, Server, ServerHandle, ServiceConfig};
+use frapp_service::{FaultPlan, MineSpec, Server, ServerHandle, ServiceConfig, ServiceError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write as _};
@@ -580,6 +586,179 @@ fn persist_faults(s: &mut Soak, round: usize, scale: usize, seed: u64) {
     );
 }
 
+/// Mining under churn: background `mine_rules` jobs racing session
+/// eviction and close. A small LRU cap plus a spill directory keeps
+/// sessions cycling to disk while jobs hold live references to them;
+/// an injected `job_exec` delay keeps most jobs in flight long enough
+/// for `close_session` and `job_cancel` to genuinely race the workers.
+/// Invariants: the server never panics and keeps answering, every
+/// accepted job reaches exactly one terminal state, a `failed` state
+/// only ever names a closed session, `done` jobs serve their results,
+/// and the transport job counters balance (submitted = done + failed
+/// + cancelled once drained).
+fn mining_churn(s: &mut Soak, round: usize, scale: usize, seed: u64) {
+    let dir = temp_dir("mine");
+    let config = ServiceConfig {
+        max_sessions: 3,
+        persist_dir: Some(dir.clone()),
+        job_threads: 2,
+        job_queue_depth: 64,
+        fault_plan: FaultPlan::parse(&format!("seed={seed},job_exec=delay(40):0.7")).unwrap(),
+        ..ServiceConfig::default()
+    };
+    let handle = Server::bind(config).unwrap().spawn().unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let n_sessions = 6usize;
+    let batch = 40;
+    let stream = perturbed_stream(SMALL, batch * n_sessions, seed);
+    let ids: Vec<u64> = (0..n_sessions)
+        .map(|i| {
+            let id = client
+                .create_session(&spec(SMALL, 2, seed + i as u64))
+                .unwrap();
+            client
+                .submit_batch(id, &stream[i * batch..(i + 1) * batch], true)
+                .unwrap();
+            id
+        })
+        .collect();
+
+    let mut rng = Srng(seed ^ 0x4D49_4E45);
+    let mut jobs: Vec<(u64, u64)> = Vec::new(); // (job id, session id)
+    let mut closed: Vec<u64> = Vec::new();
+    let mut rejected = 0u64;
+    let mut shed = 0u64;
+    let mut cancels = 0u64;
+    for i in 0..48 * scale {
+        // Bias toward the most recently created sessions (likely
+        // resident) so the scenario exercises completions as well as
+        // rejections; the tail still hits spilled and closed sessions.
+        let sid = if rng.below(10) < 6 {
+            ids[n_sessions - 1 - rng.below(3)]
+        } else {
+            ids[rng.below(n_sessions)]
+        };
+        match client.mine_rules(sid, &MineSpec::default()) {
+            Ok(job) => jobs.push((job, sid)),
+            Err(ServiceError::Remote { message, .. }) if message.contains("queue is full") => {
+                shed += 1;
+            }
+            Err(ServiceError::Remote { message, .. }) if message.contains("unknown session") => {
+                // Rejected in-band at dispatch before any job exists:
+                // the session was closed, or the LRU spilled it (live
+                // access does not resurrect — only a restart does).
+                rejected += 1;
+            }
+            Err(e) => {
+                s.check("mining_churn", false, || format!("submit to {sid}: {e}"));
+            }
+        }
+        if i % 9 == 8 && closed.len() < 3 {
+            // Close a random session — possibly one with queued or
+            // running jobs, possibly one already spilled by the LRU.
+            let sid = ids[rng.below(n_sessions)];
+            if !closed.contains(&sid) {
+                client.close_session(sid).unwrap();
+                closed.push(sid);
+            }
+        }
+        if i % 7 == 3 && !jobs.is_empty() {
+            // Cancel a random earlier job, whatever state it is in.
+            let (job, _) = jobs[rng.below(jobs.len())];
+            client.job_cancel(job).unwrap();
+            cancels += 1;
+        }
+    }
+
+    // Drain: every accepted job must reach exactly one terminal state.
+    let mut done = 0u64;
+    let mut failed = 0u64;
+    let mut cancelled = 0u64;
+    for &(job, sid) in &jobs {
+        let status = match client.wait_job(job, Duration::from_secs(30)) {
+            Ok(v) => v,
+            Err(e) => {
+                s.check("mining_churn", false, || {
+                    format!("job {job} never reached a terminal state: {e}")
+                });
+                continue;
+            }
+        };
+        match status.get("state").and_then(Value::as_str) {
+            Some("done") => {
+                done += 1;
+                let result = client.job_result(job).unwrap();
+                s.check("mining_churn", result.get("rules").is_some(), || {
+                    format!("done job {job} served a result without rules")
+                });
+            }
+            Some("cancelled") => cancelled += 1,
+            Some("failed") => {
+                failed += 1;
+                let error = status
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                s.check(
+                    "mining_churn",
+                    closed.contains(&sid) && error.contains("closed"),
+                    || format!("job {job} on session {sid} failed for the wrong reason: {error}"),
+                );
+            }
+            other => s.check("mining_churn", false, || {
+                format!("job {job} drained into non-terminal state {other:?}")
+            }),
+        }
+    }
+
+    // The server is still healthy and the counters balance.
+    client.ping().unwrap();
+    let tm = client.server_metrics().unwrap();
+    s.check(
+        "mining_churn",
+        tm.jobs_submitted == jobs.len() as u64 && tm.jobs_shed == shed,
+        || {
+            format!(
+                "counters submitted={} shed={} vs observed {}/{shed}",
+                tm.jobs_submitted,
+                tm.jobs_shed,
+                jobs.len()
+            )
+        },
+    );
+    s.check(
+        "mining_churn",
+        tm.jobs_completed + tm.jobs_failed + tm.jobs_cancelled == jobs.len() as u64,
+        || {
+            format!(
+                "terminal counters {}+{}+{} != accepted {}",
+                tm.jobs_completed,
+                tm.jobs_failed,
+                tm.jobs_cancelled,
+                jobs.len()
+            )
+        },
+    );
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    s.record(
+        "mining_churn",
+        round,
+        vec![
+            kv("jobs", jobs.len()),
+            kv("done", done),
+            kv("failed", failed),
+            kv("cancelled", cancelled),
+            kv("cancel_requests", cancels),
+            kv("closed_sessions", closed.len()),
+            kv("rejected", rejected),
+            kv("shed", shed),
+        ],
+    );
+}
+
 /// The acceptance scenario: a 3-node cluster (replication 2) with
 /// injected peer-link delays. Ingest with monotone watermarks, kill an
 /// owner, require a degraded partial read with accurate coverage,
@@ -858,6 +1037,8 @@ fn main() {
         slow_reader(&mut soak, rounds, scale, rseed);
         eprintln!("  persist_faults: snapshots under injected IO faults");
         persist_faults(&mut soak, rounds, scale, rseed);
+        eprintln!("  mining_churn: jobs racing session eviction and close");
+        mining_churn(&mut soak, rounds, scale, rseed);
         eprintln!("  federated_outage: owner outage, degraded read, heal");
         federated_outage(&mut soak, rounds, scale, rseed);
         rounds += 1;

@@ -7,6 +7,7 @@
 //! [`SupportEstimator`] lets the identical candidate-generation loop
 //! serve the exact miner (ground truth) and every perturbation method.
 
+use crate::hook::{Cancelled, MineHook, NoHook};
 use crate::itemset::ItemSet;
 use std::collections::{HashMap, HashSet};
 
@@ -59,7 +60,7 @@ impl Default for AprioriParams {
 
 /// The frequent itemsets discovered in one mining run, grouped by
 /// length, with their (estimated) supports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FrequentItemsets {
     by_length: Vec<Vec<(ItemSet, f64)>>,
 }
@@ -120,27 +121,53 @@ impl FrequentItemsets {
 /// Runs Apriori: returns all itemsets whose estimated support reaches
 /// `params.min_support`, level by level.
 pub fn apriori(estimator: &dyn SupportEstimator, params: &AprioriParams) -> FrequentItemsets {
+    // NoHook never cancels, so the hooked run cannot return Err; an
+    // (unreachable) cancellation degrades to the empty result rather
+    // than introducing a panic path into a library entry point.
+    apriori_with_hook(estimator, params, &NoHook).unwrap_or_default()
+}
+
+/// [`apriori`] under a [`MineHook`]: the hook is polled between levels
+/// (cancellation checkpoint) and told, after each completed pass, how
+/// many levels are done and how many candidates have been pruned so
+/// far. Returns [`Cancelled`] — discarding the partial result — when
+/// the hook asks to stop.
+pub fn apriori_with_hook(
+    estimator: &dyn SupportEstimator,
+    params: &AprioriParams,
+    hook: &dyn MineHook,
+) -> Result<FrequentItemsets, Cancelled> {
     let max_len = if params.max_length == 0 {
         estimator.num_items()
     } else {
         params.max_length
     };
     let mut result = FrequentItemsets::default();
+    let mut pruned = 0usize;
+    if !hook.keep_going() {
+        return Err(Cancelled);
+    }
 
     // Pass 1: single items.
     let singles: Vec<ItemSet> = (0..estimator.num_items()).map(ItemSet::singleton).collect();
+    let generated = singles.len();
     let supports = estimate_parallel(estimator, &singles);
     let mut frontier: Vec<(ItemSet, f64)> = singles
         .into_iter()
         .zip(supports)
         .filter(|&(_, s)| s >= params.min_support)
         .collect();
+    pruned += generated - frontier.len();
 
     let mut k = 1usize;
     while !frontier.is_empty() {
         result.push_level(frontier.clone());
+        hook.progress(k, pruned);
         if k >= max_len {
             break;
+        }
+        if !hook.keep_going() {
+            return Err(Cancelled);
         }
         let candidates = generate_candidates(&frontier);
         if candidates.is_empty() {
@@ -149,15 +176,17 @@ pub fn apriori(estimator: &dyn SupportEstimator, params: &AprioriParams) -> Freq
         if params.max_candidates != 0 && candidates.len() > params.max_candidates {
             break;
         }
+        let generated = candidates.len();
         let supports = estimate_parallel(estimator, &candidates);
         frontier = candidates
             .into_iter()
             .zip(supports)
             .filter(|&(_, s)| s >= params.min_support)
             .collect();
+        pruned += generated - frontier.len();
         k += 1;
     }
-    result
+    Ok(result)
 }
 
 /// Fans candidate support estimation out across threads when the batch
@@ -370,6 +399,82 @@ mod tests {
         );
         assert_eq!(result.support_of(ItemSet::singleton(0)), Some(0.75));
         assert_eq!(result.support_of(ItemSet::from_items(&[0, 1])), Some(0.5));
+    }
+
+    #[test]
+    fn hooked_run_matches_plain_run_and_reports_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Recorder {
+            levels: AtomicUsize,
+            pruned: AtomicUsize,
+        }
+        impl crate::hook::MineHook for Recorder {
+            fn progress(&self, levels: usize, pruned: usize) {
+                self.levels.store(levels, Ordering::Relaxed);
+                self.pruned.store(pruned, Ordering::Relaxed);
+            }
+        }
+        let t = TestData::new(&[
+            &[true, true, false, false, true],
+            &[false, true, false, true, false],
+            &[false, true, true, false, false],
+            &[true, true, false, true, false],
+        ]);
+        let params = AprioriParams {
+            min_support: 0.5,
+            max_length: 0,
+            max_candidates: 0,
+        };
+        let rec = Recorder {
+            levels: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+        };
+        let hooked = apriori_with_hook(&t, &params, &rec).unwrap();
+        let plain = apriori(&t, &params);
+        assert_eq!(hooked.length_profile(), plain.length_profile());
+        assert_eq!(rec.levels.load(Ordering::Relaxed), hooked.max_length());
+        // Pass 1 prunes items 2 and 4 (5 singles, 3 frequent); pass 2
+        // prunes {0,3} (3 candidates, 2 frequent).
+        assert_eq!(rec.pruned.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn cancelling_hook_aborts_between_levels() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        /// Cancels after observing `allow` checkpoints.
+        struct CancelAfter {
+            polls: AtomicUsize,
+            allow: usize,
+        }
+        impl crate::hook::MineHook for CancelAfter {
+            fn keep_going(&self) -> bool {
+                self.polls.fetch_add(1, Ordering::Relaxed) < self.allow
+            }
+        }
+        let t = TestData::new(&[&[true, true, true], &[true, true, true]]);
+        let params = AprioriParams {
+            min_support: 0.5,
+            max_length: 0,
+            max_candidates: 0,
+        };
+        // Cancelled before pass 1 even starts.
+        let hook = CancelAfter {
+            polls: AtomicUsize::new(0),
+            allow: 0,
+        };
+        assert_eq!(
+            apriori_with_hook(&t, &params, &hook),
+            Err(crate::hook::Cancelled)
+        );
+        // Cancelled between level 1 and level 2.
+        let hook = CancelAfter {
+            polls: AtomicUsize::new(0),
+            allow: 1,
+        };
+        assert_eq!(
+            apriori_with_hook(&t, &params, &hook),
+            Err(crate::hook::Cancelled)
+        );
     }
 
     #[test]

@@ -71,6 +71,9 @@ impl SupportEstimator for ExactSupport {
 pub struct GammaDiagonalSupport {
     /// Perturbed records as boolean masks.
     masks: Vec<u64>,
+    /// Per-mask multiplicity; empty means unit weights (one record per
+    /// mask). Non-empty when built from aggregated domain-cell counts.
+    weights: Vec<f64>,
     /// For each boolean column, the owning attribute.
     column_attr: Vec<usize>,
     /// Attribute cardinalities.
@@ -100,6 +103,51 @@ impl GammaDiagonalSupport {
             .collect();
         GammaDiagonalSupport {
             masks: boolean_rows.iter().map(|r| row_to_mask(r)).collect(),
+            weights: Vec::new(),
+            column_attr,
+            cardinalities,
+            domain_size: schema.domain_size(),
+            gamma,
+            num_items,
+        }
+    }
+
+    /// Builds the estimator from aggregated *perturbed* domain-cell
+    /// counts (`counts[i]` = weight of the record `schema.decode(i)`),
+    /// the shape the collection server accumulates. One weighted mask
+    /// per non-zero cell keeps the per-candidate scan `O(n_cells)`
+    /// instead of `O(n_records)`. The schema's boolean width must fit in
+    /// a `u64` mask.
+    pub fn from_cell_counts(schema: &Schema, counts: &[f64], gamma: f64) -> Self {
+        assert!(
+            schema.boolean_width() <= 64,
+            "boolean item universe must fit in a u64 mask"
+        );
+        assert_eq!(counts.len(), schema.domain_size(), "one count per cell");
+        let num_items = schema.boolean_width();
+        let column_attr = (0..num_items)
+            .map(|c| schema.boolean_column_to_item(c).expect("column in range").0)
+            .collect();
+        let cardinalities: Vec<usize> = (0..schema.num_attributes())
+            .map(|j| schema.cardinality(j) as usize)
+            .collect();
+        let mut masks = Vec::new();
+        let mut weights = Vec::new();
+        for (index, &count) in counts.iter().enumerate() {
+            if count <= 0.0 {
+                continue;
+            }
+            let record = schema.decode(index);
+            let mut mask = 0u64;
+            for (j, &v) in record.iter().enumerate() {
+                mask |= 1 << (schema.boolean_offset(j) + v as usize);
+            }
+            masks.push(mask);
+            weights.push(count);
+        }
+        GammaDiagonalSupport {
+            masks,
+            weights,
             column_attr,
             cardinalities,
             domain_size: schema.domain_size(),
@@ -137,12 +185,27 @@ impl SupportEstimator for GammaDiagonalSupport {
         if self.masks.is_empty() {
             return 0.0;
         }
-        let hits = self
-            .masks
-            .iter()
-            .filter(|&&m| m & itemset.0 == itemset.0)
-            .count();
-        let sup_v = hits as f64 / self.masks.len() as f64;
+        let sup_v = if self.weights.is_empty() {
+            let hits = self
+                .masks
+                .iter()
+                .filter(|&&m| m & itemset.0 == itemset.0)
+                .count();
+            hits as f64 / self.masks.len() as f64
+        } else {
+            let mut hit = 0.0f64;
+            let mut total = 0.0f64;
+            for (&m, &w) in self.masks.iter().zip(&self.weights) {
+                total += w;
+                if m & itemset.0 == itemset.0 {
+                    hit += w;
+                }
+            }
+            if total <= 0.0 {
+                return 0.0;
+            }
+            hit / total
+        };
         reconstruct_itemset_support(sup_v, self.domain_size, n_cs, self.gamma)
     }
 }
@@ -294,6 +357,36 @@ mod tests {
         let est = CnpSupport::new(&cnp, &rows);
         let s = est.estimate(ItemSet::singleton(0));
         assert!((s - 0.5).abs() < 0.1, "estimate {s}");
+    }
+
+    #[test]
+    fn cell_count_estimator_matches_record_estimator() {
+        let ds = dataset();
+        let gd = GammaDiagonal::new(ds.schema(), 19.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(25);
+        let perturbed_records = gd.perturb_dataset(ds.records(), &mut rng).unwrap();
+        let perturbed = Dataset::from_trusted(schema(), perturbed_records);
+        // Aggregate the perturbed records into domain-cell counts.
+        let sc = schema();
+        let mut counts = vec![0.0f64; sc.domain_size()];
+        for r in perturbed.records() {
+            counts[sc.encode(r).unwrap()] += 1.0;
+        }
+        let by_record = GammaDiagonalSupport::new(&perturbed, &gd);
+        let by_cell = GammaDiagonalSupport::from_cell_counts(&sc, &counts, gd.gamma());
+        assert_eq!(by_cell.num_items(), by_record.num_items());
+        for set in [
+            ItemSet::singleton(0),
+            ItemSet::singleton(3),
+            ItemSet::from_items(&[0, 3]),
+            ItemSet::from_items(&[0, 3, 5]),
+            ItemSet::from_items(&[1, 4, 6]),
+            ItemSet::from_items(&[0, 1]), // same-attribute: both reject
+        ] {
+            let a = by_record.estimate(set);
+            let b = by_cell.estimate(set);
+            assert!((a - b).abs() < 1e-9, "{set}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! two miners cross-validate each other (see the property tests).
 
 use crate::apriori::FrequentItemsets;
+use crate::hook::{Cancelled, MineHook, NoHook};
 use crate::itemset::ItemSet;
 
 /// An FP-tree node; nodes live in an arena indexed by `usize`.
@@ -99,17 +100,37 @@ impl FpTree {
 /// present); `num_items ≤ 64`. Supports in the returned
 /// [`FrequentItemsets`] are fractions of `masks.len()`.
 pub fn fp_growth(masks: &[u64], num_items: usize, min_support: f64) -> FrequentItemsets {
+    let cells: Vec<(u64, usize)> = masks.iter().map(|&m| (m, 1)).collect();
+    // NoHook never cancels, so the hooked miner cannot fail here.
+    fp_growth_from_counts(&cells, num_items, min_support, &NoHook).unwrap_or_default()
+}
+
+/// Mines weighted transactions: each `(mask, count)` cell stands for
+/// `count` identical transactions. This is the natural shape of a
+/// reconstructed distribution, where the server holds per-domain-cell
+/// counts rather than individual records. The `hook` is polled between
+/// recursion steps; returning `false` abandons the run with
+/// [`Cancelled`]. Supports are fractions of `Σ count`.
+pub fn fp_growth_from_counts(
+    cells: &[(u64, usize)],
+    num_items: usize,
+    min_support: f64,
+    hook: &dyn MineHook,
+) -> Result<FrequentItemsets, Cancelled> {
     assert!(num_items <= 64, "item universe must fit in a u64 mask");
-    let n = masks.len();
+    let n: usize = cells.iter().map(|&(_, c)| c).sum();
     let mut found: Vec<(ItemSet, usize)> = Vec::new();
     if n > 0 {
+        if !hook.keep_going() {
+            return Err(Cancelled);
+        }
         let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
         // Global item frequencies.
         let mut freq = vec![0usize; num_items];
-        for &m in masks {
+        for &(m, count) in cells {
             let mut rest = m;
             while rest != 0 {
-                freq[rest.trailing_zeros() as usize] += 1;
+                freq[rest.trailing_zeros() as usize] += count;
                 rest &= rest - 1;
             }
         }
@@ -123,7 +144,7 @@ pub fn fp_growth(masks: &[u64], num_items: usize, min_support: f64) -> FrequentI
         // Build the initial tree from frequent items only.
         let mut tree = FpTree::new(num_items, rank);
         let mut scratch = Vec::with_capacity(num_items);
-        for &m in masks {
+        for &(m, count) in cells {
             scratch.clear();
             let mut rest = m;
             while rest != 0 {
@@ -134,10 +155,19 @@ pub fn fp_growth(masks: &[u64], num_items: usize, min_support: f64) -> FrequentI
                 rest &= rest - 1;
             }
             if !scratch.is_empty() {
-                tree.insert(&mut scratch, 1);
+                tree.insert(&mut scratch, count);
             }
         }
-        mine_tree(&tree, &freq, min_count, ItemSet::EMPTY, &mut found);
+        let mut progress = MineProgress::default();
+        mine_tree(
+            &tree,
+            &freq,
+            min_count,
+            ItemSet::EMPTY,
+            hook,
+            &mut progress,
+            &mut found,
+        )?;
     }
 
     // Repackage as FrequentItemsets grouped by length.
@@ -156,7 +186,17 @@ pub fn fp_growth(masks: &[u64], num_items: usize, min_support: f64) -> FrequentI
     for level in by_length {
         out.push_level(level);
     }
-    out
+    Ok(out)
+}
+
+/// Cumulative work counters threaded through the recursion so the hook
+/// sees monotone totals regardless of tree shape.
+#[derive(Default)]
+struct MineProgress {
+    /// Conditional trees fully mined (recursion steps completed).
+    steps: usize,
+    /// Candidate items discarded for falling below the threshold.
+    pruned: usize,
 }
 
 /// Recursive FP-growth over a (conditional) tree.
@@ -165,8 +205,10 @@ fn mine_tree(
     freq: &[usize],
     min_count: usize,
     suffix: ItemSet,
+    hook: &dyn MineHook,
+    progress: &mut MineProgress,
     out: &mut Vec<(ItemSet, usize)>,
-) {
+) -> Result<(), Cancelled> {
     // Visit items in reverse canonical order (least frequent first).
     let mut items: Vec<usize> = (0..tree.header.len())
         .filter(|&i| freq[i] >= min_count && !tree.header[i].is_empty())
@@ -174,9 +216,13 @@ fn mine_tree(
     items.sort_by_key(|&i| std::cmp::Reverse(tree.rank[i]));
 
     for item in items {
+        if !hook.keep_going() {
+            return Err(Cancelled);
+        }
         let new_suffix = suffix.union(ItemSet::singleton(item));
         let support: usize = tree.header[item].iter().map(|&n| tree.arena[n].count).sum();
         if support < min_count {
+            progress.pruned += 1;
             continue;
         }
         out.push((new_suffix, support));
@@ -195,6 +241,8 @@ fn mine_tree(
             }
         }
         if paths.is_empty() {
+            progress.steps += 1;
+            hook.progress(progress.steps, progress.pruned);
             continue;
         }
         // Build the conditional tree on frequent conditional items.
@@ -211,9 +259,14 @@ fn mine_tree(
             }
         }
         if any {
-            mine_tree(&cond_tree, &cond_freq, min_count, new_suffix, out);
+            mine_tree(
+                &cond_tree, &cond_freq, min_count, new_suffix, hook, progress, out,
+            )?;
         }
+        progress.steps += 1;
+        hook.progress(progress.steps, progress.pruned);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -335,6 +388,85 @@ mod tests {
         let masks = vec![0b1u64, 0b1, 0b0, 0b1];
         let fp = fp_growth(&masks, 1, 0.5);
         assert_eq!(fp.support_of(ItemSet::singleton(0)), Some(0.75));
+    }
+
+    #[test]
+    fn counted_cells_match_expanded_masks() {
+        let cells = vec![(0b011u64, 3), (0b110, 2), (0b101, 1)];
+        let mut expanded = Vec::new();
+        for &(m, c) in &cells {
+            expanded.extend(std::iter::repeat_n(m, c));
+        }
+        for min_sup in [0.2, 0.5, 0.9] {
+            let from_cells =
+                fp_growth_from_counts(&cells, 3, min_sup, &crate::hook::NoHook).unwrap();
+            let from_masks = fp_growth(&expanded, 3, min_sup);
+            assert_eq!(from_cells.length_profile(), from_masks.length_profile());
+            for (itemset, sup) in from_masks.iter() {
+                assert_eq!(from_cells.support_of(itemset), Some(sup), "{itemset}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_count_cells_are_inert() {
+        let with_zeros = vec![(0b11u64, 2), (0b01, 0), (0b10, 1)];
+        let without = vec![(0b11u64, 2), (0b10, 1)];
+        let a = fp_growth_from_counts(&with_zeros, 2, 0.3, &crate::hook::NoHook).unwrap();
+        let b = fp_growth_from_counts(&without, 2, 0.3, &crate::hook::NoHook).unwrap();
+        assert_eq!(a.length_profile(), b.length_profile());
+    }
+
+    #[test]
+    fn cancelling_hook_aborts_recursion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CancelAfter {
+            polls: AtomicUsize,
+            allow: usize,
+        }
+        impl crate::hook::MineHook for CancelAfter {
+            fn keep_going(&self) -> bool {
+                self.polls.fetch_add(1, Ordering::Relaxed) < self.allow
+            }
+        }
+        let cells = vec![(0b111u64, 2), (0b011, 1), (0b101, 1)];
+        for allow in 0..3 {
+            let hook = CancelAfter {
+                polls: AtomicUsize::new(0),
+                allow,
+            };
+            assert_eq!(
+                fp_growth_from_counts(&cells, 3, 0.25, &hook),
+                Err(crate::hook::Cancelled),
+                "allow={allow}"
+            );
+        }
+    }
+
+    #[test]
+    fn hook_sees_monotone_step_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Monotone {
+            last: AtomicUsize,
+            calls: AtomicUsize,
+        }
+        impl crate::hook::MineHook for Monotone {
+            fn progress(&self, steps: usize, _pruned: usize) {
+                let prev = self.last.swap(steps, Ordering::Relaxed);
+                assert!(
+                    steps > prev || prev == 0,
+                    "steps regressed: {prev} -> {steps}"
+                );
+                self.calls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let cells = vec![(0b111u64, 4), (0b011, 2), (0b110, 3)];
+        let hook = Monotone {
+            last: AtomicUsize::new(0),
+            calls: AtomicUsize::new(0),
+        };
+        fp_growth_from_counts(&cells, 3, 0.2, &hook).unwrap();
+        assert!(hook.calls.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Cooperative control for long-running mining passes.
+//!
+//! A mining run over a large reconstructed distribution can take
+//! seconds to minutes; embedders (the service's background-job pool in
+//! particular) need to cancel an abandoned run and observe its
+//! progress without killing the thread. [`MineHook`] is the narrow
+//! surface both miners poll at their natural checkpoints: between
+//! Apriori levels and between FP-growth recursion steps. The hook is
+//! *cooperative* — a long single level finishes before the
+//! cancellation is observed — which keeps the miners free of any
+//! locking on their hot counting loops.
+
+/// Control surface polled by [`crate::apriori::apriori_with_hook`] and
+/// [`crate::fpgrowth::fp_growth_from_counts`] at every checkpoint.
+///
+/// Implementations must be cheap: the miners poll between levels /
+/// recursion steps, never inside the per-transaction counting loops.
+pub trait MineHook: Sync {
+    /// Polled at each checkpoint; returning `false` abandons the run
+    /// with [`Cancelled`]. The default never cancels.
+    fn keep_going(&self) -> bool {
+        true
+    }
+
+    /// Reports cumulative progress: `levels` completed so far (Apriori
+    /// passes, or FP-growth top-level conditional trees mined) and
+    /// `pruned` candidates discarded so far (generated candidates that
+    /// failed the support threshold). The default discards it.
+    fn progress(&self, levels: usize, pruned: usize) {
+        let _ = (levels, pruned);
+    }
+}
+
+/// The do-nothing hook: never cancels, discards progress. The plain
+/// [`crate::apriori::apriori`] / [`crate::fpgrowth::fp_growth`] entry
+/// points run under it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl MineHook for NoHook {}
+
+/// Returned by the hooked miners when their hook requested
+/// cancellation; the partial result is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("mining run was cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn no_hook_never_cancels() {
+        assert!(NoHook.keep_going());
+        NoHook.progress(3, 7); // must not panic
+    }
+
+    #[test]
+    fn hooks_observe_cancel_flags_and_progress() {
+        struct Flagged {
+            cancel: AtomicBool,
+            levels: AtomicUsize,
+        }
+        impl MineHook for Flagged {
+            fn keep_going(&self) -> bool {
+                !self.cancel.load(Ordering::Relaxed)
+            }
+            fn progress(&self, levels: usize, _pruned: usize) {
+                self.levels.store(levels, Ordering::Relaxed);
+            }
+        }
+        let h = Flagged {
+            cancel: AtomicBool::new(false),
+            levels: AtomicUsize::new(0),
+        };
+        assert!(h.keep_going());
+        h.progress(2, 0);
+        assert_eq!(h.levels.load(Ordering::Relaxed), 2);
+        h.cancel.store(true, Ordering::Relaxed);
+        assert!(!h.keep_going());
+        assert_eq!(Cancelled.to_string(), "mining run was cancelled");
+    }
+}

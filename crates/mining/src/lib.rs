@@ -23,14 +23,18 @@
 #![warn(missing_docs)]
 
 pub mod apriori;
+pub mod classify;
 pub mod condense;
 pub mod estimators;
 pub mod fpgrowth;
+pub mod hook;
 pub mod itemset;
 pub mod metrics;
 pub mod rules;
 
-pub use apriori::{apriori, AprioriParams, FrequentItemsets, SupportEstimator};
-pub use fpgrowth::fp_growth;
+pub use apriori::{apriori, apriori_with_hook, AprioriParams, FrequentItemsets, SupportEstimator};
+pub use classify::{bayes_classify, bayes_rule, rule_accuracy, ClassifierReport};
+pub use fpgrowth::{fp_growth, fp_growth_from_counts};
+pub use hook::{Cancelled, MineHook, NoHook};
 pub use itemset::ItemSet;
 pub use metrics::{compare, AccuracyMetrics};

@@ -10,6 +10,12 @@
 //! frapp-client server-metrics [--addr HOST:PORT] [--http]
 //! frapp-client cluster-status [--addr HOST:PORT]
 //! frapp-client persist [--addr HOST:PORT] [--http] [--session N]
+//! frapp-client mine    [--addr HOST:PORT] [--http|--binary] --session N
+//!                      [--algo apriori|fpgrowth] [--min-support F]
+//!                      [--min-confidence F] [--max-length N]
+//!                      [--no-wait] [--timeout-secs S]
+//! frapp-client jobs    [--addr HOST:PORT] [--http|--binary]
+//!                      [--job N [--cancel]]
 //! ```
 //!
 //! The default `load` subcommand generates a synthetic CENSUS-like
@@ -49,14 +55,26 @@
 //! events); `cluster-status` prints the federation topology with
 //! per-peer liveness; `persist` asks the server to snapshot one (or
 //! all) sessions to its persistence directory.
+//!
+//! `mine` submits a `mine_rules` background job against a live
+//! session, then polls until the job reaches a terminal state and
+//! prints the association rules (skip the wait with `--no-wait`; the
+//! job keeps running server-side and `jobs` can pick it up later).
+//! `jobs` lists every retained job; `jobs --job N` prints one job's
+//! status (plus its result when done), and `jobs --job N --cancel`
+//! requests cooperative cancellation. All three framings work: plain
+//! line-JSON, `--http` REST routes, or `--binary` (job ops tunnel
+//! through `OP_JSON` frames).
 
 use frapp_core::perturb::{GammaDiagonal, Perturber};
-use frapp_service::client::{Client, HttpClient, SessionSpec};
+use frapp_service::client::{job_status_is_terminal, Client, HttpClient, SessionSpec};
+use frapp_service::json::Value;
 use frapp_service::session::ReconstructionMethod;
 use frapp_service::session::{Reconstruction, SessionStats, SessionSummary};
+use frapp_service::{MineAlgo, MineSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     addr: String,
@@ -70,6 +88,11 @@ struct Args {
     http: bool,
     binary: bool,
     session: Option<u64>,
+    mine_spec: MineSpec,
+    job: Option<u64>,
+    cancel: bool,
+    no_wait: bool,
+    timeout_secs: u64,
 }
 
 fn usage() -> ! {
@@ -80,7 +103,11 @@ fn usage() -> ! {
          \x20      frapp-client metrics [--addr HOST:PORT] [--http] --session N\n\
          \x20      frapp-client server-metrics [--addr HOST:PORT] [--http]\n\
          \x20      frapp-client cluster-status [--addr HOST:PORT]\n\
-         \x20      frapp-client persist [--addr HOST:PORT] [--http] [--session N]"
+         \x20      frapp-client persist [--addr HOST:PORT] [--http] [--session N]\n\
+         \x20      frapp-client mine    [--addr HOST:PORT] [--http|--binary] --session N \
+         [--algo apriori|fpgrowth] [--min-support F] [--min-confidence F] \
+         [--max-length N] [--no-wait] [--timeout-secs S]\n\
+         \x20      frapp-client jobs    [--addr HOST:PORT] [--http|--binary] [--job N [--cancel]]"
     );
     std::process::exit(2);
 }
@@ -98,6 +125,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
         http: false,
         binary: false,
         session: None,
+        mine_spec: MineSpec::default(),
+        job: None,
+        cancel: false,
+        no_wait: false,
+        timeout_secs: 300,
     };
     let mut args = args;
     while let Some(flag) = args.next() {
@@ -117,6 +149,31 @@ fn parse_args(args: impl Iterator<Item = String>) -> Args {
             "--session" => {
                 parsed.session = Some(value("--session").parse().unwrap_or_else(|_| usage()))
             }
+            "--algo" => {
+                parsed.mine_spec.algo = MineAlgo::from_wire(&value("--algo")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--min-support" => {
+                parsed.mine_spec.min_support =
+                    value("--min-support").parse().unwrap_or_else(|_| usage())
+            }
+            "--min-confidence" => {
+                parsed.mine_spec.min_confidence = value("--min-confidence")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-length" => {
+                parsed.mine_spec.max_length =
+                    value("--max-length").parse().unwrap_or_else(|_| usage())
+            }
+            "--job" => parsed.job = Some(value("--job").parse().unwrap_or_else(|_| usage())),
+            "--timeout-secs" => {
+                parsed.timeout_secs = value("--timeout-secs").parse().unwrap_or_else(|_| usage())
+            }
+            "--cancel" => parsed.cancel = true,
+            "--no-wait" => parsed.no_wait = true,
             "--pre-perturb" => parsed.pre_perturb = true,
             "--pipeline" => parsed.pipeline = true,
             "--http" => parsed.http = true,
@@ -250,6 +307,48 @@ impl AnyClient {
         match self {
             AnyClient::Tcp(c) => c.server_metrics(),
             AnyClient::Http(c) => c.server_metrics(),
+        }
+    }
+
+    fn mine_rules(&mut self, session: u64, spec: &MineSpec) -> frapp_service::Result<u64> {
+        match self {
+            AnyClient::Tcp(c) => c.mine_rules(session, spec),
+            AnyClient::Http(c) => c.mine_rules(session, spec),
+        }
+    }
+
+    fn job_status(&mut self, job: u64) -> frapp_service::Result<Value> {
+        match self {
+            AnyClient::Tcp(c) => c.job_status(job),
+            AnyClient::Http(c) => c.job_status(job),
+        }
+    }
+
+    fn job_result(&mut self, job: u64) -> frapp_service::Result<Value> {
+        match self {
+            AnyClient::Tcp(c) => c.job_result(job),
+            AnyClient::Http(c) => c.job_result(job),
+        }
+    }
+
+    fn job_cancel(&mut self, job: u64) -> frapp_service::Result<Value> {
+        match self {
+            AnyClient::Tcp(c) => c.job_cancel(job),
+            AnyClient::Http(c) => c.job_cancel(job),
+        }
+    }
+
+    fn list_jobs(&mut self) -> frapp_service::Result<Vec<Value>> {
+        match self {
+            AnyClient::Tcp(c) => c.list_jobs(),
+            AnyClient::Http(c) => c.list_jobs(),
+        }
+    }
+
+    fn wait_job(&mut self, job: u64, timeout: Duration) -> frapp_service::Result<Value> {
+        match self {
+            AnyClient::Tcp(c) => c.wait_job(job, timeout),
+            AnyClient::Http(c) => c.wait_job(job, timeout),
         }
     }
 }
@@ -452,6 +551,149 @@ fn run_persist(args: Args) {
     );
 }
 
+/// One human-readable status line for a job, shared by `mine` and
+/// `jobs` output.
+fn print_job_status(status: &Value) {
+    let get_u64 = |k| status.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let get_str = |k| status.get(k).and_then(Value::as_str).unwrap_or("?");
+    print!(
+        "job {:>4}  {:<10}  {:<9}  session {:<4}  levels {:<3} pruned {}",
+        get_u64("job"),
+        get_str("op"),
+        get_str("state"),
+        get_u64("session"),
+        get_u64("levels"),
+        get_u64("pruned"),
+    );
+    if status.get("wall_ms").is_some() {
+        print!("  ({} ms)", get_u64("wall_ms"));
+    }
+    if let Some(err) = status.get("error").and_then(Value::as_str) {
+        print!("  error: {err}");
+    }
+    println!();
+}
+
+fn items_str(v: Option<&Value>) -> String {
+    let items: Vec<String> = v
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Value::as_u64)
+        .map(|i| i.to_string())
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Prints the `mine_rules` result payload: the run's parameters, the
+/// per-level itemset profile and every rule with its quality measures.
+fn print_mine_result(result: &Value) {
+    let n = result.get("n").and_then(Value::as_u64).unwrap_or(0);
+    println!(
+        "mined {} frequent itemsets over {n} records (algo {}, min_support {}, min_confidence {})",
+        result
+            .get("frequent_itemsets")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        result.get("algo").and_then(Value::as_str).unwrap_or("?"),
+        result
+            .get("min_support")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+        result
+            .get("min_confidence")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+    );
+    if let Some(profile) = result.get("level_profile").and_then(Value::as_array) {
+        let counts: Vec<String> = profile
+            .iter()
+            .filter_map(Value::as_u64)
+            .map(|c| c.to_string())
+            .collect();
+        println!("  level profile: {}", counts.join(" / "));
+    }
+    let rules = result.get("rules").and_then(Value::as_array).unwrap_or(&[]);
+    println!("  {} rule(s)", rules.len());
+    for r in rules {
+        println!(
+            "    {} => {}  support {:.4}  confidence {:.3}  lift {:.3}",
+            items_str(r.get("antecedent")),
+            items_str(r.get("consequent")),
+            r.get("support").and_then(Value::as_f64).unwrap_or(0.0),
+            r.get("confidence").and_then(Value::as_f64).unwrap_or(0.0),
+            r.get("lift").and_then(Value::as_f64).unwrap_or(0.0),
+        );
+    }
+}
+
+fn run_mine(args: Args) {
+    let session = args.session.unwrap_or_else(|| {
+        eprintln!("mine needs --session N");
+        usage()
+    });
+    let mut client = AnyClient::connect(&args.addr, args.http, args.binary);
+    let job = ok_or_exit(client.mine_rules(session, &args.mine_spec));
+    println!(
+        "job {job} queued (session {session}, algo {}, min_support {}, min_confidence {})",
+        args.mine_spec.algo.wire_name(),
+        args.mine_spec.min_support,
+        args.mine_spec.min_confidence,
+    );
+    if args.no_wait {
+        println!("not waiting; poll with `frapp-client jobs --job {job}`");
+        return;
+    }
+    let status = ok_or_exit(client.wait_job(job, Duration::from_secs(args.timeout_secs)));
+    print_job_status(&status);
+    if status.get("state").and_then(Value::as_str) == Some("done") {
+        let result = ok_or_exit(client.job_result(job));
+        print_mine_result(&result);
+    } else {
+        std::process::exit(1);
+    }
+}
+
+fn run_jobs(args: Args) {
+    let mut client = AnyClient::connect(&args.addr, args.http, args.binary);
+    let Some(job) = args.job else {
+        if args.cancel {
+            eprintln!("--cancel needs --job N");
+            usage();
+        }
+        let jobs = ok_or_exit(client.list_jobs());
+        if jobs.is_empty() {
+            println!("no retained jobs");
+            return;
+        }
+        for status in &jobs {
+            print_job_status(status);
+        }
+        return;
+    };
+    if args.cancel {
+        let status = ok_or_exit(client.job_cancel(job));
+        print_job_status(&status);
+        return;
+    }
+    let status = ok_or_exit(client.job_status(job));
+    print_job_status(&status);
+    let is_done = status.get("state").and_then(Value::as_str) == Some("done");
+    let mining = status.get("op").and_then(Value::as_str) == Some("mine_rules");
+    if is_done && mining {
+        let result = ok_or_exit(client.job_result(job));
+        print_mine_result(&result);
+    } else if is_done {
+        let result = ok_or_exit(client.job_result(job));
+        println!("  result: {}", result.to_json());
+    } else if !job_status_is_terminal(&status) {
+        println!(
+            "  (still {}; re-run to poll)",
+            status.get("state").and_then(Value::as_str).unwrap_or("?")
+        );
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     let subcommand = match argv.peek().map(String::as_str) {
@@ -460,6 +702,8 @@ fn main() {
         | Some("server-metrics")
         | Some("cluster-status")
         | Some("persist")
+        | Some("mine")
+        | Some("jobs")
         | Some("load") => argv.next().expect("peeked"),
         _ => "load".to_owned(),
     };
@@ -470,6 +714,8 @@ fn main() {
         "server-metrics" => return run_server_metrics(args),
         "cluster-status" => return run_cluster_status(args),
         "persist" => return run_persist(args),
+        "mine" => return run_mine(args),
+        "jobs" => return run_jobs(args),
         _ => {}
     }
     let schema = frapp_data::census::schema();

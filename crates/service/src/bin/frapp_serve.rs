@@ -11,6 +11,8 @@
 //!             [--read-timeout-ms MS] [--write-timeout-ms MS]
 //!             [--idle-timeout-ms MS] [--breaker-threshold N]
 //!             [--breaker-cooldown-ms MS] [--fault-plan SPEC]
+//!             [--job-threads N] [--job-queue-depth N]
+//!             [--job-ttl-secs SECS]
 //! ```
 //!
 //! The server prints its bound address(es) on stdout (useful with port
@@ -51,6 +53,11 @@
 //! a flapping peer link trips to `down` and how long connects fail
 //! fast before the next half-open probe; `--idle-timeout-ms` reaps
 //! connections idle past the limit on the threaded front-ends.
+//!
+//! The background-job pool (`mine_rules`/`classify` ops) is sized by
+//! `--job-threads`, bounded by `--job-queue-depth` (submissions past
+//! the cap are shed with an in-band error), and finished job results
+//! are retained for `--job-ttl-secs` before being purged.
 
 use frapp_service::{Server, ServiceConfig};
 
@@ -63,7 +70,8 @@ fn usage() -> ! {
          [--connect-timeout-ms MS] [--read-timeout-ms MS] \
          [--write-timeout-ms MS] [--idle-timeout-ms MS] \
          [--offload-threads N] [--breaker-threshold N] \
-         [--breaker-cooldown-ms MS] [--fault-plan SPEC]"
+         [--breaker-cooldown-ms MS] [--fault-plan SPEC] \
+         [--job-threads N] [--job-queue-depth N] [--job-ttl-secs SECS]"
     );
     std::process::exit(2);
 }
@@ -172,6 +180,24 @@ fn main() {
                 config.breaker_cooldown_ms = value("--breaker-cooldown-ms")
                     .parse()
                     .unwrap_or_else(|_| usage())
+            }
+            "--job-threads" => {
+                config.job_threads = value("--job-threads")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--job-queue-depth" => {
+                config.job_queue_depth = value("--job-queue-depth")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--job-ttl-secs" => {
+                config.job_result_ttl_secs =
+                    value("--job-ttl-secs").parse().unwrap_or_else(|_| usage())
             }
             "--fault-plan" => {
                 config.fault_plan = frapp_service::FaultPlan::parse(&value("--fault-plan"))

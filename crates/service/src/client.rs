@@ -15,6 +15,7 @@
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 use crate::framing;
+use crate::jobs::MineSpec;
 use crate::json::{self, object, Value};
 use crate::metrics::{LatencySummary, MetricsReport, PeerHealth, PeerReplReport, TransportReport};
 use crate::protocol::{PartialCoverage, WireFraming};
@@ -317,6 +318,11 @@ fn parse_transport_report(v: &Value) -> Result<TransportReport> {
         reactor_partial_writes: reactor("partial_writes"),
         binary_connections: field("binary_connections"),
         binary_requests: field("binary_requests"),
+        jobs_submitted: field("jobs_submitted"),
+        jobs_completed: field("jobs_completed"),
+        jobs_failed: field("jobs_failed"),
+        jobs_cancelled: field("jobs_cancelled"),
+        jobs_shed: field("jobs_shed"),
     })
 }
 
@@ -920,10 +926,122 @@ impl Client {
         Ok(v.get("closed").and_then(Value::as_bool).unwrap_or(false))
     }
 
+    /// Submits a background association-rule-mining job
+    /// (`{"op":"mine_rules"}`); returns the job id immediately. Follow
+    /// up with [`Client::job_status`] / [`Client::job_result`].
+    pub fn mine_rules(&mut self, session: u64, spec: &MineSpec) -> Result<u64> {
+        let mut pairs = mine_spec_pairs(spec);
+        pairs.insert(0, ("session", session.into()));
+        pairs.insert(0, ("op", "mine_rules".into()));
+        let v = self.request(&object(pairs).to_json())?;
+        job_id_of(&v)
+    }
+
+    /// Submits a background Bayes-classifier job for the class
+    /// attribute at `target`; returns the job id immediately.
+    pub fn classify(&mut self, session: u64, target: usize) -> Result<u64> {
+        let line = object(vec![
+            ("op", "classify".into()),
+            ("session", session.into()),
+            ("target", target.into()),
+        ])
+        .to_json();
+        let v = self.request(&line)?;
+        job_id_of(&v)
+    }
+
+    /// Fetches a job's status object (state, progress counters, and —
+    /// once terminal — wall time).
+    pub fn job_status(&mut self, job: u64) -> Result<Value> {
+        let line = object(vec![("op", "job_status".into()), ("job", job.into())]).to_json();
+        status_of_response(self.request(&line)?)
+    }
+
+    /// Fetches a finished job's result payload. Errors in-band while
+    /// the job is still queued/running, or if it failed or was
+    /// cancelled.
+    pub fn job_result(&mut self, job: u64) -> Result<Value> {
+        let line = object(vec![("op", "job_result".into()), ("job", job.into())]).to_json();
+        result_of_response(self.request(&line)?)
+    }
+
+    /// Cancels a job (immediately while queued, cooperatively while
+    /// running); returns its status object after the cancel request.
+    pub fn job_cancel(&mut self, job: u64) -> Result<Value> {
+        let line = object(vec![("op", "job_cancel".into()), ("job", job.into())]).to_json();
+        status_of_response(self.request(&line)?)
+    }
+
+    /// Lists every tracked job's status object, ascending by id.
+    pub fn list_jobs(&mut self) -> Result<Vec<Value>> {
+        jobs_of_response(self.request(r#"{"op":"list_jobs"}"#)?)
+    }
+
+    /// Polls [`Client::job_status`] until the job reaches a terminal
+    /// state (returning it) or `timeout` elapses (in-band error).
+    pub fn wait_job(&mut self, job: u64, timeout: Duration) -> Result<Value> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let status = self.job_status(job)?;
+            if job_status_is_terminal(&status) {
+                return Ok(status);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "job {job} did not finish within {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<()> {
         self.request(r#"{"op":"shutdown"}"#).map(|_| ())
     }
+}
+
+/// Serializes a [`MineSpec`] as wire fields (shared by both clients).
+fn mine_spec_pairs(spec: &MineSpec) -> Vec<(&'static str, Value)> {
+    vec![
+        ("algo", spec.algo.wire_name().into()),
+        ("min_support", spec.min_support.into()),
+        ("min_confidence", spec.min_confidence.into()),
+        ("max_length", spec.max_length.into()),
+    ]
+}
+
+fn job_id_of(v: &Value) -> Result<u64> {
+    v.get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServiceError::Protocol("job response missing `job`".into()))
+}
+
+fn status_of_response(v: Value) -> Result<Value> {
+    v.get("status")
+        .cloned()
+        .ok_or_else(|| ServiceError::Protocol("job response missing `status`".into()))
+}
+
+fn result_of_response(v: Value) -> Result<Value> {
+    v.get("result")
+        .cloned()
+        .ok_or_else(|| ServiceError::Protocol("job response missing `result`".into()))
+}
+
+fn jobs_of_response(v: Value) -> Result<Vec<Value>> {
+    Ok(v.get("jobs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServiceError::Protocol("list_jobs response missing `jobs`".into()))?
+        .to_vec())
+}
+
+/// Whether a job status object names a terminal state.
+pub fn job_status_is_terminal(status: &Value) -> bool {
+    matches!(
+        status.get("state").and_then(Value::as_str),
+        Some("done" | "failed" | "cancelled")
+    )
 }
 
 /// A client for the HTTP/1.1 front-end ([`crate::http`]).
@@ -1162,5 +1280,64 @@ impl HttpClient {
     pub fn close_session(&mut self, session: u64) -> Result<bool> {
         let v = self.request("DELETE", &format!("/sessions/{session}"), None)?;
         Ok(v.get("closed").and_then(Value::as_bool).unwrap_or(false))
+    }
+
+    /// Submits a mining job (`POST /sessions/{id}/mine`); returns the
+    /// job id immediately.
+    pub fn mine_rules(&mut self, session: u64, spec: &MineSpec) -> Result<u64> {
+        let body = object(mine_spec_pairs(spec));
+        let v = self.request("POST", &format!("/sessions/{session}/mine"), Some(&body))?;
+        job_id_of(&v)
+    }
+
+    /// Submits a classifier job (`POST /sessions/{id}/classify`);
+    /// returns the job id immediately.
+    pub fn classify(&mut self, session: u64, target: usize) -> Result<u64> {
+        let body = object(vec![("target", target.into())]);
+        let v = self.request(
+            "POST",
+            &format!("/sessions/{session}/classify"),
+            Some(&body),
+        )?;
+        job_id_of(&v)
+    }
+
+    /// Fetches a job's status object (`GET /jobs/{jid}`).
+    pub fn job_status(&mut self, job: u64) -> Result<Value> {
+        status_of_response(self.request("GET", &format!("/jobs/{job}"), None)?)
+    }
+
+    /// Fetches a finished job's result payload
+    /// (`GET /jobs/{jid}/result`).
+    pub fn job_result(&mut self, job: u64) -> Result<Value> {
+        result_of_response(self.request("GET", &format!("/jobs/{job}/result"), None)?)
+    }
+
+    /// Cancels a job (`DELETE /jobs/{jid}`); returns its status object.
+    pub fn job_cancel(&mut self, job: u64) -> Result<Value> {
+        status_of_response(self.request("DELETE", &format!("/jobs/{job}"), None)?)
+    }
+
+    /// Lists every tracked job's status object (`GET /jobs`).
+    pub fn list_jobs(&mut self) -> Result<Vec<Value>> {
+        jobs_of_response(self.request("GET", "/jobs", None)?)
+    }
+
+    /// Polls [`HttpClient::job_status`] until the job reaches a
+    /// terminal state (returning it) or `timeout` elapses.
+    pub fn wait_job(&mut self, job: u64, timeout: Duration) -> Result<Value> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let status = self.job_status(job)?;
+            if job_status_is_terminal(&status) {
+                return Ok(status);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "job {job} did not finish within {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }

@@ -119,6 +119,18 @@ pub struct ServiceConfig {
     /// I/O) off the event-loop threads. Ignored in
     /// thread-per-connection mode. Values below 1 are treated as 1.
     pub offload_threads: usize,
+    /// Worker threads in the background-job pool ([`crate::jobs`]) that
+    /// runs `mine_rules` / `classify` off the transport threads. Values
+    /// below 1 are treated as 1.
+    pub job_threads: usize,
+    /// Most jobs the background-job submission queue holds; submits
+    /// past the cap are shed with an in-band error instead of queueing
+    /// unboundedly. Values below 1 are treated as 1.
+    pub job_queue_depth: usize,
+    /// Seconds a finished job (and its result) is retained before the
+    /// lazy purge drops it; later `job_status` / `job_result` calls
+    /// answer `unknown job`.
+    pub job_result_ttl_secs: u64,
     /// The deterministic fault-injection plan (see [`crate::fault`]).
     /// Empty by default: no faults, no overhead. Populated via
     /// `frapp-serve --fault-plan` / `FRAPP_FAULT_PLAN` for soak and
@@ -154,6 +166,9 @@ impl Default for ServiceConfig {
             breaker_threshold: 3,
             breaker_cooldown_ms: 1_000,
             offload_threads: 2,
+            job_threads: 2,
+            job_queue_depth: 16,
+            job_result_ttl_secs: 600,
             fault_plan: FaultPlan::default(),
         }
     }
@@ -238,6 +253,9 @@ mod tests {
         assert!(c.breaker_threshold >= 1);
         assert!(c.breaker_cooldown_ms > 0);
         assert!(c.offload_threads >= 1);
+        assert!(c.job_threads >= 1);
+        assert!(c.job_queue_depth >= 1);
+        assert!(c.job_result_ttl_secs > 0);
         assert!(c.fault_plan.is_empty(), "no faults by default");
     }
 

@@ -12,6 +12,7 @@
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 use crate::fed::{FedState, Routed};
+use crate::jobs::JobManager;
 use crate::json::{self, Value};
 use crate::metrics::TransportMetrics;
 use crate::persist;
@@ -19,7 +20,7 @@ use crate::protocol::{
     is_deferred_submit, request_from_value, write_error_response, write_flush_response,
     write_list_response, write_metrics_response, write_ok_response, write_reconstruction_response,
     write_reconstruction_response_with, write_stats_response, write_stats_response_with,
-    write_transport_metrics_response, Request, WireFraming,
+    write_transport_metrics_response, AttrRef, Request, WireFraming,
 };
 use crate::session::SessionRegistry;
 use frapp_core::Schema;
@@ -93,13 +94,14 @@ impl ConnState {
 /// whether the server should shut down. A convenience wrapper over
 /// [`dispatch_into`] for embedders and tests that do not pipeline
 /// (deferred-ack submits are still accepted, but their watermark dies
-/// with the throwaway state).
+/// with the throwaway state). It carries no job executor, so the
+/// background-job ops answer with an in-band error.
 pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) -> (String, bool) {
     let mut out = String::new();
     let transport = TransportMetrics::new();
     let mut state = ConnState::new();
     let stop = matches!(
-        dispatch_into(registry, config, &transport, None, &mut state, line, &mut out),
+        dispatch_into(registry, config, &transport, None, None, &mut state, line, &mut out),
         Outcome::Shutdown
     );
     (out, stop)
@@ -112,11 +114,13 @@ pub fn dispatch(registry: &SessionRegistry, config: &ServiceConfig, line: &str) 
 /// through it, while forwarded ops (those carrying `origin`/`seq` or
 /// an explicit session id) always apply locally so replication never
 /// cascades.
+#[allow(clippy::too_many_arguments)] // the shared server context reads better flat than bundled
 pub fn dispatch_into(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     transport: &TransportMetrics,
     fed: Option<&FedState>,
+    jobs: Option<&JobManager>,
     state: &mut ConnState,
     line: &str,
     out: &mut String,
@@ -125,7 +129,7 @@ pub fn dispatch_into(
     // bundled clients emit) decodes without building a `Value` tree.
     // Anything else falls through to the general parser below.
     if let Some(req) = crate::protocol::parse_submit_line_fast(line) {
-        return dispatch_request(registry, config, transport, fed, state, req, out);
+        return dispatch_request(registry, config, transport, fed, jobs, state, req, out);
     }
     let parsed = json::parse(line);
     let value = match parsed {
@@ -153,7 +157,7 @@ pub fn dispatch_into(
         return Outcome::Quiet;
     }
     match request_from_value(&value) {
-        Ok(req) => dispatch_request(registry, config, transport, fed, state, req, out),
+        Ok(req) => dispatch_request(registry, config, transport, fed, jobs, state, req, out),
         Err(e) => {
             write_error_with_watermark(state, out, &e);
             Outcome::Reply
@@ -166,11 +170,13 @@ pub fn dispatch_into(
 /// back half of [`dispatch_into`] and the entry point for framings —
 /// like the binary one — that decode straight to a [`Request`] without
 /// ever materialising a JSON line.
+#[allow(clippy::too_many_arguments)] // the shared server context reads better flat than bundled
 pub(crate) fn dispatch_request(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     transport: &TransportMetrics,
     fed: Option<&FedState>,
+    jobs: Option<&JobManager>,
     state: &mut ConnState,
     req: Request,
     out: &mut String,
@@ -179,7 +185,7 @@ pub(crate) fn dispatch_request(
         execute_deferred(registry, transport, fed, state, req);
         return Outcome::Quiet;
     }
-    match execute_with_state(registry, config, transport, fed, state, req, out) {
+    match execute_with_state(registry, config, transport, fed, jobs, state, req, out) {
         Ok(ExecuteOutcome::Respond) => {
             attach_watermark(state, out);
             Outcome::Reply
@@ -327,6 +333,7 @@ pub(crate) fn execute(
     config: &ServiceConfig,
     transport: &TransportMetrics,
     fed: Option<&FedState>,
+    jobs: Option<&JobManager>,
     req: Request,
     out: &mut String,
 ) -> Result<ExecuteOutcome> {
@@ -335,6 +342,7 @@ pub(crate) fn execute(
         config,
         transport,
         fed,
+        jobs,
         &mut ConnState::new(),
         req,
         out,
@@ -345,11 +353,13 @@ pub(crate) fn execute(
 /// `out`. `state` only matters for `flush` (which consumes the
 /// watermark); deferred submits never reach here — the dispatcher
 /// routes them through [`execute_deferred`].
+#[allow(clippy::too_many_arguments)] // the shared server context reads better flat than bundled
 fn execute_with_state(
     registry: &SessionRegistry,
     config: &ServiceConfig,
     transport: &TransportMetrics,
     fed: Option<&FedState>,
+    jobs: Option<&JobManager>,
     state: &mut ConnState,
     req: Request,
     out: &mut String,
@@ -727,12 +737,61 @@ fn execute_with_state(
                 ],
             )
         }
+        Request::MineRules { session, spec } => {
+            // The submission itself is cheap (validation + queue
+            // insert); the mining run happens on the job pool's own
+            // workers, so this arm never blocks a transport or offload
+            // thread. The response carries only the job id.
+            let jobs = jobs_or_reject(jobs)?;
+            let session_ref = registry.get(session)?;
+            let rec = jobs.submit_mine_rules(session_ref, spec)?;
+            write_ok_response(
+                out,
+                vec![("job", rec.id().into()), ("state", "queued".into())],
+            )
+        }
+        Request::Classify { session, target } => {
+            let jobs = jobs_or_reject(jobs)?;
+            let session_ref = registry.get(session)?;
+            let target = resolve_attr(session_ref.schema(), &target)?;
+            let rec = jobs.submit_classify(session_ref, target)?;
+            write_ok_response(
+                out,
+                vec![("job", rec.id().into()), ("state", "queued".into())],
+            )
+        }
+        Request::JobStatus { job } => {
+            write_ok_response(out, jobs_or_reject(jobs)?.status_pairs(job)?)
+        }
+        Request::JobResult { job } => {
+            write_ok_response(out, jobs_or_reject(jobs)?.result_pairs(job)?)
+        }
+        Request::JobCancel { job } => {
+            write_ok_response(out, jobs_or_reject(jobs)?.cancel_pairs(job)?)
+        }
+        Request::ListJobs => write_ok_response(out, jobs_or_reject(jobs)?.list_pairs()),
         Request::Shutdown => {
             write_ok_response(out, vec![("shutting_down", true.into())]);
             return Ok(ExecuteOutcome::Shutdown);
         }
     }
     Ok(ExecuteOutcome::Respond)
+}
+
+/// The background-job ops need a [`JobManager`]; embedders driving the
+/// bare [`dispatch`] wrapper do not carry one, and fail in-band.
+fn jobs_or_reject(jobs: Option<&JobManager>) -> Result<&JobManager> {
+    jobs.ok_or_else(|| ServiceError::InvalidRequest("this server has no job executor".into()))
+}
+
+/// Resolves an [`AttrRef`] against a session's schema.
+fn resolve_attr(schema: &Schema, target: &AttrRef) -> Result<usize> {
+    match target {
+        AttrRef::Index(i) => Ok(*i),
+        AttrRef::Name(name) => (0..schema.num_attributes())
+            .find(|&j| schema.attribute(j).name() == name)
+            .ok_or_else(|| ServiceError::InvalidRequest(format!("unknown attribute `{name}`"))),
+    }
 }
 
 /// A small fixed pool of worker threads the reactor hands complete
@@ -946,6 +1005,7 @@ mod tests {
                 reg,
                 cfg,
                 &self.transport,
+                None,
                 None,
                 &mut self.state,
                 line,

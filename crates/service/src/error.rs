@@ -21,6 +21,9 @@ pub enum ServiceError {
     Protocol(String),
     /// A request referenced a session id this server does not know.
     UnknownSession(u64),
+    /// A request referenced a job id this server does not know (never
+    /// issued, or purged after its retention TTL).
+    UnknownJob(u64),
     /// A request was well-formed JSON but semantically invalid.
     InvalidRequest(String),
     /// A submit batch failed part-way through: the first `accepted`
@@ -57,6 +60,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::PartialBatch { accepted, source } => write!(
                 f,

@@ -43,11 +43,14 @@ pub enum FaultSite {
     ConnRead,
     /// A write on an inbound connection (threaded front-ends).
     ConnWrite,
+    /// The start of a background job's execution on a job worker
+    /// (mining / classification; see [`crate::jobs`]).
+    JobExec,
 }
 
 impl FaultSite {
     /// Every site, in spec-name order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::PeerConnect,
         FaultSite::PeerSend,
         FaultSite::PersistWrite,
@@ -55,6 +58,7 @@ impl FaultSite {
         FaultSite::PersistSync,
         FaultSite::ConnRead,
         FaultSite::ConnWrite,
+        FaultSite::JobExec,
     ];
 
     /// The site's name in the spec grammar.
@@ -67,6 +71,7 @@ impl FaultSite {
             FaultSite::PersistSync => "persist_sync",
             FaultSite::ConnRead => "conn_read",
             FaultSite::ConnWrite => "conn_write",
+            FaultSite::JobExec => "job_exec",
         }
     }
 
@@ -177,7 +182,7 @@ impl FaultPlan {
             return Ok(FaultPlan::default());
         }
         let mut seed = 0u64;
-        let mut rules: [Option<Rule>; FaultSite::ALL.len()] = [None; 7];
+        let mut rules: [Option<Rule>; FaultSite::ALL.len()] = [None; 8];
         for part in spec.split(',') {
             let part = part.trim();
             if part.is_empty() {
@@ -411,6 +416,15 @@ mod tests {
         assert!(err.to_string().contains("injected fault"), "{err}");
         let pass = FaultPlan::parse("persist_sync=delay(0)").unwrap();
         assert!(pass.inject_io(FaultSite::PersistSync).is_ok());
+    }
+
+    #[test]
+    fn job_exec_site_parses_and_injects() {
+        let plan = FaultPlan::parse("seed=5,job_exec=io_error:1.0").unwrap();
+        let err = plan.inject_io(FaultSite::JobExec).unwrap_err();
+        assert!(err.to_string().contains("job_exec"), "{err}");
+        assert_eq!(FaultSite::from_name("job_exec"), Some(FaultSite::JobExec));
+        assert_eq!(FaultSite::ALL.len(), 8);
     }
 
     #[test]

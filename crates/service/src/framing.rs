@@ -486,6 +486,7 @@ impl LineFraming {
             &shared.config,
             &shared.transport,
             shared.fed.as_deref(),
+            Some(&shared.jobs),
             &mut self.state,
             line,
             &mut self.response,
@@ -522,6 +523,7 @@ impl LineFraming {
                     &shared.config,
                     &shared.transport,
                     shared.fed.as_deref(),
+                    Some(&shared.jobs),
                     &mut self.state,
                     req,
                     &mut self.response,
@@ -540,6 +542,7 @@ impl LineFraming {
                     &shared.config,
                     &shared.transport,
                     shared.fed.as_deref(),
+                    Some(&shared.jobs),
                     &mut self.state,
                     &line,
                     &mut self.response,

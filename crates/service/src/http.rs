@@ -24,6 +24,12 @@
 //! POST   /sessions/{id}/persist         -> persist one session
 //! POST   /persist                       -> persist all sessions
 //! DELETE /sessions/{id}                 -> close_session
+//! POST   /sessions/{id}/mine            -> mine_rules (JSON body)
+//! POST   /sessions/{id}/classify        -> classify (JSON body)
+//! GET    /jobs                          -> list_jobs
+//! GET    /jobs/{jid}                    -> job_status
+//! GET    /jobs/{jid}/result             -> job_result
+//! DELETE /jobs/{jid}                    -> job_cancel
 //! ```
 //!
 //! `shutdown` and deferred-ack submits are deliberately not exposed:
@@ -190,6 +196,7 @@ pub(crate) fn respond(
         &shared.config,
         &shared.transport,
         shared.fed.as_deref(),
+        Some(&shared.jobs),
         req,
         out,
     ) {
@@ -207,7 +214,7 @@ pub(crate) fn respond(
 /// same `error` (and `accepted`, for partial batches) either way.
 fn status_of(e: &ServiceError) -> (u16, &'static str) {
     match e {
-        ServiceError::UnknownSession(_) => (404, "Not Found"),
+        ServiceError::UnknownSession(_) | ServiceError::UnknownJob(_) => (404, "Not Found"),
         ServiceError::InvalidRequest(_)
         | ServiceError::Protocol(_)
         | ServiceError::Frapp(_)
@@ -216,6 +223,7 @@ fn status_of(e: &ServiceError) -> (u16, &'static str) {
     }
 }
 
+#[derive(Debug)]
 enum RouteError {
     /// No such path/method: `404` without consulting the registry.
     NotFound(String),
@@ -298,10 +306,30 @@ fn route(method: &str, target: &str, body: &[u8]) -> std::result::Result<Request
             session: session_id(id)?,
             local: false,
         }),
+        ("POST", ["sessions", id, "mine"]) => {
+            Ok(protocol::parse_mine_rules(&parse_body()?, session_id(id)?)?)
+        }
+        ("POST", ["sessions", id, "classify"]) => Ok(Request::Classify {
+            session: session_id(id)?,
+            target: protocol::parse_attr_ref(&parse_body()?, "target")?,
+        }),
+        ("GET", ["jobs"]) => Ok(Request::ListJobs),
+        ("GET", ["jobs", jid]) => Ok(Request::JobStatus { job: job_id(jid)? }),
+        ("GET", ["jobs", jid, "result"]) => Ok(Request::JobResult { job: job_id(jid)? }),
+        ("DELETE", ["jobs", jid]) => Ok(Request::JobCancel { job: job_id(jid)? }),
         _ => Err(RouteError::NotFound(format!(
             "no route for {method} {path}"
         ))),
     }
+}
+
+/// Parses a `/jobs/{jid}` path segment.
+fn job_id(seg: &str) -> std::result::Result<u64, RouteError> {
+    seg.parse::<u64>().map_err(|_| {
+        RouteError::Bad(ServiceError::InvalidRequest(format!(
+            "`{seg}` is not a job id"
+        )))
+    })
 }
 
 /// Parses a boolean query value (`true`/`1`/`false`/`0`).
@@ -858,6 +886,55 @@ mod tests {
         assert_eq!(err, ChunkError::TooLarge(8));
         assert_eq!(err.status().0, 413);
         assert_eq!(ChunkError::Malformed("x".into()).status().0, 400);
+    }
+
+    #[test]
+    fn job_routes_map_to_protocol_requests() {
+        use crate::jobs::MineAlgo;
+        use crate::protocol::AttrRef;
+        match route(
+            "POST",
+            "/sessions/7/mine",
+            br#"{"algo":"fpgrowth","min_support":0.1}"#,
+        ) {
+            Ok(Request::MineRules { session, spec }) => {
+                assert_eq!(session, 7);
+                assert_eq!(spec.algo, MineAlgo::FpGrowth);
+                assert_eq!(spec.min_support, 0.1);
+            }
+            other => panic!("unexpected route: {other:?}"),
+        }
+        // An empty body takes every default.
+        assert!(matches!(
+            route("POST", "/sessions/7/mine", b""),
+            Ok(Request::MineRules { session: 7, .. })
+        ));
+        match route("POST", "/sessions/7/classify", br#"{"target":"class"}"#) {
+            Ok(Request::Classify { session, target }) => {
+                assert_eq!(session, 7);
+                assert_eq!(target, AttrRef::Name("class".into()));
+            }
+            other => panic!("unexpected route: {other:?}"),
+        }
+        assert!(matches!(route("GET", "/jobs", b""), Ok(Request::ListJobs)));
+        assert!(matches!(
+            route("GET", "/jobs/9", b""),
+            Ok(Request::JobStatus { job: 9 })
+        ));
+        assert!(matches!(
+            route("GET", "/jobs/9/result", b""),
+            Ok(Request::JobResult { job: 9 })
+        ));
+        assert!(matches!(
+            route("DELETE", "/jobs/9", b""),
+            Ok(Request::JobCancel { job: 9 })
+        ));
+        assert!(matches!(
+            route("GET", "/jobs/banana", b""),
+            Err(RouteError::Bad(_))
+        ));
+        // Unknown jobs are 404, like unknown sessions.
+        assert_eq!(status_of(&ServiceError::UnknownJob(9)).0, 404);
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub mod fault;
 pub mod fed;
 pub mod framing;
 pub mod http;
+pub mod jobs;
 pub mod json;
 pub mod metrics;
 pub mod order;
@@ -113,6 +114,7 @@ pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
 pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use fed::FedState;
+pub use jobs::{JobManager, JobState, MineAlgo, MineSpec};
 pub use metrics::{
     MetricsReport, PeerHealth, PeerReplReport, SessionMetrics, TransportMetrics, TransportReport,
 };

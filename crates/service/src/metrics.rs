@@ -227,6 +227,15 @@ pub struct TransportMetrics {
     reactor_partial_reads: AtomicU64,
     reactor_partial_writes: AtomicU64,
     idle_reaped: AtomicU64,
+    // Background-job ([`crate::jobs`]) counters. `jobs_submitted`
+    // counts accepted submissions only; a shed (queue-full) submit
+    // increments `jobs_shed` instead. Every accepted job eventually
+    // lands in exactly one of completed / failed / cancelled.
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_shed: AtomicU64,
 }
 
 impl TransportMetrics {
@@ -318,6 +327,31 @@ impl TransportMetrics {
         self.idle_reaped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one background job accepted into the submission queue.
+    pub fn record_job_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one background job that reached the `done` state.
+    pub fn record_job_completed(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one background job that reached the `failed` state.
+    pub fn record_job_failed(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one background job that reached the `cancelled` state.
+    pub fn record_job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job submission shed at the queue-depth cap.
+    pub fn record_job_shed(&self) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn report(&self) -> TransportReport {
         TransportReport {
@@ -335,6 +369,11 @@ impl TransportMetrics {
             reactor_partial_reads: self.reactor_partial_reads.load(Ordering::Relaxed),
             reactor_partial_writes: self.reactor_partial_writes.load(Ordering::Relaxed),
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -375,6 +414,17 @@ pub struct TransportReport {
     /// Idle connections reaped by the slowloris guard (zero when
     /// `idle_timeout_ms` is 0).
     pub idle_reaped: u64,
+    /// Background jobs accepted into the submission queue.
+    pub jobs_submitted: u64,
+    /// Background jobs that finished in the `done` state.
+    pub jobs_completed: u64,
+    /// Background jobs that finished in the `failed` state.
+    pub jobs_failed: u64,
+    /// Background jobs that finished in the `cancelled` state.
+    pub jobs_cancelled: u64,
+    /// Job submissions shed at the queue-depth cap (not counted in
+    /// `jobs_submitted`).
+    pub jobs_shed: u64,
 }
 
 /// A federation peer's health, as driven by its link's circuit
@@ -665,6 +715,31 @@ pub fn write_prometheus_metrics(
         "counter",
         transport.idle_reaped,
     );
+    scalar(
+        out,
+        "frapp_jobs_submitted_total",
+        "counter",
+        transport.jobs_submitted,
+    );
+    scalar(
+        out,
+        "frapp_jobs_completed_total",
+        "counter",
+        transport.jobs_completed,
+    );
+    scalar(
+        out,
+        "frapp_jobs_failed_total",
+        "counter",
+        transport.jobs_failed,
+    );
+    scalar(
+        out,
+        "frapp_jobs_cancelled_total",
+        "counter",
+        transport.jobs_cancelled,
+    );
+    scalar(out, "frapp_jobs_shed_total", "counter", transport.jobs_shed);
     let Some(peers) = peers else {
         return;
     };
@@ -852,6 +927,30 @@ mod tests {
         assert_eq!(PeerHealth::Up.as_str(), "up");
         assert_eq!(PeerHealth::Degraded.as_str(), "degraded");
         assert_eq!(PeerHealth::Down.as_str(), "down");
+    }
+
+    #[test]
+    fn job_counters_count_and_export() {
+        let t = TransportMetrics::new();
+        t.record_job_submitted();
+        t.record_job_submitted();
+        t.record_job_completed();
+        t.record_job_failed();
+        t.record_job_cancelled();
+        t.record_job_shed();
+        let r = t.report();
+        assert_eq!(r.jobs_submitted, 2);
+        assert_eq!(r.jobs_completed, 1);
+        assert_eq!(r.jobs_failed, 1);
+        assert_eq!(r.jobs_cancelled, 1);
+        assert_eq!(r.jobs_shed, 1);
+        let mut out = String::new();
+        write_prometheus_metrics(&mut out, &r, None);
+        assert!(out.contains("frapp_jobs_submitted_total 2\n"), "{out}");
+        assert!(out.contains("frapp_jobs_completed_total 1\n"), "{out}");
+        assert!(out.contains("frapp_jobs_failed_total 1\n"), "{out}");
+        assert!(out.contains("frapp_jobs_cancelled_total 1\n"), "{out}");
+        assert!(out.contains("frapp_jobs_shed_total 1\n"), "{out}");
     }
 
     #[test]

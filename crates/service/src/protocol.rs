@@ -78,6 +78,7 @@
 //! connection-oriented).
 
 use crate::error::{Result, ServiceError};
+use crate::jobs::{MineAlgo, MineSpec};
 use crate::json::{self, object, Value};
 use crate::metrics::{LatencySummary, MetricsReport, TransportReport};
 use crate::session::{
@@ -316,8 +317,53 @@ pub enum Request {
         /// The framing to switch to.
         framing: WireFraming,
     },
+    /// Submit a background association-rule-mining job over the
+    /// session's reconstructed distribution; answers immediately with a
+    /// job id (see [`crate::jobs`]).
+    MineRules {
+        /// Target session id.
+        session: u64,
+        /// Algorithm and thresholds.
+        spec: MineSpec,
+    },
+    /// Submit a background Bayes-classifier job; answers immediately
+    /// with a job id.
+    Classify {
+        /// Target session id.
+        session: u64,
+        /// The class attribute to predict.
+        target: AttrRef,
+    },
+    /// A job's current state and progress counters.
+    JobStatus {
+        /// Job id returned by `mine_rules` / `classify`.
+        job: u64,
+    },
+    /// A finished job's result payload.
+    JobResult {
+        /// Job id.
+        job: u64,
+    },
+    /// Cancel a job: immediately while queued, cooperatively (between
+    /// mining levels) while running.
+    JobCancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Status summaries of every tracked job, ascending by id.
+    ListJobs,
     /// Stop the server (used by tests and the load generator).
     Shutdown,
+}
+
+/// A reference to a schema attribute: by zero-based position, or by
+/// name (resolved against the session's schema at execution time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrRef {
+    /// Zero-based attribute index.
+    Index(usize),
+    /// Attribute name.
+    Name(String),
 }
 
 fn require<'v>(v: &'v Value, key: &str) -> Result<&'v Value> {
@@ -723,10 +769,72 @@ pub fn request_from_value(v: &Value) -> Result<Request> {
                 framing: WireFraming::from_wire(name)?,
             })
         }
+        "mine_rules" => parse_mine_rules(v, field_u64(v, "session")?),
+        "classify" => Ok(Request::Classify {
+            session: field_u64(v, "session")?,
+            target: parse_attr_ref(v, "target")?,
+        }),
+        "job_status" => Ok(Request::JobStatus {
+            job: field_u64(v, "job")?,
+        }),
+        "job_result" => Ok(Request::JobResult {
+            job: field_u64(v, "job")?,
+        }),
+        "job_cancel" => Ok(Request::JobCancel {
+            job: field_u64(v, "job")?,
+        }),
+        "list_jobs" => Ok(Request::ListJobs),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServiceError::InvalidRequest(format!(
             "unknown op `{other}`"
         ))),
+    }
+}
+
+fn optional_f64_or(v: &Value, key: &str, default: f64) -> Result<f64> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| ServiceError::InvalidRequest(format!("field `{key}` must be a number"))),
+    }
+}
+
+/// Builds a `mine_rules` request from a spec object (the line
+/// protocol's whole line, or an HTTP body — the session id is passed
+/// in because HTTP carries it in the path).
+pub(crate) fn parse_mine_rules(v: &Value, session: u64) -> Result<Request> {
+    let algo = match v.get("algo") {
+        None | Some(Value::Null) => MineAlgo::default(),
+        Some(a) => MineAlgo::from_wire(a.as_str().ok_or_else(|| {
+            ServiceError::InvalidRequest("field `algo` must be a string".into())
+        })?)?,
+    };
+    let defaults = MineSpec::default();
+    Ok(Request::MineRules {
+        session,
+        spec: MineSpec {
+            algo,
+            min_support: optional_f64_or(v, "min_support", defaults.min_support)?,
+            min_confidence: optional_f64_or(v, "min_confidence", defaults.min_confidence)?,
+            max_length: optional_u64(v, "max_length")?.unwrap_or(defaults.max_length as u64)
+                as usize,
+        },
+    })
+}
+
+/// Parses a `target` (or similar) field naming a schema attribute by
+/// index or name.
+pub(crate) fn parse_attr_ref(v: &Value, key: &str) -> Result<AttrRef> {
+    let t = require(v, key)?;
+    if let Some(i) = t.as_u64() {
+        Ok(AttrRef::Index(i as usize))
+    } else if let Some(name) = t.as_str() {
+        Ok(AttrRef::Name(name.to_owned()))
+    } else {
+        Err(ServiceError::InvalidRequest(format!(
+            "field `{key}` must be an attribute index or name"
+        )))
     }
 }
 
@@ -977,6 +1085,11 @@ pub fn write_transport_metrics_response(
                 ("sheds", report.sheds.into()),
                 ("accept_errors", report.accept_errors.into()),
                 ("idle_reaped", report.idle_reaped.into()),
+                ("jobs_submitted", report.jobs_submitted.into()),
+                ("jobs_completed", report.jobs_completed.into()),
+                ("jobs_failed", report.jobs_failed.into()),
+                ("jobs_cancelled", report.jobs_cancelled.into()),
+                ("jobs_shed", report.jobs_shed.into()),
             ]),
         ),
         (
@@ -1228,6 +1341,83 @@ mod tests {
                 local: false
             }
         );
+    }
+
+    #[test]
+    fn job_ops_parse_with_defaults_and_overrides() {
+        match parse_request(r#"{"op":"mine_rules","session":3}"#).unwrap() {
+            Request::MineRules { session, spec } => {
+                assert_eq!(session, 3);
+                assert_eq!(spec, MineSpec::default());
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let full = r#"{"op":"mine_rules","session":3,"algo":"fpgrowth",
+                       "min_support":0.1,"min_confidence":0.9,"max_length":2}"#;
+        match parse_request(full).unwrap() {
+            Request::MineRules { spec, .. } => {
+                assert_eq!(spec.algo, MineAlgo::FpGrowth);
+                assert_eq!(spec.min_support, 0.1);
+                assert_eq!(spec.min_confidence, 0.9);
+                assert_eq!(spec.max_length, 2);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"mine_rules","session":3,"algo":"svd"}"#).is_err());
+        assert!(parse_request(r#"{"op":"mine_rules"}"#).is_err());
+
+        assert_eq!(
+            parse_request(r#"{"op":"classify","session":3,"target":2}"#).unwrap(),
+            Request::Classify {
+                session: 3,
+                target: AttrRef::Index(2)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"classify","session":3,"target":"income"}"#).unwrap(),
+            Request::Classify {
+                session: 3,
+                target: AttrRef::Name("income".into())
+            }
+        );
+        assert!(parse_request(r#"{"op":"classify","session":3}"#).is_err());
+        assert!(parse_request(r#"{"op":"classify","session":3,"target":true}"#).is_err());
+
+        assert_eq!(
+            parse_request(r#"{"op":"job_status","job":7}"#).unwrap(),
+            Request::JobStatus { job: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"job_result","job":7}"#).unwrap(),
+            Request::JobResult { job: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"job_cancel","job":7}"#).unwrap(),
+            Request::JobCancel { job: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"list_jobs"}"#).unwrap(),
+            Request::ListJobs
+        );
+        assert!(parse_request(r#"{"op":"job_status"}"#).is_err());
+    }
+
+    #[test]
+    fn transport_metrics_response_reports_job_counters() {
+        let report = TransportReport {
+            jobs_submitted: 4,
+            jobs_completed: 2,
+            jobs_cancelled: 1,
+            jobs_shed: 1,
+            ..TransportReport::default()
+        };
+        let mut out = String::new();
+        write_transport_metrics_response(&mut out, &report, None);
+        assert!(out.contains("\"jobs_submitted\":4"), "{out}");
+        assert!(out.contains("\"jobs_completed\":2"), "{out}");
+        assert!(out.contains("\"jobs_failed\":0"), "{out}");
+        assert!(out.contains("\"jobs_cancelled\":1"), "{out}");
+        assert!(out.contains("\"jobs_shed\":1"), "{out}");
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub(crate) struct Shared {
     /// The dispatch offload pool the reactor front-end hands complete
     /// frames to (idle under thread-per-connection).
     pub(crate) executor: crate::dispatch::OffloadExecutor,
+    /// The background-job pool running `mine_rules` / `classify` off
+    /// the transport threads (see [`crate::jobs`]).
+    pub(crate) jobs: crate::jobs::JobManager,
     live_connections: Arc<AtomicUsize>,
 }
 
@@ -243,6 +246,8 @@ impl Server {
         }
         let fed = crate::fed::FedState::from_config(&config)?;
         let executor = crate::dispatch::OffloadExecutor::new(config.offload_threads);
+        let transport = Arc::new(TransportMetrics::new());
+        let jobs = crate::jobs::JobManager::from_config(&config, Arc::clone(&transport));
         Ok(Server {
             listener,
             http_listener,
@@ -250,9 +255,10 @@ impl Server {
                 registry,
                 config,
                 shutdown: Arc::new(AtomicBool::new(false)),
-                transport: Arc::new(TransportMetrics::new()),
+                transport,
                 fed,
                 executor,
+                jobs,
                 live_connections: Arc::new(AtomicUsize::new(0)),
             }),
         })
@@ -702,6 +708,13 @@ mod tests {
             transport: Arc::new(TransportMetrics::new()),
             fed: None,
             executor: crate::dispatch::OffloadExecutor::new(1),
+            jobs: crate::jobs::JobManager::new(
+                1,
+                1,
+                600,
+                Arc::new(TransportMetrics::new()),
+                crate::fault::FaultPlan::default(),
+            ),
             live_connections: Arc::new(AtomicUsize::new(0)),
         };
         let a = shared.try_admit().expect("first connection fits");
